@@ -1,0 +1,76 @@
+package pubsub
+
+import (
+	"net"
+
+	"repro/internal/broker"
+	"repro/internal/wire"
+)
+
+// Broker is an embeddable, concurrent content-based broker: subscribers
+// register rectangles and receive matching events on channels.
+type Broker = broker.Broker
+
+// BrokerOptions tune a Broker; the zero value is usable.
+type BrokerOptions = broker.Options
+
+// BrokerSubscription is a live registration on a Broker.
+type BrokerSubscription = broker.Subscription
+
+// Event is a delivered publication.
+type Event = broker.Event
+
+// BrokerStats is a snapshot of broker counters.
+type BrokerStats = broker.Stats
+
+// BrokerIndexStrategy selects how the broker maintains its index under
+// churn.
+type BrokerIndexStrategy = broker.IndexStrategy
+
+// Broker index strategies.
+const (
+	// IndexRebuild folds new subscriptions into periodically repacked
+	// indexes (the default).
+	IndexRebuild = broker.IndexRebuild
+	// IndexDynamic maintains a dynamic R-tree updated in place.
+	IndexDynamic = broker.IndexDynamic
+)
+
+// NewBroker creates an empty broker.
+func NewBroker(opts BrokerOptions) *Broker { return broker.New(opts) }
+
+// Server exposes a Broker over TCP using the library's wire protocol.
+type Server = wire.Server
+
+// NewServer wraps a broker for network serving; call Serve with a
+// listener.
+func NewServer(b *Broker) *Server { return wire.NewServer(b) }
+
+// Client is a TCP client for a Server.
+type Client = wire.Client
+
+// Dial connects to a broker server at addr ("host:port").
+func Dial(addr string) (*Client, error) { return wire.Dial(addr) }
+
+// ReconnectingClient is a client that redials automatically and replays
+// its subscriptions after connection loss.
+type ReconnectingClient = wire.ReconnectingClient
+
+// ReconnectOptions tune reconnection backoff.
+type ReconnectOptions = wire.ReconnectOptions
+
+// DialReconnecting connects with automatic redial and subscription
+// replay.
+func DialReconnecting(addr string, opts ReconnectOptions) (*ReconnectingClient, error) {
+	return wire.DialReconnecting(addr, opts)
+}
+
+// ListenAndServe starts a broker server on addr and blocks. It is a
+// convenience for daemons; use NewServer/Serve for custom listeners.
+func ListenAndServe(addr string, b *Broker) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return wire.NewServer(b).Serve(ln)
+}

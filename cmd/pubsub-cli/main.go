@@ -1,0 +1,148 @@
+// Command pubsub-cli is a client for pubsubd.
+//
+// Subscribe to a region (prints events until interrupted):
+//
+//	pubsub-cli -addr localhost:7070 subscribe "10:11,75:80,999:"
+//
+// Publish an event:
+//
+//	pubsub-cli -addr localhost:7070 publish "10.5,78,2000" -payload "IBM trade"
+//
+// Rectangles are comma-separated per-dimension ranges "lo:hi"; omit a
+// bound for the corresponding infinity ("999:" means volume > 999).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/geometry"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pubsub-cli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("pubsub-cli", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "localhost:7070", "broker address")
+		payload = fs.String("payload", "", "payload for publish")
+		count   = fs.Int("count", 0, "subscribe: exit after this many events (0 = forever)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) < 2 {
+		return fmt.Errorf("usage: pubsub-cli [flags] subscribe|publish <spec>")
+	}
+	verb, spec := rest[0], rest[1]
+
+	cli, err := wire.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+
+	switch verb {
+	case "subscribe":
+		rect, err := ParseRect(spec)
+		if err != nil {
+			return err
+		}
+		id, err := cli.Subscribe(rect)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "subscribed id=%d rect=%v\n", id, rect)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		received := 0
+		for {
+			select {
+			case ev, open := <-cli.Events():
+				if !open {
+					return fmt.Errorf("connection closed")
+				}
+				received++
+				fmt.Fprintf(w, "event seq=%d point=%v payload=%q\n", ev.Seq, ev.Point, ev.Payload)
+				if *count > 0 && received >= *count {
+					return nil
+				}
+			case <-sig:
+				return nil
+			}
+		}
+
+	case "publish":
+		point, err := ParsePoint(spec)
+		if err != nil {
+			return err
+		}
+		n, err := cli.Publish(point, []byte(*payload))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "published to %d subscribers\n", n)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown verb %q (want subscribe or publish)", verb)
+	}
+}
+
+// ParseRect parses "lo:hi,lo:hi,..." with empty bounds meaning the
+// corresponding infinity.
+func ParseRect(spec string) (geometry.Rect, error) {
+	parts := strings.Split(spec, ",")
+	rect := make(geometry.Rect, len(parts))
+	for i, p := range parts {
+		bounds := strings.SplitN(p, ":", 2)
+		if len(bounds) != 2 {
+			return nil, fmt.Errorf("dimension %d: %q is not lo:hi", i, p)
+		}
+		lo, hi := math.Inf(-1), math.Inf(1)
+		var err error
+		if bounds[0] != "" {
+			if lo, err = strconv.ParseFloat(bounds[0], 64); err != nil {
+				return nil, fmt.Errorf("dimension %d lower bound: %w", i, err)
+			}
+		}
+		if bounds[1] != "" {
+			if hi, err = strconv.ParseFloat(bounds[1], 64); err != nil {
+				return nil, fmt.Errorf("dimension %d upper bound: %w", i, err)
+			}
+		}
+		rect[i] = geometry.Interval{Lo: lo, Hi: hi}
+		if rect[i].Empty() {
+			return nil, fmt.Errorf("dimension %d: empty interval %q", i, p)
+		}
+	}
+	return rect, nil
+}
+
+// ParsePoint parses "x1,x2,...".
+func ParsePoint(spec string) (geometry.Point, error) {
+	parts := strings.Split(spec, ",")
+	point := make(geometry.Point, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("coordinate %d: %w", i, err)
+		}
+		point[i] = v
+	}
+	return point, nil
+}

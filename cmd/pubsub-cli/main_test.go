@@ -1,0 +1,158 @@
+package main
+
+import (
+	"math"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/wire"
+)
+
+func TestParseRect(t *testing.T) {
+	tests := []struct {
+		name    string
+		spec    string
+		wantErr bool
+		check   func(t *testing.T)
+	}{
+		{name: "bounded", spec: "0:1,2:3"},
+		{name: "open upper", spec: "999:"},
+		{name: "open lower", spec: ":5"},
+		{name: "full", spec: ":"},
+		{name: "missing colon", spec: "1,2", wantErr: true},
+		{name: "bad number", spec: "a:b", wantErr: true},
+		{name: "empty interval", spec: "5:5", wantErr: true},
+		{name: "inverted", spec: "7:3", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r, err := ParseRect(tt.spec)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("ParseRect(%q) err = %v, wantErr %v", tt.spec, err, tt.wantErr)
+			}
+			if err == nil && r.Dims() != strings.Count(tt.spec, ":") {
+				t.Errorf("dims = %d", r.Dims())
+			}
+		})
+	}
+	r, err := ParseRect("999:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[0].Lo != 999 || !math.IsInf(r[0].Hi, 1) {
+		t.Errorf("open upper = %v", r[0])
+	}
+}
+
+func TestParsePoint(t *testing.T) {
+	p, err := ParsePoint("1, 2.5,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 3 || p[1] != 2.5 {
+		t.Errorf("point = %v", p)
+	}
+	if _, err := ParsePoint("1,x"); err == nil {
+		t.Error("bad coordinate accepted")
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Error("missing verb accepted")
+	}
+	if err := run([]string{"-addr", "127.0.0.1:1", "frobnicate", "x"}, &sb); err == nil {
+		t.Error("unknown verb accepted (or dial to closed port succeeded)")
+	}
+}
+
+func TestEndToEndPublishSubscribe(t *testing.T) {
+	b := broker.New(broker.Options{})
+	srv := wire.NewServer(b)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer func() { srv.Close(); b.Close() }()
+	addr := ln.Addr().String()
+
+	subOut := make(chan string, 1)
+	subErr := make(chan error, 1)
+	go func() {
+		var sb strings.Builder
+		err := run([]string{"-addr", addr, "-count", "1", "subscribe", "10:11,75:80,999:"}, &sb)
+		subOut <- sb.String()
+		subErr <- err
+	}()
+
+	// Wait for the subscription to land, then publish.
+	deadline := time.Now().Add(3 * time.Second)
+	for b.Stats().Subscriptions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscription never arrived")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-addr", addr, "-payload", "IBM", "publish", "10.5,78,2000"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "published to 1 subscribers") {
+		t.Errorf("publish output = %q", sb.String())
+	}
+
+	select {
+	case out := <-subOut:
+		if !strings.Contains(out, "subscribed id=") || !strings.Contains(out, `payload="IBM"`) {
+			t.Errorf("subscriber output = %q", out)
+		}
+		if err := <-subErr; err != nil {
+			t.Errorf("subscriber error: %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("subscriber did not exit after -count events")
+	}
+}
+
+// FuzzParseRect: the parser must never panic and accepted rectangles
+// must be non-empty in every dimension.
+func FuzzParseRect(f *testing.F) {
+	f.Add("0:1,2:3")
+	f.Add("999:")
+	f.Add(":")
+	f.Add("a:b")
+	f.Add("1:2:3")
+	f.Fuzz(func(t *testing.T, spec string) {
+		r, err := ParseRect(spec)
+		if err != nil {
+			return
+		}
+		for d := range r {
+			if r[d].Empty() {
+				t.Fatalf("ParseRect(%q) accepted empty dimension %d", spec, d)
+			}
+		}
+	})
+}
+
+// FuzzParsePoint: no panics; accepted points have one coordinate per
+// comma-separated field.
+func FuzzParsePoint(f *testing.F) {
+	f.Add("1,2,3")
+	f.Add("")
+	f.Add("x")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParsePoint(spec)
+		if err != nil {
+			return
+		}
+		if len(p) != strings.Count(spec, ",")+1 {
+			t.Fatalf("ParsePoint(%q) = %d coords", spec, len(p))
+		}
+	})
+}

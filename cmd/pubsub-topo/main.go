@@ -1,0 +1,100 @@
+// Command pubsub-topo generates a GT-ITM-style transit-stub topology and
+// prints its statistics, optionally dumping Graphviz DOT for plotting
+// (the textual equivalent of the paper's Figure 3).
+//
+// Usage:
+//
+//	pubsub-topo -seed 2003
+//	pubsub-topo -blocks 3 -transit 5 -stubs 2 -stubnodes 20 -dot topo.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pubsub-topo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("pubsub-topo", flag.ContinueOnError)
+	var (
+		seed      = fs.Int64("seed", 2003, "random seed")
+		blocks    = fs.Int("blocks", 3, "transit blocks")
+		transit   = fs.Int("transit", 5, "mean transit nodes per block")
+		stubs     = fs.Int("stubs", 2, "stubs per transit node")
+		stubNodes = fs.Int("stubnodes", 20, "mean nodes per stub")
+		euclid    = fs.Bool("euclidean", false, "use Euclidean edge costs instead of random")
+		dotPath   = fs.String("dot", "", "write Graphviz DOT to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := topology.DefaultConfig()
+	cfg.TransitBlocks = *blocks
+	cfg.MeanTransitNodes = *transit
+	cfg.StubsPerTransit = *stubs
+	cfg.MeanStubNodes = *stubNodes
+	if *euclid {
+		cfg.Costs = topology.CostEuclidean
+	}
+
+	g, err := topology.Generate(cfg, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	s := g.Stats()
+	fmt.Fprintf(w, "nodes=%d (transit=%d stub=%d) edges=%d blocks=%d stubs=%d\n",
+		s.Nodes, s.TransitNodes, s.StubNodes, s.Edges, s.Blocks, s.Stubs)
+	fmt.Fprintf(w, "mean degree=%.2f edge cost range=[%.2f, %.2f] costs=%s\n",
+		s.MeanDegree, s.MinEdgeCost, s.MaxEdgeCost, cfg.Costs)
+
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := writeDOT(f, g); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote DOT to %s\n", *dotPath)
+	}
+	return nil
+}
+
+// writeDOT renders the graph in Graphviz format with transit nodes
+// highlighted and positions from the planar embedding.
+func writeDOT(w io.Writer, g *topology.Graph) error {
+	if _, err := fmt.Fprintln(w, "graph topology {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  node [shape=point];")
+	for i := 0; i < g.NumNodes(); i++ {
+		n := g.Node(i)
+		color := "gray"
+		if n.Role == topology.RoleTransit {
+			color = "red"
+		}
+		fmt.Fprintf(w, "  n%d [pos=\"%.1f,%.1f!\", color=%s];\n", i, n.X, n.Y, color)
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		for _, e := range g.Neighbors(i) {
+			if e.To > i {
+				fmt.Fprintf(w, "  n%d -- n%d;\n", i, e.To)
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

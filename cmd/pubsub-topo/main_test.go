@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunPrintsStats(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-seed", "7", "-blocks", "2", "-transit", "3", "-stubs", "1", "-stubnodes", "4"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"nodes=", "blocks=2", "mean degree="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q: %q", want, out)
+		}
+	}
+}
+
+func TestRunWritesDOT(t *testing.T) {
+	dot := filepath.Join(t.TempDir(), "topo.dot")
+	var sb strings.Builder
+	err := run([]string{"-seed", "7", "-blocks", "2", "-transit", "2", "-stubs", "1", "-stubnodes", "3", "-euclidean", "-dot", dot}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.HasPrefix(s, "graph topology {") || !strings.Contains(s, " -- ") {
+		t.Errorf("DOT output malformed: %.100s", s)
+	}
+	if !strings.Contains(s, "color=red") {
+		t.Error("transit nodes not highlighted")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-blocks", "0"}, &sb); err == nil {
+		t.Error("blocks=0 accepted")
+	}
+	if err := run([]string{"-not-a-flag"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,128 @@
+// Command pubsub-workload generates the paper's synthetic workloads and
+// writes them as JSON lines for external analysis or replay.
+//
+// Usage:
+//
+//	pubsub-workload -kind subs  -count 1000          # placed subscriptions
+//	pubsub-workload -kind pubs  -count 10000 -modes 9 # publication events
+//	pubsub-workload -kind tape  -count 50000          # synthetic trades
+//
+// Each line is one JSON object; generation is deterministic per -seed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pubsub-workload:", err)
+		os.Exit(1)
+	}
+}
+
+// subRecord is the JSON form of one placed subscription.
+type subRecord struct {
+	ID    int          `json:"id"`
+	Node  int          `json:"node"`
+	Block int          `json:"block"`
+	Rect  [][2]float64 `json:"rect"` // [lo, hi] per dimension
+}
+
+// pubRecord is the JSON form of one publication event.
+type pubRecord struct {
+	Point []float64 `json:"point"`
+}
+
+// tradeRecord is the JSON form of one synthetic trade.
+type tradeRecord struct {
+	Stock           int     `json:"stock"`
+	Price           float64 `json:"price"`
+	OpenPrice       float64 `json:"open_price"`
+	NormalizedPrice float64 `json:"normalized_price"`
+	Amount          float64 `json:"amount"`
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("pubsub-workload", flag.ContinueOnError)
+	var (
+		kind  = fs.String("kind", "subs", "what to generate: subs|pubs|tape")
+		count = fs.Int("count", 1000, "number of records")
+		seed  = fs.Int64("seed", 2003, "random seed")
+		modes = fs.Int("modes", 9, "publication hot spots (1, 4 or 9)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *count <= 0 {
+		return fmt.Errorf("count must be positive, got %d", *count)
+	}
+	enc := json.NewEncoder(w)
+	rng := rand.New(rand.NewSource(*seed))
+
+	switch *kind {
+	case "subs":
+		g, err := topology.Generate(topology.DefaultConfig(), rng)
+		if err != nil {
+			return err
+		}
+		cfg := workload.DefaultSubscriptionConfig()
+		cfg.Count = *count
+		subs, err := workload.GenerateSubscriptions(g, workload.StockSpace(), cfg, rng)
+		if err != nil {
+			return err
+		}
+		for _, s := range subs {
+			rec := subRecord{ID: s.ID, Node: s.Node, Block: s.Block}
+			for _, iv := range s.Rect {
+				rec.Rect = append(rec.Rect, [2]float64{iv.Lo, iv.Hi})
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+
+	case "pubs":
+		model, err := workload.StockPublications(*modes)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < *count; i++ {
+			if err := enc.Encode(pubRecord{Point: model.Sample(rng)}); err != nil {
+				return err
+			}
+		}
+
+	case "tape":
+		cfg := workload.DefaultTapeConfig()
+		cfg.Trades = *count
+		trades, err := workload.GenerateTape(cfg, rng)
+		if err != nil {
+			return err
+		}
+		for _, tr := range trades {
+			rec := tradeRecord{
+				Stock:           tr.Stock,
+				Price:           tr.Price,
+				OpenPrice:       tr.OpenPrice,
+				NormalizedPrice: tr.NormalizedPrice(),
+				Amount:          tr.Amount,
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+
+	default:
+		return fmt.Errorf("unknown kind %q (want subs, pubs or tape)", *kind)
+	}
+	return nil
+}

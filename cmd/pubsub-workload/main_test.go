@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func lines(t *testing.T, out string) []string {
+	t.Helper()
+	var ls []string
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if sc.Text() != "" {
+			ls = append(ls, sc.Text())
+		}
+	}
+	return ls
+}
+
+func TestGenerateSubs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-kind", "subs", "-count", "50"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	ls := lines(t, sb.String())
+	if len(ls) != 50 {
+		t.Fatalf("lines = %d", len(ls))
+	}
+	var rec subRecord
+	if err := json.Unmarshal([]byte(ls[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Rect) != 4 {
+		t.Errorf("rect dims = %d", len(rec.Rect))
+	}
+	for d, iv := range rec.Rect {
+		if !(iv[1] > iv[0]) {
+			t.Errorf("dim %d: empty interval %v", d, iv)
+		}
+	}
+}
+
+func TestGeneratePubs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-kind", "pubs", "-count", "30", "-modes", "4"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	ls := lines(t, sb.String())
+	if len(ls) != 30 {
+		t.Fatalf("lines = %d", len(ls))
+	}
+	var rec pubRecord
+	if err := json.Unmarshal([]byte(ls[7]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Point) != 4 {
+		t.Errorf("point dims = %d", len(rec.Point))
+	}
+}
+
+func TestGenerateTape(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-kind", "tape", "-count", "40"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	ls := lines(t, sb.String())
+	if len(ls) != 40 {
+		t.Fatalf("lines = %d", len(ls))
+	}
+	var rec tradeRecord
+	if err := json.Unmarshal([]byte(ls[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Price <= 0 || rec.Amount <= 0 {
+		t.Errorf("record = %+v", rec)
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	var a, b strings.Builder
+	if err := run([]string{"-kind", "pubs", "-count", "20", "-seed", "5"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-kind", "pubs", "-count", "20", "-seed", "5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different output")
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-kind", "nope"}, &sb); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run([]string{"-count", "0"}, &sb); err == nil {
+		t.Error("zero count accepted")
+	}
+	if err := run([]string{"-kind", "pubs", "-modes", "7"}, &sb); err == nil {
+		t.Error("bad modes accepted")
+	}
+	if err := run([]string{"-zzz"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

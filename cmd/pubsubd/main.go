@@ -1,0 +1,85 @@
+// Command pubsubd runs a content-based publish-subscribe broker daemon
+// speaking the library's TCP wire protocol.
+//
+// Usage:
+//
+//	pubsubd -addr :7070
+//
+// Stop with SIGINT/SIGTERM; the daemon drains connections and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pubsubd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pubsubd", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":7070", "listen address")
+		buffer   = fs.Int("buffer", 64, "default per-subscription event buffer")
+		statsInt = fs.Duration("stats", 0, "print broker stats at this interval (0 disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	b := broker.New(broker.Options{DefaultBuffer: *buffer})
+	defer b.Close()
+	srv := wire.NewServer(b)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pubsubd: listening on %s\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	stopStats := make(chan struct{})
+	defer close(stopStats)
+	if *statsInt > 0 {
+		go func() {
+			tick := time.NewTicker(*statsInt)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					st := b.Stats()
+					fmt.Printf("pubsubd: subs=%d rects=%d published=%d delivered=%d dropped=%d rebuilds=%d\n",
+						st.Subscriptions, st.Rectangles, st.Published, st.Delivered, st.Dropped, st.IndexRebuilds)
+				case <-stopStats:
+					return
+				}
+			}
+		}()
+	}
+
+	select {
+	case s := <-sig:
+		fmt.Printf("pubsubd: %v, shutting down\n", s)
+		srv.Close()
+		<-done
+		return nil
+	case err := <-done:
+		return err
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-addr", "999.999.999.999:xx"}); err == nil {
+		t.Error("bad address accepted")
+	}
+}
+
+func TestRunServesUntilSignalled(t *testing.T) {
+	const addr = "127.0.0.1:17171"
+	done := make(chan error, 1)
+	go func() { done <- run([]string{"-addr", addr}) }()
+
+	// Wait until the daemon accepts connections, then exercise it.
+	var cli *wire.Client
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		var err error
+		cli, err = wire.Dial(addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := cli.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	cli.Close()
+
+	// SIGTERM triggers a clean shutdown.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down on SIGTERM")
+	}
+}

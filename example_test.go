@@ -1,0 +1,96 @@
+package pubsub_test
+
+import (
+	"fmt"
+
+	pubsub "repro"
+)
+
+// ExampleIndex shows the paper's motivating Gryphon subscription matched
+// with an S-tree point query.
+func ExampleIndex() {
+	// Attributes: stock name (linearised; IBM is stock #10), price,
+	// volume.
+	subs := []pubsub.Subscription{
+		{
+			// name=IBM AND 75 < price <= 80 AND volume >= 1000
+			Rect: pubsub.Rect{
+				pubsub.Category(10),
+				pubsub.Between(75, 80),
+				pubsub.AtLeast(999),
+			},
+			SubscriberID: 1,
+		},
+	}
+	ix, err := pubsub.NewIndex(subs, pubsub.IndexOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ix.Count(pubsub.Point{10.5, 78, 2000})) // matching trade
+	fmt.Println(ix.Count(pubsub.Point{10.5, 85, 2000})) // price too high
+	// Output:
+	// 1
+	// 0
+}
+
+// ExampleSchema builds the same subscription by attribute name.
+func ExampleSchema() {
+	s := pubsub.MustSchema("name", "price", "volume")
+	rect := s.Where("name", pubsub.Category(10)).
+		And("price", pubsub.Between(75, 80)).
+		And("volume", pubsub.AtLeast(999)).
+		MustBuild()
+
+	event, err := s.Event(map[string]float64{
+		"name":   pubsub.CategoryValue(10),
+		"price":  78,
+		"volume": 2000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rect.Contains(event))
+	// Output:
+	// true
+}
+
+// ExampleBroker publishes through the embedded broker.
+func ExampleBroker() {
+	b := pubsub.NewBroker(pubsub.BrokerOptions{})
+	defer b.Close()
+
+	sub, err := b.Subscribe(pubsub.NewRect(0, 10))
+	if err != nil {
+		panic(err)
+	}
+	if _, err := b.Publish(pubsub.Point{5}, []byte("hello")); err != nil {
+		panic(err)
+	}
+	ev := <-sub.Events()
+	fmt.Printf("%s at %v\n", ev.Payload, ev.Point)
+	// Output:
+	// hello at (5)
+}
+
+// ExampleBroker_subscribeFunc delivers through a callback instead of a
+// channel.
+func ExampleBroker_subscribeFunc() {
+	b := pubsub.NewBroker(pubsub.BrokerOptions{})
+
+	done := make(chan struct{})
+	_, err := b.SubscribeFunc(func(ev pubsub.Event) {
+		fmt.Println(string(ev.Payload))
+		close(done)
+	}, pubsub.NewRect(0, 10))
+	if err != nil {
+		panic(err)
+	}
+	if _, err := b.Publish(pubsub.Point{3}, []byte("callback")); err != nil {
+		panic(err)
+	}
+	<-done
+	b.Close()
+	b.WaitConsumers()
+	// Output:
+	// callback
+}

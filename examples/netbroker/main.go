@@ -1,0 +1,110 @@
+// Netbroker: the broker served over TCP, exercised end to end.
+//
+// The program starts a broker server on an ephemeral port, connects
+// three subscriber clients and one publisher client over real sockets,
+// publishes a burst of events and shows the per-client deliveries —
+// everything cmd/pubsubd and cmd/pubsub-cli do, in one self-contained
+// process.
+//
+// Run with: go run ./examples/netbroker
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	pubsub "repro"
+)
+
+func main() {
+	b := pubsub.NewBroker(pubsub.BrokerOptions{})
+	srv := pubsub.NewServer(b)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil {
+			// Expected on shutdown.
+			_ = err
+		}
+	}()
+	defer func() {
+		srv.Close()
+		b.Close()
+	}()
+	addr := ln.Addr().String()
+	fmt.Printf("broker serving on %s\n\n", addr)
+
+	// Three subscribers with different price bands.
+	bands := []struct {
+		name string
+		rect pubsub.Rect
+	}{
+		{"cheap ", pubsub.NewRect(0, 100, 0, 40)},
+		{"mid   ", pubsub.NewRect(0, 100, 40, 70)},
+		{"pricey", pubsub.NewRect(0, 100, 70, 1000)},
+	}
+	type client struct {
+		name string
+		cli  *pubsub.Client
+	}
+	var clients []client
+	for _, band := range bands {
+		cli, err := pubsub.Dial(addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cli.Close()
+		id, err := cli.Subscribe(band.rect)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("client %q subscribed (id %d) to price band %v\n", band.name, id, band.rect[1])
+		clients = append(clients, client{name: band.name, cli: cli})
+	}
+
+	publisher, err := pubsub.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer publisher.Close()
+
+	fmt.Println("\npublishing 6 trades...")
+	trades := []struct {
+		stock, price float64
+		label        string
+	}{
+		{10, 25, "ACME @ 25"},
+		{10, 55, "ACME @ 55"},
+		{10, 95, "ACME @ 95"},
+		{42, 39.99, "WIDGET @ 39.99"},
+		{42, 40.01, "WIDGET @ 40.01"},
+		{42, 70, "WIDGET @ 70 (boundary: closed upper bound of mid)"},
+	}
+	for _, tr := range trades {
+		n, err := publisher.Publish(pubsub.Point{tr.stock, tr.price}, []byte(tr.label))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-50s -> %d subscriber(s)\n", tr.label, n)
+	}
+
+	fmt.Println("\ndeliveries:")
+	deadline := time.After(2 * time.Second)
+	for _, c := range clients {
+	drain:
+		for {
+			select {
+			case ev := <-c.cli.Events():
+				fmt.Printf("  %s received %q (price %.2f)\n", c.name, ev.Payload, ev.Point[1])
+			case <-time.After(100 * time.Millisecond):
+				break drain
+			case <-deadline:
+				break drain
+			}
+		}
+	}
+}

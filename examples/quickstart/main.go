@@ -1,0 +1,72 @@
+// Quickstart: the Gryphon stock example from the paper's introduction,
+// running on the embeddable broker.
+//
+// A subscriber asks for IBM trades with 75 < price <= 80 and
+// volume >= 1000; the publisher emits a handful of trades and only the
+// matching ones are delivered.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pubsub "repro"
+)
+
+// The event space has three attributes: stock name (linearised onto an
+// index axis; IBM is stock #10, so its interval is (10, 11]), price and
+// volume.
+const (
+	ibmLo, ibmHi = 10, 11
+)
+
+func main() {
+	b := pubsub.NewBroker(pubsub.BrokerOptions{})
+	defer b.Close()
+
+	// name=IBM AND 75 < price <= 80 AND volume >= 1000.
+	sub, err := b.Subscribe(pubsub.Rect{
+		{Lo: ibmLo, Hi: ibmHi},
+		{Lo: 75, Hi: 80},
+		pubsub.AtLeast(999),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("subscribed (id %d): IBM, 75 < price <= 80, volume >= 1000\n\n", sub.ID())
+
+	trades := []struct {
+		desc    string
+		event   pubsub.Point
+		payload string
+	}{
+		{"IBM 78.00 x 2000 (matches)", pubsub.Point{10.5, 78.00, 2000}, "IBM 78.00 x 2000"},
+		{"IBM 85.00 x 2000 (price too high)", pubsub.Point{10.5, 85.00, 2000}, "IBM 85.00 x 2000"},
+		{"IBM 79.50 x 100 (volume too small)", pubsub.Point{10.5, 79.50, 100}, "IBM 79.50 x 100"},
+		{"MSFT 78.00 x 5000 (different stock)", pubsub.Point{3.5, 78.00, 5000}, "MSFT 78.00 x 5000"},
+		{"IBM 75.01 x 1000 (matches, boundary)", pubsub.Point{10.5, 75.01, 1000}, "IBM 75.01 x 1000"},
+	}
+
+	for _, tr := range trades {
+		n, err := b.Publish(tr.event, []byte(tr.payload))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("published %-40s -> %d subscriber(s)\n", tr.desc, n)
+	}
+
+	fmt.Println("\ndelivered to the subscriber:")
+	for {
+		select {
+		case ev := <-sub.Events():
+			fmt.Printf("  seq=%d %s\n", ev.Seq, ev.Payload)
+		default:
+			st := b.Stats()
+			fmt.Printf("\nbroker stats: published=%d delivered=%d dropped=%d\n",
+				st.Published, st.Delivered, st.Dropped)
+			return
+		}
+	}
+}

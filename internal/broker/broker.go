@@ -1,0 +1,394 @@
+// Package broker provides a concurrent, in-process content-based
+// publish-subscribe broker built on the library's matching index. It is
+// the runtime a downstream application embeds: subscribers register
+// rectangle predicates and receive matching events on a channel;
+// publishers submit events as points in the event space.
+//
+// Index maintenance is incremental: new subscriptions enter a linear
+// overlay that is periodically folded into a rebuilt S-tree, so both
+// subscribe and publish stay fast under churn.
+package broker
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/geometry"
+	"repro/internal/match"
+	"repro/internal/rtree"
+)
+
+// Event is one published event as seen by a subscriber.
+type Event struct {
+	// Point is the event's location in the event space.
+	Point geometry.Point
+	// Payload is the opaque application payload.
+	Payload []byte
+	// Seq is the broker-assigned publication sequence number.
+	Seq uint64
+}
+
+// IndexStrategy selects how the broker maintains its matching index
+// under subscription churn.
+type IndexStrategy int
+
+const (
+	// IndexRebuild (the default) keeps new subscriptions in a linear
+	// overlay and periodically folds them into a freshly packed index.
+	// Queries stay as fast as the packed structure allows; churn pays an
+	// amortised rebuild.
+	IndexRebuild IndexStrategy = iota
+	// IndexDynamic maintains a Guttman-style dynamic R-tree updated in
+	// place on every subscribe/cancel. Churn is cheap and immediate; the
+	// tree is looser than a packed one.
+	IndexDynamic
+)
+
+// String returns the strategy's display name.
+func (s IndexStrategy) String() string {
+	switch s {
+	case IndexRebuild:
+		return "rebuild"
+	case IndexDynamic:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Options tune the broker. The zero value is usable.
+type Options struct {
+	// DefaultBuffer is the per-subscription channel capacity used by
+	// Subscribe. Zero selects 16.
+	DefaultBuffer int
+	// MinOverlay is the overlay size that always triggers an index
+	// rebuild when exceeded (IndexRebuild strategy only). Zero selects
+	// 64.
+	MinOverlay int
+	// Matcher tunes the rebuilt index (algorithm, branch factor, skew).
+	Matcher match.Options
+	// Index selects the maintenance strategy.
+	Index IndexStrategy
+}
+
+func (o Options) withDefaults() Options {
+	if o.DefaultBuffer == 0 {
+		o.DefaultBuffer = 16
+	}
+	if o.MinOverlay == 0 {
+		o.MinOverlay = 64
+	}
+	return o
+}
+
+// Stats is a snapshot of broker counters.
+type Stats struct {
+	Subscriptions int    // live subscriptions
+	Rectangles    int    // live subscription rectangles
+	Published     uint64 // events published
+	Delivered     uint64 // events delivered to subscriber channels
+	Dropped       uint64 // events dropped because a subscriber was slow
+	IndexRebuilds uint64
+}
+
+// Broker routes published events to matching subscribers. Create one with
+// New. All methods are safe for concurrent use.
+type Broker struct {
+	opts Options
+
+	mu      sync.RWMutex
+	closed  bool
+	nextID  int
+	subs    map[int]*Subscription
+	base    match.Matcher    // indexed rectangles (may contain stale IDs)
+	baseLen int              // rectangles in base (incl. stale)
+	stale   int              // rectangles in base whose subscription is gone
+	overlay match.BruteForce // recent rectangles, scanned linearly
+	dyn     *rtree.Dynamic   // IndexDynamic strategy: in-place tree
+
+	seq       atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+	rebuilds  atomic.Uint64
+	consumers sync.WaitGroup
+}
+
+// New creates an empty broker.
+func New(opts Options) *Broker {
+	return &Broker{
+		opts: opts.withDefaults(),
+		subs: make(map[int]*Subscription),
+	}
+}
+
+// Subscription is one subscriber registration. Receive events from
+// Events(); call Cancel when done.
+type Subscription struct {
+	id     int
+	rects  []geometry.Rect
+	ch     chan Event
+	b      *Broker
+	once   sync.Once
+	dropCt atomic.Uint64
+}
+
+// ID returns the broker-assigned subscription identifier.
+func (s *Subscription) ID() int { return s.id }
+
+// Events returns the channel on which matching events are delivered. The
+// channel is closed by Cancel or by the broker's Close.
+func (s *Subscription) Events() <-chan Event { return s.ch }
+
+// Rects returns the subscription's predicate rectangles.
+func (s *Subscription) Rects() []geometry.Rect {
+	out := make([]geometry.Rect, len(s.rects))
+	for i, r := range s.rects {
+		out[i] = r.Clone()
+	}
+	return out
+}
+
+// Dropped reports how many events were dropped because this
+// subscription's buffer was full.
+func (s *Subscription) Dropped() uint64 { return s.dropCt.Load() }
+
+// Cancel removes the subscription and closes its channel. It is
+// idempotent and safe to call concurrently with Publish.
+func (s *Subscription) Cancel() {
+	s.once.Do(func() {
+		s.b.mu.Lock()
+		defer s.b.mu.Unlock()
+		if _, live := s.b.subs[s.id]; !live {
+			return // broker already closed (channel closed there)
+		}
+		delete(s.b.subs, s.id)
+		if s.b.opts.Index == IndexDynamic {
+			for _, r := range s.rects {
+				s.b.dyn.Delete(s.id, r)
+			}
+			close(s.ch)
+			return
+		}
+		// Rectangles indexed in base become stale; overlay entries are
+		// removed eagerly.
+		kept := s.b.overlay[:0]
+		removed := 0
+		for _, e := range s.b.overlay {
+			if e.SubscriberID == s.id {
+				removed++
+				continue
+			}
+			kept = append(kept, e)
+		}
+		s.b.overlay = kept
+		s.b.stale += len(s.rects) - removed
+		s.b.maybeRebuildLocked()
+		close(s.ch)
+	})
+}
+
+// Subscribe registers a subscriber for the union of the given rectangles,
+// using the default channel buffer. At least one non-empty rectangle is
+// required.
+func (b *Broker) Subscribe(rects ...geometry.Rect) (*Subscription, error) {
+	return b.SubscribeBuffered(b.opts.DefaultBuffer, rects...)
+}
+
+// SubscribeBuffered is Subscribe with an explicit channel capacity.
+func (b *Broker) SubscribeBuffered(buffer int, rects ...geometry.Rect) (*Subscription, error) {
+	if len(rects) == 0 {
+		return nil, fmt.Errorf("broker: subscription needs at least one rectangle")
+	}
+	if buffer < 1 {
+		return nil, fmt.Errorf("broker: buffer must be >= 1, got %d", buffer)
+	}
+	owned := make([]geometry.Rect, len(rects))
+	for i, r := range rects {
+		if r.Empty() {
+			return nil, fmt.Errorf("broker: rectangle %d is empty", i)
+		}
+		owned[i] = r.Clone()
+	}
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, fmt.Errorf("broker: closed")
+	}
+	s := &Subscription{
+		id:    b.nextID,
+		rects: owned,
+		ch:    make(chan Event, buffer),
+		b:     b,
+	}
+	b.nextID++
+	b.subs[s.id] = s
+	if b.opts.Index == IndexDynamic {
+		if b.dyn == nil {
+			d, err := rtree.NewDynamic(b.opts.Matcher.BranchFactor)
+			if err != nil {
+				delete(b.subs, s.id)
+				return nil, fmt.Errorf("broker: %w", err)
+			}
+			b.dyn = d
+		}
+		for i, r := range owned {
+			if err := b.dyn.Insert(rtree.Entry{Rect: r, ID: s.id}); err != nil {
+				// Roll back the partial insertion.
+				for _, rr := range owned[:i] {
+					b.dyn.Delete(s.id, rr)
+				}
+				delete(b.subs, s.id)
+				return nil, fmt.Errorf("broker: %w", err)
+			}
+		}
+		return s, nil
+	}
+	for _, r := range owned {
+		b.overlay = append(b.overlay, match.Subscription{Rect: r, SubscriberID: s.id})
+	}
+	b.maybeRebuildLocked()
+	return s, nil
+}
+
+// maybeRebuildLocked folds the overlay into a fresh index when it (or the
+// stale fraction) grows past the thresholds. Caller holds b.mu.
+func (b *Broker) maybeRebuildLocked() {
+	overlayBig := len(b.overlay) > b.opts.MinOverlay && len(b.overlay)*4 > b.baseLen
+	staleBig := b.stale*2 > b.baseLen && b.stale > 0
+	if !overlayBig && !staleBig {
+		return
+	}
+	var all []match.Subscription
+	for _, s := range b.subs {
+		for _, r := range s.rects {
+			all = append(all, match.Subscription{Rect: r, SubscriberID: s.id})
+		}
+	}
+	idx, err := match.New(all, b.opts.Matcher)
+	if err != nil {
+		// Mixed dimensionalities across subscriptions make a tree index
+		// impossible; fall back to linear matching.
+		idx = match.BruteForce(all)
+	}
+	b.base = idx
+	b.baseLen = len(all)
+	b.stale = 0
+	b.overlay = b.overlay[:0]
+	b.rebuilds.Add(1)
+}
+
+// Publish routes an event to every matching live subscriber. It returns
+// the number of subscriber channels the event was delivered to (dropped
+// deliveries are excluded).
+func (b *Broker) Publish(p geometry.Point, payload []byte) (int, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return 0, fmt.Errorf("broker: closed")
+	}
+	ev := Event{Point: p.Clone(), Payload: payload, Seq: b.seq.Add(1)}
+
+	// Collect matching live subscriptions, deduplicated.
+	targets := make(map[int]*Subscription)
+	collect := func(id int) bool {
+		if s, live := b.subs[id]; live {
+			targets[id] = s
+		}
+		return true
+	}
+	if b.opts.Index == IndexDynamic {
+		if b.dyn != nil {
+			b.dyn.PointQueryFunc(p, collect)
+		}
+	} else {
+		if b.base != nil {
+			b.base.MatchFunc(p, collect)
+		}
+		b.overlay.MatchFunc(p, collect)
+	}
+
+	delivered := 0
+	for _, s := range targets {
+		select {
+		case s.ch <- ev:
+			delivered++
+		default:
+			s.dropCt.Add(1)
+			b.dropped.Add(1)
+		}
+	}
+	b.delivered.Add(uint64(delivered))
+	return delivered, nil
+}
+
+// Stats returns a snapshot of broker counters.
+func (b *Broker) Stats() Stats {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	rects := len(b.overlay) + b.baseLen - b.stale
+	if b.opts.Index == IndexDynamic {
+		rects = 0
+		if b.dyn != nil {
+			rects = b.dyn.Len()
+		}
+	}
+	return Stats{
+		Subscriptions: len(b.subs),
+		Rectangles:    rects,
+		Published:     b.seq.Load(),
+		Delivered:     b.delivered.Load(),
+		Dropped:       b.dropped.Load(),
+		IndexRebuilds: b.rebuilds.Load(),
+	}
+}
+
+// Close shuts the broker down: all subscription channels are closed and
+// further Publish/Subscribe calls fail. It is idempotent.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for id, s := range b.subs {
+		close(s.ch)
+		delete(b.subs, id)
+	}
+	b.base = nil
+	b.baseLen = 0
+	b.stale = 0
+	b.overlay = nil
+	b.dyn = nil
+}
+
+// SubscribeFunc registers a subscription whose events are delivered by
+// calling fn from a broker-managed goroutine, in order. The consumer
+// goroutine exits when the subscription is cancelled or the broker
+// closes. fn must not block indefinitely: while it runs, events queue in
+// the subscription buffer and overflow is dropped like any slow
+// subscriber's.
+func (b *Broker) SubscribeFunc(fn func(Event), rects ...geometry.Rect) (*Subscription, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("broker: nil handler")
+	}
+	s, err := b.Subscribe(rects...)
+	if err != nil {
+		return nil, err
+	}
+	b.consumers.Add(1)
+	go func() {
+		defer b.consumers.Done()
+		for ev := range s.ch {
+			fn(ev)
+		}
+	}()
+	return s, nil
+}
+
+// WaitConsumers blocks until every SubscribeFunc consumer goroutine has
+// exited (i.e. after Close or after cancelling their subscriptions).
+// Useful in tests and orderly shutdown paths.
+func (b *Broker) WaitConsumers() { b.consumers.Wait() }

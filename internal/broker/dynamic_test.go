@@ -1,0 +1,112 @@
+package broker
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geometry"
+)
+
+func TestIndexStrategyString(t *testing.T) {
+	if IndexRebuild.String() != "rebuild" || IndexDynamic.String() != "dynamic" {
+		t.Error("strategy names wrong")
+	}
+	if IndexStrategy(9).String() != "strategy(9)" {
+		t.Error("unknown strategy name wrong")
+	}
+}
+
+func TestDynamicIndexMatchesRebuildIndex(t *testing.T) {
+	// The two strategies must deliver identically under churn.
+	rng := rand.New(rand.NewSource(1))
+	reb := New(Options{MinOverlay: 8})
+	dyn := New(Options{Index: IndexDynamic})
+	defer reb.Close()
+	defer dyn.Close()
+
+	type pair struct {
+		a, b *Subscription
+		rect geometry.Rect
+	}
+	var pairs []pair
+	for step := 0; step < 300; step++ {
+		if len(pairs) == 0 || rng.Float64() < 0.65 {
+			lo1, lo2 := rng.Float64()*90, rng.Float64()*90
+			r := geometry.NewRect(lo1, lo1+8, lo2, lo2+8)
+			a, err := reb.Subscribe(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := dyn.Subscribe(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pairs = append(pairs, pair{a: a, b: b, rect: r})
+		} else {
+			i := rng.Intn(len(pairs))
+			pairs[i].a.Cancel()
+			pairs[i].b.Cancel()
+			pairs = append(pairs[:i], pairs[i+1:]...)
+		}
+		if step%10 == 0 {
+			p := geometry.Point{rng.Float64() * 100, rng.Float64() * 100}
+			nA, err := reb.Publish(p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nB, err := dyn.Publish(p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nA != nB {
+				t.Fatalf("step %d: rebuild delivered %d, dynamic %d", step, nA, nB)
+			}
+			// Drain both sides.
+			for _, pr := range pairs {
+				if pr.rect.Contains(p) {
+					<-pr.a.Events()
+					<-pr.b.Events()
+				}
+			}
+		}
+	}
+	if got, want := dyn.Stats().Rectangles, reb.Stats().Rectangles; got != want {
+		t.Errorf("rectangle counts diverge: dynamic %d, rebuild %d", got, want)
+	}
+	if dyn.Stats().IndexRebuilds != 0 {
+		t.Errorf("dynamic strategy performed %d rebuilds", dyn.Stats().IndexRebuilds)
+	}
+}
+
+func TestDynamicIndexRejectsMixedDims(t *testing.T) {
+	b := New(Options{Index: IndexDynamic})
+	defer b.Close()
+	if _, err := b.Subscribe(geometry.NewRect(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Subscribe(geometry.NewRect(0, 1, 0, 1)); err == nil {
+		t.Error("mixed dimensionality accepted by dynamic index")
+	}
+	// The failed subscription must not be half-registered.
+	if got := b.Stats().Subscriptions; got != 1 {
+		t.Errorf("subscriptions = %d after failed subscribe", got)
+	}
+	if n, _ := b.Publish(geometry.Point{0.5}, nil); n != 1 {
+		t.Errorf("delivered %d", n)
+	}
+}
+
+func TestDynamicIndexCloseAndReuseSafety(t *testing.T) {
+	b := New(Options{Index: IndexDynamic})
+	s, err := b.Subscribe(geometry.NewRect(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	if _, open := <-s.Events(); open {
+		t.Error("channel open after close")
+	}
+	if _, err := b.Publish(geometry.Point{0.5}, nil); err == nil {
+		t.Error("publish after close succeeded")
+	}
+}

@@ -1,0 +1,278 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Algorithm selects a subscription clustering algorithm from Appendix A.
+type Algorithm int
+
+const (
+	// AlgForgyKMeans is the paper's Forgy k-means cell clustering
+	// (Appendix A.2): seed n clusters with the n highest-weight cells,
+	// assign the rest greedily, then iteratively reassign each cell to
+	// its closest cluster until membership stabilises.
+	AlgForgyKMeans Algorithm = iota
+	// AlgPairwise is pairwise grouping (Appendix A.3): repeatedly merge
+	// the closest pair of groups, recomputing distances after each merge.
+	AlgPairwise
+	// AlgMST is minimum-spanning-tree clustering (Appendix A.3): compute
+	// all pairwise distances once and add edges in increasing order until
+	// exactly n connected components remain.
+	AlgMST
+	// AlgBatchKMeans is a Lloyd-style batch variant of the k-means cell
+	// clustering: per iteration, every cell's closest group is computed
+	// against the frozen previous-iteration groups, then all groups are
+	// rebuilt at once. (The paper's companion work [15] evaluates a
+	// plain "K-means" distinct from "Forgy K-means"; this is our
+	// batch-update interpretation, provided as an extension.)
+	AlgBatchKMeans
+)
+
+// String returns the algorithm's display name.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgForgyKMeans:
+		return "forgy-kmeans"
+	case AlgPairwise:
+		return "pairwise"
+	case AlgMST:
+		return "mst"
+	case AlgBatchKMeans:
+		return "batch-kmeans"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// DefaultMaxIter bounds Forgy k-means improvement passes, mirroring the
+// paper's remark that the iteration count is artificially limited.
+const DefaultMaxIter = 100
+
+// forgyKMeans implements the Appendix A.2 listing over the top cells h.
+func forgyKMeans(h []*Cell, n, maxIter int) []*group {
+	if n > len(h) {
+		n = len(h)
+	}
+	// Step 1: the first n elements of h seed the clusters; the remaining
+	// elements join their closest cluster.
+	groups := make([]*group, n)
+	for i := 0; i < n; i++ {
+		groups[i] = newGroup()
+		groups[i].add(h[i])
+	}
+	assignment := make(map[*Cell]int, len(h))
+	for i := 0; i < n; i++ {
+		assignment[h[i]] = i
+	}
+	for _, c := range h[n:] {
+		best := closestGroup(groups, c)
+		groups[best].add(c)
+		assignment[c] = best
+	}
+
+	// Steps 2-3: reassign each cell to its closest cluster until stable.
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for _, c := range h {
+			cur := assignment[c]
+			if groups[cur].Size() <= 1 {
+				continue // a cell alone in its cluster stays
+			}
+			groups[cur].removeCell(groups[cur].indexOf(c))
+			best := closestGroup(groups, c)
+			groups[best].add(c)
+			assignment[c] = best
+			if best != cur {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return groups
+}
+
+// batchKMeans is the Lloyd-style variant: assignments are computed
+// against the frozen groups of the previous iteration, then all groups
+// are rebuilt together.
+func batchKMeans(h []*Cell, n, maxIter int) []*group {
+	if n > len(h) {
+		n = len(h)
+	}
+	// Seed as in the paper's listing: the first n cells of h.
+	assignment := make([]int, len(h))
+	groups := make([]*group, n)
+	for i := range groups {
+		groups[i] = newGroup()
+		groups[i].add(h[i])
+		assignment[i] = i
+	}
+	for i := n; i < len(h); i++ {
+		best := closestGroup(groups, h[i])
+		groups[best].add(h[i])
+		assignment[i] = best
+	}
+
+	for iter := 0; iter < maxIter; iter++ {
+		next := make([]int, len(h))
+		changed := false
+		for i, c := range h {
+			best := closestGroup(groups, c)
+			next[i] = best
+			if best != assignment[i] {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		assignment = next
+		// Rebuild the groups from the new assignment; empty groups are
+		// reseeded with the cell whose current group is largest, so the
+		// configured group count is preserved where possible.
+		members := make([][]*Cell, n)
+		for i, c := range h {
+			members[assignment[i]] = append(members[assignment[i]], c)
+		}
+		for q := 0; q < n; q++ {
+			if len(members[q]) > 0 {
+				continue
+			}
+			donor, size := -1, 1
+			for j := 0; j < n; j++ {
+				if len(members[j]) > size {
+					donor, size = j, len(members[j])
+				}
+			}
+			if donor < 0 {
+				continue
+			}
+			moved := members[donor][len(members[donor])-1]
+			members[donor] = members[donor][:len(members[donor])-1]
+			members[q] = append(members[q], moved)
+			for i, c := range h {
+				if c == moved {
+					assignment[i] = q
+				}
+			}
+		}
+		for q := 0; q < n; q++ {
+			groups[q].rebuild(members[q])
+		}
+	}
+	return groups
+}
+
+func closestGroup(groups []*group, c *Cell) int {
+	best, bestCost := 0, 0.0
+	first := true
+	for i, g := range groups {
+		cost := g.addCost(c)
+		if first || cost < bestCost {
+			best, bestCost, first = i, cost, false
+		}
+	}
+	return best
+}
+
+// pairwiseGrouping implements Appendix A.3: start with one group per top
+// cell and merge the closest pair until n groups remain, recomputing the
+// affected distances after every merge.
+func pairwiseGrouping(h []*Cell, n int) []*group {
+	groups := make([]*group, 0, len(h))
+	for _, c := range h {
+		g := newGroup()
+		g.add(c)
+		groups = append(groups, g)
+	}
+	for len(groups) > n {
+		bi, bj, bCost := -1, -1, 0.0
+		for i := 0; i < len(groups); i++ {
+			for j := i + 1; j < len(groups); j++ {
+				cost := groups[i].mergeCost(groups[j])
+				if bi < 0 || cost < bCost {
+					bi, bj, bCost = i, j, cost
+				}
+			}
+		}
+		groups[bi].merge(groups[bj])
+		groups = append(groups[:bj], groups[bj+1:]...)
+	}
+	return groups
+}
+
+// mstClustering implements Appendix A.3's simplified variant: all pairwise
+// distances are computed once, then edges are introduced in increasing
+// order until exactly n connected components remain.
+func mstClustering(h []*Cell, n int) []*group {
+	if n > len(h) {
+		n = len(h)
+	}
+	type edge struct {
+		i, j int
+		cost float64
+	}
+	singles := make([]*group, len(h))
+	for i, c := range h {
+		singles[i] = newGroup()
+		singles[i].add(c)
+	}
+	var edges []edge
+	for i := 0; i < len(h); i++ {
+		for j := i + 1; j < len(h); j++ {
+			edges = append(edges, edge{i: i, j: j, cost: singles[i].mergeCost(singles[j])})
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].cost != edges[b].cost {
+			return edges[a].cost < edges[b].cost
+		}
+		if edges[a].i != edges[b].i {
+			return edges[a].i < edges[b].i
+		}
+		return edges[a].j < edges[b].j
+	})
+
+	// Union-find down to n components.
+	parent := make([]int, len(h))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	components := len(h)
+	for _, e := range edges {
+		if components <= n {
+			break
+		}
+		ri, rj := find(e.i), find(e.j)
+		if ri != rj {
+			parent[ri] = rj
+			components--
+		}
+	}
+
+	// Build one group per component.
+	byRoot := map[int]*group{}
+	var groups []*group
+	for i, c := range h {
+		r := find(i)
+		g, ok := byRoot[r]
+		if !ok {
+			g = newGroup()
+			byRoot[r] = g
+			groups = append(groups, g)
+		}
+		g.add(c)
+	}
+	return groups
+}

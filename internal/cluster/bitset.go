@@ -1,0 +1,70 @@
+package cluster
+
+import "math/bits"
+
+// bitset is a fixed-capacity set of small non-negative integers, used for
+// the membership vectors l(g). All binary operations require operands of
+// equal capacity.
+type bitset []uint64
+
+func newBitset(capacity int) bitset {
+	return make(bitset, (capacity+63)/64)
+}
+
+// Set adds i to the set.
+func (b bitset) Set(i int) { b[i/64] |= 1 << uint(i%64) }
+
+// Has reports membership.
+func (b bitset) Has(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+
+// Count returns the set's cardinality.
+func (b bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clone returns an independent copy.
+func (b bitset) Clone() bitset {
+	out := make(bitset, len(b))
+	copy(out, b)
+	return out
+}
+
+// Or merges o into b in place.
+func (b bitset) Or(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+// AndNotCount returns |b \ o| without allocating.
+func (b bitset) AndNotCount(o bitset) int {
+	n := 0
+	for i := range b {
+		n += bits.OnesCount64(b[i] &^ o[i])
+	}
+	return n
+}
+
+// Members returns the elements in increasing order.
+func (b bitset) Members() []int {
+	var out []int
+	for i, w := range b {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			out = append(out, i*64+bit)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Clear empties the set in place.
+func (b bitset) Clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := newBitset(130)
+	if len(b) != 3 {
+		t.Fatalf("capacity 130 -> %d words, want 3", len(b))
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		b.Set(i)
+		if !b.Has(i) {
+			t.Errorf("Has(%d) false after Set", i)
+		}
+	}
+	if b.Has(1) || b.Has(128) {
+		t.Error("spurious membership")
+	}
+	if b.Count() != 4 {
+		t.Errorf("Count = %d, want 4", b.Count())
+	}
+	got := b.Members()
+	want := []int{0, 63, 64, 129}
+	if len(got) != len(want) {
+		t.Fatalf("Members = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBitsetSetIdempotent(t *testing.T) {
+	b := newBitset(10)
+	b.Set(3)
+	b.Set(3)
+	if b.Count() != 1 {
+		t.Errorf("Count = %d after double Set", b.Count())
+	}
+}
+
+func TestBitsetOrAndNotCount(t *testing.T) {
+	a, b := newBitset(100), newBitset(100)
+	a.Set(1)
+	a.Set(70)
+	b.Set(70)
+	b.Set(99)
+	if got := a.AndNotCount(b); got != 1 { // {1}
+		t.Errorf("a\\b = %d, want 1", got)
+	}
+	if got := b.AndNotCount(a); got != 1 { // {99}
+		t.Errorf("b\\a = %d, want 1", got)
+	}
+	a.Or(b)
+	if a.Count() != 3 {
+		t.Errorf("after Or Count = %d, want 3", a.Count())
+	}
+	if got := a.AndNotCount(b); got != 1 {
+		t.Errorf("after Or a\\b = %d, want 1", got)
+	}
+}
+
+func TestBitsetCloneIndependent(t *testing.T) {
+	a := newBitset(64)
+	a.Set(5)
+	c := a.Clone()
+	c.Set(6)
+	if a.Has(6) {
+		t.Error("Clone shares storage")
+	}
+	a.Clear()
+	if a.Count() != 0 || !c.Has(5) {
+		t.Error("Clear misbehaved")
+	}
+}
+
+func TestPropBitsetMatchesMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const capacity = 200
+		b := newBitset(capacity)
+		ref := map[int]bool{}
+		for i := 0; i < 100; i++ {
+			x := rng.Intn(capacity)
+			b.Set(x)
+			ref[x] = true
+		}
+		if b.Count() != len(ref) {
+			return false
+		}
+		for x := range ref {
+			if !b.Has(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/geometry"
+)
+
+// Config parameterises the clustering preprocessing stage.
+type Config struct {
+	// Groups is n, the number of multicast groups to form (the paper
+	// evaluates 11 and 61).
+	Groups int
+	// TopCells is T, the number of highest-weight cells handed to the
+	// clustering algorithm (paper: 200). Zero selects DefaultTopCells.
+	TopCells int
+	// GridRes is C, the number of grid intervals per dimension. Zero
+	// selects DefaultGridRes.
+	GridRes int
+	// MaxIter bounds Forgy k-means passes. Zero selects DefaultMaxIter.
+	MaxIter int
+	// Algorithm selects the clustering algorithm.
+	Algorithm Algorithm
+}
+
+// DefaultTopCells is the paper's T = 200.
+const DefaultTopCells = 200
+
+// DefaultGridRes is our default per-dimension grid resolution C. The
+// paper leaves C unspecified ("at most C adjacent non-overlapping
+// intervals") but works with the T = 200 highest-weight cells; C = 4
+// keeps the 4-dimensional stock grid at 256 cells so those top cells
+// cover the bulk of the publication probability mass.
+const DefaultGridRes = 4
+
+func (c Config) withDefaults() Config {
+	if c.TopCells == 0 {
+		c.TopCells = DefaultTopCells
+	}
+	if c.GridRes == 0 {
+		c.GridRes = DefaultGridRes
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = DefaultMaxIter
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Groups < 1 {
+		return fmt.Errorf("cluster: Groups must be >= 1, got %d", c.Groups)
+	}
+	if c.TopCells < c.Groups {
+		return fmt.Errorf("cluster: TopCells (%d) must be >= Groups (%d)", c.TopCells, c.Groups)
+	}
+	if c.GridRes < 1 {
+		return fmt.Errorf("cluster: GridRes must be >= 1, got %d", c.GridRes)
+	}
+	if c.MaxIter < 1 {
+		return fmt.Errorf("cluster: MaxIter must be >= 1, got %d", c.MaxIter)
+	}
+	switch c.Algorithm {
+	case AlgForgyKMeans, AlgPairwise, AlgMST, AlgBatchKMeans:
+	default:
+		return fmt.Errorf("cluster: unknown algorithm %d", int(c.Algorithm))
+	}
+	return nil
+}
+
+// Group is one finished multicast group: the subset S_q of the event
+// space (a union of grid cells) together with its member list M_q — every
+// subscriber whose interest overlaps S_q.
+type Group struct {
+	// Cells are the flat grid indices forming S_q.
+	Cells []int
+	// Subscribers is M_q, sorted ascending.
+	Subscribers []int
+	// Prob is the publication probability mass of S_q.
+	Prob float64
+	// EW is the group's expected waste per delivered message.
+	EW float64
+}
+
+// Size returns |M_q|.
+func (g *Group) Size() int { return len(g.Subscribers) }
+
+// Clustering is the result of the preprocessing stage: the partition
+// S_1..S_n (plus the implicit catch-all S_0) and the multicast groups.
+type Clustering struct {
+	grid        *Grid
+	groups      []Group
+	cellToGroup map[int]int
+	alg         Algorithm
+}
+
+// Build runs the full preprocessing pipeline: rasterise the interests
+// onto a grid over the domain, pick the T highest-weight cells, cluster
+// them with the configured algorithm, and assemble the multicast groups.
+func Build(interests []Interest, model ProbModel, domain geometry.Rect, cfg Config) (*Clustering, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if model == nil {
+		return nil, fmt.Errorf("cluster: nil probability model")
+	}
+	grid, err := NewGrid(domain, cfg.GridRes)
+	if err != nil {
+		return nil, err
+	}
+	cells, err := BuildCells(grid, interests, model)
+	if err != nil {
+		return nil, err
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("cluster: no grid cell intersects any interest")
+	}
+	h := TopCells(cells, cfg.TopCells)
+
+	var raw []*group
+	switch cfg.Algorithm {
+	case AlgForgyKMeans:
+		raw = forgyKMeans(h, cfg.Groups, cfg.MaxIter)
+	case AlgPairwise:
+		raw = pairwiseGrouping(h, cfg.Groups)
+	case AlgMST:
+		raw = mstClustering(h, cfg.Groups)
+	case AlgBatchKMeans:
+		raw = batchKMeans(h, cfg.Groups, cfg.MaxIter)
+	}
+
+	c := &Clustering{
+		grid:        grid,
+		groups:      make([]Group, 0, len(raw)),
+		cellToGroup: make(map[int]int),
+		alg:         cfg.Algorithm,
+	}
+	for _, g := range raw {
+		if g.Empty() {
+			continue
+		}
+		q := len(c.groups)
+		info := Group{
+			Cells:       make([]int, 0, len(g.cells)),
+			Subscribers: g.members.Members(),
+			Prob:        g.prob,
+			EW:          g.ew,
+		}
+		for _, cell := range g.cells {
+			info.Cells = append(info.Cells, cell.Flat)
+			c.cellToGroup[cell.Flat] = q
+		}
+		c.groups = append(c.groups, info)
+	}
+	return c, nil
+}
+
+// MustBuild is Build, panicking on error.
+func MustBuild(interests []Interest, model ProbModel, domain geometry.Rect, cfg Config) *Clustering {
+	c, err := Build(interests, model, domain, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Algorithm reports which algorithm produced this clustering.
+func (c *Clustering) Algorithm() Algorithm { return c.alg }
+
+// NumGroups returns the number of multicast groups n actually formed
+// (at most the configured count; possibly fewer for degenerate inputs).
+func (c *Clustering) NumGroups() int { return len(c.groups) }
+
+// Group returns group q (0-based).
+func (c *Clustering) Group(q int) *Group { return &c.groups[q] }
+
+// Groups returns all groups.
+func (c *Clustering) Groups() []Group { return c.groups }
+
+// Locate maps a publication event to its group: it returns q in
+// [0, NumGroups) when the event falls in S_{q+1}, or -1 when it falls in
+// the catch-all region S_0 (outside the domain, in a cell with no
+// subscribers, or in a cell not selected among the top T).
+func (c *Clustering) Locate(p geometry.Point) int {
+	flat, ok := c.grid.CellIndex(p)
+	if !ok {
+		return -1
+	}
+	q, ok := c.cellToGroup[flat]
+	if !ok {
+		return -1
+	}
+	return q
+}
+
+// TotalWaste returns the sum over groups of the unnormalised expected
+// waste W = EW * p — the objective the clustering minimises. Lower is
+// better.
+func (c *Clustering) TotalWaste() float64 {
+	total := 0.0
+	for _, g := range c.groups {
+		total += g.EW * g.Prob
+	}
+	return total
+}
+
+// CoveredProb returns the publication probability mass covered by
+// S_1..S_n (the complement is delivered by unicast from S_0).
+func (c *Clustering) CoveredProb() float64 {
+	total := 0.0
+	for _, g := range c.groups {
+		total += g.Prob
+	}
+	return total
+}
+
+// Grid exposes the underlying grid (read-only use).
+func (c *Clustering) Grid() *Grid { return c.grid }
+
+// WriteReport renders a per-group summary table: cells, members,
+// publication probability, expected waste. It is the textual view of the
+// preprocessing stage's output.
+func (c *Clustering) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "clustering: %s, %d groups, covered mass %.1f%%, total waste %.3f\n",
+		c.alg, c.NumGroups(), 100*c.CoveredProb(), c.TotalWaste())
+	fmt.Fprintf(w, "%6s %6s %8s %10s %10s\n", "group", "cells", "members", "prob", "EW")
+	for q, g := range c.groups {
+		fmt.Fprintf(w, "%6d %6d %8d %9.2f%% %10.3f\n",
+			q, len(g.Cells), g.Size(), 100*g.Prob, g.EW)
+	}
+}

@@ -1,0 +1,481 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/geometry"
+)
+
+func mkCell(flat int, prob float64, members ...int) *Cell {
+	b := newBitset(64)
+	for _, m := range members {
+		b.Set(m)
+	}
+	return &Cell{Flat: flat, Prob: prob, Members: b}
+}
+
+func TestEWRecursion(t *testing.T) {
+	// Hand-computed: group {A} with l(A)={0,1}, p=0.2; add B with
+	// l(B)={1,2}, p=0.3.
+	// EW_old = 0, |l(B)\l(A)| = 1, |l(A)\l(B)| = 1.
+	// EW_new = (0.2*(0+1) + 0.3*1) / 0.5 = 1.
+	// (Directly: a message in A wastes delivery to {2}, in B to {0};
+	// expected waste = 0.4*1 + 0.6*1 = 1.)
+	g := newGroup()
+	g.add(mkCell(0, 0.2, 0, 1))
+	if g.EW() != 0 {
+		t.Fatalf("single-cell EW = %v, want 0", g.EW())
+	}
+	b := mkCell(1, 0.3, 1, 2)
+	if got := g.ewAfterAdd(b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ewAfterAdd = %v, want 1", got)
+	}
+	wantCost := 1 * 0.5 // W increase
+	if got := g.addCost(b); math.Abs(got-wantCost) > 1e-12 {
+		t.Fatalf("addCost = %v, want %v", got, wantCost)
+	}
+	g.add(b)
+	if math.Abs(g.EW()-1) > 1e-12 || math.Abs(g.prob-0.5) > 1e-12 {
+		t.Fatalf("after add: EW=%v prob=%v", g.EW(), g.prob)
+	}
+	if g.members.Count() != 3 {
+		t.Fatalf("member union size %d, want 3", g.members.Count())
+	}
+}
+
+func TestEWClosedForm(t *testing.T) {
+	// EW(G) must equal the closed form Σ p(x)|l(G)\l(x)| / p(G) and be
+	// independent of insertion order.
+	cells := []*Cell{
+		mkCell(0, 0.1, 0, 1),
+		mkCell(1, 0.2, 1, 2),
+		mkCell(2, 0.3, 2, 3, 4),
+		mkCell(3, 0.15, 0, 4),
+	}
+	closedForm := func(cs []*Cell) float64 {
+		union := newBitset(64)
+		total := 0.0
+		for _, c := range cs {
+			union.Or(c.Members)
+			total += c.Prob
+		}
+		w := 0.0
+		for _, c := range cs {
+			w += c.Prob * float64(union.AndNotCount(c.Members))
+		}
+		return w / total
+	}
+	want := closedForm(cells)
+	perms := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}}
+	for _, perm := range perms {
+		g := newGroup()
+		for _, i := range perm {
+			g.add(cells[i])
+		}
+		if math.Abs(g.EW()-want) > 1e-12 {
+			t.Errorf("order %v: EW = %v, want %v", perm, g.EW(), want)
+		}
+	}
+}
+
+func TestEWIdenticalCellsNoWaste(t *testing.T) {
+	// Cells with identical membership never waste messages.
+	g := newGroup()
+	g.add(mkCell(0, 0.1, 3, 4))
+	g.add(mkCell(1, 0.2, 3, 4))
+	g.add(mkCell(2, 0.3, 3, 4))
+	if g.EW() != 0 {
+		t.Errorf("identical-membership EW = %v, want 0", g.EW())
+	}
+}
+
+func TestEWDisjointCellsWaste(t *testing.T) {
+	// Disjoint membership wastes: every message to the group reaches a
+	// member not interested in the publishing cell.
+	g := newGroup()
+	g.add(mkCell(0, 0.5, 0))
+	g.add(mkCell(1, 0.5, 1))
+	if g.EW() <= 0 {
+		t.Errorf("disjoint-membership EW = %v, want > 0", g.EW())
+	}
+}
+
+func TestGroupZeroProbability(t *testing.T) {
+	g := newGroup()
+	g.add(mkCell(0, 0, 0))
+	g.add(mkCell(1, 0, 1))
+	if math.IsNaN(g.EW()) {
+		t.Error("EW is NaN for zero-probability groups")
+	}
+}
+
+func TestGroupRemoveCell(t *testing.T) {
+	a, b, c := mkCell(0, 0.1, 0), mkCell(1, 0.2, 1), mkCell(2, 0.3, 0, 1)
+	g := newGroup()
+	g.add(a)
+	g.add(b)
+	g.add(c)
+	g.removeCell(g.indexOf(b))
+	if g.Size() != 2 {
+		t.Fatalf("Size = %d after remove", g.Size())
+	}
+	if g.indexOf(b) != -1 || g.indexOf(a) != 0 || g.indexOf(c) != 1 {
+		t.Fatal("indexOf wrong after remove")
+	}
+	// Rebuilt statistics must equal a fresh group with the same cells.
+	fresh := newGroup()
+	fresh.add(a)
+	fresh.add(c)
+	if math.Abs(g.EW()-fresh.EW()) > 1e-12 || math.Abs(g.prob-fresh.prob) > 1e-12 {
+		t.Errorf("rebuild mismatch: EW %v vs %v", g.EW(), fresh.EW())
+	}
+}
+
+func TestGroupMergeCostMatchesMerge(t *testing.T) {
+	g1 := newGroup()
+	g1.add(mkCell(0, 0.2, 0, 1))
+	g1.add(mkCell(1, 0.1, 1))
+	g2 := newGroup()
+	g2.add(mkCell(2, 0.3, 2))
+	before := g1.Waste() + g2.Waste()
+	cost := g1.mergeCost(g2)
+	// mergeCost must not mutate.
+	if g1.Size() != 2 || g2.Size() != 1 {
+		t.Fatal("mergeCost mutated a group")
+	}
+	g1.merge(g2)
+	if math.Abs(g1.Waste()-(before+cost)) > 1e-12 {
+		t.Errorf("merge waste %v != before %v + cost %v", g1.Waste(), before, cost)
+	}
+}
+
+func stockDomain() geometry.Rect { return geometry.NewRect(0, 3, 0, 20, 0, 20, 0, 20) }
+
+// gaussianModel is a product-of-normals probability model for tests.
+type gaussianModel struct{ mus, sigmas []float64 }
+
+func (m gaussianModel) CellProb(cell geometry.Rect) float64 {
+	p := 1.0
+	for i := range m.mus {
+		p *= cdf(cell[i].Hi, m.mus[i], m.sigmas[i]) - cdf(cell[i].Lo, m.mus[i], m.sigmas[i])
+	}
+	return p
+}
+
+func cdf(x, mu, sigma float64) float64 {
+	return 0.5 * (1 + math.Erf((x-mu)/(sigma*math.Sqrt2)))
+}
+
+func randomInterests(rng *rand.Rand, n int) []Interest {
+	domain := stockDomain()
+	out := make([]Interest, n)
+	for i := range out {
+		r := make(geometry.Rect, 4)
+		b := float64(rng.Intn(3))
+		r[0] = geometry.Interval{Lo: b, Hi: b + 1}
+		for d := 1; d < 4; d++ {
+			if rng.Float64() < 0.2 {
+				r[d] = domain[d]
+				continue
+			}
+			c := rng.Float64() * 20
+			l := 1 + rng.Float64()*6
+			r[d] = geometry.Interval{Lo: c - l/2, Hi: c + l/2}.Clamp(domain[d])
+			if r[d].Empty() {
+				r[d] = domain[d]
+			}
+		}
+		out[i] = Interest{Rect: r, Subscriber: i}
+	}
+	return out
+}
+
+func testModel() ProbModel {
+	return gaussianModel{mus: []float64{1, 10, 9, 9}, sigmas: []float64{1, 6, 2, 6}}
+}
+
+func TestBuildValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	interests := randomInterests(rng, 50)
+	domain := stockDomain()
+	model := testModel()
+
+	bad := []Config{
+		{Groups: 0},
+		{Groups: 5, TopCells: 3},
+		{Groups: 2, GridRes: -1},
+		{Groups: 2, MaxIter: -1},
+		{Groups: 2, Algorithm: Algorithm(42)},
+	}
+	for i, cfg := range bad {
+		if _, err := Build(interests, model, domain, cfg); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := Build(interests, nil, domain, Config{Groups: 2}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := Build(nil, model, domain, Config{Groups: 2}); err == nil {
+		t.Error("no intersecting interests accepted")
+	}
+}
+
+func TestBuildAllAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	interests := randomInterests(rng, 200)
+	domain := stockDomain()
+	model := testModel()
+
+	for _, alg := range []Algorithm{AlgForgyKMeans, AlgPairwise, AlgMST} {
+		t.Run(alg.String(), func(t *testing.T) {
+			cfg := Config{Groups: 8, TopCells: 60, GridRes: 6, Algorithm: alg}
+			c, err := Build(interests, model, domain, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Algorithm() != alg {
+				t.Errorf("Algorithm() = %v", c.Algorithm())
+			}
+			if c.NumGroups() == 0 || c.NumGroups() > 8 {
+				t.Fatalf("NumGroups = %d, want in (0, 8]", c.NumGroups())
+			}
+			// Each group must be non-degenerate and its subscriber list
+			// must equal the union of its cells' memberships.
+			grid := c.Grid()
+			for q := 0; q < c.NumGroups(); q++ {
+				g := c.Group(q)
+				if len(g.Cells) == 0 || g.Size() == 0 {
+					t.Fatalf("group %d degenerate: %+v", q, g)
+				}
+				for i := 1; i < len(g.Subscribers); i++ {
+					if g.Subscribers[i] <= g.Subscribers[i-1] {
+						t.Fatalf("group %d subscribers not sorted ascending", q)
+					}
+				}
+				for _, flat := range g.Cells {
+					// Locate at the cell's center must return this group.
+					center := grid.CellRect(flat).Center()
+					if got := c.Locate(center); got != q {
+						t.Fatalf("Locate(center of cell %d) = %d, want %d", flat, got, q)
+					}
+				}
+			}
+			// Cells are partitioned: no flat index in two groups.
+			seen := map[int]bool{}
+			for _, g := range c.Groups() {
+				for _, flat := range g.Cells {
+					if seen[flat] {
+						t.Fatalf("cell %d in two groups", flat)
+					}
+					seen[flat] = true
+				}
+			}
+			// Top-T bound: exactly min(T, nonempty) cells assigned.
+			if len(seen) > 60 {
+				t.Fatalf("%d cells clustered, want <= TopCells", len(seen))
+			}
+			if w := c.TotalWaste(); w < 0 || math.IsNaN(w) {
+				t.Fatalf("TotalWaste = %v", w)
+			}
+			if p := c.CoveredProb(); p <= 0 || p > 1+1e-9 {
+				t.Fatalf("CoveredProb = %v", p)
+			}
+		})
+	}
+}
+
+func TestLocateCatchAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	interests := randomInterests(rng, 100)
+	c := MustBuild(interests, testModel(), stockDomain(),
+		Config{Groups: 5, TopCells: 20, GridRes: 5, Algorithm: AlgForgyKMeans})
+	// Outside the domain -> S_0.
+	if got := c.Locate(geometry.Point{-1, 5, 5, 5}); got != -1 {
+		t.Errorf("Locate(outside) = %d, want -1", got)
+	}
+	if got := c.Locate(geometry.Point{1, 5}); got != -1 {
+		t.Errorf("Locate(wrong dims) = %d, want -1", got)
+	}
+	// With TopCells far below the non-empty cell count, some in-domain
+	// points must fall into S_0.
+	inS0 := 0
+	for i := 0; i < 1000; i++ {
+		p := geometry.Point{rng.Float64() * 3, rng.Float64() * 20, rng.Float64() * 20, rng.Float64() * 20}
+		if c.Locate(p) == -1 {
+			inS0++
+		}
+	}
+	if inS0 == 0 {
+		t.Error("no point fell into the catch-all region S_0")
+	}
+}
+
+func TestKMeansSeedsWithTopCells(t *testing.T) {
+	// Forgy k-means must produce exactly n groups when given plenty of
+	// distinct cells.
+	rng := rand.New(rand.NewSource(4))
+	interests := randomInterests(rng, 300)
+	c := MustBuild(interests, testModel(), stockDomain(),
+		Config{Groups: 11, TopCells: 200, GridRes: 10, Algorithm: AlgForgyKMeans})
+	if c.NumGroups() != 11 {
+		t.Errorf("NumGroups = %d, want 11", c.NumGroups())
+	}
+}
+
+func TestGroupCountRespectedByAllAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	interests := randomInterests(rng, 150)
+	for _, alg := range []Algorithm{AlgForgyKMeans, AlgPairwise, AlgMST} {
+		for _, n := range []int{1, 3, 7} {
+			c := MustBuild(interests, testModel(), stockDomain(),
+				Config{Groups: n, TopCells: 40, GridRes: 6, Algorithm: alg})
+			if c.NumGroups() > n {
+				t.Errorf("%v n=%d: NumGroups = %d", alg, n, c.NumGroups())
+			}
+		}
+	}
+}
+
+func TestMoreGroupsThanCells(t *testing.T) {
+	// A single interest in a single cell with Groups=5 must degrade
+	// gracefully to one group.
+	domain := geometry.NewRect(0, 10, 0, 10)
+	interests := []Interest{{Rect: geometry.NewRect(1, 2, 1, 2), Subscriber: 0}}
+	model := uniformModel{domain: domain}
+	for _, alg := range []Algorithm{AlgForgyKMeans, AlgPairwise, AlgMST} {
+		c, err := Build(interests, model, domain, Config{Groups: 5, TopCells: 10, GridRes: 10, Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if c.NumGroups() != 1 {
+			t.Errorf("%v: NumGroups = %d, want 1", alg, c.NumGroups())
+		}
+	}
+}
+
+func TestClusteringDeterministic(t *testing.T) {
+	rng1 := rand.New(rand.NewSource(6))
+	rng2 := rand.New(rand.NewSource(6))
+	i1 := randomInterests(rng1, 200)
+	i2 := randomInterests(rng2, 200)
+	for _, alg := range []Algorithm{AlgForgyKMeans, AlgPairwise, AlgMST} {
+		cfg := Config{Groups: 6, TopCells: 50, GridRes: 6, Algorithm: alg}
+		a := MustBuild(i1, testModel(), stockDomain(), cfg)
+		b := MustBuild(i2, testModel(), stockDomain(), cfg)
+		if a.NumGroups() != b.NumGroups() {
+			t.Fatalf("%v: group counts differ", alg)
+		}
+		for q := 0; q < a.NumGroups(); q++ {
+			ga, gb := a.Group(q), b.Group(q)
+			if len(ga.Cells) != len(gb.Cells) || ga.Size() != gb.Size() {
+				t.Fatalf("%v: group %d differs across identical inputs", alg, q)
+			}
+		}
+	}
+}
+
+func TestForgyBeatsNaiveOnSeparatedClusters(t *testing.T) {
+	// Two well-separated subscriber populations: clustering must put
+	// them into different groups, giving zero total waste with n=2.
+	domain := geometry.NewRect(0, 10, 0, 10)
+	model := uniformModel{domain: domain}
+	var interests []Interest
+	for i := 0; i < 10; i++ {
+		interests = append(interests, Interest{Rect: geometry.NewRect(0, 4, 0, 4), Subscriber: 0})
+		interests = append(interests, Interest{Rect: geometry.NewRect(6, 10, 6, 10), Subscriber: 1})
+	}
+	// Pairwise and MST merge zero-distance pairs first, so they must
+	// separate the populations perfectly.
+	for _, alg := range []Algorithm{AlgPairwise, AlgMST} {
+		c := MustBuild(interests, model, domain, Config{Groups: 2, TopCells: 50, GridRes: 5, Algorithm: alg})
+		if c.NumGroups() != 2 {
+			t.Fatalf("%v: NumGroups = %d, want 2", alg, c.NumGroups())
+		}
+		if w := c.TotalWaste(); w != 0 {
+			t.Errorf("%v: TotalWaste = %v, want 0 for separable populations", alg, w)
+		}
+		// The two groups must have disjoint single-subscriber membership.
+		g0, g1 := c.Group(0), c.Group(1)
+		if g0.Size() != 1 || g1.Size() != 1 || g0.Subscribers[0] == g1.Subscribers[0] {
+			t.Errorf("%v: groups not separated: %v vs %v", alg, g0.Subscribers, g1.Subscribers)
+		}
+	}
+	// Forgy k-means converges to a local optimum (the all-equal cell
+	// weights here make its top-n seeding degenerate), but splitting
+	// into two groups must never be worse than the single-group
+	// clustering.
+	baseline := MustBuild(interests, model, domain, Config{Groups: 1, TopCells: 50, GridRes: 5, Algorithm: AlgForgyKMeans})
+	forgy := MustBuild(interests, model, domain, Config{Groups: 2, TopCells: 50, GridRes: 5, Algorithm: AlgForgyKMeans})
+	if forgy.TotalWaste() > baseline.TotalWaste()+1e-12 {
+		t.Errorf("forgy 2-group waste %v exceeds 1-group waste %v", forgy.TotalWaste(), baseline.TotalWaste())
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if AlgForgyKMeans.String() != "forgy-kmeans" || AlgPairwise.String() != "pairwise" || AlgMST.String() != "mst" {
+		t.Error("algorithm names wrong")
+	}
+	if Algorithm(9).String() != "algorithm(9)" {
+		t.Error("unknown algorithm name wrong")
+	}
+}
+
+func TestBatchKMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	interests := randomInterests(rng, 250)
+	c := MustBuild(interests, testModel(), stockDomain(),
+		Config{Groups: 9, TopCells: 80, GridRes: 6, Algorithm: AlgBatchKMeans})
+	if c.Algorithm() != AlgBatchKMeans {
+		t.Errorf("Algorithm = %v", c.Algorithm())
+	}
+	if c.NumGroups() == 0 || c.NumGroups() > 9 {
+		t.Fatalf("NumGroups = %d", c.NumGroups())
+	}
+	// Same structural invariants as the other algorithms.
+	seen := map[int]bool{}
+	for _, g := range c.Groups() {
+		if len(g.Cells) == 0 || g.Size() == 0 {
+			t.Fatalf("degenerate group %+v", g)
+		}
+		for _, flat := range g.Cells {
+			if seen[flat] {
+				t.Fatalf("cell %d in two groups", flat)
+			}
+			seen[flat] = true
+		}
+	}
+	if w := c.TotalWaste(); w < 0 || math.IsNaN(w) {
+		t.Fatalf("TotalWaste = %v", w)
+	}
+	// Deterministic.
+	c2 := MustBuild(randomInterests(rand.New(rand.NewSource(8)), 250), testModel(), stockDomain(),
+		Config{Groups: 9, TopCells: 80, GridRes: 6, Algorithm: AlgBatchKMeans})
+	if c.NumGroups() != c2.NumGroups() || c.TotalWaste() != c2.TotalWaste() {
+		t.Error("batch k-means not deterministic")
+	}
+}
+
+func TestBatchKMeansString(t *testing.T) {
+	if AlgBatchKMeans.String() != "batch-kmeans" {
+		t.Error("name wrong")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	interests := randomInterests(rng, 150)
+	c := MustBuild(interests, testModel(), stockDomain(),
+		Config{Groups: 5, TopCells: 40, GridRes: 5, Algorithm: AlgForgyKMeans})
+	var sb strings.Builder
+	c.WriteReport(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "clustering: forgy-kmeans") {
+		t.Errorf("report header missing: %q", out)
+	}
+	if strings.Count(out, "\n") < c.NumGroups()+2 {
+		t.Errorf("report rows missing: %q", out)
+	}
+}

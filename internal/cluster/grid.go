@@ -1,0 +1,247 @@
+// Package cluster implements the paper's grid-based subscription
+// clustering framework (Appendix A; originally Riabov et al., ICDCS
+// 2002): the event space is covered by a regular grid, each cell carries
+// the set of subscribers whose interest rectangles intersect it and its
+// publication probability, and the T highest-weight cells are clustered
+// into n multicast groups using one of three algorithms — Forgy k-means,
+// pairwise grouping, or minimum spanning tree — under the expected-waste
+// distance function.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geometry"
+)
+
+// Interest is one subscription rectangle tagged with its subscriber.
+type Interest struct {
+	Rect geometry.Rect
+	// Subscriber identifies the owning subscriber; group membership
+	// lists are sets of these values.
+	Subscriber int
+}
+
+// ProbModel integrates the publication density over a region — the p(.)
+// of the paper. workload.PublicationModel satisfies it.
+type ProbModel interface {
+	CellProb(cell geometry.Rect) float64
+}
+
+// Grid is a regular grid over a finite domain with Res equal-length
+// intervals per dimension (the paper's "at most C adjacent
+// non-overlapping intervals of equal length in each dimension").
+type Grid struct {
+	domain geometry.Rect
+	res    int
+	widths []float64
+}
+
+// NewGrid creates a grid with res cells per dimension over the domain.
+func NewGrid(domain geometry.Rect, res int) (*Grid, error) {
+	if domain.Empty() {
+		return nil, fmt.Errorf("cluster: empty grid domain %v", domain)
+	}
+	if res < 1 {
+		return nil, fmt.Errorf("cluster: grid resolution must be >= 1, got %d", res)
+	}
+	for _, iv := range domain {
+		if math.IsInf(iv.Lo, 0) || math.IsInf(iv.Hi, 0) {
+			return nil, fmt.Errorf("cluster: grid needs a finite domain, got %v", domain)
+		}
+	}
+	g := &Grid{domain: domain.Clone(), res: res, widths: make([]float64, domain.Dims())}
+	for d, iv := range domain {
+		g.widths[d] = iv.Length() / float64(res)
+	}
+	return g, nil
+}
+
+// Dims reports the grid's dimensionality.
+func (g *Grid) Dims() int { return g.domain.Dims() }
+
+// Res reports the per-dimension resolution C.
+func (g *Grid) Res() int { return g.res }
+
+// NumCells reports the total number of grid cells, Res^Dims.
+func (g *Grid) NumCells() int {
+	n := 1
+	for range g.domain {
+		n *= g.res
+	}
+	return n
+}
+
+// Domain returns the covered domain rectangle.
+func (g *Grid) Domain() geometry.Rect { return g.domain.Clone() }
+
+// CellRect returns the half-open rectangle of the cell with the given
+// flat index.
+func (g *Grid) CellRect(flat int) geometry.Rect {
+	r := make(geometry.Rect, g.Dims())
+	for d := range r {
+		i := flat % g.res
+		flat /= g.res
+		lo := g.domain[d].Lo + float64(i)*g.widths[d]
+		r[d] = geometry.Interval{Lo: lo, Hi: lo + g.widths[d]}
+	}
+	return r
+}
+
+// CellIndex returns the flat index of the cell containing the point, and
+// whether the point lies inside the domain at all. Grid cells inherit the
+// half-open convention: a point exactly on a cell's lower boundary
+// belongs to the cell below.
+func (g *Grid) CellIndex(p geometry.Point) (int, bool) {
+	if len(p) != g.Dims() {
+		return 0, false
+	}
+	flat := 0
+	stride := 1
+	for d := range p {
+		i := int(math.Ceil((p[d]-g.domain[d].Lo)/g.widths[d])) - 1
+		if i < 0 || i >= g.res {
+			return 0, false
+		}
+		flat += i * stride
+		stride *= g.res
+	}
+	return flat, true
+}
+
+// cellRange returns the inclusive index range [lo, hi] of cells in
+// dimension d whose intervals intersect iv, or ok=false when none do.
+func (g *Grid) cellRange(d int, iv geometry.Interval) (lo, hi int, ok bool) {
+	iv = iv.Clamp(g.domain[d])
+	if iv.Empty() {
+		return 0, 0, false
+	}
+	w := g.widths[d]
+	lo = int(math.Floor((iv.Lo - g.domain[d].Lo) / w))
+	hi = int(math.Ceil((iv.Hi-g.domain[d].Lo)/w)) - 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= g.res {
+		hi = g.res - 1
+	}
+	if hi < lo {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// Cell is one non-empty grid cell with its membership vector and
+// publication probability.
+type Cell struct {
+	// Flat is the cell's flat index in the grid.
+	Flat int
+	// Rect is the cell's rectangle.
+	Rect geometry.Rect
+	// Members is l(g): the subscribers whose interests intersect the
+	// cell, as a bitset.
+	Members bitset
+	// Prob is p_p(g): the probability that a publication falls in the
+	// cell.
+	Prob float64
+}
+
+// NumMembers returns |l(g)|.
+func (c *Cell) NumMembers() int { return c.Members.Count() }
+
+// Weight is the paper's top-cell ranking key p_p(g) * n(g).
+func (c *Cell) Weight() float64 { return c.Prob * float64(c.NumMembers()) }
+
+// BuildCells rasterises the interests onto the grid and computes, for
+// every cell intersected by at least one interest, its membership vector
+// and publication probability. Cells are returned sorted by decreasing
+// weight p_p(g)*n(g), then by flat index for determinism.
+func BuildCells(g *Grid, interests []Interest, model ProbModel) ([]*Cell, error) {
+	maxSub := 0
+	for _, in := range interests {
+		if in.Rect.Dims() != g.Dims() {
+			return nil, fmt.Errorf("cluster: interest dims %d != grid dims %d", in.Rect.Dims(), g.Dims())
+		}
+		if in.Subscriber < 0 {
+			return nil, fmt.Errorf("cluster: negative subscriber id %d", in.Subscriber)
+		}
+		if in.Subscriber > maxSub {
+			maxSub = in.Subscriber
+		}
+	}
+
+	cells := map[int]*Cell{}
+	dims := g.Dims()
+	idx := make([]int, dims)
+	los := make([]int, dims)
+	his := make([]int, dims)
+	for _, in := range interests {
+		ok := true
+		for d := 0; d < dims; d++ {
+			lo, hi, nonEmpty := g.cellRange(d, in.Rect[d])
+			if !nonEmpty {
+				ok = false
+				break
+			}
+			los[d], his[d] = lo, hi
+		}
+		if !ok {
+			continue
+		}
+		// Walk the cartesian product of per-dimension ranges.
+		copy(idx, los)
+		for {
+			flat := 0
+			stride := 1
+			for d := 0; d < dims; d++ {
+				flat += idx[d] * stride
+				stride *= g.res
+			}
+			c, exists := cells[flat]
+			if !exists {
+				c = &Cell{Flat: flat, Rect: g.CellRect(flat), Members: newBitset(maxSub + 1)}
+				cells[flat] = c
+			}
+			c.Members.Set(in.Subscriber)
+
+			// Increment the odometer.
+			d := 0
+			for d < dims {
+				idx[d]++
+				if idx[d] <= his[d] {
+					break
+				}
+				idx[d] = los[d]
+				d++
+			}
+			if d == dims {
+				break
+			}
+		}
+	}
+
+	out := make([]*Cell, 0, len(cells))
+	for _, c := range cells {
+		c.Prob = model.CellProb(c.Rect)
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		wi, wj := out[i].Weight(), out[j].Weight()
+		if wi != wj {
+			return wi > wj
+		}
+		return out[i].Flat < out[j].Flat
+	})
+	return out, nil
+}
+
+// TopCells returns the T highest-weight cells (the paper's list h); the
+// input must already be sorted as BuildCells returns it.
+func TopCells(cells []*Cell, t int) []*Cell {
+	if t > len(cells) {
+		t = len(cells)
+	}
+	return cells[:t]
+}

@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geometry"
+)
+
+// uniformModel assigns probability proportional to volume within a
+// domain.
+type uniformModel struct {
+	domain geometry.Rect
+}
+
+func (u uniformModel) CellProb(cell geometry.Rect) float64 {
+	inter := cell.Intersect(u.domain)
+	if inter.Empty() {
+		return 0
+	}
+	return inter.Volume() / u.domain.Volume()
+}
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(geometry.NewRect(0, 10, 0, 10), 0); err == nil {
+		t.Error("res 0 accepted")
+	}
+	if _, err := NewGrid(geometry.NewRect(5, 5, 0, 10), 4); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if _, err := NewGrid(geometry.Rect{geometry.AtLeast(0), {Lo: 0, Hi: 1}}, 4); err == nil {
+		t.Error("unbounded domain accepted")
+	}
+}
+
+func TestGridGeometry(t *testing.T) {
+	g, err := NewGrid(geometry.NewRect(0, 10, 0, 20), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumCells() != 25 || g.Dims() != 2 || g.Res() != 5 {
+		t.Fatalf("NumCells=%d Dims=%d Res=%d", g.NumCells(), g.Dims(), g.Res())
+	}
+	// Cell 0 is (0,2] x (0,4]; cell 6 is (2,4] x (4,8].
+	if got, want := g.CellRect(0), geometry.NewRect(0, 2, 0, 4); !got.Equal(want) {
+		t.Errorf("CellRect(0) = %v, want %v", got, want)
+	}
+	if got, want := g.CellRect(6), geometry.NewRect(2, 4, 4, 8); !got.Equal(want) {
+		t.Errorf("CellRect(6) = %v, want %v", got, want)
+	}
+}
+
+func TestGridCellIndex(t *testing.T) {
+	g, err := NewGrid(geometry.NewRect(0, 10, 0, 10), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		p    geometry.Point
+		want int
+		ok   bool
+	}{
+		{name: "interior first cell", p: geometry.Point{1, 1}, want: 0, ok: true},
+		{name: "upper corner closed", p: geometry.Point{10, 10}, want: 24, ok: true},
+		{name: "lower corner open", p: geometry.Point{0, 0}, ok: false},
+		{name: "boundary belongs below", p: geometry.Point{2, 1}, want: 0, ok: true},
+		{name: "just above boundary", p: geometry.Point{2.0001, 1}, want: 1, ok: true},
+		{name: "outside", p: geometry.Point{11, 5}, ok: false},
+		{name: "wrong dims", p: geometry.Point{1}, ok: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, ok := g.CellIndex(tt.p)
+			if ok != tt.ok || (ok && got != tt.want) {
+				t.Errorf("CellIndex(%v) = %d,%v want %d,%v", tt.p, got, ok, tt.want, tt.ok)
+			}
+		})
+	}
+}
+
+func TestGridCellIndexRoundTrip(t *testing.T) {
+	g, err := NewGrid(geometry.NewRect(-5, 5, 0, 20, 0, 3), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		p := geometry.Point{
+			-5 + rng.Float64()*10,
+			rng.Float64() * 20,
+			rng.Float64() * 3,
+		}
+		flat, ok := g.CellIndex(p)
+		if !ok {
+			continue // exactly on an open boundary
+		}
+		if !g.CellRect(flat).Contains(p) {
+			t.Fatalf("cell %d %v does not contain %v", flat, g.CellRect(flat), p)
+		}
+	}
+}
+
+func TestBuildCellsMembership(t *testing.T) {
+	domain := geometry.NewRect(0, 10, 0, 10)
+	g, err := NewGrid(domain, 5) // cells 2x2
+	if err != nil {
+		t.Fatal(err)
+	}
+	interests := []Interest{
+		{Rect: geometry.NewRect(0, 2, 0, 2), Subscriber: 0},      // exactly cell (0,0)
+		{Rect: geometry.NewRect(1, 3, 1, 3), Subscriber: 1},      // cells (0,0),(1,0),(0,1),(1,1)
+		{Rect: geometry.NewRect(0, 10, 4, 6), Subscriber: 2},     // full row y-cell 2
+		{Rect: geometry.NewRect(8.5, 9.5, 9, 10), Subscriber: 3}, // cell (4,4)
+	}
+	model := uniformModel{domain: domain}
+	cells, err := BuildCells(g, interests, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFlat := map[int]*Cell{}
+	for _, c := range cells {
+		byFlat[c.Flat] = c
+	}
+	// Cell (0,0) = flat 0: subscribers 0 and 1.
+	c00 := byFlat[0]
+	if c00 == nil || c00.NumMembers() != 2 || !c00.Members.Has(0) || !c00.Members.Has(1) {
+		t.Fatalf("cell (0,0) membership wrong: %+v", c00)
+	}
+	// Row y=2: cells flat = 2*5+x for x=0..4, subscriber 2 everywhere.
+	for x := 0; x < 5; x++ {
+		c := byFlat[2*5+x]
+		if c == nil || !c.Members.Has(2) {
+			t.Fatalf("row cell x=%d missing subscriber 2", x)
+		}
+	}
+	// Cell (4,4) = flat 24: subscriber 3 only.
+	c44 := byFlat[24]
+	if c44 == nil || c44.NumMembers() != 1 || !c44.Members.Has(3) {
+		t.Fatalf("cell (4,4) membership wrong: %+v", c44)
+	}
+	// Total non-empty cells: (0,0),(1,0),(0,1),(1,1), 5 row cells, (4,4)
+	// = 4 + 5 + 1 = 10; (0,0) double counted once -> 9 distinct? The
+	// sub-1 rect covers (0,0),(1,0),(0,1),(1,1); sub-0 covers (0,0).
+	// Distinct: {0,1,5,6} + {10..14} + {24} = 10 cells.
+	if len(cells) != 10 {
+		t.Fatalf("got %d non-empty cells, want 10", len(cells))
+	}
+	// Probabilities: each cell is 4/100 of the domain.
+	for _, c := range cells {
+		if math.Abs(c.Prob-0.04) > 1e-12 {
+			t.Errorf("cell %d prob %v, want 0.04", c.Flat, c.Prob)
+		}
+	}
+	// Sorted by weight descending: the first cell must have max members.
+	if cells[0].NumMembers() < cells[len(cells)-1].NumMembers() {
+		t.Error("cells not sorted by weight")
+	}
+}
+
+func TestBuildCellsBoundaryOwnership(t *testing.T) {
+	// An interest rectangle that exactly tiles a cell boundary must not
+	// leak into the neighbouring cell: rect (2,4] in a grid of width 2
+	// intersects only cell (2,4].
+	domain := geometry.NewRect(0, 10)
+	g, err := NewGrid(domain, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := BuildCells(g, []Interest{{Rect: geometry.NewRect(2, 4), Subscriber: 0}}, uniformModel{domain: domain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].Flat != 1 {
+		flats := []int{}
+		for _, c := range cells {
+			flats = append(flats, c.Flat)
+		}
+		t.Fatalf("boundary-aligned rect hit cells %v, want [1]", flats)
+	}
+}
+
+func TestBuildCellsValidation(t *testing.T) {
+	domain := geometry.NewRect(0, 10, 0, 10)
+	g, err := NewGrid(domain, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := uniformModel{domain: domain}
+	if _, err := BuildCells(g, []Interest{{Rect: geometry.NewRect(0, 1), Subscriber: 0}}, model); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := BuildCells(g, []Interest{{Rect: geometry.NewRect(0, 1, 0, 1), Subscriber: -1}}, model); err == nil {
+		t.Error("negative subscriber accepted")
+	}
+	// An interest entirely outside the domain contributes nothing.
+	cells, err := BuildCells(g, []Interest{{Rect: geometry.NewRect(50, 60, 50, 60), Subscriber: 0}}, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 0 {
+		t.Errorf("out-of-domain interest produced %d cells", len(cells))
+	}
+}
+
+func TestTopCells(t *testing.T) {
+	cells := []*Cell{{Flat: 1}, {Flat: 2}, {Flat: 3}}
+	if got := TopCells(cells, 2); len(got) != 2 {
+		t.Errorf("TopCells(2) len = %d", len(got))
+	}
+	if got := TopCells(cells, 10); len(got) != 3 {
+		t.Errorf("TopCells beyond len = %d", len(got))
+	}
+}

@@ -1,0 +1,132 @@
+package cluster
+
+// group is a mutable cluster of cells under construction, carrying the
+// paper's expected-waste statistic.
+//
+// EW(G) is the expected number of uninterested subscribers reached by a
+// multicast to G, conditioned on the publication falling in G:
+//
+//	EW(G) = ( Σ_{x∈G} p(x) * |l(G)\l(x)| ) / p(G),
+//
+// with EW of a single cell 0. Adding a cell x updates it as
+//
+//	EW_new = ( p(G)*(EW_old + |l(x)\l(G)|) + p(x)*|l(G)\l(x)| ) / (p(x)+p(G)),
+//
+// which follows from l(x) ⊆ l(G) for every x ∈ G. The paper prints the
+// first term as EW_old*p(G)*(1+|l(x)\l(G)|); that form is inconsistent
+// with the closed-form definition (it compounds multiplicatively and
+// diverges exponentially in the group size) and we take it to be a typo
+// for the recursion above, which is exact and insertion-order
+// independent. See DESIGN.md.
+//
+// As the distance measure between a cell (or group) and a group we use
+// the increase in the *unnormalised* expected waste W = EW*p — "the
+// amount of increase in the expected number of wasted messages" — which
+// is symmetric under group merges and is the quantity the clustering
+// ultimately minimises.
+type group struct {
+	cells   []*Cell
+	members bitset
+	prob    float64
+	ew      float64
+}
+
+func newGroup() *group { return &group{} }
+
+// Empty reports whether the group holds no cells.
+func (g *group) Empty() bool { return len(g.cells) == 0 }
+
+// Size returns the number of cells in the group.
+func (g *group) Size() int { return len(g.cells) }
+
+// EW returns the group's expected waste per delivered group message.
+func (g *group) EW() float64 { return g.ew }
+
+// Waste returns the unnormalised waste W = EW * p(G).
+func (g *group) Waste() float64 { return g.ew * g.prob }
+
+// ewAfterAdd evaluates the paper's recursion for adding cell c without
+// mutating the group.
+func (g *group) ewAfterAdd(c *Cell) float64 {
+	if g.Empty() {
+		return 0 // EW of a single cell is 0
+	}
+	den := c.Prob + g.prob
+	if den <= 0 {
+		return g.ew
+	}
+	dNew := float64(c.Members.AndNotCount(g.members)) // |l(x) \ l(G)|
+	dOld := float64(g.members.AndNotCount(c.Members)) // |l(G) \ l(x)|
+	return (g.prob*(g.ew+dNew) + c.Prob*dOld) / den
+}
+
+// addCost returns the increase in unnormalised waste if c were added.
+// This is the clustering distance function.
+func (g *group) addCost(c *Cell) float64 {
+	return g.ewAfterAdd(c)*(g.prob+c.Prob) - g.Waste()
+}
+
+// add appends cell c, updating the waste statistic.
+func (g *group) add(c *Cell) {
+	g.ew = g.ewAfterAdd(c)
+	if len(g.members) != len(c.Members) {
+		g.members = c.Members.Clone()
+	} else {
+		g.members.Or(c.Members)
+	}
+	g.prob += c.Prob
+	g.cells = append(g.cells, c)
+}
+
+// rebuild resets the group and re-adds the given cells in order.
+func (g *group) rebuild(cells []*Cell) {
+	g.cells = g.cells[:0]
+	g.prob = 0
+	g.ew = 0
+	if g.members != nil {
+		g.members.Clear()
+	}
+	for _, c := range cells {
+		g.add(c)
+	}
+}
+
+// removeCell rebuilds the group without the cell at index i.
+func (g *group) removeCell(i int) {
+	remaining := make([]*Cell, 0, len(g.cells)-1)
+	remaining = append(remaining, g.cells[:i]...)
+	remaining = append(remaining, g.cells[i+1:]...)
+	g.rebuild(remaining)
+}
+
+// indexOf returns the position of cell c in the group, or -1.
+func (g *group) indexOf(c *Cell) int {
+	for i, x := range g.cells {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// mergeCost returns the increase in unnormalised waste from merging o
+// into g: W(g ⊕ o) - W(g) - W(o). It does not mutate either group.
+func (g *group) mergeCost(o *group) float64 {
+	tmp := &group{
+		cells:   append([]*Cell(nil), g.cells...),
+		prob:    g.prob,
+		ew:      g.ew,
+		members: g.members.Clone(),
+	}
+	for _, c := range o.cells {
+		tmp.add(c)
+	}
+	return tmp.Waste() - g.Waste() - o.Waste()
+}
+
+// merge absorbs o's cells into g.
+func (g *group) merge(o *group) {
+	for _, c := range o.cells {
+		g.add(c)
+	}
+}

@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Maintainer keeps a clustering's group membership lists M_q up to date
+// under subscription churn without re-running the clustering algorithm.
+// The event-space partition S_1..S_n stays fixed (the regime of Wong,
+// Katz and McCanne's incremental algorithms, which the paper cites as
+// [16]): adding or removing an interest only updates the membership of
+// the groups its rectangle overlaps.
+//
+// The Maintainer takes ownership of the Clustering it wraps; reading the
+// clustering concurrently with Add/Remove requires external
+// synchronisation.
+type Maintainer struct {
+	c *Clustering
+	// refs[q][subscriber] counts how many of the subscriber's interests
+	// overlap group q; the subscriber is in M_q while the count is
+	// positive.
+	refs []map[int]int
+}
+
+// NewMaintainer wraps the clustering, rebuilding reference counts from
+// the interest population that produced it. The interests must be the
+// ones the clustering was built from (membership is re-derived and
+// replaces the groups' subscriber lists).
+func NewMaintainer(c *Clustering, interests []Interest) (*Maintainer, error) {
+	if c == nil {
+		return nil, fmt.Errorf("cluster: nil clustering")
+	}
+	m := &Maintainer{c: c, refs: make([]map[int]int, c.NumGroups())}
+	for q := range m.refs {
+		m.refs[q] = make(map[int]int)
+	}
+	for _, in := range interests {
+		if _, err := m.Add(in); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Clustering returns the maintained clustering.
+func (m *Maintainer) Clustering() *Clustering { return m.c }
+
+// groupsOverlapping returns the deduplicated, sorted group indices whose
+// region S_q intersects the rectangle.
+func (m *Maintainer) groupsOverlapping(in Interest) ([]int, error) {
+	g := m.c.grid
+	if in.Rect.Dims() != g.Dims() {
+		return nil, fmt.Errorf("cluster: interest dims %d != grid dims %d", in.Rect.Dims(), g.Dims())
+	}
+	if in.Subscriber < 0 {
+		return nil, fmt.Errorf("cluster: negative subscriber id %d", in.Subscriber)
+	}
+	dims := g.Dims()
+	los := make([]int, dims)
+	his := make([]int, dims)
+	for d := 0; d < dims; d++ {
+		lo, hi, ok := g.cellRange(d, in.Rect[d])
+		if !ok {
+			return nil, nil // outside the domain: overlaps nothing
+		}
+		los[d], his[d] = lo, hi
+	}
+	seen := map[int]struct{}{}
+	var out []int
+	idx := append([]int(nil), los...)
+	for {
+		flat := 0
+		stride := 1
+		for d := 0; d < dims; d++ {
+			flat += idx[d] * stride
+			stride *= g.res
+		}
+		if q, ok := m.c.cellToGroup[flat]; ok {
+			if _, dup := seen[q]; !dup {
+				seen[q] = struct{}{}
+				out = append(out, q)
+			}
+		}
+		d := 0
+		for d < dims {
+			idx[d]++
+			if idx[d] <= his[d] {
+				break
+			}
+			idx[d] = los[d]
+			d++
+		}
+		if d == dims {
+			break
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Add registers a new interest, returning the groups whose membership
+// changed (gained the subscriber).
+func (m *Maintainer) Add(in Interest) ([]int, error) {
+	groups, err := m.groupsOverlapping(in)
+	if err != nil {
+		return nil, err
+	}
+	var changed []int
+	for _, q := range groups {
+		m.refs[q][in.Subscriber]++
+		if m.refs[q][in.Subscriber] == 1 {
+			changed = append(changed, q)
+			m.refreshGroup(q)
+		}
+	}
+	return changed, nil
+}
+
+// Remove unregisters an interest previously added (or part of the
+// original population), returning the groups whose membership changed
+// (lost the subscriber). Removing an interest that was never added is an
+// error.
+func (m *Maintainer) Remove(in Interest) ([]int, error) {
+	groups, err := m.groupsOverlapping(in)
+	if err != nil {
+		return nil, err
+	}
+	var changed []int
+	for _, q := range groups {
+		n, ok := m.refs[q][in.Subscriber]
+		if !ok {
+			return changed, fmt.Errorf("cluster: subscriber %d has no registered interest in group %d", in.Subscriber, q)
+		}
+		if n == 1 {
+			delete(m.refs[q], in.Subscriber)
+			changed = append(changed, q)
+			m.refreshGroup(q)
+			continue
+		}
+		m.refs[q][in.Subscriber] = n - 1
+	}
+	return changed, nil
+}
+
+// refreshGroup regenerates group q's sorted subscriber list from the
+// reference counts.
+func (m *Maintainer) refreshGroup(q int) {
+	subs := make([]int, 0, len(m.refs[q]))
+	for s := range m.refs[q] {
+		subs = append(subs, s)
+	}
+	sort.Ints(subs)
+	m.c.groups[q].Subscribers = subs
+}

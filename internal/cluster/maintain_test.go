@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geometry"
+)
+
+// membershipFromScratch recomputes each group's subscriber set for the
+// fixed cell partition, as the oracle for Maintainer.
+func membershipFromScratch(t *testing.T, c *Clustering, interests []Interest) [][]int {
+	t.Helper()
+	m, err := NewMaintainer(c, interests) // NewMaintainer itself derives from scratch
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]int, c.NumGroups())
+	for q := 0; q < c.NumGroups(); q++ {
+		out[q] = append([]int(nil), m.Clustering().Group(q).Subscribers...)
+	}
+	return out
+}
+
+func equalIntSlices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewMaintainerReproducesBuildMembership(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	interests := randomInterests(rng, 300)
+	c := MustBuild(interests, testModel(), stockDomain(),
+		Config{Groups: 9, TopCells: 80, GridRes: 6, Algorithm: AlgForgyKMeans})
+	// Snapshot Build's membership before the maintainer rewrites it.
+	want := make([][]int, c.NumGroups())
+	for q := range want {
+		want[q] = append([]int(nil), c.Group(q).Subscribers...)
+	}
+	if _, err := NewMaintainer(c, interests); err != nil {
+		t.Fatal(err)
+	}
+	for q := range want {
+		if !equalIntSlices(c.Group(q).Subscribers, want[q]) {
+			t.Fatalf("group %d: maintainer membership %v != build %v",
+				q, c.Group(q).Subscribers, want[q])
+		}
+	}
+}
+
+func TestMaintainerAddRemoveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	interests := randomInterests(rng, 200)
+	c := MustBuild(interests, testModel(), stockDomain(),
+		Config{Groups: 7, TopCells: 60, GridRes: 6, Algorithm: AlgForgyKMeans})
+	m, err := NewMaintainer(c, interests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([][]int, c.NumGroups())
+	for q := range before {
+		before[q] = append([]int(nil), c.Group(q).Subscribers...)
+	}
+
+	// Add a new subscriber covering everything, then remove it again.
+	wide := Interest{Rect: stockDomain(), Subscriber: 9999}
+	changed, err := m.Add(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != c.NumGroups() {
+		t.Fatalf("wide interest changed %d groups, want all %d", len(changed), c.NumGroups())
+	}
+	for q := 0; q < c.NumGroups(); q++ {
+		found := false
+		for _, s := range c.Group(q).Subscribers {
+			if s == 9999 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("subscriber 9999 missing from group %d after Add", q)
+		}
+	}
+	if _, err := m.Remove(wide); err != nil {
+		t.Fatal(err)
+	}
+	for q := range before {
+		if !equalIntSlices(c.Group(q).Subscribers, before[q]) {
+			t.Fatalf("group %d membership not restored after Remove", q)
+		}
+	}
+}
+
+func TestMaintainerRefCounting(t *testing.T) {
+	// Two overlapping interests of the same subscriber: removing one
+	// must keep the subscriber in the shared groups.
+	domain := geometry.NewRect(0, 10, 0, 10)
+	model := uniformModel{domain: domain}
+	base := []Interest{
+		{Rect: geometry.NewRect(0, 10, 0, 10), Subscriber: 0},
+	}
+	c := MustBuild(base, model, domain, Config{Groups: 2, TopCells: 30, GridRes: 4, Algorithm: AlgForgyKMeans})
+	m, err := NewMaintainer(c, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Interest{Rect: geometry.NewRect(0, 5, 0, 5), Subscriber: 1}
+	b := Interest{Rect: geometry.NewRect(2, 7, 2, 7), Subscriber: 1}
+	if _, err := m.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Remove(a); err != nil {
+		t.Fatal(err)
+	}
+	// Subscriber 1 must still be present wherever b overlaps.
+	groups, err := m.groupsOverlapping(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) == 0 {
+		t.Fatal("b overlaps no group")
+	}
+	for _, q := range groups {
+		has := false
+		for _, s := range c.Group(q).Subscribers {
+			if s == 1 {
+				has = true
+			}
+		}
+		if !has {
+			t.Fatalf("subscriber 1 evicted from group %d while interest b remains", q)
+		}
+	}
+	if _, err := m.Remove(b); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < c.NumGroups(); q++ {
+		for _, s := range c.Group(q).Subscribers {
+			if s == 1 {
+				t.Fatalf("subscriber 1 still in group %d after removing all interests", q)
+			}
+		}
+	}
+}
+
+func TestMaintainerRemoveUnknownErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	interests := randomInterests(rng, 100)
+	c := MustBuild(interests, testModel(), stockDomain(),
+		Config{Groups: 5, TopCells: 40, GridRes: 5, Algorithm: AlgForgyKMeans})
+	m, err := NewMaintainer(c, interests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unknown := Interest{Rect: stockDomain(), Subscriber: 424242}
+	if _, err := m.Remove(unknown); err == nil {
+		t.Error("removing unknown interest succeeded")
+	}
+}
+
+func TestMaintainerOutOfDomainInterest(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	interests := randomInterests(rng, 100)
+	c := MustBuild(interests, testModel(), stockDomain(),
+		Config{Groups: 5, TopCells: 40, GridRes: 5, Algorithm: AlgForgyKMeans})
+	m, err := NewMaintainer(c, interests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := Interest{Rect: geometry.NewRect(100, 110, 100, 110, 100, 110, 100, 110), Subscriber: 5}
+	changed, err := m.Add(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 0 {
+		t.Errorf("out-of-domain interest changed groups %v", changed)
+	}
+	bad := Interest{Rect: geometry.NewRect(0, 1), Subscriber: 5}
+	if _, err := m.Add(bad); err == nil {
+		t.Error("dim-mismatched interest accepted")
+	}
+	neg := Interest{Rect: stockDomain(), Subscriber: -1}
+	if _, err := m.Add(neg); err == nil {
+		t.Error("negative subscriber accepted")
+	}
+}
+
+func TestMaintainerChurnMatchesScratch(t *testing.T) {
+	// Random churn: apply adds/removes through the maintainer and verify
+	// the final membership equals a from-scratch derivation over the
+	// surviving interests.
+	rng := rand.New(rand.NewSource(35))
+	initial := randomInterests(rng, 250)
+	c := MustBuild(initial, testModel(), stockDomain(),
+		Config{Groups: 8, TopCells: 70, GridRes: 6, Algorithm: AlgForgyKMeans})
+	m, err := NewMaintainer(c, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	live := append([]Interest(nil), initial...)
+	nextSub := 1000
+	for step := 0; step < 150; step++ {
+		if rng.Float64() < 0.5 && len(live) > 1 {
+			i := rng.Intn(len(live))
+			if _, err := m.Remove(live[i]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		} else {
+			in := randomInterests(rng, 1)[0]
+			in.Subscriber = nextSub
+			nextSub++
+			if _, err := m.Add(in); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, in)
+		}
+	}
+
+	// Oracle: a second clustering with identical regions, membership
+	// derived from the surviving interests.
+	oracle := MustBuild(initial, testModel(), stockDomain(),
+		Config{Groups: 8, TopCells: 70, GridRes: 6, Algorithm: AlgForgyKMeans})
+	want := membershipFromScratch(t, oracle, live)
+	for q := 0; q < c.NumGroups(); q++ {
+		if !equalIntSlices(c.Group(q).Subscribers, want[q]) {
+			t.Fatalf("group %d after churn: %v != scratch %v", q, c.Group(q).Subscribers, want[q])
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package core assembles the paper's full pipeline into one engine: a
+// network topology, a placed subscription population, the grid-based
+// subscription clustering (preprocessing), the S-tree matcher (matching
+// problem) and the threshold-based online planner (distribution method
+// problem). It is the integration point the public pubsub package and the
+// experiment harnesses build on.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/dispatch"
+	"repro/internal/geometry"
+	"repro/internal/match"
+	"repro/internal/multicast"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Config parameterises engine assembly.
+type Config struct {
+	// Space is the event space; subscriptions must live in its domain.
+	Space workload.Space
+	// Matcher selects and tunes the matching index.
+	Matcher match.Options
+	// Cluster configures the preprocessing stage (groups, T, C,
+	// algorithm).
+	Cluster cluster.Config
+	// Threshold is the distribution-method threshold t.
+	Threshold float64
+	// Mode selects the multicast mechanism (dense mode by default).
+	Mode multicast.Mode
+}
+
+// Engine is an assembled content-based pub-sub simulation: it can match
+// events, decide distribution methods, and account delivery costs.
+// Build one with New; it is safe for concurrent use.
+type Engine struct {
+	graph      *topology.Graph
+	subs       []workload.PlacedSubscription
+	model      workload.PublicationModel
+	clustering *cluster.Clustering
+	matcher    match.Matcher
+	cost       *multicast.CostModel
+	planner    *dispatch.Planner
+}
+
+// New assembles an engine from a topology, a placed subscription
+// population and a publication model.
+func New(g *topology.Graph, subs []workload.PlacedSubscription, model workload.PublicationModel, cfg Config) (*Engine, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("core: no subscriptions")
+	}
+	if err := cfg.Space.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := model.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	interests := make([]cluster.Interest, len(subs))
+	msubs := make([]match.Subscription, len(subs))
+	nodes := make([]int, len(subs))
+	for i, s := range subs {
+		if s.ID != i {
+			return nil, fmt.Errorf("core: subscription %d has ID %d; IDs must be dense", i, s.ID)
+		}
+		interests[i] = cluster.Interest{Rect: s.Rect, Subscriber: s.ID}
+		msubs[i] = match.Subscription{Rect: s.Rect, SubscriberID: s.ID}
+		nodes[i] = s.Node
+	}
+
+	clustering, err := cluster.Build(interests, model, cfg.Space.Domain, cfg.Cluster)
+	if err != nil {
+		return nil, fmt.Errorf("core: clustering: %w", err)
+	}
+	matcher, err := match.New(msubs, cfg.Matcher)
+	if err != nil {
+		return nil, fmt.Errorf("core: matcher: %w", err)
+	}
+	cost := multicast.NewCostModel(g)
+	planner, err := dispatch.NewPlanner(clustering, matcher, cost, nodes, dispatch.Config{
+		Threshold: cfg.Threshold,
+		Mode:      cfg.Mode,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: planner: %w", err)
+	}
+	return &Engine{
+		graph:      g,
+		subs:       subs,
+		model:      model,
+		clustering: clustering,
+		matcher:    matcher,
+		cost:       cost,
+		planner:    planner,
+	}, nil
+}
+
+// Graph returns the engine's topology.
+func (e *Engine) Graph() *topology.Graph { return e.graph }
+
+// Clustering returns the preprocessing result.
+func (e *Engine) Clustering() *cluster.Clustering { return e.clustering }
+
+// Matcher returns the matching index.
+func (e *Engine) Matcher() match.Matcher { return e.matcher }
+
+// CostModel returns the shared delivery cost model.
+func (e *Engine) CostModel() *multicast.CostModel { return e.cost }
+
+// Planner returns the online distribution-method planner.
+func (e *Engine) Planner() *dispatch.Planner { return e.planner }
+
+// Subscriptions returns the placed subscription population.
+func (e *Engine) Subscriptions() []workload.PlacedSubscription { return e.subs }
+
+// Match returns the interested subscriber IDs for an event (deduplicated).
+func (e *Engine) Match(event geometry.Point) []int {
+	return match.MatchUnique(e.matcher, event)
+}
+
+// Deliver runs the distribution-method scheme for one publication.
+func (e *Engine) Deliver(publisher int, event geometry.Point) (dispatch.Decision, error) {
+	return e.planner.Deliver(publisher, event)
+}
+
+// Run delivers n publications drawn from the engine's publication model,
+// published from uniformly random stub nodes, and returns the aggregate
+// totals. It is the core loop of the Figure 6 experiment.
+func (e *Engine) Run(rng *rand.Rand, n int) (dispatch.Totals, error) {
+	stubs := e.graph.NodesByRole(topology.RoleStub)
+	if len(stubs) == 0 {
+		return dispatch.Totals{}, fmt.Errorf("core: topology has no stub nodes to publish from")
+	}
+	pm, err := workload.UniformPublishers(stubs)
+	if err != nil {
+		return dispatch.Totals{}, err
+	}
+	return e.RunWith(rng, n, pm)
+}
+
+// RunWith is Run with an explicit publisher model, so experiments can
+// study publisher placement and popularity (e.g. Zipf-weighted sources).
+func (e *Engine) RunWith(rng *rand.Rand, n int, publishers *workload.PublisherModel) (dispatch.Totals, error) {
+	var tot dispatch.Totals
+	if publishers == nil {
+		return tot, fmt.Errorf("core: nil publisher model")
+	}
+	for i := 0; i < n; i++ {
+		d, err := e.planner.Deliver(publishers.Pick(rng), e.model.Sample(rng))
+		if err != nil {
+			return tot, err
+		}
+		tot.Add(d)
+	}
+	return tot, nil
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/geometry"
+	"repro/internal/match"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func buildEngine(t *testing.T, threshold float64) *Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(2003))
+	g := topology.MustGenerate(topology.DefaultConfig(), rng)
+	space := workload.StockSpace()
+	cfg := workload.DefaultSubscriptionConfig()
+	cfg.Count = 400
+	subs, err := workload.GenerateSubscriptions(g, space, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, subs, workload.MustStockPublications(9), Config{
+		Space:     space,
+		Matcher:   match.Options{Algorithm: match.AlgSTree},
+		Cluster:   cluster.Config{Groups: 11, Algorithm: cluster.AlgForgyKMeans},
+		Threshold: threshold,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := topology.MustGenerate(topology.DefaultConfig(), rng)
+	space := workload.StockSpace()
+	subCfg := workload.DefaultSubscriptionConfig()
+	subCfg.Count = 50
+	subs, err := workload.GenerateSubscriptions(g, space, subCfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := workload.MustStockPublications(1)
+	good := Config{
+		Space:   space,
+		Cluster: cluster.Config{Groups: 3, Algorithm: cluster.AlgForgyKMeans},
+	}
+
+	if _, err := New(nil, subs, model, good); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := New(g, nil, model, good); err == nil {
+		t.Error("no subscriptions accepted")
+	}
+	if _, err := New(g, subs, workload.PublicationModel{}, good); err == nil {
+		t.Error("invalid model accepted")
+	}
+	bad := good
+	bad.Threshold = 2
+	if _, err := New(g, subs, model, bad); err == nil {
+		t.Error("bad threshold accepted")
+	}
+	bad = good
+	bad.Cluster.Groups = 0
+	if _, err := New(g, subs, model, bad); err == nil {
+		t.Error("bad cluster config accepted")
+	}
+	// Non-dense IDs rejected.
+	broken := append([]workload.PlacedSubscription(nil), subs...)
+	broken[0].ID = 999
+	if _, err := New(g, broken, model, good); err == nil {
+		t.Error("non-dense IDs accepted")
+	}
+}
+
+func TestEngineMatchAgainstBruteForce(t *testing.T) {
+	e := buildEngine(t, 0.15)
+	rng := rand.New(rand.NewSource(5))
+	model := workload.MustStockPublications(9)
+	for i := 0; i < 200; i++ {
+		ev := model.Sample(rng)
+		got := e.Match(ev)
+		want := 0
+		for _, s := range e.Subscriptions() {
+			if s.Rect.Contains(ev) {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("Match(%v) returned %d ids, brute force %d", ev, len(got), want)
+		}
+	}
+}
+
+func TestEngineRun(t *testing.T) {
+	e := buildEngine(t, 0.10)
+	rng := rand.New(rand.NewSource(6))
+	tot, err := e.Run(rng, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.Messages != 2000 {
+		t.Fatalf("Messages = %d", tot.Messages)
+	}
+	if tot.Unicasts+tot.Multicasts+tot.Suppressed != tot.Messages {
+		t.Fatalf("decision counts inconsistent: %+v", tot)
+	}
+	if tot.Cost <= 0 || tot.UnicastCost <= 0 {
+		t.Fatalf("degenerate costs: %+v", tot)
+	}
+	if tot.IdealCost > tot.Cost+1e-9 {
+		t.Fatalf("ideal cost above actual: %+v", tot)
+	}
+}
+
+func TestEngineRunDeterministic(t *testing.T) {
+	e := buildEngine(t, 0.10)
+	a, err := e.Run(rand.New(rand.NewSource(7)), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run(rand.New(rand.NewSource(7)), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("identical seeds diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	e := buildEngine(t, 0.15)
+	if e.Graph() == nil || e.Clustering() == nil || e.Matcher() == nil ||
+		e.CostModel() == nil || e.Planner() == nil {
+		t.Fatal("nil accessor")
+	}
+	if e.Planner().Threshold() != 0.15 {
+		t.Errorf("threshold = %v", e.Planner().Threshold())
+	}
+	if len(e.Subscriptions()) != 400 {
+		t.Errorf("subscriptions = %d", len(e.Subscriptions()))
+	}
+	if _, err := e.Deliver(0, geometry.Point{1, 1, 1, 1}); err != nil {
+		t.Errorf("Deliver: %v", err)
+	}
+}
+
+func TestEngineRunWithZipfPublishers(t *testing.T) {
+	e := buildEngine(t, 0.10)
+	rng := rand.New(rand.NewSource(44))
+	stubs := e.Graph().NodesByRole(topology.RoleStub)
+	pm, err := workload.ZipfPublishers(stubs, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot, err := e.RunWith(rng, 800, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.Messages != 800 {
+		t.Errorf("messages = %d", tot.Messages)
+	}
+	if _, err := e.RunWith(rng, 10, nil); err == nil {
+		t.Error("nil publisher model accepted")
+	}
+}

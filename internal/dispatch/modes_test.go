@@ -1,0 +1,142 @@
+package dispatch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/multicast"
+)
+
+func TestPlannerModeValidation(t *testing.T) {
+	f := newFixture(t, 5, cluster.AlgForgyKMeans)
+	if _, err := NewPlanner(f.clustering, f.matcher, f.cost, f.nodes,
+		Config{Mode: multicast.Mode(42)}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestPlannerModes(t *testing.T) {
+	f := newFixture(t, 7, cluster.AlgForgyKMeans)
+	rng := rand.New(rand.NewSource(21))
+	events := f.model.SampleN(rng, 800)
+	publishers := make([]int, len(events))
+	for i := range publishers {
+		publishers[i] = rng.Intn(f.g.NumNodes())
+	}
+
+	totals := map[multicast.Mode]Totals{}
+	for _, mode := range []multicast.Mode{multicast.ModeDense, multicast.ModeSparse, multicast.ModeALM} {
+		p, err := NewPlanner(f.clustering, f.matcher, f.cost, f.nodes,
+			Config{Threshold: 0.05, Mode: mode})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if p.Mode() != mode {
+			t.Fatalf("Mode() = %v", p.Mode())
+		}
+		var tot Totals
+		for i, ev := range events {
+			d, err := p.Deliver(publishers[i], ev)
+			if err != nil {
+				t.Fatalf("%v: %v", mode, err)
+			}
+			tot.Add(d)
+		}
+		totals[mode] = tot
+	}
+
+	// Decisions (unicast/multicast split) are identical across modes —
+	// the threshold rule does not depend on the mechanism — only the
+	// multicast pricing differs.
+	dense := totals[multicast.ModeDense]
+	for mode, tot := range totals {
+		if tot.Unicasts != dense.Unicasts || tot.Multicasts != dense.Multicasts {
+			t.Errorf("%v: decision split %d/%d differs from dense %d/%d",
+				mode, tot.Unicasts, tot.Multicasts, dense.Unicasts, dense.Multicasts)
+		}
+		if tot.Multicasts > 0 && tot.Cost <= 0 {
+			t.Errorf("%v: degenerate cost %v", mode, tot.Cost)
+		}
+	}
+	// Dense in-network trees are the cheapest mechanism on aggregate for
+	// these group sizes (sparse pays the RP detour, ALM pays per-hop
+	// path costs).
+	if dense.Cost > totals[multicast.ModeSparse].Cost {
+		t.Errorf("dense %v above sparse %v", dense.Cost, totals[multicast.ModeSparse].Cost)
+	}
+}
+
+func TestSparseModeUsesRendezvousCandidates(t *testing.T) {
+	f := newFixture(t, 3, cluster.AlgForgyKMeans)
+	// Restricting RP placement to one arbitrary node must still work.
+	p, err := NewPlanner(f.clustering, f.matcher, f.cost, f.nodes,
+		Config{Threshold: 0, Mode: multicast.ModeSparse, RendezvousCandidates: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := range p.groupRP {
+		if p.groupRP[q] != 0 {
+			t.Fatalf("group %d RP = %d, want forced 0", q, p.groupRP[q])
+		}
+	}
+}
+
+func TestCostOracleRule(t *testing.T) {
+	f := newFixture(t, 7, cluster.AlgForgyKMeans)
+	oracle, err := NewPlanner(f.clustering, f.matcher, f.cost, f.nodes,
+		Config{Rule: RuleCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracle.Rule() != RuleCost {
+		t.Fatalf("Rule() = %v", oracle.Rule())
+	}
+	rng := rand.New(rand.NewSource(31))
+	events := f.model.SampleN(rng, 1200)
+	publishers := make([]int, len(events))
+	for i := range publishers {
+		publishers[i] = rng.Intn(f.g.NumNodes())
+	}
+	var oracleTot Totals
+	for i, ev := range events {
+		d, err := oracle.Deliver(publishers[i], ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The oracle never pays more than unicast.
+		if d.Method != MethodNone && d.Cost > d.UnicastCost+1e-9 {
+			t.Fatalf("oracle cost %v above unicast %v", d.Cost, d.UnicastCost)
+		}
+		oracleTot.Add(d)
+	}
+	// And it dominates every threshold setting on the same stream.
+	for _, th := range []float64{0, 0.10, 0.25} {
+		p, err := NewPlanner(f.clustering, f.matcher, f.cost, f.nodes, Config{Threshold: th})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tot Totals
+		for i, ev := range events {
+			d, err := p.Deliver(publishers[i], ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tot.Add(d)
+		}
+		if oracleTot.Cost > tot.Cost+1e-6 {
+			t.Errorf("oracle total %v above threshold %.2f total %v", oracleTot.Cost, th, tot.Cost)
+		}
+	}
+}
+
+func TestRuleValidation(t *testing.T) {
+	f := newFixture(t, 3, cluster.AlgForgyKMeans)
+	if _, err := NewPlanner(f.clustering, f.matcher, f.cost, f.nodes,
+		Config{Rule: Rule(9)}); err == nil {
+		t.Error("unknown rule accepted")
+	}
+	if RuleThreshold.String() != "threshold" || RuleCost.String() != "cost" || Rule(9).String() != "rule(9)" {
+		t.Error("rule names wrong")
+	}
+}

@@ -1,0 +1,85 @@
+package dispatch
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// GroupStats aggregates the decisions that landed in one multicast group
+// (or the catch-all region), for observability when tuning the threshold.
+type GroupStats struct {
+	Group int // -1 for the catch-all S_0
+	Totals
+	// RatioSum accumulates |s|/|S_q| over in-group publications, so
+	// MeanRatio() reports how interested the group's traffic really is.
+	RatioSum float64
+}
+
+// MeanRatio returns the mean interested fraction of the group's
+// publications (0 for the catch-all, which has no group size).
+func (g *GroupStats) MeanRatio() float64 {
+	n := g.Unicasts + g.Multicasts
+	if n == 0 || g.Group < 0 {
+		return 0
+	}
+	return g.RatioSum / float64(n)
+}
+
+// Recorder accumulates per-group delivery statistics. It is not safe for
+// concurrent use; aggregate per goroutine and merge.
+type Recorder struct {
+	groups map[int]*GroupStats
+	all    Totals
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{groups: make(map[int]*GroupStats)}
+}
+
+// Record accumulates one decision.
+func (r *Recorder) Record(d Decision) {
+	r.all.Add(d)
+	g, ok := r.groups[d.Group]
+	if !ok {
+		g = &GroupStats{Group: d.Group}
+		r.groups[d.Group] = g
+	}
+	g.Add(d)
+	if d.Group >= 0 && d.GroupSize > 0 && d.Method != MethodNone {
+		g.RatioSum += float64(d.Interested) / float64(d.GroupSize)
+	}
+}
+
+// Totals returns the overall aggregate.
+func (r *Recorder) Totals() Totals { return r.all }
+
+// Groups returns the per-group statistics ordered by group index, with
+// the catch-all (-1) first when present.
+func (r *Recorder) Groups() []GroupStats {
+	out := make([]GroupStats, 0, len(r.groups))
+	for _, g := range r.groups {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Group < out[j].Group })
+	return out
+}
+
+// WriteTable renders the per-group breakdown.
+func (r *Recorder) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "%6s %9s %9s %10s %10s %10s %11s\n",
+		"group", "messages", "unicast", "multicast", "suppressed", "meanratio", "improvement")
+	for _, g := range r.Groups() {
+		label := fmt.Sprintf("%d", g.Group)
+		if g.Group < 0 {
+			label = "S_0"
+		}
+		fmt.Fprintf(w, "%6s %9d %9d %10d %10d %9.1f%% %10.1f%%\n",
+			label, g.Messages, g.Unicasts, g.Multicasts, g.Suppressed,
+			100*g.MeanRatio(), g.Improvement())
+	}
+	t := r.Totals()
+	fmt.Fprintf(w, "%6s %9d %9d %10d %10d %10s %10.1f%%\n",
+		"all", t.Messages, t.Unicasts, t.Multicasts, t.Suppressed, "", t.Improvement())
+}

@@ -1,0 +1,100 @@
+package dispatch
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestRecorderAggregation(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Decision{Group: 0, Method: MethodMulticast, Interested: 5, GroupSize: 10,
+		Cost: 7, UnicastCost: 10, IdealCost: 5})
+	r.Record(Decision{Group: 0, Method: MethodUnicast, Interested: 1, GroupSize: 10,
+		Cost: 3, UnicastCost: 3, IdealCost: 2})
+	r.Record(Decision{Group: -1, Method: MethodUnicast, Interested: 2,
+		Cost: 4, UnicastCost: 4, IdealCost: 3})
+	r.Record(Decision{Group: 1, Method: MethodNone})
+
+	groups := r.Groups()
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3", len(groups))
+	}
+	if groups[0].Group != -1 || groups[1].Group != 0 || groups[2].Group != 1 {
+		t.Fatalf("group order: %v %v %v", groups[0].Group, groups[1].Group, groups[2].Group)
+	}
+	g0 := groups[1]
+	if g0.Messages != 2 || g0.Unicasts != 1 || g0.Multicasts != 1 {
+		t.Errorf("group 0 stats = %+v", g0.Totals)
+	}
+	// Mean ratio of group 0: (0.5 + 0.1)/2 = 0.3.
+	if math.Abs(g0.MeanRatio()-0.3) > 1e-12 {
+		t.Errorf("MeanRatio = %v, want 0.3", g0.MeanRatio())
+	}
+	// Catch-all has no ratio.
+	if groups[0].MeanRatio() != 0 {
+		t.Errorf("catch-all MeanRatio = %v", groups[0].MeanRatio())
+	}
+	all := r.Totals()
+	if all.Messages != 4 || all.Suppressed != 1 {
+		t.Errorf("totals = %+v", all)
+	}
+
+	var sb strings.Builder
+	r.WriteTable(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "S_0") || !strings.Contains(out, "all") {
+		t.Errorf("table missing rows: %q", out)
+	}
+}
+
+func TestRecorderOnRealTraffic(t *testing.T) {
+	f := newFixture(t, 7, cluster.AlgForgyKMeans)
+	p := f.planner(t, 0.10)
+	rec := NewRecorder()
+	rng := rand.New(rand.NewSource(99))
+	var plain Totals
+	for i := 0; i < 1500; i++ {
+		d, err := p.Deliver(rng.Intn(f.g.NumNodes()), f.model.Sample(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Record(d)
+		plain.Add(d)
+	}
+	if rec.Totals() != plain {
+		t.Fatalf("recorder totals %+v != direct %+v", rec.Totals(), plain)
+	}
+	// Per-group message counts sum to the total.
+	sum := 0
+	for _, g := range rec.Groups() {
+		sum += g.Messages
+	}
+	if sum != plain.Messages {
+		t.Errorf("per-group sum %d != %d", sum, plain.Messages)
+	}
+	// Ratios are valid fractions.
+	for _, g := range rec.Groups() {
+		if r := g.MeanRatio(); r < 0 || r > 1 {
+			t.Errorf("group %d mean ratio %v", g.Group, r)
+		}
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	d := Decision{Group: 2, Method: MethodMulticast, Interested: 5, GroupSize: 40,
+		Cost: 12.5, UnicastCost: 20, IdealCost: 10}
+	s := d.String()
+	for _, want := range []string{"multicast", "S_3(|40|)", "5 interested", "12.5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	s0 := Decision{Group: -1, Method: MethodUnicast}.String()
+	if !strings.Contains(s0, "S_0") {
+		t.Errorf("catch-all String() = %q", s0)
+	}
+}

@@ -1,0 +1,453 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func TestNewTestbedPaperScale(t *testing.T) {
+	tb, err := NewTestbed(TestbedConfig{}, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tb.Graph.NumNodes(); n < 400 || n > 800 {
+		t.Errorf("nodes = %d, want ~600", n)
+	}
+	if len(tb.Subs) != 1000 {
+		t.Errorf("subscriptions = %d, want 1000", len(tb.Subs))
+	}
+}
+
+func TestNewTestbedOverrides(t *testing.T) {
+	topo := workloadSmallTopology()
+	subCfg := workload.DefaultSubscriptionConfig()
+	subCfg.Count = 100
+	tb, err := NewTestbed(TestbedConfig{Topology: &topo, Subscriptions: &subCfg}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Subs) != 100 {
+		t.Errorf("subscriptions = %d", len(tb.Subs))
+	}
+	if tb.Graph.Stats().Blocks != 3 {
+		t.Errorf("blocks = %d", tb.Graph.Stats().Blocks)
+	}
+}
+
+func TestFig3Topology(t *testing.T) {
+	r, err := Fig3Topology(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Blocks != 3 || len(r.Blocks) != 3 {
+		t.Errorf("blocks = %d/%d, want 3", r.Stats.Blocks, len(r.Blocks))
+	}
+	totalStub := 0
+	for _, b := range r.Blocks {
+		if b.TransitNodes == 0 || b.Stubs == 0 || b.StubNodes == 0 {
+			t.Errorf("degenerate block %+v", b)
+		}
+		totalStub += b.StubNodes
+	}
+	if totalStub != r.Stats.StubNodes {
+		t.Errorf("per-block stub nodes sum %d != %d", totalStub, r.Stats.StubNodes)
+	}
+	if r.DiameterSample <= 0 {
+		t.Error("diameter sample not positive")
+	}
+	var sb strings.Builder
+	r.WriteTable(&sb)
+	if !strings.Contains(sb.String(), "Figure 3") {
+		t.Error("table header missing")
+	}
+}
+
+func TestFig4DataAnalysis(t *testing.T) {
+	cfg := workload.DefaultTapeConfig()
+	cfg.Trades = 20000
+	r, err := Fig4DataAnalysis(cfg, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (a) normalized prices fit a tight normal around 1.
+	if math.Abs(r.PriceFit.Mu-1) > 0.01 {
+		t.Errorf("price mu = %v, want ~1", r.PriceFit.Mu)
+	}
+	if r.PriceFit.R2 < 0.95 {
+		t.Errorf("price normal fit R2 = %v, want close to 1", r.PriceFit.R2)
+	}
+	// (b) popularity is Zipf-like with theta near the configured 1.0.
+	if math.Abs(r.PopularityFit.Theta-1) > 0.35 {
+		t.Errorf("popularity theta = %v, want ~1", r.PopularityFit.Theta)
+	}
+	if r.PopularityFit.R2 < 0.8 {
+		t.Errorf("popularity R2 = %v", r.PopularityFit.R2)
+	}
+	// (c) amounts are heavy-tailed Pareto with alpha near 1.2.
+	if math.Abs(r.AmountFit.Alpha-1.2) > 0.1 {
+		t.Errorf("amount alpha = %v, want ~1.2", r.AmountFit.Alpha)
+	}
+	if r.AmountFit.R2 < 0.95 {
+		t.Errorf("amount R2 = %v", r.AmountFit.R2)
+	}
+	var sb strings.Builder
+	r.WriteTable(&sb)
+	for _, want := range []string{"Figure 4", "normal fit", "zipf fit", "pareto fit"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}
+
+func TestFig5TopStocks(t *testing.T) {
+	cfg := workload.DefaultTapeConfig()
+	cfg.Trades = 30000
+	profiles, err := Fig5TopStocks(cfg, 3, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 3 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	for i, p := range profiles {
+		if i > 0 && p.Trades > profiles[i-1].Trades {
+			t.Errorf("profiles not sorted by trade count")
+		}
+		// Per-stock prices are bell-shaped around 1 (Figure 5's claim).
+		if math.Abs(p.PriceFit.Mu-1) > 0.02 {
+			t.Errorf("stock %d price mu = %v", p.Stock, p.PriceFit.Mu)
+		}
+		if p.PriceFit.R2 < 0.85 {
+			t.Errorf("stock %d price R2 = %v", p.Stock, p.PriceFit.R2)
+		}
+	}
+	var sb strings.Builder
+	WriteFig5Table(&sb, profiles)
+	if !strings.Contains(sb.String(), "Figure 5") {
+		t.Error("table header missing")
+	}
+}
+
+func TestTbl1Parameters(t *testing.T) {
+	rows, err := Tbl1Parameters(DefaultSeed, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Name != "price" || rows[1].Name != "volume" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// Observed wildcard rate tracks q0 (clamping can only raise it).
+	for _, r := range rows {
+		if r.FracWildcard < r.Params.Q0-0.02 {
+			t.Errorf("%s wildcard %v below q0 %v", r.Name, r.FracWildcard, r.Params.Q0)
+		}
+		sum := r.FracWildcard + r.FracAtLeast + r.FracAtMost + r.FracBounded
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s fractions sum to %v", r.Name, sum)
+		}
+	}
+	if _, err := Tbl1Parameters(1, 0); err == nil {
+		t.Error("zero samples accepted")
+	}
+	var sb strings.Builder
+	WriteTbl1(&sb, rows)
+	if !strings.Contains(sb.String(), "parameter table") {
+		t.Error("table header missing")
+	}
+}
+
+// fig6Quick runs a drastically reduced Figure 6 configuration.
+func fig6Quick(t *testing.T) *Fig6Result {
+	t.Helper()
+	res, err := Fig6DistributionMethod(Fig6Config{
+		Seed:         DefaultSeed,
+		Groups:       []int{11},
+		Algorithms:   []cluster.Algorithm{cluster.AlgForgyKMeans, cluster.AlgMST},
+		Thresholds:   []float64{0, 0.10, 0.50},
+		Modes:        []int{9},
+		Publications: 1500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFig6DistributionMethod(t *testing.T) {
+	res := fig6Quick(t)
+	if len(res.Points) != 2*3 {
+		t.Fatalf("points = %d, want 6", len(res.Points))
+	}
+	byKey := map[string]Fig6Point{}
+	for _, p := range res.Points {
+		byKey[p.Algorithm.String()+string(rune('0'+int(p.Threshold*10)))] = p
+		if p.Unicasts+p.Multicasts+p.Suppressed != res.Config.Publications {
+			t.Fatalf("decision counts inconsistent: %+v", p)
+		}
+	}
+	// The paper's headline shape: a moderate threshold beats a huge one,
+	// and at t=0.5 essentially everything is unicast (improvement ~ 0).
+	forgyMid := byKey["forgy-kmeans1"]
+	forgyHigh := byKey["forgy-kmeans5"]
+	if forgyMid.Improvement <= forgyHigh.Improvement {
+		t.Errorf("t=0.10 improvement %.1f not above t=0.50 %.1f",
+			forgyMid.Improvement, forgyHigh.Improvement)
+	}
+	if math.Abs(forgyHigh.Improvement) > 5 {
+		t.Errorf("t=0.50 improvement = %.1f, want ~0", forgyHigh.Improvement)
+	}
+
+	best := res.BestThreshold()
+	if len(best) != 2 {
+		t.Errorf("best thresholds = %v", best)
+	}
+	var sb strings.Builder
+	res.WriteTable(&sb)
+	if !strings.Contains(sb.String(), "Figure 6") || !strings.Contains(sb.String(), "best thresholds") {
+		t.Error("table content missing")
+	}
+}
+
+func TestFig6Deterministic(t *testing.T) {
+	a := fig6Quick(t)
+	b := fig6Quick(t)
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, a.Points[i], b.Points[i])
+		}
+	}
+}
+
+func TestAblMatchScaling(t *testing.T) {
+	points, err := AblMatchScaling(MatchScaleConfig{
+		Ks: []int{500}, Ns: []int{2, 4}, Queries: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2*5 { // two N values x five algorithms
+		t.Fatalf("points = %d", len(points))
+	}
+	// All algorithms must agree on mean hits for the same (k, N).
+	hits := map[int]map[string]float64{}
+	for _, p := range points {
+		if hits[p.N] == nil {
+			hits[p.N] = map[string]float64{}
+		}
+		hits[p.N][p.Algorithm.String()] = p.Matches
+	}
+	for n, m := range hits {
+		var ref float64
+		first := true
+		for alg, h := range m {
+			if first {
+				ref, first = h, false
+				continue
+			}
+			if math.Abs(h-ref) > 1e-9 {
+				t.Errorf("N=%d: %s hits %v != %v", n, alg, h, ref)
+			}
+		}
+	}
+	var sb strings.Builder
+	WriteMatchScaling(&sb, points)
+	if !strings.Contains(sb.String(), "abl-match") {
+		t.Error("table header missing")
+	}
+}
+
+func TestAblStreeSweeps(t *testing.T) {
+	skew, err := AblStreeSkew(DefaultSeed, []float64{0.1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skew) != 2 || skew[0].Skew != 0.1 || skew[1].Skew != 0.5 {
+		t.Fatalf("skew points = %+v", skew)
+	}
+	branch, err := AblStreeBranch(DefaultSeed, []int{4, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(branch) != 2 || branch[0].BranchFactor != 4 || branch[1].BranchFactor != 40 {
+		t.Fatalf("branch points = %+v", branch)
+	}
+	// Higher fanout gives a shallower tree.
+	if branch[1].Height >= branch[0].Height {
+		t.Errorf("M=40 height %d not below M=4 height %d", branch[1].Height, branch[0].Height)
+	}
+	var sb strings.Builder
+	WriteStreeParams(&sb, "abl-skew", skew)
+	WriteStreeParams(&sb, "abl-branch", branch)
+	if !strings.Contains(sb.String(), "abl-skew") {
+		t.Error("table header missing")
+	}
+}
+
+func TestAblGroupCounts(t *testing.T) {
+	points, err := AblGroupCounts(DefaultSeed, []int{1, 11}, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %+v", points)
+	}
+	var sb strings.Builder
+	WriteGroupCounts(&sb, points)
+	if !strings.Contains(sb.String(), "abl-groups") {
+		t.Error("table header missing")
+	}
+}
+
+func workloadSmallTopology() topology.Config {
+	cfg := topology.DefaultConfig()
+	cfg.MeanStubNodes = 5
+	return cfg
+}
+
+func TestAblMulticastModes(t *testing.T) {
+	points, err := AblMulticastModes(DefaultSeed, []float64{0, 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 { // 3 modes x 2 thresholds
+		t.Fatalf("points = %d", len(points))
+	}
+	var sb strings.Builder
+	WriteMulticastModes(&sb, points)
+	if !strings.Contains(sb.String(), "abl-mode") {
+		t.Error("table header missing")
+	}
+}
+
+func TestAblGridSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	points, err := AblGridSensitivity(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 8 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Coverage must fall as the grid gets finer at fixed T.
+	if points[0].Covered < points[4].Covered {
+		t.Errorf("coverage did not fall with finer grids: C=3 %.3f vs C=8 %.3f",
+			points[0].Covered, points[4].Covered)
+	}
+	var sb strings.Builder
+	WriteGridSensitivity(&sb, points)
+	if !strings.Contains(sb.String(), "abl-grid") {
+		t.Error("table header missing")
+	}
+}
+
+func TestAblPublisherModels(t *testing.T) {
+	points, err := AblPublisherModels(DefaultSeed, []float64{0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	var sb strings.Builder
+	WritePublisherModels(&sb, points)
+	if !strings.Contains(sb.String(), "abl-publisher") {
+		t.Error("table header missing")
+	}
+}
+
+func TestAblDecisionRules(t *testing.T) {
+	points, err := AblDecisionRules(DefaultSeed, []float64{0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 { // one threshold + the oracle
+		t.Fatalf("points = %d", len(points))
+	}
+	oracle := points[len(points)-1]
+	if oracle.Rule != "cost-oracle" {
+		t.Fatalf("last point = %+v", oracle)
+	}
+	// The oracle dominates the threshold rule.
+	if oracle.Improvement < points[0].Improvement-1e-9 {
+		t.Errorf("oracle %.2f%% below threshold rule %.2f%%",
+			oracle.Improvement, points[0].Improvement)
+	}
+	var sb strings.Builder
+	WriteDecisionRules(&sb, points)
+	if !strings.Contains(sb.String(), "abl-rule") {
+		t.Error("table header missing")
+	}
+}
+
+func TestWriteFig6GroupBreakdown(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFig6GroupBreakdown(&sb, DefaultSeed, 500); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "per-group breakdown") || !strings.Contains(out, "S_0") {
+		t.Errorf("breakdown output missing content: %.200s", out)
+	}
+}
+
+func TestFig6WriteCSV(t *testing.T) {
+	res := fig6Quick(t)
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != len(res.Points)+1 {
+		t.Fatalf("csv lines = %d, want %d", len(lines), len(res.Points)+1)
+	}
+	if !strings.HasPrefix(lines[0], "algorithm,groups,modes,threshold") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "forgy-kmeans,11,9,") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestAblClusterAlgos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	points, err := AblClusterAlgos(DefaultSeed, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 { // forgy, batch, pairwise, mst
+		t.Fatalf("points = %d", len(points))
+	}
+	byAlg := map[string]ClusterAlgoPoint{}
+	for _, p := range points {
+		if p.Groups != 7 {
+			t.Errorf("%v groups = %d", p.Algorithm, p.Groups)
+		}
+		if p.Runtime <= 0 || p.TotalWaste < 0 {
+			t.Errorf("degenerate point %+v", p)
+		}
+		byAlg[p.Algorithm.String()] = p
+	}
+	// The paper's runtime ordering: pairwise is by far the slowest.
+	if byAlg["pairwise"].Runtime < byAlg["forgy-kmeans"].Runtime {
+		t.Errorf("pairwise (%v) faster than forgy (%v)",
+			byAlg["pairwise"].Runtime, byAlg["forgy-kmeans"].Runtime)
+	}
+	// And the quality ordering: MST is the worst clusterer.
+	if byAlg["mst"].TotalWaste < byAlg["forgy-kmeans"].TotalWaste {
+		t.Errorf("mst waste %v below forgy %v", byAlg["mst"].TotalWaste, byAlg["forgy-kmeans"].TotalWaste)
+	}
+	var sb strings.Builder
+	WriteClusterAlgos(&sb, points)
+	if !strings.Contains(sb.String(), "abl-cluster") {
+		t.Error("table header missing")
+	}
+}

@@ -1,0 +1,186 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig4Report reproduces the Figure 4 data study on the synthetic trade
+// tape: (a) the normalized price distribution and its normal fit, (b) the
+// per-stock trade-frequency series and its Zipf fit, (c) the trade-amount
+// distribution and its Pareto/Zipf fit.
+type Fig4Report struct {
+	Trades int
+	Stocks int
+
+	// (a) normalized prices.
+	PriceSummary stats.Summary
+	PriceFit     stats.NormalFit
+	PriceHist    *stats.Histogram
+	// PriceKS tests the prices against the fitted normal.
+	PriceKS stats.KSResult
+
+	// (b) trades per stock, decreasing.
+	TradeCounts   []int
+	PopularityFit stats.ZipfFit
+
+	// (c) trade amounts.
+	AmountSummary stats.Summary
+	AmountFit     stats.ParetoFit
+}
+
+// Fig4DataAnalysis generates a tape and runs the paper's fitting analysis
+// over it.
+func Fig4DataAnalysis(cfg workload.TapeConfig, seed int64) (*Fig4Report, error) {
+	rng := rand.New(rand.NewSource(seed))
+	trades, err := workload.GenerateTape(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	r := &Fig4Report{Trades: len(trades), Stocks: cfg.Stocks}
+
+	prices := make([]float64, len(trades))
+	amounts := make([]float64, len(trades))
+	for i, t := range trades {
+		prices[i] = t.NormalizedPrice()
+		amounts[i] = t.Amount
+	}
+
+	r.PriceSummary = stats.Summarize(prices)
+	r.PriceFit, err = stats.FitNormal(prices)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: price fit: %w", err)
+	}
+	hist, err := stats.NewHistogram(
+		r.PriceSummary.Mean-4*r.PriceSummary.Std,
+		r.PriceSummary.Mean+4*r.PriceSummary.Std, 20)
+	if err != nil {
+		return nil, err
+	}
+	hist.AddAll(prices)
+	r.PriceHist = hist
+	normCDF := func(x float64) float64 {
+		return workload.Normal{Mu: r.PriceFit.Mu, Sigma: r.PriceFit.Sigma}.CDF(x)
+	}
+	if r.PriceKS, err = stats.KSTest(prices, normCDF); err != nil {
+		return nil, fmt.Errorf("experiment: price KS: %w", err)
+	}
+
+	r.TradeCounts = workload.TradeCounts(trades, cfg.Stocks)
+	r.PopularityFit, err = stats.FitZipf(r.TradeCounts)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: popularity fit: %w", err)
+	}
+
+	r.AmountSummary = stats.Summarize(amounts)
+	r.AmountFit, err = stats.FitPareto(amounts)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: amount fit: %w", err)
+	}
+	return r, nil
+}
+
+// WriteTable renders the report.
+func (r *Fig4Report) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "Figure 4 — synthetic tape data study (%d trades, %d stocks)\n", r.Trades, r.Stocks)
+	fmt.Fprintf(w, "  (a) normalized price: mean=%.4f std=%.4f skew=%.3f exkurt=%.3f\n",
+		r.PriceSummary.Mean, r.PriceSummary.Std, r.PriceSummary.Skewness, r.PriceSummary.ExcessKurtosis)
+	fmt.Fprintf(w, "      normal fit: N(%.4f, %.4f) R2=%.4f  KS D=%.4f\n",
+		r.PriceFit.Mu, r.PriceFit.Sigma, r.PriceFit.R2, r.PriceKS.D)
+	fmt.Fprintf(w, "      histogram: %s\n", sparkline(r.PriceHist.Counts))
+	fmt.Fprintf(w, "  (b) trades per stock (top 10): %v\n", head(r.TradeCounts, 10))
+	fmt.Fprintf(w, "      zipf fit: theta=%.3f R2=%.4f\n", r.PopularityFit.Theta, r.PopularityFit.R2)
+	fmt.Fprintf(w, "  (c) trade amount: mean=%.0f min=%.0f max=%.0f\n",
+		r.AmountSummary.Mean, r.AmountSummary.Min, r.AmountSummary.Max)
+	fmt.Fprintf(w, "      pareto fit: scale=%.0f alpha=%.3f ccdf-loglog R2=%.4f\n",
+		r.AmountFit.Scale, r.AmountFit.Alpha, r.AmountFit.R2)
+}
+
+// Fig5Profile is one stock's row in the Figure 5 study: the price and
+// amount distributions of a most-traded stock.
+type Fig5Profile struct {
+	Stock     int
+	Trades    int
+	PriceFit  stats.NormalFit
+	AmountFit stats.ParetoFit
+	PriceHist *stats.Histogram
+}
+
+// Fig5TopStocks profiles the k most-traded stocks of a synthetic tape.
+func Fig5TopStocks(cfg workload.TapeConfig, k int, seed int64) ([]Fig5Profile, error) {
+	rng := rand.New(rand.NewSource(seed))
+	trades, err := workload.GenerateTape(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	top := workload.TopStocks(trades, cfg.Stocks, k)
+	profiles := make([]Fig5Profile, 0, len(top))
+	for _, stock := range top {
+		var prices, amounts []float64
+		for _, t := range trades {
+			if t.Stock != stock {
+				continue
+			}
+			prices = append(prices, t.NormalizedPrice())
+			amounts = append(amounts, t.Amount)
+		}
+		p := Fig5Profile{Stock: stock, Trades: len(prices)}
+		if p.PriceFit, err = stats.FitNormal(prices); err != nil {
+			return nil, fmt.Errorf("experiment: stock %d price fit: %w", stock, err)
+		}
+		if p.AmountFit, err = stats.FitPareto(amounts); err != nil {
+			return nil, fmt.Errorf("experiment: stock %d amount fit: %w", stock, err)
+		}
+		hist, err := stats.NewHistogram(p.PriceFit.Mu-4*p.PriceFit.Sigma, p.PriceFit.Mu+4*p.PriceFit.Sigma, 20)
+		if err != nil {
+			return nil, err
+		}
+		hist.AddAll(prices)
+		p.PriceHist = hist
+		profiles = append(profiles, p)
+	}
+	return profiles, nil
+}
+
+// WriteFig5Table renders the profiles.
+func WriteFig5Table(w io.Writer, profiles []Fig5Profile) {
+	fmt.Fprintf(w, "Figure 5 — most frequently traded stocks\n")
+	for i, p := range profiles {
+		fmt.Fprintf(w, "  #%d stock=%d trades=%d price N(%.4f, %.4f) R2=%.3f | amount Pareto(%.0f, %.2f) R2=%.3f\n",
+			i+1, p.Stock, p.Trades, p.PriceFit.Mu, p.PriceFit.Sigma, p.PriceFit.R2,
+			p.AmountFit.Scale, p.AmountFit.Alpha, p.AmountFit.R2)
+		fmt.Fprintf(w, "      price histogram: %s\n", sparkline(p.PriceHist.Counts))
+	}
+}
+
+// sparkline renders counts as a coarse ASCII bar string.
+func sparkline(counts []int) string {
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return strings.Repeat(".", len(counts))
+	}
+	levels := []byte(" .:-=+*#%@")
+	var sb strings.Builder
+	for _, c := range counts {
+		i := c * (len(levels) - 1) / max
+		sb.WriteByte(levels[i])
+	}
+	return sb.String()
+}
+
+func head(xs []int, n int) []int {
+	if n > len(xs) {
+		n = len(xs)
+	}
+	return xs[:n]
+}

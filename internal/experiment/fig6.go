@@ -1,0 +1,304 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/cluster"
+	"repro/internal/dispatch"
+	"repro/internal/geometry"
+	"repro/internal/match"
+	"repro/internal/multicast"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Fig6Config parameterises the Figure 6 experiment: the effect of
+// switching to unicast based on the proportion of interested clients.
+// Zero fields are completed to the paper's setup.
+type Fig6Config struct {
+	Seed int64
+	// Groups are the multicast group counts to evaluate (paper: 11, 61).
+	Groups []int
+	// Algorithms are the clustering algorithms to compare (paper: Forgy
+	// k-means, pairwise grouping, minimum spanning tree).
+	Algorithms []cluster.Algorithm
+	// Thresholds is the sweep of t values (0 = static multicast).
+	Thresholds []float64
+	// Modes are the publication hot-spot counts (paper: 1, 4, 9).
+	Modes []int
+	// Publications is the number of events simulated per configuration.
+	Publications int
+	// TopCells and GridRes tune the clustering stage.
+	TopCells int
+	GridRes  int
+}
+
+func (c Fig6Config) withDefaults() Fig6Config {
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	if len(c.Groups) == 0 {
+		c.Groups = []int{11, 61}
+	}
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = []cluster.Algorithm{cluster.AlgForgyKMeans, cluster.AlgPairwise, cluster.AlgMST}
+	}
+	if len(c.Thresholds) == 0 {
+		c.Thresholds = []float64{0, 0.05, 0.10, 0.15, 0.20, 0.30, 0.50}
+	}
+	if len(c.Modes) == 0 {
+		c.Modes = []int{9}
+	}
+	if c.Publications == 0 {
+		c.Publications = 10000
+	}
+	if c.TopCells == 0 {
+		c.TopCells = cluster.DefaultTopCells
+	}
+	if c.GridRes == 0 {
+		c.GridRes = cluster.DefaultGridRes
+	}
+	return c
+}
+
+// Fig6Point is one point of a Figure 6 curve.
+type Fig6Point struct {
+	Algorithm cluster.Algorithm
+	Groups    int
+	Modes     int
+	Threshold float64
+
+	Improvement float64
+	Unicasts    int
+	Multicasts  int
+	Suppressed  int
+}
+
+// Fig6Result is the full experiment output.
+type Fig6Result struct {
+	Config Fig6Config
+	Points []Fig6Point
+}
+
+// Fig6DistributionMethod runs the Figure 6 experiment: for every
+// (algorithm, group count, mode count) it clusters once, then sweeps the
+// distribution-method threshold over a fixed publication stream and
+// reports the improvement percentage over unicast. The event stream is
+// identical across algorithms, group counts and thresholds, so curves
+// are directly comparable.
+func Fig6DistributionMethod(cfg Fig6Config) (*Fig6Result, error) {
+	cfg = cfg.withDefaults()
+	tb, err := NewTestbed(TestbedConfig{}, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	interests := make([]cluster.Interest, len(tb.Subs))
+	msubs := make([]match.Subscription, len(tb.Subs))
+	nodes := make([]int, len(tb.Subs))
+	for i, s := range tb.Subs {
+		interests[i] = cluster.Interest{Rect: s.Rect, Subscriber: s.ID}
+		msubs[i] = match.Subscription{Rect: s.Rect, SubscriberID: s.ID}
+		nodes[i] = s.Node
+	}
+	matcher, err := match.New(msubs, match.Options{Algorithm: match.AlgSTree})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: matcher: %w", err)
+	}
+	cost := multicast.NewCostModel(tb.Graph)
+	stubs := tb.Graph.NodesByRole(topology.RoleStub)
+	if len(stubs) == 0 {
+		return nil, fmt.Errorf("experiment: topology has no stub nodes")
+	}
+
+	res := &Fig6Result{Config: cfg}
+	for _, modes := range cfg.Modes {
+		model, err := workload.StockPublications(modes)
+		if err != nil {
+			return nil, err
+		}
+		// Fixed stream per mode count.
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(modes)))
+		events := make([]geometry.Point, cfg.Publications)
+		publishers := make([]int, cfg.Publications)
+		for i := range events {
+			events[i] = model.Sample(rng)
+			publishers[i] = stubs[rng.Intn(len(stubs))]
+		}
+
+		for _, alg := range cfg.Algorithms {
+			for _, groups := range cfg.Groups {
+				clu, err := cluster.Build(interests, model, tb.Space.Domain, cluster.Config{
+					Groups:    groups,
+					TopCells:  cfg.TopCells,
+					GridRes:   cfg.GridRes,
+					Algorithm: alg,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("experiment: clustering (%v, n=%d): %w", alg, groups, err)
+				}
+				for _, th := range cfg.Thresholds {
+					planner, err := dispatch.NewPlanner(clu, matcher, cost, nodes, dispatch.Config{Threshold: th})
+					if err != nil {
+						return nil, err
+					}
+					var tot dispatch.Totals
+					for i, ev := range events {
+						d, err := planner.Deliver(publishers[i], ev)
+						if err != nil {
+							return nil, err
+						}
+						tot.Add(d)
+					}
+					res.Points = append(res.Points, Fig6Point{
+						Algorithm:   alg,
+						Groups:      groups,
+						Modes:       modes,
+						Threshold:   th,
+						Improvement: tot.Improvement(),
+						Unicasts:    tot.Unicasts,
+						Multicasts:  tot.Multicasts,
+						Suppressed:  tot.Suppressed,
+					})
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// BestThreshold returns, for each (algorithm, groups, modes) curve, the
+// threshold achieving the highest improvement.
+func (r *Fig6Result) BestThreshold() map[string]Fig6Point {
+	best := map[string]Fig6Point{}
+	for _, p := range r.Points {
+		key := fmt.Sprintf("%s/n=%d/modes=%d", p.Algorithm, p.Groups, p.Modes)
+		if cur, ok := best[key]; !ok || p.Improvement > cur.Improvement {
+			best[key] = p
+		}
+	}
+	return best
+}
+
+// WriteTable renders the curves, one row per (algorithm, groups, modes)
+// with the improvement at each threshold.
+func (r *Fig6Result) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "Figure 6 — improvement %% over unicast vs distribution-method threshold\n")
+	fmt.Fprintf(w, "(%d publications per cell; 0%% = all unicast, 100%% = per-message ideal multicast)\n",
+		r.Config.Publications)
+	fmt.Fprintf(w, "%-14s %6s %6s |", "algorithm", "groups", "modes")
+	for _, th := range r.Config.Thresholds {
+		fmt.Fprintf(w, " t=%3.0f%%", th*100)
+	}
+	fmt.Fprintln(w)
+	for _, modes := range r.Config.Modes {
+		for _, alg := range r.Config.Algorithms {
+			for _, groups := range r.Config.Groups {
+				fmt.Fprintf(w, "%-14s %6d %6d |", alg, groups, modes)
+				for _, th := range r.Config.Thresholds {
+					for _, p := range r.Points {
+						if p.Algorithm == alg && p.Groups == groups && p.Modes == modes && p.Threshold == th {
+							fmt.Fprintf(w, " %6.1f", p.Improvement)
+						}
+					}
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	}
+	fmt.Fprintf(w, "best thresholds per curve:\n")
+	best := r.BestThreshold()
+	for _, modes := range r.Config.Modes {
+		for _, alg := range r.Config.Algorithms {
+			for _, groups := range r.Config.Groups {
+				key := fmt.Sprintf("%s/n=%d/modes=%d", alg, groups, modes)
+				p := best[key]
+				fmt.Fprintf(w, "  %-28s t*=%3.0f%%  improvement=%.1f%%\n", key, p.Threshold*100, p.Improvement)
+			}
+		}
+	}
+}
+
+// WriteFig6GroupBreakdown re-runs the headline configuration (Forgy
+// k-means, 11 groups, 9 modes, t = 10%) with a per-group recorder and
+// renders the breakdown: how much traffic each group S_q attracts, its
+// mean interested fraction, and its improvement.
+func WriteFig6GroupBreakdown(w io.Writer, seed int64, publications int) error {
+	if publications == 0 {
+		publications = 10000
+	}
+	tb, err := NewTestbed(TestbedConfig{}, seed)
+	if err != nil {
+		return err
+	}
+	model, err := workload.StockPublications(9)
+	if err != nil {
+		return err
+	}
+	interests := make([]cluster.Interest, len(tb.Subs))
+	msubs := make([]match.Subscription, len(tb.Subs))
+	nodes := make([]int, len(tb.Subs))
+	for i, s := range tb.Subs {
+		interests[i] = cluster.Interest{Rect: s.Rect, Subscriber: s.ID}
+		msubs[i] = match.Subscription{Rect: s.Rect, SubscriberID: s.ID}
+		nodes[i] = s.Node
+	}
+	clu, err := cluster.Build(interests, model, tb.Space.Domain, cluster.Config{
+		Groups: 11, Algorithm: cluster.AlgForgyKMeans,
+	})
+	if err != nil {
+		return err
+	}
+	matcher, err := match.New(msubs, match.Options{Algorithm: match.AlgSTree})
+	if err != nil {
+		return err
+	}
+	planner, err := dispatch.NewPlanner(clu, matcher, multicast.NewCostModel(tb.Graph), nodes,
+		dispatch.Config{Threshold: 0.10})
+	if err != nil {
+		return err
+	}
+	stubs := tb.Graph.NodesByRole(topology.RoleStub)
+	rng := rand.New(rand.NewSource(seed + 9))
+	rec := dispatch.NewRecorder()
+	for i := 0; i < publications; i++ {
+		d, err := planner.Deliver(stubs[rng.Intn(len(stubs))], model.Sample(rng))
+		if err != nil {
+			return err
+		}
+		rec.Record(d)
+	}
+	fmt.Fprintf(w, "per-group breakdown (forgy k-means, 11 groups, 9 modes, t=10%%):\n")
+	rec.WriteTable(w)
+	return nil
+}
+
+// WriteCSV renders the Figure 6 points as CSV for external plotting:
+// algorithm,groups,modes,threshold,improvement,unicasts,multicasts,suppressed.
+func (r *Fig6Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"algorithm", "groups", "modes", "threshold", "improvement", "unicasts", "multicasts", "suppressed"}); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		rec := []string{
+			p.Algorithm.String(),
+			strconv.Itoa(p.Groups),
+			strconv.Itoa(p.Modes),
+			strconv.FormatFloat(p.Threshold, 'f', -1, 64),
+			strconv.FormatFloat(p.Improvement, 'f', 4, 64),
+			strconv.Itoa(p.Unicasts),
+			strconv.Itoa(p.Multicasts),
+			strconv.Itoa(p.Suppressed),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

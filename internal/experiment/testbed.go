@@ -1,0 +1,61 @@
+// Package experiment contains one harness per evaluation artifact of the
+// paper — each figure and table — plus the ablations documented in
+// DESIGN.md. Every harness is deterministic given its seed and returns
+// typed results; cmd/pubsub-bench renders them as the textual equivalent
+// of the paper's plots, and bench_test.go wraps them in testing.B
+// benchmarks.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// DefaultSeed is the seed used by all published runs. (The year the paper
+// appeared.)
+const DefaultSeed = 2003
+
+// Testbed is the shared simulation substrate of Section 5: the ~600-node
+// transit-stub topology and the 1000-subscription population.
+type Testbed struct {
+	Graph *topology.Graph
+	Space workload.Space
+	Subs  []workload.PlacedSubscription
+}
+
+// TestbedConfig controls testbed generation. The zero value selects the
+// paper's published parameters.
+type TestbedConfig struct {
+	// Topology overrides the transit-stub configuration. Nil selects
+	// topology.DefaultConfig().
+	Topology *topology.Config
+	// Subscriptions overrides the subscription generator configuration.
+	// Nil selects workload.DefaultSubscriptionConfig().
+	Subscriptions *workload.SubscriptionConfig
+}
+
+// NewTestbed builds the Section 5 testbed deterministically from a seed.
+func NewTestbed(cfg TestbedConfig, seed int64) (*Testbed, error) {
+	rng := rand.New(rand.NewSource(seed))
+	topoCfg := topology.DefaultConfig()
+	if cfg.Topology != nil {
+		topoCfg = *cfg.Topology
+	}
+	g, err := topology.Generate(topoCfg, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: topology: %w", err)
+	}
+	space := workload.StockSpace()
+	subCfg := workload.DefaultSubscriptionConfig()
+	if cfg.Subscriptions != nil {
+		subCfg = *cfg.Subscriptions
+	}
+	subs, err := workload.GenerateSubscriptions(g, space, subCfg, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: subscriptions: %w", err)
+	}
+	return &Testbed{Graph: g, Space: space, Subs: subs}, nil
+}

@@ -1,0 +1,277 @@
+// Package match defines the matching-problem abstraction: given a
+// publication event (a point in the event space), find every subscription
+// rectangle that contains it. It provides a common Matcher interface over
+// the paper's S-tree, the Hilbert R-tree baseline, and a brute-force
+// scanner that serves as both the correctness oracle and the naive
+// baseline in benchmarks.
+package match
+
+import (
+	"fmt"
+
+	"repro/internal/geometry"
+	"repro/internal/predindex"
+	"repro/internal/rtree"
+	"repro/internal/stree"
+)
+
+// Subscription couples a subscription rectangle with the identifier of the
+// subscriber that owns it. Several subscriptions may share a SubscriberID
+// (the paper's r_i rectangles per subscriber v_i).
+type Subscription struct {
+	Rect geometry.Rect
+	// SubscriberID identifies the subscriber; it is what queries return.
+	SubscriberID int
+}
+
+// Matcher answers the paper's matching problem: which subscribers are
+// interested in an event?
+type Matcher interface {
+	// Match returns the SubscriberIDs of all subscriptions containing p.
+	// A subscriber with several matching rectangles is reported once per
+	// matching rectangle; use MatchSet for deduplicated results.
+	Match(p geometry.Point) []int
+	// MatchFunc streams SubscriberIDs to fn; return false to stop early.
+	MatchFunc(p geometry.Point, fn func(subscriberID int) bool)
+	// Count returns the number of matching subscriptions.
+	Count(p geometry.Point) int
+	// Len reports the number of indexed subscriptions.
+	Len() int
+}
+
+// MatchSet returns the deduplicated set of subscriber IDs interested in p.
+// This is the list s used by the distribution-method scheme.
+func MatchSet(m Matcher, p geometry.Point) map[int]struct{} {
+	set := make(map[int]struct{})
+	m.MatchFunc(p, func(id int) bool {
+		set[id] = struct{}{}
+		return true
+	})
+	return set
+}
+
+// MatchUnique returns the deduplicated subscriber IDs interested in p as a
+// slice, in unspecified order.
+func MatchUnique(m Matcher, p geometry.Point) []int {
+	set := MatchSet(m, p)
+	ids := make([]int, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Algorithm selects a matcher implementation.
+type Algorithm int
+
+const (
+	// AlgSTree is the paper's S-tree matcher.
+	AlgSTree Algorithm = iota
+	// AlgHilbertRTree is the Hilbert-packed R-tree baseline.
+	AlgHilbertRTree
+	// AlgBruteForce scans every subscription.
+	AlgBruteForce
+	// AlgPredCount is a predicate-counting matcher in the style of the
+	// prior art the paper cites (Aguilera et al. [3], Fabret et al.
+	// [6]): per-dimension interval trees plus per-subscription
+	// satisfaction counters.
+	AlgPredCount
+	// AlgDynamicRTree is a Guttman-style dynamic R-tree built by
+	// inserting the subscriptions one at a time — the online
+	// counterpart to the statically packed trees, included to measure
+	// the packing advantage.
+	AlgDynamicRTree
+)
+
+// String returns the algorithm's display name.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgSTree:
+		return "s-tree"
+	case AlgHilbertRTree:
+		return "hilbert-rtree"
+	case AlgBruteForce:
+		return "brute-force"
+	case AlgPredCount:
+		return "pred-count"
+	case AlgDynamicRTree:
+		return "dynamic-rtree"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// Options configure matcher construction. Zero values select the
+// defaults used throughout the paper (M=40, p=0.3).
+type Options struct {
+	Algorithm    Algorithm
+	BranchFactor int
+	Skew         float64 // S-tree only
+}
+
+// New builds a Matcher of the requested algorithm over the subscriptions.
+func New(subs []Subscription, opts Options) (Matcher, error) {
+	switch opts.Algorithm {
+	case AlgSTree:
+		entries := make([]stree.Entry, len(subs))
+		for i, s := range subs {
+			entries[i] = stree.Entry{Rect: s.Rect, ID: s.SubscriberID}
+		}
+		t, err := stree.Build(entries, stree.Options{BranchFactor: opts.BranchFactor, Skew: opts.Skew})
+		if err != nil {
+			return nil, fmt.Errorf("match: building s-tree: %w", err)
+		}
+		return (*streeMatcher)(t), nil
+	case AlgHilbertRTree:
+		entries := make([]rtree.Entry, len(subs))
+		for i, s := range subs {
+			entries[i] = rtree.Entry{Rect: s.Rect, ID: s.SubscriberID}
+		}
+		t, err := rtree.Build(entries, rtree.Options{BranchFactor: opts.BranchFactor})
+		if err != nil {
+			return nil, fmt.Errorf("match: building hilbert r-tree: %w", err)
+		}
+		return (*rtreeMatcher)(t), nil
+	case AlgBruteForce:
+		bf := make(BruteForce, len(subs))
+		copy(bf, subs)
+		return bf, nil
+	case AlgPredCount:
+		psubs := make([]predindex.Subscription, len(subs))
+		for i, s := range subs {
+			psubs[i] = predindex.Subscription{Rect: s.Rect, SubscriberID: s.SubscriberID}
+		}
+		ix, err := predindex.Build(psubs)
+		if err != nil {
+			return nil, fmt.Errorf("match: building predicate index: %w", err)
+		}
+		return (*predMatcher)(ix), nil
+	case AlgDynamicRTree:
+		d, err := rtree.NewDynamic(opts.BranchFactor)
+		if err != nil {
+			return nil, fmt.Errorf("match: building dynamic r-tree: %w", err)
+		}
+		for _, s := range subs {
+			if err := d.Insert(rtree.Entry{Rect: s.Rect, ID: s.SubscriberID}); err != nil {
+				return nil, fmt.Errorf("match: building dynamic r-tree: %w", err)
+			}
+		}
+		return (*dynamicMatcher)(d), nil
+	default:
+		return nil, fmt.Errorf("match: unknown algorithm %d", opts.Algorithm)
+	}
+}
+
+// MustNew is New, panicking on error.
+func MustNew(subs []Subscription, opts Options) Matcher {
+	m, err := New(subs, opts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// BruteForce matches by scanning every subscription. It is the O(k)
+// baseline and the oracle against which tree matchers are validated.
+type BruteForce []Subscription
+
+var _ Matcher = BruteForce(nil)
+
+// Match implements Matcher.
+func (b BruteForce) Match(p geometry.Point) []int {
+	var ids []int
+	b.MatchFunc(p, func(id int) bool {
+		ids = append(ids, id)
+		return true
+	})
+	return ids
+}
+
+// MatchFunc implements Matcher.
+func (b BruteForce) MatchFunc(p geometry.Point, fn func(int) bool) {
+	for _, s := range b {
+		if s.Rect.Contains(p) {
+			if !fn(s.SubscriberID) {
+				return
+			}
+		}
+	}
+}
+
+// Count implements Matcher.
+func (b BruteForce) Count(p geometry.Point) int {
+	n := 0
+	for _, s := range b {
+		if s.Rect.Contains(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// Len implements Matcher.
+func (b BruteForce) Len() int { return len(b) }
+
+type streeMatcher stree.Tree
+
+var _ Matcher = (*streeMatcher)(nil)
+
+func (m *streeMatcher) tree() *stree.Tree { return (*stree.Tree)(m) }
+
+func (m *streeMatcher) Match(p geometry.Point) []int { return m.tree().PointQuery(p) }
+
+func (m *streeMatcher) MatchFunc(p geometry.Point, fn func(int) bool) {
+	m.tree().PointQueryFunc(p, fn)
+}
+
+func (m *streeMatcher) Count(p geometry.Point) int { return m.tree().CountQuery(p) }
+
+func (m *streeMatcher) Len() int { return m.tree().Len() }
+
+type predMatcher predindex.Index
+
+var _ Matcher = (*predMatcher)(nil)
+
+func (m *predMatcher) index() *predindex.Index { return (*predindex.Index)(m) }
+
+func (m *predMatcher) Match(p geometry.Point) []int { return m.index().Match(p) }
+
+func (m *predMatcher) MatchFunc(p geometry.Point, fn func(int) bool) {
+	m.index().MatchFunc(p, fn)
+}
+
+func (m *predMatcher) Count(p geometry.Point) int { return m.index().Count(p) }
+
+func (m *predMatcher) Len() int { return m.index().Len() }
+
+type dynamicMatcher rtree.Dynamic
+
+var _ Matcher = (*dynamicMatcher)(nil)
+
+func (m *dynamicMatcher) tree() *rtree.Dynamic { return (*rtree.Dynamic)(m) }
+
+func (m *dynamicMatcher) Match(p geometry.Point) []int { return m.tree().PointQuery(p) }
+
+func (m *dynamicMatcher) MatchFunc(p geometry.Point, fn func(int) bool) {
+	m.tree().PointQueryFunc(p, fn)
+}
+
+func (m *dynamicMatcher) Count(p geometry.Point) int { return m.tree().CountQuery(p) }
+
+func (m *dynamicMatcher) Len() int { return m.tree().Len() }
+
+type rtreeMatcher rtree.Tree
+
+var _ Matcher = (*rtreeMatcher)(nil)
+
+func (m *rtreeMatcher) tree() *rtree.Tree { return (*rtree.Tree)(m) }
+
+func (m *rtreeMatcher) Match(p geometry.Point) []int { return m.tree().PointQuery(p) }
+
+func (m *rtreeMatcher) MatchFunc(p geometry.Point, fn func(int) bool) {
+	m.tree().PointQueryFunc(p, fn)
+}
+
+func (m *rtreeMatcher) Count(p geometry.Point) int { return m.tree().CountQuery(p) }
+
+func (m *rtreeMatcher) Len() int { return m.tree().Len() }

@@ -1,0 +1,170 @@
+package match
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geometry"
+)
+
+func randomSubs(rng *rand.Rand, n, dims int) []Subscription {
+	subs := make([]Subscription, n)
+	for i := range subs {
+		r := make(geometry.Rect, dims)
+		for d := range r {
+			lo := rng.Float64() * 90
+			r[d] = geometry.Interval{Lo: lo, Hi: lo + 0.5 + rng.Float64()*10}
+		}
+		// Several subscriptions per subscriber: IDs repeat.
+		subs[i] = Subscription{Rect: r, SubscriberID: i / 3}
+	}
+	return subs
+}
+
+func randomPoint(rng *rand.Rand, dims int) geometry.Point {
+	p := make(geometry.Point, dims)
+	for d := range p {
+		p[d] = rng.Float64() * 100
+	}
+	return p
+}
+
+func sorted(ids []int) []int {
+	out := append([]int(nil), ids...)
+	sort.Ints(out)
+	return out
+}
+
+func equalIDs(a, b []int) bool {
+	a, b = sorted(a), sorted(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAlgorithmString(t *testing.T) {
+	tests := []struct {
+		alg  Algorithm
+		want string
+	}{
+		{AlgSTree, "s-tree"},
+		{AlgHilbertRTree, "hilbert-rtree"},
+		{AlgBruteForce, "brute-force"},
+		{AlgPredCount, "pred-count"},
+		{AlgDynamicRTree, "dynamic-rtree"},
+		{Algorithm(99), "algorithm(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.alg.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.alg, got, tt.want)
+		}
+	}
+}
+
+func TestNewUnknownAlgorithm(t *testing.T) {
+	if _, err := New(nil, Options{Algorithm: Algorithm(42)}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestNewPropagatesBuildErrors(t *testing.T) {
+	subs := []Subscription{{Rect: geometry.NewRect(5, 5), SubscriberID: 0}} // empty rect
+	for _, alg := range []Algorithm{AlgSTree, AlgHilbertRTree, AlgPredCount, AlgDynamicRTree} {
+		if _, err := New(subs, Options{Algorithm: alg}); err == nil {
+			t.Errorf("%v: empty rectangle accepted", alg)
+		}
+	}
+}
+
+func TestAllMatchersAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	subs := randomSubs(rng, 900, 4)
+	oracle := MustNew(subs, Options{Algorithm: AlgBruteForce})
+	for _, alg := range []Algorithm{AlgSTree, AlgHilbertRTree, AlgPredCount, AlgDynamicRTree} {
+		t.Run(alg.String(), func(t *testing.T) {
+			m := MustNew(subs, Options{Algorithm: alg, BranchFactor: 16})
+			if m.Len() != len(subs) {
+				t.Fatalf("Len = %d, want %d", m.Len(), len(subs))
+			}
+			for i := 0; i < 300; i++ {
+				p := randomPoint(rng, 4)
+				if !equalIDs(m.Match(p), oracle.Match(p)) {
+					t.Fatalf("Match(%v) disagrees with oracle", p)
+				}
+				if m.Count(p) != oracle.Count(p) {
+					t.Fatalf("Count(%v) disagrees with oracle", p)
+				}
+			}
+		})
+	}
+}
+
+func TestMatchSetDeduplicates(t *testing.T) {
+	subs := []Subscription{
+		{Rect: geometry.NewRect(0, 10, 0, 10), SubscriberID: 7},
+		{Rect: geometry.NewRect(2, 8, 2, 8), SubscriberID: 7},
+		{Rect: geometry.NewRect(0, 10, 0, 10), SubscriberID: 9},
+	}
+	for _, alg := range []Algorithm{AlgBruteForce, AlgSTree, AlgHilbertRTree, AlgPredCount, AlgDynamicRTree} {
+		m := MustNew(subs, Options{Algorithm: alg})
+		p := geometry.Point{5, 5}
+		if got := len(m.Match(p)); got != 3 {
+			t.Errorf("%v: Match returned %d hits, want 3 (per rectangle)", alg, got)
+		}
+		set := MatchSet(m, p)
+		if len(set) != 2 {
+			t.Errorf("%v: MatchSet = %v, want {7, 9}", alg, set)
+		}
+		uniq := MatchUnique(m, p)
+		if !equalIDs(uniq, []int{7, 9}) {
+			t.Errorf("%v: MatchUnique = %v, want [7 9]", alg, uniq)
+		}
+	}
+}
+
+func TestBruteForceEarlyStop(t *testing.T) {
+	subs := make([]Subscription, 20)
+	for i := range subs {
+		subs[i] = Subscription{Rect: geometry.NewRect(0, 1), SubscriberID: i}
+	}
+	m := MustNew(subs, Options{Algorithm: AlgBruteForce})
+	calls := 0
+	m.MatchFunc(geometry.Point{0.5}, func(int) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("early stop delivered %d, want 1", calls)
+	}
+}
+
+func TestBruteForceCopiesInput(t *testing.T) {
+	subs := randomSubs(rand.New(rand.NewSource(1)), 10, 2)
+	m := MustNew(subs, Options{Algorithm: AlgBruteForce})
+	subs[0].SubscriberID = 999999
+	p := subs[0].Rect.Center()
+	for _, id := range m.Match(p) {
+		if id == 999999 {
+			t.Fatal("BruteForce aliases the caller's slice")
+		}
+	}
+}
+
+func TestEmptyMatchers(t *testing.T) {
+	for _, alg := range []Algorithm{AlgBruteForce, AlgSTree, AlgHilbertRTree, AlgPredCount, AlgDynamicRTree} {
+		m := MustNew(nil, Options{Algorithm: alg})
+		if m.Len() != 0 {
+			t.Errorf("%v: Len = %d", alg, m.Len())
+		}
+		if got := m.Match(geometry.Point{1, 2}); len(got) != 0 {
+			t.Errorf("%v: Match on empty = %v", alg, got)
+		}
+	}
+}

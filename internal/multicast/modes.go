@@ -1,0 +1,155 @@
+package multicast
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mode selects a multicast delivery mechanism. The paper's evaluation
+// assumes dense mode; sparse mode and application-level multicast are
+// the alternatives it discusses (Section 5.2 and the Almeroth [4] /
+// ALMI [14] references), provided here for the abl-mode ablation.
+type Mode int
+
+const (
+	// ModeDense is dense-mode network multicast: routers forward along
+	// the shortest-path tree rooted at the publisher.
+	ModeDense Mode = iota
+	// ModeSparse is sparse-mode network multicast: the publisher
+	// unicasts to the group's rendezvous point, which forwards down a
+	// shared shortest-path tree rooted at itself.
+	ModeSparse
+	// ModeALM is application-level multicast: member end-hosts relay to
+	// each other along an overlay spanning tree (ALMI-style); each
+	// overlay hop is a unicast over the underlying shortest path.
+	ModeALM
+)
+
+// String returns the mode's display name.
+func (m Mode) String() string {
+	switch m {
+	case ModeDense:
+		return "dense"
+	case ModeSparse:
+		return "sparse"
+	case ModeALM:
+		return "alm"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// SparseCost returns the cost of a sparse-mode delivery: the publisher's
+// shortest path to the rendezvous point rp plus the shared tree rooted
+// at rp spanning the members.
+func (m *CostModel) SparseCost(src, rp int, members []int) (float64, error) {
+	fromSrc, err := m.Paths(src)
+	if err != nil {
+		return 0, err
+	}
+	fromRP, err := m.Paths(rp)
+	if err != nil {
+		return 0, err
+	}
+	toRP := fromSrc.Dist[rp]
+	if src == rp {
+		toRP = 0
+	}
+	return toRP + fromRP.TreeCost(members, nil), nil
+}
+
+// BestRendezvous returns the candidate node minimising the total
+// shortest-path distance to the members — the rendezvous-point placement
+// a sparse-mode deployment would pick per group. With no candidates
+// given, all nodes are considered (expensive on large graphs; pass the
+// transit nodes in practice).
+func (m *CostModel) BestRendezvous(members []int, candidates []int) (int, error) {
+	if len(members) == 0 {
+		return 0, fmt.Errorf("multicast: no members to choose a rendezvous point for")
+	}
+	if len(candidates) == 0 {
+		candidates = make([]int, m.g.NumNodes())
+		for i := range candidates {
+			candidates[i] = i
+		}
+	}
+	best, bestCost := -1, math.Inf(1)
+	for _, c := range candidates {
+		sp, err := m.Paths(c)
+		if err != nil {
+			return 0, err
+		}
+		total := 0.0
+		for _, v := range members {
+			total += sp.Dist[v]
+		}
+		if total < bestCost {
+			best, bestCost = c, total
+		}
+	}
+	return best, nil
+}
+
+// ALMCost returns the cost of an application-level multicast from src to
+// the members: a minimum spanning tree over {src} ∪ members in the
+// metric closure (overlay-hop weight = shortest-path distance), with
+// each overlay edge paid at its underlying path cost. Unreachable
+// members are skipped.
+func (m *CostModel) ALMCost(src int, members []int) (float64, error) {
+	// Deduplicate hosts; the tree spans each host once.
+	hostSet := map[int]struct{}{src: {}}
+	for _, v := range members {
+		hostSet[v] = struct{}{}
+	}
+	hosts := make([]int, 0, len(hostSet))
+	hosts = append(hosts, src)
+	for v := range hostSet {
+		if v != src {
+			hosts = append(hosts, v)
+		}
+	}
+	if len(hosts) == 1 {
+		return 0, nil
+	}
+
+	// Prim's algorithm over the metric closure, growing from src.
+	// dist[i] is the cheapest overlay edge connecting hosts[i] to the
+	// tree.
+	inTree := make([]bool, len(hosts))
+	best := make([]float64, len(hosts))
+	for i := range best {
+		best[i] = math.Inf(1)
+	}
+	inTree[0] = true
+	sp0, err := m.Paths(hosts[0])
+	if err != nil {
+		return 0, err
+	}
+	for i := 1; i < len(hosts); i++ {
+		best[i] = sp0.Dist[hosts[i]]
+	}
+	total := 0.0
+	for added := 1; added < len(hosts); added++ {
+		pick := -1
+		for i := range hosts {
+			if !inTree[i] && (pick < 0 || best[i] < best[pick]) {
+				pick = i
+			}
+		}
+		if pick < 0 || math.IsInf(best[pick], 1) {
+			break // remaining hosts unreachable
+		}
+		inTree[pick] = true
+		total += best[pick]
+		spPick, err := m.Paths(hosts[pick])
+		if err != nil {
+			return 0, err
+		}
+		for i := range hosts {
+			if !inTree[i] && spPick.Dist[hosts[i]] < best[i] {
+				best[i] = spPick.Dist[hosts[i]]
+			}
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,93 @@
+// Package multicast implements the paper's communication cost model over
+// a network topology. Delivery cost is "computed by summing up edge costs
+// on the links on which communication took place" (Section 5.2):
+//
+//   - unicast: one message per receiver over its shortest path, so the
+//     cost is the sum of shortest-path distances;
+//   - dense-mode multicast: routers forward along the shortest-path tree
+//     rooted at the publisher, so the cost is the edge-cost sum of the
+//     union of the receivers' shortest paths;
+//   - ideal: a multicast tree spanning exactly the interested receivers —
+//     the paper's 100% improvement bound.
+//
+// Shortest-path computations are cached per publisher node, and the model
+// is safe for concurrent use.
+package multicast
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/topology"
+)
+
+// CostModel computes delivery costs on a fixed topology. Create one with
+// NewCostModel; it caches Dijkstra results per source node.
+type CostModel struct {
+	g *topology.Graph
+
+	mu    sync.Mutex
+	cache map[int]*topology.ShortestPaths
+}
+
+// NewCostModel wraps the graph in a cost model.
+func NewCostModel(g *topology.Graph) *CostModel {
+	return &CostModel{g: g, cache: make(map[int]*topology.ShortestPaths)}
+}
+
+// Graph returns the underlying topology.
+func (m *CostModel) Graph() *topology.Graph { return m.g }
+
+// Paths returns the cached single-source shortest paths from src.
+func (m *CostModel) Paths(src int) (*topology.ShortestPaths, error) {
+	if src < 0 || src >= m.g.NumNodes() {
+		return nil, fmt.Errorf("multicast: source node %d out of range [0, %d)", src, m.g.NumNodes())
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sp, ok := m.cache[src]
+	if !ok {
+		sp = m.g.Dijkstra(src)
+		m.cache[src] = sp
+	}
+	return sp, nil
+}
+
+// UnicastCost returns the cost of unicasting from src to every receiver
+// node.
+func (m *CostModel) UnicastCost(src int, receivers []int) (float64, error) {
+	sp, err := m.Paths(src)
+	if err != nil {
+		return 0, err
+	}
+	return sp.UnicastCost(receivers), nil
+}
+
+// MulticastCost returns the cost of one dense-mode multicast from src to
+// the given group member nodes.
+func (m *CostModel) MulticastCost(src int, members []int) (float64, error) {
+	sp, err := m.Paths(src)
+	if err != nil {
+		return 0, err
+	}
+	return sp.TreeCost(members, nil), nil
+}
+
+// IdealCost returns the cost of the per-message ideal delivery: a
+// multicast tree spanning exactly the interested nodes. This is the
+// denominator of the paper's improvement percentage.
+func (m *CostModel) IdealCost(src int, interested []int) (float64, error) {
+	return m.MulticastCost(src, interested)
+}
+
+// Improvement converts an actual cost into the paper's normalised
+// improvement percentage for one or more aggregated messages:
+// 0% is all-unicast delivery, 100% is per-message ideal multicast.
+// It returns 0 when unicast and ideal coincide (nothing to improve).
+func Improvement(unicast, actual, ideal float64) float64 {
+	den := unicast - ideal
+	if den <= 0 {
+		return 0
+	}
+	return 100 * (unicast - actual) / den
+}

@@ -1,0 +1,156 @@
+package multicast
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func starOfPaths(t *testing.T) *topology.Graph {
+	t.Helper()
+	// 0 - 1 - 2 and 1 - 3: shares edge (0,1) for receivers {2,3}.
+	g := topology.NewGraph(make([]topology.Node, 4))
+	for _, e := range []struct{ u, v int }{{0, 1}, {1, 2}, {1, 3}} {
+		if err := g.AddEdge(e.u, e.v, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestCostModelBasics(t *testing.T) {
+	m := NewCostModel(starOfPaths(t))
+	uni, err := m.UnicastCost(0, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uni != 4 {
+		t.Errorf("UnicastCost = %v, want 4", uni)
+	}
+	mc, err := m.MulticastCost(0, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc != 3 {
+		t.Errorf("MulticastCost = %v, want 3", mc)
+	}
+	ideal, err := m.IdealCost(0, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ideal != 2 {
+		t.Errorf("IdealCost = %v, want 2", ideal)
+	}
+}
+
+func TestCostModelSourceValidation(t *testing.T) {
+	m := NewCostModel(starOfPaths(t))
+	if _, err := m.Paths(-1); err == nil {
+		t.Error("negative source accepted")
+	}
+	if _, err := m.Paths(4); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if _, err := m.UnicastCost(99, nil); err == nil {
+		t.Error("UnicastCost with bad source accepted")
+	}
+	if _, err := m.MulticastCost(99, nil); err == nil {
+		t.Error("MulticastCost with bad source accepted")
+	}
+}
+
+func TestCostModelCaching(t *testing.T) {
+	m := NewCostModel(starOfPaths(t))
+	a, err := m.Paths(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Paths(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Paths not cached")
+	}
+}
+
+func TestCostModelConcurrentUse(t *testing.T) {
+	g := topology.MustGenerate(topology.DefaultConfig(), rand.New(rand.NewSource(1)))
+	m := NewCostModel(g)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				src := rng.Intn(g.NumNodes())
+				recv := []int{rng.Intn(g.NumNodes()), rng.Intn(g.NumNodes())}
+				if _, err := m.MulticastCost(src, recv); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := m.UnicastCost(src, recv); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestMulticastNeverBeatsIdealNorLosesToUnicast(t *testing.T) {
+	g := topology.MustGenerate(topology.DefaultConfig(), rand.New(rand.NewSource(2)))
+	m := NewCostModel(g)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		src := rng.Intn(g.NumNodes())
+		k := 1 + rng.Intn(30)
+		recv := make([]int, k)
+		for j := range recv {
+			recv[j] = rng.Intn(g.NumNodes())
+		}
+		uni, err := m.UnicastCost(src, recv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := m.MulticastCost(src, recv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const eps = 1e-9
+		if mc > uni+eps {
+			t.Fatalf("multicast %v > unicast %v for same receivers", mc, uni)
+		}
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	tests := []struct {
+		name                   string
+		unicast, actual, ideal float64
+		want                   float64
+	}{
+		{name: "no improvement", unicast: 100, actual: 100, ideal: 50, want: 0},
+		{name: "full improvement", unicast: 100, actual: 50, ideal: 50, want: 100},
+		{name: "half", unicast: 100, actual: 75, ideal: 50, want: 50},
+		{name: "worse than unicast is negative", unicast: 100, actual: 120, ideal: 50, want: -40},
+		{name: "degenerate denominator", unicast: 50, actual: 50, ideal: 50, want: 0},
+		{name: "ideal above unicast clamps", unicast: 50, actual: 50, ideal: 60, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Improvement(tt.unicast, tt.actual, tt.ideal); got != tt.want {
+				t.Errorf("Improvement = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}

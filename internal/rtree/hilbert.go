@@ -1,0 +1,71 @@
+package rtree
+
+// Hilbert-curve machinery for bottom-up tree packing. The curve order is
+// fixed at bitsPerDim bits per dimension; rectangle centers are quantised
+// onto the resulting 2^bitsPerDim grid inside the data set's bounding
+// frame before their Hilbert indices are compared.
+//
+// The coordinate-to-index conversion is Skilling's transpose algorithm
+// ("Programming the Hilbert curve", AIP Conf. Proc. 707, 2004), which
+// works for any dimensionality.
+
+const bitsPerDim = 16
+
+// axesToTranspose converts grid coordinates (each bitsPerDim bits wide)
+// into the "transposed" Hilbert representation in place. Interleaving the
+// bits of the result, most significant first, yields the scalar Hilbert
+// index.
+func axesToTranspose(x []uint32) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	const m = uint32(1) << (bitsPerDim - 1)
+
+	// Inverse undo excess work.
+	for q := m; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < n; i++ {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+
+	// Gray encode.
+	for i := 1; i < n; i++ {
+		x[i] ^= x[i-1]
+	}
+	var t uint32
+	for q := m; q > 1; q >>= 1 {
+		if x[n-1]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] ^= t
+	}
+}
+
+// hilbertKey interleaves the transposed coordinates into a byte string
+// whose lexicographic order equals Hilbert-index order. The key is
+// ceil(bitsPerDim*len(x)/8) bytes long.
+func hilbertKey(x []uint32) []byte {
+	n := len(x)
+	totalBits := bitsPerDim * n
+	key := make([]byte, (totalBits+7)/8)
+	bit := 0
+	for b := bitsPerDim - 1; b >= 0; b-- {
+		for i := 0; i < n; i++ {
+			if x[i]&(1<<uint(b)) != 0 {
+				key[bit/8] |= 1 << uint(7-bit%8)
+			}
+			bit++
+		}
+	}
+	return key
+}

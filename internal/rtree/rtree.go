@@ -1,0 +1,312 @@
+// Package rtree implements a Hilbert-packed R-tree (Kamel & Faloutsos,
+// VLDB 1994), the matching baseline named by the paper. In contrast to the
+// S-tree's top-down binarization, packing here is bottom-up: rectangle
+// centers are sorted along a d-dimensional Hilbert space-filling curve and
+// grouped into full leaves of M entries, then leaf MBRs are grouped M at a
+// time into internal nodes, and so on to the root. The resulting tree is
+// perfectly height balanced.
+package rtree
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geometry"
+)
+
+// Entry is one indexed rectangle with its caller-assigned identifier.
+type Entry struct {
+	Rect geometry.Rect
+	ID   int
+}
+
+// DefaultBranchFactor mirrors the S-tree's typical fanout so that the two
+// indexes are compared at equal page capacity.
+const DefaultBranchFactor = 40
+
+// Options configure packing.
+type Options struct {
+	// BranchFactor is the node capacity M. Zero selects
+	// DefaultBranchFactor.
+	BranchFactor int
+}
+
+func (o Options) withDefaults() Options {
+	if o.BranchFactor == 0 {
+		o.BranchFactor = DefaultBranchFactor
+	}
+	return o
+}
+
+type node struct {
+	mbr      geometry.Rect
+	children []*node
+	entries  []Entry
+}
+
+func (n *node) isLeaf() bool { return len(n.children) == 0 }
+
+// Tree is an immutable Hilbert-packed R-tree. The zero value is an empty
+// tree matching nothing.
+type Tree struct {
+	root *node
+	size int
+	dims int
+}
+
+// Build packs the entries into a Hilbert R-tree. The input slice is not
+// retained or reordered. All rectangles must share dimensionality and be
+// non-empty.
+func Build(entries []Entry, opts Options) (*Tree, error) {
+	opts = opts.withDefaults()
+	if opts.BranchFactor < 2 {
+		return nil, fmt.Errorf("rtree: branch factor must be >= 2, got %d", opts.BranchFactor)
+	}
+	t := &Tree{size: len(entries)}
+	if len(entries) == 0 {
+		return t, nil
+	}
+	t.dims = entries[0].Rect.Dims()
+	for _, e := range entries {
+		if e.Rect.Dims() != t.dims {
+			return nil, fmt.Errorf("rtree: mixed dimensionality: %d vs %d", e.Rect.Dims(), t.dims)
+		}
+		if e.Rect.Empty() {
+			return nil, fmt.Errorf("rtree: entry %d has an empty rectangle", e.ID)
+		}
+	}
+
+	ordered := hilbertSort(entries)
+	level := packLeaves(ordered, opts.BranchFactor)
+	for len(level) > 1 {
+		level = packInternal(level, opts.BranchFactor)
+	}
+	t.root = level[0]
+	return t, nil
+}
+
+// MustBuild is Build, panicking on error.
+func MustBuild(entries []Entry, opts Options) *Tree {
+	t, err := Build(entries, opts)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// hilbertSort returns the entries ordered by the Hilbert index of their
+// centers, quantised onto a 2^bitsPerDim grid over the data bounding box.
+func hilbertSort(entries []Entry) []Entry {
+	dims := entries[0].Rect.Dims()
+	frame := make(geometry.Rect, dims)
+	centers := make([]geometry.Point, len(entries))
+	for i, e := range entries {
+		centers[i] = e.Rect.Center()
+	}
+	for d := 0; d < dims; d++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, c := range centers {
+			lo = math.Min(lo, c[d])
+			hi = math.Max(hi, c[d])
+		}
+		if hi <= lo {
+			hi = lo + 1
+		}
+		frame[d] = geometry.Interval{Lo: lo, Hi: hi}
+	}
+
+	type keyed struct {
+		key []byte
+		e   Entry
+	}
+	keyedEntries := make([]keyed, len(entries))
+	coords := make([]uint32, dims)
+	maxCoord := float64(uint32(1)<<bitsPerDim - 1)
+	for i, e := range entries {
+		for d := 0; d < dims; d++ {
+			f := (centers[i][d] - frame[d].Lo) / (frame[d].Hi - frame[d].Lo)
+			coords[d] = uint32(math.Round(f * maxCoord))
+		}
+		work := append([]uint32(nil), coords...)
+		axesToTranspose(work)
+		keyedEntries[i] = keyed{key: hilbertKey(work), e: e}
+	}
+	sort.SliceStable(keyedEntries, func(i, j int) bool {
+		return bytes.Compare(keyedEntries[i].key, keyedEntries[j].key) < 0
+	})
+	out := make([]Entry, len(entries))
+	for i, k := range keyedEntries {
+		out[i] = k.e
+	}
+	return out
+}
+
+func packLeaves(ordered []Entry, m int) []*node {
+	var leaves []*node
+	for start := 0; start < len(ordered); start += m {
+		end := start + m
+		if end > len(ordered) {
+			end = len(ordered)
+		}
+		chunk := ordered[start:end]
+		rects := make([]geometry.Rect, len(chunk))
+		for i, e := range chunk {
+			rects[i] = e.Rect
+		}
+		leaves = append(leaves, &node{
+			mbr:     geometry.BoundingBox(rects...),
+			entries: append([]Entry(nil), chunk...),
+		})
+	}
+	return leaves
+}
+
+func packInternal(level []*node, m int) []*node {
+	var parents []*node
+	for start := 0; start < len(level); start += m {
+		end := start + m
+		if end > len(level) {
+			end = len(level)
+		}
+		chunk := level[start:end]
+		var mbr geometry.Rect
+		for _, c := range chunk {
+			mbr = mbr.Union(c.mbr)
+		}
+		parents = append(parents, &node{
+			mbr:      mbr,
+			children: append([]*node(nil), chunk...),
+		})
+	}
+	return parents
+}
+
+// Len reports the number of indexed entries.
+func (t *Tree) Len() int { return t.size }
+
+// Dims reports the dimensionality of the indexed rectangles, 0 when empty.
+func (t *Tree) Dims() int { return t.dims }
+
+// Bounds returns the MBR of all entries, or nil when empty.
+func (t *Tree) Bounds() geometry.Rect {
+	if t.root == nil {
+		return nil
+	}
+	return t.root.mbr.Clone()
+}
+
+// QueryStats reports traversal effort for one query.
+type QueryStats struct {
+	NodesVisited   int
+	LeavesVisited  int
+	EntriesTested  int
+	ResultsMatched int
+}
+
+// PointQuery returns the IDs of every rectangle containing p.
+func (t *Tree) PointQuery(p geometry.Point) []int {
+	ids, _ := t.PointQueryStats(p)
+	return ids
+}
+
+// PointQueryFunc streams matching IDs to fn; return false to stop early.
+func (t *Tree) PointQueryFunc(p geometry.Point, fn func(id int) bool) {
+	if t.root == nil {
+		return
+	}
+	var stats QueryStats
+	t.search(p, fn, &stats)
+}
+
+// CountQuery returns the number of rectangles containing p.
+func (t *Tree) CountQuery(p geometry.Point) int {
+	count := 0
+	t.PointQueryFunc(p, func(int) bool {
+		count++
+		return true
+	})
+	return count
+}
+
+// PointQueryStats is PointQuery with traversal statistics.
+func (t *Tree) PointQueryStats(p geometry.Point) ([]int, QueryStats) {
+	var (
+		ids   []int
+		stats QueryStats
+	)
+	if t.root == nil {
+		return nil, stats
+	}
+	t.search(p, func(id int) bool {
+		ids = append(ids, id)
+		return true
+	}, &stats)
+	stats.ResultsMatched = len(ids)
+	return ids, stats
+}
+
+func (t *Tree) search(p geometry.Point, fn func(id int) bool, stats *QueryStats) {
+	stack := make([]*node, 0, 32)
+	if t.root.mbr.Contains(p) {
+		stack = append(stack, t.root)
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		stats.NodesVisited++
+		if n.isLeaf() {
+			stats.LeavesVisited++
+			for _, e := range n.entries {
+				stats.EntriesTested++
+				if e.Rect.Contains(p) {
+					if !fn(e.ID) {
+						return
+					}
+				}
+			}
+			continue
+		}
+		for _, c := range n.children {
+			if c.mbr.Contains(p) {
+				stack = append(stack, c)
+			}
+		}
+	}
+}
+
+// TreeStats describes the packed tree's shape.
+type TreeStats struct {
+	Nodes     int
+	Leaves    int
+	Height    int
+	MaxBranch int
+}
+
+// Stats computes structural statistics.
+func (t *Tree) Stats() TreeStats {
+	var s TreeStats
+	if t.root == nil {
+		return s
+	}
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		s.Nodes++
+		if depth > s.Height {
+			s.Height = depth
+		}
+		if n.isLeaf() {
+			s.Leaves++
+			return
+		}
+		if len(n.children) > s.MaxBranch {
+			s.MaxBranch = len(n.children)
+		}
+		for _, c := range n.children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.root, 1)
+	return s
+}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KSResult is the outcome of a one-sample Kolmogorov-Smirnov test.
+type KSResult struct {
+	// D is the KS statistic: the supremum distance between the
+	// empirical CDF and the reference CDF.
+	D float64
+	// PValue is the asymptotic p-value of D (Kolmogorov distribution;
+	// accurate for n >= ~35).
+	PValue float64
+	// N is the sample size.
+	N int
+}
+
+// KSTest runs a one-sample Kolmogorov-Smirnov test of the sample against
+// the reference CDF. A small p-value rejects the hypothesis that the
+// sample was drawn from the reference distribution. It complements the
+// R² fits used in the Figure 4/5 analysis with a calibrated test.
+func KSTest(sample []float64, cdf func(float64) float64) (KSResult, error) {
+	if len(sample) == 0 {
+		return KSResult{}, fmt.Errorf("stats: KS test needs a non-empty sample")
+	}
+	if cdf == nil {
+		return KSResult{}, fmt.Errorf("stats: KS test needs a reference CDF")
+	}
+	xs := append([]float64(nil), sample...)
+	sort.Float64s(xs)
+	n := float64(len(xs))
+	d := 0.0
+	for i, x := range xs {
+		f := cdf(x)
+		if f < 0 || f > 1 || math.IsNaN(f) {
+			return KSResult{}, fmt.Errorf("stats: reference CDF returned %v at %v", f, x)
+		}
+		// Distance above and below the step.
+		dPlus := (float64(i)+1)/n - f
+		dMinus := f - float64(i)/n
+		d = math.Max(d, math.Max(dPlus, dMinus))
+	}
+	res := KSResult{D: d, N: len(xs)}
+	res.PValue = ksPValue(d, len(xs))
+	return res, nil
+}
+
+// ksPValue computes the asymptotic Kolmogorov p-value
+// P(D_n > d) ≈ 2 Σ_{k>=1} (-1)^{k-1} exp(-2 k² λ²), λ = d(√n + 0.12 + 0.11/√n).
+func ksPValue(d float64, n int) float64 {
+	sqrtN := math.Sqrt(float64(n))
+	lambda := d * (sqrtN + 0.12 + 0.11/sqrtN)
+	if lambda < 1e-10 {
+		return 1
+	}
+	sum := 0.0
+	for k := 1; k <= 100; k++ {
+		term := math.Exp(-2 * float64(k*k) * lambda * lambda)
+		if k%2 == 1 {
+			sum += term
+		} else {
+			sum -= term
+		}
+		if term < 1e-12 {
+			break
+		}
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

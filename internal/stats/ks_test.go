@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func stdNormalCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+func TestKSTestValidation(t *testing.T) {
+	if _, err := KSTest(nil, stdNormalCDF); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := KSTest([]float64{1}, nil); err == nil {
+		t.Error("nil CDF accepted")
+	}
+	bad := func(float64) float64 { return 2 }
+	if _, err := KSTest([]float64{1}, bad); err == nil {
+		t.Error("invalid CDF accepted")
+	}
+}
+
+func TestKSAcceptsMatchingDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sample := make([]float64, 2000)
+	for i := range sample {
+		sample[i] = rng.NormFloat64()
+	}
+	res, err := KSTest(sample, stdNormalCDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 2000 {
+		t.Errorf("N = %d", res.N)
+	}
+	if res.PValue < 0.01 {
+		t.Errorf("true-distribution sample rejected: D=%v p=%v", res.D, res.PValue)
+	}
+	if res.D > 0.05 {
+		t.Errorf("D = %v unexpectedly large", res.D)
+	}
+}
+
+func TestKSRejectsWrongDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Shifted sample vs standard normal: strongly rejected.
+	sample := make([]float64, 2000)
+	for i := range sample {
+		sample[i] = rng.NormFloat64() + 0.5
+	}
+	res, err := KSTest(sample, stdNormalCDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-6 {
+		t.Errorf("shifted sample not rejected: D=%v p=%v", res.D, res.PValue)
+	}
+}
+
+func TestKSDistanceHandComputed(t *testing.T) {
+	// Sample {0.5} vs U(0,1): ECDF jumps from 0 to 1 at 0.5; D = 0.5.
+	uniform := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	}
+	res, err := KSTest([]float64{0.5}, uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.D-0.5) > 1e-12 {
+		t.Errorf("D = %v, want 0.5", res.D)
+	}
+}
+
+func TestKSPValueMonotone(t *testing.T) {
+	// Larger D must give a smaller p-value at fixed n.
+	prev := 1.1
+	for _, d := range []float64{0.01, 0.03, 0.06, 0.1, 0.2} {
+		p := ksPValue(d, 500)
+		if p > prev {
+			t.Fatalf("p-value not monotone at D=%v: %v > %v", d, p, prev)
+		}
+		prev = p
+	}
+	if got := ksPValue(0, 100); got != 1 {
+		t.Errorf("p(0) = %v", got)
+	}
+}
+
+func TestKSInputNotMutated(t *testing.T) {
+	sample := []float64{3, 1, 2}
+	if _, err := KSTest(sample, stdNormalCDF); err != nil {
+		t.Fatal(err)
+	}
+	if sample[0] != 3 {
+		t.Error("KSTest sorted the caller's slice")
+	}
+}

@@ -1,0 +1,335 @@
+// Package stats provides the small statistical toolkit the evaluation
+// needs: histograms for rendering distribution figures, moment summaries,
+// simple linear regression, and the distribution fits used by the paper's
+// data study (normal fits for normalized prices, Zipf-like fits for
+// popularity and amount series).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a fixed-range equal-width histogram.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	// Below and Above count samples outside [Lo, Hi).
+	Below, Above int
+	// N counts all observed samples, including out-of-range ones.
+	N int
+}
+
+// NewHistogram creates a histogram with the given range and bin count.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: bins must be positive, got %d", bins)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: invalid histogram range [%v, %v)", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.N++
+	switch {
+	case x < h.Lo:
+		h.Below++
+	case x >= h.Hi:
+		h.Above++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i == len(h.Counts) { // floating point edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// AddAll records all samples.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 { return (h.Hi - h.Lo) / float64(len(h.Counts)) }
+
+// BinCenters returns the center coordinate of each bin.
+func (h *Histogram) BinCenters() []float64 {
+	w := h.BinWidth()
+	out := make([]float64, len(h.Counts))
+	for i := range out {
+		out[i] = h.Lo + (float64(i)+0.5)*w
+	}
+	return out
+}
+
+// Density returns the normalised density estimate per bin (integrates to
+// the in-range fraction of the sample).
+func (h *Histogram) Density() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.N == 0 {
+		return out
+	}
+	w := h.BinWidth()
+	for i, c := range h.Counts {
+		out[i] = float64(c) / (float64(h.N) * w)
+	}
+	return out
+}
+
+// Mode returns the center of the most populated bin.
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return h.Lo + (float64(best)+0.5)*h.BinWidth()
+}
+
+// Summary holds sample moments.
+type Summary struct {
+	N              int
+	Mean           float64
+	Std            float64
+	Skewness       float64
+	ExcessKurtosis float64
+	Min, Max       float64
+}
+
+// Summarize computes the sample moments of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	if len(xs) == 0 {
+		s.Min, s.Max = 0, 0
+		return s
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	var m2, m3, m4 float64
+	for _, x := range xs {
+		d := x - s.Mean
+		m2 += d * d
+		m3 += d * d * d
+		m4 += d * d * d * d
+	}
+	n := float64(len(xs))
+	m2 /= n
+	m3 /= n
+	m4 /= n
+	s.Std = math.Sqrt(m2)
+	if m2 > 0 {
+		s.Skewness = m3 / math.Pow(m2, 1.5)
+		s.ExcessKurtosis = m4/(m2*m2) - 3
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs by linear
+// interpolation of the sorted sample. It copies the input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(sorted) {
+		return sorted[i]
+	}
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}
+
+// Linear holds an ordinary-least-squares line fit y = Slope*x + Intercept
+// with its coefficient of determination.
+type Linear struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// FitLinear fits y = a*x + b by least squares. It requires at least two
+// points with non-constant x.
+func FitLinear(xs, ys []float64) (Linear, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return Linear{}, fmt.Errorf("stats: need matched samples of length >= 2, got %d and %d", len(xs), len(ys))
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Linear{}, fmt.Errorf("stats: constant x, cannot fit a line")
+	}
+	l := Linear{}
+	l.Slope = (n*sxy - sx*sy) / den
+	l.Intercept = (sy - l.Slope*sx) / n
+	ssTot := syy - sy*sy/n
+	if ssTot == 0 {
+		l.R2 = 1
+		return l, nil
+	}
+	ssRes := 0.0
+	for i := range xs {
+		r := ys[i] - (l.Slope*xs[i] + l.Intercept)
+		ssRes += r * r
+	}
+	l.R2 = 1 - ssRes/ssTot
+	return l, nil
+}
+
+// ZipfFit is the result of fitting a Zipf-like law count ~ rank^(-Theta).
+type ZipfFit struct {
+	// Theta is the fitted exponent (positive for decaying series).
+	Theta float64
+	// R2 is the goodness of the log-log linear fit.
+	R2 float64
+}
+
+// FitZipf fits a Zipf-like law to a series of counts sorted in decreasing
+// order (counts[i] is the frequency of the rank-(i+1) item). Zero counts
+// are skipped. This is the analysis behind Figure 4(b): a straight line on
+// the log-log popularity plot.
+func FitZipf(counts []int) (ZipfFit, error) {
+	var xs, ys []float64
+	for i, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log(float64(i+1)))
+		ys = append(ys, math.Log(float64(c)))
+	}
+	l, err := FitLinear(xs, ys)
+	if err != nil {
+		return ZipfFit{}, fmt.Errorf("stats: fitting zipf: %w", err)
+	}
+	return ZipfFit{Theta: -l.Slope, R2: l.R2}, nil
+}
+
+// NormalFit is a fitted normal distribution together with a histogram
+// goodness measure.
+type NormalFit struct {
+	Mu    float64
+	Sigma float64
+	// R2 compares the sample histogram against the fitted density.
+	R2 float64
+}
+
+// FitNormal fits N(mu, sigma) by moments and scores the fit with R2 of a
+// 40-bin histogram against the fitted density — the check behind
+// Figure 4(a)'s "can be approximated reasonably closely by a normal
+// distribution".
+func FitNormal(xs []float64) (NormalFit, error) {
+	if len(xs) < 10 {
+		return NormalFit{}, fmt.Errorf("stats: need >= 10 samples to fit, got %d", len(xs))
+	}
+	s := Summarize(xs)
+	if s.Std == 0 {
+		return NormalFit{}, fmt.Errorf("stats: constant sample, cannot fit a normal")
+	}
+	fit := NormalFit{Mu: s.Mean, Sigma: s.Std}
+	h, err := NewHistogram(s.Mean-4*s.Std, s.Mean+4*s.Std, 40)
+	if err != nil {
+		return NormalFit{}, err
+	}
+	h.AddAll(xs)
+	dens := h.Density()
+	centers := h.BinCenters()
+	pred := make([]float64, len(centers))
+	for i, c := range centers {
+		z := (c - fit.Mu) / fit.Sigma
+		pred[i] = math.Exp(-z*z/2) / (fit.Sigma * math.Sqrt(2*math.Pi))
+	}
+	var ssRes, ssTot, mean float64
+	for _, d := range dens {
+		mean += d
+	}
+	mean /= float64(len(dens))
+	for i := range dens {
+		ssRes += (dens[i] - pred[i]) * (dens[i] - pred[i])
+		ssTot += (dens[i] - mean) * (dens[i] - mean)
+	}
+	if ssTot == 0 {
+		fit.R2 = 0
+	} else {
+		fit.R2 = 1 - ssRes/ssTot
+	}
+	return fit, nil
+}
+
+// ParetoFit is a fitted Pareto tail.
+type ParetoFit struct {
+	Scale float64
+	Alpha float64
+	R2    float64
+}
+
+// FitPareto fits a Pareto distribution by maximum likelihood above the
+// sample minimum and scores the complementary-CDF log-log linearity —
+// the analysis behind Figure 4(c)/Figure 5's trade-amount tails.
+func FitPareto(xs []float64) (ParetoFit, error) {
+	if len(xs) < 10 {
+		return ParetoFit{}, fmt.Errorf("stats: need >= 10 samples to fit, got %d", len(xs))
+	}
+	scale := math.Inf(1)
+	for _, x := range xs {
+		if x <= 0 {
+			return ParetoFit{}, fmt.Errorf("stats: pareto fit needs positive samples, got %v", x)
+		}
+		scale = math.Min(scale, x)
+	}
+	// MLE: alpha = n / sum(log(x/scale)).
+	sumLog := 0.0
+	for _, x := range xs {
+		sumLog += math.Log(x / scale)
+	}
+	if sumLog == 0 {
+		return ParetoFit{}, fmt.Errorf("stats: constant sample, cannot fit a pareto")
+	}
+	fit := ParetoFit{Scale: scale, Alpha: float64(len(xs)) / sumLog}
+
+	// CCDF log-log linearity.
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var lx, ly []float64
+	n := len(sorted)
+	step := n / 200
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < n-1; i += step {
+		ccdf := float64(n-i) / float64(n)
+		lx = append(lx, math.Log(sorted[i]))
+		ly = append(ly, math.Log(ccdf))
+	}
+	if l, err := FitLinear(lx, ly); err == nil {
+		fit.R2 = l.R2
+	}
+	return fit, nil
+}

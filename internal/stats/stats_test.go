@@ -1,0 +1,313 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, err := NewHistogram(1, 1, 10); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewHistogram(2, 1, 10); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddAll([]float64{0, 0.5, 5, 9.999, -1, 10, 11})
+	if h.N != 7 {
+		t.Errorf("N = %d, want 7", h.N)
+	}
+	if h.Below != 1 || h.Above != 2 {
+		t.Errorf("Below/Above = %d/%d, want 1/2", h.Below, h.Above)
+	}
+	if h.Counts[0] != 2 { // 0 and 0.5
+		t.Errorf("bin 0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[5] != 1 || h.Counts[9] != 1 {
+		t.Errorf("bins = %v", h.Counts)
+	}
+}
+
+func TestHistogramDensityIntegrates(t *testing.T) {
+	h, err := NewHistogram(-3, 3, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50000; i++ {
+		h.Add(rng.NormFloat64())
+	}
+	total := 0.0
+	for _, d := range h.Density() {
+		total += d * h.BinWidth()
+	}
+	inRange := float64(h.N-h.Below-h.Above) / float64(h.N)
+	if math.Abs(total-inRange) > 1e-9 {
+		t.Errorf("density integrates to %v, want %v", total, inRange)
+	}
+}
+
+func TestHistogramModeAndCenters(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddAll([]float64{4.5, 4.6, 4.7, 1.0})
+	if got := h.Mode(); got != 5 {
+		t.Errorf("Mode = %v, want 5 (center of bin (4,6))", got)
+	}
+	centers := h.BinCenters()
+	if centers[0] != 1 || centers[4] != 9 {
+		t.Errorf("centers = %v", centers)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	if s.Std != 2 {
+		t.Errorf("Std = %v, want 2", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 || s.N != 8 {
+		t.Errorf("Min/Max/N = %v/%v/%d", s.Min, s.Max, s.N)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}
+
+func TestSummarizeNormalSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	s := Summarize(xs)
+	if math.Abs(s.Skewness) > 0.05 {
+		t.Errorf("normal sample skewness %v, want ~0", s.Skewness)
+	}
+	if math.Abs(s.ExcessKurtosis) > 0.1 {
+		t.Errorf("normal sample excess kurtosis %v, want ~0", s.ExcessKurtosis)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{q: 0, want: 1},
+		{q: 1, want: 5},
+		{q: 0.5, want: 3},
+		{q: 0.25, want: 2},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); got != tt.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) not NaN")
+	}
+	// Input must not be reordered.
+	xs2 := []float64{3, 1, 2}
+	Quantile(xs2, 0.5)
+	if xs2[0] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	l, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Slope-2) > 1e-12 || math.Abs(l.Intercept-1) > 1e-12 {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", l)
+	}
+	if math.Abs(l.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1", l.R2)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := FitLinear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FitLinear([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant x accepted")
+	}
+}
+
+func TestFitLinearConstantY(t *testing.T) {
+	l, err := FitLinear([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Slope != 0 || l.R2 != 1 {
+		t.Errorf("constant-y fit = %+v", l)
+	}
+}
+
+func TestFitZipfRecoversExponent(t *testing.T) {
+	// Counts from an exact Zipf law with theta = 1.2.
+	counts := make([]int, 200)
+	for i := range counts {
+		counts[i] = int(1e6 / math.Pow(float64(i+1), 1.2))
+	}
+	fit, err := FitZipf(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Theta-1.2) > 0.02 {
+		t.Errorf("Theta = %v, want ~1.2", fit.Theta)
+	}
+	if fit.R2 < 0.999 {
+		t.Errorf("R2 = %v, want ~1", fit.R2)
+	}
+}
+
+func TestFitZipfSkipsZeros(t *testing.T) {
+	counts := []int{100, 50, 0, 25, 0, 0}
+	if _, err := FitZipf(counts); err != nil {
+		t.Errorf("zeros broke the fit: %v", err)
+	}
+	if _, err := FitZipf([]int{0, 0}); err == nil {
+		t.Error("all-zero series accepted")
+	}
+}
+
+func TestFitNormalRecoversParameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = 7 + 2.5*rng.NormFloat64()
+	}
+	fit, err := FitNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Mu-7) > 0.05 || math.Abs(fit.Sigma-2.5) > 0.05 {
+		t.Errorf("fit = %+v, want mu 7 sigma 2.5", fit)
+	}
+	if fit.R2 < 0.98 {
+		t.Errorf("normal data R2 = %v, want close to 1", fit.R2)
+	}
+}
+
+func TestFitNormalRejectsBadInput(t *testing.T) {
+	if _, err := FitNormal([]float64{1, 2}); err == nil {
+		t.Error("tiny sample accepted")
+	}
+	constant := make([]float64, 20)
+	if _, err := FitNormal(constant); err == nil {
+		t.Error("constant sample accepted")
+	}
+}
+
+func TestFitNormalDetectsNonNormal(t *testing.T) {
+	// A heavy-tailed Pareto sample should fit a normal poorly.
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		xs[i] = math.Pow(u, -1/1.1)
+	}
+	fit, err := FitNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.R2 > 0.9 {
+		t.Errorf("Pareto sample fit a normal with R2 = %v; expected a poor fit", fit.R2)
+	}
+}
+
+func TestFitParetoRecoversAlpha(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 50000)
+	for i := range xs {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		xs[i] = 4 * math.Pow(u, -1/1.5)
+	}
+	fit, err := FitPareto(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Scale-4) > 0.01 {
+		t.Errorf("Scale = %v, want ~4", fit.Scale)
+	}
+	if math.Abs(fit.Alpha-1.5) > 0.05 {
+		t.Errorf("Alpha = %v, want ~1.5", fit.Alpha)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %v, want ~1", fit.R2)
+	}
+}
+
+func TestFitParetoRejectsBadInput(t *testing.T) {
+	if _, err := FitPareto([]float64{1, 2}); err == nil {
+		t.Error("tiny sample accepted")
+	}
+	neg := make([]float64, 20)
+	for i := range neg {
+		neg[i] = float64(i) - 5
+	}
+	if _, err := FitPareto(neg); err == nil {
+		t.Error("non-positive samples accepted")
+	}
+	constant := make([]float64, 20)
+	for i := range constant {
+		constant[i] = 3
+	}
+	if _, err := FitPareto(constant); err == nil {
+		t.Error("constant sample accepted")
+	}
+}
+
+func TestPropHistogramConservesSamples(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, err := NewHistogram(-5, 5, 1+rng.Intn(50))
+		if err != nil {
+			return false
+		}
+		n := rng.Intn(1000)
+		for i := 0; i < n; i++ {
+			h.Add(rng.NormFloat64() * 3)
+		}
+		inBins := 0
+		for _, c := range h.Counts {
+			inBins += c
+		}
+		return inBins+h.Below+h.Above == h.N && h.N == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,652 @@
+// Package stree implements the S-tree spatial index of Aggarwal, Wolf, Yu
+// and Epelman ("Using unbalanced trees for indexing multidimensional
+// objects", Knowledge and Information Systems 1:309-336, 1999), as used by
+// the paper for the content-based matching problem.
+//
+// An S-tree stores axis-aligned rectangles (subscriptions). Its node
+// structure is identical to an R-tree's — leaf records hold
+// (rectangle, subscription-id) pairs and internal records hold
+// (minimum-bounding-rectangle, child-pointer) pairs — but unlike an R-tree
+// it is not necessarily height balanced. Construction is a two stage
+// static packing:
+//
+//  1. Binarization: a binary tree is built top-down. Each node's entries
+//     are ordered by their centers along the node MBR's longest dimension
+//     and swept for the two-way split minimising the sum of the children's
+//     bounding-box volumes, subject to the skew constraint that each child
+//     holds at least p·N_A of the node's N_A objects.
+//  2. Compression: the binary tree is collapsed into an M-ary tree by
+//     repeatedly merging a parent with a branch-factor-2 child (the one
+//     with the highest leaf number), top-down in BFS order, until every
+//     node other than leaf and penultimate nodes has branch factor M.
+//
+// A publication event is matched with a point query: descend from the
+// root, pruning every subtree whose MBR does not contain the point.
+// Because subscriptions are exactly their own bounding boxes, the result
+// is exact, not approximate.
+package stree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geometry"
+)
+
+// Entry is one indexed subscription: its rectangle and caller-assigned
+// identifier.
+type Entry struct {
+	Rect geometry.Rect
+	ID   int
+}
+
+// DefaultBranchFactor is the paper's typical fanout M ("M is typically
+// chosen to be about 40").
+const DefaultBranchFactor = 40
+
+// DefaultSkew is the paper's typical skew factor p ("Typically p is chosen
+// to be about 0.3").
+const DefaultSkew = 0.3
+
+// Options configure S-tree construction.
+type Options struct {
+	// BranchFactor is the maximum fanout M of internal nodes. It also
+	// bounds the number of entries per leaf. Zero selects
+	// DefaultBranchFactor.
+	BranchFactor int
+	// Skew is the skew factor p in (0, 1/2]. Every binarization split
+	// leaves at least Skew·N_A objects on each side. Zero selects
+	// DefaultSkew.
+	Skew float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.BranchFactor == 0 {
+		o.BranchFactor = DefaultBranchFactor
+	}
+	if o.Skew == 0 {
+		o.Skew = DefaultSkew
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.BranchFactor < 2 {
+		return fmt.Errorf("stree: branch factor M must be >= 2, got %d", o.BranchFactor)
+	}
+	if o.Skew <= 0 || o.Skew > 0.5 {
+		return fmt.Errorf("stree: skew factor p must lie in (0, 1/2], got %g", o.Skew)
+	}
+	return nil
+}
+
+// node is a tree node. Exactly one of children/entries is non-empty;
+// leaves hold entries.
+type node struct {
+	mbr      geometry.Rect
+	children []*node
+	entries  []Entry
+	// leafObjects is the paper's "leaf number" N_A: the number of data
+	// objects stored in the leaf descendants of this node.
+	leafObjects int
+	dead        bool // set when compression merges this node away
+}
+
+func (n *node) isLeaf() bool { return len(n.children) == 0 }
+
+// penultimate reports whether every child is a leaf.
+func (n *node) penultimate() bool {
+	if n.isLeaf() {
+		return false
+	}
+	for _, c := range n.children {
+		if !c.isLeaf() {
+			return false
+		}
+	}
+	return true
+}
+
+// Tree is an immutable S-tree over a set of subscription entries.
+// Build it with Build; the zero value is an empty tree that matches
+// nothing.
+type Tree struct {
+	root *node
+	opts Options
+	size int
+	dims int
+}
+
+// Build constructs an S-tree over the entries. The entries slice is not
+// retained; rectangles are referenced, not copied. All rectangles must
+// share the same dimensionality. Building an empty set yields a tree whose
+// queries return nothing.
+func Build(entries []Entry, opts Options) (*Tree, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	t := &Tree{opts: opts, size: len(entries)}
+	if len(entries) == 0 {
+		return t, nil
+	}
+	t.dims = entries[0].Rect.Dims()
+	for _, e := range entries {
+		if e.Rect.Dims() != t.dims {
+			return nil, fmt.Errorf("stree: mixed dimensionality: %d vs %d", e.Rect.Dims(), t.dims)
+		}
+		if e.Rect.Empty() {
+			return nil, fmt.Errorf("stree: entry %d has an empty rectangle", e.ID)
+		}
+	}
+	b := &builder{opts: opts, frame: finiteFrame(entries)}
+	own := make([]Entry, len(entries))
+	copy(own, entries)
+	root := b.binarize(own)
+	compress(root, opts.BranchFactor)
+	t.root = root
+	return t, nil
+}
+
+// MustBuild is Build, panicking on error. Intended for tests and for
+// callers that pass validated options.
+func MustBuild(entries []Entry, opts Options) *Tree {
+	t, err := Build(entries, opts)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// finiteFrame computes a finite rectangle that covers every finite bound
+// among the entries, used to measure volumes in the presence of unbounded
+// subscription rectangles (e.g. "volume >= 1000" has no upper bound). A
+// dimension with no finite bounds at all measures as unit length.
+func finiteFrame(entries []Entry) geometry.Rect {
+	dims := entries[0].Rect.Dims()
+	frame := make(geometry.Rect, dims)
+	for d := range frame {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, e := range entries {
+			if v := e.Rect[d].Lo; !math.IsInf(v, 0) && v < lo {
+				lo = v
+			}
+			if v := e.Rect[d].Hi; !math.IsInf(v, 0) && v > hi {
+				hi = v
+			}
+			// A finite Hi can also lower-bound the frame, and vice versa.
+			if v := e.Rect[d].Hi; !math.IsInf(v, 0) && v < lo {
+				lo = v
+			}
+			if v := e.Rect[d].Lo; !math.IsInf(v, 0) && v > hi {
+				hi = v
+			}
+		}
+		if math.IsInf(lo, 0) || math.IsInf(hi, 0) || hi <= lo {
+			frame[d] = geometry.Interval{Lo: 0, Hi: 1}
+			continue
+		}
+		// Pad so clamped unbounded sides still dominate bounded ones.
+		pad := (hi - lo) * 0.1
+		frame[d] = geometry.Interval{Lo: lo - pad, Hi: hi + pad}
+	}
+	return frame
+}
+
+type builder struct {
+	opts  Options
+	frame geometry.Rect
+}
+
+// measure returns the packing volume of r: the volume of r clamped to the
+// finite frame. This equals r.Volume() for bounded inputs and stays finite
+// (and comparable) for unbounded ones.
+func (b *builder) measure(r geometry.Rect) float64 {
+	return r.Intersect(b.frame).Volume()
+}
+
+func (b *builder) measurePerimeter(r geometry.Rect) float64 {
+	return r.Intersect(b.frame).Perimeter()
+}
+
+// binarize implements the paper's Section 3.1 recursive sweep partition.
+func (b *builder) binarize(entries []Entry) *node {
+	mbr := geometry.BoundingBox(rectsOf(entries)...)
+	n := &node{mbr: mbr, leafObjects: len(entries)}
+	if len(entries) <= b.opts.BranchFactor {
+		n.entries = entries
+		return n
+	}
+
+	dim := mbr.LongestDim()
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].Rect[dim].Center() < entries[j].Rect[dim].Center()
+	})
+
+	q := b.bestSplit(entries)
+	left := entries[:q]
+	right := entries[q:]
+	n.children = []*node{b.binarize(left), b.binarize(right)}
+	return n
+}
+
+// bestSplit sweeps candidate split positions q with
+// ceil(p·N) <= q <= floor((1-p)·N), in increments of M, and returns the q
+// minimising V(I_B1)+V(I_B2); ties are broken by minimum total perimeter.
+func (b *builder) bestSplit(entries []Entry) int {
+	n := len(entries)
+	p := b.opts.Skew
+	m := b.opts.BranchFactor
+
+	qmin := int(math.Ceil(p * float64(n)))
+	qmax := int(math.Floor((1 - p) * float64(n)))
+	if qmin < 1 {
+		qmin = 1
+	}
+	if qmax > n-1 {
+		qmax = n - 1
+	}
+	if qmax < qmin {
+		qmin, qmax = n/2, n/2
+	}
+
+	// Prefix and suffix MBRs let each candidate split be evaluated in
+	// O(1) after O(n) preparation, exactly the incremental computation
+	// the paper notes "can be computed incrementally as the sweep
+	// progresses".
+	prefix := make([]geometry.Rect, n+1)
+	suffix := make([]geometry.Rect, n+1)
+	acc := geometry.Rect(nil)
+	for i := 0; i < n; i++ {
+		acc = acc.Union(entries[i].Rect)
+		prefix[i+1] = acc
+	}
+	acc = nil
+	for i := n - 1; i >= 0; i-- {
+		acc = acc.Union(entries[i].Rect)
+		suffix[i] = acc
+	}
+
+	bestQ := qmin
+	bestVol := math.Inf(1)
+	bestPerim := math.Inf(1)
+	for q := qmin; q <= qmax; q += m {
+		vol := b.measure(prefix[q]) + b.measure(suffix[q])
+		perim := b.measurePerimeter(prefix[q]) + b.measurePerimeter(suffix[q])
+		if vol < bestVol || (vol == bestVol && perim < bestPerim) {
+			bestQ, bestVol, bestPerim = q, vol, perim
+		}
+	}
+	return bestQ
+}
+
+func rectsOf(entries []Entry) []geometry.Rect {
+	rs := make([]geometry.Rect, len(entries))
+	for i, e := range entries {
+		rs[i] = e.Rect
+	}
+	return rs
+}
+
+// compress implements the paper's Section 3.2 in two phases:
+// first the bottom-up formation of penultimate nodes, then the top-down
+// BFS collapse of branch-factor-2 children.
+func compress(root *node, m int) {
+	if root.isLeaf() {
+		return
+	}
+	formPenultimate(root, m, nil)
+	collapseTopDown(root, m)
+}
+
+// formPenultimate finds every node A whose leaf-node count is <= M while
+// its parent's exceeds M, and flattens A so its children are exactly its
+// leaf descendants. Such A become the penultimate nodes of the final tree.
+func formPenultimate(n *node, m int, parent *node) {
+	if n.isLeaf() {
+		return
+	}
+	if leafNodeCount(n) <= m && (parent == nil || leafNodeCount(parent) > m) {
+		n.children = collectLeaves(n)
+		return
+	}
+	for _, c := range n.children {
+		formPenultimate(c, m, n)
+	}
+}
+
+func leafNodeCount(n *node) int {
+	if n.isLeaf() {
+		return 1
+	}
+	total := 0
+	for _, c := range n.children {
+		total += leafNodeCount(c)
+	}
+	return total
+}
+
+func collectLeaves(n *node) []*node {
+	if n.isLeaf() {
+		return []*node{n}
+	}
+	var leaves []*node
+	for _, c := range n.children {
+		leaves = append(leaves, collectLeaves(c)...)
+	}
+	return leaves
+}
+
+// collapseTopDown processes non-leaf nodes in BFS order. Each node keeps
+// absorbing its eligible child — the non-leaf, branch-factor-2 child with
+// the highest leaf number — until its branch factor reaches M or no
+// eligible child remains. Absorbing a child replaces it, in the parent's
+// child list, with the child's own children, raising the branch factor by
+// exactly one per step so M is never exceeded.
+func collapseTopDown(root *node, m int) {
+	queue := bfsInternal(root)
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		if a.dead || a.isLeaf() {
+			continue
+		}
+		for len(a.children) < m {
+			b := eligibleChild(a)
+			if b == nil {
+				break
+			}
+			b.dead = true
+			a.children = replaceChild(a.children, b, b.children)
+		}
+	}
+}
+
+// eligibleChild returns the non-leaf child of a with branch factor 2 that
+// has the highest leaf number, or nil if none exists. As the paper notes,
+// such a child can never be a leaf node.
+func eligibleChild(a *node) *node {
+	var best *node
+	for _, c := range a.children {
+		if c.isLeaf() || len(c.children) != 2 {
+			continue
+		}
+		if best == nil || c.leafObjects > best.leafObjects {
+			best = c
+		}
+	}
+	return best
+}
+
+func replaceChild(children []*node, old *node, repl []*node) []*node {
+	out := make([]*node, 0, len(children)-1+len(repl))
+	for _, c := range children {
+		if c == old {
+			out = append(out, repl...)
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func bfsInternal(root *node) []*node {
+	var order []*node
+	frontier := []*node{root}
+	for len(frontier) > 0 {
+		n := frontier[0]
+		frontier = frontier[1:]
+		if n.isLeaf() {
+			continue
+		}
+		order = append(order, n)
+		frontier = append(frontier, n.children...)
+	}
+	return order
+}
+
+// Len reports the number of indexed entries.
+func (t *Tree) Len() int { return t.size }
+
+// Dims reports the dimensionality of the indexed rectangles, 0 when empty.
+func (t *Tree) Dims() int { return t.dims }
+
+// Bounds returns the minimum bounding rectangle of all indexed entries,
+// or nil for an empty tree.
+func (t *Tree) Bounds() geometry.Rect {
+	if t.root == nil {
+		return nil
+	}
+	return t.root.mbr.Clone()
+}
+
+// PointQuery returns the IDs of every subscription rectangle containing p,
+// in unspecified order. This is the paper's matching operation.
+func (t *Tree) PointQuery(p geometry.Point) []int {
+	var ids []int
+	t.PointQueryFunc(p, func(id int) bool {
+		ids = append(ids, id)
+		return true
+	})
+	return ids
+}
+
+// PointQueryFunc streams the IDs of matching subscriptions to fn. Return
+// false from fn to stop the query early.
+func (t *Tree) PointQueryFunc(p geometry.Point, fn func(id int) bool) {
+	if t.root == nil {
+		return
+	}
+	var stats QueryStats
+	t.query(p, nil, fn, &stats)
+}
+
+// CountQuery returns the number of subscriptions matching p without
+// materialising the ID list.
+func (t *Tree) CountQuery(p geometry.Point) int {
+	count := 0
+	t.PointQueryFunc(p, func(int) bool {
+		count++
+		return true
+	})
+	return count
+}
+
+// QueryStats reports traversal effort for a single query, for evaluating
+// packing quality (the paper: "the choice of tree packing influences the
+// number of node pages which need to be examined").
+type QueryStats struct {
+	NodesVisited   int // tree nodes whose MBR was tested and entered
+	LeavesVisited  int // leaves among them
+	EntriesTested  int // leaf records compared against the point
+	ResultsMatched int
+}
+
+// PointQueryStats is PointQuery with traversal statistics.
+func (t *Tree) PointQueryStats(p geometry.Point) ([]int, QueryStats) {
+	var (
+		ids   []int
+		stats QueryStats
+	)
+	if t.root == nil {
+		return nil, stats
+	}
+	t.query(p, nil, func(id int) bool {
+		ids = append(ids, id)
+		return true
+	}, &stats)
+	stats.ResultsMatched = len(ids)
+	return ids, stats
+}
+
+// RegionQuery returns the IDs of every subscription rectangle intersecting
+// the query rectangle r.
+func (t *Tree) RegionQuery(r geometry.Rect) []int {
+	var ids []int
+	t.RegionQueryFunc(r, func(id int) bool {
+		ids = append(ids, id)
+		return true
+	})
+	return ids
+}
+
+// RegionQueryFunc streams the IDs of subscriptions intersecting r to fn;
+// return false from fn to stop early. Region queries answer
+// administrative questions such as "which subscriptions overlap this
+// part of the event space".
+func (t *Tree) RegionQueryFunc(r geometry.Rect, fn func(id int) bool) {
+	if t.root == nil {
+		return
+	}
+	var stats QueryStats
+	t.query(nil, r, fn, &stats)
+}
+
+// query walks the tree, pruning subtrees whose MBR misses the point (or
+// region). Exactly one of p, region is non-nil.
+func (t *Tree) query(p geometry.Point, region geometry.Rect, fn func(id int) bool, stats *QueryStats) {
+	hits := func(r geometry.Rect) bool {
+		if region != nil {
+			return r.Intersects(region)
+		}
+		return r.Contains(p)
+	}
+	stack := make([]*node, 0, 32)
+	if hits(t.root.mbr) {
+		stack = append(stack, t.root)
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		stats.NodesVisited++
+		if n.isLeaf() {
+			stats.LeavesVisited++
+			for _, e := range n.entries {
+				stats.EntriesTested++
+				if hits(e.Rect) {
+					if !fn(e.ID) {
+						return
+					}
+				}
+			}
+			continue
+		}
+		for _, c := range n.children {
+			if hits(c.mbr) {
+				stack = append(stack, c)
+			}
+		}
+	}
+}
+
+// TreeStats describes the structure of a built tree.
+type TreeStats struct {
+	Nodes       int // total nodes
+	Leaves      int // leaf nodes
+	Height      int // levels; a single-leaf tree has height 1
+	MaxBranch   int // maximum fanout observed
+	MeanBranch  float64
+	MeanLeafLen float64 // mean entries per leaf
+}
+
+// Stats computes structural statistics of the tree.
+func (t *Tree) Stats() TreeStats {
+	var s TreeStats
+	if t.root == nil {
+		return s
+	}
+	internal := 0
+	childSum := 0
+	entrySum := 0
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		s.Nodes++
+		if depth > s.Height {
+			s.Height = depth
+		}
+		if n.isLeaf() {
+			s.Leaves++
+			entrySum += len(n.entries)
+			return
+		}
+		internal++
+		childSum += len(n.children)
+		if len(n.children) > s.MaxBranch {
+			s.MaxBranch = len(n.children)
+		}
+		for _, c := range n.children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.root, 1)
+	if internal > 0 {
+		s.MeanBranch = float64(childSum) / float64(internal)
+	}
+	if s.Leaves > 0 {
+		s.MeanLeafLen = float64(entrySum) / float64(s.Leaves)
+	}
+	return s
+}
+
+// checkInvariants verifies structural invariants; it is used by tests.
+// It returns an error describing the first violation found.
+func (t *Tree) checkInvariants() error {
+	if t.root == nil {
+		return nil
+	}
+	m := t.opts.BranchFactor
+	seen := 0
+	var walk func(n *node, isRoot bool) error
+	walk = func(n *node, isRoot bool) error {
+		if n.dead {
+			return fmt.Errorf("stree: dead node reachable")
+		}
+		if n.isLeaf() {
+			if len(n.entries) == 0 {
+				return fmt.Errorf("stree: empty leaf")
+			}
+			if len(n.entries) > m {
+				return fmt.Errorf("stree: leaf holds %d > M=%d entries", len(n.entries), m)
+			}
+			seen += len(n.entries)
+			mbr := geometry.BoundingBox(rectsOf(n.entries)...)
+			if !n.mbr.Equal(mbr) {
+				return fmt.Errorf("stree: leaf MBR %v != computed %v", n.mbr, mbr)
+			}
+			return nil
+		}
+		if len(n.children) > m {
+			return fmt.Errorf("stree: node has branch factor %d > M=%d", len(n.children), m)
+		}
+		if len(n.children) < 2 && !isRoot {
+			return fmt.Errorf("stree: non-root internal node with branch factor %d", len(n.children))
+		}
+		// Compression fixpoint: a node below branch factor M must have
+		// no remaining eligible (non-leaf, branch-factor-2) child.
+		if len(n.children) < m && eligibleChild(n) != nil {
+			return fmt.Errorf("stree: node with branch factor %d < M=%d still has an eligible child", len(n.children), m)
+		}
+		var mbr geometry.Rect
+		for _, c := range n.children {
+			if !n.mbr.ContainsRect(c.mbr) {
+				return fmt.Errorf("stree: child MBR %v escapes parent %v", c.mbr, n.mbr)
+			}
+			mbr = mbr.Union(c.mbr)
+			if err := walk(c, false); err != nil {
+				return err
+			}
+		}
+		if !n.mbr.Equal(mbr) {
+			return fmt.Errorf("stree: node MBR %v != union of children %v", n.mbr, mbr)
+		}
+		return nil
+	}
+	if err := walk(t.root, true); err != nil {
+		return err
+	}
+	if seen != t.size {
+		return fmt.Errorf("stree: tree holds %d entries, expected %d", seen, t.size)
+	}
+	return nil
+}

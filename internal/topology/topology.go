@@ -1,0 +1,636 @@
+// Package topology generates transit-stub network topologies in the style
+// of the GT-ITM package (Zegura, Calvert, Bhattacharjee: "How to model an
+// internetwork", INFOCOM 1996) which the paper uses for its simulation
+// testbed, and provides the graph algorithms the cost model needs:
+// Dijkstra shortest paths and dense-mode shortest-path multicast trees.
+//
+// The paper's published configuration is three transit blocks with an
+// average of five transit nodes each, two stubs per transit node, and an
+// average of twenty nodes per stub — about 600 nodes in total.
+package topology
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Role classifies a node within the transit-stub hierarchy.
+type Role int
+
+const (
+	// RoleTransit marks a backbone node inside a transit block.
+	RoleTransit Role = iota
+	// RoleStub marks a leaf-domain node attached below a transit node.
+	RoleStub
+)
+
+// String returns the role's display name.
+func (r Role) String() string {
+	switch r {
+	case RoleTransit:
+		return "transit"
+	case RoleStub:
+		return "stub"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// Node carries the placement metadata of one network node.
+type Node struct {
+	Role Role
+	// Block is the transit-block index the node belongs to (for stub
+	// nodes, the block of their parent transit node).
+	Block int
+	// Stub is the stub-domain index within the whole topology, or -1 for
+	// transit nodes.
+	Stub int
+	// X, Y is the planar embedding used to derive edge costs.
+	X, Y float64
+}
+
+// Edge is one half of an undirected link.
+type Edge struct {
+	To   int
+	Cost float64
+}
+
+// Graph is an undirected weighted network. Build one with Generate or
+// NewGraph; it is safe for concurrent reads once built.
+type Graph struct {
+	nodes []Node
+	adj   [][]Edge
+	edges int
+}
+
+// NewGraph creates an empty graph with n isolated nodes of the given
+// metadata. Use AddEdge to connect them. It is exported so tests and
+// examples can construct hand-crafted networks.
+func NewGraph(nodes []Node) *Graph {
+	g := &Graph{
+		nodes: append([]Node(nil), nodes...),
+		adj:   make([][]Edge, len(nodes)),
+	}
+	return g
+}
+
+// AddEdge inserts the undirected edge (u, v) with the given positive cost.
+// Self-loops and duplicate edges are rejected.
+func (g *Graph) AddEdge(u, v int, cost float64) error {
+	if u == v {
+		return fmt.Errorf("topology: self-loop on node %d", u)
+	}
+	if u < 0 || u >= len(g.nodes) || v < 0 || v >= len(g.nodes) {
+		return fmt.Errorf("topology: edge (%d, %d) out of range [0, %d)", u, v, len(g.nodes))
+	}
+	if cost <= 0 || math.IsInf(cost, 0) || math.IsNaN(cost) {
+		return fmt.Errorf("topology: edge (%d, %d) has invalid cost %v", u, v, cost)
+	}
+	for _, e := range g.adj[u] {
+		if e.To == v {
+			return fmt.Errorf("topology: duplicate edge (%d, %d)", u, v)
+		}
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: v, Cost: cost})
+	g.adj[v] = append(g.adj[v], Edge{To: u, Cost: cost})
+	g.edges++
+	return nil
+}
+
+// NumNodes reports the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges reports the undirected edge count.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Node returns the metadata of node i.
+func (g *Graph) Node(i int) Node { return g.nodes[i] }
+
+// Neighbors returns the adjacency list of node i. The returned slice must
+// not be modified.
+func (g *Graph) Neighbors(i int) []Edge { return g.adj[i] }
+
+// NodesByRole returns the indices of all nodes with the given role.
+func (g *Graph) NodesByRole(role Role) []int {
+	var out []int
+	for i, n := range g.nodes {
+		if n.Role == role {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Connected reports whether the graph is a single connected component.
+func (g *Graph) Connected() bool {
+	if len(g.nodes) == 0 {
+		return true
+	}
+	seen := make([]bool, len(g.nodes))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[u] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				count++
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return count == len(g.nodes)
+}
+
+// ShortestPaths holds single-source shortest-path results: Dist[v] is the
+// cost of the cheapest path from the source, Parent[v] the predecessor on
+// that path (-1 for the source and unreachable nodes).
+type ShortestPaths struct {
+	Source int
+	Dist   []float64
+	Parent []int
+}
+
+// pqItem is a priority-queue element for Dijkstra.
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Dijkstra computes single-source shortest paths from src.
+func (g *Graph) Dijkstra(src int) *ShortestPaths {
+	n := len(g.nodes)
+	sp := &ShortestPaths{
+		Source: src,
+		Dist:   make([]float64, n),
+		Parent: make([]int, n),
+	}
+	for i := range sp.Dist {
+		sp.Dist[i] = math.Inf(1)
+		sp.Parent[i] = -1
+	}
+	sp.Dist[src] = 0
+	q := &pq{{node: src, dist: 0}}
+	done := make([]bool, n)
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		for _, e := range g.adj[it.node] {
+			if nd := it.dist + e.Cost; nd < sp.Dist[e.To] {
+				sp.Dist[e.To] = nd
+				sp.Parent[e.To] = it.node
+				heap.Push(q, pqItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	return sp
+}
+
+// UnicastCost returns the total cost of delivering one message from the
+// source to each receiver over its shortest path, i.e. the sum of the
+// receivers' shortest-path distances. Receivers equal to the source cost
+// nothing.
+func (sp *ShortestPaths) UnicastCost(receivers []int) float64 {
+	total := 0.0
+	for _, r := range receivers {
+		total += sp.Dist[r]
+	}
+	return total
+}
+
+// TreeCost returns the cost of the dense-mode multicast tree rooted at the
+// source spanning the receivers: the sum of edge costs on the union of the
+// receivers' shortest paths. This models routers forwarding one copy per
+// tree link (the paper's dense-mode assumption: "the routing tree is a
+// shortest path tree rooted at the publisher").
+//
+// The scratch slice, if non-nil, must have length >= len(Dist) and is used
+// to avoid per-call allocation; pass nil for a one-off computation.
+func (sp *ShortestPaths) TreeCost(receivers []int, scratch []int32) float64 {
+	if len(receivers) == 0 {
+		return 0
+	}
+	marked := scratch
+	if marked == nil || len(marked) < len(sp.Dist) {
+		marked = make([]int32, len(sp.Dist))
+	}
+	// Generation counter trick: zero only once per scratch buffer reuse
+	// would need a generation; keep it simple and clear the touched nodes
+	// at the end instead.
+	var touched []int
+	total := 0.0
+	for _, r := range receivers {
+		for v := r; v != sp.Source && marked[v] == 0; v = sp.Parent[v] {
+			if sp.Parent[v] < 0 {
+				break // unreachable receiver contributes nothing
+			}
+			marked[v] = 1
+			touched = append(touched, v)
+			total += sp.Dist[v] - sp.Dist[sp.Parent[v]]
+		}
+	}
+	for _, v := range touched {
+		marked[v] = 0
+	}
+	return total
+}
+
+// Stats summarises a topology for reporting (Figure 3).
+type Stats struct {
+	Nodes        int
+	TransitNodes int
+	StubNodes    int
+	Blocks       int
+	Stubs        int
+	Edges        int
+	MeanDegree   float64
+	MinEdgeCost  float64
+	MaxEdgeCost  float64
+}
+
+// Stats computes summary statistics of the graph.
+func (g *Graph) Stats() Stats {
+	s := Stats{
+		Nodes:       len(g.nodes),
+		Edges:       g.edges,
+		MinEdgeCost: math.Inf(1),
+		MaxEdgeCost: math.Inf(-1),
+	}
+	blocks := map[int]bool{}
+	stubs := map[int]bool{}
+	for i, n := range g.nodes {
+		switch n.Role {
+		case RoleTransit:
+			s.TransitNodes++
+		case RoleStub:
+			s.StubNodes++
+		}
+		blocks[n.Block] = true
+		if n.Stub >= 0 {
+			stubs[n.Stub] = true
+		}
+		for _, e := range g.adj[i] {
+			s.MinEdgeCost = math.Min(s.MinEdgeCost, e.Cost)
+			s.MaxEdgeCost = math.Max(s.MaxEdgeCost, e.Cost)
+		}
+	}
+	s.Blocks = len(blocks)
+	s.Stubs = len(stubs)
+	if s.Nodes > 0 {
+		s.MeanDegree = 2 * float64(s.Edges) / float64(s.Nodes)
+	}
+	if s.Edges == 0 {
+		s.MinEdgeCost, s.MaxEdgeCost = 0, 0
+	}
+	return s
+}
+
+// Config parameterises the transit-stub generator. The zero value is
+// invalid; use DefaultConfig for the paper's published setup.
+type Config struct {
+	// TransitBlocks is the number of transit domains (paper: 3).
+	TransitBlocks int
+	// MeanTransitNodes is the average number of transit nodes per block
+	// (paper: 5).
+	MeanTransitNodes int
+	// StubsPerTransit is the average number of stub domains attached to
+	// each transit node (paper: 2).
+	StubsPerTransit int
+	// MeanStubNodes is the average number of nodes per stub domain
+	// (paper: 20).
+	MeanStubNodes int
+	// ExtraEdgeProb is the probability of adding each candidate
+	// non-spanning-tree edge inside transit blocks and stub domains,
+	// controlling redundancy.
+	ExtraEdgeProb float64
+	// Costs selects how edge costs are assigned.
+	Costs CostAssignment
+	// Waxman enables Waxman-model extra edges (the random-graph model
+	// GT-ITM actually uses): each candidate pair (u, v) inside a domain
+	// is linked with probability WaxmanAlpha * exp(-d(u,v)/(WaxmanBeta*L))
+	// where d is Euclidean distance in the embedding and L the domain
+	// diameter. When false, extra edges are added uniformly with
+	// ExtraEdgeProb.
+	Waxman bool
+	// WaxmanAlpha and WaxmanBeta parameterise the Waxman model. Zeros
+	// select 0.4 and 0.6.
+	WaxmanAlpha float64
+	WaxmanBeta  float64
+	// RandomCostLo/Hi bound uniformly random edge costs when Costs is
+	// CostRandom. Zero values select [1, 10].
+	RandomCostLo float64
+	RandomCostHi float64
+}
+
+// CostAssignment selects the edge-cost model.
+type CostAssignment int
+
+const (
+	// CostRandom draws every edge cost uniformly from
+	// [RandomCostLo, RandomCostHi], the way GT-ITM assigns random edge
+	// weights. All links cost the same in expectation regardless of
+	// hierarchy level. This is the default.
+	CostRandom CostAssignment = iota
+	// CostEuclidean uses the Euclidean distance of the hierarchical
+	// planar embedding, making backbone links far more expensive than
+	// intra-stub links.
+	CostEuclidean
+)
+
+// String returns the assignment's display name.
+func (c CostAssignment) String() string {
+	switch c {
+	case CostRandom:
+		return "random"
+	case CostEuclidean:
+		return "euclidean"
+	default:
+		return fmt.Sprintf("costs(%d)", int(c))
+	}
+}
+
+// DefaultConfig returns the paper's published topology parameters,
+// yielding roughly 600 nodes.
+func DefaultConfig() Config {
+	return Config{
+		TransitBlocks:    3,
+		MeanTransitNodes: 5,
+		StubsPerTransit:  2,
+		MeanStubNodes:    20,
+		ExtraEdgeProb:    0.2,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.TransitBlocks < 1:
+		return fmt.Errorf("topology: TransitBlocks must be >= 1, got %d", c.TransitBlocks)
+	case c.MeanTransitNodes < 1:
+		return fmt.Errorf("topology: MeanTransitNodes must be >= 1, got %d", c.MeanTransitNodes)
+	case c.StubsPerTransit < 1:
+		return fmt.Errorf("topology: StubsPerTransit must be >= 1, got %d", c.StubsPerTransit)
+	case c.MeanStubNodes < 1:
+		return fmt.Errorf("topology: MeanStubNodes must be >= 1, got %d", c.MeanStubNodes)
+	case c.ExtraEdgeProb < 0 || c.ExtraEdgeProb > 1:
+		return fmt.Errorf("topology: ExtraEdgeProb must lie in [0, 1], got %g", c.ExtraEdgeProb)
+	}
+	switch c.Costs {
+	case CostRandom, CostEuclidean:
+	default:
+		return fmt.Errorf("topology: unknown cost assignment %d", int(c.Costs))
+	}
+	if c.Costs == CostRandom {
+		lo, hi := c.randomCostRange()
+		if lo <= 0 || hi < lo {
+			return fmt.Errorf("topology: invalid random cost range [%g, %g]", lo, hi)
+		}
+	}
+	if c.Waxman {
+		a, b := c.waxmanParams()
+		if a <= 0 || a > 1 || b <= 0 {
+			return fmt.Errorf("topology: invalid Waxman parameters alpha=%g beta=%g", a, b)
+		}
+	}
+	return nil
+}
+
+// waxmanParams returns the configured Waxman parameters, defaulting to
+// (0.4, 0.6).
+func (c Config) waxmanParams() (alpha, beta float64) {
+	alpha, beta = c.WaxmanAlpha, c.WaxmanBeta
+	if alpha == 0 && beta == 0 {
+		alpha, beta = 0.4, 0.6
+	}
+	return alpha, beta
+}
+
+// randomCostRange returns the configured random-cost bounds, defaulting
+// to [1, 10].
+func (c Config) randomCostRange() (lo, hi float64) {
+	lo, hi = c.RandomCostLo, c.RandomCostHi
+	if lo == 0 && hi == 0 {
+		lo, hi = 1, 10
+	}
+	return lo, hi
+}
+
+// sampleAround returns a positive integer near mean: mean +/- ~20%.
+func sampleAround(rng *rand.Rand, mean int) int {
+	if mean <= 1 {
+		return mean
+	}
+	spread := mean / 5
+	if spread < 1 {
+		spread = 1
+	}
+	n := mean + rng.Intn(2*spread+1) - spread
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Generate builds a random transit-stub topology. Edge costs are the
+// Euclidean distances of a hierarchical planar embedding, so backbone
+// (inter-block and transit) links are expensive and intra-stub links are
+// cheap — the locality structure GT-ITM produces.
+func Generate(cfg Config, rng *rand.Rand) (*Graph, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+
+	const (
+		blockRadius = 100.0 // distance of block centers from origin
+		transitSpan = 30.0  // spread of transit nodes within a block
+		stubOffset  = 12.0  // distance of a stub center from its transit node
+		stubSpan    = 3.0   // spread of stub nodes within a stub
+	)
+
+	var nodes []Node
+	type blockInfo struct {
+		transit []int // node indices
+	}
+	blocks := make([]blockInfo, cfg.TransitBlocks)
+	stubCount := 0
+
+	// Place transit nodes.
+	for b := 0; b < cfg.TransitBlocks; b++ {
+		angle := 2 * math.Pi * float64(b) / float64(cfg.TransitBlocks)
+		cx, cy := blockRadius*math.Cos(angle), blockRadius*math.Sin(angle)
+		nT := sampleAround(rng, cfg.MeanTransitNodes)
+		for i := 0; i < nT; i++ {
+			id := len(nodes)
+			nodes = append(nodes, Node{
+				Role:  RoleTransit,
+				Block: b,
+				Stub:  -1,
+				X:     cx + (rng.Float64()*2-1)*transitSpan,
+				Y:     cy + (rng.Float64()*2-1)*transitSpan,
+			})
+			blocks[b].transit = append(blocks[b].transit, id)
+		}
+	}
+
+	// Place stub domains and their nodes.
+	type stubInfo struct {
+		parent int // transit node index
+		member []int
+	}
+	var stubs []stubInfo
+	for b := range blocks {
+		for _, tn := range blocks[b].transit {
+			nStubs := sampleAround(rng, cfg.StubsPerTransit)
+			for s := 0; s < nStubs; s++ {
+				angle := rng.Float64() * 2 * math.Pi
+				scx := nodes[tn].X + stubOffset*math.Cos(angle)
+				scy := nodes[tn].Y + stubOffset*math.Sin(angle)
+				si := stubInfo{parent: tn}
+				nNodes := sampleAround(rng, cfg.MeanStubNodes)
+				for i := 0; i < nNodes; i++ {
+					id := len(nodes)
+					nodes = append(nodes, Node{
+						Role:  RoleStub,
+						Block: b,
+						Stub:  stubCount,
+						X:     scx + (rng.Float64()*2-1)*stubSpan,
+						Y:     scy + (rng.Float64()*2-1)*stubSpan,
+					})
+					si.member = append(si.member, id)
+				}
+				stubs = append(stubs, si)
+				stubCount++
+			}
+		}
+	}
+
+	g := NewGraph(nodes)
+	costLo, costHi := cfg.randomCostRange()
+	dist := func(u, v int) float64 {
+		if cfg.Costs == CostRandom {
+			return costLo + rng.Float64()*(costHi-costLo)
+		}
+		dx, dy := nodes[u].X-nodes[v].X, nodes[u].Y-nodes[v].Y
+		return math.Max(math.Hypot(dx, dy), 0.1)
+	}
+	euclid := func(u, v int) float64 {
+		dx, dy := nodes[u].X-nodes[v].X, nodes[u].Y-nodes[v].Y
+		return math.Hypot(dx, dy)
+	}
+	waxAlpha, waxBeta := cfg.waxmanParams()
+	connectRandomly := func(members []int) error {
+		// Random spanning tree (each node links to a random earlier one)
+		// guarantees connectivity; extra edges follow either the uniform
+		// ExtraEdgeProb model or the Waxman model GT-ITM uses.
+		for i := 1; i < len(members); i++ {
+			j := rng.Intn(i)
+			if err := g.AddEdge(members[i], members[j], dist(members[i], members[j])); err != nil {
+				return err
+			}
+		}
+		// Domain diameter for the Waxman probability.
+		diameter := 0.0
+		if cfg.Waxman {
+			for i := 0; i < len(members); i++ {
+				for j := i + 1; j < len(members); j++ {
+					diameter = math.Max(diameter, euclid(members[i], members[j]))
+				}
+			}
+			if diameter == 0 {
+				diameter = 1
+			}
+		}
+		for i := 0; i < len(members); i++ {
+			for j := i + 2; j < len(members); j++ {
+				prob := cfg.ExtraEdgeProb
+				if cfg.Waxman {
+					prob = waxAlpha * math.Exp(-euclid(members[i], members[j])/(waxBeta*diameter))
+				}
+				if rng.Float64() < prob {
+					u, v := members[i], members[j]
+					if !g.hasEdge(u, v) {
+						if err := g.AddEdge(u, v, dist(u, v)); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+		return nil
+	}
+
+	// Intra-block transit meshes.
+	for b := range blocks {
+		if err := connectRandomly(blocks[b].transit); err != nil {
+			return nil, err
+		}
+	}
+	// Inter-block backbone: connect every pair of blocks through random
+	// transit representatives (GT-ITM's top-level connected random graph;
+	// with three blocks the paper's figure shows a full triangle).
+	for a := 0; a < cfg.TransitBlocks; a++ {
+		for b := a + 1; b < cfg.TransitBlocks; b++ {
+			u := blocks[a].transit[rng.Intn(len(blocks[a].transit))]
+			v := blocks[b].transit[rng.Intn(len(blocks[b].transit))]
+			if !g.hasEdge(u, v) {
+				if err := g.AddEdge(u, v, dist(u, v)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Stub domains: internal mesh plus an uplink to the parent transit
+	// node.
+	for _, s := range stubs {
+		if err := connectRandomly(s.member); err != nil {
+			return nil, err
+		}
+		up := s.member[rng.Intn(len(s.member))]
+		if err := g.AddEdge(up, s.parent, dist(up, s.parent)); err != nil {
+			return nil, err
+		}
+	}
+
+	if !g.Connected() {
+		return nil, fmt.Errorf("topology: generated graph is not connected (%d nodes)", len(nodes))
+	}
+	return g, nil
+}
+
+// MustGenerate is Generate, panicking on error.
+func MustGenerate(cfg Config, rng *rand.Rand) *Graph {
+	g, err := Generate(cfg, rng)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *Graph) hasEdge(u, v int) bool {
+	for _, e := range g.adj[u] {
+		if e.To == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,406 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func lineGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	nodes := make([]Node, n)
+	g := NewGraph(nodes)
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddEdge(i, i+1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := NewGraph(make([]Node, 3))
+	tests := []struct {
+		name    string
+		u, v    int
+		cost    float64
+		wantErr bool
+	}{
+		{name: "ok", u: 0, v: 1, cost: 2.5},
+		{name: "duplicate", u: 0, v: 1, cost: 1, wantErr: true},
+		{name: "duplicate reversed", u: 1, v: 0, cost: 1, wantErr: true},
+		{name: "self loop", u: 2, v: 2, cost: 1, wantErr: true},
+		{name: "out of range", u: 0, v: 5, cost: 1, wantErr: true},
+		{name: "negative", u: 0, v: 2, cost: -1, wantErr: true},
+		{name: "zero cost", u: 0, v: 2, cost: 0, wantErr: true},
+		{name: "nan", u: 0, v: 2, cost: math.NaN(), wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := g.AddEdge(tt.u, tt.v, tt.cost)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("AddEdge(%d,%d,%v) err = %v, wantErr %v", tt.u, tt.v, tt.cost, err, tt.wantErr)
+			}
+		})
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestDijkstraLine(t *testing.T) {
+	g := lineGraph(t, 5)
+	sp := g.Dijkstra(0)
+	for i := 0; i < 5; i++ {
+		if sp.Dist[i] != float64(i) {
+			t.Errorf("Dist[%d] = %v, want %d", i, sp.Dist[i], i)
+		}
+	}
+	if sp.Parent[0] != -1 || sp.Parent[3] != 2 {
+		t.Errorf("parents = %v", sp.Parent)
+	}
+}
+
+func TestDijkstraPrefersCheaperPath(t *testing.T) {
+	// Triangle where the direct edge is more expensive than the detour.
+	g := NewGraph(make([]Node, 3))
+	for _, e := range []struct {
+		u, v int
+		c    float64
+	}{{0, 1, 10}, {0, 2, 3}, {2, 1, 3}} {
+		if err := g.AddEdge(e.u, e.v, e.c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sp := g.Dijkstra(0)
+	if sp.Dist[1] != 6 {
+		t.Errorf("Dist[1] = %v, want 6 via node 2", sp.Dist[1])
+	}
+	if sp.Parent[1] != 2 {
+		t.Errorf("Parent[1] = %d, want 2", sp.Parent[1])
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := NewGraph(make([]Node, 4))
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	sp := g.Dijkstra(0)
+	if !math.IsInf(sp.Dist[2], 1) || sp.Parent[2] != -1 {
+		t.Errorf("unreachable node: Dist=%v Parent=%d", sp.Dist[2], sp.Parent[2])
+	}
+	if g.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+}
+
+func TestUnicastCost(t *testing.T) {
+	g := lineGraph(t, 6)
+	sp := g.Dijkstra(0)
+	tests := []struct {
+		name      string
+		receivers []int
+		want      float64
+	}{
+		{name: "none", receivers: nil, want: 0},
+		{name: "single", receivers: []int{3}, want: 3},
+		{name: "several", receivers: []int{1, 2, 5}, want: 8},
+		{name: "source itself free", receivers: []int{0, 4}, want: 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := sp.UnicastCost(tt.receivers); got != tt.want {
+				t.Errorf("UnicastCost(%v) = %v, want %v", tt.receivers, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTreeCostSharesLinks(t *testing.T) {
+	// Star-of-paths: 0-1-2 and 0-1-3. Unicast to {2,3} costs 4 but the
+	// tree shares edge (0,1) and costs 3.
+	g := NewGraph(make([]Node, 4))
+	for _, e := range []struct{ u, v int }{{0, 1}, {1, 2}, {1, 3}} {
+		if err := g.AddEdge(e.u, e.v, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sp := g.Dijkstra(0)
+	if got := sp.TreeCost([]int{2, 3}, nil); got != 3 {
+		t.Errorf("TreeCost = %v, want 3", got)
+	}
+	if got := sp.UnicastCost([]int{2, 3}); got != 4 {
+		t.Errorf("UnicastCost = %v, want 4", got)
+	}
+}
+
+func TestTreeCostEdgeCases(t *testing.T) {
+	g := lineGraph(t, 5)
+	sp := g.Dijkstra(2)
+	if got := sp.TreeCost(nil, nil); got != 0 {
+		t.Errorf("empty receivers TreeCost = %v", got)
+	}
+	if got := sp.TreeCost([]int{2}, nil); got != 0 {
+		t.Errorf("source-only TreeCost = %v", got)
+	}
+	// Duplicated receivers must not double-count edges.
+	if got := sp.TreeCost([]int{4, 4, 3}, nil); got != 2 {
+		t.Errorf("TreeCost with duplicates = %v, want 2", got)
+	}
+	// Receivers on both sides of the source.
+	if got := sp.TreeCost([]int{0, 4}, nil); got != 4 {
+		t.Errorf("two-sided TreeCost = %v, want 4", got)
+	}
+}
+
+func TestTreeCostScratchReuse(t *testing.T) {
+	g := lineGraph(t, 10)
+	sp := g.Dijkstra(0)
+	scratch := make([]int32, g.NumNodes())
+	a := sp.TreeCost([]int{9, 5}, scratch)
+	b := sp.TreeCost([]int{9, 5}, scratch)
+	if a != b {
+		t.Errorf("scratch reuse changed result: %v then %v", a, b)
+	}
+	for i, v := range scratch {
+		if v != 0 {
+			t.Fatalf("scratch[%d] = %d not cleared", i, v)
+		}
+	}
+}
+
+func TestTreeCostDisconnectedReceiver(t *testing.T) {
+	g := NewGraph(make([]Node, 3))
+	if err := g.AddEdge(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	sp := g.Dijkstra(0)
+	if got := sp.TreeCost([]int{1, 2}, nil); got != 2 {
+		t.Errorf("TreeCost with unreachable receiver = %v, want 2", got)
+	}
+}
+
+func TestGenerateDefaultConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(2003))
+	g := MustGenerate(DefaultConfig(), rng)
+	s := g.Stats()
+	if s.Nodes < 400 || s.Nodes > 800 {
+		t.Errorf("node count %d far from the paper's ~600", s.Nodes)
+	}
+	if s.Blocks != 3 {
+		t.Errorf("blocks = %d, want 3", s.Blocks)
+	}
+	if s.TransitNodes < 9 || s.TransitNodes > 21 {
+		t.Errorf("transit nodes = %d, want about 15", s.TransitNodes)
+	}
+	wantStubs := 2 * s.TransitNodes
+	if s.Stubs < wantStubs/2 || s.Stubs > wantStubs*2 {
+		t.Errorf("stubs = %d, want about %d", s.Stubs, wantStubs)
+	}
+	if !g.Connected() {
+		t.Error("generated graph not connected")
+	}
+	if s.MinEdgeCost <= 0 {
+		t.Errorf("min edge cost %v not positive", s.MinEdgeCost)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := []Config{
+		{},
+		{TransitBlocks: 0, MeanTransitNodes: 5, StubsPerTransit: 2, MeanStubNodes: 20},
+		{TransitBlocks: 3, MeanTransitNodes: 0, StubsPerTransit: 2, MeanStubNodes: 20},
+		{TransitBlocks: 3, MeanTransitNodes: 5, StubsPerTransit: 0, MeanStubNodes: 20},
+		{TransitBlocks: 3, MeanTransitNodes: 5, StubsPerTransit: 2, MeanStubNodes: 0},
+		{TransitBlocks: 3, MeanTransitNodes: 5, StubsPerTransit: 2, MeanStubNodes: 20, ExtraEdgeProb: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg, rng); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(DefaultConfig(), rand.New(rand.NewSource(7)))
+	b := MustGenerate(DefaultConfig(), rand.New(rand.NewSource(7)))
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed produced different graphs: %d/%d vs %d/%d nodes/edges",
+			a.NumNodes(), a.NumEdges(), b.NumNodes(), b.NumEdges())
+	}
+	spA, spB := a.Dijkstra(0), b.Dijkstra(0)
+	for i := range spA.Dist {
+		if spA.Dist[i] != spB.Dist[i] {
+			t.Fatalf("distances diverge at node %d", i)
+		}
+	}
+}
+
+func TestStubLocalityCheaperThanBackbone(t *testing.T) {
+	// Under Euclidean costs, two nodes in one stub must be much closer
+	// than nodes in different blocks.
+	rng := rand.New(rand.NewSource(5))
+	cfg := DefaultConfig()
+	cfg.Costs = CostEuclidean
+	g := MustGenerate(cfg, rng)
+	var sameStub, crossBlock []float64
+	sp := g.Dijkstra(0)
+	n0 := g.Node(0)
+	for i := 1; i < g.NumNodes(); i++ {
+		ni := g.Node(i)
+		switch {
+		case ni.Stub >= 0 && ni.Stub == n0.Stub:
+			sameStub = append(sameStub, sp.Dist[i])
+		case ni.Block != n0.Block:
+			crossBlock = append(crossBlock, sp.Dist[i])
+		}
+	}
+	// Node 0 is a transit node (Stub = -1), so compare via a stub node
+	// instead.
+	stubNodes := g.NodesByRole(RoleStub)
+	src := stubNodes[0]
+	sp = g.Dijkstra(src)
+	sameStub, crossBlock = nil, nil
+	nSrc := g.Node(src)
+	for _, i := range stubNodes {
+		if i == src {
+			continue
+		}
+		ni := g.Node(i)
+		if ni.Stub == nSrc.Stub {
+			sameStub = append(sameStub, sp.Dist[i])
+		} else if ni.Block != nSrc.Block {
+			crossBlock = append(crossBlock, sp.Dist[i])
+		}
+	}
+	if len(sameStub) == 0 || len(crossBlock) == 0 {
+		t.Skip("degenerate sample")
+	}
+	if mean(sameStub)*5 > mean(crossBlock) {
+		t.Errorf("intra-stub mean distance %v not far below cross-block %v",
+			mean(sameStub), mean(crossBlock))
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestPropTreeCostBounds(t *testing.T) {
+	// For any receiver set: max(dist) <= TreeCost <= UnicastCost.
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(11))}
+	g := MustGenerate(DefaultConfig(), rand.New(rand.NewSource(3)))
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := rng.Intn(g.NumNodes())
+		sp := g.Dijkstra(src)
+		k := 1 + rng.Intn(40)
+		receivers := make([]int, k)
+		maxDist := 0.0
+		for i := range receivers {
+			receivers[i] = rng.Intn(g.NumNodes())
+			maxDist = math.Max(maxDist, sp.Dist[receivers[i]])
+		}
+		tree := sp.TreeCost(receivers, nil)
+		uni := sp.UnicastCost(receivers)
+		const eps = 1e-9
+		return tree <= uni+eps && tree+eps >= maxDist
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if RoleTransit.String() != "transit" || RoleStub.String() != "stub" {
+		t.Error("role names wrong")
+	}
+	if Role(9).String() != "role(9)" {
+		t.Error("unknown role name wrong")
+	}
+}
+
+func TestNodesByRole(t *testing.T) {
+	nodes := []Node{{Role: RoleTransit}, {Role: RoleStub}, {Role: RoleStub}}
+	g := NewGraph(nodes)
+	if got := g.NodesByRole(RoleStub); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("NodesByRole(stub) = %v", got)
+	}
+}
+
+func TestWaxmanEdges(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Waxman = true
+	g, err := Generate(cfg, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Fatal("Waxman topology not connected")
+	}
+	s := g.Stats()
+	if s.Nodes < 400 || s.Nodes > 800 {
+		t.Errorf("nodes = %d", s.Nodes)
+	}
+	// Waxman favours short links: edges must exist and mean degree be
+	// plausible.
+	if s.MeanDegree < 2 || s.MeanDegree > 20 {
+		t.Errorf("mean degree = %v", s.MeanDegree)
+	}
+}
+
+func TestWaxmanValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Waxman = true
+	cfg.WaxmanAlpha = 1.5
+	cfg.WaxmanBeta = 0.6
+	if _, err := Generate(cfg, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+	cfg.WaxmanAlpha = 0.4
+	cfg.WaxmanBeta = -1
+	if _, err := Generate(cfg, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("negative beta accepted")
+	}
+}
+
+func TestWaxmanPrefersShortLinks(t *testing.T) {
+	// Under Waxman with Euclidean embedding, the mean Euclidean length
+	// of non-tree extra edges should be shorter than under the uniform
+	// model. Compare total Euclidean edge length at similar edge counts.
+	mkLen := func(waxman bool, seed int64) (totalLen float64, edges int) {
+		cfg := DefaultConfig()
+		cfg.Costs = CostEuclidean
+		cfg.Waxman = waxman
+		if waxman {
+			cfg.WaxmanAlpha = 0.6
+			cfg.WaxmanBeta = 0.3
+		}
+		g := MustGenerate(cfg, rand.New(rand.NewSource(seed)))
+		for i := 0; i < g.NumNodes(); i++ {
+			for _, e := range g.Neighbors(i) {
+				if e.To > i {
+					totalLen += e.Cost
+					edges++
+				}
+			}
+		}
+		return totalLen, edges
+	}
+	waxLen, waxEdges := mkLen(true, 11)
+	uniLen, uniEdges := mkLen(false, 11)
+	if waxEdges == 0 || uniEdges == 0 {
+		t.Fatal("degenerate graphs")
+	}
+	if waxLen/float64(waxEdges) >= uniLen/float64(uniEdges) {
+		t.Errorf("Waxman mean edge length %.2f not below uniform %.2f",
+			waxLen/float64(waxEdges), uniLen/float64(uniEdges))
+	}
+}

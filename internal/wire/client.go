@@ -1,0 +1,167 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/broker"
+	"repro/internal/geometry"
+)
+
+// Client is a TCP client for a wire server. Create one with Dial. Methods
+// are safe for concurrent use; replies are matched to requests by strict
+// ordering, so requests are serialised internally.
+type Client struct {
+	conn net.Conn
+
+	reqMu   sync.Mutex // serialises request/reply exchanges
+	writeMu sync.Mutex
+
+	events  chan broker.Event
+	replies chan *Message
+
+	closeOnce sync.Once
+	readErr   error
+	readDone  chan struct{}
+
+	droppedMu sync.Mutex
+	dropped   uint64
+}
+
+// Dial connects to a wire server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dialing %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:     conn,
+		events:   make(chan broker.Event, 1024),
+		replies:  make(chan *Message, 1),
+		readDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+func (c *Client) readLoop() {
+	defer close(c.readDone)
+	defer close(c.events)
+	for {
+		m, err := ReadMessage(c.conn)
+		if err != nil {
+			c.readErr = err
+			return
+		}
+		switch m.Type {
+		case TypeEvent:
+			ev := broker.Event{Point: geometry.Point(m.Point), Payload: m.Payload, Seq: m.Seq}
+			select {
+			case c.events <- ev:
+			default:
+				c.droppedMu.Lock()
+				c.dropped++
+				c.droppedMu.Unlock()
+			}
+		case TypeOK, TypeError:
+			select {
+			case c.replies <- m:
+			default:
+				// Unsolicited reply; drop it rather than deadlock.
+			}
+		}
+	}
+}
+
+// roundTrip sends a request and waits for its reply.
+func (c *Client) roundTrip(req *Message) (*Message, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+
+	c.writeMu.Lock()
+	err := WriteMessage(c.conn, req)
+	c.writeMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case reply := <-c.replies:
+		if reply.Type == TypeError {
+			return nil, fmt.Errorf("wire: server error: %s", reply.Error)
+		}
+		return reply, nil
+	case <-c.readDone:
+		if c.readErr != nil {
+			return nil, fmt.Errorf("wire: connection lost: %w", c.readErr)
+		}
+		return nil, fmt.Errorf("wire: connection closed")
+	}
+}
+
+// Subscribe registers a subscription for the union of the rectangles and
+// returns its server-assigned id.
+func (c *Client) Subscribe(rects ...geometry.Rect) (int, error) {
+	if len(rects) == 0 {
+		return 0, fmt.Errorf("wire: subscription needs at least one rectangle")
+	}
+	req := &Message{Type: TypeSubscribe, Rects: make([]Rect, len(rects))}
+	for i, r := range rects {
+		req.Rects[i] = RectToWire(r)
+	}
+	reply, err := c.roundTrip(req)
+	if err != nil {
+		return 0, err
+	}
+	return reply.SubID, nil
+}
+
+// Unsubscribe cancels a subscription previously created by this client.
+func (c *Client) Unsubscribe(subID int) error {
+	_, err := c.roundTrip(&Message{Type: TypeUnsubscribe, SubID: subID})
+	return err
+}
+
+// Ping performs a liveness round trip.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(&Message{Type: TypePing})
+	return err
+}
+
+// Publish sends an event and returns how many subscribers it was
+// delivered to (across all of the broker's clients).
+func (c *Client) Publish(p geometry.Point, payload []byte) (int, error) {
+	reply, err := c.roundTrip(&Message{Type: TypePublish, Point: p, Payload: payload})
+	if err != nil {
+		return 0, err
+	}
+	return reply.Delivered, nil
+}
+
+// Events returns the channel of asynchronous event deliveries for all of
+// this client's subscriptions. The channel closes when the connection
+// drops or Close is called.
+func (c *Client) Events() <-chan broker.Event { return c.events }
+
+// Dropped reports events discarded because the local event buffer was
+// full.
+func (c *Client) Dropped() uint64 {
+	c.droppedMu.Lock()
+	defer c.droppedMu.Unlock()
+	return c.dropped
+}
+
+// Close tears down the connection. Safe to call more than once.
+func (c *Client) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		err = c.conn.Close()
+		<-c.readDone
+	})
+	return err
+}

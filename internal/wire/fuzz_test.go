@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadMessage feeds arbitrary bytes to the frame decoder: it must
+// never panic, and any message it accepts must re-encode and re-decode
+// to the same type.
+func FuzzReadMessage(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteMessage(&seed, &Message{Type: TypePublish, Point: []float64{1, 2}, Payload: []byte("x")})
+	f.Add(seed.Bytes())
+	_ = seed
+	var seed2 bytes.Buffer
+	lo := 1.0
+	_ = WriteMessage(&seed2, &Message{Type: TypeSubscribe, Rects: []Rect{{{Lo: &lo, Hi: nil}}}})
+	f.Add(seed2.Bytes())
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Add([]byte{0, 0, 0, 2, '{', '}'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadMessage(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("re-encode of accepted message failed: %v", err)
+		}
+		m2, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if m2.Type != m.Type || len(m2.Point) != len(m.Point) || len(m2.Rects) != len(m.Rects) {
+			t.Fatalf("round trip changed message: %+v vs %+v", m, m2)
+		}
+	})
+}
+
+// FuzzWireRect checks that any wire rectangle the validator accepts
+// round-trips through geometry form.
+func FuzzWireRect(f *testing.F) {
+	f.Add(1.0, 5.0, true, true)
+	f.Add(0.0, 0.0, false, true)
+	f.Add(-3.5, 100.25, true, false)
+	f.Fuzz(func(t *testing.T, lo, hi float64, hasLo, hasHi bool) {
+		w := Rect{Interval{}}
+		if hasLo {
+			w[0].Lo = &lo
+		}
+		if hasHi {
+			w[0].Hi = &hi
+		}
+		r, err := WireToRect(w)
+		if err != nil {
+			return
+		}
+		back := RectToWire(r)
+		r2, err := WireToRect(back)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if !r2.Equal(r) {
+			t.Fatalf("round trip changed rect: %v vs %v", r, r2)
+		}
+	})
+}

@@ -1,0 +1,187 @@
+package wire
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/geometry"
+)
+
+// ReconnectOptions tune a ReconnectingClient. The zero value is usable.
+type ReconnectOptions struct {
+	// InitialBackoff is the first retry delay. Zero selects 100ms.
+	InitialBackoff time.Duration
+	// MaxBackoff caps the exponential retry delay. Zero selects 5s.
+	MaxBackoff time.Duration
+}
+
+func (o ReconnectOptions) withDefaults() ReconnectOptions {
+	if o.InitialBackoff == 0 {
+		o.InitialBackoff = 100 * time.Millisecond
+	}
+	if o.MaxBackoff == 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	return o
+}
+
+// ReconnectingClient wraps Client with automatic redial: when the
+// connection drops it reconnects with exponential backoff and replays
+// every live subscription. Events from all connection generations are
+// merged into one channel. Delivery is at-most-once per connection
+// generation — events published while disconnected are lost, like any
+// pub-sub subscriber that was offline.
+type ReconnectingClient struct {
+	addr string
+	opts ReconnectOptions
+
+	mu     sync.Mutex
+	cur    *Client
+	subs   map[int][]geometry.Rect // local handle -> rectangles
+	nextID int
+	closed bool
+
+	events chan broker.Event
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// DialReconnecting creates a reconnecting client. The initial dial is
+// synchronous so misconfiguration fails fast; subsequent drops are
+// handled in the background.
+func DialReconnecting(addr string, opts ReconnectOptions) (*ReconnectingClient, error) {
+	rc := &ReconnectingClient{
+		addr:   addr,
+		opts:   opts.withDefaults(),
+		subs:   make(map[int][]geometry.Rect),
+		events: make(chan broker.Event, 1024),
+		done:   make(chan struct{}),
+	}
+	cli, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	rc.cur = cli
+	rc.wg.Add(1)
+	go rc.run(cli)
+	return rc, nil
+}
+
+// run pumps events from the current connection and redials when it dies.
+func (rc *ReconnectingClient) run(cli *Client) {
+	defer rc.wg.Done()
+	for {
+		// Pump this connection until its event channel closes.
+		for ev := range cli.Events() {
+			select {
+			case rc.events <- ev:
+			case <-rc.done:
+				return
+			default:
+				// Merged buffer full: drop, matching Client semantics.
+			}
+		}
+		_ = cli.Close()
+
+		// Reconnect with backoff.
+		backoff := rc.opts.InitialBackoff
+		for {
+			select {
+			case <-rc.done:
+				return
+			case <-time.After(backoff):
+			}
+			next, err := Dial(rc.addr)
+			if err != nil {
+				backoff *= 2
+				if backoff > rc.opts.MaxBackoff {
+					backoff = rc.opts.MaxBackoff
+				}
+				continue
+			}
+			if rc.resubscribe(next) {
+				cli = next
+				break
+			}
+			_ = next.Close()
+		}
+	}
+}
+
+// resubscribe replays all live subscriptions on a fresh connection and
+// installs it as current. It reports success.
+func (rc *ReconnectingClient) resubscribe(cli *Client) bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.closed {
+		return false
+	}
+	for _, rects := range rc.subs {
+		if _, err := cli.Subscribe(rects...); err != nil {
+			return false
+		}
+	}
+	rc.cur = cli
+	return true
+}
+
+// Subscribe registers a subscription that survives reconnects. It
+// returns a local handle (stable across redials, unlike server IDs).
+func (rc *ReconnectingClient) Subscribe(rects ...geometry.Rect) (int, error) {
+	if len(rects) == 0 {
+		return 0, fmt.Errorf("wire: subscription needs at least one rectangle")
+	}
+	owned := make([]geometry.Rect, len(rects))
+	for i, r := range rects {
+		owned[i] = r.Clone()
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.closed {
+		return 0, fmt.Errorf("wire: client closed")
+	}
+	if _, err := rc.cur.Subscribe(owned...); err != nil {
+		return 0, err
+	}
+	id := rc.nextID
+	rc.nextID++
+	rc.subs[id] = owned
+	return id, nil
+}
+
+// Publish forwards to the current connection. It fails while
+// disconnected (no offline queueing).
+func (rc *ReconnectingClient) Publish(p geometry.Point, payload []byte) (int, error) {
+	rc.mu.Lock()
+	cli := rc.cur
+	closed := rc.closed
+	rc.mu.Unlock()
+	if closed {
+		return 0, fmt.Errorf("wire: client closed")
+	}
+	return cli.Publish(p, payload)
+}
+
+// Events returns the merged event stream across reconnects. It closes
+// only on Close.
+func (rc *ReconnectingClient) Events() <-chan broker.Event { return rc.events }
+
+// Close stops reconnection and tears down the current connection.
+func (rc *ReconnectingClient) Close() error {
+	rc.mu.Lock()
+	if rc.closed {
+		rc.mu.Unlock()
+		return nil
+	}
+	rc.closed = true
+	cli := rc.cur
+	rc.mu.Unlock()
+
+	close(rc.done)
+	err := cli.Close()
+	rc.wg.Wait()
+	close(rc.events)
+	return err
+}

@@ -1,0 +1,150 @@
+package wire
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/geometry"
+)
+
+func TestDialReconnectingFailsFast(t *testing.T) {
+	if _, err := DialReconnecting("127.0.0.1:1", ReconnectOptions{}); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestReconnectingSurvivesServerRestart(t *testing.T) {
+	// Start a server on a concrete port we can rebind after shutdown.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	b1 := broker.New(broker.Options{})
+	s1 := NewServer(b1)
+	go func() { _ = s1.Serve(ln) }()
+
+	rc, err := DialReconnecting(addr, ReconnectOptions{InitialBackoff: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if _, err := rc.Subscribe(geometry.NewRect(0, 10)); err != nil {
+		t.Fatal(err)
+	}
+
+	// First generation works.
+	if n, err := rc.Publish(geometry.Point{5}, []byte("one")); err != nil || n != 1 {
+		t.Fatalf("first publish: n=%d err=%v", n, err)
+	}
+	select {
+	case ev := <-rc.Events():
+		if string(ev.Payload) != "one" {
+			t.Fatalf("payload %q", ev.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no event before restart")
+	}
+
+	// Kill the server; bring up a fresh broker on the same address.
+	s1.Close()
+	b1.Close()
+	var ln2 net.Listener
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		ln2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("could not rebind %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	b2 := broker.New(broker.Options{})
+	s2 := NewServer(b2)
+	go func() { _ = s2.Serve(ln2) }()
+	defer func() { s2.Close(); b2.Close() }()
+
+	// Wait for the client to reconnect and resubscribe.
+	deadline = time.Now().Add(5 * time.Second)
+	for b2.Stats().Subscriptions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("client never resubscribed on the new server")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Publishing through the reconnected client reaches the replayed
+	// subscription.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		n, err := rc.Publish(geometry.Point{5}, []byte("two"))
+		if err == nil && n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("publish after restart: n=%d err=%v", n, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for {
+		select {
+		case ev := <-rc.Events():
+			if string(ev.Payload) == "two" {
+				return // success
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("no event after restart")
+		}
+	}
+}
+
+func TestReconnectingSubscribeValidation(t *testing.T) {
+	_, addr := startServer(t)
+	rc, err := DialReconnecting(addr, ReconnectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if _, err := rc.Subscribe(); err == nil {
+		t.Error("empty subscribe accepted")
+	}
+	// Handles are stable and distinct.
+	a, err := rc.Subscribe(geometry.NewRect(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rc.Subscribe(geometry.NewRect(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("duplicate local handles")
+	}
+}
+
+func TestReconnectingCloseIsFinal(t *testing.T) {
+	_, addr := startServer(t)
+	rc, err := DialReconnecting(addr, ReconnectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := rc.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if _, err := rc.Subscribe(geometry.NewRect(0, 1)); err == nil {
+		t.Error("subscribe after close accepted")
+	}
+	if _, err := rc.Publish(geometry.Point{1}, nil); err == nil {
+		t.Error("publish after close accepted")
+	}
+	if _, open := <-rc.Events(); open {
+		t.Error("events channel open after close")
+	}
+}

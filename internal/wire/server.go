@@ -1,0 +1,236 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/broker"
+	"repro/internal/geometry"
+)
+
+// Server exposes a broker over TCP. Create one with NewServer, then call
+// Serve with a listener; Close shuts everything down.
+type Server struct {
+	b *broker.Broker
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps the broker.
+func NewServer(b *broker.Broker) *Server {
+	return &Server{b: b, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts and handles connections until the listener is closed. It
+// always returns a non-nil error; after Close it returns net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.wg.Wait()
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops the listener and tears down every connection. Safe to call
+// more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+}
+
+// connState tracks one connection's subscriptions and serialises writes.
+type connState struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+	subsMu  sync.Mutex
+	subs    map[int]*broker.Subscription
+	done    chan struct{}
+}
+
+func (cs *connState) addSub(sub *broker.Subscription) {
+	cs.subsMu.Lock()
+	defer cs.subsMu.Unlock()
+	cs.subs[sub.ID()] = sub
+}
+
+func (cs *connState) takeSub(id int) *broker.Subscription {
+	cs.subsMu.Lock()
+	defer cs.subsMu.Unlock()
+	sub := cs.subs[id]
+	delete(cs.subs, id)
+	return sub
+}
+
+func (cs *connState) drainSubs() []*broker.Subscription {
+	cs.subsMu.Lock()
+	defer cs.subsMu.Unlock()
+	out := make([]*broker.Subscription, 0, len(cs.subs))
+	for id, sub := range cs.subs {
+		out = append(out, sub)
+		delete(cs.subs, id)
+	}
+	return out
+}
+
+func (cs *connState) write(m *Message) error {
+	cs.writeMu.Lock()
+	defer cs.writeMu.Unlock()
+	return WriteMessage(cs.conn, m)
+}
+
+func (s *Server) handle(conn net.Conn) {
+	cs := &connState{conn: conn, subs: make(map[int]*broker.Subscription), done: make(chan struct{})}
+	defer func() {
+		close(cs.done)
+		for _, sub := range cs.drainSubs() {
+			sub.Cancel()
+		}
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	for {
+		m, err := ReadMessage(conn)
+		if err != nil {
+			return // disconnect (clean EOF or otherwise)
+		}
+		switch m.Type {
+		case TypeSubscribe:
+			err = s.handleSubscribe(cs, m)
+		case TypeUnsubscribe:
+			err = s.handleUnsubscribe(cs, m)
+		case TypePublish:
+			err = s.handlePublish(cs, m)
+		case TypePing:
+			err = cs.write(&Message{Type: TypeOK})
+		default:
+			err = cs.write(&Message{Type: TypeError, Error: fmt.Sprintf("unknown message type %q", m.Type)})
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// handleSubscribe registers the subscription and starts its event pump.
+// The returned error is a connection-level failure; protocol errors are
+// reported to the peer instead.
+func (s *Server) handleSubscribe(cs *connState, m *Message) error {
+	rects := make([]geometry.Rect, 0, len(m.Rects))
+	for _, w := range m.Rects {
+		r, err := WireToRect(w)
+		if err != nil {
+			return cs.write(&Message{Type: TypeError, Error: err.Error()})
+		}
+		rects = append(rects, r)
+	}
+	buffer := m.Buffer
+	if buffer <= 0 {
+		buffer = 64
+	}
+	sub, err := s.b.SubscribeBuffered(buffer, rects...)
+	if err != nil {
+		return cs.write(&Message{Type: TypeError, Error: err.Error()})
+	}
+	cs.addSub(sub)
+
+	// Pump events to the connection until the subscription or the
+	// connection dies.
+	go func() {
+		for {
+			select {
+			case ev, open := <-sub.Events():
+				if !open {
+					return
+				}
+				msg := &Message{
+					Type:    TypeEvent,
+					Point:   ev.Point,
+					Payload: ev.Payload,
+					Seq:     ev.Seq,
+					SubID:   sub.ID(),
+				}
+				if err := cs.write(msg); err != nil {
+					sub.Cancel()
+					return
+				}
+			case <-cs.done:
+				return
+			}
+		}
+	}()
+	return cs.write(&Message{Type: TypeOK, SubID: sub.ID()})
+}
+
+// handleUnsubscribe cancels one of this connection's subscriptions.
+func (s *Server) handleUnsubscribe(cs *connState, m *Message) error {
+	sub := cs.takeSub(m.SubID)
+	if sub == nil {
+		return cs.write(&Message{Type: TypeError, Error: fmt.Sprintf("no subscription %d on this connection", m.SubID)})
+	}
+	sub.Cancel()
+	return cs.write(&Message{Type: TypeOK, SubID: m.SubID})
+}
+
+func (s *Server) handlePublish(cs *connState, m *Message) error {
+	if len(m.Point) == 0 {
+		return cs.write(&Message{Type: TypeError, Error: "publish needs a point"})
+	}
+	n, err := s.b.Publish(geometry.Point(m.Point), m.Payload)
+	if err != nil {
+		return cs.write(&Message{Type: TypeError, Error: err.Error()})
+	}
+	return cs.write(&Message{Type: TypeOK, Delivered: n})
+}
+
+// ErrServerClosed is returned by helpers when the server has shut down.
+var ErrServerClosed = errors.New("wire: server closed")

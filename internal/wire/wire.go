@@ -1,0 +1,150 @@
+// Package wire implements a small TCP protocol exposing the broker over
+// the network, plus the matching client. Frames are 4-byte big-endian
+// length prefixes followed by a JSON message body.
+//
+// The protocol is strictly request/response from the client's point of
+// view — subscribe and publish each receive exactly one ok/error reply,
+// in order — while event deliveries are pushed asynchronously by the
+// server and never acknowledged.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/geometry"
+)
+
+// MaxFrame bounds a single frame's body size to keep a malicious or
+// buggy peer from exhausting memory.
+const MaxFrame = 1 << 20
+
+// Type discriminates protocol messages.
+type Type string
+
+// Protocol message types.
+const (
+	TypeSubscribe   Type = "subscribe"   // client -> server
+	TypeUnsubscribe Type = "unsubscribe" // client -> server
+	TypePublish     Type = "publish"     // client -> server
+	TypePing        Type = "ping"        // client -> server
+	TypeEvent       Type = "event"       // server -> client (async)
+	TypeOK          Type = "ok"          // server -> client (reply)
+	TypeError       Type = "error"       // server -> client (reply)
+)
+
+// Interval is the wire form of a half-open interval. Nil bounds encode
+// the infinities, which JSON numbers cannot represent.
+type Interval struct {
+	Lo *float64 `json:"lo"`
+	Hi *float64 `json:"hi"`
+}
+
+// Rect is the wire form of a subscription rectangle.
+type Rect []Interval
+
+// RectToWire converts a geometry rectangle to its wire form.
+func RectToWire(r geometry.Rect) Rect {
+	out := make(Rect, len(r))
+	for i, iv := range r {
+		w := Interval{}
+		if !math.IsInf(iv.Lo, -1) {
+			lo := iv.Lo
+			w.Lo = &lo
+		}
+		if !math.IsInf(iv.Hi, 1) {
+			hi := iv.Hi
+			w.Hi = &hi
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// WireToRect converts a wire rectangle back to geometry form.
+func WireToRect(w Rect) (geometry.Rect, error) {
+	if len(w) == 0 {
+		return nil, fmt.Errorf("wire: empty rectangle")
+	}
+	r := make(geometry.Rect, len(w))
+	for i, iv := range w {
+		lo, hi := math.Inf(-1), math.Inf(1)
+		if iv.Lo != nil {
+			lo = *iv.Lo
+		}
+		if iv.Hi != nil {
+			hi = *iv.Hi
+		}
+		r[i] = geometry.Interval{Lo: lo, Hi: hi}
+		if r[i].Empty() {
+			return nil, fmt.Errorf("wire: dimension %d is empty: (%v, %v]", i, lo, hi)
+		}
+	}
+	return r, nil
+}
+
+// Message is one protocol frame body. Only the fields relevant to the
+// type are populated.
+type Message struct {
+	Type Type `json:"type"`
+
+	// Subscribe fields.
+	Rects  []Rect `json:"rects,omitempty"`
+	Buffer int    `json:"buffer,omitempty"`
+
+	// Publish / Event fields.
+	Point   []float64 `json:"point,omitempty"`
+	Payload []byte    `json:"payload,omitempty"`
+	Seq     uint64    `json:"seq,omitempty"`
+
+	// OK fields.
+	SubID     int `json:"sub_id,omitempty"`
+	Delivered int `json:"delivered,omitempty"`
+
+	// Error field.
+	Error string `json:"error,omitempty"`
+}
+
+// WriteMessage frames and writes one message.
+func WriteMessage(w io.Writer, m *Message) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wire: encoding message: %w", err)
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("wire: message of %d bytes exceeds frame limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("wire: writing frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadMessage reads one framed message.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: reading frame body: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("wire: decoding message: %w", err)
+	}
+	return &m, nil
+}

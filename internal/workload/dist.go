@@ -1,0 +1,166 @@
+// Package workload generates the paper's simulation inputs: the
+// stock-market event space, subscription populations (Section 5's
+// parametric interval model), publication streams (mixtures of one, four
+// or nine multivariate normal modes), subscriber placement over a
+// transit-stub topology, and a synthetic NYSE-like trade tape standing in
+// for the proprietary 1999-09-24 exchange data analysed in Figures 4-5.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dist1D is a one-dimensional probability distribution that can both be
+// sampled and integrated. The CDF is required because the clustering stage
+// computes grid-cell publication probabilities analytically.
+type Dist1D interface {
+	Sample(rng *rand.Rand) float64
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+}
+
+// Normal is the N(Mu, Sigma) distribution. Sigma must be positive.
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+var _ Dist1D = Normal{}
+
+// Sample draws one variate.
+func (n Normal) Sample(rng *rand.Rand) float64 {
+	return n.Mu + n.Sigma*rng.NormFloat64()
+}
+
+// CDF returns the normal CDF via the error function.
+func (n Normal) CDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf((x-n.Mu)/(n.Sigma*math.Sqrt2)))
+}
+
+// Mixture is a finite mixture of component distributions.
+type Mixture struct {
+	Components []Dist1D
+	// Weights are the mixing probabilities; they must be non-negative and
+	// sum to 1 (NewMixture normalises).
+	Weights []float64
+}
+
+var _ Dist1D = Mixture{}
+
+// NewMixture builds a mixture, normalising the weights. It returns an
+// error when the inputs are inconsistent or the total weight is zero.
+func NewMixture(components []Dist1D, weights []float64) (Mixture, error) {
+	if len(components) == 0 || len(components) != len(weights) {
+		return Mixture{}, fmt.Errorf("workload: mixture needs equal, non-zero components (%d) and weights (%d)",
+			len(components), len(weights))
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return Mixture{}, fmt.Errorf("workload: negative mixture weight %v", w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return Mixture{}, fmt.Errorf("workload: mixture weights sum to %v", total)
+	}
+	norm := make([]float64, len(weights))
+	for i, w := range weights {
+		norm[i] = w / total
+	}
+	return Mixture{Components: components, Weights: norm}, nil
+}
+
+// Sample draws a component by weight, then a variate from it.
+func (m Mixture) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	acc := 0.0
+	for i, w := range m.Weights {
+		acc += w
+		if u < acc {
+			return m.Components[i].Sample(rng)
+		}
+	}
+	return m.Components[len(m.Components)-1].Sample(rng)
+}
+
+// CDF is the weighted sum of component CDFs.
+func (m Mixture) CDF(x float64) float64 {
+	total := 0.0
+	for i, c := range m.Components {
+		total += m.Weights[i] * c.CDF(x)
+	}
+	return total
+}
+
+// Pareto is the Pareto(C, Alpha) distribution with scale C > 0 and shape
+// Alpha > 0: P(X > x) = (C/x)^Alpha for x >= C. The paper draws
+// subscription interval lengths from Pareto(4, 1).
+type Pareto struct {
+	C     float64
+	Alpha float64
+}
+
+var _ Dist1D = Pareto{}
+
+// Sample draws via inverse transform: C * U^(-1/Alpha).
+func (p Pareto) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for u == 0 { // avoid +Inf
+		u = rng.Float64()
+	}
+	return p.C * math.Pow(u, -1/p.Alpha)
+}
+
+// CDF returns 1 - (C/x)^Alpha for x >= C, 0 below the scale.
+func (p Pareto) CDF(x float64) float64 {
+	if x < p.C {
+		return 0
+	}
+	return 1 - math.Pow(p.C/x, p.Alpha)
+}
+
+// ZipfWeights returns k weights with w_i proportional to 1/(i+1)^theta,
+// normalised to sum to 1. This is the paper's "Zipf-like distribution"
+// (Knuth vol. 3) used for stub popularity, per-stub subscriber popularity
+// and stock popularity. theta = 1 is classic Zipf.
+func ZipfWeights(k int, theta float64) []float64 {
+	if k <= 0 {
+		return nil
+	}
+	w := make([]float64, k)
+	total := 0.0
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), theta)
+		total += w[i]
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}
+
+// SampleIndex draws an index from a categorical distribution given by
+// weights (which must sum to ~1, as produced by ZipfWeights).
+func SampleIndex(rng *rand.Rand, weights []float64) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// ShuffledZipf assigns Zipf weights to k items in random rank order, so
+// that popularity is Zipf-distributed but not correlated with index
+// order. It returns the per-item weights.
+func ShuffledZipf(rng *rand.Rand, k int, theta float64) []float64 {
+	w := ZipfWeights(k, theta)
+	rng.Shuffle(k, func(i, j int) { w[i], w[j] = w[j], w[i] })
+	return w
+}

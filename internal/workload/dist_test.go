@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := Normal{Mu: 9, Sigma: 2}
+	const samples = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < samples; i++ {
+		x := n.Sample(rng)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / samples
+	variance := sumSq/samples - mean*mean
+	if math.Abs(mean-9) > 0.05 {
+		t.Errorf("sample mean = %v, want ~9", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Errorf("sample stddev = %v, want ~2", math.Sqrt(variance))
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	n := Normal{Mu: 0, Sigma: 1}
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{x: 0, want: 0.5},
+		{x: 1.959963985, want: 0.975},
+		{x: -1.959963985, want: 0.025},
+		{x: 10, want: 1},
+		{x: -10, want: 0},
+	}
+	for _, tt := range tests {
+		if got := n.CDF(tt.x); math.Abs(got-tt.want) > 1e-6 {
+			t.Errorf("CDF(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	shifted := Normal{Mu: 5, Sigma: 3}
+	if got := shifted.CDF(5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("shifted CDF at mean = %v, want 0.5", got)
+	}
+}
+
+func TestMixtureValidation(t *testing.T) {
+	n := Normal{Mu: 0, Sigma: 1}
+	tests := []struct {
+		name       string
+		components []Dist1D
+		weights    []float64
+		wantErr    bool
+	}{
+		{name: "ok", components: []Dist1D{n, n}, weights: []float64{1, 3}},
+		{name: "empty", wantErr: true},
+		{name: "length mismatch", components: []Dist1D{n}, weights: []float64{1, 2}, wantErr: true},
+		{name: "negative weight", components: []Dist1D{n, n}, weights: []float64{1, -1}, wantErr: true},
+		{name: "zero total", components: []Dist1D{n, n}, weights: []float64{0, 0}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m, err := NewMixture(tt.components, tt.weights)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err == nil {
+				sum := 0.0
+				for _, w := range m.Weights {
+					sum += w
+				}
+				if math.Abs(sum-1) > 1e-12 {
+					t.Errorf("normalised weights sum to %v", sum)
+				}
+			}
+		})
+	}
+}
+
+func TestMixtureCDFAndSampling(t *testing.T) {
+	m, err := NewMixture(
+		[]Dist1D{Normal{Mu: -5, Sigma: 1}, Normal{Mu: 5, Sigma: 1}},
+		[]float64{0.3, 0.7},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CDF midway between the modes equals the left weight.
+	if got := m.CDF(0); math.Abs(got-0.3) > 1e-6 {
+		t.Errorf("CDF(0) = %v, want 0.3", got)
+	}
+	// Empirical mass below 0 should match.
+	rng := rand.New(rand.NewSource(2))
+	below := 0
+	const samples = 100000
+	for i := 0; i < samples; i++ {
+		if m.Sample(rng) < 0 {
+			below++
+		}
+	}
+	frac := float64(below) / samples
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("empirical mass below 0 = %v, want ~0.3", frac)
+	}
+}
+
+func TestParetoSampleAndCDF(t *testing.T) {
+	p := Pareto{C: 4, Alpha: 2}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		if x := p.Sample(rng); x < 4 {
+			t.Fatalf("Pareto sample %v below scale", x)
+		}
+	}
+	if got := p.CDF(3); got != 0 {
+		t.Errorf("CDF below scale = %v", got)
+	}
+	if got := p.CDF(4); got != 0 {
+		t.Errorf("CDF at scale = %v, want 0", got)
+	}
+	if got := p.CDF(8); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("CDF(8) = %v, want 0.75", got)
+	}
+	// Empirical tail check: P(X > 8) = (4/8)^2 = 0.25.
+	above := 0
+	const samples = 100000
+	for i := 0; i < samples; i++ {
+		if p.Sample(rng) > 8 {
+			above++
+		}
+	}
+	if frac := float64(above) / samples; math.Abs(frac-0.25) > 0.01 {
+		t.Errorf("empirical tail = %v, want ~0.25", frac)
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(4, 1)
+	// Unnormalised: 1, 1/2, 1/3, 1/4; total 25/12.
+	if math.Abs(w[0]/w[1]-2) > 1e-12 {
+		t.Errorf("w0/w1 = %v, want 2", w[0]/w[1])
+	}
+	if math.Abs(w[0]/w[3]-4) > 1e-12 {
+		t.Errorf("w0/w3 = %v, want 4", w[0]/w[3])
+	}
+	sum := 0.0
+	for _, x := range w {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("weights sum to %v", sum)
+	}
+	if got := ZipfWeights(0, 1); got != nil {
+		t.Errorf("ZipfWeights(0) = %v, want nil", got)
+	}
+}
+
+func TestZipfWeightsMonotone(t *testing.T) {
+	f := func(k uint8, thetaRaw uint8) bool {
+		n := int(k%50) + 1
+		theta := float64(thetaRaw%30)/10 + 0.1
+		w := ZipfWeights(n, theta)
+		for i := 1; i < len(w); i++ {
+			if w[i] > w[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleIndexDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := []float64{0.5, 0.3, 0.2}
+	counts := make([]int, 3)
+	const samples = 100000
+	for i := 0; i < samples; i++ {
+		counts[SampleIndex(rng, w)]++
+	}
+	for i, want := range w {
+		got := float64(counts[i]) / samples
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("index %d frequency %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestSampleIndexEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if got := SampleIndex(rng, []float64{1}); got != 0 {
+		t.Errorf("single weight index = %d", got)
+	}
+}
+
+func TestShuffledZipfPreservesMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	w := ShuffledZipf(rng, 10, 1)
+	sum := 0.0
+	for _, x := range w {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("shuffled weights sum to %v", sum)
+	}
+}

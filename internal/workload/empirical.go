@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geometry"
+)
+
+// Empirical is a one-dimensional distribution estimated from a sample:
+// a piecewise-linear CDF over an equal-width histogram. It lets the
+// clustering stage run on observed publication traffic when no analytic
+// model is available (the paper assumes the density p(.) is known; in
+// deployment it must be estimated).
+type Empirical struct {
+	lo, hi float64
+	// cum[i] is the cumulative probability at the right edge of bin i.
+	cum []float64
+}
+
+var _ Dist1D = (*Empirical)(nil)
+
+// NewEmpirical estimates a distribution from the sample using the given
+// number of histogram bins. The support is the sample range; values
+// outside it get CDF 0 or 1.
+func NewEmpirical(sample []float64, bins int) (*Empirical, error) {
+	if len(sample) < 2 {
+		return nil, fmt.Errorf("workload: empirical estimation needs >= 2 samples, got %d", len(sample))
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("workload: bins must be >= 1, got %d", bins)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range sample {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("workload: non-finite sample value %v", x)
+		}
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if hi == lo {
+		hi = lo + 1e-9 // degenerate constant sample: a sliver of support
+	}
+	counts := make([]float64, bins)
+	width := (hi - lo) / float64(bins)
+	for _, x := range sample {
+		i := int((x - lo) / width)
+		if i >= bins {
+			i = bins - 1
+		}
+		counts[i]++
+	}
+	e := &Empirical{lo: lo, hi: hi, cum: make([]float64, bins)}
+	total := float64(len(sample))
+	acc := 0.0
+	for i, c := range counts {
+		acc += c / total
+		e.cum[i] = acc
+	}
+	e.cum[bins-1] = 1 // guard against rounding
+	return e, nil
+}
+
+// Support returns the estimated support [lo, hi].
+func (e *Empirical) Support() (lo, hi float64) { return e.lo, e.hi }
+
+// CDF evaluates the piecewise-linear CDF.
+func (e *Empirical) CDF(x float64) float64 {
+	if x <= e.lo {
+		return 0
+	}
+	if x >= e.hi {
+		return 1
+	}
+	bins := len(e.cum)
+	width := (e.hi - e.lo) / float64(bins)
+	pos := (x - e.lo) / width
+	i := int(pos)
+	if i >= bins {
+		i = bins - 1
+	}
+	frac := pos - float64(i)
+	prev := 0.0
+	if i > 0 {
+		prev = e.cum[i-1]
+	}
+	return prev + frac*(e.cum[i]-prev)
+}
+
+// Sample draws by inverse-transform over the piecewise-linear CDF.
+func (e *Empirical) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(e.cum, u)
+	if i >= len(e.cum) {
+		i = len(e.cum) - 1
+	}
+	prev := 0.0
+	if i > 0 {
+		prev = e.cum[i-1]
+	}
+	width := (e.hi - e.lo) / float64(len(e.cum))
+	binLo := e.lo + float64(i)*width
+	mass := e.cum[i] - prev
+	if mass <= 0 {
+		return binLo
+	}
+	return binLo + width*(u-prev)/mass
+}
+
+// EstimateModel builds a publication model from an observed event
+// sample, estimating each dimension independently with the given
+// histogram resolution. The result plugs directly into the clustering
+// stage. All events must share dimensionality.
+func EstimateModel(events []geometry.Point, bins int) (PublicationModel, error) {
+	if len(events) == 0 {
+		return PublicationModel{}, fmt.Errorf("workload: no events to estimate from")
+	}
+	dims := events[0].Dims()
+	if dims == 0 {
+		return PublicationModel{}, fmt.Errorf("workload: zero-dimensional events")
+	}
+	column := make([]float64, len(events))
+	model := PublicationModel{Dims: make([]Dist1D, dims)}
+	for d := 0; d < dims; d++ {
+		for i, ev := range events {
+			if ev.Dims() != dims {
+				return PublicationModel{}, fmt.Errorf("workload: event %d has %d dims, want %d", i, ev.Dims(), dims)
+			}
+			column[i] = ev[d]
+		}
+		e, err := NewEmpirical(column, bins)
+		if err != nil {
+			return PublicationModel{}, fmt.Errorf("workload: dimension %d: %w", d, err)
+		}
+		model.Dims[d] = e
+	}
+	return model, nil
+}

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PublisherModel selects the publishing node of each event. The paper
+// only states that publishers form a subset V_P of the nodes; this model
+// supports both uniform selection and Zipf-weighted popularity (a few
+// sources emit most events — the analogue of its finding that stock
+// popularity is Zipf-like).
+type PublisherModel struct {
+	nodes   []int
+	weights []float64
+}
+
+// UniformPublishers selects uniformly among the given nodes.
+func UniformPublishers(nodes []int) (*PublisherModel, error) {
+	return newPublisherModel(nodes, nil)
+}
+
+// ZipfPublishers assigns Zipf(theta) popularity to the nodes in random
+// rank order.
+func ZipfPublishers(nodes []int, theta float64, rng *rand.Rand) (*PublisherModel, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("workload: no publisher nodes")
+	}
+	return newPublisherModel(nodes, ShuffledZipf(rng, len(nodes), theta))
+}
+
+func newPublisherModel(nodes []int, weights []float64) (*PublisherModel, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("workload: no publisher nodes")
+	}
+	if weights != nil && len(weights) != len(nodes) {
+		return nil, fmt.Errorf("workload: %d weights for %d nodes", len(weights), len(nodes))
+	}
+	m := &PublisherModel{nodes: append([]int(nil), nodes...)}
+	if weights != nil {
+		m.weights = append([]float64(nil), weights...)
+	}
+	return m, nil
+}
+
+// Pick draws one publisher node.
+func (m *PublisherModel) Pick(rng *rand.Rand) int {
+	if m.weights == nil {
+		return m.nodes[rng.Intn(len(m.nodes))]
+	}
+	return m.nodes[SampleIndex(rng, m.weights)]
+}
+
+// Nodes returns the candidate publisher nodes.
+func (m *PublisherModel) Nodes() []int {
+	return append([]int(nil), m.nodes...)
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geometry"
+)
+
+// PublicationModel generates publication events as points whose
+// coordinates are drawn independently per dimension — the paper's
+// "mixture of multivariate normal distributions" construction, where each
+// dimension is an independent (mixture of) normal(s). The joint density is
+// therefore a product, which lets grid-cell probabilities be computed
+// analytically for the clustering stage.
+type PublicationModel struct {
+	Dims []Dist1D
+}
+
+// Validate checks the model is usable.
+func (m PublicationModel) Validate() error {
+	if len(m.Dims) == 0 {
+		return fmt.Errorf("workload: publication model has no dimensions")
+	}
+	for i, d := range m.Dims {
+		if d == nil {
+			return fmt.Errorf("workload: publication model dimension %d is nil", i)
+		}
+	}
+	return nil
+}
+
+// Sample draws one publication event.
+func (m PublicationModel) Sample(rng *rand.Rand) geometry.Point {
+	p := make(geometry.Point, len(m.Dims))
+	for i, d := range m.Dims {
+		p[i] = d.Sample(rng)
+	}
+	return p
+}
+
+// SampleN draws n publication events.
+func (m PublicationModel) SampleN(rng *rand.Rand, n int) []geometry.Point {
+	out := make([]geometry.Point, n)
+	for i := range out {
+		out[i] = m.Sample(rng)
+	}
+	return out
+}
+
+// CellProb returns the probability that a publication falls inside the
+// rectangle: the product over dimensions of CDF(hi) - CDF(lo). This is
+// the publication density p(.) the clustering framework integrates over
+// grid cells.
+func (m PublicationModel) CellProb(cell geometry.Rect) float64 {
+	if len(cell) != len(m.Dims) {
+		return 0
+	}
+	prob := 1.0
+	for i, d := range m.Dims {
+		p := d.CDF(cell[i].Hi) - d.CDF(cell[i].Lo)
+		if p <= 0 {
+			return 0
+		}
+		prob *= p
+	}
+	return prob
+}
+
+// StockPublications returns the paper's publication model for the given
+// number of modes (hot spots). Supported mode counts are 1, 4 and 9:
+//
+//   - 1 mode: N(1,1), N(10,6), N(9,2), N(9,6) per dimension;
+//   - 4 modes (2x2): dims 1 and 4 unchanged; dim 2 is an equal mixture of
+//     N(12,3) and N(6,2); dim 3 an equal mixture of N(4,2) and N(16,2);
+//   - 9 modes (3x3): dims 1 and 4 unchanged; dim 2 mixes N(4,3), N(11,3),
+//     N(18,3) with weights 0.3/0.4/0.3; dim 3 mixes N(4,3), N(9,3),
+//     N(16,3) with weights 0.3/0.4/0.3.
+//
+// (The paper's 9-mode paragraph says "third" and "fourth" where its 4-mode
+// construction — 3x3 = 9 hot spots in two dimensions — requires the second
+// and third; we follow the construction.)
+func StockPublications(modes int) (PublicationModel, error) {
+	bst := Normal{Mu: 1, Sigma: 1}
+	volume := Normal{Mu: 9, Sigma: 6}
+	switch modes {
+	case 1:
+		return PublicationModel{Dims: []Dist1D{
+			bst,
+			Normal{Mu: 10, Sigma: 6},
+			Normal{Mu: 9, Sigma: 2},
+			volume,
+		}}, nil
+	case 4:
+		name, err := NewMixture(
+			[]Dist1D{Normal{Mu: 12, Sigma: 3}, Normal{Mu: 6, Sigma: 2}},
+			[]float64{0.5, 0.5},
+		)
+		if err != nil {
+			return PublicationModel{}, err
+		}
+		quote, err := NewMixture(
+			[]Dist1D{Normal{Mu: 4, Sigma: 2}, Normal{Mu: 16, Sigma: 2}},
+			[]float64{0.5, 0.5},
+		)
+		if err != nil {
+			return PublicationModel{}, err
+		}
+		return PublicationModel{Dims: []Dist1D{bst, name, quote, volume}}, nil
+	case 9:
+		name, err := NewMixture(
+			[]Dist1D{Normal{Mu: 4, Sigma: 3}, Normal{Mu: 11, Sigma: 3}, Normal{Mu: 18, Sigma: 3}},
+			[]float64{0.3, 0.4, 0.3},
+		)
+		if err != nil {
+			return PublicationModel{}, err
+		}
+		quote, err := NewMixture(
+			[]Dist1D{Normal{Mu: 4, Sigma: 3}, Normal{Mu: 9, Sigma: 3}, Normal{Mu: 16, Sigma: 3}},
+			[]float64{0.3, 0.4, 0.3},
+		)
+		if err != nil {
+			return PublicationModel{}, err
+		}
+		return PublicationModel{Dims: []Dist1D{bst, name, quote, volume}}, nil
+	default:
+		return PublicationModel{}, fmt.Errorf("workload: unsupported mode count %d (want 1, 4 or 9)", modes)
+	}
+}
+
+// MustStockPublications is StockPublications, panicking on error.
+func MustStockPublications(modes int) PublicationModel {
+	m, err := StockPublications(modes)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

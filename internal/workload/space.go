@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/geometry"
+)
+
+// Space describes a finite event space: named dimensions and the domain
+// rectangle that all subscriptions are clamped to.
+type Space struct {
+	Names  []string
+	Domain geometry.Rect
+}
+
+// Dims reports the dimensionality.
+func (s Space) Dims() int { return len(s.Names) }
+
+// Validate checks internal consistency.
+func (s Space) Validate() error {
+	if len(s.Names) == 0 {
+		return fmt.Errorf("workload: space has no dimensions")
+	}
+	if len(s.Names) != s.Domain.Dims() {
+		return fmt.Errorf("workload: %d names but %d domain dimensions", len(s.Names), s.Domain.Dims())
+	}
+	if s.Domain.Empty() {
+		return fmt.Errorf("workload: empty domain %v", s.Domain)
+	}
+	return nil
+}
+
+// Stock-space constants. The paper's event space is
+// {bst, name, quote, volume}. The categorical bst attribute (buy, sell,
+// transaction) is linearised onto (0,3] — B=(0,1], S=(1,2], T=(2,3] —
+// following the paper's observation that "even attributes such as name
+// ... can be indexed and therefore linearized". The remaining attributes
+// live on (0,20], wide enough for the published subscription centers
+// (name: 3/10/17 +/- 4; quote/volume: around 9).
+const (
+	// DimBST etc. index the stock space's dimensions.
+	DimBST = iota
+	DimName
+	DimQuote
+	DimVolume
+)
+
+// BST attribute values on the linearised axis.
+const (
+	BSTBuy         = 0.5 // center of (0,1]
+	BSTSell        = 1.5 // center of (1,2]
+	BSTTransaction = 2.5 // center of (2,3]
+)
+
+// StockSpace returns the paper's four-dimensional stock event space.
+func StockSpace() Space {
+	return Space{
+		Names:  []string{"bst", "name", "quote", "volume"},
+		Domain: geometry.NewRect(0, 3, 0, 20, 0, 20, 0, 20),
+	}
+}

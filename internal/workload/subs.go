@@ -1,0 +1,292 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geometry"
+	"repro/internal/topology"
+)
+
+// IntervalParams is one row of the paper's Section 5 parameter table for
+// generating a subscription interval on a numeric attribute:
+//
+//   - with probability Q0 the interval is the wildcard "*" (whole domain);
+//   - with probability Q1 it is [n, +inf) with n ~ N(Mu1, Sigma1);
+//   - with probability Q2 it is (-inf, n] with n ~ N(Mu2, Sigma2);
+//   - otherwise it is [n1, n2] with center ~ N(Mu3, Sigma3) and length
+//     following a Pareto(ParetoC, ParetoAlpha) distribution.
+type IntervalParams struct {
+	Q0, Q1, Q2  float64
+	Mu1, Sigma1 float64
+	Mu2, Sigma2 float64
+	Mu3, Sigma3 float64
+	ParetoScale float64
+	ParetoAlpha float64
+}
+
+// PriceParams returns the paper's parameter-table row for the quote
+// (price) attribute: q0=0.15, q1=q2=0.1, mu/sigma (9,1),(9,1),(9,2),
+// Pareto(4, 1).
+func PriceParams() IntervalParams {
+	return IntervalParams{
+		Q0: 0.15, Q1: 0.1, Q2: 0.1,
+		Mu1: 9, Sigma1: 1,
+		Mu2: 9, Sigma2: 1,
+		Mu3: 9, Sigma3: 2,
+		ParetoScale: 4, ParetoAlpha: 1,
+	}
+}
+
+// VolumeParams returns the paper's parameter-table row for the volume
+// attribute: identical to price except q0=0.35.
+func VolumeParams() IntervalParams {
+	p := PriceParams()
+	p.Q0 = 0.35
+	return p
+}
+
+// Validate checks the probabilities and Pareto parameters.
+func (p IntervalParams) Validate() error {
+	if p.Q0 < 0 || p.Q1 < 0 || p.Q2 < 0 || p.Q0+p.Q1+p.Q2 > 1 {
+		return fmt.Errorf("workload: interval params probabilities invalid: q0=%v q1=%v q2=%v", p.Q0, p.Q1, p.Q2)
+	}
+	if p.ParetoScale <= 0 || p.ParetoAlpha <= 0 {
+		return fmt.Errorf("workload: invalid Pareto(%v, %v)", p.ParetoScale, p.ParetoAlpha)
+	}
+	if p.Sigma1 <= 0 || p.Sigma2 <= 0 || p.Sigma3 <= 0 {
+		return fmt.Errorf("workload: non-positive sigma in interval params")
+	}
+	return nil
+}
+
+// SampleInterval draws one subscription interval per the parametric
+// distribution, clamped to the domain interval.
+func (p IntervalParams) SampleInterval(rng *rand.Rand, domain geometry.Interval) geometry.Interval {
+	u := rng.Float64()
+	switch {
+	case u < p.Q0:
+		return domain
+	case u < p.Q0+p.Q1:
+		n := Normal{Mu: p.Mu1, Sigma: p.Sigma1}.Sample(rng)
+		return geometry.AtLeast(n).Clamp(domain)
+	case u < p.Q0+p.Q1+p.Q2:
+		n := Normal{Mu: p.Mu2, Sigma: p.Sigma2}.Sample(rng)
+		return geometry.AtMost(n).Clamp(domain)
+	default:
+		center := Normal{Mu: p.Mu3, Sigma: p.Sigma3}.Sample(rng)
+		length := Pareto{C: p.ParetoScale, Alpha: p.ParetoAlpha}.Sample(rng)
+		iv := geometry.Interval{Lo: center - length/2, Hi: center + length/2}
+		return iv.Clamp(domain)
+	}
+}
+
+// SubscriptionConfig parameterises the Section 5 subscription generator.
+type SubscriptionConfig struct {
+	// Count is the number of subscriptions (paper: 1000).
+	Count int
+	// BlockShares is the fraction of subscriptions per transit block
+	// (paper: 40%, 30%, 30%). It must match the topology's block count.
+	BlockShares []float64
+	// NameBlockMeans centers the name-interval of a block-b subscriber at
+	// N(NameBlockMeans[b], NameSigma) (paper: 3, 10, 17 with sigma 4).
+	NameBlockMeans []float64
+	NameSigma      float64
+	// NameLengthMax bounds the Zipf-like name-interval length; lengths
+	// 1..NameLengthMax are drawn with probability proportional to
+	// 1/length^NameLengthTheta. The paper states only "a Zipf-like
+	// distribution"; 8 and 1.0 are our documented choices.
+	NameLengthMax   int
+	NameLengthTheta float64
+	// BSTProbs are the probabilities of the bst attribute taking value
+	// B, S and T (paper: 0.4, 0.4, 0.2).
+	BSTProbs [3]float64
+	// Price and Volume are the parameter-table rows for the quote and
+	// volume dimensions.
+	Price  IntervalParams
+	Volume IntervalParams
+	// StubTheta and NodeTheta are the Zipf exponents for distributing
+	// subscriptions across a block's stubs and across a stub's nodes.
+	StubTheta float64
+	NodeTheta float64
+}
+
+// DefaultSubscriptionConfig returns the paper's published configuration.
+func DefaultSubscriptionConfig() SubscriptionConfig {
+	return SubscriptionConfig{
+		Count:           1000,
+		BlockShares:     []float64{0.4, 0.3, 0.3},
+		NameBlockMeans:  []float64{3, 10, 17},
+		NameSigma:       4,
+		NameLengthMax:   8,
+		NameLengthTheta: 1.0,
+		BSTProbs:        [3]float64{0.4, 0.4, 0.2},
+		Price:           PriceParams(),
+		Volume:          VolumeParams(),
+		StubTheta:       1.0,
+		NodeTheta:       1.0,
+	}
+}
+
+// Validate checks the configuration against a topology.
+func (c SubscriptionConfig) Validate(g *topology.Graph) error {
+	if c.Count <= 0 {
+		return fmt.Errorf("workload: subscription count must be positive, got %d", c.Count)
+	}
+	blocks := g.Stats().Blocks
+	if len(c.BlockShares) != blocks {
+		return fmt.Errorf("workload: %d block shares for %d blocks", len(c.BlockShares), blocks)
+	}
+	if len(c.NameBlockMeans) != blocks {
+		return fmt.Errorf("workload: %d name means for %d blocks", len(c.NameBlockMeans), blocks)
+	}
+	total := 0.0
+	for _, s := range c.BlockShares {
+		if s < 0 {
+			return fmt.Errorf("workload: negative block share %v", s)
+		}
+		total += s
+	}
+	if math.Abs(total-1) > 1e-9 {
+		return fmt.Errorf("workload: block shares sum to %v, want 1", total)
+	}
+	p := c.BSTProbs[0] + c.BSTProbs[1] + c.BSTProbs[2]
+	if math.Abs(p-1) > 1e-9 {
+		return fmt.Errorf("workload: bst probabilities sum to %v, want 1", p)
+	}
+	if c.NameSigma <= 0 || c.NameLengthMax < 1 {
+		return fmt.Errorf("workload: invalid name interval parameters")
+	}
+	if err := c.Price.Validate(); err != nil {
+		return err
+	}
+	return c.Volume.Validate()
+}
+
+// PlacedSubscription is one generated subscription: its rectangle in the
+// stock space and the topology node of the subscriber that owns it.
+type PlacedSubscription struct {
+	// ID is the subscription's index, used as the subscriber identifier
+	// throughout the simulation.
+	ID   int
+	Rect geometry.Rect
+	// Node is the topology node where the subscriber resides.
+	Node int
+	// Block is the transit block of that node.
+	Block int
+}
+
+// GenerateSubscriptions produces cfg.Count subscriptions placed on the
+// graph per the paper's scheme: block shares 40/30/30, Zipf-like
+// popularity across each block's stubs, and Zipf-like popularity across
+// each stub's nodes. The subscription rectangles follow the Section 5
+// generative model over the given space.
+func GenerateSubscriptions(g *topology.Graph, space Space, cfg SubscriptionConfig, rng *rand.Rand) ([]PlacedSubscription, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if space.Dims() != 4 {
+		return nil, fmt.Errorf("workload: subscription generator needs the 4-dim stock space, got %d dims", space.Dims())
+	}
+	if err := cfg.Validate(g); err != nil {
+		return nil, err
+	}
+
+	// Group stub nodes: block -> stub -> nodes.
+	type stubNodes struct {
+		id    int
+		nodes []int
+	}
+	blockStubs := map[int][]*stubNodes{}
+	stubIndex := map[int]*stubNodes{}
+	for i := 0; i < g.NumNodes(); i++ {
+		n := g.Node(i)
+		if n.Role != topology.RoleStub {
+			continue
+		}
+		sn, ok := stubIndex[n.Stub]
+		if !ok {
+			sn = &stubNodes{id: n.Stub}
+			stubIndex[n.Stub] = sn
+			blockStubs[n.Block] = append(blockStubs[n.Block], sn)
+		}
+		sn.nodes = append(sn.nodes, i)
+	}
+	for b := range cfg.BlockShares {
+		if len(blockStubs[b]) == 0 {
+			return nil, fmt.Errorf("workload: block %d has no stub nodes", b)
+		}
+	}
+
+	// Zipf popularity over stubs within each block, and over nodes within
+	// each stub. Random rank assignment decorrelates popularity from
+	// generation order.
+	// Iterate blocks and stubs in deterministic order so identical seeds
+	// yield identical populations (map iteration order is randomised).
+	stubWeights := map[int][]float64{}
+	nodeWeights := map[int][]float64{}
+	for b := range cfg.BlockShares {
+		stubs := blockStubs[b]
+		stubWeights[b] = ShuffledZipf(rng, len(stubs), cfg.StubTheta)
+		for _, sn := range stubs {
+			nodeWeights[sn.id] = ShuffledZipf(rng, len(sn.nodes), cfg.NodeTheta)
+		}
+	}
+
+	// Per-block subscription counts from the shares, rounding the last
+	// block to absorb the remainder.
+	counts := make([]int, len(cfg.BlockShares))
+	assigned := 0
+	for b := range counts {
+		if b == len(counts)-1 {
+			counts[b] = cfg.Count - assigned
+			continue
+		}
+		counts[b] = int(math.Round(cfg.BlockShares[b] * float64(cfg.Count)))
+		assigned += counts[b]
+	}
+
+	nameLengthWeights := ZipfWeights(cfg.NameLengthMax, cfg.NameLengthTheta)
+	domain := space.Domain
+	subs := make([]PlacedSubscription, 0, cfg.Count)
+	for b, cnt := range counts {
+		stubs := blockStubs[b]
+		for i := 0; i < cnt; i++ {
+			sn := stubs[SampleIndex(rng, stubWeights[b])]
+			node := sn.nodes[SampleIndex(rng, nodeWeights[sn.id])]
+
+			rect := make(geometry.Rect, 4)
+			// bst: a single category.
+			switch SampleIndex(rng, cfg.BSTProbs[:]) {
+			case 0:
+				rect[DimBST] = geometry.Interval{Lo: 0, Hi: 1}
+			case 1:
+				rect[DimBST] = geometry.Interval{Lo: 1, Hi: 2}
+			default:
+				rect[DimBST] = geometry.Interval{Lo: 2, Hi: 3}
+			}
+			// name: normal center around the block's mean, Zipf-like length.
+			center := Normal{Mu: cfg.NameBlockMeans[b], Sigma: cfg.NameSigma}.Sample(rng)
+			length := float64(SampleIndex(rng, nameLengthWeights) + 1)
+			rect[DimName] = geometry.Interval{Lo: center - length/2, Hi: center + length/2}.Clamp(domain[DimName])
+			// quote and volume: the parametric table.
+			rect[DimQuote] = cfg.Price.SampleInterval(rng, domain[DimQuote])
+			rect[DimVolume] = cfg.Volume.SampleInterval(rng, domain[DimVolume])
+
+			// A clamp can empty an interval whose sample fell entirely
+			// outside the domain; resample such degenerate rectangles.
+			if rect.Empty() {
+				i--
+				continue
+			}
+			subs = append(subs, PlacedSubscription{
+				ID:    len(subs),
+				Rect:  rect,
+				Node:  node,
+				Block: b,
+			})
+		}
+	}
+	return subs, nil
+}

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Trade is one synthetic stock trade. It stands in for a record of the
+// NYSE tape the paper analysed (September 24, 1999): the paper used that
+// data only to justify its simulation distributions, so the generator's
+// ground truth is exactly the model the paper fitted — normal normalized
+// prices, Zipf-like per-stock trade counts and Pareto trade amounts.
+type Trade struct {
+	// Stock is the stock's index; lower indices are (in expectation) more
+	// heavily traded before rank shuffling.
+	Stock int
+	// Price is the trade price.
+	Price float64
+	// OpenPrice is the stock's opening price, used to normalise.
+	OpenPrice float64
+	// Amount is the dollar amount of the trade.
+	Amount float64
+}
+
+// NormalizedPrice returns Price/OpenPrice, the quantity plotted in
+// Figure 4(a).
+func (t Trade) NormalizedPrice() float64 { return t.Price / t.OpenPrice }
+
+// TapeConfig parameterises the synthetic trade tape.
+type TapeConfig struct {
+	// Stocks is the number of distinct stocks.
+	Stocks int
+	// Trades is the number of trades generated.
+	Trades int
+	// PopularityTheta is the Zipf exponent of per-stock trade counts.
+	PopularityTheta float64
+	// PriceSigma is the standard deviation of the normalized price
+	// (prices move a few percent intraday: Figure 4(a) is a tight bell
+	// around 1.0).
+	PriceSigma float64
+	// AmountScale and AmountAlpha parameterise the Pareto trade-amount
+	// distribution.
+	AmountScale float64
+	AmountAlpha float64
+}
+
+// DefaultTapeConfig returns a tape shaped like the paper's data study.
+func DefaultTapeConfig() TapeConfig {
+	return TapeConfig{
+		Stocks:          500,
+		Trades:          50000,
+		PopularityTheta: 1.0,
+		PriceSigma:      0.03,
+		AmountScale:     1000,
+		AmountAlpha:     1.2,
+	}
+}
+
+// Validate checks the configuration.
+func (c TapeConfig) Validate() error {
+	switch {
+	case c.Stocks <= 0:
+		return fmt.Errorf("workload: tape needs stocks > 0, got %d", c.Stocks)
+	case c.Trades <= 0:
+		return fmt.Errorf("workload: tape needs trades > 0, got %d", c.Trades)
+	case c.PriceSigma <= 0:
+		return fmt.Errorf("workload: tape needs price sigma > 0, got %v", c.PriceSigma)
+	case c.AmountScale <= 0 || c.AmountAlpha <= 0:
+		return fmt.Errorf("workload: invalid amount Pareto(%v, %v)", c.AmountScale, c.AmountAlpha)
+	}
+	return nil
+}
+
+// GenerateTape produces a synthetic day of trading.
+func GenerateTape(cfg TapeConfig, rng *rand.Rand) ([]Trade, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	popularity := ZipfWeights(cfg.Stocks, cfg.PopularityTheta)
+	// Opening prices: lognormal-ish spread across stocks.
+	open := make([]float64, cfg.Stocks)
+	for i := range open {
+		open[i] = 20 * math.Exp(rng.NormFloat64()*0.8)
+	}
+	amount := Pareto{C: cfg.AmountScale, Alpha: cfg.AmountAlpha}
+	price := Normal{Mu: 1, Sigma: cfg.PriceSigma}
+
+	trades := make([]Trade, cfg.Trades)
+	for i := range trades {
+		s := SampleIndex(rng, popularity)
+		norm := price.Sample(rng)
+		if norm <= 0 {
+			norm = 0.01
+		}
+		trades[i] = Trade{
+			Stock:     s,
+			Price:     open[s] * norm,
+			OpenPrice: open[s],
+			Amount:    amount.Sample(rng),
+		}
+	}
+	return trades, nil
+}
+
+// TradeCounts returns per-stock trade counts sorted in decreasing order —
+// the series of Figure 4(b), trade frequency against popularity index.
+func TradeCounts(trades []Trade, stocks int) []int {
+	counts := make([]int, stocks)
+	for _, t := range trades {
+		if t.Stock >= 0 && t.Stock < stocks {
+			counts[t.Stock]++
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	// Trim trailing zero-trade stocks.
+	for len(counts) > 0 && counts[len(counts)-1] == 0 {
+		counts = counts[:len(counts)-1]
+	}
+	return counts
+}
+
+// TopStocks returns the indices of the k most-traded stocks, most traded
+// first — the subjects of Figure 5.
+func TopStocks(trades []Trade, stocks, k int) []int {
+	counts := make([]int, stocks)
+	for _, t := range trades {
+		if t.Stock >= 0 && t.Stock < stocks {
+			counts[t.Stock]++
+		}
+	}
+	idx := make([]int, stocks)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return counts[idx[a]] > counts[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}

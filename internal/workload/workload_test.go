@@ -1,0 +1,466 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geometry"
+	"repro/internal/topology"
+)
+
+func testGraph(t *testing.T) *topology.Graph {
+	t.Helper()
+	return topology.MustGenerate(topology.DefaultConfig(), rand.New(rand.NewSource(2003)))
+}
+
+func TestStockSpace(t *testing.T) {
+	s := StockSpace()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Dims() != 4 {
+		t.Fatalf("dims = %d, want 4", s.Dims())
+	}
+	if s.Names[DimQuote] != "quote" || s.Names[DimVolume] != "volume" {
+		t.Errorf("dimension names wrong: %v", s.Names)
+	}
+	if !s.Domain.Contains(geometry.Point{BSTBuy, 10, 9, 9}) {
+		t.Error("domain does not contain a typical event")
+	}
+}
+
+func TestSpaceValidate(t *testing.T) {
+	bad := []Space{
+		{},
+		{Names: []string{"a"}, Domain: geometry.NewRect(0, 1, 0, 1)},
+		{Names: []string{"a"}, Domain: geometry.NewRect(1, 1)},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("space %d accepted", i)
+		}
+	}
+}
+
+func TestIntervalParamsTable(t *testing.T) {
+	// The Section 5 parameter table, verbatim.
+	price, volume := PriceParams(), VolumeParams()
+	if price.Q0 != 0.15 || volume.Q0 != 0.35 {
+		t.Errorf("q0: price %v volume %v, want 0.15 / 0.35", price.Q0, volume.Q0)
+	}
+	if price.Q1 != 0.1 || price.Q2 != 0.1 || volume.Q1 != 0.1 || volume.Q2 != 0.1 {
+		t.Error("q1/q2 must be 0.1")
+	}
+	for _, p := range []IntervalParams{price, volume} {
+		if p.Mu1 != 9 || p.Sigma1 != 1 || p.Mu2 != 9 || p.Sigma2 != 1 || p.Mu3 != 9 || p.Sigma3 != 2 {
+			t.Errorf("mu/sigma wrong: %+v", p)
+		}
+		if p.ParetoScale != 4 || p.ParetoAlpha != 1 {
+			t.Errorf("Pareto params wrong: %+v", p)
+		}
+		if err := p.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestIntervalParamsValidate(t *testing.T) {
+	bad := PriceParams()
+	bad.Q0 = 0.9
+	bad.Q1 = 0.9
+	if err := bad.Validate(); err == nil {
+		t.Error("probability sum > 1 accepted")
+	}
+	bad = PriceParams()
+	bad.ParetoScale = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero Pareto scale accepted")
+	}
+	bad = PriceParams()
+	bad.Sigma3 = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero sigma accepted")
+	}
+}
+
+func TestSampleIntervalShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	domain := geometry.Interval{Lo: 0, Hi: 20}
+	p := PriceParams()
+	sawFull, sawHalfUp, sawHalfDown, sawBounded := false, false, false, false
+	for i := 0; i < 5000; i++ {
+		iv := p.SampleInterval(rng, domain)
+		if iv.Empty() {
+			continue // clamped away; the generator resamples these
+		}
+		switch {
+		case iv == domain:
+			sawFull = true
+		case iv.Hi == domain.Hi && iv.Lo > domain.Lo:
+			sawHalfUp = true
+		case iv.Lo == domain.Lo && iv.Hi < domain.Hi:
+			sawHalfDown = true
+		default:
+			sawBounded = true
+		}
+		if iv.Lo < domain.Lo || iv.Hi > domain.Hi {
+			t.Fatalf("interval %v escapes domain", iv)
+		}
+	}
+	if !sawFull || !sawHalfUp || !sawHalfDown || !sawBounded {
+		t.Errorf("interval shapes: full=%v up=%v down=%v bounded=%v — all four should occur",
+			sawFull, sawHalfUp, sawHalfDown, sawBounded)
+	}
+}
+
+func TestSampleIntervalWildcardRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	domain := geometry.Interval{Lo: 0, Hi: 20}
+	v := VolumeParams() // q0 = 0.35
+	full := 0
+	const samples = 20000
+	for i := 0; i < samples; i++ {
+		if v.SampleInterval(rng, domain) == domain {
+			full++
+		}
+	}
+	frac := float64(full) / samples
+	// Wildcards plus the occasional clamped-to-full long interval: the
+	// rate must be at least q0 and not wildly above it.
+	if frac < 0.34 || frac > 0.60 {
+		t.Errorf("full-domain rate %v implausible for q0=0.35", frac)
+	}
+}
+
+func TestGenerateSubscriptions(t *testing.T) {
+	g := testGraph(t)
+	rng := rand.New(rand.NewSource(9))
+	cfg := DefaultSubscriptionConfig()
+	subs, err := GenerateSubscriptions(g, StockSpace(), cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != cfg.Count {
+		t.Fatalf("got %d subscriptions, want %d", len(subs), cfg.Count)
+	}
+	space := StockSpace()
+	blockCounts := map[int]int{}
+	nodeSet := map[int]bool{}
+	for i, s := range subs {
+		if s.ID != i {
+			t.Fatalf("subscription %d has ID %d", i, s.ID)
+		}
+		if s.Rect.Empty() {
+			t.Fatalf("subscription %d is empty: %v", i, s.Rect)
+		}
+		if !space.Domain.ContainsRect(s.Rect) {
+			t.Fatalf("subscription %d escapes the domain: %v", i, s.Rect)
+		}
+		node := g.Node(s.Node)
+		if node.Role != topology.RoleStub {
+			t.Fatalf("subscription %d placed on a transit node", i)
+		}
+		if node.Block != s.Block {
+			t.Fatalf("subscription %d block mismatch: %d vs %d", i, node.Block, s.Block)
+		}
+		// bst must be exactly one category.
+		if l := s.Rect[DimBST].Length(); l != 1 {
+			t.Fatalf("subscription %d bst interval %v not one category", i, s.Rect[DimBST])
+		}
+		blockCounts[s.Block]++
+		nodeSet[s.Node] = true
+	}
+	// 40/30/30 split.
+	if got := blockCounts[0]; got < 380 || got > 420 {
+		t.Errorf("block 0 has %d subscriptions, want ~400", got)
+	}
+	for b := 1; b <= 2; b++ {
+		if got := blockCounts[b]; got < 280 || got > 320 {
+			t.Errorf("block %d has %d subscriptions, want ~300", b, got)
+		}
+	}
+	// Zipf placement concentrates subscribers: far fewer distinct nodes
+	// than subscriptions, but more than a handful.
+	if len(nodeSet) < 20 || len(nodeSet) >= len(subs) {
+		t.Errorf("subscriptions on %d distinct nodes; want Zipf concentration", len(nodeSet))
+	}
+}
+
+func TestGenerateSubscriptionsNameCentersFollowBlocks(t *testing.T) {
+	g := testGraph(t)
+	rng := rand.New(rand.NewSource(10))
+	cfg := DefaultSubscriptionConfig()
+	subs, err := GenerateSubscriptions(g, StockSpace(), cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := map[int]float64{}
+	n := map[int]int{}
+	for _, s := range subs {
+		sum[s.Block] += s.Rect[DimName].Center()
+		n[s.Block]++
+	}
+	for b, want := range cfg.NameBlockMeans {
+		got := sum[b] / float64(n[b])
+		// Clamping pulls edge blocks inward; allow a wide tolerance.
+		if math.Abs(got-want) > 2.5 {
+			t.Errorf("block %d mean name center %v, want ~%v", b, got, want)
+		}
+	}
+}
+
+func TestGenerateSubscriptionsValidation(t *testing.T) {
+	g := testGraph(t)
+	rng := rand.New(rand.NewSource(11))
+	space := StockSpace()
+
+	cfg := DefaultSubscriptionConfig()
+	cfg.Count = 0
+	if _, err := GenerateSubscriptions(g, space, cfg, rng); err == nil {
+		t.Error("zero count accepted")
+	}
+
+	cfg = DefaultSubscriptionConfig()
+	cfg.BlockShares = []float64{0.5, 0.5}
+	if _, err := GenerateSubscriptions(g, space, cfg, rng); err == nil {
+		t.Error("wrong share count accepted")
+	}
+
+	cfg = DefaultSubscriptionConfig()
+	cfg.BlockShares = []float64{0.5, 0.3, 0.3}
+	if _, err := GenerateSubscriptions(g, space, cfg, rng); err == nil {
+		t.Error("shares not summing to 1 accepted")
+	}
+
+	cfg = DefaultSubscriptionConfig()
+	cfg.BSTProbs = [3]float64{1, 1, 1}
+	if _, err := GenerateSubscriptions(g, space, cfg, rng); err == nil {
+		t.Error("bst probs not summing to 1 accepted")
+	}
+
+	bad := Space{Names: []string{"x"}, Domain: geometry.NewRect(0, 1)}
+	if _, err := GenerateSubscriptions(g, bad, DefaultSubscriptionConfig(), rng); err == nil {
+		t.Error("non-4d space accepted")
+	}
+}
+
+func TestPublicationModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, modes := range []int{1, 4, 9} {
+		m, err := StockPublications(modes)
+		if err != nil {
+			t.Fatalf("modes=%d: %v", modes, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("modes=%d: %v", modes, err)
+		}
+		pts := m.SampleN(rng, 1000)
+		if len(pts) != 1000 {
+			t.Fatalf("SampleN returned %d", len(pts))
+		}
+		for _, p := range pts {
+			if p.Dims() != 4 {
+				t.Fatalf("modes=%d: publication %v not 4-dim", modes, p)
+			}
+		}
+	}
+	if _, err := StockPublications(2); err == nil {
+		t.Error("modes=2 accepted")
+	}
+}
+
+func TestPublicationModesAreMultimodal(t *testing.T) {
+	// The 4-mode model's quote dimension mixes N(4,2) and N(16,2): both
+	// halves must receive substantial mass, unlike the 1-mode N(9,2).
+	rng := rand.New(rand.NewSource(13))
+	m4 := MustStockPublications(4)
+	low, high := 0, 0
+	for i := 0; i < 10000; i++ {
+		q := m4.Sample(rng)[DimQuote]
+		if q < 10 {
+			low++
+		} else {
+			high++
+		}
+	}
+	if low < 4000 || high < 4000 {
+		t.Errorf("4-mode quote split %d/%d, want roughly even bimodal", low, high)
+	}
+}
+
+func TestCellProb(t *testing.T) {
+	m := PublicationModel{Dims: []Dist1D{Normal{Mu: 0, Sigma: 1}, Normal{Mu: 0, Sigma: 1}}}
+	// Central cell: P(-1<X<=1)^2 ~ 0.6827^2.
+	cell := geometry.NewRect(-1, 1, -1, 1)
+	want := 0.6827 * 0.6827
+	if got := m.CellProb(cell); math.Abs(got-want) > 1e-3 {
+		t.Errorf("CellProb = %v, want ~%v", got, want)
+	}
+	if got := m.CellProb(geometry.NewRect(-1, 1)); got != 0 {
+		t.Errorf("dim-mismatch CellProb = %v, want 0", got)
+	}
+	if got := m.CellProb(geometry.NewRect(5, 5, -1, 1)); got != 0 {
+		t.Errorf("empty cell CellProb = %v, want 0", got)
+	}
+}
+
+func TestCellProbMatchesEmpirical(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	m := MustStockPublications(9)
+	cell := geometry.NewRect(0, 2, 8, 14, 2, 6, 3, 15)
+	want := m.CellProb(cell)
+	hits := 0
+	const samples = 200000
+	for i := 0; i < samples; i++ {
+		if cell.Contains(m.Sample(rng)) {
+			hits++
+		}
+	}
+	got := float64(hits) / samples
+	if math.Abs(got-want) > 0.005 {
+		t.Errorf("empirical cell prob %v, analytic %v", got, want)
+	}
+}
+
+func TestGenerateTape(t *testing.T) {
+	cfg := DefaultTapeConfig()
+	cfg.Trades = 20000
+	trades, err := GenerateTape(cfg, rand.New(rand.NewSource(15)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trades) != cfg.Trades {
+		t.Fatalf("got %d trades", len(trades))
+	}
+	sum := 0.0
+	for _, tr := range trades {
+		if tr.Price <= 0 || tr.OpenPrice <= 0 || tr.Amount < cfg.AmountScale {
+			t.Fatalf("implausible trade %+v", tr)
+		}
+		sum += tr.NormalizedPrice()
+	}
+	if meanPrice := sum / float64(len(trades)); math.Abs(meanPrice-1) > 0.01 {
+		t.Errorf("mean normalized price %v, want ~1", meanPrice)
+	}
+}
+
+func TestGenerateTapeValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	bad := []TapeConfig{
+		{},
+		{Stocks: 10, Trades: 0, PriceSigma: 0.1, AmountScale: 1, AmountAlpha: 1},
+		{Stocks: 10, Trades: 10, PriceSigma: 0, AmountScale: 1, AmountAlpha: 1},
+		{Stocks: 10, Trades: 10, PriceSigma: 0.1, AmountScale: 0, AmountAlpha: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateTape(cfg, rng); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestTradeCountsZipfShape(t *testing.T) {
+	cfg := DefaultTapeConfig()
+	trades, err := GenerateTape(cfg, rand.New(rand.NewSource(17)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := TradeCounts(trades, cfg.Stocks)
+	if len(counts) == 0 {
+		t.Fatal("no counts")
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] > counts[i-1] {
+			t.Fatalf("counts not sorted at %d", i)
+		}
+	}
+	// Zipf: the most popular stock has far more trades than the median.
+	if counts[0] < 5*counts[len(counts)/2] {
+		t.Errorf("top count %d vs median %d: not Zipf-like", counts[0], counts[len(counts)/2])
+	}
+}
+
+func TestTopStocks(t *testing.T) {
+	trades := []Trade{
+		{Stock: 2}, {Stock: 2}, {Stock: 2},
+		{Stock: 0}, {Stock: 0},
+		{Stock: 1},
+	}
+	got := TopStocks(trades, 3, 2)
+	if len(got) != 2 || got[0] != 2 || got[1] != 0 {
+		t.Errorf("TopStocks = %v, want [2 0]", got)
+	}
+	if got := TopStocks(trades, 3, 10); len(got) != 3 {
+		t.Errorf("k beyond stocks: %v", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g := testGraph(t)
+	cfg := DefaultSubscriptionConfig()
+	a, err := GenerateSubscriptions(g, StockSpace(), cfg, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSubscriptions(g, StockSpace(), cfg, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Node != b[i].Node || !a[i].Rect.Equal(b[i].Rect) {
+			t.Fatalf("subscription %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestPublisherModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	if _, err := UniformPublishers(nil); err == nil {
+		t.Error("empty node set accepted")
+	}
+	if _, err := ZipfPublishers(nil, 1, rng); err == nil {
+		t.Error("empty zipf node set accepted")
+	}
+	nodes := []int{5, 9, 13, 17}
+	uni, err := UniformPublishers(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for i := 0; i < 40000; i++ {
+		counts[uni.Pick(rng)]++
+	}
+	for _, n := range nodes {
+		frac := float64(counts[n]) / 40000
+		if math.Abs(frac-0.25) > 0.02 {
+			t.Errorf("node %d frequency %v, want ~0.25", n, frac)
+		}
+	}
+	zipf, err := ZipfPublishers(nodes, 1.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts = map[int]int{}
+	for i := 0; i < 40000; i++ {
+		counts[zipf.Pick(rng)]++
+	}
+	// Zipf: most popular node dominates the least popular.
+	max, min := 0, 1<<30
+	for _, n := range nodes {
+		if counts[n] > max {
+			max = counts[n]
+		}
+		if counts[n] < min {
+			min = counts[n]
+		}
+	}
+	if max < 3*min {
+		t.Errorf("zipf spread max=%d min=%d not skewed", max, min)
+	}
+	got := zipf.Nodes()
+	got[0] = -1
+	if zipf.nodes[0] == -1 {
+		t.Error("Nodes() aliased internal slice")
+	}
+}

@@ -1,0 +1,58 @@
+// Package pubsub is a content-based publish-subscribe library
+// reproducing Riabov, Liu, Wolf, Yu and Zhang, "New Algorithms for
+// Content-Based Publication-Subscription Systems" (ICDCS 2003).
+//
+// In a content-based system every subscription is a conjunction of range
+// predicates over event attributes — geometrically, an axis-aligned
+// rectangle with half-open (lo, hi] sides in an N-dimensional event
+// space — and every published event is a point in that space. The
+// library provides the paper's three layers:
+//
+//   - Matching (Section 3): Index answers "which subscribers are
+//     interested in this event?" with an S-tree point query; a
+//     Hilbert-packed R-tree and a brute-force scanner are available as
+//     baselines.
+//   - Subscription clustering (Appendix A): BuildClustering precomputes
+//     multicast groups from the totality of subscriber interests using
+//     grid-based Forgy k-means, pairwise grouping or minimum-spanning-
+//     tree clustering under the expected-waste distance.
+//   - Distribution method (Section 4): Engine decides per publication,
+//     online, whether to multicast to the covering group or unicast to
+//     the interested subscribers, based on the interested-fraction
+//     threshold t.
+//
+// Two runtimes are included: Broker, an embeddable concurrent broker for
+// real applications, and Engine, the network-simulation pipeline that
+// regenerates the paper's evaluation (see cmd/pubsub-bench).
+package pubsub
+
+import (
+	"repro/internal/geometry"
+)
+
+// Point is a published event: one coordinate per attribute.
+type Point = geometry.Point
+
+// Interval is a half-open range predicate (Lo, Hi] on one attribute.
+type Interval = geometry.Interval
+
+// Rect is a subscription: the cartesian product of one Interval per
+// attribute.
+type Rect = geometry.Rect
+
+// NewRect builds a rectangle from consecutive (lo, hi) pairs:
+// NewRect(lo1, hi1, lo2, hi2, ...).
+func NewRect(bounds ...float64) Rect { return geometry.NewRect(bounds...) }
+
+// FullInterval is the wildcard predicate "*": it matches any value.
+func FullInterval() Interval { return geometry.FullInterval() }
+
+// AtLeast is the predicate "attribute > lo" (unbounded above).
+func AtLeast(lo float64) Interval { return geometry.AtLeast(lo) }
+
+// AtMost is the predicate "attribute <= hi" (unbounded below).
+func AtMost(hi float64) Interval { return geometry.AtMost(hi) }
+
+// FullRect is the subscription matching every event in a dims-dimensional
+// space.
+func FullRect(dims int) Rect { return geometry.FullRect(dims) }

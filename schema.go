@@ -1,0 +1,158 @@
+package pubsub
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Between returns the range predicate "lo < attribute <= hi".
+func Between(lo, hi float64) Interval { return Interval{Lo: lo, Hi: hi} }
+
+// Category returns the predicate selecting the i-th value of a
+// linearised categorical attribute: the unit interval (i, i+1]. This is
+// how the paper maps attributes like the stock name or the buy/sell/
+// transaction flag onto the numeric event space ("even attributes such
+// as name ... can be indexed and therefore linearized").
+func Category(i int) Interval {
+	return Interval{Lo: float64(i), Hi: float64(i) + 1}
+}
+
+// CategoryValue returns the event-space coordinate representing the i-th
+// categorical value (the center of Category(i)).
+func CategoryValue(i int) float64 { return float64(i) + 0.5 }
+
+// Schema names the dimensions of an event space, so subscriptions and
+// events can be built by attribute name instead of positional index.
+type Schema struct {
+	names []string
+	index map[string]int
+}
+
+// NewSchema creates a schema from ordered attribute names. Names must be
+// non-empty and unique.
+func NewSchema(names ...string) (*Schema, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("pubsub: schema needs at least one attribute")
+	}
+	s := &Schema{
+		names: append([]string(nil), names...),
+		index: make(map[string]int, len(names)),
+	}
+	for i, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("pubsub: attribute %d has an empty name", i)
+		}
+		if _, dup := s.index[n]; dup {
+			return nil, fmt.Errorf("pubsub: duplicate attribute %q", n)
+		}
+		s.index[n] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema, panicking on error. Intended for package-level
+// schema construction.
+func MustSchema(names ...string) *Schema {
+	s, err := NewSchema(names...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Dims reports the number of attributes.
+func (s *Schema) Dims() int { return len(s.names) }
+
+// Names returns the attribute names in dimension order.
+func (s *Schema) Names() []string { return append([]string(nil), s.names...) }
+
+// Attribute returns the dimension index of the named attribute.
+func (s *Schema) Attribute(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Event builds a Point from named attribute values. Every attribute must
+// be present, and no unknown names may appear.
+func (s *Schema) Event(values map[string]float64) (Point, error) {
+	if len(values) != len(s.names) {
+		return nil, fmt.Errorf("pubsub: event has %d values, schema has %d attributes%s",
+			len(values), len(s.names), s.describeMismatch(values))
+	}
+	p := make(Point, len(s.names))
+	for name, v := range values {
+		i, ok := s.index[name]
+		if !ok {
+			return nil, fmt.Errorf("pubsub: unknown attribute %q", name)
+		}
+		p[i] = v
+	}
+	return p, nil
+}
+
+func (s *Schema) describeMismatch(values map[string]float64) string {
+	var missing []string
+	for _, n := range s.names {
+		if _, ok := values[n]; !ok {
+			missing = append(missing, n)
+		}
+	}
+	if len(missing) == 0 {
+		return ""
+	}
+	sort.Strings(missing)
+	return fmt.Sprintf(" (missing %v)", missing)
+}
+
+// Where starts building a subscription rectangle: all attributes default
+// to the wildcard and the named one is constrained to iv.
+func (s *Schema) Where(name string, iv Interval) *RectBuilder {
+	b := &RectBuilder{s: s, rect: FullRect(len(s.names))}
+	return b.And(name, iv)
+}
+
+// All returns the subscription matching every event (all wildcards).
+func (s *Schema) All() Rect { return FullRect(len(s.names)) }
+
+// RectBuilder accumulates per-attribute predicates into a subscription
+// rectangle. Constraints on the same attribute are intersected
+// (conjunction of predicates, as in the paper's subscription model).
+type RectBuilder struct {
+	s    *Schema
+	rect Rect
+	err  error
+}
+
+// And adds another predicate.
+func (b *RectBuilder) And(name string, iv Interval) *RectBuilder {
+	if b.err != nil {
+		return b
+	}
+	i, ok := b.s.index[name]
+	if !ok {
+		b.err = fmt.Errorf("pubsub: unknown attribute %q", name)
+		return b
+	}
+	b.rect[i] = b.rect[i].Intersect(iv)
+	if b.rect[i].Empty() {
+		b.err = fmt.Errorf("pubsub: predicates on %q are contradictory (empty interval)", name)
+	}
+	return b
+}
+
+// Build returns the subscription rectangle.
+func (b *RectBuilder) Build() (Rect, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	return b.rect.Clone(), nil
+}
+
+// MustBuild is Build, panicking on error.
+func (b *RectBuilder) MustBuild() Rect {
+	r, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,157 @@
+package pubsub_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	pubsub "repro"
+)
+
+func TestNewSchemaValidation(t *testing.T) {
+	if _, err := pubsub.NewSchema(); err == nil {
+		t.Error("empty schema accepted")
+	}
+	if _, err := pubsub.NewSchema("a", ""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := pubsub.NewSchema("a", "b", "a"); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	s, err := pubsub.NewSchema("bst", "name", "quote", "volume")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dims() != 4 {
+		t.Errorf("Dims = %d", s.Dims())
+	}
+	if i, ok := s.Attribute("quote"); !ok || i != 2 {
+		t.Errorf("Attribute(quote) = %d, %v", i, ok)
+	}
+	if _, ok := s.Attribute("nope"); ok {
+		t.Error("unknown attribute found")
+	}
+	names := s.Names()
+	names[0] = "mutated"
+	if n, _ := s.Attribute("bst"); n != 0 {
+		t.Error("Names() aliased internal storage")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema did not panic")
+		}
+	}()
+	pubsub.MustSchema("x", "x")
+}
+
+func TestSchemaEvent(t *testing.T) {
+	s := pubsub.MustSchema("name", "price", "volume")
+	p, err := s.Event(map[string]float64{"name": 10.5, "price": 78, "volume": 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 10.5 || p[1] != 78 || p[2] != 2000 {
+		t.Errorf("event = %v", p)
+	}
+	if _, err := s.Event(map[string]float64{"name": 1}); err == nil ||
+		!strings.Contains(err.Error(), "missing") {
+		t.Errorf("missing attributes not reported: %v", err)
+	}
+	if _, err := s.Event(map[string]float64{"name": 1, "price": 2, "bogus": 3}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestSchemaWhereBuildsGryphonSubscription(t *testing.T) {
+	// The paper's motivating subscription: name=IBM, 75 < price <= 80,
+	// volume >= 1000.
+	s := pubsub.MustSchema("name", "price", "volume")
+	const ibm = 10
+	rect, err := s.Where("name", pubsub.Category(ibm)).
+		And("price", pubsub.Between(75, 80)).
+		And("volume", pubsub.AtLeast(999)).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	match, err := s.Event(map[string]float64{
+		"name": pubsub.CategoryValue(ibm), "price": 78, "volume": 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rect.Contains(match) {
+		t.Error("matching trade not contained")
+	}
+	noMatch, err := s.Event(map[string]float64{
+		"name": pubsub.CategoryValue(ibm), "price": 85, "volume": 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rect.Contains(noMatch) {
+		t.Error("price-out-of-range trade contained")
+	}
+}
+
+func TestSchemaWhereConjunction(t *testing.T) {
+	s := pubsub.MustSchema("x")
+	// Two predicates on the same attribute intersect.
+	rect := s.Where("x", pubsub.AtLeast(5)).And("x", pubsub.AtMost(10)).MustBuild()
+	if rect[0].Lo != 5 || rect[0].Hi != 10 {
+		t.Errorf("conjunction = %v", rect[0])
+	}
+	// Contradictory predicates error out.
+	if _, err := s.Where("x", pubsub.AtMost(3)).And("x", pubsub.AtLeast(5)).Build(); err == nil {
+		t.Error("contradiction accepted")
+	}
+	// Unknown attribute errors out and sticks.
+	b := s.Where("y", pubsub.AtLeast(0))
+	if _, err := b.Build(); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := b.And("x", pubsub.AtLeast(0)).Build(); err == nil {
+		t.Error("error did not stick")
+	}
+}
+
+func TestSchemaAllAndDefaults(t *testing.T) {
+	s := pubsub.MustSchema("a", "b")
+	all := s.All()
+	if !all.Contains(pubsub.Point{1e100, -1e100}) {
+		t.Error("All() does not match everything")
+	}
+	// Unconstrained attributes are wildcards.
+	rect := s.Where("a", pubsub.Between(0, 1)).MustBuild()
+	if !math.IsInf(rect[1].Lo, -1) || !math.IsInf(rect[1].Hi, 1) {
+		t.Errorf("unconstrained attribute = %v", rect[1])
+	}
+}
+
+func TestBuilderBuildReturnsCopy(t *testing.T) {
+	s := pubsub.MustSchema("a")
+	b := s.Where("a", pubsub.Between(0, 1))
+	r1 := b.MustBuild()
+	r1[0].Hi = 99
+	r2 := b.MustBuild()
+	if r2[0].Hi == 99 {
+		t.Error("Build shares storage across calls")
+	}
+}
+
+func TestCategoryHelpers(t *testing.T) {
+	c := pubsub.Category(3)
+	if !c.Contains(pubsub.CategoryValue(3)) {
+		t.Error("CategoryValue(3) not inside Category(3)")
+	}
+	if c.Contains(pubsub.CategoryValue(2)) || c.Contains(pubsub.CategoryValue(4)) {
+		t.Error("category leaks into neighbours")
+	}
+	// Adjacent categories tile without overlap.
+	if pubsub.Category(2).Intersects(pubsub.Category(3)) {
+		t.Error("adjacent categories intersect")
+	}
+}

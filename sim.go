@@ -1,0 +1,191 @@
+package pubsub
+
+import (
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/match"
+	"repro/internal/multicast"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Network is an undirected weighted network topology.
+type Network = topology.Graph
+
+// NetworkConfig parameterises the transit-stub generator.
+type NetworkConfig = topology.Config
+
+// DefaultNetworkConfig returns the paper's ~600-node configuration:
+// 3 transit blocks x ~5 transit nodes x 2 stubs x ~20 nodes.
+func DefaultNetworkConfig() NetworkConfig { return topology.DefaultConfig() }
+
+// GenerateNetwork builds a random transit-stub topology.
+func GenerateNetwork(cfg NetworkConfig, rng *rand.Rand) (*Network, error) {
+	return topology.Generate(cfg, rng)
+}
+
+// Space is a named, finite event space.
+type Space = workload.Space
+
+// StockSpace returns the paper's 4-dimensional stock event space
+// {bst, name, quote, volume}.
+func StockSpace() Space { return workload.StockSpace() }
+
+// PlacedSubscription is a subscription generated onto a network node.
+type PlacedSubscription = workload.PlacedSubscription
+
+// SubscriptionConfig parameterises the Section 5 subscription generator.
+type SubscriptionConfig = workload.SubscriptionConfig
+
+// DefaultSubscriptionConfig returns the paper's published configuration
+// (1000 subscriptions, 40/30/30 block split, Zipf placement).
+func DefaultSubscriptionConfig() SubscriptionConfig { return workload.DefaultSubscriptionConfig() }
+
+// GenerateSubscriptions produces a placed subscription population.
+func GenerateSubscriptions(g *Network, space Space, cfg SubscriptionConfig, rng *rand.Rand) ([]PlacedSubscription, error) {
+	return workload.GenerateSubscriptions(g, space, cfg, rng)
+}
+
+// PublicationModel samples publication events and integrates their
+// density over regions.
+type PublicationModel = workload.PublicationModel
+
+// StockPublications returns the paper's 1-, 4- or 9-mode publication
+// model.
+func StockPublications(modes int) (PublicationModel, error) {
+	return workload.StockPublications(modes)
+}
+
+// PublisherModel selects publisher nodes for a publication stream.
+type PublisherModel = workload.PublisherModel
+
+// UniformPublishers selects publishers uniformly among the given nodes.
+func UniformPublishers(nodes []int) (*PublisherModel, error) {
+	return workload.UniformPublishers(nodes)
+}
+
+// ZipfPublishers gives the nodes Zipf(theta) publishing popularity in
+// random rank order.
+func ZipfPublishers(nodes []int, theta float64, rng *rand.Rand) (*PublisherModel, error) {
+	return workload.ZipfPublishers(nodes, theta, rng)
+}
+
+// EstimateModel learns a publication model from observed traffic: each
+// dimension is estimated independently with a bins-bin histogram. Use it
+// when no analytic publication model is available.
+func EstimateModel(events []Point, bins int) (PublicationModel, error) {
+	return workload.EstimateModel(events, bins)
+}
+
+// ClusterAlgorithm selects a subscription clustering algorithm.
+type ClusterAlgorithm = cluster.Algorithm
+
+// Clustering algorithms from the paper's Appendix A.
+const (
+	ForgyKMeans = cluster.AlgForgyKMeans
+	Pairwise    = cluster.AlgPairwise
+	MST         = cluster.AlgMST
+	BatchKMeans = cluster.AlgBatchKMeans
+)
+
+// MulticastMode selects the multicast mechanism used by the planner.
+type MulticastMode = multicast.Mode
+
+// Multicast mechanisms.
+const (
+	// DenseMode is dense-mode network multicast (the paper's assumption).
+	DenseMode = multicast.ModeDense
+	// SparseMode is rendezvous-point shared-tree multicast.
+	SparseMode = multicast.ModeSparse
+	// ALMMode is application-level (overlay) multicast.
+	ALMMode = multicast.ModeALM
+)
+
+// ClusterConfig parameterises the preprocessing stage.
+type ClusterConfig = cluster.Config
+
+// Clustering is a finished set of multicast groups.
+type Clustering = cluster.Clustering
+
+// BuildClustering runs the subscription clustering preprocessing over a
+// placed population.
+func BuildClustering(subs []PlacedSubscription, model PublicationModel, space Space, cfg ClusterConfig) (*Clustering, error) {
+	interests := make([]cluster.Interest, len(subs))
+	for i, s := range subs {
+		interests[i] = cluster.Interest{Rect: s.Rect, Subscriber: s.ID}
+	}
+	return cluster.Build(interests, model, space.Domain, cfg)
+}
+
+// Decision records one publication's delivery outcome.
+type Decision = dispatch.Decision
+
+// Totals aggregates decisions into the paper's improvement metric.
+type Totals = dispatch.Totals
+
+// Delivery methods.
+const (
+	// MethodNone means nobody was interested; nothing was sent.
+	MethodNone = dispatch.MethodNone
+	// MethodUnicast means one message per interested subscriber node.
+	MethodUnicast = dispatch.MethodUnicast
+	// MethodMulticast means one dense-mode multicast to the covering
+	// group.
+	MethodMulticast = dispatch.MethodMulticast
+)
+
+// CostModel computes unicast/multicast/ideal delivery costs on a
+// network.
+type CostModel = multicast.CostModel
+
+// NewCostModel wraps a network in a delivery cost model.
+func NewCostModel(g *Network) *CostModel { return multicast.NewCostModel(g) }
+
+// Planner is the online distribution-method decision maker of Section 4.
+type Planner = dispatch.Planner
+
+// PlannerConfig tunes a Planner (threshold t, decision rule, multicast
+// mode).
+type PlannerConfig = dispatch.Config
+
+// DecisionRule selects how in-group publications choose between unicast
+// and multicast.
+type DecisionRule = dispatch.Rule
+
+// Decision rules.
+const (
+	// ThresholdRule is the paper's |s|/|S_q| >= t scheme.
+	ThresholdRule = dispatch.RuleThreshold
+	// CostOracleRule picks the cheaper of unicast and group multicast
+	// per publication.
+	CostOracleRule = dispatch.RuleCost
+)
+
+// NewPlanner assembles a planner from an existing clustering. It builds
+// an S-tree index over the subscriptions internally; subscriberNode maps
+// every subscriber ID to its network node. Use this instead of NewEngine
+// when the clustering should come from a different publication model
+// than the traffic (e.g. one estimated from observations).
+func NewPlanner(c *Clustering, subs []Subscription, subscriberNode []int, cost *CostModel, cfg PlannerConfig) (*Planner, error) {
+	m, err := match.New(subs, match.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return dispatch.NewPlanner(c, m, cost, subscriberNode, cfg)
+}
+
+// Engine is the paper's full pipeline: matching, clustering and the
+// online distribution-method scheme over a simulated network.
+type Engine = core.Engine
+
+// EngineConfig parameterises engine assembly.
+type EngineConfig = core.Config
+
+// NewEngine assembles an engine from a topology, a placed subscription
+// population and a publication model.
+func NewEngine(g *Network, subs []PlacedSubscription, model PublicationModel, cfg EngineConfig) (*Engine, error) {
+	return core.New(g, subs, model, cfg)
+}
