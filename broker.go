@@ -17,6 +17,36 @@ type BrokerOptions = broker.Options
 // BrokerSubscription is a live registration on a Broker.
 type BrokerSubscription = broker.Subscription
 
+// SubscribeOptions tune one subscription's buffer and overflow policy;
+// pass to Broker.SubscribeWith.
+type SubscribeOptions = broker.SubscribeOptions
+
+// SubscriptionStats is a snapshot of one subscription's delivery
+// counters (buffer depth, high-water mark, drops, eviction).
+type SubscriptionStats = broker.SubStats
+
+// OverflowPolicy selects what Publish does when a subscription's buffer
+// is full.
+type OverflowPolicy = broker.OverflowPolicy
+
+// Overflow policies.
+const (
+	// DropNewest discards the incoming event (the default).
+	DropNewest = broker.DropNewest
+	// DropOldest evicts the oldest buffered event to make room.
+	DropOldest = broker.DropOldest
+	// Block waits up to the subscription's BlockTimeout for space.
+	Block = broker.Block
+	// CancelSlow evicts the overflowing subscriber outright.
+	CancelSlow = broker.CancelSlow
+)
+
+// ParseOverflowPolicy converts a policy name ("drop-newest",
+// "drop-oldest", "block", "cancel-slow") to the policy.
+func ParseOverflowPolicy(s string) (OverflowPolicy, error) {
+	return broker.ParseOverflowPolicy(s)
+}
+
 // Event is a delivered publication.
 type Event = broker.Event
 
@@ -42,9 +72,17 @@ func NewBroker(opts BrokerOptions) *Broker { return broker.New(opts) }
 // Server exposes a Broker over TCP using the library's wire protocol.
 type Server = wire.Server
 
+// ServerOptions harden a Server against slow, stalled or half-open
+// peers: per-connection write deadlines, an idle timeout backed by
+// server-side keepalive pings, and eviction of peers that miss either.
+type ServerOptions = wire.ServerOptions
+
 // NewServer wraps a broker for network serving; call Serve with a
 // listener.
 func NewServer(b *Broker) *Server { return wire.NewServer(b) }
+
+// NewServerWith is NewServer with explicit hardening options.
+func NewServerWith(b *Broker, opts ServerOptions) *Server { return wire.NewServerWith(b, opts) }
 
 // Client is a TCP client for a Server.
 type Client = wire.Client

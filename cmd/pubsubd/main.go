@@ -3,12 +3,15 @@
 //
 // Usage:
 //
-//	pubsubd -addr :7070
+//	pubsubd -addr :7070 -write-timeout 5s -idle-timeout 2m -overflow drop-oldest
 //
-// Stop with SIGINT/SIGTERM; the daemon drains connections and exits.
+// Stop with SIGINT/SIGTERM; the daemon drains in-flight event pumps for
+// up to -drain-timeout before closing, flushing buffered events to
+// subscribers. A second signal aborts the drain immediately.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -34,22 +37,42 @@ func run(args []string) error {
 		addr     = fs.String("addr", ":7070", "listen address")
 		buffer   = fs.Int("buffer", 64, "default per-subscription event buffer")
 		statsInt = fs.Duration("stats", 0, "print broker stats at this interval (0 disables)")
+
+		overflow     = fs.String("overflow", "drop-newest", "default overflow policy: drop-newest, drop-oldest, block or cancel-slow")
+		blockTimeout = fs.Duration("block-timeout", 50*time.Millisecond, "bounded wait of the block overflow policy")
+		writeTO      = fs.Duration("write-timeout", 10*time.Second, "per-connection frame write deadline (0 disables)")
+		idleTO       = fs.Duration("idle-timeout", 5*time.Minute, "evict connections silent for this long (0 disables)")
+		pingInt      = fs.Duration("ping-interval", 0, "server keepalive ping interval (0 selects idle-timeout/3)")
+		drainTO      = fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain budget before hard close")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	policy, err := broker.ParseOverflowPolicy(*overflow)
+	if err != nil {
+		return err
+	}
 
-	b := broker.New(broker.Options{DefaultBuffer: *buffer})
+	b := broker.New(broker.Options{
+		DefaultBuffer: *buffer,
+		Overflow:      policy,
+		BlockTimeout:  *blockTimeout,
+	})
 	defer b.Close()
-	srv := wire.NewServer(b)
+	srv := wire.NewServerWith(b, wire.ServerOptions{
+		WriteTimeout: *writeTO,
+		IdleTimeout:  *idleTO,
+		PingInterval: *pingInt,
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("pubsubd: listening on %s\n", ln.Addr())
+	fmt.Printf("pubsubd: listening on %s (overflow=%s write-timeout=%v idle-timeout=%v)\n",
+		ln.Addr(), policy, *writeTO, *idleTO)
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
@@ -64,8 +87,8 @@ func run(args []string) error {
 				select {
 				case <-tick.C:
 					st := b.Stats()
-					fmt.Printf("pubsubd: subs=%d rects=%d published=%d delivered=%d dropped=%d rebuilds=%d\n",
-						st.Subscriptions, st.Rectangles, st.Published, st.Delivered, st.Dropped, st.IndexRebuilds)
+					fmt.Printf("pubsubd: subs=%d rects=%d published=%d delivered=%d dropped=%d evicted=%d hwm=%d rebuilds=%d\n",
+						st.Subscriptions, st.Rectangles, st.Published, st.Delivered, st.Dropped, st.Evicted, st.QueueHighWater, st.IndexRebuilds)
 				case <-stopStats:
 					return
 				}
@@ -75,8 +98,17 @@ func run(args []string) error {
 
 	select {
 	case s := <-sig:
-		fmt.Printf("pubsubd: %v, shutting down\n", s)
-		srv.Close()
+		fmt.Printf("pubsubd: %v, draining (up to %v)\n", s, *drainTO)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		go func() {
+			<-sig // a second signal aborts the drain
+			cancel()
+		}()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Printf("pubsubd: drain aborted: %v\n", err)
+			srv.Close()
+		}
 		<-done
 		return nil
 	case err := <-done:

@@ -15,6 +15,9 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-addr", "999.999.999.999:xx"}); err == nil {
 		t.Error("bad address accepted")
 	}
+	if err := run([]string{"-overflow", "drop-everything"}); err == nil {
+		t.Error("bad overflow policy accepted")
+	}
 }
 
 func TestRunServesUntilSignalled(t *testing.T) {

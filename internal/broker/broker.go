@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/geometry"
 	"repro/internal/match"
@@ -57,6 +58,55 @@ func (s IndexStrategy) String() string {
 	}
 }
 
+// OverflowPolicy selects what Publish does when a subscription's buffer
+// is full.
+type OverflowPolicy int
+
+const (
+	// DropNewest (the default) discards the incoming event. The
+	// subscriber keeps its backlog; new data is lost while it is slow.
+	DropNewest OverflowPolicy = iota
+	// DropOldest evicts the oldest buffered event to make room for the
+	// incoming one. The subscriber always sees the freshest events at
+	// the cost of holes in the history.
+	DropOldest
+	// Block makes Publish wait up to the subscription's BlockTimeout for
+	// buffer space, then falls back to dropping the incoming event. It
+	// trades publisher latency for fewer losses.
+	Block
+	// CancelSlow evicts the subscriber outright: its subscription is
+	// cancelled (channel closed) the first time it overflows. Use it
+	// when a stalled consumer must not be allowed to accumulate drops.
+	CancelSlow
+)
+
+// String returns the policy's display name.
+func (p OverflowPolicy) String() string {
+	switch p {
+	case DropNewest:
+		return "drop-newest"
+	case DropOldest:
+		return "drop-oldest"
+	case Block:
+		return "block"
+	case CancelSlow:
+		return "cancel-slow"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParseOverflowPolicy converts a policy display name (as produced by
+// String) back to the policy. It is the inverse used by CLI flags.
+func ParseOverflowPolicy(s string) (OverflowPolicy, error) {
+	for _, p := range []OverflowPolicy{DropNewest, DropOldest, Block, CancelSlow} {
+		if s == p.String() {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("broker: unknown overflow policy %q (want drop-newest, drop-oldest, block or cancel-slow)", s)
+}
+
 // Options tune the broker. The zero value is usable.
 type Options struct {
 	// DefaultBuffer is the per-subscription channel capacity used by
@@ -70,6 +120,12 @@ type Options struct {
 	Matcher match.Options
 	// Index selects the maintenance strategy.
 	Index IndexStrategy
+	// Overflow is the default overflow policy for subscriptions that do
+	// not choose their own via SubscribeWith.
+	Overflow OverflowPolicy
+	// BlockTimeout bounds the Block policy's wait for buffer space.
+	// Zero selects 50ms.
+	BlockTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -78,6 +134,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MinOverlay == 0 {
 		o.MinOverlay = 64
+	}
+	if o.BlockTimeout == 0 {
+		o.BlockTimeout = 50 * time.Millisecond
 	}
 	return o
 }
@@ -89,7 +148,24 @@ type Stats struct {
 	Published     uint64 // events published
 	Delivered     uint64 // events delivered to subscriber channels
 	Dropped       uint64 // events dropped because a subscriber was slow
+	Evicted       uint64 // subscriptions cancelled by the CancelSlow policy
 	IndexRebuilds uint64
+	// QueueHighWater is the deepest any subscription buffer has been
+	// since the broker was created.
+	QueueHighWater int
+	// LastDrop is when the most recent overflow drop happened (zero if
+	// none yet).
+	LastDrop time.Time
+}
+
+// SubStats is a snapshot of one subscription's delivery counters.
+type SubStats struct {
+	Buffered  int       // events currently queued
+	Capacity  int       // buffer capacity
+	HighWater int       // deepest the buffer has been
+	Dropped   uint64    // events lost to overflow on this subscription
+	LastDrop  time.Time // most recent overflow drop (zero if none)
+	Evicted   bool      // true once CancelSlow has evicted the subscriber
 }
 
 // Broker routes published events to matching subscribers. Create one with
@@ -110,7 +186,10 @@ type Broker struct {
 	seq       atomic.Uint64
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
+	evicted   atomic.Uint64
 	rebuilds  atomic.Uint64
+	highWater atomic.Int64
+	lastDrop  atomic.Int64 // unix nanos of most recent drop
 	consumers sync.WaitGroup
 }
 
@@ -125,12 +204,17 @@ func New(opts Options) *Broker {
 // Subscription is one subscriber registration. Receive events from
 // Events(); call Cancel when done.
 type Subscription struct {
-	id     int
-	rects  []geometry.Rect
-	ch     chan Event
-	b      *Broker
-	once   sync.Once
-	dropCt atomic.Uint64
+	id           int
+	rects        []geometry.Rect
+	ch           chan Event
+	b            *Broker
+	policy       OverflowPolicy
+	blockTimeout time.Duration
+	once         sync.Once
+	dropCt       atomic.Uint64
+	highWater    atomic.Int64
+	lastDrop     atomic.Int64 // unix nanos
+	evicting     atomic.Bool
 }
 
 // ID returns the broker-assigned subscription identifier.
@@ -152,6 +236,51 @@ func (s *Subscription) Rects() []geometry.Rect {
 // Dropped reports how many events were dropped because this
 // subscription's buffer was full.
 func (s *Subscription) Dropped() uint64 { return s.dropCt.Load() }
+
+// Policy returns the subscription's overflow policy.
+func (s *Subscription) Policy() OverflowPolicy { return s.policy }
+
+// Stats returns a snapshot of the subscription's delivery counters.
+func (s *Subscription) Stats() SubStats {
+	st := SubStats{
+		Buffered:  len(s.ch),
+		Capacity:  cap(s.ch),
+		HighWater: int(s.highWater.Load()),
+		Dropped:   s.dropCt.Load(),
+		Evicted:   s.evicting.Load(),
+	}
+	if ns := s.lastDrop.Load(); ns != 0 {
+		st.LastDrop = time.Unix(0, ns)
+	}
+	return st
+}
+
+// noteDepth records the buffer depth after a successful send, updating
+// the subscription and broker high-water marks.
+func (s *Subscription) noteDepth() {
+	depth := int64(len(s.ch))
+	for {
+		cur := s.highWater.Load()
+		if depth <= cur || s.highWater.CompareAndSwap(cur, depth) {
+			break
+		}
+	}
+	for {
+		cur := s.b.highWater.Load()
+		if depth <= cur || s.b.highWater.CompareAndSwap(cur, depth) {
+			break
+		}
+	}
+}
+
+// noteDrop records one overflow loss on this subscription.
+func (s *Subscription) noteDrop() {
+	now := time.Now().UnixNano()
+	s.dropCt.Add(1)
+	s.lastDrop.Store(now)
+	s.b.dropped.Add(1)
+	s.b.lastDrop.Store(now)
+}
 
 // Cancel removes the subscription and closes its channel. It is
 // idempotent and safe to call concurrently with Publish.
@@ -188,20 +317,48 @@ func (s *Subscription) Cancel() {
 	})
 }
 
+// SubscribeOptions tune one subscription. The zero value inherits the
+// broker defaults.
+type SubscribeOptions struct {
+	// Buffer is the event channel capacity. Zero selects the broker's
+	// DefaultBuffer; negative is invalid.
+	Buffer int
+	// Overflow selects what Publish does when the buffer is full. The
+	// zero value inherits the broker's default policy.
+	Overflow OverflowPolicy
+	// BlockTimeout bounds the Block policy's wait. Zero selects the
+	// broker's BlockTimeout.
+	BlockTimeout time.Duration
+}
+
 // Subscribe registers a subscriber for the union of the given rectangles,
 // using the default channel buffer. At least one non-empty rectangle is
 // required.
 func (b *Broker) Subscribe(rects ...geometry.Rect) (*Subscription, error) {
-	return b.SubscribeBuffered(b.opts.DefaultBuffer, rects...)
+	return b.SubscribeWith(SubscribeOptions{}, rects...)
 }
 
 // SubscribeBuffered is Subscribe with an explicit channel capacity.
 func (b *Broker) SubscribeBuffered(buffer int, rects ...geometry.Rect) (*Subscription, error) {
+	if buffer < 1 {
+		return nil, fmt.Errorf("broker: buffer must be >= 1, got %d", buffer)
+	}
+	return b.SubscribeWith(SubscribeOptions{Buffer: buffer}, rects...)
+}
+
+// SubscribeWith is Subscribe with per-subscription buffer and overflow
+// policy control.
+func (b *Broker) SubscribeWith(opts SubscribeOptions, rects ...geometry.Rect) (*Subscription, error) {
 	if len(rects) == 0 {
 		return nil, fmt.Errorf("broker: subscription needs at least one rectangle")
 	}
-	if buffer < 1 {
-		return nil, fmt.Errorf("broker: buffer must be >= 1, got %d", buffer)
+	if opts.Buffer < 0 {
+		return nil, fmt.Errorf("broker: buffer must be >= 1, got %d", opts.Buffer)
+	}
+	switch opts.Overflow {
+	case DropNewest, DropOldest, Block, CancelSlow:
+	default:
+		return nil, fmt.Errorf("broker: unknown overflow policy %d", int(opts.Overflow))
 	}
 	owned := make([]geometry.Rect, len(rects))
 	for i, r := range rects {
@@ -216,11 +373,25 @@ func (b *Broker) SubscribeBuffered(buffer int, rects ...geometry.Rect) (*Subscri
 	if b.closed {
 		return nil, fmt.Errorf("broker: closed")
 	}
+	buffer := opts.Buffer
+	if buffer == 0 {
+		buffer = b.opts.DefaultBuffer
+	}
+	policy := opts.Overflow
+	if policy == DropNewest {
+		policy = b.opts.Overflow
+	}
+	blockTimeout := opts.BlockTimeout
+	if blockTimeout <= 0 {
+		blockTimeout = b.opts.BlockTimeout
+	}
 	s := &Subscription{
-		id:    b.nextID,
-		rects: owned,
-		ch:    make(chan Event, buffer),
-		b:     b,
+		id:           b.nextID,
+		rects:        owned,
+		ch:           make(chan Event, buffer),
+		b:            b,
+		policy:       policy,
+		blockTimeout: blockTimeout,
 	}
 	b.nextID++
 	b.subs[s.id] = s
@@ -281,14 +452,16 @@ func (b *Broker) maybeRebuildLocked() {
 
 // Publish routes an event to every matching live subscriber. It returns
 // the number of subscriber channels the event was delivered to (dropped
-// deliveries are excluded).
+// deliveries are excluded). The payload is cloned once per publish, so
+// the caller may reuse its buffer immediately; subscribers of one
+// publication share the clone and must treat it as read-only.
 func (b *Broker) Publish(p geometry.Point, payload []byte) (int, error) {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	if b.closed {
 		return 0, fmt.Errorf("broker: closed")
 	}
-	ev := Event{Point: p.Clone(), Payload: payload, Seq: b.seq.Add(1)}
+	ev := Event{Point: p.Clone(), Seq: b.seq.Add(1)}
 
 	// Collect matching live subscriptions, deduplicated.
 	targets := make(map[int]*Subscription)
@@ -309,18 +482,74 @@ func (b *Broker) Publish(p geometry.Point, payload []byte) (int, error) {
 		b.overlay.MatchFunc(p, collect)
 	}
 
+	if len(targets) > 0 && payload != nil {
+		ev.Payload = append([]byte(nil), payload...)
+	}
 	delivered := 0
 	for _, s := range targets {
-		select {
-		case s.ch <- ev:
+		if b.deliver(s, ev) {
 			delivered++
-		default:
-			s.dropCt.Add(1)
-			b.dropped.Add(1)
 		}
 	}
 	b.delivered.Add(uint64(delivered))
 	return delivered, nil
+}
+
+// deliver sends ev to one subscription, applying its overflow policy
+// when the buffer is full. Caller holds b.mu.RLock, which excludes
+// concurrent channel close (Cancel and Close take the write lock).
+func (b *Broker) deliver(s *Subscription, ev Event) bool {
+	if s.evicting.Load() {
+		return false // CancelSlow eviction pending
+	}
+	select {
+	case s.ch <- ev:
+		s.noteDepth()
+		return true
+	default:
+	}
+	switch s.policy {
+	case DropOldest:
+		// Evict buffered events until the new one fits. Concurrent
+		// publishers may interleave here; every iteration either sends
+		// or removes one event, so the loop terminates.
+		for {
+			select {
+			case <-s.ch:
+				s.noteDrop()
+			default:
+			}
+			select {
+			case s.ch <- ev:
+				s.noteDepth()
+				return true
+			default:
+			}
+		}
+	case Block:
+		t := time.NewTimer(s.blockTimeout)
+		defer t.Stop()
+		select {
+		case s.ch <- ev:
+			s.noteDepth()
+			return true
+		case <-t.C:
+			s.noteDrop()
+			return false
+		}
+	case CancelSlow:
+		s.noteDrop()
+		if s.evicting.CompareAndSwap(false, true) {
+			b.evicted.Add(1)
+			// Cancel needs the write lock; we hold the read lock, so
+			// evict from a fresh goroutine.
+			go s.Cancel()
+		}
+		return false
+	default: // DropNewest
+		s.noteDrop()
+		return false
+	}
 }
 
 // Stats returns a snapshot of broker counters.
@@ -334,14 +563,20 @@ func (b *Broker) Stats() Stats {
 			rects = b.dyn.Len()
 		}
 	}
-	return Stats{
-		Subscriptions: len(b.subs),
-		Rectangles:    rects,
-		Published:     b.seq.Load(),
-		Delivered:     b.delivered.Load(),
-		Dropped:       b.dropped.Load(),
-		IndexRebuilds: b.rebuilds.Load(),
+	st := Stats{
+		Subscriptions:  len(b.subs),
+		Rectangles:     rects,
+		Published:      b.seq.Load(),
+		Delivered:      b.delivered.Load(),
+		Dropped:        b.dropped.Load(),
+		Evicted:        b.evicted.Load(),
+		IndexRebuilds:  b.rebuilds.Load(),
+		QueueHighWater: int(b.highWater.Load()),
 	}
+	if ns := b.lastDrop.Load(); ns != 0 {
+		st.LastDrop = time.Unix(0, ns)
+	}
+	return st
 }
 
 // Close shuts the broker down: all subscription channels are closed and

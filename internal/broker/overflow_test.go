@@ -1,0 +1,250 @@
+package broker
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geometry"
+)
+
+// saturate publishes n matching events with nobody consuming.
+func saturate(t *testing.T, b *Broker, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := b.Publish(geometry.Point{5}, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOverflowDropNewest(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	s, err := b.SubscribeWith(SubscribeOptions{Buffer: 2}, geometry.NewRect(0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	saturate(t, b, 5)
+	// The two oldest events survive; the three newest were dropped.
+	for want := 0; want < 2; want++ {
+		ev := <-s.Events()
+		if int(ev.Payload[0]) != want {
+			t.Fatalf("event %d payload = %d", want, ev.Payload[0])
+		}
+	}
+	st := s.Stats()
+	if st.Dropped != 3 || st.LastDrop.IsZero() {
+		t.Errorf("sub stats = %+v", st)
+	}
+	if bs := b.Stats(); bs.Dropped != 3 || bs.LastDrop.IsZero() {
+		t.Errorf("broker stats = %+v", bs)
+	}
+}
+
+func TestOverflowDropOldest(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	s, err := b.SubscribeWith(SubscribeOptions{Buffer: 2, Overflow: DropOldest}, geometry.NewRect(0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	saturate(t, b, 5)
+	// The two newest events survive; the three oldest were evicted.
+	for want := 3; want < 5; want++ {
+		ev := <-s.Events()
+		if int(ev.Payload[0]) != want {
+			t.Fatalf("expected payload %d, got %d", want, ev.Payload[0])
+		}
+	}
+	if st := s.Stats(); st.Dropped != 3 || st.HighWater != 2 {
+		t.Errorf("sub stats = %+v", st)
+	}
+}
+
+func TestOverflowBlockWaitsForConsumer(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	s, err := b.SubscribeWith(
+		SubscribeOptions{Buffer: 1, Overflow: Block, BlockTimeout: 5 * time.Second},
+		geometry.NewRect(0, 10),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the buffer, then drain it from a delayed consumer while the
+	// second publish blocks.
+	if _, err := b.Publish(geometry.Point{5}, nil); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		<-s.ch
+	}()
+	start := time.Now()
+	n, err := b.Publish(geometry.Point{5}, nil)
+	if err != nil || n != 1 {
+		t.Fatalf("blocked publish: n=%d err=%v", n, err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Error("publish did not block for the consumer")
+	}
+	if s.Dropped() != 0 {
+		t.Errorf("dropped = %d, want 0", s.Dropped())
+	}
+}
+
+func TestOverflowBlockTimesOut(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	_, err := b.SubscribeWith(
+		SubscribeOptions{Buffer: 1, Overflow: Block, BlockTimeout: 20 * time.Millisecond},
+		geometry.NewRect(0, 10),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saturate(t, b, 1) // fills the buffer
+	start := time.Now()
+	n, err := b.Publish(geometry.Point{5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("delivered %d, want timeout drop", n)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("dropped after %v, before the bounded wait elapsed", elapsed)
+	}
+	if st := b.Stats(); st.Dropped != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestOverflowCancelSlowEvicts(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	slow, err := b.SubscribeWith(SubscribeOptions{Buffer: 1, Overflow: CancelSlow}, geometry.NewRect(0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := b.SubscribeBuffered(64, geometry.NewRect(0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	saturate(t, b, 3) // overflows slow's buffer on the second publish
+
+	// Eviction is asynchronous; wait for the subscription to disappear.
+	deadline := time.Now().Add(2 * time.Second)
+	for b.Stats().Subscriptions != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow subscriber never evicted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := b.Stats(); st.Evicted != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if !slow.Stats().Evicted {
+		t.Error("evicted flag not set on subscription")
+	}
+
+	// The healthy subscriber still receives everything, before and after.
+	if _, err := b.Publish(geometry.Point{5}, []byte{99}); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for ev := range healthy.Events() {
+		got++
+		if ev.Payload[0] == 99 {
+			break
+		}
+	}
+	if got != 4 {
+		t.Errorf("healthy subscriber saw %d events, want 4", got)
+	}
+	// slow's channel must be closed (drain any buffered remainder).
+	for {
+		if _, open := <-slow.Events(); !open {
+			break
+		}
+	}
+}
+
+func TestBrokerDefaultOverflowPolicyInherited(t *testing.T) {
+	b := New(Options{Overflow: DropOldest, DefaultBuffer: 2})
+	defer b.Close()
+	s, err := b.Subscribe(geometry.NewRect(0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Policy() != DropOldest {
+		t.Fatalf("policy = %v, want drop-oldest", s.Policy())
+	}
+	saturate(t, b, 4)
+	if ev := <-s.Events(); int(ev.Payload[0]) != 2 {
+		t.Errorf("oldest surviving payload = %d, want 2", ev.Payload[0])
+	}
+}
+
+func TestSubscribeWithValidation(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	if _, err := b.SubscribeWith(SubscribeOptions{Buffer: -1}, geometry.NewRect(0, 1)); err == nil {
+		t.Error("negative buffer accepted")
+	}
+	if _, err := b.SubscribeWith(SubscribeOptions{Overflow: OverflowPolicy(99)}, geometry.NewRect(0, 1)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestHighWaterMark(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	s, err := b.SubscribeWith(SubscribeOptions{Buffer: 8}, geometry.NewRect(0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	saturate(t, b, 5)
+	if st := s.Stats(); st.HighWater != 5 || st.Buffered != 5 || st.Capacity != 8 {
+		t.Errorf("sub stats = %+v", st)
+	}
+	if bs := b.Stats(); bs.QueueHighWater != 5 {
+		t.Errorf("broker high water = %d, want 5", bs.QueueHighWater)
+	}
+	// Draining does not lower the high-water mark.
+	for i := 0; i < 5; i++ {
+		<-s.Events()
+	}
+	if st := s.Stats(); st.HighWater != 5 || st.Buffered != 0 {
+		t.Errorf("sub stats after drain = %+v", st)
+	}
+}
+
+func TestPublishPayloadNotAliased(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	s, err := b.Subscribe(geometry.NewRect(0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := []byte("original")
+	if _, err := b.Publish(geometry.Point{5}, buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "CLOBBER!") // caller reuses its buffer immediately
+	if ev := <-s.Events(); string(ev.Payload) != "original" {
+		t.Errorf("payload = %q, want %q (broker aliased the caller's buffer)", ev.Payload, "original")
+	}
+}
+
+func TestParseOverflowPolicy(t *testing.T) {
+	for _, p := range []OverflowPolicy{DropNewest, DropOldest, Block, CancelSlow} {
+		got, err := ParseOverflowPolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip %v: got %v err %v", p, got, err)
+		}
+	}
+	if _, err := ParseOverflowPolicy("bogus"); err == nil {
+		t.Error("bogus policy parsed")
+	}
+}

@@ -1,0 +1,399 @@
+// Package faultnet provides deterministic, seedable fault injection for
+// net.Conn and net.Listener. A Network wraps connections so that every
+// read and write may suffer added latency, bandwidth throttling,
+// chunked (partial) writes, injected mid-stream resets, or a full
+// partition — all driven by one seeded RNG, so a failing chaos test
+// replays identically under the same seed.
+//
+// The wrappers honor read/write deadlines set through the standard
+// net.Conn interface: injected latency and partitions give up with
+// os.ErrDeadlineExceeded (a net.Error with Timeout() == true) once the
+// deadline passes, exactly like a real socket would.
+package faultnet
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedReset is returned by reads and writes killed by the
+// ResetProb fault; the connection is closed as a side effect, like a
+// TCP RST mid-stream.
+var ErrInjectedReset = errors.New("faultnet: injected connection reset")
+
+// Options select which faults a Network injects. The zero value injects
+// nothing (a transparent wrapper).
+type Options struct {
+	// Seed drives every random decision. Zero selects 1, so the default
+	// schedule is still deterministic.
+	Seed int64
+	// Latency is added to every read and write.
+	Latency time.Duration
+	// Jitter adds a uniform extra [0, Jitter) to each operation's
+	// latency.
+	Jitter time.Duration
+	// BandwidthBPS caps write throughput per connection, in bytes per
+	// second, by sleeping after each chunk. Zero is unlimited.
+	BandwidthBPS int
+	// MaxWriteChunk splits writes into random chunks of at most this
+	// many bytes, exercising frame reassembly across packet boundaries.
+	// Zero writes whole buffers.
+	MaxWriteChunk int
+	// ResetProb is the per-operation probability of an injected
+	// connection reset (the op fails, the connection closes).
+	ResetProb float64
+}
+
+// Network is a shared fault controller. Wrap listeners with Listen (or
+// single connections with Wrap); drive faults with Partition, Heal and
+// ResetAll.
+type Network struct {
+	opts Options
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	healed chan struct{} // nil when healthy; closed on Heal
+	conns  map[*Conn]struct{}
+
+	resets atomic.Uint64
+}
+
+// New creates a fault controller with the given options.
+func New(opts Options) *Network {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Network{
+		opts:  opts,
+		rng:   rand.New(rand.NewSource(seed)),
+		conns: make(map[*Conn]struct{}),
+	}
+}
+
+// Partition makes every wrapped connection's subsequent reads and
+// writes block (half-open, like a network split) until Heal, a
+// deadline, or the connection's close. Idempotent.
+func (n *Network) Partition() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.healed == nil {
+		n.healed = make(chan struct{})
+	}
+}
+
+// Heal ends a partition; blocked operations resume. Idempotent.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.healed != nil {
+		close(n.healed)
+		n.healed = nil
+	}
+}
+
+// Partitioned reports whether a partition is active.
+func (n *Network) Partitioned() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.healed != nil
+}
+
+// ResetAll closes every live wrapped connection mid-stream and returns
+// how many were killed.
+func (n *Network) ResetAll() int {
+	n.mu.Lock()
+	conns := make([]*Conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+	for _, c := range conns {
+		n.resets.Add(1)
+		_ = c.Close()
+	}
+	return len(conns)
+}
+
+// Resets reports how many resets have been injected (per-op ResetProb
+// hits plus ResetAll victims).
+func (n *Network) Resets() uint64 { return n.resets.Load() }
+
+// Conns reports how many wrapped connections are currently open.
+func (n *Network) Conns() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.conns)
+}
+
+// Wrap returns a fault-injecting view of conn, registered with the
+// controller.
+func (n *Network) Wrap(conn net.Conn) net.Conn {
+	c := &Conn{inner: conn, n: n, closed: make(chan struct{})}
+	n.mu.Lock()
+	n.conns[c] = struct{}{}
+	n.mu.Unlock()
+	return c
+}
+
+// Listen wraps a listener so every accepted connection is fault
+// injected.
+func (n *Network) Listen(inner net.Listener) net.Listener {
+	return &listener{inner: inner, n: n}
+}
+
+// Dial is a convenience that dials and wraps in one step.
+func (n *Network) Dial(network, addr string) (net.Conn, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return n.Wrap(conn), nil
+}
+
+// roll returns true with probability p, consuming randomness only when
+// the fault is enabled so disabling one fault does not shift another
+// fault's schedule.
+func (n *Network) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Float64() < p
+}
+
+// opLatency returns this operation's injected delay.
+func (n *Network) opLatency() time.Duration {
+	d := n.opts.Latency
+	if n.opts.Jitter > 0 {
+		n.mu.Lock()
+		d += time.Duration(n.rng.Int63n(int64(n.opts.Jitter)))
+		n.mu.Unlock()
+	}
+	return d
+}
+
+// chunk picks this write's chunk size in [1, MaxWriteChunk].
+func (n *Network) chunk(remaining int) int {
+	if n.opts.MaxWriteChunk <= 0 || remaining <= n.opts.MaxWriteChunk {
+		return remaining
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return 1 + n.rng.Intn(n.opts.MaxWriteChunk)
+}
+
+// healedCh snapshots the current partition channel (nil when healthy).
+func (n *Network) healedCh() chan struct{} {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.healed
+}
+
+func (n *Network) forget(c *Conn) {
+	n.mu.Lock()
+	delete(n.conns, c)
+	n.mu.Unlock()
+}
+
+// Conn is one fault-injected connection. All faults apply at operation
+// granularity; an operation already blocked inside the inner connection
+// is not affected by a partition that starts afterwards.
+type Conn struct {
+	inner net.Conn
+	n     *Network
+
+	closeOnce sync.Once
+	closed    chan struct{}
+
+	dlMu    sync.Mutex
+	readDL  time.Time
+	writeDL time.Time
+}
+
+// gate applies the per-operation faults (close check, injected reset,
+// latency, partition) and returns the error the operation must fail
+// with, or nil to proceed.
+func (c *Conn) gate(deadline time.Time) error {
+	select {
+	case <-c.closed:
+		return net.ErrClosed
+	default:
+	}
+	if c.n.roll(c.n.opts.ResetProb) {
+		c.n.resets.Add(1)
+		_ = c.Close()
+		return ErrInjectedReset
+	}
+	if d := c.n.opLatency(); d > 0 {
+		if err := c.pause(d, deadline); err != nil {
+			return err
+		}
+	}
+	for {
+		healed := c.n.healedCh()
+		if healed == nil {
+			return nil
+		}
+		if err := c.await(healed, deadline); err != nil {
+			return err
+		}
+	}
+}
+
+// pause sleeps for d, bounded by the deadline and the connection close.
+func (c *Conn) pause(d time.Duration, deadline time.Time) error {
+	if !deadline.IsZero() {
+		if until := time.Until(deadline); until < d {
+			if until > 0 {
+				time.Sleep(until)
+			}
+			return os.ErrDeadlineExceeded
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-c.closed:
+		return net.ErrClosed
+	}
+}
+
+// await blocks until the partition heals, the deadline passes, or the
+// connection closes.
+func (c *Conn) await(healed <-chan struct{}, deadline time.Time) error {
+	var timeout <-chan time.Time
+	if !deadline.IsZero() {
+		until := time.Until(deadline)
+		if until <= 0 {
+			return os.ErrDeadlineExceeded
+		}
+		t := time.NewTimer(until)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case <-healed:
+		return nil
+	case <-c.closed:
+		return net.ErrClosed
+	case <-timeout:
+		return os.ErrDeadlineExceeded
+	}
+}
+
+func (c *Conn) readDeadline() time.Time {
+	c.dlMu.Lock()
+	defer c.dlMu.Unlock()
+	return c.readDL
+}
+
+func (c *Conn) writeDeadline() time.Time {
+	c.dlMu.Lock()
+	defer c.dlMu.Unlock()
+	return c.writeDL
+}
+
+// Read applies the gate faults, then reads from the inner connection.
+func (c *Conn) Read(p []byte) (int, error) {
+	if err := c.gate(c.readDeadline()); err != nil {
+		return 0, err
+	}
+	return c.inner.Read(p)
+}
+
+// Write applies the gate faults and writes in (possibly short) chunks,
+// throttled to the bandwidth cap. On an injected mid-write fault the
+// prefix already written stays on the wire — a genuine partial write.
+func (c *Conn) Write(p []byte) (int, error) {
+	written := 0
+	for {
+		if err := c.gate(c.writeDeadline()); err != nil {
+			return written, err
+		}
+		if len(p) == 0 {
+			return written, nil
+		}
+		k := c.n.chunk(len(p))
+		nn, err := c.inner.Write(p[:k])
+		written += nn
+		if err != nil {
+			return written, err
+		}
+		if bps := c.n.opts.BandwidthBPS; bps > 0 && nn > 0 {
+			d := time.Duration(nn) * time.Second / time.Duration(bps)
+			if err := c.pause(d, c.writeDeadline()); err != nil {
+				return written, err
+			}
+		}
+		p = p[k:]
+		if len(p) == 0 {
+			return written, nil
+		}
+	}
+}
+
+// Close closes the inner connection and deregisters from the
+// controller. Safe to call more than once.
+func (c *Conn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		err = c.inner.Close()
+		c.n.forget(c)
+	})
+	return err
+}
+
+func (c *Conn) LocalAddr() net.Addr  { return c.inner.LocalAddr() }
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline sets both read and write deadlines.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.readDL, c.writeDL = t, t
+	c.dlMu.Unlock()
+	return c.inner.SetDeadline(t)
+}
+
+// SetReadDeadline bounds reads, including time spent in injected faults.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.readDL = t
+	c.dlMu.Unlock()
+	return c.inner.SetReadDeadline(t)
+}
+
+// SetWriteDeadline bounds writes, including time spent in injected
+// faults.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.writeDL = t
+	c.dlMu.Unlock()
+	return c.inner.SetWriteDeadline(t)
+}
+
+// listener wraps accepted connections.
+type listener struct {
+	inner net.Listener
+	n     *Network
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	conn, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.n.Wrap(conn), nil
+}
+
+func (l *listener) Close() error   { return l.inner.Close() }
+func (l *listener) Addr() net.Addr { return l.inner.Addr() }

@@ -1,0 +1,275 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// pair returns a wrapped client end and a raw server end of an
+// in-memory pipe.
+func pair(t *testing.T, n *Network) (net.Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	w := n.Wrap(a)
+	t.Cleanup(func() { w.Close(); b.Close() })
+	return w, b
+}
+
+// sink reads everything from c until error, reporting chunk sizes.
+func sink(c net.Conn, chunks chan<- int, data *bytes.Buffer, done chan<- struct{}) {
+	defer close(done)
+	buf := make([]byte, 4096)
+	for {
+		k, err := c.Read(buf)
+		if k > 0 {
+			if chunks != nil {
+				chunks <- k
+			}
+			if data != nil {
+				data.Write(buf[:k])
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func TestTransparentByDefault(t *testing.T) {
+	n := New(Options{})
+	w, raw := pair(t, n)
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go sink(raw, nil, &got, done)
+
+	msg := []byte("hello through an unfaulted network")
+	k, err := w.Write(msg)
+	if err != nil || k != len(msg) {
+		t.Fatalf("write: k=%d err=%v", k, err)
+	}
+	w.Close()
+	<-done
+	if !bytes.Equal(got.Bytes(), msg) {
+		t.Errorf("got %q", got.Bytes())
+	}
+	if n.Conns() != 0 {
+		t.Errorf("conns = %d after close", n.Conns())
+	}
+}
+
+func TestChunkedWritesReassemble(t *testing.T) {
+	n := New(Options{Seed: 7, MaxWriteChunk: 5})
+	w, raw := pair(t, n)
+	var got bytes.Buffer
+	chunks := make(chan int, 1024)
+	done := make(chan struct{})
+	go sink(raw, chunks, &got, done)
+
+	msg := bytes.Repeat([]byte("abcdefghij"), 10) // 100 bytes
+	k, err := w.Write(msg)
+	if err != nil || k != len(msg) {
+		t.Fatalf("write: k=%d err=%v", k, err)
+	}
+	w.Close()
+	<-done
+	close(chunks)
+	if !bytes.Equal(got.Bytes(), msg) {
+		t.Fatalf("reassembled %d bytes, want %d", got.Len(), len(msg))
+	}
+	nChunks := 0
+	for c := range chunks {
+		if c > 5 {
+			t.Errorf("chunk of %d bytes exceeds MaxWriteChunk", c)
+		}
+		nChunks++
+	}
+	if nChunks < 20 {
+		t.Errorf("%d chunks for 100 bytes with max 5", nChunks)
+	}
+}
+
+func TestDeterministicChunkSchedule(t *testing.T) {
+	schedule := func(seed int64) []int {
+		n := New(Options{Seed: seed, MaxWriteChunk: 10})
+		w, raw := pair(t, n)
+		chunks := make(chan int, 1024)
+		done := make(chan struct{})
+		go sink(raw, chunks, nil, done)
+		if _, err := w.Write(make([]byte, 200)); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		<-done
+		close(chunks)
+		var out []int
+		for c := range chunks {
+			out = append(out, c)
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("schedules differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at chunk %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLatencyDelaysOps(t *testing.T) {
+	n := New(Options{Latency: 30 * time.Millisecond})
+	w, raw := pair(t, n)
+	done := make(chan struct{})
+	go sink(raw, nil, nil, done)
+
+	start := time.Now()
+	if _, err := w.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("write took %v, want >= ~30ms of injected latency", elapsed)
+	}
+	w.Close()
+	<-done
+}
+
+func TestBandwidthCap(t *testing.T) {
+	n := New(Options{BandwidthBPS: 100_000}) // 100 KB/s
+	w, raw := pair(t, n)
+	done := make(chan struct{})
+	go sink(raw, nil, nil, done)
+
+	start := time.Now()
+	if _, err := w.Write(make([]byte, 5000)); err != nil { // ~50ms at cap
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("5000 bytes at 100KB/s took %v, want >= ~50ms", elapsed)
+	}
+	w.Close()
+	<-done
+}
+
+func TestPartitionBlocksUntilHeal(t *testing.T) {
+	n := New(Options{})
+	w, raw := pair(t, n)
+	done := make(chan struct{})
+	go sink(raw, nil, nil, done)
+
+	n.Partition()
+	if !n.Partitioned() {
+		t.Fatal("not partitioned")
+	}
+	start := time.Now()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		n.Heal()
+	}()
+	if _, err := w.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("write completed in %v despite partition", elapsed)
+	}
+	if n.Partitioned() {
+		t.Error("still partitioned after heal")
+	}
+	w.Close()
+	<-done
+}
+
+func TestPartitionRespectsDeadline(t *testing.T) {
+	n := New(Options{})
+	w, _ := pair(t, n)
+	n.Partition()
+	defer n.Heal()
+	if err := w.SetWriteDeadline(time.Now().Add(30 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := w.Write([]byte("x"))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Errorf("deadline error is not a net timeout: %v", err)
+	}
+}
+
+func TestInjectedReset(t *testing.T) {
+	n := New(Options{ResetProb: 1})
+	w, _ := pair(t, n)
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("err = %v, want injected reset", err)
+	}
+	// The connection is dead afterwards.
+	if _, err := w.Write([]byte("x")); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("err after reset = %v, want closed", err)
+	}
+	if n.Resets() != 1 {
+		t.Errorf("resets = %d", n.Resets())
+	}
+}
+
+func TestResetAllKillsLiveConns(t *testing.T) {
+	n := New(Options{})
+	w1, _ := pair(t, n)
+	w2, _ := pair(t, n)
+	if got := n.ResetAll(); got != 2 {
+		t.Fatalf("ResetAll = %d, want 2", got)
+	}
+	for i, w := range []net.Conn{w1, w2} {
+		if _, err := w.Write([]byte("x")); !errors.Is(err, net.ErrClosed) {
+			t.Errorf("conn %d alive after ResetAll: %v", i, err)
+		}
+	}
+	if n.Conns() != 0 {
+		t.Errorf("conns = %d", n.Conns())
+	}
+}
+
+func TestListenerWrapsAccepted(t *testing.T) {
+	n := New(Options{Latency: 20 * time.Millisecond})
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := n.Listen(inner)
+	defer ln.Close()
+
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	cli, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	srv := <-accepted
+	defer srv.Close()
+	if n.Conns() != 1 {
+		t.Fatalf("conns = %d", n.Conns())
+	}
+
+	// The server->client path pays the injected latency.
+	go func() { _, _ = srv.Write([]byte("pong")) }()
+	start := time.Now()
+	buf := make([]byte, 8)
+	k, err := cli.Read(buf)
+	if err != nil || string(buf[:k]) != "pong" {
+		t.Fatalf("read: %q err=%v", buf[:k], err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Error("accepted conn did not inject latency")
+	}
+}

@@ -75,6 +75,12 @@ func (c *Client) readLoop() {
 			default:
 				// Unsolicited reply; drop it rather than deadlock.
 			}
+		case TypePing:
+			// Server-side keepalive probe: answer so an idle but live
+			// connection is not evicted by the server's idle timeout.
+			c.writeMu.Lock()
+			_ = WriteMessage(c.conn, &Message{Type: TypePong})
+			c.writeMu.Unlock()
 		}
 	}
 }

@@ -2,7 +2,9 @@ package wire
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/broker"
@@ -15,6 +17,13 @@ type ReconnectOptions struct {
 	InitialBackoff time.Duration
 	// MaxBackoff caps the exponential retry delay. Zero selects 5s.
 	MaxBackoff time.Duration
+	// Multiplier scales the delay after each failed redial. Zero
+	// selects 2.
+	Multiplier float64
+	// Jitter randomises each delay within ±Jitter×delay, so a fleet of
+	// clients restarted by one server outage does not redial in
+	// synchronized waves. Zero selects 0.2; negative disables jitter.
+	Jitter float64
 }
 
 func (o ReconnectOptions) withDefaults() ReconnectOptions {
@@ -24,7 +33,31 @@ func (o ReconnectOptions) withDefaults() ReconnectOptions {
 	if o.MaxBackoff == 0 {
 		o.MaxBackoff = 5 * time.Second
 	}
+	if o.Multiplier == 0 {
+		o.Multiplier = 2
+	}
+	if o.Multiplier < 1 {
+		o.Multiplier = 1
+	}
+	if o.Jitter == 0 {
+		o.Jitter = 0.2
+	}
+	if o.Jitter < 0 {
+		o.Jitter = 0
+	}
+	if o.Jitter > 1 {
+		o.Jitter = 1
+	}
 	return o
+}
+
+// jittered spreads d uniformly across [(1-j)d, (1+j)d].
+func (o ReconnectOptions) jittered(d time.Duration) time.Duration {
+	if o.Jitter <= 0 {
+		return d
+	}
+	f := 1 + o.Jitter*(2*rand.Float64()-1)
+	return time.Duration(float64(d) * f)
 }
 
 // ReconnectingClient wraps Client with automatic redial: when the
@@ -39,13 +72,14 @@ type ReconnectingClient struct {
 
 	mu     sync.Mutex
 	cur    *Client
-	subs   map[int][]geometry.Rect // local handle -> rectangles
+	subs   map[int]*rsub // local handle -> live subscription state
 	nextID int
 	closed bool
 
-	events chan broker.Event
-	done   chan struct{}
-	wg     sync.WaitGroup
+	events  chan broker.Event
+	done    chan struct{}
+	wg      sync.WaitGroup
+	dropped atomic.Uint64 // merged-buffer drops + drops of dead generations
 }
 
 // DialReconnecting creates a reconnecting client. The initial dial is
@@ -55,7 +89,7 @@ func DialReconnecting(addr string, opts ReconnectOptions) (*ReconnectingClient, 
 	rc := &ReconnectingClient{
 		addr:   addr,
 		opts:   opts.withDefaults(),
-		subs:   make(map[int][]geometry.Rect),
+		subs:   make(map[int]*rsub),
 		events: make(chan broker.Event, 1024),
 		done:   make(chan struct{}),
 	}
@@ -81,21 +115,23 @@ func (rc *ReconnectingClient) run(cli *Client) {
 				return
 			default:
 				// Merged buffer full: drop, matching Client semantics.
+				rc.dropped.Add(1)
 			}
 		}
 		_ = cli.Close()
+		rc.dropped.Add(cli.Dropped())
 
-		// Reconnect with backoff.
+		// Reconnect with jittered exponential backoff.
 		backoff := rc.opts.InitialBackoff
 		for {
 			select {
 			case <-rc.done:
 				return
-			case <-time.After(backoff):
+			case <-time.After(rc.opts.jittered(backoff)):
 			}
 			next, err := Dial(rc.addr)
 			if err != nil {
-				backoff *= 2
+				backoff = time.Duration(float64(backoff) * rc.opts.Multiplier)
 				if backoff > rc.opts.MaxBackoff {
 					backoff = rc.opts.MaxBackoff
 				}
@@ -110,18 +146,28 @@ func (rc *ReconnectingClient) run(cli *Client) {
 	}
 }
 
+// rsub is one surviving subscription: the rectangles to replay plus the
+// server-assigned id on the current connection generation.
+type rsub struct {
+	rects    []geometry.Rect
+	serverID int
+}
+
 // resubscribe replays all live subscriptions on a fresh connection and
-// installs it as current. It reports success.
+// installs it as current. Handles cancelled via Unsubscribe are gone
+// from rc.subs, so they are never replayed. It reports success.
 func (rc *ReconnectingClient) resubscribe(cli *Client) bool {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	if rc.closed {
 		return false
 	}
-	for _, rects := range rc.subs {
-		if _, err := cli.Subscribe(rects...); err != nil {
+	for _, rs := range rc.subs {
+		sid, err := cli.Subscribe(rs.rects...)
+		if err != nil {
 			return false
 		}
+		rs.serverID = sid
 	}
 	rc.cur = cli
 	return true
@@ -142,13 +188,34 @@ func (rc *ReconnectingClient) Subscribe(rects ...geometry.Rect) (int, error) {
 	if rc.closed {
 		return 0, fmt.Errorf("wire: client closed")
 	}
-	if _, err := rc.cur.Subscribe(owned...); err != nil {
+	sid, err := rc.cur.Subscribe(owned...)
+	if err != nil {
 		return 0, err
 	}
 	id := rc.nextID
 	rc.nextID++
-	rc.subs[id] = owned
+	rc.subs[id] = &rsub{rects: owned, serverID: sid}
 	return id, nil
+}
+
+// Unsubscribe cancels a subscription by its local handle. The handle is
+// removed from the replay set immediately — a cancelled subscription is
+// never replayed by a later reconnect — and the cancel is forwarded to
+// the server best-effort: if the connection happens to be down, the
+// server-side subscription dies with it anyway.
+func (rc *ReconnectingClient) Unsubscribe(handle int) error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.closed {
+		return fmt.Errorf("wire: client closed")
+	}
+	rs, ok := rc.subs[handle]
+	if !ok {
+		return fmt.Errorf("wire: no subscription with handle %d", handle)
+	}
+	delete(rc.subs, handle)
+	_ = rc.cur.Unsubscribe(rs.serverID) // best-effort on a possibly dead conn
+	return nil
 }
 
 // Publish forwards to the current connection. It fails while
@@ -167,6 +234,20 @@ func (rc *ReconnectingClient) Publish(p geometry.Point, payload []byte) (int, er
 // Events returns the merged event stream across reconnects. It closes
 // only on Close.
 func (rc *ReconnectingClient) Events() <-chan broker.Event { return rc.events }
+
+// Dropped reports events lost client-side: merged-buffer overflow plus
+// per-connection buffer overflow, accumulated across generations. The
+// count may briefly double-count the dying generation mid-reconnect.
+func (rc *ReconnectingClient) Dropped() uint64 {
+	rc.mu.Lock()
+	cur := rc.cur
+	rc.mu.Unlock()
+	d := rc.dropped.Load()
+	if cur != nil {
+		d += cur.Dropped()
+	}
+	return d
+}
 
 // Close stops reconnection and tears down the current connection.
 func (rc *ReconnectingClient) Close() error {

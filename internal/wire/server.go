@@ -1,30 +1,66 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/broker"
 	"repro/internal/geometry"
 )
 
-// Server exposes a broker over TCP. Create one with NewServer, then call
-// Serve with a listener; Close shuts everything down.
+// ServerOptions harden a server against slow, stalled or half-open
+// peers. The zero value disables every deadline, matching the behavior
+// of a bare NewServer.
+type ServerOptions struct {
+	// WriteTimeout bounds each frame write. A connection whose peer
+	// cannot absorb a frame within it is evicted, so one stalled reader
+	// cannot wedge its event pump forever. Zero disables.
+	WriteTimeout time.Duration
+	// IdleTimeout evicts connections that send nothing for this long.
+	// The server pings idle peers (see PingInterval); a live client
+	// answers with a pong, so only dead or partitioned peers expire.
+	// Zero disables.
+	IdleTimeout time.Duration
+	// PingInterval is how often the server pings each connection to
+	// solicit the pong that keeps IdleTimeout from firing. Zero selects
+	// IdleTimeout/3 when IdleTimeout is set, otherwise pings are off.
+	PingInterval time.Duration
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.PingInterval == 0 && o.IdleTimeout > 0 {
+		o.PingInterval = o.IdleTimeout / 3
+	}
+	return o
+}
+
+// Server exposes a broker over TCP. Create one with NewServer (or
+// NewServerWith for hardened deadlines), then call Serve with a
+// listener; Close tears everything down immediately, Shutdown drains
+// gracefully first.
 type Server struct {
-	b *broker.Broker
+	b    *broker.Broker
+	opts ServerOptions
 
 	mu     sync.Mutex
 	ln     net.Listener
-	conns  map[net.Conn]struct{}
+	conns  map[*connState]struct{}
 	closed bool
 	wg     sync.WaitGroup
 }
 
-// NewServer wraps the broker.
+// NewServer wraps the broker with no deadlines (the zero ServerOptions).
 func NewServer(b *broker.Broker) *Server {
-	return &Server{b: b, conns: make(map[net.Conn]struct{})}
+	return NewServerWith(b, ServerOptions{})
+}
+
+// NewServerWith wraps the broker with explicit hardening options.
+func NewServerWith(b *broker.Broker, opts ServerOptions) *Server {
+	return &Server{b: b, opts: opts.withDefaults(), conns: make(map[*connState]struct{})}
 }
 
 // Serve accepts and handles connections until the listener is closed. It
@@ -50,48 +86,120 @@ func (s *Server) Serve(ln net.Listener) error {
 			_ = conn.Close()
 			continue
 		}
-		s.conns[conn] = struct{}{}
+		cs := newConnState(conn, s.opts)
+		s.conns[cs] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
-			s.handle(conn)
+			s.handle(cs)
 		}()
 	}
 }
 
-// Close stops the listener and tears down every connection. Safe to call
-// more than once.
+// Close stops the listener and tears down every connection immediately,
+// discarding any events still buffered in pumps. Safe to call more than
+// once. Use Shutdown to drain first.
 func (s *Server) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
-	}
-	s.closed = true
-	ln := s.ln
-	conns := make([]net.Conn, 0, len(s.conns))
-	for c := range s.conns {
-		conns = append(conns, c)
-	}
-	s.mu.Unlock()
-
+	ln, conns := s.markClosed()
 	if ln != nil {
 		_ = ln.Close()
 	}
-	for _, c := range conns {
-		_ = c.Close()
+	for _, cs := range conns {
+		_ = cs.conn.Close()
 	}
 	s.wg.Wait()
 }
 
-// connState tracks one connection's subscriptions and serialises writes.
+// Shutdown gracefully drains the server: it stops accepting, cancels
+// every subscription so their event pumps flush all buffered events to
+// the peers, then closes the connections. If ctx expires first the
+// remaining connections are torn down hard and ctx.Err() is returned.
+// Safe to call more than once and concurrently with Close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	ln, conns := s.markClosed()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		var dwg sync.WaitGroup
+		for _, cs := range conns {
+			dwg.Add(1)
+			go func(cs *connState) {
+				defer dwg.Done()
+				cs.drain()
+			}(cs)
+		}
+		dwg.Wait()
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		for _, cs := range conns {
+			_ = cs.conn.Close()
+		}
+		s.wg.Wait()
+		return ctx.Err()
+	}
+}
+
+// markClosed flips the closed flag and returns the listener and live
+// connections to tear down (nil/empty on repeat calls).
+func (s *Server) markClosed() (net.Listener, []*connState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, nil
+	}
+	s.closed = true
+	conns := make([]*connState, 0, len(s.conns))
+	for cs := range s.conns {
+		conns = append(conns, cs)
+	}
+	return s.ln, conns
+}
+
+// connState tracks one connection's subscriptions, serialises writes and
+// owns the goroutines (event pumps, pinger) attached to the connection.
 type connState struct {
 	conn    net.Conn
+	opts    ServerOptions
 	writeMu sync.Mutex
 	subsMu  sync.Mutex
 	subs    map[int]*broker.Subscription
 	done    chan struct{}
+
+	pumpMu   sync.Mutex
+	stopping bool
+	draining chan struct{} // closed by drain; stops the pinger while the conn is still open
+	pumps    sync.WaitGroup
+}
+
+// startPump registers one goroutine attached to the connection. It
+// returns false once the connection is draining, so a drain's
+// pumps.Wait never races a new Add.
+func (cs *connState) startPump() bool {
+	cs.pumpMu.Lock()
+	defer cs.pumpMu.Unlock()
+	if cs.stopping {
+		return false
+	}
+	cs.pumps.Add(1)
+	return true
+}
+
+func newConnState(conn net.Conn, opts ServerOptions) *connState {
+	return &connState{
+		conn:     conn,
+		opts:     opts,
+		subs:     make(map[int]*broker.Subscription),
+		done:     make(chan struct{}),
+		draining: make(chan struct{}),
+	}
 }
 
 func (cs *connState) addSub(sub *broker.Subscription) {
@@ -119,29 +227,80 @@ func (cs *connState) drainSubs() []*broker.Subscription {
 	return out
 }
 
+// write sends one frame under the write deadline. A failed or timed-out
+// write poisons the stream, so the connection is closed (evicted); the
+// read loop observes the close and tears the connection down.
 func (cs *connState) write(m *Message) error {
 	cs.writeMu.Lock()
 	defer cs.writeMu.Unlock()
-	return WriteMessage(cs.conn, m)
+	if cs.opts.WriteTimeout > 0 {
+		_ = cs.conn.SetWriteDeadline(time.Now().Add(cs.opts.WriteTimeout))
+	}
+	err := WriteMessage(cs.conn, m)
+	if err != nil {
+		_ = cs.conn.Close()
+	}
+	return err
 }
 
-func (s *Server) handle(conn net.Conn) {
-	cs := &connState{conn: conn, subs: make(map[int]*broker.Subscription), done: make(chan struct{})}
+// drain cancels the connection's subscriptions — closing their channels,
+// which lets each event pump flush the buffered backlog to the peer and
+// exit — waits for the pumps, then closes the connection.
+func (cs *connState) drain() {
+	cs.pumpMu.Lock()
+	if !cs.stopping {
+		cs.stopping = true
+		// The pinger must exit while the connection is still open — it is
+		// one of the pumps we are about to wait for.
+		close(cs.draining)
+	}
+	cs.pumpMu.Unlock()
+	for _, sub := range cs.drainSubs() {
+		sub.Cancel()
+	}
+	cs.pumps.Wait()
+	_ = cs.conn.Close()
+}
+
+func (s *Server) handle(cs *connState) {
+	if cs.opts.PingInterval > 0 && cs.startPump() {
+		go func() {
+			defer cs.pumps.Done()
+			t := time.NewTicker(cs.opts.PingInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if cs.write(&Message{Type: TypePing}) != nil {
+						return
+					}
+				case <-cs.draining:
+					return
+				case <-cs.done:
+					return
+				}
+			}
+		}()
+	}
 	defer func() {
 		close(cs.done)
 		for _, sub := range cs.drainSubs() {
 			sub.Cancel()
 		}
-		_ = conn.Close()
+		_ = cs.conn.Close()
+		cs.pumps.Wait()
 		s.mu.Lock()
-		delete(s.conns, conn)
+		delete(s.conns, cs)
 		s.mu.Unlock()
 	}()
 
 	for {
-		m, err := ReadMessage(conn)
+		if cs.opts.IdleTimeout > 0 {
+			_ = cs.conn.SetReadDeadline(time.Now().Add(cs.opts.IdleTimeout))
+		}
+		m, err := ReadMessage(cs.conn)
 		if err != nil {
-			return // disconnect (clean EOF or otherwise)
+			return // disconnect: clean EOF, idle timeout or otherwise
 		}
 		switch m.Type {
 		case TypeSubscribe:
@@ -152,6 +311,8 @@ func (s *Server) handle(conn net.Conn) {
 			err = s.handlePublish(cs, m)
 		case TypePing:
 			err = cs.write(&Message{Type: TypeOK})
+		case TypePong:
+			// Keepalive reply to our ping; reading it was the point.
 		default:
 			err = cs.write(&Message{Type: TypeError, Error: fmt.Sprintf("unknown message type %q", m.Type)})
 		}
@@ -182,10 +343,20 @@ func (s *Server) handleSubscribe(cs *connState, m *Message) error {
 		return cs.write(&Message{Type: TypeError, Error: err.Error()})
 	}
 	cs.addSub(sub)
+	if !cs.startPump() {
+		// The connection began draining between our subscribe and here;
+		// undo and let the read loop exit.
+		if undo := cs.takeSub(sub.ID()); undo != nil {
+			undo.Cancel()
+		}
+		return ErrServerClosed
+	}
 
 	// Pump events to the connection until the subscription or the
-	// connection dies.
+	// connection dies. When the subscription is cancelled (drain path)
+	// the pump flushes whatever is still buffered before exiting.
 	go func() {
+		defer cs.pumps.Done()
 		for {
 			select {
 			case ev, open := <-sub.Events():

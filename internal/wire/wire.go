@@ -30,7 +30,8 @@ const (
 	TypeSubscribe   Type = "subscribe"   // client -> server
 	TypeUnsubscribe Type = "unsubscribe" // client -> server
 	TypePublish     Type = "publish"     // client -> server
-	TypePing        Type = "ping"        // client -> server
+	TypePing        Type = "ping"        // either direction (keepalive probe)
+	TypePong        Type = "pong"        // client -> server (keepalive answer, unsolicited)
 	TypeEvent       Type = "event"       // server -> client (async)
 	TypeOK          Type = "ok"          // server -> client (reply)
 	TypeError       Type = "error"       // server -> client (reply)
