@@ -54,7 +54,7 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	defer cli.Close()
+	defer func() { _ = cli.Close() }()
 
 	switch verb {
 	case "subscribe":
@@ -125,7 +125,7 @@ func ParseRect(spec string) (geometry.Rect, error) {
 				return nil, fmt.Errorf("dimension %d upper bound: %w", i, err)
 			}
 		}
-		rect[i] = geometry.Interval{Lo: lo, Hi: hi}
+		rect[i] = geometry.NewInterval(lo, hi)
 		if rect[i].Empty() {
 			return nil, fmt.Errorf("dimension %d: empty interval %q", i, p)
 		}

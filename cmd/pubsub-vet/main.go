@@ -1,0 +1,174 @@
+// Command pubsub-vet is the project's vet driver: it runs the stock go
+// vet suite followed by the project-specific analyzers from
+// internal/analysis, each scoped to the packages where its invariant
+// applies.
+//
+// Usage:
+//
+//	go run ./cmd/pubsub-vet ./...
+//
+// The package patterns are forwarded to the stock go vet invocation;
+// the custom analyzers always cover the whole module. The command exits
+// non-zero when either stage reports a diagnostic, so it can gate CI.
+// Intentional violations are waived in source with
+//
+//	//pubsub:allow <analyzer>[,<analyzer>] -- reason
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/halfopen"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/locksafe"
+	"repro/internal/analysis/nodeterm"
+	"repro/internal/analysis/wireerr"
+)
+
+// scope restricts an analyzer to the packages (and optionally files)
+// where its invariant holds. A nil packages set means the whole module;
+// a non-nil files set further restricts to base filenames within the
+// listed packages.
+type scope struct {
+	analyzer *analysis.Analyzer
+	packages map[string]bool            // import path -> in scope (nil = all)
+	files    map[string]map[string]bool // import path -> base filename set (nil = all files)
+}
+
+// scopes defines where each analyzer runs:
+//
+//   - locksafe guards the concurrent server path: broker and wire.
+//   - nodeterm guards the deterministic simulation path: the workload,
+//     experiment and topology packages, plus the simulation harness in
+//     the root package (sim.go only — the rest of the root package is
+//     the public API, which may touch time freely).
+//   - halfopen and wireerr are module-wide; halfopen exempts the
+//     geometry package itself internally.
+var scopes = []scope{
+	{
+		analyzer: locksafe.Analyzer,
+		packages: map[string]bool{
+			"repro/internal/broker": true,
+			"repro/internal/wire":   true,
+		},
+	},
+	{
+		analyzer: nodeterm.Analyzer,
+		packages: map[string]bool{
+			"repro":                     true,
+			"repro/internal/workload":   true,
+			"repro/internal/experiment": true,
+			"repro/internal/topology":   true,
+		},
+		files: map[string]map[string]bool{
+			"repro": {"sim.go": true},
+		},
+	},
+	{analyzer: halfopen.Analyzer},
+	{analyzer: wireerr.Analyzer},
+}
+
+// fileSubset presents a subset of a package's files as an
+// analysis.Target, so per-file scoping stays a driver concern.
+type fileSubset struct {
+	*load.Package
+	names map[string]bool // base filenames to keep
+}
+
+func (s fileSubset) ASTFiles() []*ast.File {
+	var out []*ast.File
+	for _, f := range s.Package.Files {
+		name := filepath.Base(s.Package.Fset.Position(f.Package).Filename)
+		if s.names[name] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func main() {
+	novet := flag.Bool("novet", false, "skip the stock go vet pass")
+	flag.Parse()
+
+	status := 0
+	if !*novet {
+		patterns := flag.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			if _, ok := err.(*exec.ExitError); !ok {
+				fmt.Fprintf(os.Stderr, "pubsub-vet: running go vet: %v\n", err)
+			}
+			status = 1
+		}
+	}
+
+	n, err := runAnalyzers(".", os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pubsub-vet: %v\n", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "pubsub-vet: %d diagnostic(s)\n", n)
+		status = 1
+	}
+	os.Exit(status)
+}
+
+// runAnalyzers loads the module enclosing startDir and applies every
+// scoped analyzer, printing diagnostics to w. It returns the number of
+// diagnostics reported.
+func runAnalyzers(startDir string, w io.Writer) (int, error) {
+	loader, err := load.NewLoader(startDir)
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := loader.All()
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		for _, sc := range scopes {
+			if sc.packages != nil && !sc.packages[pkg.Path] {
+				continue
+			}
+			var target analysis.Target = pkg
+			if names := sc.files[pkg.Path]; names != nil {
+				target = fileSubset{Package: pkg, names: names}
+			}
+			diags, err := analysis.RunAnalyzer(target, sc.analyzer)
+			if err != nil {
+				return total, fmt.Errorf("%s on %s: %w", sc.analyzer.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				fmt.Fprintf(w, "%s: %s\n", relPosition(loader.ModuleRoot, pkg.Fset, d.Pos), d.Message)
+				total++
+			}
+		}
+	}
+	return total, nil
+}
+
+// relPosition renders pos with the file path relative to the module
+// root, matching go vet's output style.
+func relPosition(root string, fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	if rel, err := filepath.Rel(root, p.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		p.Filename = rel
+	}
+	return p.String()
+}

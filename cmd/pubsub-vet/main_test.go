@@ -1,0 +1,21 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestModuleIsVetClean is the acceptance check for the analyzer suite:
+// the module must carry zero unsuppressed diagnostics. A regression
+// here means either a new violation or a directive that lost its
+// target.
+func TestModuleIsVetClean(t *testing.T) {
+	var buf strings.Builder
+	n, err := runAnalyzers(".", &buf)
+	if err != nil {
+		t.Fatalf("runAnalyzers: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("module has %d unsuppressed diagnostic(s):\n%s", n, buf.String())
+	}
+}

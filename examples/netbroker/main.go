@@ -57,7 +57,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer cli.Close()
+		defer func() { _ = cli.Close() }()
 		id, err := cli.Subscribe(band.rect)
 		if err != nil {
 			log.Fatal(err)
@@ -70,7 +70,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer publisher.Close()
+	defer func() { _ = publisher.Close() }()
 
 	fmt.Println("\npublishing 6 trades...")
 	trades := []struct {

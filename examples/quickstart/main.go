@@ -27,11 +27,11 @@ func main() {
 	defer b.Close()
 
 	// name=IBM AND 75 < price <= 80 AND volume >= 1000.
-	sub, err := b.Subscribe(pubsub.Rect{
-		{Lo: ibmLo, Hi: ibmHi},
-		{Lo: 75, Hi: 80},
+	sub, err := b.Subscribe(pubsub.RectOf(
+		pubsub.Between(ibmLo, ibmHi),
+		pubsub.Between(75, 80),
 		pubsub.AtLeast(999),
-	})
+	))
 	if err != nil {
 		log.Fatal(err)
 	}

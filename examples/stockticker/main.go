@@ -46,12 +46,12 @@ func main() {
 		bst := float64(rng.Intn(3)) // B, S or T
 		nameCenter := rng.Float64() * 20
 		nameWidth := 1 + rng.Float64()*4
-		rect := pubsub.Rect{
-			{Lo: bst, Hi: bst + 1},
-			{Lo: nameCenter - nameWidth/2, Hi: nameCenter + nameWidth/2},
-			{Lo: 9 - rng.Float64()*4, Hi: 9 + rng.Float64()*4},
-			pubsub.AtLeast(rng.Float64() * 10),
-		}
+		rect := pubsub.RectOf(
+			pubsub.Between(bst, bst+1),
+			pubsub.Between(nameCenter-nameWidth/2, nameCenter+nameWidth/2),
+			pubsub.Between(9-rng.Float64()*4, 9+rng.Float64()*4),
+			pubsub.AtLeast(rng.Float64()*10),
+		)
 		for d := range rect {
 			rect[d] = rect[d].Intersect(space.Domain[d])
 		}

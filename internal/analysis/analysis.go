@@ -1,0 +1,103 @@
+// Package analysis is a dependency-free micro-framework for writing
+// project-specific static analyzers, modelled on the API shape of
+// golang.org/x/tools/go/analysis so the checkers under it can be ported
+// to the upstream framework mechanically. It exists because this module
+// deliberately has no external dependencies: analyzers receive parsed,
+// type-checked packages (see the sibling load package) and report
+// position-tagged diagnostics.
+//
+// Diagnostics can be suppressed at a call site with a directive comment:
+//
+//	//pubsub:allow <analyzer>[,<analyzer>...] -- reason
+//
+// placed either at the end of the offending line or on the line
+// immediately above it. Suppressions are applied by RunAnalyzer, so both
+// the pubsub-vet driver and the analysistest harness honor them. Every
+// suppression must carry a reason; bare directives are reported as
+// diagnostics themselves.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check. Mirrors x/tools' analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //pubsub:allow directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer reports.
+	Doc string
+	// Run inspects the package in pass and reports diagnostics via
+	// pass.Report or pass.Reportf. The returned value is unused by this
+	// framework but kept for API parity with x/tools.
+	Run func(*Pass) (any, error)
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// Target is the input to RunAnalyzer: a parsed, type-checked package.
+// load.Package satisfies it.
+type Target interface {
+	FileSet() *token.FileSet
+	ASTFiles() []*ast.File
+	TypesPkg() *types.Package
+	TypesInfo() *types.Info
+}
+
+// RunAnalyzer applies one analyzer to one package and returns its
+// diagnostics, sorted by position, with //pubsub:allow suppressions
+// already applied. Misused directives (no reason, unknown placement) are
+// returned as diagnostics of the pseudo-analyzer "directive".
+func RunAnalyzer(t Target, a *Analyzer) ([]Diagnostic, error) {
+	fset := t.FileSet()
+	sup, bad := collectDirectives(fset, t.ASTFiles())
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     t.ASTFiles(),
+		Pkg:       t.TypesPkg(),
+		TypesInfo: t.TypesInfo(),
+		Report: func(d Diagnostic) {
+			if sup.allows(fset, a.Name, d.Pos) {
+				return
+			}
+			diags = append(diags, d)
+		},
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	diags = append(diags, bad...)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

@@ -1,0 +1,115 @@
+// Package analysistest runs an analyzer over a fixture package and
+// checks its diagnostics against // want comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture line expecting diagnostics carries a trailing comment of the
+// form
+//
+//	// want "regexp" `another regexp`
+//
+// Each quoted pattern (double-quoted or backquoted) must be matched (as
+// an unanchored regexp) by a distinct diagnostic reported on that line,
+// and every diagnostic must be matched by some pattern.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+var wantRE = regexp.MustCompile("//\\s*want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)\\s*$")
+var quotedRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// Run loads the fixture package rooted at dir (relative to the test's
+// working directory), applies the analyzer, and reports mismatches
+// between its diagnostics and the fixture's want comments. asPath sets
+// the fixture's synthetic import path, which some analyzers use for
+// package-scoped behavior.
+func Run(t *testing.T, dir, asPath string, a *analysis.Analyzer) {
+	t.Helper()
+	loader, err := load.NewLoader(".")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir, asPath)
+	if err != nil {
+		t.Fatalf("analysistest: loading fixture: %v", err)
+	}
+	diags, err := analysis.RunAnalyzer(pkg, a)
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkg)
+	matched := make([]bool, len(diags))
+	for key, patterns := range wants {
+		for _, p := range patterns {
+			re, err := regexp.Compile(p)
+			if err != nil {
+				t.Errorf("%s: bad want pattern %q: %v", key, p, err)
+				continue
+			}
+			found := false
+			for i, d := range diags {
+				if matched[i] {
+					continue
+				}
+				if lineKey(pkg.Fset, d.Pos) == key && re.MatchString(d.Message) {
+					matched[i] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: no diagnostic matching %q", key, p)
+			}
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("%s: unexpected diagnostic: %s", lineKey(pkg.Fset, d.Pos), d.Message)
+		}
+	}
+}
+
+// collectWants scans the fixture's comments for want annotations,
+// returning file:line -> expected message patterns.
+func collectWants(t *testing.T, pkg *load.Package) map[string][]string {
+	t.Helper()
+	wants := map[string][]string{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "want ") && strings.ContainsAny(c.Text, "\"`") {
+						t.Errorf("%s: malformed want comment: %s", lineKey(pkg.Fset, c.Pos()), c.Text)
+					}
+					continue
+				}
+				key := lineKey(pkg.Fset, c.Pos())
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					pattern, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %s: %v", key, q, err)
+						continue
+					}
+					wants[key] = append(wants[key], pattern)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func lineKey(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}

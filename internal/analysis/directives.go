@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment. The full form is
+//
+//	//pubsub:allow name1,name2 -- reason
+//
+// A trailing directive suppresses matching diagnostics reported on its
+// own line; a directive alone on a line also suppresses the line below,
+// so multi-line statements can be annotated above their first line.
+const directivePrefix = "//pubsub:allow"
+
+// suppressions maps filename -> line -> set of allowed analyzer names.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) add(file string, line int, name string) {
+	byLine, ok := s[file]
+	if !ok {
+		byLine = map[int]map[string]bool{}
+		s[file] = byLine
+	}
+	names, ok := byLine[line]
+	if !ok {
+		names = map[string]bool{}
+		byLine[line] = names
+	}
+	names[name] = true
+}
+
+// allows reports whether a diagnostic from analyzer name at pos is
+// covered by a directive.
+func (s suppressions) allows(fset *token.FileSet, name string, pos token.Pos) bool {
+	if !pos.IsValid() {
+		return false
+	}
+	p := fset.Position(pos)
+	return s[p.Filename][p.Line][name]
+}
+
+// collectDirectives scans the files' comments for //pubsub:allow
+// directives. It returns the suppression table plus diagnostics for
+// malformed directives (a directive without a reason is an error: the
+// point of the mechanism is a documented, greppable waiver).
+func collectDirectives(fset *token.FileSet, files []*ast.File) (suppressions, []Diagnostic) {
+	sup := suppressions{}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, directivePrefix)
+				names, _, ok := splitDirective(rest)
+				if !ok {
+					bad = append(bad, Diagnostic{
+						Pos: c.Pos(),
+						Message: "directive: malformed //pubsub:allow; want " +
+							"\"//pubsub:allow <analyzer>[,<analyzer>] -- reason\"",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, n := range names {
+					// The directive covers its own line, and — so that
+					// multi-line statements (selects, calls) can carry the
+					// annotation above themselves — the next line too.
+					sup.add(pos.Filename, pos.Line, n)
+					sup.add(pos.Filename, pos.Line+1, n)
+				}
+			}
+		}
+	}
+	return sup, bad
+}
+
+// splitDirective parses " name1,name2 -- reason". The separator may be
+// "--" or an em dash; both names and reason must be non-empty.
+func splitDirective(rest string) (names []string, reason string, ok bool) {
+	rest = strings.TrimSpace(rest)
+	sepIdx, sepLen := -1, 0
+	for _, sep := range []string{"--", "—"} {
+		if i := strings.Index(rest, sep); i >= 0 && (sepIdx < 0 || i < sepIdx) {
+			sepIdx, sepLen = i, len(sep)
+		}
+	}
+	if sepIdx < 0 {
+		return nil, "", false
+	}
+	namePart := strings.TrimSpace(rest[:sepIdx])
+	reason = strings.TrimSpace(rest[sepIdx+sepLen:])
+	if namePart == "" || reason == "" {
+		return nil, "", false
+	}
+	for _, n := range strings.Split(namePart, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" || strings.ContainsAny(n, " \t") {
+			return nil, "", false
+		}
+		names = append(names, n)
+	}
+	return names, reason, true
+}

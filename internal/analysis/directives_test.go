@@ -1,0 +1,44 @@
+package analysis
+
+import "testing"
+
+func TestSplitDirective(t *testing.T) {
+	cases := []struct {
+		rest   string // directive text after //pubsub:allow
+		names  []string
+		reason string
+		ok     bool
+	}{
+		{" locksafe -- bounded wait", []string{"locksafe"}, "bounded wait", true},
+		{" locksafe,nodeterm -- two at once", []string{"locksafe", "nodeterm"}, "two at once", true},
+		{" locksafe, nodeterm -- spaced list", []string{"locksafe", "nodeterm"}, "spaced list", true},
+		{" locksafe — em dash reason", []string{"locksafe"}, "em dash reason", true},
+		{" locksafe", nil, "", false},    // missing separator and reason
+		{" locksafe --", nil, "", false}, // empty reason
+		{" -- reason but no names", nil, "", false},
+		{" two words -- name may not contain spaces", nil, "", false},
+	}
+	for _, c := range cases {
+		names, reason, ok := splitDirective(c.rest)
+		if ok != c.ok {
+			t.Errorf("splitDirective(%q): ok = %v, want %v", c.rest, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if reason != c.reason {
+			t.Errorf("splitDirective(%q): reason = %q, want %q", c.rest, reason, c.reason)
+		}
+		if len(names) != len(c.names) {
+			t.Errorf("splitDirective(%q): names = %v, want %v", c.rest, names, c.names)
+			continue
+		}
+		for i := range names {
+			if names[i] != c.names[i] {
+				t.Errorf("splitDirective(%q): names = %v, want %v", c.rest, names, c.names)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package halfopen flags composite-literal construction of
+// geometry.Interval and geometry.Rect outside the geometry package.
+//
+// The half-open (lo, hi] interval discipline is a package invariant: the
+// validating constructors (geometry.NewInterval, geometry.NewRect,
+// geometry.RectOf) are the supported way to build these values, and raw
+// literals in other packages bypass them — historically the source of
+// NaN bounds and inverted intervals slipping into the index builders.
+package halfopen
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// GeometryPath is the import path of the package whose types are
+// protected. Literals inside this package itself are exempt.
+const GeometryPath = "repro/internal/geometry"
+
+// Analyzer flags geometry.Interval / geometry.Rect composite literals
+// outside the geometry package.
+var Analyzer = &analysis.Analyzer{
+	Name: "halfopen",
+	Doc: "flags raw geometry.Interval/Rect composite literals outside " +
+		"internal/geometry; use NewInterval/NewRect/RectOf so the half-open " +
+		"(lo, hi] discipline is validated at the boundary",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Path() == GeometryPath {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		var flagged []*ast.CompositeLit
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			name := protectedTypeName(pass, lit)
+			if name == "" {
+				return true
+			}
+			// Suppress nested reports: an Interval literal inside an
+			// already-flagged Rect literal is the same defect. Inspect
+			// visits outer literals first, so containment is sufficient.
+			for _, outer := range flagged {
+				if outer.Pos() <= lit.Pos() && lit.End() <= outer.End() {
+					return true
+				}
+			}
+			flagged = append(flagged, lit)
+			pass.Reportf(lit.Pos(),
+				"halfopen: composite literal of geometry.%s outside %s bypasses the validating constructors; use geometry.NewInterval / geometry.NewRect / geometry.RectOf",
+				name, GeometryPath)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// protectedTypeName reports whether the literal's type is
+// geometry.Interval or geometry.Rect, returning the bare type name, or
+// "" otherwise. Implicitly typed element literals (e.g. {Lo: 0, Hi: 1}
+// inside a Rect literal) are resolved through the types map as well.
+func protectedTypeName(pass *analysis.Pass, lit *ast.CompositeLit) string {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return ""
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != GeometryPath {
+		return ""
+	}
+	switch obj.Name() {
+	case "Interval", "Rect":
+		return obj.Name()
+	}
+	return ""
+}

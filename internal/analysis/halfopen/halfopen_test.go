@@ -1,0 +1,11 @@
+package halfopen
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestHalfopen(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/halfopen", "fixture/halfopen", Analyzer)
+}

@@ -1,0 +1,237 @@
+// Package load parses and type-checks this module's packages using only
+// the standard library, for consumption by the internal/analysis
+// checkers. Module-local imports are resolved from source in dependency
+// order; standard-library imports go through go/importer's source
+// importer, so no compiled export data or external tooling is required.
+//
+// Test files are not loaded: the vet suite checks production code, and
+// fixtures under testdata are loaded explicitly by the analysistest
+// harness via LoadDir.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package. It satisfies
+// analysis.Target.
+type Package struct {
+	Path  string // import path ("repro/internal/stree")
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// FileSet implements analysis.Target.
+func (p *Package) FileSet() *token.FileSet { return p.Fset }
+
+// ASTFiles implements analysis.Target.
+func (p *Package) ASTFiles() []*ast.File { return p.Files }
+
+// TypesPkg implements analysis.Target.
+func (p *Package) TypesPkg() *types.Package { return p.Types }
+
+// TypesInfo implements analysis.Target.
+func (p *Package) TypesInfo() *types.Info { return p.Info }
+
+// Loader loads packages of a single module rooted at a go.mod. It is
+// not safe for concurrent use.
+type Loader struct {
+	ModuleRoot string // directory containing go.mod
+	ModulePath string // module path declared in go.mod
+
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*Package
+}
+
+// NewLoader locates the enclosing module by walking up from startDir to
+// the nearest go.mod.
+func NewLoader(startDir string) (*Loader, error) {
+	dir, err := filepath.Abs(startDir)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		modfile := filepath.Join(dir, "go.mod")
+		if data, err := os.ReadFile(modfile); err == nil {
+			path := modulePath(string(data))
+			if path == "" {
+				return nil, fmt.Errorf("load: no module line in %s", modfile)
+			}
+			fset := token.NewFileSet()
+			return &Loader{
+				ModuleRoot: dir,
+				ModulePath: path,
+				fset:       fset,
+				std:        importer.ForCompiler(fset, "source", nil),
+				pkgs:       map[string]*Package{},
+			}, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return nil, fmt.Errorf("load: no go.mod above %s", startDir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module path from go.mod content.
+func modulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// Import implements types.Importer: module-local paths are loaded from
+// source, everything else is delegated to the standard-library source
+// importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	if dir, ok := l.dirOf(path); ok {
+		p, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// dirOf maps a module-local import path to its directory.
+func (l *Loader) dirOf(path string) (string, bool) {
+	if path == l.ModulePath {
+		return l.ModuleRoot, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleRoot, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// Load returns the module package with the given import path, loading
+// and type-checking it (and its module dependencies) on first use.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir, ok := l.dirOf(path)
+	if !ok {
+		return nil, fmt.Errorf("load: %s is not in module %s", path, l.ModulePath)
+	}
+	return l.load(path, dir)
+}
+
+// LoadDir type-checks the package in dir under a caller-chosen import
+// path. It is used by the analysistest harness to load fixture packages
+// (which may import real module packages) and is cached like any other
+// package.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	if p, ok := l.pkgs[asPath]; ok {
+		return p, nil
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(asPath, abs)
+}
+
+func (l *Loader) load(path, dir string) (*Package, error) {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("load: %s: %w", path, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// All loads every package in the module, in import-path order, skipping
+// testdata, hidden directories and directories without buildable Go
+// files under the current build context (so files gated behind tags
+// such as "invariants" are excluded, exactly as in a default build).
+func (l *Loader) All() ([]*Package, error) {
+	var paths []string
+	err := filepath.WalkDir(l.ModuleRoot, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.ModuleRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if _, err := build.ImportDir(p, 0); err != nil {
+			if _, multi := err.(*build.MultiplePackageError); multi {
+				return fmt.Errorf("load: %s: %w", p, err)
+			}
+			return nil // no buildable Go files here: not part of the build
+		}
+		rel, err := filepath.Rel(l.ModuleRoot, p)
+		if err != nil {
+			return err
+		}
+		path := l.ModulePath
+		if rel != "." {
+			path = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		paths = append(paths, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,619 @@
+// Package locksafe flags blocking operations performed while a
+// sync.Mutex or sync.RWMutex is held. In the broker and wire layers a
+// lock held across a channel operation, network write or sleep turns
+// one slow peer into a broker-wide stall — the classic failure mode of
+// a concurrent pub-sub core.
+//
+// The analysis is a per-function abstract interpretation of the lock
+// set, with a package-level fixpoint so that calls to same-package
+// functions that themselves block (directly or transitively) are
+// flagged at the call site. Blocking operations are:
+//
+//   - channel send or receive outside a select with a default clause
+//   - select without a default clause
+//   - range over a channel
+//   - time.Sleep, (*sync.WaitGroup).Wait, (*sync.Cond).Wait
+//   - Read/Write/ReadFrom/WriteTo on interface values (io.Reader,
+//     io.Writer, net.Conn, ...) and io.ReadFull/io.Copy/io.CopyN:
+//     behind an interface may sit a network peer
+//   - calls to same-package functions classified as blocking
+//
+// Function literals are analyzed as separate functions with an empty
+// lock set: a goroutine does not hold its creator's locks. A deferred
+// Unlock keeps the lock held to the end of the function, as at runtime.
+//
+// Intentional, bounded waits under a lock are annotated with
+// //pubsub:allow locksafe -- reason.
+package locksafe
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags blocking operations while a mutex is held.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc: "flags channel operations, selects, sleeps, waits and interface " +
+		"I/O performed while a sync.Mutex/RWMutex is held",
+	Run: run,
+}
+
+// lock/unlock method sets, identified by types.Func.FullName so that
+// embedded (promoted) mutexes are matched too.
+var (
+	lockMethods = map[string]bool{
+		"(*sync.Mutex).Lock":    true,
+		"(*sync.RWMutex).Lock":  true,
+		"(*sync.RWMutex).RLock": true,
+	}
+	unlockMethods = map[string]bool{
+		"(*sync.Mutex).Unlock":    true,
+		"(*sync.RWMutex).Unlock":  true,
+		"(*sync.RWMutex).RUnlock": true,
+	}
+	// blockingStdCalls block by name, wherever they are called from.
+	blockingStdCalls = map[string]string{
+		"time.Sleep":             "time.Sleep",
+		"(*sync.WaitGroup).Wait": "WaitGroup.Wait",
+		"(*sync.Cond).Wait":      "Cond.Wait",
+		"io.ReadFull":            "io.ReadFull",
+		"io.ReadAll":             "io.ReadAll",
+		"io.Copy":                "io.Copy",
+		"io.CopyN":               "io.CopyN",
+	}
+	// blockingIfaceMethods are method names that count as blocking when
+	// invoked on an interface value: the dynamic type may be a socket.
+	blockingIfaceMethods = map[string]bool{
+		"Read":     true,
+		"Write":    true,
+		"ReadFrom": true,
+		"WriteTo":  true,
+	}
+)
+
+type checker struct {
+	pass *analysis.Pass
+	// blockingFns maps same-package functions (by object) to a short
+	// description of why they block, for call-site messages.
+	blockingFns map[*types.Func]string
+	decls       map[*types.Func]*ast.FuncDecl
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{
+		pass:        pass,
+		blockingFns: map[*types.Func]string{},
+		decls:       map[*types.Func]*ast.FuncDecl{},
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				c.decls[obj] = fd
+			}
+		}
+	}
+
+	// Fixpoint: seed with directly blocking functions, then propagate
+	// through same-package calls until stable.
+	for obj, fd := range c.decls {
+		if why := c.directlyBlocking(fd.Body); why != "" {
+			c.blockingFns[obj] = why
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, fd := range c.decls {
+			if _, done := c.blockingFns[obj]; done {
+				continue
+			}
+			if callee, why := c.callsBlockingFn(fd.Body); callee != nil {
+				c.blockingFns[obj] = fmt.Sprintf("calls %s (%s)", callee.Name(), why)
+				changed = true
+			}
+		}
+	}
+
+	for _, fd := range c.decls {
+		c.checkFunc(fd.Body)
+	}
+	return nil, nil
+}
+
+// lockSet tracks which mutexes are held, keyed by the printed receiver
+// expression (an approximation that works for the field- and
+// variable-shaped receivers this codebase uses).
+type lockSet map[string]token.Pos
+
+func (s lockSet) clone() lockSet {
+	out := make(lockSet, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// checkFunc interprets one function body with an empty entry lock set,
+// and recurses into function literals (also with empty sets).
+func (c *checker) checkFunc(body *ast.BlockStmt) {
+	c.stmts(body.List, lockSet{})
+}
+
+// stmts interprets a statement sequence, returning the lock set at the
+// fall-through exit and whether the sequence always terminates
+// (returns, panics or branches away).
+func (c *checker) stmts(list []ast.Stmt, held lockSet) (lockSet, bool) {
+	for _, s := range list {
+		var terminated bool
+		held, terminated = c.stmt(s, held)
+		if terminated {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (c *checker) stmt(s ast.Stmt, held lockSet) (lockSet, bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return c.stmts(s.List, held)
+	case *ast.ExprStmt:
+		c.expr(s.X, held)
+		return c.applyLockOps(s.X, held), false
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			c.expr(e, held)
+		}
+		h := held
+		for _, e := range s.Rhs {
+			h = c.applyLockOps(e, h)
+		}
+		return h, false
+	case *ast.SendStmt:
+		c.expr(s.Chan, held)
+		c.expr(s.Value, held)
+		c.flagIfHeld(s.Pos(), "channel send", held)
+		return held, false
+	case *ast.IncDecStmt:
+		c.expr(s.X, held)
+		return held, false
+	case *ast.DeferStmt:
+		// A deferred Unlock releases at function exit, i.e. never within
+		// this body: leave the set unchanged. Other deferred calls run
+		// outside any critical section we can see; analyze their
+		// literals separately.
+		c.funcLits(s.Call, held)
+		return held, false
+	case *ast.GoStmt:
+		// The goroutine runs concurrently and does not hold our locks.
+		c.funcLits(s.Call, lockSet{})
+		return held, false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.expr(e, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		return held, true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = c.stmt(s.Init, held)
+		}
+		c.expr(s.Cond, held)
+		held = c.applyLockOps(s.Cond, held)
+		thenHeld, thenTerm := c.stmts(s.Body.List, held.clone())
+		elseHeld, elseTerm := held, false
+		if s.Else != nil {
+			elseHeld, elseTerm = c.stmt(s.Else, held.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held, true
+		case thenTerm:
+			return elseHeld, false
+		case elseTerm:
+			return thenHeld, false
+		default:
+			return intersect(thenHeld, elseHeld), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = c.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond, held)
+		}
+		body, _ := c.stmts(s.Body.List, held.clone())
+		if s.Post != nil {
+			c.stmt(s.Post, body)
+		}
+		// Approximation: assume the loop body is lock-balanced, keeping
+		// the entry set at exit.
+		return held, false
+	case *ast.RangeStmt:
+		c.expr(s.X, held)
+		if t := c.pass.TypeOf(s.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				c.flagIfHeld(s.Pos(), "range over channel", held)
+			}
+		}
+		c.stmts(s.Body.List, held.clone())
+		return held, false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held, _ = c.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag, held)
+		}
+		return c.caseBodies(s.Body, held), false
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held, _ = c.stmt(s.Init, held)
+		}
+		return c.caseBodies(s.Body, held), false
+	case *ast.SelectStmt:
+		return c.selectStmt(s, held), false
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, held)
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				c.expr(e, held)
+				return false
+			}
+			return true
+		})
+		return held, false
+	default:
+		return held, false
+	}
+}
+
+// caseBodies analyzes each case clause of a switch against a copy of
+// the entry set and intersects the fall-through results.
+func (c *checker) caseBodies(body *ast.BlockStmt, held lockSet) lockSet {
+	result := held
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			c.expr(e, held)
+		}
+		after, term := c.stmts(cc.Body, held.clone())
+		if !term {
+			result = intersect(result, after)
+		}
+	}
+	return result
+}
+
+// selectStmt handles the one construct where channel operations may be
+// non-blocking: a select with a default clause. Without one, the select
+// itself blocks.
+func (c *checker) selectStmt(s *ast.SelectStmt, held lockSet) lockSet {
+	hasDefault := false
+	for _, cl := range s.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		c.flagIfHeld(s.Pos(), "select without default", held)
+	}
+	result := held
+	for _, cl := range s.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		// The comm ops themselves are non-blocking inside a select (the
+		// select statement is where blocking happens), so only walk
+		// their subexpressions for calls and nested literals.
+		if cc.Comm != nil {
+			ast.Inspect(cc.Comm, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					c.call(call, held)
+				}
+				if lit, ok := n.(*ast.FuncLit); ok {
+					c.checkFunc(lit.Body)
+					return false
+				}
+				return true
+			})
+		}
+		after, term := c.stmts(cc.Body, held.clone())
+		if !term {
+			result = intersect(result, after)
+		}
+	}
+	return result
+}
+
+// expr scans an expression for blocking operations (receives, blocking
+// calls) evaluated with the current lock set, and analyzes nested
+// function literals with an empty set.
+func (c *checker) expr(e ast.Expr, held lockSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.checkFunc(n.Body)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.flagIfHeld(n.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			c.call(n, held)
+		}
+		return true
+	})
+}
+
+// call flags a single call expression if its callee blocks.
+func (c *checker) call(call *ast.CallExpr, held lockSet) {
+	if len(held) == 0 {
+		return
+	}
+	if why := c.blockingCallDesc(call); why != "" {
+		c.flagIfHeld(call.Pos(), why, held)
+	}
+}
+
+// blockingCallDesc classifies one call as blocking, returning a human
+// description or "".
+func (c *checker) blockingCallDesc(call *ast.CallExpr) string {
+	fn := c.calleeFunc(call)
+	if fn == nil {
+		return ""
+	}
+	if desc, ok := blockingStdCalls[fn.FullName()]; ok {
+		return "call to " + desc
+	}
+	if blockingIfaceMethods[fn.Name()] {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if t := c.pass.TypeOf(sel.X); t != nil {
+				if _, ok := t.Underlying().(*types.Interface); ok {
+					return fmt.Sprintf("%s on interface value (potential network I/O)", fn.Name())
+				}
+			}
+		}
+	}
+	if fn.Pkg() == c.pass.Pkg {
+		if why, ok := c.blockingFns[fn]; ok {
+			return fmt.Sprintf("call to %s, which blocks (%s)", fn.Name(), why)
+		}
+	}
+	return ""
+}
+
+// directlyBlocking reports why a function body blocks on its own (not
+// via same-package calls), or "".
+func (c *checker) directlyBlocking(body *ast.BlockStmt) string {
+	selectDefaults := map[*ast.SelectStmt]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if s, ok := n.(*ast.SelectStmt); ok {
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+					selectDefaults[s] = true
+				}
+			}
+		}
+		return true
+	})
+	var walk func(n ast.Node) string
+	walk = func(n ast.Node) string {
+		found := ""
+		ast.Inspect(n, func(m ast.Node) bool {
+			if found != "" {
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false // separate function
+			case *ast.SelectStmt:
+				if !selectDefaults[m] {
+					found = "contains select without default"
+					return false
+				}
+				// Non-blocking select: comm ops are fine, bodies still scanned.
+				for _, cl := range m.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok {
+						for _, b := range cc.Body {
+							if f := walk(b); f != "" {
+								found = f
+								return false
+							}
+						}
+					}
+				}
+				return false
+			case *ast.SendStmt:
+				found = "contains channel send"
+				return false
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW {
+					found = "contains channel receive"
+					return false
+				}
+			case *ast.RangeStmt:
+				if t := c.pass.TypeOf(m.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						found = "ranges over a channel"
+						return false
+					}
+				}
+			case *ast.CallExpr:
+				fn := c.calleeFunc(m)
+				if fn == nil {
+					return true
+				}
+				if desc, ok := blockingStdCalls[fn.FullName()]; ok {
+					found = "calls " + desc
+					return false
+				}
+				if blockingIfaceMethods[fn.Name()] {
+					if sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr); ok {
+						if t := c.pass.TypeOf(sel.X); t != nil {
+							if _, ok := t.Underlying().(*types.Interface); ok {
+								found = "performs interface I/O"
+								return false
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+		return found
+	}
+	return walk(body)
+}
+
+// callsBlockingFn finds the first call (outside function literals) to a
+// same-package function already classified as blocking.
+func (c *checker) callsBlockingFn(body *ast.BlockStmt) (*types.Func, string) {
+	var callee *types.Func
+	var why string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if callee != nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := c.calleeFunc(call)
+		if fn == nil || fn.Pkg() != c.pass.Pkg {
+			return true
+		}
+		if w, ok := c.blockingFns[fn]; ok {
+			callee, why = fn, w
+		}
+		return true
+	})
+	return callee, why
+}
+
+// funcLits analyzes function literals appearing in a call's arguments
+// or callee position as independent functions.
+func (c *checker) funcLits(call *ast.CallExpr, _ lockSet) {
+	ast.Inspect(call, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			c.checkFunc(lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// applyLockOps updates the lock set for any Lock/Unlock calls in e
+// (sequentially, left to right as they appear).
+func (c *checker) applyLockOps(e ast.Expr, held lockSet) lockSet {
+	out := held
+	mutated := false
+	mutable := func() lockSet {
+		if !mutated {
+			out = out.clone()
+			mutated = true
+		}
+		return out
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := c.calleeFunc(call)
+		if fn == nil {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := fn.FullName()
+		switch {
+		case lockMethods[name]:
+			mutable()[exprString(c.pass.Fset, sel.X)] = call.Pos()
+		case unlockMethods[name]:
+			delete(mutable(), exprString(c.pass.Fset, sel.X))
+		}
+		return true
+	})
+	return out
+}
+
+func (c *checker) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := c.pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// flagIfHeld reports op at pos if any lock is held, naming the
+// longest-held lock for the message.
+func (c *checker) flagIfHeld(pos token.Pos, op string, held lockSet) {
+	if len(held) == 0 {
+		return
+	}
+	var name string
+	var at token.Pos = token.Pos(1 << 62)
+	for k, p := range held {
+		if p < at {
+			name, at = k, p
+		}
+	}
+	c.pass.Reportf(pos,
+		"locksafe: %s while %s is held (locked at %s); release the lock first, restructure, or annotate an intentional bounded wait with //pubsub:allow locksafe",
+		op, name, c.pass.Fset.Position(at))
+}
+
+func intersect(a, b lockSet) lockSet {
+	out := lockSet{}
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, fset, e); err != nil {
+		return "<expr>"
+	}
+	return sb.String()
+}

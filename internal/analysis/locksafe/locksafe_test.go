@@ -1,0 +1,11 @@
+package locksafe
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestLocksafe(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/locksafe", "fixture/locksafe", Analyzer)
+}

@@ -1,0 +1,105 @@
+// Package nodeterm flags sources of nondeterminism in packages that are
+// required to be bit-for-bit reproducible from a seed (the simulation
+// facade, workload generators, experiment drivers and the topology
+// generator; see EXPERIMENTS.md).
+//
+// It reports three classes of defect:
+//
+//   - time.Now(): wall-clock reads make output depend on the run, not
+//     the seed. Timing-measurement sites (ablation harnesses) carry a
+//     //pubsub:allow nodeterm directive instead.
+//   - package-level math/rand functions (rand.Intn, rand.Float64,
+//     rand.Shuffle, ...): these draw from the process-global generator,
+//     whose state is shared across the program and, since Go 1.20,
+//     seeded randomly. Deterministic code must thread a *rand.Rand
+//     created by rand.New(rand.NewSource(seed)).
+//   - range over a map: iteration order is deliberately randomised by
+//     the runtime, so any output derived from it is order-unstable.
+//     Extract and sort the keys first.
+package nodeterm
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags wall-clock reads, global math/rand use and map
+// iteration in deterministic packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "nodeterm",
+	Doc: "flags time.Now, global math/rand functions and range-over-map " +
+		"in packages whose output must be reproducible from a seed",
+	Run: run,
+}
+
+// seededConstructors are the math/rand package-level functions that are
+// fine in deterministic code: they build explicitly-seeded generators
+// rather than drawing from the global one.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes a *rand.Rand; draws nothing itself
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel]
+	if !ok {
+		return
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	// Only package-level functions: methods on *rand.Rand are the
+	// deterministic alternative and must not be flagged.
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" {
+			pass.Reportf(call.Pos(),
+				"nodeterm: time.Now() in a deterministic package; derive timestamps from the simulation clock or seed, or annotate a timing-measurement site with //pubsub:allow nodeterm")
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"nodeterm: global %s.%s draws from the shared process-wide generator; thread a *rand.Rand from rand.New(rand.NewSource(seed)) instead",
+				fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+func checkRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); ok {
+		pass.Reportf(rng.Pos(),
+			"nodeterm: map iteration order is randomised by the runtime; collect and sort the keys before iterating (or annotate order-independent aggregation with //pubsub:allow nodeterm)")
+	}
+}

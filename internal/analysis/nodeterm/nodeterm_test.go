@@ -1,0 +1,11 @@
+package nodeterm
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestNodeterm(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/nodeterm", "fixture/nodeterm", Analyzer)
+}

@@ -1,0 +1,36 @@
+// Package fixture exercises the halfopen analyzer: raw composite
+// literals of geometry.Interval / geometry.Rect must be flagged outside
+// the geometry package; the validating constructors must not.
+package fixture
+
+import "repro/internal/geometry"
+
+func rawInterval() geometry.Interval {
+	return geometry.Interval{Lo: 0, Hi: 1} // want `halfopen: composite literal of geometry\.Interval`
+}
+
+func rawRect() geometry.Rect {
+	// The nested Interval literals are part of the same defect: one
+	// diagnostic for the outer literal only.
+	return geometry.Rect{{Lo: 0, Hi: 1}, {Lo: 2, Hi: 3}} // want `halfopen: composite literal of geometry\.Rect`
+}
+
+func constructorsAreFine() geometry.Rect {
+	full := geometry.FullInterval()
+	r := geometry.NewRect(0, 1, 2, 3)
+	r = append(r, geometry.NewInterval(4, 5), full)
+	return geometry.RectOf(r...)
+}
+
+func assemblyViaMakeIsFine(dims int) geometry.Rect {
+	r := make(geometry.Rect, dims)
+	for i := range r {
+		r[i] = geometry.NewInterval(float64(i), float64(i+1))
+	}
+	return r
+}
+
+func suppressed() geometry.Interval {
+	//pubsub:allow halfopen -- fixture: literal kept to exercise the directive
+	return geometry.Interval{Lo: 7, Hi: 8}
+}

@@ -1,0 +1,119 @@
+// Package fixture exercises the locksafe analyzer: blocking operations
+// while a mutex is held must be flagged; lock-free blocking, goroutine
+// bodies and non-blocking selects must not.
+package fixture
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+type pump struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	ch   chan int
+	conn net.Conn
+	wg   sync.WaitGroup
+}
+
+func (p *pump) sendUnderLock() {
+	p.mu.Lock()
+	p.ch <- 1 // want `locksafe: channel send while p\.mu is held`
+	p.mu.Unlock()
+}
+
+func (p *pump) recvUnderDeferredUnlock() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return <-p.ch // want `locksafe: channel receive while p\.mu is held`
+}
+
+func (p *pump) sleepUnderRLock() {
+	p.rw.RLock()
+	time.Sleep(time.Millisecond) // want `locksafe: call to time\.Sleep while p\.rw is held`
+	p.rw.RUnlock()
+}
+
+func (p *pump) selectNoDefaultUnderLock() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select { // want `locksafe: select without default while p\.mu is held`
+	case v := <-p.ch:
+		_ = v
+	case p.ch <- 2:
+	}
+}
+
+func (p *pump) nonblockingSelectIsFine() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case p.ch <- 3:
+	default:
+	}
+}
+
+func (p *pump) connWriteUnderLock() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, err := p.conn.Write([]byte("x")) // want `locksafe: Write on interface value`
+	return err
+}
+
+func (p *pump) ioUnderLock(r io.Reader, buf []byte) {
+	p.mu.Lock()
+	_, _ = io.ReadFull(r, buf) // want `locksafe: call to io\.ReadFull while p\.mu is held`
+	p.mu.Unlock()
+}
+
+func (p *pump) waitUnderLock() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wg.Wait() // want `locksafe: call to WaitGroup\.Wait while p\.mu is held`
+}
+
+// block is a helper that blocks on its own; callers holding a lock must
+// be flagged at the call site via the package fixpoint.
+func (p *pump) block() {
+	<-p.ch
+}
+
+func (p *pump) callsBlockingHelperUnderLock() {
+	p.mu.Lock()
+	p.block() // want `locksafe: call to block, which blocks`
+	p.mu.Unlock()
+}
+
+func (p *pump) unlockedBranchIsTracked(closed bool) {
+	p.mu.Lock()
+	if closed {
+		p.mu.Unlock()
+		<-p.ch // lock released on this path: no diagnostic
+		return
+	}
+	p.mu.Unlock()
+	p.ch <- 4 // released here too
+}
+
+func (p *pump) goroutineDoesNotInheritLock() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() {
+		p.ch <- 5 // separate goroutine: not under our lock
+	}()
+}
+
+func (p *pump) suppressed() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	//pubsub:allow locksafe -- fixture: bounded handoff kept under the lock on purpose
+	p.ch <- 6
+}
+
+func (p *pump) blockingWithoutLockIsFine() {
+	<-p.ch
+	time.Sleep(time.Millisecond)
+	p.wg.Wait()
+}

@@ -1,0 +1,57 @@
+// Package fixture exercises the nodeterm analyzer: wall-clock reads,
+// global math/rand draws and map iteration must be flagged in
+// deterministic code; seeded generators and sorted iteration must not.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `nodeterm: time\.Now\(\) in a deterministic package`
+}
+
+func timingMeasurement() time.Duration {
+	//pubsub:allow nodeterm -- fixture: timing measurement, not simulation state
+	start := time.Now()
+	return time.Since(start)
+}
+
+func globalRand() float64 {
+	rand.Shuffle(3, func(i, j int) {}) // want `nodeterm: global rand\.Shuffle`
+	return rand.Float64()              // want `nodeterm: global rand\.Float64`
+}
+
+func seededRandIsFine(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.5, 1, 100)
+	return rng.Float64() + float64(z.Uint64())
+}
+
+func mapIteration(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `nodeterm: map iteration order is randomised`
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortedIterationIsFine(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//pubsub:allow nodeterm -- fixture: key collection is order-independent
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sliceIterationIsFine(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

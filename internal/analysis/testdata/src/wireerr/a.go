@@ -1,0 +1,40 @@
+// Package fixture exercises wireerr rule 1: error returns from calls
+// into internal/wire must not be dropped by a bare statement, go or
+// defer anywhere in the module. Explicit discards and handled errors
+// stay legal, as do drops of non-wire errors (outside strict packages).
+package fixture
+
+import (
+	"bytes"
+
+	"repro/internal/wire"
+)
+
+func bareFrameWrite(buf *bytes.Buffer, m *wire.Message) {
+	wire.WriteMessage(buf, m) // want `wireerr: error result of wire\.WriteMessage dropped by a bare statement`
+}
+
+func deferredClose(c *wire.Client) {
+	defer c.Close() // want `wireerr: error result of \(\*repro/internal/wire\.Client\)\.Close dropped by defer`
+}
+
+func goroutineUnsubscribe(c *wire.Client, id int) {
+	go c.Unsubscribe(id) // want `wireerr: error result of \(\*repro/internal/wire\.Client\)\.Unsubscribe dropped by go`
+}
+
+func checkedIsFine(buf *bytes.Buffer, m *wire.Message) error {
+	return wire.WriteMessage(buf, m)
+}
+
+func explicitDiscardIsFine(c *wire.Client) {
+	_ = c.Close()
+}
+
+func nonWireDropIsFineHere(buf *bytes.Buffer) {
+	buf.WriteByte('x')
+}
+
+func suppressed(c *wire.Client) {
+	//pubsub:allow wireerr -- fixture: teardown path, close error is unactionable
+	c.Close()
+}

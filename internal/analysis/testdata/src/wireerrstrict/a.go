@@ -1,0 +1,28 @@
+// Package fixture exercises wireerr rule 2: inside a strict package
+// (the test registers this fixture's path in StrictPackages) every
+// implicitly dropped error is flagged, not just wire API calls.
+package fixture
+
+import "bytes"
+
+func bareLocalDrop(buf *bytes.Buffer) {
+	buf.WriteByte('x') // want `wireerr: error result of WriteByte dropped by a bare statement`
+}
+
+func funcValueIsOutOfScope(f func() error) {
+	// A function-typed value is not a *types.Func; the analyzer only
+	// resolves named functions and methods.
+	f()
+}
+
+func noErrorResultIsFine(buf *bytes.Buffer) {
+	buf.Reset()
+}
+
+func checkedIsFine(buf *bytes.Buffer) error {
+	return buf.WriteByte('y')
+}
+
+func explicitDiscardIsFine(buf *bytes.Buffer) {
+	_ = buf.WriteByte('z')
+}

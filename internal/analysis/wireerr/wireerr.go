@@ -1,0 +1,139 @@
+// Package wireerr flags silently dropped errors around the wire
+// protocol layer.
+//
+// Two rules:
+//
+//  1. Everywhere in the module: a call into internal/wire whose results
+//     include an error (frame writes, Close, round trips, ...) must not
+//     appear as a bare statement — the stream is poisoned or the
+//     connection leaked exactly when such an error fires.
+//  2. Inside the packages listed in StrictPackages (internal/wire
+//     itself): every error-returning call is held to the same standard,
+//     whoever it belongs to. Network code does not get to ignore
+//     errors implicitly.
+//
+// Deliberate discards stay legal and visible: assign to the blank
+// identifier ("_ = conn.Close()").
+package wireerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// WirePath is the import path of the protected protocol package.
+const WirePath = "repro/internal/wire"
+
+// StrictPackages lists package paths in which rule 2 applies: every
+// implicitly dropped error is flagged, not just wire API calls. Tests
+// may add fixture paths.
+var StrictPackages = map[string]bool{
+	WirePath: true,
+}
+
+// Analyzer flags implicitly dropped errors from wire API calls
+// (everywhere) and from any call (inside StrictPackages).
+var Analyzer = &analysis.Analyzer{
+	Name: "wireerr",
+	Doc: "flags error returns from internal/wire frame writes and Close " +
+		"that are dropped by a bare statement; handle them or discard " +
+		"explicitly with _ =",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	strict := StrictPackages[pass.Pkg.Path()]
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var how string
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+				how = "dropped by a bare statement"
+			case *ast.GoStmt:
+				call = n.Call
+				how = "dropped by go"
+			case *ast.DeferStmt:
+				call = n.Call
+				how = "dropped by defer"
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			check(pass, call, strict, how)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func check(pass *analysis.Pass, call *ast.CallExpr, strict bool, how string) {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !returnsError(sig) {
+		return
+	}
+	fromWire := fn.Pkg() != nil && fn.Pkg().Path() == WirePath
+	if !fromWire && !strict {
+		return
+	}
+	what := fn.Name()
+	if fromWire {
+		what = "wire." + what
+		if recv := sig.Recv(); recv != nil {
+			what = fn.FullName()
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"wireerr: error result of %s %s; handle it or discard explicitly with _ =",
+		what, how)
+}
+
+// calleeFunc resolves the called function or method, or nil for
+// builtins, function-typed variables and type conversions.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj, ok := pass.TypesInfo.Uses[id]
+	if !ok {
+		return nil
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// returnsError reports whether any result of the signature is exactly
+// the built-in error type.
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() == nil && obj.Name() == "error"
+}

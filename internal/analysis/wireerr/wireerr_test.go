@@ -1,0 +1,18 @@
+package wireerr
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestWireerr(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/wireerr", "fixture/wireerr", Analyzer)
+}
+
+func TestWireerrStrict(t *testing.T) {
+	const path = "fixture/wireerrstrict"
+	StrictPackages[path] = true
+	defer delete(StrictPackages, path)
+	analysistest.Run(t, "../testdata/src/wireerrstrict", path, Analyzer)
+}

@@ -211,6 +211,8 @@ type Subscription struct {
 	policy       OverflowPolicy
 	blockTimeout time.Duration
 	once         sync.Once
+	sendMu       sync.Mutex // serialises deliveries with channel close
+	closed       bool       // guarded by sendMu; true once ch is closed
 	dropCt       atomic.Uint64
 	highWater    atomic.Int64
 	lastDrop     atomic.Int64 // unix nanos
@@ -282,6 +284,17 @@ func (s *Subscription) noteDrop() {
 	s.b.lastDrop.Store(now)
 }
 
+// closeCh closes the event channel, serialised against in-flight
+// deliveries so a concurrent Publish can never send on a closed
+// channel. Callers guarantee it runs at most once (via s.once or the
+// broker's closed flag).
+func (s *Subscription) closeCh() {
+	s.sendMu.Lock()
+	s.closed = true
+	close(s.ch)
+	s.sendMu.Unlock()
+}
+
 // Cancel removes the subscription and closes its channel. It is
 // idempotent and safe to call concurrently with Publish.
 func (s *Subscription) Cancel() {
@@ -296,7 +309,7 @@ func (s *Subscription) Cancel() {
 			for _, r := range s.rects {
 				s.b.dyn.Delete(s.id, r)
 			}
-			close(s.ch)
+			s.closeCh()
 			return
 		}
 		// Rectangles indexed in base become stale; overlay entries are
@@ -313,7 +326,7 @@ func (s *Subscription) Cancel() {
 		s.b.overlay = kept
 		s.b.stale += len(s.rects) - removed
 		s.b.maybeRebuildLocked()
-		close(s.ch)
+		s.closeCh()
 	})
 }
 
@@ -456,9 +469,14 @@ func (b *Broker) maybeRebuildLocked() {
 // the caller may reuse its buffer immediately; subscribers of one
 // publication share the clone and must treat it as read-only.
 func (b *Broker) Publish(p geometry.Point, payload []byte) (int, error) {
+	// Match under the read lock, then deliver outside it: delivery can
+	// block (Block policy waits for buffer space), and holding b.mu
+	// through it would stall Cancel, Close and Subscribe for the whole
+	// wait. Subscriptions cancelled after the snapshot are caught by
+	// deliver's per-subscription closed check.
 	b.mu.RLock()
-	defer b.mu.RUnlock()
 	if b.closed {
+		b.mu.RUnlock()
 		return 0, fmt.Errorf("broker: closed")
 	}
 	ev := Event{Point: p.Clone(), Seq: b.seq.Add(1)}
@@ -481,6 +499,7 @@ func (b *Broker) Publish(p geometry.Point, payload []byte) (int, error) {
 		}
 		b.overlay.MatchFunc(p, collect)
 	}
+	b.mu.RUnlock()
 
 	if len(targets) > 0 && payload != nil {
 		ev.Payload = append([]byte(nil), payload...)
@@ -496,11 +515,17 @@ func (b *Broker) Publish(p geometry.Point, payload []byte) (int, error) {
 }
 
 // deliver sends ev to one subscription, applying its overflow policy
-// when the buffer is full. Caller holds b.mu.RLock, which excludes
-// concurrent channel close (Cancel and Close take the write lock).
+// when the buffer is full. It runs outside b.mu; s.sendMu excludes a
+// concurrent channel close (closeCh), and the closed check skips
+// subscriptions cancelled after the publisher snapshotted its targets.
 func (b *Broker) deliver(s *Subscription, ev Event) bool {
 	if s.evicting.Load() {
 		return false // CancelSlow eviction pending
+	}
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if s.closed {
+		return false
 	}
 	select {
 	case s.ch <- ev:
@@ -510,9 +535,10 @@ func (b *Broker) deliver(s *Subscription, ev Event) bool {
 	}
 	switch s.policy {
 	case DropOldest:
-		// Evict buffered events until the new one fits. Concurrent
-		// publishers may interleave here; every iteration either sends
-		// or removes one event, so the loop terminates.
+		// Evict buffered events until the new one fits. sendMu keeps
+		// other publishers out, but the consumer drains concurrently;
+		// every iteration either sends or removes one event, so the
+		// loop terminates.
 		for {
 			select {
 			case <-s.ch:
@@ -529,6 +555,7 @@ func (b *Broker) deliver(s *Subscription, ev Event) bool {
 	case Block:
 		t := time.NewTimer(s.blockTimeout)
 		defer t.Stop()
+		//pubsub:allow locksafe -- bounded wait (blockTimeout) under the per-subscription sendMu only; b.mu is not held
 		select {
 		case s.ch <- ev:
 			s.noteDepth()
@@ -541,8 +568,8 @@ func (b *Broker) deliver(s *Subscription, ev Event) bool {
 		s.noteDrop()
 		if s.evicting.CompareAndSwap(false, true) {
 			b.evicted.Add(1)
-			// Cancel needs the write lock; we hold the read lock, so
-			// evict from a fresh goroutine.
+			// Cancel closes the channel via closeCh, which needs the
+			// sendMu we hold; evict from a fresh goroutine.
 			go s.Cancel()
 		}
 		return false
@@ -589,7 +616,7 @@ func (b *Broker) Close() {
 	}
 	b.closed = true
 	for id, s := range b.subs {
-		close(s.ch)
+		s.closeCh()
 		delete(b.subs, id)
 	}
 	b.base = nil

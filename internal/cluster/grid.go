@@ -85,7 +85,7 @@ func (g *Grid) CellRect(flat int) geometry.Rect {
 		i := flat % g.res
 		flat /= g.res
 		lo := g.domain[d].Lo + float64(i)*g.widths[d]
-		r[d] = geometry.Interval{Lo: lo, Hi: lo + g.widths[d]}
+		r[d] = geometry.NewInterval(lo, lo+g.widths[d])
 	}
 	return r
 }

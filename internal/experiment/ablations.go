@@ -67,7 +67,7 @@ func randomRects(rng *rand.Rand, k, n int) []geometry.Rect {
 		r := make(geometry.Rect, n)
 		for d := range r {
 			lo := rng.Float64() * 95
-			r[d] = geometry.Interval{Lo: lo, Hi: lo + 0.5 + rng.Float64()*10}
+			r[d] = geometry.NewInterval(lo, lo+0.5+rng.Float64()*10)
 		}
 		out[i] = r
 	}
@@ -96,6 +96,7 @@ func AblMatchScaling(cfg MatchScaleConfig) ([]MatchScalePoint, error) {
 				queries[i] = p
 			}
 			for _, alg := range []match.Algorithm{match.AlgSTree, match.AlgHilbertRTree, match.AlgDynamicRTree, match.AlgPredCount, match.AlgBruteForce} {
+				//pubsub:allow nodeterm -- wall-clock here measures build cost, it never feeds simulation state
 				start := time.Now()
 				m, err := match.New(subs, match.Options{Algorithm: alg})
 				if err != nil {
@@ -104,6 +105,7 @@ func AblMatchScaling(cfg MatchScaleConfig) ([]MatchScalePoint, error) {
 				build := time.Since(start)
 
 				var visited, matches float64
+				//pubsub:allow nodeterm -- wall-clock here measures query latency, it never feeds simulation state
 				start = time.Now()
 				for _, q := range queries {
 					matches += float64(m.Count(q))
@@ -222,6 +224,7 @@ func ablStreeParams(seed int64, mk func(float64) stree.Options, params []float64
 	var out []StreeParamPoint
 	for i, p := range params {
 		opts := mk(p)
+		//pubsub:allow nodeterm -- wall-clock here measures build cost, it never feeds simulation state
 		start := time.Now()
 		t, err := stree.Build(entries, opts)
 		if err != nil {
@@ -229,6 +232,7 @@ func ablStreeParams(seed int64, mk func(float64) stree.Options, params []float64
 		}
 		build := time.Since(start)
 		var visited float64
+		//pubsub:allow nodeterm -- wall-clock here measures query latency, it never feeds simulation state
 		start = time.Now()
 		for _, q := range queries {
 			_, qs := t.PointQueryStats(q)
@@ -317,6 +321,7 @@ func AblClusterAlgos(seed int64, groups int) ([]ClusterAlgoPoint, error) {
 
 	var out []ClusterAlgoPoint
 	for _, alg := range []cluster.Algorithm{cluster.AlgForgyKMeans, cluster.AlgBatchKMeans, cluster.AlgPairwise, cluster.AlgMST} {
+		//pubsub:allow nodeterm -- wall-clock here measures clustering cost, it never feeds simulation state
 		start := time.Now()
 		clu, err := cluster.Build(interests, model, tb.Space.Domain, cluster.Config{
 			Groups: groups, Algorithm: alg,

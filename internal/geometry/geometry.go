@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"repro/internal/invariant"
 )
 
 // Point is a publication event: a single location in the N-dimensional
@@ -42,6 +44,18 @@ func (p Point) String() string {
 type Interval struct {
 	Lo float64 // open lower bound
 	Hi float64 // closed upper bound
+}
+
+// NewInterval returns the half-open interval (lo, hi]. It is the
+// validating constructor other packages must use instead of a raw
+// composite literal (enforced by the halfopen analyzer): NaN bounds are
+// rejected as a programming error. An inverted pair (hi <= lo) is legal
+// and yields an empty interval, which callers detect with Empty.
+func NewInterval(lo, hi float64) Interval {
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		panic("geometry: NewInterval called with a NaN bound")
+	}
+	return Interval{Lo: lo, Hi: hi}
 }
 
 // FullInterval is the interval covering the whole real axis. It models the
@@ -140,7 +154,19 @@ func NewRect(bounds ...float64) Rect {
 	}
 	r := make(Rect, len(bounds)/2)
 	for i := range r {
-		r[i] = Interval{Lo: bounds[2*i], Hi: bounds[2*i+1]}
+		r[i] = NewInterval(bounds[2*i], bounds[2*i+1])
+	}
+	return r
+}
+
+// RectOf builds a rectangle directly from per-dimension intervals,
+// validating each bound like NewInterval. It is the constructor to use
+// when some dimensions come from the interval helpers (FullInterval,
+// AtLeast, AtMost) rather than from raw lo/hi pairs.
+func RectOf(ivs ...Interval) Rect {
+	r := make(Rect, len(ivs))
+	for i, iv := range ivs {
+		r[i] = NewInterval(iv.Lo, iv.Hi)
 	}
 	return r
 }
@@ -227,6 +253,8 @@ func (r Rect) Intersects(o Rect) bool {
 // Intersect returns the overlap of the two rectangles. The result is empty
 // when they do not intersect. The inputs must share dimensionality.
 func (r Rect) Intersect(o Rect) Rect {
+	invariant.Assertf(len(r) == len(o),
+		"geometry: Intersect of mismatched dimensionality %d vs %d", len(r), len(o))
 	out := make(Rect, len(r))
 	for i, iv := range r {
 		out[i] = iv.Intersect(o[i])
@@ -243,6 +271,8 @@ func (r Rect) Union(o Rect) Rect {
 	case o.Empty():
 		return r.Clone()
 	}
+	invariant.Assertf(len(r) == len(o),
+		"geometry: Union of mismatched dimensionality %d vs %d", len(r), len(o))
 	out := make(Rect, len(r))
 	for i, iv := range r {
 		out[i] = iv.Union(o[i])
@@ -260,6 +290,8 @@ func (r Rect) ExpandInPlace(o Rect) {
 		copy(r, o)
 		return
 	}
+	invariant.Assertf(len(r) == len(o),
+		"geometry: ExpandInPlace with mismatched dimensionality %d vs %d", len(r), len(o))
 	for i := range r {
 		r[i] = r[i].Union(o[i])
 	}

@@ -1,0 +1,22 @@
+//go:build invariants
+
+// Package invariant provides structural assertions that compile to
+// nothing in normal builds. Building with -tags=invariants turns them
+// into panics, and the CI invariants job runs the index tests that way:
+// every tree built during those tests is deep-checked (MBR containment,
+// branch-factor bounds, skew limits) at construction time.
+package invariant
+
+import "fmt"
+
+// Enabled reports whether assertions are compiled in. Callers use it to
+// gate validation passes that are too expensive to even reach Assertf
+// in normal builds.
+const Enabled = true
+
+// Assertf panics with a formatted message when cond is false.
+func Assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic("invariant: " + fmt.Sprintf(format, args...))
+	}
+}

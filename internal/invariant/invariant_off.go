@@ -1,0 +1,12 @@
+//go:build !invariants
+
+// Package invariant provides structural assertions that compile to
+// nothing in normal builds; see invariant.go for the enabled variant.
+package invariant
+
+// Enabled reports whether assertions are compiled in. In normal builds
+// it is a constant false, so gated validation code is dead-stripped.
+const Enabled = false
+
+// Assertf does nothing in normal builds.
+func Assertf(bool, string, ...any) {}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/geometry"
+	"repro/internal/invariant"
 )
 
 // Dynamic is an insert/delete-capable R-tree (Guttman-style, quadratic
@@ -77,6 +78,10 @@ func (t *Dynamic) Insert(e Entry) error {
 		}
 	}
 	t.size++
+	if invariant.Enabled {
+		err := t.checkInvariants()
+		invariant.Assertf(err == nil, "rtree.Insert broke the tree: %v", err)
+	}
 	return nil
 }
 
@@ -301,6 +306,10 @@ func (t *Dynamic) Delete(id int, r geometry.Rect) bool {
 			continue
 		}
 		break
+	}
+	if invariant.Enabled {
+		err := t.checkInvariants()
+		invariant.Assertf(err == nil, "rtree.Delete broke the tree: %v", err)
 	}
 	return true
 }

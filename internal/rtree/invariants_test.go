@@ -1,0 +1,73 @@
+//go:build invariants
+
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geometry"
+)
+
+// With -tags=invariants every packed Build and every Dynamic
+// Insert/Delete deep-checks the tree, so these tests drive the
+// mutation space: any structural violation panics.
+
+func randomRect(rng *rand.Rand, dims int) geometry.Rect {
+	r := make(geometry.Rect, dims)
+	for d := range r {
+		lo := rng.Float64()*200 - 100
+		r[d] = geometry.NewInterval(lo, lo+0.1+rng.Float64()*20)
+	}
+	return r
+}
+
+func TestInvariantsRandomizedPackedBuilds(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{1, 2, 39, 40, 41, 80, 500, 1600} {
+		for _, m := range []int{2, 3, 8, 40} {
+			entries := make([]Entry, n)
+			dims := 1 + rng.Intn(4)
+			for i := range entries {
+				entries[i] = Entry{Rect: randomRect(rng, dims), ID: i}
+			}
+			tr := MustBuild(entries, Options{BranchFactor: m})
+			if tr.Len() != n {
+				t.Fatalf("n=%d m=%d: Len() = %d", n, m, tr.Len())
+			}
+		}
+	}
+}
+
+func TestInvariantsRandomizedDynamicChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, m := range []int{4, 6, 8} {
+		d := MustNewDynamic(m)
+		type live struct {
+			id int
+			r  geometry.Rect
+		}
+		var pop []live
+		nextID := 0
+		for op := 0; op < 2000; op++ {
+			if len(pop) == 0 || rng.Float64() < 0.6 {
+				r := randomRect(rng, 2)
+				if err := d.Insert(Entry{Rect: r, ID: nextID}); err != nil {
+					t.Fatalf("m=%d op %d: Insert: %v", m, op, err)
+				}
+				pop = append(pop, live{id: nextID, r: r})
+				nextID++
+			} else {
+				i := rng.Intn(len(pop))
+				if !d.Delete(pop[i].id, pop[i].r) {
+					t.Fatalf("m=%d op %d: Delete(%d) found nothing", m, op, pop[i].id)
+				}
+				pop[i] = pop[len(pop)-1]
+				pop = pop[:len(pop)-1]
+			}
+			if d.Len() != len(pop) {
+				t.Fatalf("m=%d op %d: Len() = %d, want %d", m, op, d.Len(), len(pop))
+			}
+		}
+	}
+}

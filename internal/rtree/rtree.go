@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/geometry"
+	"repro/internal/invariant"
 )
 
 // Entry is one indexed rectangle with its caller-assigned identifier.
@@ -84,6 +85,10 @@ func Build(entries []Entry, opts Options) (*Tree, error) {
 		level = packInternal(level, opts.BranchFactor)
 	}
 	t.root = level[0]
+	if invariant.Enabled {
+		err := t.checkInvariants(opts.BranchFactor)
+		invariant.Assertf(err == nil, "rtree.Build produced an invalid tree: %v", err)
+	}
 	return t, nil
 }
 
@@ -114,7 +119,7 @@ func hilbertSort(entries []Entry) []Entry {
 		if hi <= lo {
 			hi = lo + 1
 		}
-		frame[d] = geometry.Interval{Lo: lo, Hi: hi}
+		frame[d] = geometry.NewInterval(lo, hi)
 	}
 
 	type keyed struct {

@@ -1,0 +1,76 @@
+package rtree
+
+import (
+	"fmt"
+
+	"repro/internal/geometry"
+)
+
+// checkInvariants verifies the packed tree's structure: exact MBRs,
+// branch-factor bounds, uniform leaf depth and the Hilbert-packing
+// property that at most one leaf is non-full. It is used by tests and,
+// under -tags=invariants, by Build itself.
+func (t *Tree) checkInvariants(m int) error {
+	if t.root == nil {
+		if t.size != 0 {
+			return fmt.Errorf("rtree: nil root with size %d", t.size)
+		}
+		return nil
+	}
+	count, nonFull, leafDepth := 0, 0, -1
+	var walk func(n *node, depth int) error
+	walk = func(n *node, depth int) error {
+		if n.isLeaf() {
+			if len(n.entries) == 0 {
+				return fmt.Errorf("rtree: empty leaf")
+			}
+			if len(n.entries) > m {
+				return fmt.Errorf("rtree: leaf overflow %d > M=%d", len(n.entries), m)
+			}
+			if len(n.entries) < m {
+				nonFull++
+			}
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				return fmt.Errorf("rtree: leaves at depths %d and %d", leafDepth, depth)
+			}
+			count += len(n.entries)
+			rects := make([]geometry.Rect, len(n.entries))
+			for i, e := range n.entries {
+				rects[i] = e.Rect
+			}
+			if !n.mbr.Equal(geometry.BoundingBox(rects...)) {
+				return fmt.Errorf("rtree: leaf MBR %v != bounding box of entries", n.mbr)
+			}
+			return nil
+		}
+		if len(n.children) == 0 || len(n.children) > m {
+			return fmt.Errorf("rtree: internal node with %d children, M=%d", len(n.children), m)
+		}
+		var mbr geometry.Rect
+		for _, c := range n.children {
+			if !n.mbr.ContainsRect(c.mbr) {
+				return fmt.Errorf("rtree: child MBR %v escapes parent %v", c.mbr, n.mbr)
+			}
+			mbr = mbr.Union(c.mbr)
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		if !n.mbr.Equal(mbr) {
+			return fmt.Errorf("rtree: node MBR %v != union of children %v", n.mbr, mbr)
+		}
+		return nil
+	}
+	if err := walk(t.root, 0); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("rtree: tree holds %d entries, size says %d", count, t.size)
+	}
+	if nonFull > 1 {
+		return fmt.Errorf("rtree: %d non-full leaves; Hilbert packing allows at most one", nonFull)
+	}
+	return nil
+}

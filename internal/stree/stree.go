@@ -32,6 +32,7 @@ import (
 	"sort"
 
 	"repro/internal/geometry"
+	"repro/internal/invariant"
 )
 
 // Entry is one indexed subscription: its rectangle and caller-assigned
@@ -146,6 +147,10 @@ func Build(entries []Entry, opts Options) (*Tree, error) {
 	root := b.binarize(own)
 	compress(root, opts.BranchFactor)
 	t.root = root
+	if invariant.Enabled {
+		err := t.checkInvariants()
+		invariant.Assertf(err == nil, "stree.Build produced an invalid tree: %v", err)
+	}
 	return t, nil
 }
 
@@ -184,12 +189,12 @@ func finiteFrame(entries []Entry) geometry.Rect {
 			}
 		}
 		if math.IsInf(lo, 0) || math.IsInf(hi, 0) || hi <= lo {
-			frame[d] = geometry.Interval{Lo: 0, Hi: 1}
+			frame[d] = geometry.NewInterval(0, 1)
 			continue
 		}
 		// Pad so clamped unbounded sides still dominate bounded ones.
 		pad := (hi - lo) * 0.1
-		frame[d] = geometry.Interval{Lo: lo - pad, Hi: hi + pad}
+		frame[d] = geometry.NewInterval(lo-pad, hi+pad)
 	}
 	return frame
 }
@@ -278,6 +283,8 @@ func (b *builder) bestSplit(entries []Entry) int {
 			bestQ, bestVol, bestPerim = q, vol, perim
 		}
 	}
+	invariant.Assertf(bestQ >= qmin && bestQ <= qmax && bestQ < n,
+		"stree: split point %d outside skew bounds [%d, %d], n=%d", bestQ, qmin, qmax, n)
 	return bestQ
 }
 

@@ -79,6 +79,7 @@ func (c *Client) readLoop() {
 			// Server-side keepalive probe: answer so an idle but live
 			// connection is not evicted by the server's idle timeout.
 			c.writeMu.Lock()
+			//pubsub:allow locksafe -- single small pong frame; writeMu exists precisely to order frames on the wire
 			_ = WriteMessage(c.conn, &Message{Type: TypePong})
 			c.writeMu.Unlock()
 		}
@@ -91,11 +92,13 @@ func (c *Client) roundTrip(req *Message) (*Message, error) {
 	defer c.reqMu.Unlock()
 
 	c.writeMu.Lock()
+	//pubsub:allow locksafe -- the frame write under writeMu is the protocol's serialization point
 	err := WriteMessage(c.conn, req)
 	c.writeMu.Unlock()
 	if err != nil {
 		return nil, err
 	}
+	//pubsub:allow locksafe -- the reply wait must stay under reqMu: one request in flight, replies in order
 	select {
 	case reply := <-c.replies:
 		if reply.Type == TypeError {

@@ -163,6 +163,7 @@ func (rc *ReconnectingClient) resubscribe(cli *Client) bool {
 		return false
 	}
 	for _, rs := range rc.subs {
+		//pubsub:allow locksafe -- replay must complete under rc.mu so no new Subscribe interleaves with it
 		sid, err := cli.Subscribe(rs.rects...)
 		if err != nil {
 			return false
@@ -188,6 +189,7 @@ func (rc *ReconnectingClient) Subscribe(rects ...geometry.Rect) (int, error) {
 	if rc.closed {
 		return 0, fmt.Errorf("wire: client closed")
 	}
+	//pubsub:allow locksafe -- the round trip stays under rc.mu to keep the replay set consistent with the server
 	sid, err := rc.cur.Subscribe(owned...)
 	if err != nil {
 		return 0, err
@@ -214,6 +216,7 @@ func (rc *ReconnectingClient) Unsubscribe(handle int) error {
 		return fmt.Errorf("wire: no subscription with handle %d", handle)
 	}
 	delete(rc.subs, handle)
+	//pubsub:allow locksafe -- best-effort round trip under rc.mu keeps the replay set consistent
 	_ = rc.cur.Unsubscribe(rs.serverID) // best-effort on a possibly dead conn
 	return nil
 }

@@ -236,6 +236,7 @@ func (cs *connState) write(m *Message) error {
 	if cs.opts.WriteTimeout > 0 {
 		_ = cs.conn.SetWriteDeadline(time.Now().Add(cs.opts.WriteTimeout))
 	}
+	//pubsub:allow locksafe -- frame write under writeMu is bounded by WriteTimeout; it is the serialization point
 	err := WriteMessage(cs.conn, m)
 	if err != nil {
 		_ = cs.conn.Close()

@@ -79,7 +79,7 @@ func WireToRect(w Rect) (geometry.Rect, error) {
 		if iv.Hi != nil {
 			hi = *iv.Hi
 		}
-		r[i] = geometry.Interval{Lo: lo, Hi: hi}
+		r[i] = geometry.NewInterval(lo, hi)
 		if r[i].Empty() {
 			return nil, fmt.Errorf("wire: dimension %d is empty: (%v, %v]", i, lo, hi)
 		}

@@ -77,7 +77,7 @@ func (p IntervalParams) SampleInterval(rng *rand.Rand, domain geometry.Interval)
 	default:
 		center := Normal{Mu: p.Mu3, Sigma: p.Sigma3}.Sample(rng)
 		length := Pareto{C: p.ParetoScale, Alpha: p.ParetoAlpha}.Sample(rng)
-		iv := geometry.Interval{Lo: center - length/2, Hi: center + length/2}
+		iv := geometry.NewInterval(center-length/2, center+length/2)
 		return iv.Clamp(domain)
 	}
 }
@@ -260,16 +260,16 @@ func GenerateSubscriptions(g *topology.Graph, space Space, cfg SubscriptionConfi
 			// bst: a single category.
 			switch SampleIndex(rng, cfg.BSTProbs[:]) {
 			case 0:
-				rect[DimBST] = geometry.Interval{Lo: 0, Hi: 1}
+				rect[DimBST] = geometry.NewInterval(0, 1)
 			case 1:
-				rect[DimBST] = geometry.Interval{Lo: 1, Hi: 2}
+				rect[DimBST] = geometry.NewInterval(1, 2)
 			default:
-				rect[DimBST] = geometry.Interval{Lo: 2, Hi: 3}
+				rect[DimBST] = geometry.NewInterval(2, 3)
 			}
 			// name: normal center around the block's mean, Zipf-like length.
 			center := Normal{Mu: cfg.NameBlockMeans[b], Sigma: cfg.NameSigma}.Sample(rng)
 			length := float64(SampleIndex(rng, nameLengthWeights) + 1)
-			rect[DimName] = geometry.Interval{Lo: center - length/2, Hi: center + length/2}.Clamp(domain[DimName])
+			rect[DimName] = geometry.NewInterval(center-length/2, center+length/2).Clamp(domain[DimName])
 			// quote and volume: the parametric table.
 			rect[DimQuote] = cfg.Price.SampleInterval(rng, domain[DimQuote])
 			rect[DimVolume] = cfg.Volume.SampleInterval(rng, domain[DimVolume])

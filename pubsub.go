@@ -44,6 +44,14 @@ type Rect = geometry.Rect
 // NewRect(lo1, hi1, lo2, hi2, ...).
 func NewRect(bounds ...float64) Rect { return geometry.NewRect(bounds...) }
 
+// NewInterval returns the validated half-open interval (lo, hi].
+func NewInterval(lo, hi float64) Interval { return geometry.NewInterval(lo, hi) }
+
+// RectOf builds a rectangle from per-dimension intervals, validating
+// each bound. Use it when mixing the interval helpers (Between,
+// Category, AtLeast, ...) into one subscription.
+func RectOf(ivs ...Interval) Rect { return geometry.RectOf(ivs...) }
+
 // FullInterval is the wildcard predicate "*": it matches any value.
 func FullInterval() Interval { return geometry.FullInterval() }
 

@@ -6,7 +6,7 @@ import (
 )
 
 // Between returns the range predicate "lo < attribute <= hi".
-func Between(lo, hi float64) Interval { return Interval{Lo: lo, Hi: hi} }
+func Between(lo, hi float64) Interval { return NewInterval(lo, hi) }
 
 // Category returns the predicate selecting the i-th value of a
 // linearised categorical attribute: the unit interval (i, i+1]. This is
@@ -14,7 +14,7 @@ func Between(lo, hi float64) Interval { return Interval{Lo: lo, Hi: hi} }
 // transaction flag onto the numeric event space ("even attributes such
 // as name ... can be indexed and therefore linearized").
 func Category(i int) Interval {
-	return Interval{Lo: float64(i), Hi: float64(i) + 1}
+	return NewInterval(float64(i), float64(i)+1)
 }
 
 // CategoryValue returns the event-space coordinate representing the i-th

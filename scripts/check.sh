@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# check.sh — the full local gate, mirroring the three CI jobs.
+#
+# Usage: ./scripts/check.sh
+#
+# Runs, in order:
+#   1. build            go build ./...
+#   2. vet suite        go run ./cmd/pubsub-vet ./...   (stock vet + custom analyzers)
+#   3. race tests       go test -race ./...
+#   4. invariant tests  go test -tags=invariants over the index/geometry packages
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> build"
+go build ./...
+
+echo "==> vet suite (stock vet + locksafe/nodeterm/halfopen/wireerr)"
+go run ./cmd/pubsub-vet ./...
+
+echo "==> tests (race)"
+go test -race ./...
+
+echo "==> structural invariants (-tags=invariants)"
+go test -tags=invariants ./internal/stree/... ./internal/rtree/... ./internal/geometry/...
+
+echo "==> all checks passed"
