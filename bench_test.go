@@ -320,3 +320,42 @@ func BenchmarkBrokerChurn(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkPublish measures the publish hot path with telemetry off
+// (must match the bare path exactly — the disabled checks are single
+// nil tests) and with a live metrics registry attached (<5% budget).
+func BenchmarkPublish(b *testing.B) {
+	tb, err := experiment.NewTestbed(experiment.TestbedConfig{}, experiment.DefaultSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := workload.MustStockPublications(9)
+	rng := rand.New(rand.NewSource(5))
+	events := make([]pubsub.Point, 1024)
+	for i := range events {
+		events[i] = model.Sample(rng)
+	}
+	for _, mode := range []struct {
+		name string
+		reg  *pubsub.MetricsRegistry
+	}{
+		{name: "disabled", reg: nil},
+		{name: "metrics", reg: pubsub.NewMetricsRegistry()},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			br := pubsub.NewBroker(pubsub.BrokerOptions{DefaultBuffer: 1, Metrics: mode.reg})
+			defer br.Close()
+			for _, s := range tb.Subs {
+				if _, err := br.Subscribe(s.Rect); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := br.Publish(events[i%len(events)], nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -8,16 +8,26 @@
 //	pubsub-bench -exp fig6 -quick    # reduced publication count
 //
 // Experiments: fig3, fig4, fig5, tbl1, fig6, abl-match, abl-skew,
-// abl-branch, abl-cluster, abl-groups.
+// abl-branch, abl-cluster, abl-groups. The extra "bench" experiment is a
+// broker publish-throughput run (not part of "all" — it measures wall
+// clock, not paper artifacts); with -json it writes a machine-readable
+// summary for trajectory tracking:
+//
+//	pubsub-bench -exp bench -json BENCH_publish.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
+	pubsub "repro"
 	"repro/internal/experiment"
 	"repro/internal/workload"
 )
@@ -32,12 +42,13 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("pubsub-bench", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "experiment id (fig3|fig4|fig5|tbl1|fig6|abl-match|abl-skew|abl-branch|abl-cluster|abl-groups|abl-mode|abl-grid|abl-publisher|abl-rule|all)")
+		exp    = fs.String("exp", "all", "experiment id (fig3|fig4|fig5|tbl1|fig6|abl-match|abl-skew|abl-branch|abl-cluster|abl-groups|abl-mode|abl-grid|abl-publisher|abl-rule|bench|all)")
 		seed   = fs.Int64("seed", experiment.DefaultSeed, "random seed for all generators")
 		pubs   = fs.Int("pubs", 10000, "publications per fig6 configuration")
 		quick  = fs.Bool("quick", false, "reduce sizes for a fast smoke run")
-		groups = fs.Bool("groups", false, "fig6: also print the per-group breakdown at the best threshold")
-		csvOut = fs.String("csv", "", "fig6: additionally write the points as CSV to this file")
+		groups  = fs.Bool("groups", false, "fig6: also print the per-group breakdown at the best threshold")
+		csvOut  = fs.String("csv", "", "fig6: additionally write the points as CSV to this file")
+		jsonOut = fs.String("json", "", "bench: additionally write the summary (ops/sec, p50/p99) as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,15 +65,17 @@ func run(args []string, w io.Writer) error {
 		if i > 0 {
 			fmt.Fprintln(w)
 		}
-		if err := runOne(id, *seed, *pubs, *quick, *groups, *csvOut, w); err != nil {
+		if err := runOne(id, *seed, *pubs, *quick, *groups, *csvOut, *jsonOut, w); err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 	}
 	return nil
 }
 
-func runOne(id string, seed int64, pubs int, quick, groups bool, csvOut string, w io.Writer) error {
+func runOne(id string, seed int64, pubs int, quick, groups bool, csvOut, jsonOut string, w io.Writer) error {
 	switch id {
+	case "bench":
+		return runPublishBench(seed, pubs, jsonOut, w)
 	case "fig3":
 		r, err := experiment.Fig3Topology(seed)
 		if err != nil {
@@ -202,6 +215,97 @@ func runOne(id string, seed int64, pubs int, quick, groups bool, csvOut string, 
 
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}
+
+// benchSummary is the machine-readable shape written by -json, intended
+// for BENCH_*.json trajectory files accumulated across commits.
+type benchSummary struct {
+	Experiment    string  `json:"experiment"`
+	Seed          int64   `json:"seed"`
+	Subscriptions int     `json:"subscriptions"`
+	Publications  int     `json:"publications"`
+	ElapsedSec    float64 `json:"elapsed_seconds"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	MeanMicros    float64 `json:"mean_us"`
+	P50Micros     float64 `json:"p50_us"`
+	P99Micros     float64 `json:"p99_us"`
+}
+
+// runPublishBench times the embeddable broker's publish path against the
+// paper's 1000-subscription testbed and reports throughput plus tail
+// latency from the individual per-publish samples.
+func runPublishBench(seed int64, pubs int, jsonOut string, w io.Writer) error {
+	tb, err := experiment.NewTestbed(experiment.TestbedConfig{}, seed)
+	if err != nil {
+		return err
+	}
+	br := pubsub.NewBroker(pubsub.BrokerOptions{DefaultBuffer: 1})
+	defer br.Close()
+	for _, s := range tb.Subs {
+		if _, err := br.Subscribe(s.Rect); err != nil {
+			return err
+		}
+	}
+	model, err := workload.StockPublications(9)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	events := make([]pubsub.Point, 1024)
+	for i := range events {
+		events[i] = model.Sample(rng)
+	}
+
+	samples := make([]time.Duration, pubs)
+	start := time.Now()
+	for i := 0; i < pubs; i++ {
+		t0 := time.Now()
+		if _, err := br.Publish(events[i%len(events)], nil); err != nil {
+			return err
+		}
+		samples[i] = time.Since(t0)
+	}
+	elapsed := time.Since(start)
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	quantile := func(q float64) float64 {
+		idx := int(q * float64(len(samples)-1))
+		return float64(samples[idx].Nanoseconds()) / 1e3
+	}
+	sum := benchSummary{
+		Experiment:    "bench",
+		Seed:          seed,
+		Subscriptions: len(tb.Subs),
+		Publications:  pubs,
+		ElapsedSec:    elapsed.Seconds(),
+		OpsPerSec:     float64(pubs) / elapsed.Seconds(),
+		MeanMicros:    float64(elapsed.Nanoseconds()) / float64(pubs) / 1e3,
+		P50Micros:     quantile(0.50),
+		P99Micros:     quantile(0.99),
+	}
+
+	fmt.Fprintf(w, "broker publish benchmark (%d subscriptions, %d publications)\n",
+		sum.Subscriptions, sum.Publications)
+	fmt.Fprintf(w, "%12s %12s %10s %10s\n", "ops/sec", "mean", "p50", "p99")
+	fmt.Fprintf(w, "%12.0f %10.1fus %8.1fus %8.1fus\n",
+		sum.OpsPerSec, sum.MeanMicros, sum.P50Micros, sum.P99Micros)
+
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote JSON summary to %s\n", jsonOut)
 	}
 	return nil
 }

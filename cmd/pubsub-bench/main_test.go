@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -47,5 +50,36 @@ func TestRunUnknownExperiment(t *testing.T) {
 	}
 	if err := run([]string{"-bogus"}, &sb); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunBenchJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var sb strings.Builder
+	if err := run([]string{"-exp", "bench", "-quick", "-json", out}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ops/sec") {
+		t.Errorf("human summary missing throughput header: %.200s", sb.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum struct {
+		Experiment   string  `json:"experiment"`
+		Publications int     `json:"publications"`
+		OpsPerSec    float64 `json:"ops_per_sec"`
+		P50          float64 `json:"p50_us"`
+		P99          float64 `json:"p99_us"`
+	}
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		t.Fatalf("summary is not JSON: %v", err)
+	}
+	if sum.Experiment != "bench" || sum.Publications != 2000 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.OpsPerSec <= 0 || sum.P50 <= 0 || sum.P99 < sum.P50 {
+		t.Errorf("implausible summary: %+v", sum)
 	}
 }

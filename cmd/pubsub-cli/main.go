@@ -8,17 +8,25 @@
 //
 //	pubsub-cli -addr localhost:7070 publish "10.5,78,2000" -payload "IBM trade"
 //
+// Fetch and pretty-print a running daemon's metrics (requires pubsubd
+// started with -metrics-addr):
+//
+//	pubsub-cli -metrics-addr localhost:9090 stats
+//
 // Rectangles are comma-separated per-dimension ranges "lo:hi"; omit a
 // bound for the corresponding infinity ("999:" means volume > 999).
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"math"
+	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -37,16 +45,20 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("pubsub-cli", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", "localhost:7070", "broker address")
-		payload = fs.String("payload", "", "payload for publish")
-		count   = fs.Int("count", 0, "subscribe: exit after this many events (0 = forever)")
+		addr        = fs.String("addr", "localhost:7070", "broker address")
+		metricsAddr = fs.String("metrics-addr", "localhost:9090", "pubsubd metrics address for the stats verb")
+		payload     = fs.String("payload", "", "payload for publish")
+		count       = fs.Int("count", 0, "subscribe: exit after this many events (0 = forever)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
+	if len(rest) >= 1 && rest[0] == "stats" {
+		return runStats(*metricsAddr, w)
+	}
 	if len(rest) < 2 {
-		return fmt.Errorf("usage: pubsub-cli [flags] subscribe|publish <spec>")
+		return fmt.Errorf("usage: pubsub-cli [flags] subscribe|publish <spec> | stats")
 	}
 	verb, spec := rest[0], rest[1]
 
@@ -99,8 +111,203 @@ func run(args []string, w io.Writer) error {
 		return nil
 
 	default:
-		return fmt.Errorf("unknown verb %q (want subscribe or publish)", verb)
+		return fmt.Errorf("unknown verb %q (want subscribe, publish or stats)", verb)
 	}
+}
+
+// runStats fetches a pubsubd /metrics endpoint and pretty-prints it.
+// addr may be host:port or a full http:// URL.
+func runStats(addr string, w io.Writer) error {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/metrics"
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return writeStats(resp.Body, w)
+}
+
+// histAcc accumulates one histogram family's exposition lines so it can
+// be summarised as count/mean plus estimated tail quantiles.
+type histAcc struct {
+	bounds []float64 // upper bucket bounds, +Inf last
+	counts []float64 // cumulative counts, parallel to bounds
+	sum    float64
+	count  float64
+}
+
+// quantile estimates q from the cumulative buckets by linear
+// interpolation inside the covering bucket; the +Inf bucket clamps to
+// the largest finite bound.
+func (h *histAcc) quantile(q float64) float64 {
+	if h.count == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	target := q * h.count
+	lo := 0.0
+	var prev float64
+	for i, c := range h.counts {
+		if c >= target {
+			hi := h.bounds[i]
+			if math.IsInf(hi, 1) {
+				if i == 0 {
+					return 0
+				}
+				return h.bounds[i-1]
+			}
+			inBucket := c - prev
+			if inBucket <= 0 {
+				return hi
+			}
+			return lo + (hi-lo)*(target-prev)/inBucket
+		}
+		prev = c
+		if !math.IsInf(h.bounds[i], 1) {
+			lo = h.bounds[i]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// writeStats parses Prometheus text exposition and renders one block per
+// family: scalars as name = value, histograms as a one-line summary.
+func writeStats(r io.Reader, w io.Writer) error {
+	var (
+		order   []string
+		help    = map[string]string{}
+		kind    = map[string]string{}
+		scalars = map[string][]string{}
+		hists   = map[string]*histAcc{}
+	)
+	inOrder := map[string]bool{}
+	seen := func(name string) {
+		if !inOrder[name] {
+			inOrder[name] = true
+			order = append(order, name)
+		}
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			restLine := strings.TrimPrefix(line, "# HELP ")
+			name, h, _ := strings.Cut(restLine, " ")
+			seen(name)
+			help[name] = h
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			restLine := strings.TrimPrefix(line, "# TYPE ")
+			name, k, _ := strings.Cut(restLine, " ")
+			seen(name)
+			kind[name] = k
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			continue
+		}
+		metric, valStr := line[:idx], line[idx+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			continue
+		}
+		name := metric
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		base, suffix := name, ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, s) && kind[strings.TrimSuffix(name, s)] == "histogram" {
+				base, suffix = strings.TrimSuffix(name, s), s
+				break
+			}
+		}
+		if suffix == "" {
+			seen(name)
+			scalars[name] = append(scalars[name], fmt.Sprintf("%s = %s", metric, valStr))
+			continue
+		}
+		h := hists[base]
+		if h == nil {
+			h = &histAcc{}
+			hists[base] = h
+		}
+		switch suffix {
+		case "_sum":
+			h.sum = val
+		case "_count":
+			h.count = val
+		case "_bucket":
+			le := math.Inf(1)
+			if i := strings.Index(metric, `le="`); i >= 0 {
+				end := strings.IndexByte(metric[i+4:], '"')
+				if end >= 0 {
+					if b, err := strconv.ParseFloat(metric[i+4:i+4+end], 64); err == nil {
+						le = b
+					}
+				}
+			}
+			h.bounds = append(h.bounds, le)
+			h.counts = append(h.counts, val)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	for _, name := range order {
+		fmt.Fprintf(w, "%s  [%s]", name, orUntyped(kind[name]))
+		if h := help[name]; h != "" {
+			fmt.Fprintf(w, "  %s", h)
+		}
+		fmt.Fprintln(w)
+		if h, ok := hists[name]; ok {
+			sort.Sort(byBound{h})
+			mean := 0.0
+			if h.count > 0 {
+				mean = h.sum / h.count
+			}
+			fmt.Fprintf(w, "  count=%g sum=%g mean=%g p50=%g p90=%g p99=%g\n",
+				h.count, h.sum, mean, h.quantile(0.50), h.quantile(0.90), h.quantile(0.99))
+			continue
+		}
+		for _, line := range scalars[name] {
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+	}
+	return nil
+}
+
+func orUntyped(k string) string {
+	if k == "" {
+		return "untyped"
+	}
+	return k
+}
+
+// byBound sorts a histogram's parallel bounds/counts slices by bound.
+type byBound struct{ h *histAcc }
+
+func (b byBound) Len() int           { return len(b.h.bounds) }
+func (b byBound) Less(i, j int) bool { return b.h.bounds[i] < b.h.bounds[j] }
+func (b byBound) Swap(i, j int) {
+	b.h.bounds[i], b.h.bounds[j] = b.h.bounds[j], b.h.bounds[i]
+	b.h.counts[i], b.h.counts[j] = b.h.counts[j], b.h.counts[i]
 }
 
 // ParseRect parses "lo:hi,lo:hi,..." with empty bounds meaning the

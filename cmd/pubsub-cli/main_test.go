@@ -1,13 +1,16 @@
 package main
 
 import (
+	"fmt"
 	"math"
 	"net"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/broker"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -155,4 +158,50 @@ func FuzzParsePoint(f *testing.F) {
 			t.Fatalf("ParsePoint(%q) = %d coords", spec, len(p))
 		}
 	})
+}
+
+func TestRunStats(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("pubsub_broker_published_total", "Publications accepted.").Add(7)
+	h := reg.Histogram("pubsub_broker_publish_seconds", "Publish latency.",
+		[]float64{0.001, 0.01, 0.1})
+	for i := 0; i < 10; i++ {
+		h.Observe(0.005)
+	}
+	srv := httptest.NewServer(telemetry.Handler(reg))
+	defer srv.Close()
+
+	var sb strings.Builder
+	if err := run([]string{"-metrics-addr", srv.URL, "stats"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "pubsub_broker_published_total  [counter]") {
+		t.Errorf("counter family missing:\n%s", out)
+	}
+	if !strings.Contains(out, "pubsub_broker_published_total = 7") {
+		t.Errorf("counter value missing:\n%s", out)
+	}
+	if !strings.Contains(out, "count=10") || !strings.Contains(out, "p99=") {
+		t.Errorf("histogram summary missing:\n%s", out)
+	}
+
+	// All ten observations landed in (0.001, 0.01]: the interpolated
+	// median must sit inside that bucket.
+	var p50 float64
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.Index(line, "p50="); i >= 0 {
+			fields := strings.Fields(line[i:])
+			if _, err := fmt.Sscanf(fields[0], "p50=%g", &p50); err != nil {
+				t.Fatalf("parse %q: %v", fields[0], err)
+			}
+		}
+	}
+	if p50 <= 0.001 || p50 > 0.01 {
+		t.Errorf("p50 = %g, want in (0.001, 0.01]", p50)
+	}
+
+	if err := run([]string{"-metrics-addr", "127.0.0.1:1", "stats"}, &sb); err == nil {
+		t.Error("stats against a closed port succeeded")
+	}
 }

@@ -3,7 +3,14 @@
 //
 // Usage:
 //
-//	pubsubd -addr :7070 -write-timeout 5s -idle-timeout 2m -overflow drop-oldest
+//	pubsubd -addr :7070 -write-timeout 5s -idle-timeout 2m -overflow drop-oldest \
+//	        -metrics-addr :9090 -log-level info -trace-sample 1000
+//
+// With -metrics-addr set the daemon serves Prometheus text exposition on
+// /metrics, expvar-style JSON on /debug/vars, and the standard pprof
+// profiles under /debug/pprof/ on a dedicated listener. -trace-sample N
+// records every Nth publication as a structured log event with per-stage
+// (match, deliver) timings.
 //
 // Stop with SIGINT/SIGTERM; the daemon drains in-flight event pumps for
 // up to -drain-timeout before closing, flushing buffered events to
@@ -14,13 +21,18 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/broker"
+	"repro/internal/dispatch"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -36,7 +48,7 @@ func run(args []string) error {
 	var (
 		addr     = fs.String("addr", ":7070", "listen address")
 		buffer   = fs.Int("buffer", 64, "default per-subscription event buffer")
-		statsInt = fs.Duration("stats", 0, "print broker stats at this interval (0 disables)")
+		statsInt = fs.Duration("stats", 0, "log broker stats at this interval (0 disables)")
 
 		overflow     = fs.String("overflow", "drop-newest", "default overflow policy: drop-newest, drop-oldest, block or cancel-slow")
 		blockTimeout = fs.Duration("block-timeout", 50*time.Millisecond, "bounded wait of the block overflow policy")
@@ -44,6 +56,10 @@ func run(args []string) error {
 		idleTO       = fs.Duration("idle-timeout", 5*time.Minute, "evict connections silent for this long (0 disables)")
 		pingInt      = fs.Duration("ping-interval", 0, "server keepalive ping interval (0 selects idle-timeout/3)")
 		drainTO      = fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain budget before hard close")
+
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty disables)")
+		logLevel    = fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		traceSample = fs.Int("trace-sample", 0, "log every Nth publication as a structured trace event (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,28 +68,73 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", *logLevel, err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+		// Pre-register the dispatch decision families so a scrape shows
+		// them zero-valued even before any in-process planner runs.
+		dispatch.RegisterDispatchMetrics(reg)
+	}
+	tracer := telemetry.NewTracer(logger, *traceSample)
 
 	b := broker.New(broker.Options{
 		DefaultBuffer: *buffer,
 		Overflow:      policy,
 		BlockTimeout:  *blockTimeout,
+		Metrics:       reg,
+		Tracer:        tracer,
 	})
 	defer b.Close()
 	srv := wire.NewServerWith(b, wire.ServerOptions{
 		WriteTimeout: *writeTO,
 		IdleTimeout:  *idleTO,
 		PingInterval: *pingInt,
+		Metrics:      reg,
 	})
+
+	if reg != nil {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", telemetry.Handler(reg))
+		mux.Handle("/debug/vars", telemetry.JSONHandler(reg))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		msrv := &http.Server{Handler: mux}
+		defer msrv.Close()
+		go func() {
+			if err := msrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				logger.Error("metrics server failed", "err", err)
+			}
+		}()
+		logger.Info("metrics listening", "addr", mln.Addr().String())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("pubsubd: listening on %s (overflow=%s write-timeout=%v idle-timeout=%v)\n",
-		ln.Addr(), policy, *writeTO, *idleTO)
+	logger.Info("listening",
+		"addr", ln.Addr().String(),
+		"overflow", policy.String(),
+		"write_timeout", *writeTO,
+		"idle_timeout", *idleTO,
+	)
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sig)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 
@@ -87,8 +148,16 @@ func run(args []string) error {
 				select {
 				case <-tick.C:
 					st := b.Stats()
-					fmt.Printf("pubsubd: subs=%d rects=%d published=%d delivered=%d dropped=%d evicted=%d hwm=%d rebuilds=%d\n",
-						st.Subscriptions, st.Rectangles, st.Published, st.Delivered, st.Dropped, st.Evicted, st.QueueHighWater, st.IndexRebuilds)
+					logger.Info("stats",
+						"subs", st.Subscriptions,
+						"rects", st.Rectangles,
+						"published", st.Published,
+						"delivered", st.Delivered,
+						"dropped", st.Dropped,
+						"evicted", st.Evicted,
+						"hwm", st.QueueHighWater,
+						"rebuilds", st.IndexRebuilds,
+					)
 				case <-stopStats:
 					return
 				}
@@ -98,15 +167,20 @@ func run(args []string) error {
 
 	select {
 	case s := <-sig:
-		fmt.Printf("pubsubd: %v, draining (up to %v)\n", s, *drainTO)
+		logger.Info("draining", "signal", s.String(), "timeout", *drainTO)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 		defer cancel()
+		abort := make(chan struct{})
+		defer close(abort)
 		go func() {
-			<-sig // a second signal aborts the drain
-			cancel()
+			select {
+			case <-sig: // a second signal aborts the drain
+				cancel()
+			case <-abort:
+			}
 		}()
 		if err := srv.Shutdown(ctx); err != nil {
-			fmt.Printf("pubsubd: drain aborted: %v\n", err)
+			logger.Warn("drain aborted", "err", err)
 			srv.Close()
 		}
 		<-done

@@ -1,10 +1,16 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
 
+	"repro/internal/geometry"
 	"repro/internal/wire"
 )
 
@@ -17,6 +23,12 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-overflow", "drop-everything"}); err == nil {
 		t.Error("bad overflow policy accepted")
+	}
+	if err := run([]string{"-log-level", "chatty"}); err == nil {
+		t.Error("bad log level accepted")
+	}
+	if err := run([]string{"-metrics-addr", "999.999.999.999:xx"}); err == nil {
+		t.Error("bad metrics address accepted")
 	}
 }
 
@@ -55,5 +67,131 @@ func TestRunServesUntilSignalled(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("daemon did not shut down on SIGTERM")
+	}
+}
+
+// httpGet fetches a URL without connection reuse, so the test's HTTP
+// goroutines cannot pollute the leak check below.
+func httpGet(t *testing.T, url string) (string, http.Header) {
+	t.Helper()
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	defer client.CloseIdleConnections()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(body), resp.Header
+}
+
+func TestRunMetricsEndpoint(t *testing.T) {
+	const (
+		addr        = "127.0.0.1:17173"
+		metricsAddr = "127.0.0.1:17174"
+	)
+	baseline := runtime.NumGoroutine()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", addr,
+			"-metrics-addr", metricsAddr,
+			"-trace-sample", "1",
+			"-log-level", "warn",
+		})
+	}()
+
+	var cli *wire.Client
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		var err error
+		cli, err = wire.Dial(addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if _, err := cli.Subscribe(geometry.NewRect(0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Publish(geometry.Point{5}, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-cli.Events():
+	case <-time.After(2 * time.Second):
+		t.Fatal("no event within deadline")
+	}
+
+	// The scrape must be Prometheus text exposition and include the
+	// broker, index, dispatch, and wire families.
+	body, hdr := httpGet(t, "http://"+metricsAddr+"/metrics")
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("metrics content type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE pubsub_broker_publish_seconds histogram",
+		"pubsub_broker_publish_seconds_count 1",
+		"pubsub_broker_published_total 1",
+		"pubsub_index_nodes_visited",
+		`pubsub_dispatch_decisions_total{method="multicast"}`,
+		"pubsub_wire_active_connections 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+
+	// /debug/vars serves the JSON view of the same registry.
+	vars, _ := httpGet(t, "http://"+metricsAddr+"/debug/vars")
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(vars), &decoded); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := decoded["pubsub_broker_published_total"]; !ok {
+		t.Error("/debug/vars missing pubsub_broker_published_total")
+	}
+
+	// pprof rides on the same listener.
+	if idx, _ := httpGet(t, "http://"+metricsAddr+"/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Error("pprof index did not render")
+	}
+
+	cli.Close()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down on SIGTERM")
+	}
+
+	// Everything run() started must wind down: no goroutine leak from
+	// the broker, wire server, metrics server, or signal plumbing.
+	deadline = time.Now().Add(3 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }

@@ -13,8 +13,9 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
+	"os"
 
 	pubsub "repro"
 )
@@ -23,16 +24,16 @@ func main() {
 	rng := rand.New(rand.NewSource(2003))
 	g, err := pubsub.GenerateNetwork(pubsub.DefaultNetworkConfig(), rng)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	space := pubsub.StockSpace()
 	subs, err := pubsub.GenerateSubscriptions(g, space, pubsub.DefaultSubscriptionConfig(), rng)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	truth, err := pubsub.StockPublications(9)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	// Phase 1: observe traffic, estimate the density.
@@ -43,7 +44,7 @@ func main() {
 	}
 	estimated, err := pubsub.EstimateModel(sample, 48)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("estimated a %d-dimensional publication model from %d observed events\n\n",
 		len(estimated.Dims), observed)
@@ -73,7 +74,7 @@ func evaluate(g *pubsub.Network, subs []pubsub.PlacedSubscription, space pubsub.
 		Algorithm: pubsub.ForgyKMeans,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	msubs := make([]pubsub.Subscription, len(subs))
 	nodes := make([]int, len(subs))
@@ -84,7 +85,7 @@ func evaluate(g *pubsub.Network, subs []pubsub.PlacedSubscription, space pubsub.
 	planner, err := pubsub.NewPlanner(clu, msubs, nodes, pubsub.NewCostModel(g),
 		pubsub.PlannerConfig{Threshold: 0.10})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	rng := rand.New(rand.NewSource(77))
@@ -93,7 +94,7 @@ func evaluate(g *pubsub.Network, subs []pubsub.PlacedSubscription, space pubsub.
 	for i := 0; i < 10000; i++ {
 		d, err := planner.Deliver(stubs[rng.Intn(len(stubs))], traffic.Sample(rng))
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		tot.Add(d)
 	}
@@ -108,4 +109,11 @@ func stubNodes(g *pubsub.Network) []int {
 		}
 	}
 	return out
+}
+
+// fatal reports an unrecoverable error as a structured log event and
+// exits, the log/slog equivalent of log.Fatal.
+func fatal(err error) {
+	slog.Error("example failed", "err", err)
+	os.Exit(1)
 }

@@ -11,8 +11,9 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
+	"os"
 	"time"
 
 	pubsub "repro"
@@ -23,7 +24,7 @@ func main() {
 	srv := pubsub.NewServer(b)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	go func() {
 		if err := srv.Serve(ln); err != nil {
@@ -55,12 +56,12 @@ func main() {
 	for _, band := range bands {
 		cli, err := pubsub.Dial(addr)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		defer func() { _ = cli.Close() }()
 		id, err := cli.Subscribe(band.rect)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("client %q subscribed (id %d) to price band %v\n", band.name, id, band.rect[1])
 		clients = append(clients, client{name: band.name, cli: cli})
@@ -68,7 +69,7 @@ func main() {
 
 	publisher, err := pubsub.Dial(addr)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	defer func() { _ = publisher.Close() }()
 
@@ -87,7 +88,7 @@ func main() {
 	for _, tr := range trades {
 		n, err := publisher.Publish(pubsub.Point{tr.stock, tr.price}, []byte(tr.label))
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("  %-50s -> %d subscriber(s)\n", tr.label, n)
 	}
@@ -107,4 +108,11 @@ func main() {
 			}
 		}
 	}
+}
+
+// fatal reports an unrecoverable error as a structured log event and
+// exits, the log/slog equivalent of log.Fatal.
+func fatal(err error) {
+	slog.Error("example failed", "err", err)
+	os.Exit(1)
 }

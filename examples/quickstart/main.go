@@ -10,7 +10,8 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	pubsub "repro"
 )
@@ -33,7 +34,7 @@ func main() {
 		pubsub.AtLeast(999),
 	))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("subscribed (id %d): IBM, 75 < price <= 80, volume >= 1000\n\n", sub.ID())
 
@@ -52,7 +53,7 @@ func main() {
 	for _, tr := range trades {
 		n, err := b.Publish(tr.event, []byte(tr.payload))
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("published %-40s -> %d subscriber(s)\n", tr.desc, n)
 	}
@@ -69,4 +70,11 @@ func main() {
 			return
 		}
 	}
+}
+
+// fatal reports an unrecoverable error as a structured log event and
+// exits, the log/slog equivalent of log.Fatal.
+func fatal(err error) {
+	slog.Error("example failed", "err", err)
+	os.Exit(1)
 }

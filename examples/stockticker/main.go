@@ -12,8 +12,9 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
+	"os"
 	"sort"
 	"sync"
 
@@ -57,7 +58,7 @@ func main() {
 		}
 		s, err := b.Subscribe(rect)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		sc := &subscriber{name: fmt.Sprintf("subscriber-%02d", i), sub: s}
 		subs = append(subs, sc)
@@ -73,14 +74,14 @@ func main() {
 	// The ticker: publish the day's trades as events.
 	model, err := pubsub.StockPublications(9)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	matched := 0
 	for i := 0; i < numTrades; i++ {
 		ev := model.Sample(rng)
 		n, err := b.Publish(ev, nil)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if n > 0 {
 			matched++
@@ -105,4 +106,11 @@ func main() {
 	for _, sc := range subs[:10] {
 		fmt.Printf("  %s: %5d events\n", sc.name, sc.got)
 	}
+}
+
+// fatal reports an unrecoverable error as a structured log event and
+// exits, the log/slog equivalent of log.Fatal.
+func fatal(err error) {
+	slog.Error("example failed", "err", err)
+	os.Exit(1)
 }

@@ -67,7 +67,28 @@ func (ix *Index) Count(p Point) int { return ix.m.Count(p) }
 // Len reports the number of indexed subscriptions.
 func (ix *Index) Len() int { return ix.m.Len() }
 
-// MatchRegion returns the subscriber IDs of all subscriptions whose
+// QueryStats reports index traversal effort for one point query: nodes
+// entered, leaves among them, leaf records tested, and matches.
+type QueryStats = match.QueryStats
+
+// PointQueryStats returns the subscriber IDs matching p together with
+// traversal statistics — the per-query effort counters the paper uses
+// to compare tree packings ("the number of node pages which need to be
+// examined"). Matchers without instrumented traversal (PredCount)
+// report only the match count.
+func (ix *Index) PointQueryStats(p Point) ([]int, QueryStats) {
+	var ids []int
+	collect := func(id int) bool {
+		ids = append(ids, id)
+		return true
+	}
+	if sm, ok := ix.m.(match.StatsMatcher); ok {
+		stats := sm.MatchFuncStats(p, collect)
+		return ids, stats
+	}
+	ix.m.MatchFunc(p, collect)
+	return ids, QueryStats{Matched: len(ids)}
+}
 // rectangles intersect the query region — the administrative "who is
 // interested in this part of the event space" question. Subscribers are
 // reported once per intersecting rectangle.

@@ -18,6 +18,7 @@ import (
 	"repro/internal/geometry"
 	"repro/internal/match"
 	"repro/internal/rtree"
+	"repro/internal/telemetry"
 )
 
 // Event is one published event as seen by a subscriber.
@@ -126,6 +127,14 @@ type Options struct {
 	// BlockTimeout bounds the Block policy's wait for buffer space.
 	// Zero selects 50ms.
 	BlockTimeout time.Duration
+	// Metrics, when non-nil, receives the broker's metric families
+	// (publish/match latency, fanout, drops by policy, queue gauges,
+	// index traversal effort). Nil disables metrics at zero cost on the
+	// publish path.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, samples publications and logs their
+	// match→deliver stage timings. Nil disables tracing.
+	Tracer *telemetry.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -183,6 +192,9 @@ type Broker struct {
 	overlay match.BruteForce // recent rectangles, scanned linearly
 	dyn     *rtree.Dynamic   // IndexDynamic strategy: in-place tree
 
+	tel    *brokerTel
+	tracer *telemetry.Tracer
+
 	seq       atomic.Uint64
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
@@ -195,10 +207,13 @@ type Broker struct {
 
 // New creates an empty broker.
 func New(opts Options) *Broker {
-	return &Broker{
-		opts: opts.withDefaults(),
-		subs: make(map[int]*Subscription),
+	b := &Broker{
+		opts:   opts.withDefaults(),
+		subs:   make(map[int]*Subscription),
+		tracer: opts.Tracer,
 	}
+	b.tel = newBrokerTel(b, opts.Metrics)
+	return b
 }
 
 // Subscription is one subscriber registration. Receive events from
@@ -282,6 +297,7 @@ func (s *Subscription) noteDrop() {
 	s.lastDrop.Store(now)
 	s.b.dropped.Add(1)
 	s.b.lastDrop.Store(now)
+	s.b.tel.drop(s.policy)
 }
 
 // closeCh closes the event channel, serialised against in-flight
@@ -444,6 +460,10 @@ func (b *Broker) maybeRebuildLocked() {
 	if !overlayBig && !staleBig {
 		return
 	}
+	var t0 time.Time
+	if b.tel != nil {
+		t0 = time.Now()
+	}
 	var all []match.Subscription
 	for _, s := range b.subs {
 		for _, r := range s.rects {
@@ -461,6 +481,10 @@ func (b *Broker) maybeRebuildLocked() {
 	b.stale = 0
 	b.overlay = b.overlay[:0]
 	b.rebuilds.Add(1)
+	if b.tel != nil {
+		b.tel.rebuilds.Inc()
+		b.tel.rebuildLatency.ObserveDuration(time.Since(t0))
+	}
 }
 
 // Publish routes an event to every matching live subscriber. It returns
@@ -469,6 +493,16 @@ func (b *Broker) maybeRebuildLocked() {
 // the caller may reuse its buffer immediately; subscribers of one
 // publication share the clone and must treat it as read-only.
 func (b *Broker) Publish(p geometry.Point, payload []byte) (int, error) {
+	// Telemetry is designed to vanish when disabled: tel is nil, span is
+	// nil, and no time.Now fires — the uninstrumented path is identical
+	// to the pre-telemetry broker.
+	tel := b.tel
+	span := b.tracer.Start("publish")
+	var t0 time.Time
+	if tel != nil || span != nil {
+		t0 = time.Now()
+	}
+
 	// Match under the read lock, then deliver outside it: delivery can
 	// block (Block policy waits for buffer space), and holding b.mu
 	// through it would stall Cancel, Close and Subscribe for the whole
@@ -489,17 +523,42 @@ func (b *Broker) Publish(p geometry.Point, payload []byte) (int, error) {
 		}
 		return true
 	}
+	var qs match.QueryStats
 	if b.opts.Index == IndexDynamic {
 		if b.dyn != nil {
-			b.dyn.PointQueryFunc(p, collect)
+			if tel != nil || span != nil {
+				ds := b.dyn.PointQueryFuncStats(p, collect)
+				qs.Add(match.QueryStats{NodesVisited: ds.NodesVisited, LeavesVisited: ds.LeavesVisited, EntriesTested: ds.EntriesTested, Matched: ds.ResultsMatched})
+			} else {
+				b.dyn.PointQueryFunc(p, collect)
+			}
 		}
 	} else {
-		if b.base != nil {
+		sm, instrumented := b.base.(match.StatsMatcher)
+		switch {
+		case b.base == nil:
+		case instrumented && (tel != nil || span != nil):
+			qs.Add(sm.MatchFuncStats(p, collect))
+		default:
 			b.base.MatchFunc(p, collect)
 		}
-		b.overlay.MatchFunc(p, collect)
+		if tel != nil || span != nil {
+			qs.Add(b.overlay.MatchFuncStats(p, collect))
+		} else {
+			b.overlay.MatchFunc(p, collect)
+		}
 	}
 	b.mu.RUnlock()
+
+	var tMatch time.Time
+	if tel != nil || span != nil {
+		tMatch = time.Now()
+		if tel != nil {
+			tel.matchLatency.Observe(tMatch.Sub(t0).Seconds())
+			tel.observeQuery(qs.NodesVisited, qs.LeavesVisited, qs.EntriesTested)
+		}
+		span.Stage("match", tMatch.Sub(t0))
+	}
 
 	if len(targets) > 0 && payload != nil {
 		ev.Payload = append([]byte(nil), payload...)
@@ -511,6 +570,23 @@ func (b *Broker) Publish(p geometry.Point, payload []byte) (int, error) {
 		}
 	}
 	b.delivered.Add(uint64(delivered))
+
+	if tel != nil || span != nil {
+		now := time.Now()
+		if tel != nil {
+			tel.published.Inc()
+			tel.delivered.Add(uint64(delivered))
+			tel.fanout.Observe(float64(len(targets)))
+			tel.publishLatency.Observe(now.Sub(t0).Seconds())
+		}
+		span.Stage("deliver", now.Sub(tMatch))
+		span.Uint64("seq", ev.Seq)
+		span.Int("fanout", len(targets))
+		span.Int("delivered", delivered)
+		span.Int("nodes_visited", qs.NodesVisited)
+		span.Int("entries_tested", qs.EntriesTested)
+		span.End()
+	}
 	return delivered, nil
 }
 
@@ -568,6 +644,9 @@ func (b *Broker) deliver(s *Subscription, ev Event) bool {
 		s.noteDrop()
 		if s.evicting.CompareAndSwap(false, true) {
 			b.evicted.Add(1)
+			if b.tel != nil {
+				b.tel.evicted.Inc()
+			}
 			// Cancel closes the channel via closeCh, which needs the
 			// sendMu we hold; evict from a fresh goroutine.
 			go s.Cancel()

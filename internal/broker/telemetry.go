@@ -1,0 +1,104 @@
+package broker
+
+import (
+	"repro/internal/telemetry"
+)
+
+// brokerTel bundles the broker's metric handles. A nil *brokerTel is
+// the disabled state: every record method no-ops after a single nil
+// check, so an uninstrumented broker pays nothing on the publish path
+// (no time.Now calls, no atomics beyond its own Stats counters).
+type brokerTel struct {
+	publishLatency *telemetry.Histogram
+	matchLatency   *telemetry.Histogram
+	fanout         *telemetry.Histogram
+	published      *telemetry.Counter
+	delivered      *telemetry.Counter
+	drops          [4]*telemetry.Counter // indexed by OverflowPolicy
+	evicted        *telemetry.Counter
+	rebuilds       *telemetry.Counter
+	rebuildLatency *telemetry.Histogram
+	nodesVisited   *telemetry.Histogram
+	leavesVisited  *telemetry.Histogram
+	entriesTested  *telemetry.Histogram
+}
+
+// newBrokerTel registers the broker's metric families against reg and
+// wires scrape-time gauges that read b's counters. Registration is
+// idempotent, so several brokers sharing one registry accumulate into
+// the same families.
+func newBrokerTel(b *Broker, reg *telemetry.Registry) *brokerTel {
+	if reg == nil {
+		return nil
+	}
+	t := &brokerTel{
+		publishLatency: reg.Histogram("pubsub_broker_publish_seconds",
+			"End-to-end Publish latency: match plus deliver.", telemetry.LatencyBuckets()),
+		matchLatency: reg.Histogram("pubsub_broker_match_seconds",
+			"Index match phase latency per publication.", telemetry.LatencyBuckets()),
+		fanout: reg.Histogram("pubsub_broker_fanout_size",
+			"Matching subscriptions per publication.", telemetry.CountBuckets()),
+		published: reg.Counter("pubsub_broker_published_total",
+			"Events published."),
+		delivered: reg.Counter("pubsub_broker_delivered_total",
+			"Events delivered to subscriber channels."),
+		evicted: reg.Counter("pubsub_broker_evicted_total",
+			"Subscriptions evicted by the cancel-slow policy."),
+		rebuilds: reg.Counter("pubsub_broker_index_rebuilds_total",
+			"Matching index rebuilds."),
+		rebuildLatency: reg.Histogram("pubsub_broker_rebuild_seconds",
+			"Matching index rebuild duration.", telemetry.LatencyBuckets()),
+		nodesVisited: reg.Histogram("pubsub_index_nodes_visited",
+			"Index tree nodes entered per point query.", telemetry.CountBuckets()),
+		leavesVisited: reg.Histogram("pubsub_index_leaves_visited",
+			"Index tree leaves scanned per point query.", telemetry.CountBuckets()),
+		entriesTested: reg.Histogram("pubsub_index_entries_tested",
+			"Leaf records compared against the event per point query.", telemetry.CountBuckets()),
+	}
+	for _, p := range []OverflowPolicy{DropNewest, DropOldest, Block, CancelSlow} {
+		t.drops[p] = reg.Counter("pubsub_broker_dropped_total",
+			"Events dropped on full subscriber buffers, by overflow policy.",
+			telemetry.L("policy", p.String()))
+	}
+	reg.GaugeFunc("pubsub_broker_subscriptions",
+		"Live subscriptions.", func() float64 {
+			b.mu.RLock()
+			defer b.mu.RUnlock()
+			return float64(len(b.subs))
+		})
+	reg.GaugeFunc("pubsub_broker_queue_depth",
+		"Events currently buffered across all subscriptions.", func() float64 {
+			b.mu.RLock()
+			defer b.mu.RUnlock()
+			total := 0
+			for _, s := range b.subs {
+				total += len(s.ch)
+			}
+			return float64(total)
+		})
+	reg.GaugeFunc("pubsub_broker_queue_high_water",
+		"Deepest any subscription buffer has been.", func() float64 {
+			return float64(b.highWater.Load())
+		})
+	return t
+}
+
+// drop records one overflow loss under the given policy.
+func (t *brokerTel) drop(p OverflowPolicy) {
+	if t == nil {
+		return
+	}
+	if int(p) >= 0 && int(p) < len(t.drops) {
+		t.drops[p].Inc()
+	}
+}
+
+// observeQuery records one point query's traversal effort.
+func (t *brokerTel) observeQuery(nodes, leaves, entries int) {
+	if t == nil {
+		return
+	}
+	t.nodesVisited.Observe(float64(nodes))
+	t.leavesVisited.Observe(float64(leaves))
+	t.entriesTested.Observe(float64(entries))
+}

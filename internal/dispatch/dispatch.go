@@ -16,11 +16,13 @@ package dispatch
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/geometry"
 	"repro/internal/match"
 	"repro/internal/multicast"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -118,6 +120,13 @@ type Config struct {
 	// placement to these nodes. Empty selects the topology's transit
 	// nodes (or, if there are none, all nodes).
 	RendezvousCandidates []int
+	// Metrics, when non-nil, receives the planner's decision counters
+	// (by method) and the interested-fraction histogram. Nil disables
+	// metrics at zero cost per decision.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, samples deliveries and logs their
+	// match→decide stage timings. Nil disables tracing.
+	Tracer *telemetry.Tracer
 }
 
 func (c Config) validate() error {
@@ -155,6 +164,52 @@ type Planner struct {
 	// groupRP caches, per group, the sparse-mode rendezvous point
 	// (only populated for ModeSparse).
 	groupRP []int
+
+	tel    *dispatchTel
+	tracer *telemetry.Tracer
+}
+
+// dispatchTel bundles the planner's metric handles; nil disables them.
+type dispatchTel struct {
+	decisions [3]*telemetry.Counter // indexed by Method
+	ratio     *telemetry.Histogram
+	latency   *telemetry.Histogram
+}
+
+// RegisterDispatchMetrics registers the planner's metric families
+// against reg and returns the handles. It is exported (beyond planner
+// construction) so a daemon can pre-register the families — making them
+// visible, zero-valued, on /metrics — before any planner exists;
+// idempotent registration means a later planner shares them.
+func RegisterDispatchMetrics(reg *telemetry.Registry) *dispatchTel {
+	if reg == nil {
+		return nil
+	}
+	t := &dispatchTel{
+		ratio: reg.Histogram("pubsub_dispatch_interest_ratio",
+			"Interested fraction |s|/|S_q| per in-group publication.", telemetry.RatioBuckets()),
+		latency: reg.Histogram("pubsub_dispatch_decide_seconds",
+			"Deliver decision latency: match plus cost accounting.", telemetry.LatencyBuckets()),
+	}
+	for _, m := range []Method{MethodNone, MethodUnicast, MethodMulticast} {
+		t.decisions[m] = reg.Counter("pubsub_dispatch_decisions_total",
+			"Delivery decisions by chosen method.", telemetry.L("method", m.String()))
+	}
+	return t
+}
+
+// record counts one decision.
+func (t *dispatchTel) record(d Decision, took float64) {
+	if t == nil {
+		return
+	}
+	if int(d.Method) >= 0 && int(d.Method) < len(t.decisions) {
+		t.decisions[d.Method].Inc()
+	}
+	if d.GroupSize > 0 {
+		t.ratio.Observe(float64(d.Interested) / float64(d.GroupSize))
+	}
+	t.latency.Observe(took)
 }
 
 // NewPlanner assembles a planner. subscriberNode maps every subscriber id
@@ -188,6 +243,8 @@ func NewPlanner(
 		rule:           cfg.Rule,
 		subscriberNode: append([]int(nil), subscriberNode...),
 		groupNodes:     make([][]int, c.NumGroups()),
+		tel:            RegisterDispatchMetrics(cfg.Metrics),
+		tracer:         cfg.Tracer,
 	}
 	for q := 0; q < c.NumGroups(); q++ {
 		g := c.Group(q)
@@ -260,6 +317,31 @@ func (p *Planner) nodesOf(subscribers []int) ([]int, error) {
 // Deliver decides and cost-accounts the delivery of one publication from
 // the given publisher node.
 func (p *Planner) Deliver(publisher int, event geometry.Point) (Decision, error) {
+	if p.tel == nil && p.tracer == nil {
+		return p.deliver(publisher, event)
+	}
+	span := p.tracer.Start("dispatch")
+	t0 := time.Now()
+	d, err := p.deliver(publisher, event)
+	took := time.Since(t0)
+	if err != nil {
+		return d, err
+	}
+	p.tel.record(d, took.Seconds())
+	if span != nil {
+		span.Stage("decide", took)
+		span.Str("method", d.Method.String())
+		span.Int("interested", d.Interested)
+		span.Int("group", d.Group)
+		if d.GroupSize > 0 {
+			span.Float("ratio", float64(d.Interested)/float64(d.GroupSize))
+		}
+		span.End()
+	}
+	return d, nil
+}
+
+func (p *Planner) deliver(publisher int, event geometry.Point) (Decision, error) {
 	d := Decision{Group: p.clustering.Locate(event)}
 
 	// Match: the interested subscriber list s.

@@ -39,6 +39,47 @@ type Matcher interface {
 	Len() int
 }
 
+// QueryStats reports index traversal effort for one match: how many
+// tree nodes were entered, how many of them were leaves, how many leaf
+// records were compared against the event point, and how many matched.
+// Non-tree matchers report the counters that make sense for them (the
+// brute-force scanner tests every entry and visits no nodes).
+type QueryStats struct {
+	NodesVisited  int
+	LeavesVisited int
+	EntriesTested int
+	Matched       int
+}
+
+// Add accumulates other into s, for aggregating per-index stats when a
+// broker matches against several indexes (base plus overlay).
+func (s *QueryStats) Add(other QueryStats) {
+	s.NodesVisited += other.NodesVisited
+	s.LeavesVisited += other.LeavesVisited
+	s.EntriesTested += other.EntriesTested
+	s.Matched += other.Matched
+}
+
+// StatsMatcher is implemented by matchers whose traversal is
+// instrumented. MatchFuncStats behaves exactly like MatchFunc and
+// additionally returns the per-query effort counters; it must not
+// allocate beyond what MatchFunc does, so instrumented hot paths stay
+// cheap. Callers discover support with a type assertion.
+type StatsMatcher interface {
+	Matcher
+	MatchFuncStats(p geometry.Point, fn func(subscriberID int) bool) QueryStats
+}
+
+// Every tree-backed matcher and the brute-force oracle are
+// instrumented; only the predicate-counting matcher is not (its
+// per-dimension merge has no node-visit notion).
+var (
+	_ StatsMatcher = BruteForce(nil)
+	_ StatsMatcher = (*streeMatcher)(nil)
+	_ StatsMatcher = (*rtreeMatcher)(nil)
+	_ StatsMatcher = (*dynamicMatcher)(nil)
+)
+
 // MatchSet returns the deduplicated set of subscriber IDs interested in p.
 // This is the list s used by the distribution-method scheme.
 func MatchSet(m Matcher, p geometry.Point) map[int]struct{} {
@@ -212,6 +253,17 @@ func (b BruteForce) Count(p geometry.Point) int {
 // Len implements Matcher.
 func (b BruteForce) Len() int { return len(b) }
 
+// MatchFuncStats implements StatsMatcher. The scan tests every entry
+// and touches no tree nodes.
+func (b BruteForce) MatchFuncStats(p geometry.Point, fn func(int) bool) QueryStats {
+	stats := QueryStats{EntriesTested: len(b)}
+	b.MatchFunc(p, func(id int) bool {
+		stats.Matched++
+		return fn(id)
+	})
+	return stats
+}
+
 type streeMatcher stree.Tree
 
 var _ Matcher = (*streeMatcher)(nil)
@@ -227,6 +279,12 @@ func (m *streeMatcher) MatchFunc(p geometry.Point, fn func(int) bool) {
 func (m *streeMatcher) Count(p geometry.Point) int { return m.tree().CountQuery(p) }
 
 func (m *streeMatcher) Len() int { return m.tree().Len() }
+
+// MatchFuncStats implements StatsMatcher.
+func (m *streeMatcher) MatchFuncStats(p geometry.Point, fn func(int) bool) QueryStats {
+	s := m.tree().PointQueryFuncStats(p, fn)
+	return QueryStats{NodesVisited: s.NodesVisited, LeavesVisited: s.LeavesVisited, EntriesTested: s.EntriesTested, Matched: s.ResultsMatched}
+}
 
 type predMatcher predindex.Index
 
@@ -260,6 +318,12 @@ func (m *dynamicMatcher) Count(p geometry.Point) int { return m.tree().CountQuer
 
 func (m *dynamicMatcher) Len() int { return m.tree().Len() }
 
+// MatchFuncStats implements StatsMatcher.
+func (m *dynamicMatcher) MatchFuncStats(p geometry.Point, fn func(int) bool) QueryStats {
+	s := m.tree().PointQueryFuncStats(p, fn)
+	return QueryStats{NodesVisited: s.NodesVisited, LeavesVisited: s.LeavesVisited, EntriesTested: s.EntriesTested, Matched: s.ResultsMatched}
+}
+
 type rtreeMatcher rtree.Tree
 
 var _ Matcher = (*rtreeMatcher)(nil)
@@ -275,3 +339,9 @@ func (m *rtreeMatcher) MatchFunc(p geometry.Point, fn func(int) bool) {
 func (m *rtreeMatcher) Count(p geometry.Point) int { return m.tree().CountQuery(p) }
 
 func (m *rtreeMatcher) Len() int { return m.tree().Len() }
+
+// MatchFuncStats implements StatsMatcher.
+func (m *rtreeMatcher) MatchFuncStats(p geometry.Point, fn func(int) bool) QueryStats {
+	s := m.tree().PointQueryFuncStats(p, fn)
+	return QueryStats{NodesVisited: s.NodesVisited, LeavesVisited: s.LeavesVisited, EntriesTested: s.EntriesTested, Matched: s.ResultsMatched}
+}

@@ -168,3 +168,46 @@ func TestEmptyMatchers(t *testing.T) {
 		}
 	}
 }
+
+func TestMatchFuncStatsConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	subs := randomSubs(rng, 600, 3)
+	for _, alg := range []Algorithm{AlgSTree, AlgHilbertRTree, AlgBruteForce, AlgDynamicRTree} {
+		t.Run(alg.String(), func(t *testing.T) {
+			m := MustNew(subs, Options{Algorithm: alg, BranchFactor: 16})
+			sm, ok := m.(StatsMatcher)
+			if !ok {
+				t.Fatalf("%v does not implement StatsMatcher", alg)
+			}
+			for i := 0; i < 100; i++ {
+				p := randomPoint(rng, 3)
+				var streamed []int
+				stats := sm.MatchFuncStats(p, func(id int) bool {
+					streamed = append(streamed, id)
+					return true
+				})
+				if !equalIDs(streamed, m.Match(p)) {
+					t.Fatalf("MatchFuncStats streams different IDs at %v", p)
+				}
+				if stats.Matched != len(streamed) {
+					t.Fatalf("Matched = %d, streamed %d", stats.Matched, len(streamed))
+				}
+				if stats.EntriesTested < stats.Matched {
+					t.Fatalf("EntriesTested %d < Matched %d", stats.EntriesTested, stats.Matched)
+				}
+				if alg != AlgBruteForce && stats.Matched > 0 && stats.NodesVisited == 0 {
+					t.Fatalf("tree matcher reported no node visits with %d matches", stats.Matched)
+				}
+			}
+		})
+	}
+}
+
+func TestQueryStatsAdd(t *testing.T) {
+	a := QueryStats{NodesVisited: 1, LeavesVisited: 2, EntriesTested: 3, Matched: 4}
+	a.Add(QueryStats{NodesVisited: 10, LeavesVisited: 20, EntriesTested: 30, Matched: 40})
+	want := QueryStats{NodesVisited: 11, LeavesVisited: 22, EntriesTested: 33, Matched: 44}
+	if a != want {
+		t.Fatalf("Add = %+v, want %+v", a, want)
+	}
+}

@@ -355,6 +355,32 @@ func (t *Dynamic) PointQuery(p geometry.Point) []int {
 
 // PointQueryFunc streams matching IDs; return false to stop early.
 func (t *Dynamic) PointQueryFunc(p geometry.Point, fn func(id int) bool) {
+	var stats QueryStats
+	t.search(p, fn, &stats)
+}
+
+// PointQueryStats is PointQuery with traversal statistics.
+func (t *Dynamic) PointQueryStats(p geometry.Point) ([]int, QueryStats) {
+	var ids []int
+	stats := t.PointQueryFuncStats(p, func(id int) bool {
+		ids = append(ids, id)
+		return true
+	})
+	return ids, stats
+}
+
+// PointQueryFuncStats is PointQueryFunc with traversal statistics: it
+// streams matching IDs to fn and returns the per-query effort counters.
+func (t *Dynamic) PointQueryFuncStats(p geometry.Point, fn func(id int) bool) QueryStats {
+	var stats QueryStats
+	t.search(p, func(id int) bool {
+		stats.ResultsMatched++
+		return fn(id)
+	}, &stats)
+	return stats
+}
+
+func (t *Dynamic) search(p geometry.Point, fn func(id int) bool, stats *QueryStats) {
 	if t.root == nil || !t.root.mbr.Contains(p) {
 		return
 	}
@@ -362,8 +388,11 @@ func (t *Dynamic) PointQueryFunc(p geometry.Point, fn func(id int) bool) {
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		stats.NodesVisited++
 		if n.leaf {
+			stats.LeavesVisited++
 			for _, e := range n.entries {
+				stats.EntriesTested++
 				if e.Rect.Contains(p) {
 					if !fn(e.ID) {
 						return

@@ -237,19 +237,26 @@ func (t *Tree) CountQuery(p geometry.Point) int {
 
 // PointQueryStats is PointQuery with traversal statistics.
 func (t *Tree) PointQueryStats(p geometry.Point) ([]int, QueryStats) {
-	var (
-		ids   []int
-		stats QueryStats
-	)
-	if t.root == nil {
-		return nil, stats
-	}
-	t.search(p, func(id int) bool {
+	var ids []int
+	stats := t.PointQueryFuncStats(p, func(id int) bool {
 		ids = append(ids, id)
 		return true
-	}, &stats)
-	stats.ResultsMatched = len(ids)
+	})
 	return ids, stats
+}
+
+// PointQueryFuncStats is PointQueryFunc with traversal statistics: it
+// streams matching IDs to fn and returns the per-query effort counters.
+func (t *Tree) PointQueryFuncStats(p geometry.Point, fn func(id int) bool) QueryStats {
+	var stats QueryStats
+	if t.root == nil {
+		return stats
+	}
+	t.search(p, func(id int) bool {
+		stats.ResultsMatched++
+		return fn(id)
+	}, &stats)
+	return stats
 }
 
 func (t *Tree) search(p geometry.Point, fn func(id int) bool, stats *QueryStats) {

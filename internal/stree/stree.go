@@ -472,19 +472,27 @@ type QueryStats struct {
 
 // PointQueryStats is PointQuery with traversal statistics.
 func (t *Tree) PointQueryStats(p geometry.Point) ([]int, QueryStats) {
-	var (
-		ids   []int
-		stats QueryStats
-	)
-	if t.root == nil {
-		return nil, stats
-	}
-	t.query(p, nil, func(id int) bool {
+	var ids []int
+	stats := t.PointQueryFuncStats(p, func(id int) bool {
 		ids = append(ids, id)
 		return true
-	}, &stats)
-	stats.ResultsMatched = len(ids)
+	})
 	return ids, stats
+}
+
+// PointQueryFuncStats is PointQueryFunc with traversal statistics: it
+// streams matching IDs to fn and returns the per-query effort counters.
+// This is the allocation-free form used by instrumented brokers.
+func (t *Tree) PointQueryFuncStats(p geometry.Point, fn func(id int) bool) QueryStats {
+	var stats QueryStats
+	if t.root == nil {
+		return stats
+	}
+	t.query(p, nil, func(id int) bool {
+		stats.ResultsMatched++
+		return fn(id)
+	}, &stats)
+	return stats
 }
 
 // RegionQuery returns the IDs of every subscription rectangle intersecting

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// ushard is one cache-line-padded unsigned shard.
+type ushard struct {
+	v atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// Counter is a monotonically increasing counter, sharded across
+// cache-line-padded atomics so concurrent writers do not contend on a
+// single word. All methods are safe on a nil receiver (no-ops).
+type Counter struct {
+	shards []ushard
+}
+
+func newCounter() *Counter { return &Counter{shards: make([]ushard, shardCount())} }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.shards[shardIndex()&uint(len(c.shards)-1)].v.Add(n)
+}
+
+// Value returns the current total.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var total uint64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// Gauge is an instantaneous value that can go up and down (queue depth,
+// active connections). A single atomic is enough: gauges are written
+// far less often than counters on the hot path. All methods are safe on
+// a nil receiver.
+type Gauge struct {
+	v atomic.Int64
+}
+
+func newGauge() *Gauge { return &Gauge{} }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// shardedFloat accumulates a float64 sum across padded shards using
+// per-shard CAS loops; cross-shard contention is what the sharding
+// removes.
+type shardedFloat struct {
+	shards []ushard
+}
+
+func newShardedFloat() shardedFloat { return shardedFloat{shards: make([]ushard, shardCount())} }
+
+func (s *shardedFloat) add(v float64) {
+	sh := &s.shards[shardIndex()&uint(len(s.shards)-1)]
+	for {
+		old := sh.v.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if sh.v.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (s *shardedFloat) value() float64 {
+	var total float64
+	for i := range s.shards {
+		total += math.Float64frombits(s.shards[i].v.Load())
+	}
+	return total
+}

@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders every family in the Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WriteProm(w io.Writer) error {
+	for _, f := range r.Gather() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.Name, escapeHelp(f.Help), f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, s := range f.Samples {
+			if f.Kind != KindHistogram {
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, s.LabelString, formatFloat(s.Value)); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := writePromHistogram(w, f.Name, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one histogram sample with cumulative
+// le-buckets, _sum and _count, merging the sample's own labels with le.
+func writePromHistogram(w io.Writer, name string, s Sample) error {
+	h := s.Hist
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.Bounds) {
+			le = formatFloat(h.Bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(s.Labels, Label{Key: "le", Value: le}), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, s.LabelString, formatFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, s.LabelString, h.Count)
+	return err
+}
+
+func mergeLabels(labels []Label, extra Label) string {
+	merged := make([]Label, 0, len(labels)+1)
+	merged = append(merged, labels...)
+	merged = append(merged, extra)
+	return labelString(merged)
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, "\\", `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// jsonHistogram is the JSON rendering of one histogram sample.
+type jsonHistogram struct {
+	Count   uint64             `json:"count"`
+	Sum     float64            `json:"sum"`
+	Mean    float64            `json:"mean"`
+	P50     float64            `json:"p50"`
+	P90     float64            `json:"p90"`
+	P99     float64            `json:"p99"`
+	Buckets map[string]uint64  `json:"buckets"`
+}
+
+// WriteJSON renders every family as one expvar-style JSON object:
+// sample keys are "name{labels}", counter/gauge values are numbers and
+// histograms are objects carrying count, sum and estimated quantiles.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	obj := make(map[string]any)
+	for _, f := range r.Gather() {
+		for _, s := range f.Samples {
+			key := f.Name + s.LabelString
+			if f.Kind != KindHistogram {
+				obj[key] = s.Value
+				continue
+			}
+			h := s.Hist
+			jh := jsonHistogram{
+				Count:   h.Count,
+				Sum:     h.Sum,
+				Mean:    h.Mean(),
+				P50:     h.Quantile(0.50),
+				P90:     h.Quantile(0.90),
+				P99:     h.Quantile(0.99),
+				Buckets: make(map[string]uint64, len(h.Counts)),
+			}
+			for i, c := range h.Counts {
+				le := "+Inf"
+				if i < len(h.Bounds) {
+					le = formatFloat(h.Bounds[i])
+				}
+				jh.Buckets[le] = c
+			}
+			obj[key] = jh
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(obj)
+}
+
+// Handler serves the registry: Prometheus text by default, expvar-style
+// JSON when the request asks for it (?format=json or an Accept header
+// preferring application/json). Mount it at /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if wantsJSON(req) {
+			serveJSON(r, w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+}
+
+// JSONHandler always serves the expvar-style JSON rendering. Mount it
+// at /debug/vars for expvar-style consumers.
+func JSONHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		serveJSON(r, w)
+	})
+}
+
+func serveJSON(r *Registry, w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = r.WriteJSON(w)
+}
+
+func wantsJSON(req *http.Request) bool {
+	if req.URL.Query().Get("format") == "json" {
+		return true
+	}
+	accept := req.Header.Get("Accept")
+	return strings.Contains(accept, "application/json") && !strings.Contains(accept, "text/plain")
+}

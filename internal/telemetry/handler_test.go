@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("pub_total", "publications").Add(9)
+	r.Histogram("lat_seconds", "latency", []float64{0.001, 0.01, 0.1}).Observe(0.005)
+	return r
+}
+
+func TestHandlerPromDefault(t *testing.T) {
+	h := Handler(newTestRegistry())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %s", ct)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "pub_total 9") {
+		t.Fatalf("missing counter line:\n%s", body)
+	}
+	if !strings.Contains(body, `lat_seconds_bucket{le="+Inf"} 1`) {
+		t.Fatalf("missing +Inf bucket:\n%s", body)
+	}
+}
+
+func TestHandlerJSONOptIn(t *testing.T) {
+	h := Handler(newTestRegistry())
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	assertJSONBody(t, rec)
+
+	rec = httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/json")
+	h.ServeHTTP(rec, req)
+	assertJSONBody(t, rec)
+
+	rec = httptest.NewRecorder()
+	JSONHandler(newTestRegistry()).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	assertJSONBody(t, rec)
+}
+
+func assertJSONBody(t *testing.T, rec *httptest.ResponseRecorder) {
+	t.Helper()
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type = %s", ct)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &obj); err != nil {
+		t.Fatalf("body is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if obj["pub_total"] != float64(9) {
+		t.Fatalf("pub_total = %v", obj["pub_total"])
+	}
+	hist, ok := obj["lat_seconds"].(map[string]any)
+	if !ok || hist["count"] != float64(1) {
+		t.Fatalf("lat_seconds histogram wrong: %v", obj["lat_seconds"])
+	}
+}

@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram with Prometheus semantics:
+// bucket i counts observations v <= Bounds[i] (upper bounds inclusive),
+// with one implicit +Inf bucket at the end. Observe is lock-free and
+// allocation-free; the per-bucket counts are plain atomics (bucket
+// choice already spreads writers) and the sum is sharded. All methods
+// are safe on a nil receiver.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; the last is +Inf
+	sum    shardedFloat
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	owned := append([]float64(nil), bounds...)
+	sort.Float64s(owned)
+	return &Histogram{
+		bounds: owned,
+		counts: make([]atomic.Uint64, len(owned)+1),
+		sum:    newShardedFloat(),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose upper bound is >= v; beyond the last bound
+	// lands in the +Inf bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.add(v)
+}
+
+// ObserveDuration records a duration in seconds, the Prometheus
+// convention for latency histograms.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.value()
+}
+
+// Snapshot captures a consistent-enough view of the histogram for
+// rendering and quantile estimation. (Buckets are read one atomic at a
+// time; a scrape racing Observe can be off by the in-flight
+// observation, which Prometheus semantics permit.)
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.sum.value(),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds, ascending, excluding +Inf
+	Counts []uint64  // per-bucket counts (not cumulative); len(Bounds)+1
+	Count  uint64
+	Sum    float64
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation within the bucket containing it, the standard
+// fixed-bucket estimator. Observations in the +Inf bucket clamp to the
+// highest finite bound. Returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// +Inf bucket: clamp to the largest finite bound.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		return lo + (hi-lo)*((rank-prev)/float64(c))
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Mean returns the average observed value, 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// LinearBuckets returns n upper bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + width*float64(i)
+	}
+	return out
+}
+
+// ExponentialBuckets returns n upper bounds start, start*factor, ...
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets are the default upper bounds for latency histograms,
+// in seconds: a 1-2.5-5 ladder from 1µs to 2.5s. They cover both the
+// sub-millisecond matching path and multi-millisecond network writes.
+func LatencyBuckets() []float64 {
+	return []float64{
+		1e-6, 2.5e-6, 5e-6,
+		1e-5, 2.5e-5, 5e-5,
+		1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3,
+		1e-2, 2.5e-2, 5e-2,
+		1e-1, 2.5e-1, 5e-1,
+		1, 2.5,
+	}
+}
+
+// CountBuckets are the default upper bounds for size-ish histograms
+// (fanout, nodes visited): powers of two from 1 to 4096.
+func CountBuckets() []float64 {
+	return []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+}
+
+// RatioBuckets are upper bounds for values in [0, 1] in steps of 0.05,
+// sized for the paper's interested-fraction |s|/|S_q| against the
+// threshold t (~0.15).
+func RatioBuckets() []float64 {
+	return LinearBuckets(0.05, 0.05, 20)
+}

@@ -1,0 +1,254 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Kind discriminates metric families.
+type Kind string
+
+// Metric family kinds, matching the Prometheus TYPE names.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Registry holds named metric families. Create one with NewRegistry.
+// Registration methods are idempotent: requesting an existing
+// (name, labels) pair returns the live collector, so components
+// initialised independently can share a registry. Registering the same
+// name with a different kind, help string or buckets panics — metric
+// schemas are compile-time decisions.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	order    []string
+}
+
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	order   []string // sample keys (label strings) in registration order
+	samples map[string]*sampleEntry
+}
+
+type sampleEntry struct {
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// familyFor returns the family, creating or validating it. Caller holds
+// r.mu.
+func (r *Registry) familyFor(name, help string, kind Kind) *family {
+	checkMetricName(name)
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, samples: make(map[string]*sampleEntry)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	return f
+}
+
+// sampleFor returns the sample entry for the label set, creating it
+// with mk when absent. Caller holds r.mu.
+func (f *family) sampleFor(labels []Label, mk func() *sampleEntry) *sampleEntry {
+	checkLabels(labels)
+	key := labelString(labels)
+	if s, ok := f.samples[key]; ok {
+		return s
+	}
+	s := mk()
+	s.labels = append([]Label(nil), labels...)
+	f.samples[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// Counter registers (or fetches) a counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, KindCounter)
+	return f.sampleFor(labels, func() *sampleEntry { return &sampleEntry{counter: newCounter()} }).counter
+}
+
+// Gauge registers (or fetches) a gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, KindGauge)
+	return f.sampleFor(labels, func() *sampleEntry { return &sampleEntry{gauge: newGauge()} }).gauge
+}
+
+// GaugeFunc registers a gauge computed by fn at scrape time. fn must be
+// safe for concurrent use and should return quickly; it runs on every
+// Gather. A second registration of the same (name, labels) keeps the
+// first function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, KindGauge)
+	f.sampleFor(labels, func() *sampleEntry { return &sampleEntry{fn: fn} })
+}
+
+// Histogram registers (or fetches) a histogram with the given upper
+// bounds (ascending; +Inf is implicit). Re-registering with different
+// buckets panics.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, KindHistogram)
+	sorted := append([]float64(nil), bounds...)
+	sort.Float64s(sorted)
+	s := f.sampleFor(labels, func() *sampleEntry { return &sampleEntry{hist: newHistogram(sorted)} })
+	if !sameBounds(s.hist.bounds, sorted) {
+		panic(fmt.Sprintf("telemetry: histogram %q re-registered with different buckets", name))
+	}
+	return s.hist
+}
+
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Sample is one rendered metric sample within a family.
+type Sample struct {
+	Labels []Label
+	// LabelString is the canonical {k="v",...} rendering ("" when
+	// unlabelled).
+	LabelString string
+	// Value holds the counter/gauge value; unset for histograms.
+	Value float64
+	// Hist holds the histogram snapshot; nil for counters/gauges.
+	Hist *HistogramSnapshot
+}
+
+// Family is a point-in-time copy of one metric family.
+type Family struct {
+	Name    string
+	Help    string
+	Kind    Kind
+	Samples []Sample
+}
+
+// Gather snapshots every family in registration order. The registry
+// lock covers only the structural walk; atomic metric reads and
+// GaugeFunc calls happen on the copied structure after the lock is
+// released, so slow gauge functions cannot block registration.
+func (r *Registry) Gather() []Family {
+	if r == nil {
+		return nil
+	}
+	type pending struct {
+		fam    int
+		idx    int
+		entry  *sampleEntry
+		labels []Label
+		key    string
+	}
+	r.mu.RLock()
+	out := make([]Family, 0, len(r.order))
+	var work []pending
+	for _, name := range r.order {
+		f := r.families[name]
+		fam := Family{Name: f.name, Help: f.help, Kind: f.kind, Samples: make([]Sample, len(f.order))}
+		for i, key := range f.order {
+			work = append(work, pending{fam: len(out), idx: i, entry: f.samples[key], labels: f.samples[key].labels, key: key})
+		}
+		out = append(out, fam)
+	}
+	r.mu.RUnlock()
+
+	for _, p := range work {
+		s := Sample{Labels: p.labels, LabelString: p.key}
+		switch {
+		case p.entry.counter != nil:
+			s.Value = float64(p.entry.counter.Value())
+		case p.entry.gauge != nil:
+			s.Value = float64(p.entry.gauge.Value())
+		case p.entry.fn != nil:
+			s.Value = p.entry.fn()
+		case p.entry.hist != nil:
+			snap := p.entry.hist.Snapshot()
+			s.Hist = &snap
+		}
+		out[p.fam].Samples[p.idx] = s
+	}
+	return out
+}
+
+// Histogram1 returns the snapshot of the single-sample histogram
+// family, or a zero snapshot when absent — a convenience for tests and
+// report generators.
+func (r *Registry) Histogram1(name string) HistogramSnapshot {
+	for _, f := range r.Gather() {
+		if f.Name == name && f.Kind == KindHistogram && len(f.Samples) > 0 && f.Samples[0].Hist != nil {
+			return *f.Samples[0].Hist
+		}
+	}
+	return HistogramSnapshot{}
+}
+
+// CounterValue returns the summed value of all samples of a counter
+// family (0 when absent) — a convenience for tests.
+func (r *Registry) CounterValue(name string) float64 {
+	var total float64
+	for _, f := range r.Gather() {
+		if f.Name != name {
+			continue
+		}
+		for _, s := range f.Samples {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// Names returns the registered family names, sorted.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := append([]string(nil), r.order...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"context"
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer samples publications and records their per-stage timings
+// (match → decide → deliver) as structured log/slog events. Sampling is
+// 1-in-N by a sharded counter, so the unsampled hot path costs one
+// atomic add; a nil *Tracer disables tracing entirely (the Start fast
+// path is then a single nil check, with no time.Now call).
+type Tracer struct {
+	logger *slog.Logger
+	level  slog.Level
+	every  uint64
+	n      atomic.Uint64
+	traces atomic.Uint64
+}
+
+// NewTracer builds a tracer that emits every sampleEvery-th started
+// trace to logger at level Info. A nil logger or sampleEvery < 1
+// returns nil — the disabled tracer.
+func NewTracer(logger *slog.Logger, sampleEvery int) *Tracer {
+	if logger == nil || sampleEvery < 1 {
+		return nil
+	}
+	return &Tracer{logger: logger, level: slog.LevelInfo, every: uint64(sampleEvery)}
+}
+
+// Traces reports how many spans this tracer has emitted.
+func (t *Tracer) Traces() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.traces.Load()
+}
+
+// Start begins a publication trace, or returns nil when this
+// publication is not sampled. All Span methods are safe on a nil
+// receiver, so callers thread the possibly-nil span unconditionally.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	if t.n.Add(1)%t.every != 0 {
+		return nil
+	}
+	return &Span{t: t, name: name, start: time.Now()}
+}
+
+// Span is one sampled publication trace: a set of stage durations plus
+// scalar attributes, emitted as a single structured event on End. The
+// zero stage list is legal (attributes only).
+type Span struct {
+	t      *Tracer
+	name   string
+	start  time.Time
+	stages []slog.Attr
+	attrs  []slog.Attr
+}
+
+// Stage records one named stage duration (e.g. "match", "deliver").
+func (s *Span) Stage(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.stages = append(s.stages, slog.Duration(name, d))
+}
+
+// Int attaches an integer attribute.
+func (s *Span) Int(key string, v int) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, slog.Int(key, v))
+}
+
+// Uint64 attaches an unsigned attribute.
+func (s *Span) Uint64(key string, v uint64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, slog.Uint64(key, v))
+}
+
+// Float attaches a float attribute.
+func (s *Span) Float(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, slog.Float64(key, v))
+}
+
+// Str attaches a string attribute.
+func (s *Span) Str(key, v string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, slog.String(key, v))
+}
+
+// End emits the span as one slog event carrying the total duration, the
+// attributes, and a "stages" group with the per-stage durations.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	attrs := make([]slog.Attr, 0, len(s.attrs)+2)
+	attrs = append(attrs, s.attrs...)
+	attrs = append(attrs, slog.Duration("total", time.Since(s.start)))
+	if len(s.stages) > 0 {
+		attrs = append(attrs, slog.Attr{Key: "stages", Value: slog.GroupValue(s.stages...)})
+	}
+	s.t.traces.Add(1)
+	s.t.logger.LogAttrs(context.Background(), s.t.level, s.name, attrs...)
+}

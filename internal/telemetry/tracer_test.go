@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerSamplesOneInN(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	tr := NewTracer(logger, 4)
+	for i := 0; i < 12; i++ {
+		sp := tr.Start("publish")
+		sp.Int("fanout", i)
+		sp.Stage("match", 5*time.Millisecond)
+		sp.End()
+	}
+	if got := tr.Traces(); got != 3 {
+		t.Fatalf("traces = %d, want 3 (1 in 4 of 12)", got)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("log lines = %d, want 3", len(lines))
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("trace event is not JSON: %v", err)
+	}
+	if ev["msg"] != "publish" {
+		t.Fatalf("msg = %v, want publish", ev["msg"])
+	}
+	if _, ok := ev["total"]; !ok {
+		t.Fatal("trace event missing total duration")
+	}
+	stages, ok := ev["stages"].(map[string]any)
+	if !ok {
+		t.Fatalf("trace event missing stages group: %v", ev)
+	}
+	if _, ok := stages["match"]; !ok {
+		t.Fatalf("stages missing match: %v", stages)
+	}
+}
+
+func TestTracerDisabled(t *testing.T) {
+	if NewTracer(nil, 10) != nil {
+		t.Fatal("nil logger must disable tracing")
+	}
+	if NewTracer(slog.Default(), 0) != nil {
+		t.Fatal("sampleEvery < 1 must disable tracing")
+	}
+}
+
+// Unsampled Start calls must not allocate: the disabled publication
+// path pays one atomic add, nothing more.
+func TestUnsampledStartDoesNotAllocate(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(slog.New(slog.NewTextHandler(&buf, nil)), 1<<40)
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("publish")
+		sp.Stage("match", time.Millisecond)
+		sp.End()
+	}); n != 0 {
+		t.Errorf("unsampled trace allocates %g/op", n)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/broker"
 	"repro/internal/geometry"
+	"repro/internal/telemetry"
 )
 
 // ReconnectOptions tune a ReconnectingClient. The zero value is usable.
@@ -24,6 +25,9 @@ type ReconnectOptions struct {
 	// clients restarted by one server outage does not redial in
 	// synchronized waves. Zero selects 0.2; negative disables jitter.
 	Jitter float64
+	// Metrics, when non-nil, receives the client's reconnect counters
+	// (redial attempts and successful reconnects). Nil disables them.
+	Metrics *telemetry.Registry
 }
 
 func (o ReconnectOptions) withDefaults() ReconnectOptions {
@@ -80,6 +84,9 @@ type ReconnectingClient struct {
 	done    chan struct{}
 	wg      sync.WaitGroup
 	dropped atomic.Uint64 // merged-buffer drops + drops of dead generations
+
+	attempts   *telemetry.Counter // redials tried (nil-safe when metrics are off)
+	reconnects *telemetry.Counter // redials that replayed successfully
 }
 
 // DialReconnecting creates a reconnecting client. The initial dial is
@@ -92,6 +99,10 @@ func DialReconnecting(addr string, opts ReconnectOptions) (*ReconnectingClient, 
 		subs:   make(map[int]*rsub),
 		events: make(chan broker.Event, 1024),
 		done:   make(chan struct{}),
+		attempts: opts.Metrics.Counter("pubsub_wire_reconnect_attempts_total",
+			"Redial attempts after a dropped connection."),
+		reconnects: opts.Metrics.Counter("pubsub_wire_reconnects_total",
+			"Successful reconnects with all subscriptions replayed."),
 	}
 	cli, err := Dial(addr)
 	if err != nil {
@@ -129,6 +140,7 @@ func (rc *ReconnectingClient) run(cli *Client) {
 				return
 			case <-time.After(rc.opts.jittered(backoff)):
 			}
+			rc.attempts.Inc()
 			next, err := Dial(rc.addr)
 			if err != nil {
 				backoff = time.Duration(float64(backoff) * rc.opts.Multiplier)
@@ -138,6 +150,7 @@ func (rc *ReconnectingClient) run(cli *Client) {
 				continue
 			}
 			if rc.resubscribe(next) {
+				rc.reconnects.Inc()
 				cli = next
 				break
 			}

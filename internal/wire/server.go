@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/broker"
 	"repro/internal/geometry"
+	"repro/internal/telemetry"
 )
 
 // ServerOptions harden a server against slow, stalled or half-open
@@ -29,6 +30,9 @@ type ServerOptions struct {
 	// solicit the pong that keeps IdleTimeout from firing. Zero selects
 	// IdleTimeout/3 when IdleTimeout is set, otherwise pings are off.
 	PingInterval time.Duration
+	// Metrics, when non-nil, receives the server's connection, byte and
+	// frame-latency families. Nil disables metrics.
+	Metrics *telemetry.Registry
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -45,6 +49,7 @@ func (o ServerOptions) withDefaults() ServerOptions {
 type Server struct {
 	b    *broker.Broker
 	opts ServerOptions
+	tel  *wireTel
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -60,7 +65,8 @@ func NewServer(b *broker.Broker) *Server {
 
 // NewServerWith wraps the broker with explicit hardening options.
 func NewServerWith(b *broker.Broker, opts ServerOptions) *Server {
-	return &Server{b: b, opts: opts.withDefaults(), conns: make(map[*connState]struct{})}
+	opts = opts.withDefaults()
+	return &Server{b: b, opts: opts, tel: newWireTel(opts.Metrics), conns: make(map[*connState]struct{})}
 }
 
 // Serve accepts and handles connections until the listener is closed. It
@@ -86,7 +92,13 @@ func (s *Server) Serve(ln net.Listener) error {
 			_ = conn.Close()
 			continue
 		}
+		if s.tel != nil {
+			conn = &countingConn{Conn: conn, in: s.tel.bytesIn, out: s.tel.bytesOut}
+			s.tel.connsTotal.Inc()
+			s.tel.activeConns.Add(1)
+		}
 		cs := newConnState(conn, s.opts)
+		cs.tel = s.tel
 		s.conns[cs] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
@@ -168,6 +180,7 @@ func (s *Server) markClosed() (net.Listener, []*connState) {
 type connState struct {
 	conn    net.Conn
 	opts    ServerOptions
+	tel     *wireTel
 	writeMu sync.Mutex
 	subsMu  sync.Mutex
 	subs    map[int]*broker.Subscription
@@ -236,8 +249,18 @@ func (cs *connState) write(m *Message) error {
 	if cs.opts.WriteTimeout > 0 {
 		_ = cs.conn.SetWriteDeadline(time.Now().Add(cs.opts.WriteTimeout))
 	}
+	var t0 time.Time
+	if cs.tel != nil {
+		t0 = time.Now()
+	}
 	//pubsub:allow locksafe -- frame write under writeMu is bounded by WriteTimeout; it is the serialization point
 	err := WriteMessage(cs.conn, m)
+	if cs.tel != nil {
+		cs.tel.writeLatency.ObserveDuration(time.Since(t0))
+		if err == nil {
+			cs.tel.framesOut.Inc()
+		}
+	}
 	if err != nil {
 		_ = cs.conn.Close()
 	}
@@ -293,6 +316,9 @@ func (s *Server) handle(cs *connState) {
 		s.mu.Lock()
 		delete(s.conns, cs)
 		s.mu.Unlock()
+		if s.tel != nil {
+			s.tel.activeConns.Add(-1)
+		}
 	}()
 
 	for {
@@ -301,7 +327,19 @@ func (s *Server) handle(cs *connState) {
 		}
 		m, err := ReadMessage(cs.conn)
 		if err != nil {
-			return // disconnect: clean EOF, idle timeout or otherwise
+			// Disconnect: clean EOF, idle timeout or otherwise. A deadline
+			// expiry means the peer missed every keepalive ping in the
+			// idle window.
+			if cs.tel != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					cs.tel.keepaliveMisses.Inc()
+				}
+			}
+			return
+		}
+		if cs.tel != nil {
+			cs.tel.framesIn.Inc()
 		}
 		switch m.Type {
 		case TypeSubscribe:

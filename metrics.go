@@ -1,0 +1,39 @@
+package pubsub
+
+import (
+	"log/slog"
+	"net/http"
+
+	"repro/internal/telemetry"
+)
+
+// MetricsRegistry collects counters, gauges, and latency histograms from
+// every instrumented component that is handed the registry: brokers
+// (BrokerOptions.Metrics), wire servers and reconnecting clients, and
+// dispatch planners. A nil registry disables instrumentation with no
+// hot-path cost.
+type MetricsRegistry = telemetry.Registry
+
+// PublicationTracer samples publications and logs their per-stage
+// (match, deliver) timings as structured log/slog events. Attach one via
+// BrokerOptions.Tracer. A nil tracer disables tracing entirely.
+type PublicationTracer = telemetry.Tracer
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// NewPublicationTracer builds a tracer that logs every sampleEvery-th
+// publication to logger. A nil logger or sampleEvery < 1 returns nil,
+// the disabled tracer.
+func NewPublicationTracer(logger *slog.Logger, sampleEvery int) *PublicationTracer {
+	return telemetry.NewTracer(logger, sampleEvery)
+}
+
+// MetricsHandler serves a registry as Prometheus text exposition
+// (format 0.0.4). Requests with ?format=json or an Accept header
+// preferring application/json get the JSON view instead.
+func MetricsHandler(r *MetricsRegistry) http.Handler { return telemetry.Handler(r) }
+
+// MetricsJSONHandler serves a registry as expvar-style JSON
+// unconditionally, for a /debug/vars-shaped endpoint.
+func MetricsJSONHandler(r *MetricsRegistry) http.Handler { return telemetry.JSONHandler(r) }

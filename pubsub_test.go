@@ -1,8 +1,14 @@
 package pubsub_test
 
 import (
+	"encoding/json"
+	"io"
+	"log/slog"
 	"math/rand"
 	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -80,6 +86,55 @@ func TestIndexAlgorithmsAgree(t *testing.T) {
 		if a != c || b != c {
 			t.Fatalf("counts disagree at %v: stree=%d hilbert=%d brute=%d", p, a, b, c)
 		}
+	}
+}
+
+func TestIndexPointQueryStats(t *testing.T) {
+	// Four well-separated unit squares with branch factor 2 produce an
+	// exactly known S-tree: the skew bound forces the binarization split
+	// at q=2, giving root → {leaf{0,1}, leaf{2,3}}.
+	subs := []pubsub.Subscription{
+		{Rect: pubsub.NewRect(0, 1, 0, 1), SubscriberID: 0},
+		{Rect: pubsub.NewRect(2, 3, 0, 1), SubscriberID: 1},
+		{Rect: pubsub.NewRect(100, 101, 100, 101), SubscriberID: 2},
+		{Rect: pubsub.NewRect(102, 103, 100, 101), SubscriberID: 3},
+	}
+	ix, err := pubsub.NewIndex(subs, pubsub.IndexOptions{Algorithm: pubsub.STree, BranchFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A point inside subscription 0: the root and the left leaf are
+	// entered, the right leaf is pruned by its MBR.
+	ids, stats := ix.PointQueryStats(pubsub.Point{0.5, 0.5})
+	if len(ids) != 1 || ids[0] != 0 {
+		t.Fatalf("ids = %v, want [0]", ids)
+	}
+	want := pubsub.QueryStats{NodesVisited: 2, LeavesVisited: 1, EntriesTested: 2, Matched: 1}
+	if stats != want {
+		t.Fatalf("stats = %+v, want %+v", stats, want)
+	}
+
+	// A point inside the root MBR but both leaf MBRs prune: only the
+	// root is visited and no entry is tested.
+	ids, stats = ix.PointQueryStats(pubsub.Point{50, 50})
+	if len(ids) != 0 {
+		t.Fatalf("ids = %v, want none", ids)
+	}
+	want = pubsub.QueryStats{NodesVisited: 1}
+	if stats != want {
+		t.Fatalf("stats = %+v, want %+v", stats, want)
+	}
+
+	// The predicate-counting matcher has no instrumented traversal; the
+	// facade falls back to reporting the match count only.
+	pc, err := pubsub.NewIndex(subs, pubsub.IndexOptions{Algorithm: pubsub.PredCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, stats = pc.PointQueryStats(pubsub.Point{0.5, 0.5})
+	if len(ids) != 1 || stats.Matched != 1 || stats.NodesVisited != 0 {
+		t.Fatalf("pred-count stats = %v %+v", ids, stats)
 	}
 }
 
@@ -201,5 +256,59 @@ func TestIndexMatchRegion(t *testing.T) {
 	// Half-open: a region abutting a subscription does not match it.
 	if got := ix.MatchRegion(pubsub.NewRect(10, 12, 0, 10)); len(got) != 1 { // only 3
 		t.Errorf("abutting region matched %v, want just subscriber 3", got)
+	}
+}
+
+func TestMetricsFacade(t *testing.T) {
+	reg := pubsub.NewMetricsRegistry()
+	var logs strings.Builder
+	logger := slog.New(slog.NewJSONHandler(&logs, nil))
+	b := pubsub.NewBroker(pubsub.BrokerOptions{
+		Metrics: reg,
+		Tracer:  pubsub.NewPublicationTracer(logger, 1),
+	})
+	defer b.Close()
+	sub, err := b.Subscribe(pubsub.NewRect(0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Cancel()
+	if _, err := b.Publish(pubsub.Point{5}, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(pubsub.MetricsHandler(reg))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "pubsub_broker_published_total 1") {
+		t.Errorf("prometheus view missing publish counter:\n%.400s", body)
+	}
+
+	jsrv := httptest.NewServer(pubsub.MetricsJSONHandler(reg))
+	defer jsrv.Close()
+	jresp, err := http.Get(jsrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	err = json.NewDecoder(jresp.Body).Decode(&decoded)
+	jresp.Body.Close()
+	if err != nil {
+		t.Fatalf("JSON view: %v", err)
+	}
+	if _, ok := decoded["pubsub_broker_published_total"]; !ok {
+		t.Error("JSON view missing publish counter")
+	}
+
+	if !strings.Contains(logs.String(), `"msg":"publish"`) {
+		t.Errorf("tracer emitted no publish span: %q", logs.String())
+	}
+	if pubsub.NewPublicationTracer(nil, 1) != nil || pubsub.NewPublicationTracer(logger, 0) != nil {
+		t.Error("disabled tracer constructors must return nil")
 	}
 }

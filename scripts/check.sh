@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# check.sh — the full local gate, mirroring the three CI jobs.
+# check.sh — the full local gate, mirroring the four CI jobs.
 #
 # Usage: ./scripts/check.sh
 #
@@ -8,6 +8,7 @@
 #   2. vet suite        go run ./cmd/pubsub-vet ./...   (stock vet + custom analyzers)
 #   3. race tests       go test -race ./...
 #   4. invariant tests  go test -tags=invariants over the index/geometry packages
+#   5. metrics smoke    boot pubsubd, scrape /metrics, SIGTERM shutdown
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,5 +23,8 @@ go test -race ./...
 
 echo "==> structural invariants (-tags=invariants)"
 go test -tags=invariants ./internal/stree/... ./internal/rtree/... ./internal/geometry/...
+
+echo "==> metrics endpoint smoke"
+./scripts/metrics_smoke.sh
 
 echo "==> all checks passed"
