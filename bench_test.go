@@ -7,7 +7,9 @@ package pubsub_test
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	pubsub "repro"
 	"repro/internal/cluster"
@@ -24,6 +26,7 @@ import (
 func BenchmarkFig3Topology(b *testing.B) {
 	rng := rand.New(rand.NewSource(experiment.DefaultSeed))
 	var nodes int
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g, err := topology.Generate(topology.DefaultConfig(), rng)
@@ -41,6 +44,7 @@ func BenchmarkFig4DataAnalysis(b *testing.B) {
 	cfg := workload.DefaultTapeConfig()
 	cfg.Trades = 20000
 	var r2 float64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := experiment.Fig4DataAnalysis(cfg, experiment.DefaultSeed)
@@ -56,6 +60,7 @@ func BenchmarkFig4DataAnalysis(b *testing.B) {
 func BenchmarkFig5TopStocks(b *testing.B) {
 	cfg := workload.DefaultTapeConfig()
 	cfg.Trades = 20000
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.Fig5TopStocks(cfg, 3, experiment.DefaultSeed); err != nil {
@@ -71,6 +76,7 @@ func BenchmarkTbl1SubscriptionGen(b *testing.B) {
 	g := topology.MustGenerate(topology.DefaultConfig(), rng)
 	space := workload.StockSpace()
 	cfg := workload.DefaultSubscriptionConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := workload.GenerateSubscriptions(g, space, cfg, rng); err != nil {
@@ -126,6 +132,7 @@ func fig6Bench(b *testing.B, alg cluster.Algorithm, groups int, threshold float6
 func BenchmarkFig6DistributionMethod(b *testing.B) {
 	planner, events, pubNodes := fig6Bench(b, cluster.AlgForgyKMeans, 11, 0.10)
 	var tot dispatch.Totals
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		j := i % len(events)
@@ -161,6 +168,7 @@ func BenchmarkMatchers(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				m.Count(events[i%len(events)])
@@ -242,6 +250,20 @@ func BenchmarkClusterAlgos(b *testing.B) {
 	}
 }
 
+// settleRebuild waits for the broker's background index rebuild to fold
+// the subscribe burst into the packed base, so publish benchmarks time
+// the steady-state path rather than the overlay scan.
+func settleRebuild(b *testing.B, br *pubsub.Broker) {
+	b.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for br.Stats().IndexRebuilds == 0 {
+		if time.Now().After(deadline) {
+			b.Fatal("index rebuild did not complete")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // BenchmarkBrokerPublish measures the embeddable broker's publish path
 // with 1000 live subscriptions.
 func BenchmarkBrokerPublish(b *testing.B) {
@@ -256,18 +278,56 @@ func BenchmarkBrokerPublish(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	settleRebuild(b, br)
 	model := workload.MustStockPublications(9)
 	rng := rand.New(rand.NewSource(5))
 	events := make([]pubsub.Point, 1024)
 	for i := range events {
 		events[i] = model.Sample(rng)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := br.Publish(events[i%len(events)], nil); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPublishParallel measures publish scalability across
+// goroutines: under the snapshot design the match path takes no lock, so
+// throughput should grow with GOMAXPROCS rather than serialize on a
+// broker-wide read lock.
+func BenchmarkPublishParallel(b *testing.B) {
+	tb, err := experiment.NewTestbed(experiment.TestbedConfig{}, experiment.DefaultSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	br := pubsub.NewBroker(pubsub.BrokerOptions{DefaultBuffer: 1})
+	defer br.Close()
+	for _, s := range tb.Subs {
+		if _, err := br.Subscribe(s.Rect); err != nil {
+			b.Fatal(err)
+		}
+	}
+	settleRebuild(b, br)
+	model := workload.MustStockPublications(9)
+	rng := rand.New(rand.NewSource(5))
+	events := make([]pubsub.Point, 1024)
+	for i := range events {
+		events[i] = model.Sample(rng)
+	}
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			if _, err := br.Publish(events[i%uint64(len(events))], nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func float64Name(f float64) string {
@@ -308,6 +368,7 @@ func BenchmarkBrokerChurn(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				lo := rng.Float64() * 90
@@ -350,6 +411,8 @@ func BenchmarkPublish(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			settleRebuild(b, br)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := br.Publish(events[i%len(events)], nil); err != nil {

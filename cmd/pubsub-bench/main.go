@@ -23,6 +23,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -42,10 +43,10 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("pubsub-bench", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "experiment id (fig3|fig4|fig5|tbl1|fig6|abl-match|abl-skew|abl-branch|abl-cluster|abl-groups|abl-mode|abl-grid|abl-publisher|abl-rule|bench|all)")
-		seed   = fs.Int64("seed", experiment.DefaultSeed, "random seed for all generators")
-		pubs   = fs.Int("pubs", 10000, "publications per fig6 configuration")
-		quick  = fs.Bool("quick", false, "reduce sizes for a fast smoke run")
+		exp     = fs.String("exp", "all", "experiment id (fig3|fig4|fig5|tbl1|fig6|abl-match|abl-skew|abl-branch|abl-cluster|abl-groups|abl-mode|abl-grid|abl-publisher|abl-rule|bench|all)")
+		seed    = fs.Int64("seed", experiment.DefaultSeed, "random seed for all generators")
+		pubs    = fs.Int("pubs", 10000, "publications per fig6 configuration")
+		quick   = fs.Bool("quick", false, "reduce sizes for a fast smoke run")
 		groups  = fs.Bool("groups", false, "fig6: also print the per-group breakdown at the best threshold")
 		csvOut  = fs.String("csv", "", "fig6: additionally write the points as CSV to this file")
 		jsonOut = fs.String("json", "", "bench: additionally write the summary (ops/sec, p50/p99) as JSON to this file")
@@ -231,6 +232,10 @@ type benchSummary struct {
 	MeanMicros    float64 `json:"mean_us"`
 	P50Micros     float64 `json:"p50_us"`
 	P99Micros     float64 `json:"p99_us"`
+	// AllocsPerOp is the mean heap allocations per publish over the
+	// timed loop (runtime mallocs delta / publications). The snapshot
+	// publish path is expected to hold this at ~0.
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 // runPublishBench times the embeddable broker's publish path against the
@@ -258,7 +263,18 @@ func runPublishBench(seed int64, pubs int, jsonOut string, w io.Writer) error {
 		events[i] = model.Sample(rng)
 	}
 
+	// Let the background index rebuild fold the subscribe burst into the
+	// packed base so the loop times the steady-state publish path.
+	for deadline := time.Now().Add(5 * time.Second); br.Stats().IndexRebuilds == 0; {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("index rebuild did not complete")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
 	samples := make([]time.Duration, pubs)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	for i := 0; i < pubs; i++ {
 		t0 := time.Now()
@@ -268,6 +284,7 @@ func runPublishBench(seed int64, pubs int, jsonOut string, w io.Writer) error {
 		samples[i] = time.Since(t0)
 	}
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
 	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
 	quantile := func(q float64) float64 {
 		idx := int(q * float64(len(samples)-1))
@@ -283,13 +300,14 @@ func runPublishBench(seed int64, pubs int, jsonOut string, w io.Writer) error {
 		MeanMicros:    float64(elapsed.Nanoseconds()) / float64(pubs) / 1e3,
 		P50Micros:     quantile(0.50),
 		P99Micros:     quantile(0.99),
+		AllocsPerOp:   float64(ms1.Mallocs-ms0.Mallocs) / float64(pubs),
 	}
 
 	fmt.Fprintf(w, "broker publish benchmark (%d subscriptions, %d publications)\n",
 		sum.Subscriptions, sum.Publications)
-	fmt.Fprintf(w, "%12s %12s %10s %10s\n", "ops/sec", "mean", "p50", "p99")
-	fmt.Fprintf(w, "%12.0f %10.1fus %8.1fus %8.1fus\n",
-		sum.OpsPerSec, sum.MeanMicros, sum.P50Micros, sum.P99Micros)
+	fmt.Fprintf(w, "%12s %12s %10s %10s %12s\n", "ops/sec", "mean", "p50", "p99", "allocs/op")
+	fmt.Fprintf(w, "%12.0f %10.1fus %8.1fus %8.1fus %12.3f\n",
+		sum.OpsPerSec, sum.MeanMicros, sum.P50Micros, sum.P99Micros, sum.AllocsPerOp)
 
 	if jsonOut != "" {
 		f, err := os.Create(jsonOut)

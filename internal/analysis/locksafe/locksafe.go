@@ -429,6 +429,10 @@ func (c *checker) directlyBlocking(body *ast.BlockStmt) string {
 			switch m := m.(type) {
 			case *ast.FuncLit:
 				return false // separate function
+			case *ast.GoStmt:
+				// Launching a goroutine is non-blocking for the caller;
+				// the spawned function runs with its own (empty) lock set.
+				return false
 			case *ast.SelectStmt:
 				if !selectDefaults[m] {
 					found = "contains select without default"
@@ -498,6 +502,10 @@ func (c *checker) callsBlockingFn(body *ast.BlockStmt) (*types.Func, string) {
 			return false
 		}
 		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if _, ok := n.(*ast.GoStmt); ok {
+			// go f() returns immediately even if f blocks.
 			return false
 		}
 		call, ok := n.(*ast.CallExpr)

@@ -117,3 +117,23 @@ func (p *pump) blockingWithoutLockIsFine() {
 	time.Sleep(time.Millisecond)
 	p.wg.Wait()
 }
+
+func (p *pump) loopForever() {
+	for v := range p.ch {
+		_ = v
+	}
+}
+
+func (p *pump) spawnBlockingWorker() {
+	// go f() returns immediately: launching a blocking worker is not a
+	// blocking operation for the caller, and must not poison this
+	// function's classification either.
+	go p.loopForever()
+}
+
+func (p *pump) spawnsWorkerUnderLock() {
+	p.mu.Lock()
+	go p.loopForever()      // non-blocking launch: no diagnostic
+	p.spawnBlockingWorker() // spawner is classified non-blocking: no diagnostic
+	p.mu.Unlock()
+}

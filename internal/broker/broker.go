@@ -7,10 +7,18 @@
 // Index maintenance is incremental: new subscriptions enter a linear
 // overlay that is periodically folded into a rebuilt S-tree, so both
 // subscribe and publish stay fast under churn.
+//
+// Under the default rebuild strategy the publish path is lock-free and
+// allocation-free in steady state: Publish matches against an immutable
+// snapshot (base index + overlay) read through an atomic pointer, and
+// index rebuilds run on a background goroutine that swaps a fresh
+// snapshot in when done. See DESIGN.md for the snapshot semantics.
 package broker
 
 import (
+	"errors"
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +28,8 @@ import (
 	"repro/internal/rtree"
 	"repro/internal/telemetry"
 )
+
+var errClosed = errors.New("broker: closed")
 
 // Event is one published event as seen by a subscriber.
 type Event struct {
@@ -177,20 +187,77 @@ type SubStats struct {
 	Evicted   bool      // true once CancelSlow has evicted the subscriber
 }
 
+// overlayEntry is one recent subscription rectangle scanned linearly by
+// Publish until the background rebuild folds it into the base index.
+// Holding the *Subscription directly lets the lock-free publish path skip
+// the id→subscription map lookup entirely.
+type overlayEntry struct {
+	rect geometry.Rect
+	sub  *Subscription
+}
+
+// snapshot is the immutable matching state read by Publish without a
+// lock. Mutations never modify a published snapshot in place: Subscribe
+// may append to the overlay's backing array (readers are bounded by their
+// own slice length), while Cancel and the rebuilder install freshly
+// copied slices before storing a new snapshot.
+type snapshot struct {
+	// base indexes the rectangles present at the last rebuild. Its
+	// SubscriberIDs are slots into the slots slice, not broker
+	// subscription ids, so matching needs no map. nil before the first
+	// rebuild. It may contain slots whose subscription has since been
+	// cancelled; deliver's per-subscription closed check filters those.
+	base  match.Matcher
+	slots []*Subscription
+	// overlay holds rectangles registered since the last rebuild.
+	overlay []overlayEntry
+	// multiRect is true once any live-or-dead subscription registered
+	// more than one rectangle, forcing target deduplication.
+	multiRect bool
+}
+
+// pubScratch is pooled per-publish working memory: matched slot ids and
+// the collected target subscriptions.
+type pubScratch struct {
+	ids     []int
+	targets []*Subscription
+}
+
 // Broker routes published events to matching subscribers. Create one with
 // New. All methods are safe for concurrent use.
 type Broker struct {
 	opts Options
 
-	mu      sync.RWMutex
-	closed  bool
-	nextID  int
-	subs    map[int]*Subscription
-	base    match.Matcher    // indexed rectangles (may contain stale IDs)
-	baseLen int              // rectangles in base (incl. stale)
-	stale   int              // rectangles in base whose subscription is gone
-	overlay match.BruteForce // recent rectangles, scanned linearly
-	dyn     *rtree.Dynamic   // IndexDynamic strategy: in-place tree
+	mu        sync.RWMutex
+	closed    bool
+	nextID    int
+	subs      map[int]*Subscription
+	base      match.Matcher   // slot-indexed rectangles (may contain stale slots)
+	slots     []*Subscription // slot -> subscription for base's ids
+	baseLen   int             // rectangles in base (incl. stale)
+	stale     int             // rectangles in base whose subscription is gone
+	overlay   []overlayEntry  // recent rectangles, scanned linearly
+	multiRect bool            // some subscription holds several rectangles
+	dyn       *rtree.Dynamic  // IndexDynamic strategy: in-place tree
+
+	// snap is the immutable matching state Publish reads without taking
+	// b.mu (IndexRebuild strategy). nil once the broker is closed.
+	snap atomic.Pointer[snapshot]
+
+	// Background rebuilder (IndexRebuild strategy). rebuildCh has
+	// capacity 1 so concurrent churn coalesces into at most one pending
+	// rebuild behind the in-flight one. rebuilding/rebuildCut/
+	// pendingStale reconcile churn that lands while a build is running
+	// outside the lock.
+	rebuildCh    chan struct{}
+	rebuildStop  chan struct{}
+	rebuildWG    sync.WaitGroup
+	rebuilderOn  bool // rebuilder goroutine started (guarded by mu)
+	rebuilding   bool // a collect→install window is open (guarded by mu)
+	rebuildCut   int  // nextID captured at collection time (guarded by mu)
+	pendingStale int  // rects of subs cancelled during the build (guarded by mu)
+
+	scratch sync.Pool // *pubScratch
 
 	tel    *brokerTel
 	tracer *telemetry.Tracer
@@ -208,12 +275,27 @@ type Broker struct {
 // New creates an empty broker.
 func New(opts Options) *Broker {
 	b := &Broker{
-		opts:   opts.withDefaults(),
-		subs:   make(map[int]*Subscription),
-		tracer: opts.Tracer,
+		opts:        opts.withDefaults(),
+		subs:        make(map[int]*Subscription),
+		tracer:      opts.Tracer,
+		rebuildCh:   make(chan struct{}, 1),
+		rebuildStop: make(chan struct{}),
 	}
+	b.scratch.New = func() any { return &pubScratch{} }
+	b.snap.Store(&snapshot{})
 	b.tel = newBrokerTel(b, opts.Metrics)
 	return b
+}
+
+// publishSnapshotLocked stores a fresh immutable snapshot of the current
+// matching state. Caller holds b.mu.
+func (b *Broker) publishSnapshotLocked() {
+	b.snap.Store(&snapshot{
+		base:      b.base,
+		slots:     b.slots,
+		overlay:   b.overlay,
+		multiRect: b.multiRect,
+	})
 }
 
 // Subscription is one subscriber registration. Receive events from
@@ -329,11 +411,13 @@ func (s *Subscription) Cancel() {
 			return
 		}
 		// Rectangles indexed in base become stale; overlay entries are
-		// removed eagerly.
-		kept := s.b.overlay[:0]
+		// removed eagerly. The overlay is filtered into a fresh slice —
+		// never truncated in place — because published snapshots still
+		// reference the old backing array.
+		kept := make([]overlayEntry, 0, len(s.b.overlay))
 		removed := 0
 		for _, e := range s.b.overlay {
-			if e.SubscriberID == s.id {
+			if e.sub == s {
 				removed++
 				continue
 			}
@@ -341,7 +425,13 @@ func (s *Subscription) Cancel() {
 		}
 		s.b.overlay = kept
 		s.b.stale += len(s.rects) - removed
-		s.b.maybeRebuildLocked()
+		if s.b.rebuilding && s.id < s.b.rebuildCut {
+			// This subscription's rectangles were collected into the
+			// in-flight rebuild; they will be stale in the new base.
+			s.b.pendingStale += len(s.rects)
+		}
+		s.b.publishSnapshotLocked()
+		s.b.maybeTriggerRebuildLocked()
 		s.closeCh()
 	})
 }
@@ -445,46 +535,166 @@ func (b *Broker) SubscribeWith(opts SubscribeOptions, rects ...geometry.Rect) (*
 		}
 		return s, nil
 	}
-	for _, r := range owned {
-		b.overlay = append(b.overlay, match.Subscription{Rect: r, SubscriberID: s.id})
+	if len(owned) > 1 {
+		b.multiRect = true
 	}
-	b.maybeRebuildLocked()
+	// Appending to the overlay's backing array is safe with live
+	// snapshots: readers are bounded by their snapshot's slice length.
+	for _, r := range owned {
+		b.overlay = append(b.overlay, overlayEntry{rect: r, sub: s})
+	}
+	b.publishSnapshotLocked()
+	b.maybeTriggerRebuildLocked()
 	return s, nil
 }
 
-// maybeRebuildLocked folds the overlay into a fresh index when it (or the
-// stale fraction) grows past the thresholds. Caller holds b.mu.
-func (b *Broker) maybeRebuildLocked() {
+// maybeTriggerRebuildLocked kicks the background rebuilder when the
+// overlay (or the stale fraction of the base) grows past the thresholds.
+// The rebuild itself runs outside the lock; concurrent triggers coalesce
+// into at most one pending run. Caller holds b.mu.
+func (b *Broker) maybeTriggerRebuildLocked() {
 	overlayBig := len(b.overlay) > b.opts.MinOverlay && len(b.overlay)*4 > b.baseLen
 	staleBig := b.stale*2 > b.baseLen && b.stale > 0
 	if !overlayBig && !staleBig {
 		return
 	}
+	if !b.rebuilderOn {
+		b.rebuilderOn = true
+		b.rebuildWG.Add(1)
+		go b.rebuildLoop()
+	}
+	select {
+	case b.rebuildCh <- struct{}{}:
+	default: // a rebuild is already pending; coalesce
+	}
+}
+
+// rebuildLoop is the single background rebuilder goroutine, started
+// lazily on the first trigger and stopped by Close.
+func (b *Broker) rebuildLoop() {
+	defer b.rebuildWG.Done()
+	for {
+		select {
+		case <-b.rebuildStop:
+			return
+		case <-b.rebuildCh:
+			b.rebuildOnce()
+		}
+	}
+}
+
+// rebuildOnce folds the overlay into a freshly packed base index. The
+// expensive match.New build runs outside b.mu; churn that lands during
+// the build is reconciled at install time: subscriptions created after
+// the collection cut stay in the overlay, and ones cancelled since the
+// collection leave their rectangles stale in the new base.
+func (b *Broker) rebuildOnce() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	// Re-check the thresholds under the lock: a coalesced trigger may
+	// have been satisfied by the previous pass already.
+	overlayBig := len(b.overlay) > b.opts.MinOverlay && len(b.overlay)*4 > b.baseLen
+	staleBig := b.stale*2 > b.baseLen && b.stale > 0
+	if !overlayBig && !staleBig {
+		b.mu.Unlock()
+		return
+	}
+	cut := b.nextID
+	slots := make([]*Subscription, 0, len(b.subs))
+	entries := make([]match.Subscription, 0, b.baseLen-b.stale+len(b.overlay))
+	for _, s := range b.subs {
+		slot := len(slots)
+		slots = append(slots, s)
+		for _, r := range s.rects {
+			entries = append(entries, match.Subscription{Rect: r, SubscriberID: slot})
+		}
+	}
+	b.rebuilding = true
+	b.rebuildCut = cut
+	b.pendingStale = 0
+	b.mu.Unlock()
+
 	var t0 time.Time
 	if b.tel != nil {
 		t0 = time.Now()
 	}
-	var all []match.Subscription
-	for _, s := range b.subs {
-		for _, r := range s.rects {
-			all = append(all, match.Subscription{Rect: r, SubscriberID: s.id})
-		}
-	}
-	idx, err := match.New(all, b.opts.Matcher)
+	idx, err := match.New(entries, b.opts.Matcher)
 	if err != nil {
 		// Mixed dimensionalities across subscriptions make a tree index
 		// impossible; fall back to linear matching.
-		idx = match.BruteForce(all)
+		idx = match.BruteForce(entries)
 	}
+
+	b.mu.Lock()
+	b.rebuilding = false
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	kept := make([]overlayEntry, 0, len(b.overlay))
+	for _, e := range b.overlay {
+		if e.sub.id >= cut {
+			kept = append(kept, e)
+		}
+	}
+	b.overlay = kept
 	b.base = idx
-	b.baseLen = len(all)
-	b.stale = 0
-	b.overlay = b.overlay[:0]
+	b.slots = slots
+	b.baseLen = len(entries)
+	b.stale = b.pendingStale
+	b.pendingStale = 0
 	b.rebuilds.Add(1)
+	b.publishSnapshotLocked()
+	// Churn during the build may already warrant another pass.
+	again := (len(b.overlay) > b.opts.MinOverlay && len(b.overlay)*4 > b.baseLen) ||
+		(b.stale*2 > b.baseLen && b.stale > 0)
+	b.mu.Unlock()
+
 	if b.tel != nil {
 		b.tel.rebuilds.Inc()
 		b.tel.rebuildLatency.ObserveDuration(time.Since(t0))
 	}
+	if again {
+		select {
+		case b.rebuildCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// putScratch returns per-publish scratch to the pool with its slices
+// reset to zero length (capacity retained). Target pointers are kept in
+// the pooled backing array until the next publish overwrites them —
+// acceptable retention for steady-state zero-alloc publishing.
+func (b *Broker) putScratch(sc *pubScratch, ids []int, targets []*Subscription) {
+	sc.ids = ids[:0]
+	sc.targets = targets[:0]
+	b.scratch.Put(sc)
+}
+
+// eventPrep defers the per-publish allocations (point clone, payload
+// clone) until the first delivery actually needs them. A publish whose
+// matches all hit full DropNewest buffers — or match nothing — allocates
+// nothing at all.
+type eventPrep struct {
+	src     geometry.Point
+	payload []byte
+	done    bool
+}
+
+// materialize fills ev's Point and Payload from the prep, once.
+func (pr *eventPrep) materialize(ev *Event) {
+	if pr.done {
+		return
+	}
+	ev.Point = pr.src.Clone()
+	if pr.payload != nil {
+		ev.Payload = append([]byte(nil), pr.payload...)
+	}
+	pr.done = true
 }
 
 // Publish routes an event to every matching live subscriber. It returns
@@ -492,66 +702,104 @@ func (b *Broker) maybeRebuildLocked() {
 // deliveries are excluded). The payload is cloned once per publish, so
 // the caller may reuse its buffer immediately; subscribers of one
 // publication share the clone and must treat it as read-only.
+//
+// Under IndexRebuild, Publish takes no lock: it matches against the
+// immutable snapshot installed by the most recent mutation and uses
+// pooled scratch, so the steady-state publish path performs no heap
+// allocation.
 func (b *Broker) Publish(p geometry.Point, payload []byte) (int, error) {
 	// Telemetry is designed to vanish when disabled: tel is nil, span is
 	// nil, and no time.Now fires — the uninstrumented path is identical
 	// to the pre-telemetry broker.
 	tel := b.tel
 	span := b.tracer.Start("publish")
+	instrumented := tel != nil || span != nil
 	var t0 time.Time
-	if tel != nil || span != nil {
+	if instrumented {
 		t0 = time.Now()
 	}
 
-	// Match under the read lock, then deliver outside it: delivery can
-	// block (Block policy waits for buffer space), and holding b.mu
-	// through it would stall Cancel, Close and Subscribe for the whole
-	// wait. Subscriptions cancelled after the snapshot are caught by
-	// deliver's per-subscription closed check.
-	b.mu.RLock()
-	if b.closed {
-		b.mu.RUnlock()
-		return 0, fmt.Errorf("broker: closed")
-	}
-	ev := Event{Point: p.Clone(), Seq: b.seq.Add(1)}
-
-	// Collect matching live subscriptions, deduplicated.
-	targets := make(map[int]*Subscription)
-	collect := func(id int) bool {
-		if s, live := b.subs[id]; live {
-			targets[id] = s
-		}
-		return true
-	}
+	sc := b.scratch.Get().(*pubScratch)
+	ids := sc.ids[:0]
+	targets := sc.targets[:0]
 	var qs match.QueryStats
+	multiRect := false
+
 	if b.opts.Index == IndexDynamic {
+		// The dynamic tree is mutated in place by Subscribe/Cancel, so
+		// this strategy keeps the read lock; only IndexRebuild gets the
+		// lock-free snapshot path.
+		b.mu.RLock()
+		if b.closed {
+			b.mu.RUnlock()
+			b.putScratch(sc, ids, targets)
+			return 0, errClosed
+		}
+		multiRect = b.multiRect
 		if b.dyn != nil {
-			if tel != nil || span != nil {
-				ds := b.dyn.PointQueryFuncStats(p, collect)
+			if instrumented {
+				var ds rtree.QueryStats
+				ids, ds = b.dyn.PointQueryAppendStats(p, ids)
 				qs.Add(match.QueryStats{NodesVisited: ds.NodesVisited, LeavesVisited: ds.LeavesVisited, EntriesTested: ds.EntriesTested, Matched: ds.ResultsMatched})
 			} else {
-				b.dyn.PointQueryFunc(p, collect)
+				ids = b.dyn.PointQueryAppend(p, ids)
 			}
 		}
-	} else {
-		sm, instrumented := b.base.(match.StatsMatcher)
-		switch {
-		case b.base == nil:
-		case instrumented && (tel != nil || span != nil):
-			qs.Add(sm.MatchFuncStats(p, collect))
-		default:
-			b.base.MatchFunc(p, collect)
+		for _, id := range ids {
+			if s, live := b.subs[id]; live {
+				targets = append(targets, s)
+			}
 		}
-		if tel != nil || span != nil {
-			qs.Add(b.overlay.MatchFuncStats(p, collect))
-		} else {
-			b.overlay.MatchFunc(p, collect)
+		b.mu.RUnlock()
+	} else {
+		snap := b.snap.Load()
+		if snap == nil {
+			b.putScratch(sc, ids, targets)
+			return 0, errClosed
+		}
+		multiRect = snap.multiRect
+		if snap.base != nil {
+			if sm, ok := snap.base.(match.StatsMatcher); ok && instrumented {
+				var bs match.QueryStats
+				ids, bs = sm.MatchAppendStats(p, ids)
+				qs.Add(bs)
+			} else {
+				ids = snap.base.MatchAppend(p, ids)
+			}
+		}
+		for _, slot := range ids {
+			targets = append(targets, snap.slots[slot])
+		}
+		for i := range snap.overlay {
+			e := &snap.overlay[i]
+			if e.rect.Contains(p) {
+				targets = append(targets, e.sub)
+				if instrumented {
+					qs.Matched++
+				}
+			}
+		}
+		if instrumented {
+			qs.EntriesTested += len(snap.overlay)
 		}
 	}
-	b.mu.RUnlock()
+
+	// Deduplicate only when some subscription holds several rectangles;
+	// with single-rect subscriptions every target is distinct already.
+	if multiRect && len(targets) > 1 {
+		slices.SortFunc(targets, func(x, y *Subscription) int { return x.id - y.id })
+		w := 1
+		for i := 1; i < len(targets); i++ {
+			if targets[i] != targets[w-1] {
+				targets[w] = targets[i]
+				w++
+			}
+		}
+		targets = targets[:w]
+	}
 
 	var tMatch time.Time
-	if tel != nil || span != nil {
+	if instrumented {
 		tMatch = time.Now()
 		if tel != nil {
 			tel.matchLatency.Observe(tMatch.Sub(t0).Seconds())
@@ -560,18 +808,17 @@ func (b *Broker) Publish(p geometry.Point, payload []byte) (int, error) {
 		span.Stage("match", tMatch.Sub(t0))
 	}
 
-	if len(targets) > 0 && payload != nil {
-		ev.Payload = append([]byte(nil), payload...)
-	}
+	ev := Event{Seq: b.seq.Add(1)}
+	prep := eventPrep{src: p, payload: payload}
 	delivered := 0
 	for _, s := range targets {
-		if b.deliver(s, ev) {
+		if b.deliver(s, &ev, &prep) {
 			delivered++
 		}
 	}
 	b.delivered.Add(uint64(delivered))
 
-	if tel != nil || span != nil {
+	if instrumented {
 		now := time.Now()
 		if tel != nil {
 			tel.published.Inc()
@@ -587,6 +834,7 @@ func (b *Broker) Publish(p geometry.Point, payload []byte) (int, error) {
 		span.Int("entries_tested", qs.EntriesTested)
 		span.End()
 	}
+	b.putScratch(sc, ids, targets)
 	return delivered, nil
 }
 
@@ -594,7 +842,9 @@ func (b *Broker) Publish(p geometry.Point, payload []byte) (int, error) {
 // when the buffer is full. It runs outside b.mu; s.sendMu excludes a
 // concurrent channel close (closeCh), and the closed check skips
 // subscriptions cancelled after the publisher snapshotted its targets.
-func (b *Broker) deliver(s *Subscription, ev Event) bool {
+// The event's point/payload clones are materialized lazily, only when a
+// send is actually attempted.
+func (b *Broker) deliver(s *Subscription, ev *Event, pr *eventPrep) bool {
 	if s.evicting.Load() {
 		return false // CancelSlow eviction pending
 	}
@@ -603,8 +853,15 @@ func (b *Broker) deliver(s *Subscription, ev Event) bool {
 	if s.closed {
 		return false
 	}
+	if s.policy == DropNewest && len(s.ch) == cap(s.ch) {
+		// Fast drop before cloning anything: a saturated DropNewest
+		// subscriber costs the publisher no allocation.
+		s.noteDrop()
+		return false
+	}
+	pr.materialize(ev)
 	select {
-	case s.ch <- ev:
+	case s.ch <- *ev:
 		s.noteDepth()
 		return true
 	default:
@@ -622,7 +879,7 @@ func (b *Broker) deliver(s *Subscription, ev Event) bool {
 			default:
 			}
 			select {
-			case s.ch <- ev:
+			case s.ch <- *ev:
 				s.noteDepth()
 				return true
 			default:
@@ -633,7 +890,7 @@ func (b *Broker) deliver(s *Subscription, ev Event) bool {
 		defer t.Stop()
 		//pubsub:allow locksafe -- bounded wait (blockTimeout) under the per-subscription sendMu only; b.mu is not held
 		select {
-		case s.ch <- ev:
+		case s.ch <- *ev:
 			s.noteDepth()
 			return true
 		case <-t.C:
@@ -686,23 +943,31 @@ func (b *Broker) Stats() Stats {
 }
 
 // Close shuts the broker down: all subscription channels are closed and
-// further Publish/Subscribe calls fail. It is idempotent.
+// further Publish/Subscribe calls fail. It waits for the background
+// rebuilder (if started) to exit. It is idempotent.
 func (b *Broker) Close() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.closed {
+		b.mu.Unlock()
 		return
 	}
 	b.closed = true
+	close(b.rebuildStop)
 	for id, s := range b.subs {
 		s.closeCh()
 		delete(b.subs, id)
 	}
 	b.base = nil
+	b.slots = nil
 	b.baseLen = 0
 	b.stale = 0
 	b.overlay = nil
 	b.dyn = nil
+	b.snap.Store(nil)
+	b.mu.Unlock()
+	// Outside the lock: rebuildOnce re-acquires b.mu before touching
+	// state, and bails out on the closed flag.
+	b.rebuildWG.Wait()
 }
 
 // SubscribeFunc registers a subscription whose events are delivered by

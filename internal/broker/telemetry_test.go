@@ -5,6 +5,7 @@ import (
 	"log/slog"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/geometry"
 	"repro/internal/telemetry"
@@ -80,8 +81,14 @@ func TestBrokerMetricsNodesVisitedAfterRebuild(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if reg.CounterValue("pubsub_broker_index_rebuilds_total") == 0 {
-		t.Fatal("expected at least one index rebuild")
+	// Rebuilds are asynchronous; wait for the background fold so the
+	// packed index (not the overlay) answers the query below.
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.CounterValue("pubsub_broker_index_rebuilds_total") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("expected at least one index rebuild")
+		}
+		time.Sleep(time.Millisecond)
 	}
 	if _, err := b.Publish(geometry.Point{10.5, 0.5}, nil); err != nil {
 		t.Fatal(err)
@@ -117,9 +124,9 @@ func TestBrokerTracerEmitsSpans(t *testing.T) {
 	}
 }
 
-// A broker without a registry must not pay for telemetry: Publish with
-// no matches performs only its pre-existing allocations (event point
-// clone and the targets map).
+// A broker without a registry must not pay for telemetry: a Publish
+// with no matches allocates nothing at all on the snapshot path, and an
+// instrumented one may not allocate more than the bare one.
 func TestPublishDisabledTelemetryAllocations(t *testing.T) {
 	b := New(Options{})
 	defer b.Close()
@@ -132,6 +139,9 @@ func TestPublishDisabledTelemetryAllocations(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
+	if !raceEnabled && base != 0 {
+		t.Errorf("bare no-match publish allocates %g/op, want 0", base)
+	}
 
 	b2 := New(Options{Metrics: telemetry.NewRegistry()})
 	defer b2.Close()

@@ -1,0 +1,453 @@
+// Package flat compiles a pointer-linked spatial tree (S-tree or packed
+// R-tree) into a contiguous, cache-conscious array layout and answers
+// point and region queries by walking integer indices instead of chasing
+// pointers.
+//
+// Layout. Nodes are numbered in BFS order, so the children of any node
+// occupy a contiguous index range [childStart, childEnd). Leaf entries are
+// likewise laid out in one contiguous range [entryStart, entryEnd) of a
+// single entries array. Bounds are stored struct-of-arrays as planes: for
+// a tree with n nodes over d dimensions, plane 2*k holds the lower bounds
+// of dimension k for all n nodes and plane 2*k+1 the upper bounds, i.e.
+//
+//	nodeBounds[(2*k+0)*n + i] = node i, dimension k, Lo
+//	nodeBounds[(2*k+1)*n + i] = node i, dimension k, Hi
+//
+// so a point-containment test touches 2*d cache-friendly strided loads
+// and the per-dimension comparisons vectorise naturally. Entry bounds use
+// the same plane layout over the entry count.
+//
+// Queries take a caller-provided scratch stack of node indices (returned
+// for reuse; see GetStack/PutStack) and never allocate.
+//
+// The half-open containment convention matches geometry.Interval.Contains:
+// x is inside (Lo, Hi] iff x > Lo && x <= Hi.
+package flat
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/geometry"
+	"repro/internal/invariant"
+)
+
+var errf = fmt.Errorf
+
+// Node is the pointer-tree shape flattened by Build. A node is a leaf iff
+// NumChildren returns 0; only leaves hold entries.
+type Node interface {
+	MBR() geometry.Rect
+	NumChildren() int
+	Child(i int) Node
+	NumEntries() int
+	Entry(i int) (geometry.Rect, int)
+}
+
+// Stats counts traversal effort for a single query. Fields mirror the
+// QueryStats types of the stree and rtree packages.
+type Stats struct {
+	NodesVisited  int
+	LeavesVisited int
+	EntriesTested int
+	Matched       int
+}
+
+// Tree is the flattened, immutable index. The zero value is an empty tree
+// matching nothing.
+type Tree struct {
+	dims       int
+	numNodes   int
+	numEntries int
+
+	// nodeBounds holds 2*dims planes of numNodes floats each (see the
+	// package comment for the plane layout).
+	nodeBounds []float64
+	childStart []int32 // per node; childStart==childEnd marks a leaf
+	childEnd   []int32
+	entryStart []int32 // per node; non-empty only on leaves
+	entryEnd   []int32
+
+	entryBounds []float64 // 2*dims planes of numEntries floats each
+	entryIDs    []int     // caller-assigned entry identifiers
+}
+
+// Build flattens the pointer tree rooted at root. A nil root yields an
+// empty tree. dims is the dimensionality of every rectangle in the tree.
+func Build(root Node, dims int) *Tree {
+	t := &Tree{dims: dims}
+	if root == nil || dims == 0 {
+		return t
+	}
+
+	// Pass 1: size the arrays.
+	nodes := 0
+	entries := 0
+	queue := make([]Node, 0, 64)
+	queue = append(queue, root)
+	for qi := 0; qi < len(queue); qi++ {
+		n := queue[qi]
+		nodes++
+		entries += n.NumEntries()
+		for i := 0; i < n.NumChildren(); i++ {
+			queue = append(queue, n.Child(i))
+		}
+	}
+	t.numNodes = nodes
+	t.numEntries = entries
+	t.nodeBounds = make([]float64, 2*dims*nodes)
+	t.childStart = make([]int32, nodes)
+	t.childEnd = make([]int32, nodes)
+	t.entryStart = make([]int32, nodes)
+	t.entryEnd = make([]int32, nodes)
+	t.entryBounds = make([]float64, 2*dims*entries)
+	t.entryIDs = make([]int, entries)
+
+	// Pass 2: BFS again, assigning child ranges as nodes are enqueued so
+	// each node's children land contiguously.
+	queue = queue[:0]
+	queue = append(queue, root)
+	nextNode := int32(1)
+	nextEntry := int32(0)
+	for idx := 0; idx < nodes; idx++ {
+		n := queue[idx]
+		mbr := n.MBR()
+		for d := 0; d < dims; d++ {
+			t.nodeBounds[(2*d+0)*nodes+idx] = mbr[d].Lo
+			t.nodeBounds[(2*d+1)*nodes+idx] = mbr[d].Hi
+		}
+		nc := n.NumChildren()
+		t.childStart[idx] = nextNode
+		for i := 0; i < nc; i++ {
+			queue = append(queue, n.Child(i))
+		}
+		nextNode += int32(nc)
+		t.childEnd[idx] = nextNode
+
+		ne := n.NumEntries()
+		t.entryStart[idx] = nextEntry
+		for i := 0; i < ne; i++ {
+			r, id := n.Entry(i)
+			e := int(nextEntry) + i
+			for d := 0; d < dims; d++ {
+				t.entryBounds[(2*d+0)*entries+e] = r[d].Lo
+				t.entryBounds[(2*d+1)*entries+e] = r[d].Hi
+			}
+			t.entryIDs[e] = id
+		}
+		nextEntry += int32(ne)
+		t.entryEnd[idx] = nextEntry
+	}
+
+	if invariant.Enabled {
+		err := t.verify(root)
+		invariant.Assertf(err == nil, "flat.Build diverged from source tree: %v", err)
+	}
+	return t
+}
+
+// NumNodes reports the number of flattened nodes.
+func (t *Tree) NumNodes() int { return t.numNodes }
+
+// NumEntries reports the number of flattened leaf entries.
+func (t *Tree) NumEntries() int { return t.numEntries }
+
+// Dims reports the dimensionality the tree was built with.
+func (t *Tree) Dims() int { return t.dims }
+
+// nodeContains reports whether node i's MBR contains p under the
+// half-open (Lo, Hi] convention. len(p) must equal t.dims.
+func (t *Tree) nodeContains(i int32, p geometry.Point) bool {
+	n := t.numNodes
+	b := t.nodeBounds
+	for d := 0; d < len(p); d++ {
+		x := p[d]
+		if !(x > b[(2*d+0)*n+int(i)] && x <= b[(2*d+1)*n+int(i)]) {
+			return false
+		}
+	}
+	return true
+}
+
+// entryContains is nodeContains for leaf entry e.
+func (t *Tree) entryContains(e int32, p geometry.Point) bool {
+	n := t.numEntries
+	b := t.entryBounds
+	for d := 0; d < len(p); d++ {
+		x := p[d]
+		if !(x > b[(2*d+0)*n+int(e)] && x <= b[(2*d+1)*n+int(e)]) {
+			return false
+		}
+	}
+	return true
+}
+
+// nodeIntersects reports whether node i's MBR intersects the non-empty
+// region r, mirroring geometry.Rect.Intersects. Stored bounds are never
+// empty, so only the overlap test is needed.
+func (t *Tree) nodeIntersects(i int32, r geometry.Rect) bool {
+	n := t.numNodes
+	b := t.nodeBounds
+	for d := 0; d < len(r); d++ {
+		lo := b[(2*d+0)*n+int(i)]
+		hi := b[(2*d+1)*n+int(i)]
+		if max64(lo, r[d].Lo) >= min64(hi, r[d].Hi) {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Tree) entryIntersects(e int32, r geometry.Rect) bool {
+	n := t.numEntries
+	b := t.entryBounds
+	for d := 0; d < len(r); d++ {
+		lo := b[(2*d+0)*n+int(e)]
+		hi := b[(2*d+1)*n+int(e)]
+		if max64(lo, r[d].Lo) >= min64(hi, r[d].Hi) {
+			return false
+		}
+	}
+	return true
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// PointAppend appends the IDs of every entry containing p to dst and
+// returns it, along with the (possibly grown) scratch stack for reuse.
+// st must be non-nil; counters are added to, not reset.
+func (t *Tree) PointAppend(p geometry.Point, dst []int, stack []int32, st *Stats) ([]int, []int32) {
+	if t.numNodes == 0 || len(p) != t.dims {
+		return dst, stack
+	}
+	stack = stack[:0]
+	if t.nodeContains(0, p) {
+		stack = append(stack, 0)
+	}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		st.NodesVisited++
+		cs, ce := t.childStart[i], t.childEnd[i]
+		if cs == ce {
+			st.LeavesVisited++
+			es, ee := t.entryStart[i], t.entryEnd[i]
+			st.EntriesTested += int(ee - es)
+			for e := es; e < ee; e++ {
+				if t.entryContains(e, p) {
+					st.Matched++
+					dst = append(dst, t.entryIDs[e])
+				}
+			}
+			continue
+		}
+		for c := cs; c < ce; c++ {
+			if t.nodeContains(c, p) {
+				stack = append(stack, c)
+			}
+		}
+	}
+	return dst, stack
+}
+
+// PointCount counts the entries containing p without materialising IDs.
+func (t *Tree) PointCount(p geometry.Point, stack []int32, st *Stats) (int, []int32) {
+	if t.numNodes == 0 || len(p) != t.dims {
+		return 0, stack
+	}
+	count := 0
+	stack = stack[:0]
+	if t.nodeContains(0, p) {
+		stack = append(stack, 0)
+	}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		st.NodesVisited++
+		cs, ce := t.childStart[i], t.childEnd[i]
+		if cs == ce {
+			st.LeavesVisited++
+			es, ee := t.entryStart[i], t.entryEnd[i]
+			st.EntriesTested += int(ee - es)
+			for e := es; e < ee; e++ {
+				if t.entryContains(e, p) {
+					count++
+				}
+			}
+			continue
+		}
+		for c := cs; c < ce; c++ {
+			if t.nodeContains(c, p) {
+				stack = append(stack, c)
+			}
+		}
+	}
+	st.Matched += count
+	return count, stack
+}
+
+// PointFunc streams the IDs of entries containing p to fn; fn returning
+// false stops the walk. The scratch stack is returned for reuse.
+func (t *Tree) PointFunc(p geometry.Point, stack []int32, st *Stats, fn func(id int) bool) []int32 {
+	if t.numNodes == 0 || len(p) != t.dims {
+		return stack
+	}
+	stack = stack[:0]
+	if t.nodeContains(0, p) {
+		stack = append(stack, 0)
+	}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		st.NodesVisited++
+		cs, ce := t.childStart[i], t.childEnd[i]
+		if cs == ce {
+			st.LeavesVisited++
+			es, ee := t.entryStart[i], t.entryEnd[i]
+			st.EntriesTested += int(ee - es)
+			for e := es; e < ee; e++ {
+				if t.entryContains(e, p) {
+					st.Matched++
+					if !fn(t.entryIDs[e]) {
+						return stack
+					}
+				}
+			}
+			continue
+		}
+		for c := cs; c < ce; c++ {
+			if t.nodeContains(c, p) {
+				stack = append(stack, c)
+			}
+		}
+	}
+	return stack
+}
+
+// RegionFunc streams the IDs of entries intersecting r to fn; fn
+// returning false stops the walk.
+func (t *Tree) RegionFunc(r geometry.Rect, stack []int32, st *Stats, fn func(id int) bool) []int32 {
+	if t.numNodes == 0 || len(r) != t.dims || r.Empty() {
+		return stack
+	}
+	stack = stack[:0]
+	if t.nodeIntersects(0, r) {
+		stack = append(stack, 0)
+	}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		st.NodesVisited++
+		cs, ce := t.childStart[i], t.childEnd[i]
+		if cs == ce {
+			st.LeavesVisited++
+			es, ee := t.entryStart[i], t.entryEnd[i]
+			st.EntriesTested += int(ee - es)
+			for e := es; e < ee; e++ {
+				if t.entryIntersects(e, r) {
+					st.Matched++
+					if !fn(t.entryIDs[e]) {
+						return stack
+					}
+				}
+			}
+			continue
+		}
+		for c := cs; c < ce; c++ {
+			if t.nodeIntersects(c, r) {
+				stack = append(stack, c)
+			}
+		}
+	}
+	return stack
+}
+
+// stackPool recycles traversal stacks across queries so steady-state
+// queries allocate nothing.
+var stackPool = sync.Pool{
+	New: func() any {
+		s := make([]int32, 0, 64)
+		return &s
+	},
+}
+
+// GetStack borrows a scratch stack from the shared pool.
+func GetStack() *[]int32 { return stackPool.Get().(*[]int32) }
+
+// PutStack returns a stack borrowed with GetStack.
+func PutStack(s *[]int32) { stackPool.Put(s) }
+
+// verify re-walks the source pointer tree and checks that the flattened
+// arrays reproduce it node for node and entry for entry. Only called when
+// the invariants build tag is enabled.
+func (t *Tree) verify(root Node) error {
+	type pair struct {
+		n   Node
+		idx int32
+	}
+	queue := []pair{{root, 0}}
+	seenNodes := 0
+	seenEntries := 0
+	next := int32(1)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		seenNodes++
+		mbr := cur.n.MBR()
+		if len(mbr) != t.dims {
+			return errf("node %d: dims %d != %d", cur.idx, len(mbr), t.dims)
+		}
+		for d := 0; d < t.dims; d++ {
+			lo := t.nodeBounds[(2*d+0)*t.numNodes+int(cur.idx)]
+			hi := t.nodeBounds[(2*d+1)*t.numNodes+int(cur.idx)]
+			if lo != mbr[d].Lo || hi != mbr[d].Hi {
+				return errf("node %d dim %d: flat (%g,%g] != source (%g,%g]", cur.idx, d, lo, hi, mbr[d].Lo, mbr[d].Hi)
+			}
+		}
+		nc := cur.n.NumChildren()
+		cs, ce := t.childStart[cur.idx], t.childEnd[cur.idx]
+		if int(ce-cs) != nc || (nc > 0 && cs != next) {
+			return errf("node %d: child range [%d,%d) != %d children at %d", cur.idx, cs, ce, nc, next)
+		}
+		for i := 0; i < nc; i++ {
+			queue = append(queue, pair{cur.n.Child(i), cs + int32(i)})
+		}
+		next += int32(nc)
+		ne := cur.n.NumEntries()
+		es, ee := t.entryStart[cur.idx], t.entryEnd[cur.idx]
+		if int(ee-es) != ne {
+			return errf("node %d: entry range [%d,%d) != %d entries", cur.idx, es, ee, ne)
+		}
+		for i := 0; i < ne; i++ {
+			r, id := cur.n.Entry(i)
+			e := es + int32(i)
+			if t.entryIDs[e] != id {
+				return errf("entry %d: id %d != %d", e, t.entryIDs[e], id)
+			}
+			for d := 0; d < t.dims; d++ {
+				lo := t.entryBounds[(2*d+0)*t.numEntries+int(e)]
+				hi := t.entryBounds[(2*d+1)*t.numEntries+int(e)]
+				if lo != r[d].Lo || hi != r[d].Hi {
+					return errf("entry %d dim %d: flat (%g,%g] != source (%g,%g]", e, d, lo, hi, r[d].Lo, r[d].Hi)
+				}
+			}
+		}
+		seenEntries += ne
+	}
+	if seenNodes != t.numNodes || seenEntries != t.numEntries {
+		return errf("walked %d nodes / %d entries, flattened %d / %d", seenNodes, seenEntries, t.numNodes, t.numEntries)
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+package flat
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geometry"
+)
+
+// refNode is a minimal pointer tree used to exercise Build.
+type refNode struct {
+	mbr      geometry.Rect
+	children []*refNode
+	rects    []geometry.Rect
+	ids      []int
+}
+
+func (n *refNode) MBR() geometry.Rect { return n.mbr }
+func (n *refNode) NumChildren() int   { return len(n.children) }
+func (n *refNode) Child(i int) Node   { return n.children[i] }
+func (n *refNode) NumEntries() int    { return len(n.rects) }
+func (n *refNode) Entry(i int) (geometry.Rect, int) {
+	return n.rects[i], n.ids[i]
+}
+
+// buildRef packs rects into leaves of fanout entries each and stacks
+// internal levels of the same fanout, bottom-up.
+func buildRef(rects []geometry.Rect, ids []int, fanout int) *refNode {
+	var leaves []*refNode
+	for start := 0; start < len(rects); start += fanout {
+		end := start + fanout
+		if end > len(rects) {
+			end = len(rects)
+		}
+		mbr := geometry.BoundingBox(rects[start:end]...)
+		leaves = append(leaves, &refNode{mbr: mbr, rects: rects[start:end], ids: ids[start:end]})
+	}
+	level := leaves
+	for len(level) > 1 {
+		var parents []*refNode
+		for start := 0; start < len(level); start += fanout {
+			end := start + fanout
+			if end > len(level) {
+				end = len(level)
+			}
+			var mbr geometry.Rect
+			for _, c := range level[start:end] {
+				mbr = mbr.Union(c.mbr)
+			}
+			parents = append(parents, &refNode{mbr: mbr, children: level[start:end]})
+		}
+		level = parents
+	}
+	return level[0]
+}
+
+func randomRects(rng *rand.Rand, n, dims int) ([]geometry.Rect, []int) {
+	rects := make([]geometry.Rect, n)
+	ids := make([]int, n)
+	for i := range rects {
+		r := make(geometry.Rect, dims)
+		for d := range r {
+			lo := rng.Float64() * 90
+			r[d] = geometry.NewInterval(lo, lo+1+rng.Float64()*20)
+		}
+		rects[i] = r
+		ids[i] = i
+	}
+	return rects, ids
+}
+
+func sortedCopy(ids []int) []int {
+	out := append([]int(nil), ids...)
+	sort.Ints(out)
+	return out
+}
+
+func equalIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPointQueriesMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dims := range []int{1, 2, 3} {
+		rects, ids := randomRects(rng, 300, dims)
+		tree := Build(buildRef(rects, ids, 8), dims)
+		if tree.NumEntries() != len(rects) {
+			t.Fatalf("dims=%d: flattened %d entries, want %d", dims, tree.NumEntries(), len(rects))
+		}
+		var dst []int
+		var stack []int32
+		for q := 0; q < 200; q++ {
+			p := make(geometry.Point, dims)
+			for d := range p {
+				p[d] = rng.Float64() * 120
+			}
+			var want []int
+			for i, r := range rects {
+				if r.Contains(p) {
+					want = append(want, ids[i])
+				}
+			}
+			var st Stats
+			dst = dst[:0]
+			dst, stack = tree.PointAppend(p, dst, stack, &st)
+			if got := sortedCopy(dst); !equalIDs(got, sortedCopy(want)) {
+				t.Fatalf("dims=%d q=%d: PointAppend = %v, want %v", dims, q, got, want)
+			}
+			if st.Matched != len(want) {
+				t.Fatalf("dims=%d q=%d: stats.Matched = %d, want %d", dims, q, st.Matched, len(want))
+			}
+
+			var cst Stats
+			count, s2 := tree.PointCount(p, stack, &cst)
+			stack = s2
+			if count != len(want) {
+				t.Fatalf("dims=%d q=%d: PointCount = %d, want %d", dims, q, count, len(want))
+			}
+
+			var streamed []int
+			var fst Stats
+			stack = tree.PointFunc(p, stack, &fst, func(id int) bool {
+				streamed = append(streamed, id)
+				return true
+			})
+			if !equalIDs(sortedCopy(streamed), sortedCopy(want)) {
+				t.Fatalf("dims=%d q=%d: PointFunc = %v, want %v", dims, q, streamed, want)
+			}
+		}
+	}
+}
+
+func TestRegionQueryMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rects, ids := randomRects(rng, 250, 2)
+	tree := Build(buildRef(rects, ids, 8), 2)
+	var stack []int32
+	for q := 0; q < 100; q++ {
+		region := make(geometry.Rect, 2)
+		for d := range region {
+			lo := rng.Float64() * 100
+			region[d] = geometry.NewInterval(lo, lo+rng.Float64()*30)
+		}
+		var want []int
+		for i, r := range rects {
+			if r.Intersects(region) {
+				want = append(want, ids[i])
+			}
+		}
+		var got []int
+		var st Stats
+		stack = tree.RegionFunc(region, stack, &st, func(id int) bool {
+			got = append(got, id)
+			return true
+		})
+		if !equalIDs(sortedCopy(got), sortedCopy(want)) {
+			t.Fatalf("q=%d: RegionFunc = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rects, ids := randomRects(rng, 100, 2)
+	tree := Build(buildRef(rects, ids, 8), 2)
+	p := rects[0].Center()
+	seen := 0
+	var st Stats
+	tree.PointFunc(p, nil, &st, func(int) bool {
+		seen++
+		return false
+	})
+	if seen != 1 {
+		t.Fatalf("early-stopped walk saw %d results, want 1", seen)
+	}
+}
+
+func TestEmptyAndMismatchedQueries(t *testing.T) {
+	empty := Build(nil, 2)
+	var st Stats
+	dst, _ := empty.PointAppend(geometry.Point{1, 2}, nil, nil, &st)
+	if len(dst) != 0 {
+		t.Fatalf("empty tree matched %v", dst)
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	rects, ids := randomRects(rng, 50, 2)
+	tree := Build(buildRef(rects, ids, 8), 2)
+	dst, _ = tree.PointAppend(geometry.Point{1}, nil, nil, &st) // wrong dims
+	if len(dst) != 0 {
+		t.Fatalf("mismatched-dims query matched %v", dst)
+	}
+	count, _ := tree.PointCount(geometry.Point{1, 2, 3}, nil, &st)
+	if count != 0 {
+		t.Fatalf("mismatched-dims count = %d", count)
+	}
+}
+
+func TestUnboundedRectangles(t *testing.T) {
+	// "volume >= 1000"-style half-unbounded subscriptions must flatten
+	// and match exactly like the pointer tree.
+	inf := geometry.Rect{geometry.Interval{Lo: 1000, Hi: math.Inf(1)}, geometry.NewInterval(0, 10)}
+	fin := geometry.Rect{geometry.NewInterval(0, 500), geometry.NewInterval(0, 10)}
+	rects := []geometry.Rect{inf, fin}
+	ids := []int{7, 8}
+	tree := Build(buildRef(rects, ids, 2), 2)
+	var st Stats
+	dst, _ := tree.PointAppend(geometry.Point{5000, 5}, nil, nil, &st)
+	if !equalIDs(dst, []int{7}) {
+		t.Fatalf("unbounded match = %v, want [7]", dst)
+	}
+}
+
+func TestStackPoolRoundTrip(t *testing.T) {
+	s := GetStack()
+	*s = append(*s, 1, 2, 3)
+	PutStack(s)
+	s2 := GetStack()
+	defer PutStack(s2)
+	if cap(*s2) == 0 {
+		t.Fatal("pool returned zero-capacity stack")
+	}
+}

@@ -33,7 +33,13 @@ type Matcher interface {
 	Match(p geometry.Point) []int
 	// MatchFunc streams SubscriberIDs to fn; return false to stop early.
 	MatchFunc(p geometry.Point, fn func(subscriberID int) bool)
-	// Count returns the number of matching subscriptions.
+	// MatchAppend appends the SubscriberIDs of all subscriptions
+	// containing p to dst and returns it. Implementations perform no
+	// allocation beyond growing dst, so callers that reuse dst across
+	// events match with zero steady-state allocation.
+	MatchAppend(p geometry.Point, dst []int) []int
+	// Count returns the number of matching subscriptions without
+	// allocating.
 	Count(p geometry.Point) int
 	// Len reports the number of indexed subscriptions.
 	Len() int
@@ -68,6 +74,9 @@ func (s *QueryStats) Add(other QueryStats) {
 type StatsMatcher interface {
 	Matcher
 	MatchFuncStats(p geometry.Point, fn func(subscriberID int) bool) QueryStats
+	// MatchAppendStats is MatchAppend with per-query effort counters,
+	// under the same no-extra-allocation contract.
+	MatchAppendStats(p geometry.Point, dst []int) ([]int, QueryStats)
 }
 
 // Every tree-backed matcher and the brute-force oracle are
@@ -239,6 +248,28 @@ func (b BruteForce) MatchFunc(p geometry.Point, fn func(int) bool) {
 	}
 }
 
+// MatchAppend implements Matcher.
+func (b BruteForce) MatchAppend(p geometry.Point, dst []int) []int {
+	for _, s := range b {
+		if s.Rect.Contains(p) {
+			dst = append(dst, s.SubscriberID)
+		}
+	}
+	return dst
+}
+
+// MatchAppendStats implements StatsMatcher.
+func (b BruteForce) MatchAppendStats(p geometry.Point, dst []int) ([]int, QueryStats) {
+	stats := QueryStats{EntriesTested: len(b)}
+	for _, s := range b {
+		if s.Rect.Contains(p) {
+			stats.Matched++
+			dst = append(dst, s.SubscriberID)
+		}
+	}
+	return dst, stats
+}
+
 // Count implements Matcher.
 func (b BruteForce) Count(p geometry.Point) int {
 	n := 0
@@ -276,6 +307,16 @@ func (m *streeMatcher) MatchFunc(p geometry.Point, fn func(int) bool) {
 	m.tree().PointQueryFunc(p, fn)
 }
 
+func (m *streeMatcher) MatchAppend(p geometry.Point, dst []int) []int {
+	return m.tree().PointQueryAppend(p, dst)
+}
+
+// MatchAppendStats implements StatsMatcher.
+func (m *streeMatcher) MatchAppendStats(p geometry.Point, dst []int) ([]int, QueryStats) {
+	dst, s := m.tree().PointQueryAppendStats(p, dst)
+	return dst, QueryStats{NodesVisited: s.NodesVisited, LeavesVisited: s.LeavesVisited, EntriesTested: s.EntriesTested, Matched: s.ResultsMatched}
+}
+
 func (m *streeMatcher) Count(p geometry.Point) int { return m.tree().CountQuery(p) }
 
 func (m *streeMatcher) Len() int { return m.tree().Len() }
@@ -298,6 +339,10 @@ func (m *predMatcher) MatchFunc(p geometry.Point, fn func(int) bool) {
 	m.index().MatchFunc(p, fn)
 }
 
+func (m *predMatcher) MatchAppend(p geometry.Point, dst []int) []int {
+	return m.index().MatchAppend(p, dst)
+}
+
 func (m *predMatcher) Count(p geometry.Point) int { return m.index().Count(p) }
 
 func (m *predMatcher) Len() int { return m.index().Len() }
@@ -312,6 +357,16 @@ func (m *dynamicMatcher) Match(p geometry.Point) []int { return m.tree().PointQu
 
 func (m *dynamicMatcher) MatchFunc(p geometry.Point, fn func(int) bool) {
 	m.tree().PointQueryFunc(p, fn)
+}
+
+func (m *dynamicMatcher) MatchAppend(p geometry.Point, dst []int) []int {
+	return m.tree().PointQueryAppend(p, dst)
+}
+
+// MatchAppendStats implements StatsMatcher.
+func (m *dynamicMatcher) MatchAppendStats(p geometry.Point, dst []int) ([]int, QueryStats) {
+	dst, s := m.tree().PointQueryAppendStats(p, dst)
+	return dst, QueryStats{NodesVisited: s.NodesVisited, LeavesVisited: s.LeavesVisited, EntriesTested: s.EntriesTested, Matched: s.ResultsMatched}
 }
 
 func (m *dynamicMatcher) Count(p geometry.Point) int { return m.tree().CountQuery(p) }
@@ -334,6 +389,16 @@ func (m *rtreeMatcher) Match(p geometry.Point) []int { return m.tree().PointQuer
 
 func (m *rtreeMatcher) MatchFunc(p geometry.Point, fn func(int) bool) {
 	m.tree().PointQueryFunc(p, fn)
+}
+
+func (m *rtreeMatcher) MatchAppend(p geometry.Point, dst []int) []int {
+	return m.tree().PointQueryAppend(p, dst)
+}
+
+// MatchAppendStats implements StatsMatcher.
+func (m *rtreeMatcher) MatchAppendStats(p geometry.Point, dst []int) ([]int, QueryStats) {
+	dst, s := m.tree().PointQueryAppendStats(p, dst)
+	return dst, QueryStats{NodesVisited: s.NodesVisited, LeavesVisited: s.LeavesVisited, EntriesTested: s.EntriesTested, Matched: s.ResultsMatched}
 }
 
 func (m *rtreeMatcher) Count(p geometry.Point) int { return m.tree().CountQuery(p) }

@@ -211,3 +211,47 @@ func TestQueryStatsAdd(t *testing.T) {
 		t.Fatalf("Add = %+v, want %+v", a, want)
 	}
 }
+
+func TestMatchAppendAgreesWithMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	subs := randomSubs(rng, 700, 3)
+	algs := []Algorithm{AlgBruteForce, AlgSTree, AlgHilbertRTree, AlgPredCount, AlgDynamicRTree}
+	for _, alg := range algs {
+		t.Run(alg.String(), func(t *testing.T) {
+			m := MustNew(subs, Options{Algorithm: alg, BranchFactor: 16})
+			var dst []int
+			for i := 0; i < 200; i++ {
+				p := randomPoint(rng, 3)
+				dst = dst[:0]
+				dst = m.MatchAppend(p, dst)
+				if !equalIDs(dst, m.Match(p)) {
+					t.Fatalf("MatchAppend(%v) = %v, want %v", p, dst, m.Match(p))
+				}
+				if len(dst) != m.Count(p) {
+					t.Fatalf("Count(%v) = %d, want %d", p, m.Count(p), len(dst))
+				}
+				if sm, ok := m.(StatsMatcher); ok {
+					got, stats := sm.MatchAppendStats(p, nil)
+					if !equalIDs(got, dst) {
+						t.Fatalf("MatchAppendStats(%v) = %v, want %v", p, got, dst)
+					}
+					if stats.Matched != len(dst) {
+						t.Fatalf("MatchAppendStats(%v).Matched = %d, want %d", p, stats.Matched, len(dst))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMatchAppendPreservesPrefix guards the append contract: existing dst
+// contents survive.
+func TestMatchAppendPreservesPrefix(t *testing.T) {
+	subs := []Subscription{{Rect: geometry.NewRect(0, 10), SubscriberID: 5}}
+	m := MustNew(subs, Options{Algorithm: AlgSTree})
+	dst := []int{99}
+	dst = m.MatchAppend(geometry.Point{4}, dst)
+	if len(dst) != 2 || dst[0] != 99 || dst[1] != 5 {
+		t.Fatalf("MatchAppend clobbered prefix: %v", dst)
+	}
+}

@@ -83,9 +83,8 @@ func buildNode(entries []treeEntry) *itNode {
 }
 
 // stab calls fn for every entry whose interval contains x (Lo < x <= Hi).
-// The sorted scans prune by one bound; the other bound is verified
-// explicitly so that degenerate nodes (which may hold non-spanning
-// entries) stay correct.
+// It is the streaming form used by tests; the match hot path uses
+// stabCount below.
 func (t *intervalTree) stab(x float64, fn func(sub int32)) {
 	for n := t.root; n != nil; {
 		switch {
@@ -113,6 +112,46 @@ func (t *intervalTree) stab(x float64, fn func(sub int32)) {
 			for _, e := range n.byLo {
 				if e.Lo < x && x <= e.Hi {
 					fn(e.Sub)
+				}
+			}
+			return
+		}
+	}
+}
+
+// stabCount bumps the satisfaction counter of every subscription owning
+// an entry whose interval contains x (Lo < x <= Hi). The sorted scans
+// prune by one bound; the other bound is verified explicitly so that
+// degenerate nodes (which may hold non-spanning entries) stay correct.
+// Incrementing the counter set directly, rather than streaming through a
+// callback, keeps the match hot path free of closures.
+func (t *intervalTree) stabCount(x float64, cs *counterSet) {
+	for n := t.root; n != nil; {
+		switch {
+		case x < n.center:
+			for _, e := range n.byLo {
+				if e.Lo >= x {
+					break
+				}
+				if x <= e.Hi {
+					cs.bump(e.Sub)
+				}
+			}
+			n = n.left
+		case x > n.center:
+			for _, e := range n.byHi {
+				if e.Hi < x {
+					break
+				}
+				if e.Lo < x {
+					cs.bump(e.Sub)
+				}
+			}
+			n = n.right
+		default: // x == center
+			for _, e := range n.byLo {
+				if e.Lo < x && x <= e.Hi {
+					cs.bump(e.Sub)
 				}
 			}
 			return

@@ -44,6 +44,20 @@ type counterSet struct {
 	touched []int32
 }
 
+func (cs *counterSet) bump(sub int32) {
+	if cs.counts[sub] == 0 {
+		cs.touched = append(cs.touched, sub)
+	}
+	cs.counts[sub]++
+}
+
+func (cs *counterSet) reset() {
+	for _, i := range cs.touched {
+		cs.counts[i] = 0
+	}
+	cs.touched = cs.touched[:0]
+}
+
 // isWildcard reports whether the interval constrains nothing.
 func isWildcard(iv geometry.Interval) bool {
 	return math.IsInf(iv.Lo, -1) && math.IsInf(iv.Hi, 1)
@@ -116,21 +130,11 @@ func (ix *Index) MatchFunc(p geometry.Point, fn func(subscriberID int) bool) {
 	}
 	cs := ix.scratch.Get().(*counterSet)
 	defer func() {
-		for _, i := range cs.touched {
-			cs.counts[i] = 0
-		}
-		cs.touched = cs.touched[:0]
+		cs.reset()
 		ix.scratch.Put(cs)
 	}()
 
-	for d, tree := range ix.trees {
-		tree.stab(p[d], func(sub int32) {
-			if cs.counts[sub] == 0 {
-				cs.touched = append(cs.touched, sub)
-			}
-			cs.counts[sub]++
-		})
-	}
+	ix.stabAll(p, cs)
 	for _, i := range ix.alwaysMatch {
 		if !fn(ix.subscriberID[i]) {
 			return
@@ -145,6 +149,35 @@ func (ix *Index) MatchFunc(p geometry.Point, fn func(subscriberID int) bool) {
 	}
 }
 
+// stabAll runs the per-dimension stabbing queries, accumulating
+// satisfaction counts into cs.
+func (ix *Index) stabAll(p geometry.Point, cs *counterSet) {
+	for d, tree := range ix.trees {
+		tree.stabCount(p[d], cs)
+	}
+}
+
+// MatchAppend appends the subscriber IDs of all subscriptions containing
+// p to dst and returns it. It performs no allocation beyond growing dst.
+func (ix *Index) MatchAppend(p geometry.Point, dst []int) []int {
+	if ix.size == 0 || len(p) != ix.dims {
+		return dst
+	}
+	cs := ix.scratch.Get().(*counterSet)
+	ix.stabAll(p, cs)
+	for _, i := range ix.alwaysMatch {
+		dst = append(dst, ix.subscriberID[i])
+	}
+	for _, i := range cs.touched {
+		if cs.counts[i] == ix.required[i] {
+			dst = append(dst, ix.subscriberID[i])
+		}
+	}
+	cs.reset()
+	ix.scratch.Put(cs)
+	return dst
+}
+
 // Match returns the subscriber IDs of all subscriptions containing p.
 func (ix *Index) Match(p geometry.Point) []int {
 	var ids []int
@@ -155,12 +188,21 @@ func (ix *Index) Match(p geometry.Point) []int {
 	return ids
 }
 
-// Count returns the number of subscriptions containing p.
+// Count returns the number of subscriptions containing p. It does not
+// allocate.
 func (ix *Index) Count(p geometry.Point) int {
-	n := 0
-	ix.MatchFunc(p, func(int) bool {
-		n++
-		return true
-	})
+	if ix.size == 0 || len(p) != ix.dims {
+		return 0
+	}
+	cs := ix.scratch.Get().(*counterSet)
+	ix.stabAll(p, cs)
+	n := len(ix.alwaysMatch)
+	for _, i := range cs.touched {
+		if cs.counts[i] == ix.required[i] {
+			n++
+		}
+	}
+	cs.reset()
+	ix.scratch.Put(cs)
 	return n
 }

@@ -3,6 +3,7 @@ package rtree
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/geometry"
 	"repro/internal/invariant"
@@ -380,11 +381,24 @@ func (t *Dynamic) PointQueryFuncStats(p geometry.Point, fn func(id int) bool) Qu
 	return stats
 }
 
+// dstackPool recycles traversal stacks so steady-state queries over the
+// dynamic tree allocate nothing.
+var dstackPool = sync.Pool{
+	New: func() any {
+		s := make([]*dnode, 0, 64)
+		return &s
+	},
+}
+
 func (t *Dynamic) search(p geometry.Point, fn func(id int) bool, stats *QueryStats) {
 	if t.root == nil || !t.root.mbr.Contains(p) {
 		return
 	}
-	stack := []*dnode{t.root}
+	sp := dstackPool.Get().(*[]*dnode)
+	defer dstackPool.Put(sp)
+	stack := (*sp)[:0]
+	defer func() { *sp = stack }()
+	stack = append(stack, t.root)
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -409,14 +423,96 @@ func (t *Dynamic) search(p geometry.Point, fn func(id int) bool, stats *QuerySta
 	}
 }
 
-// CountQuery returns the number of rectangles containing p.
+// PointQueryAppend appends the IDs of all rectangles containing p to dst
+// and returns it. It performs no allocation beyond growing dst.
+func (t *Dynamic) PointQueryAppend(p geometry.Point, dst []int) []int {
+	var stats QueryStats
+	dst, _ = t.appendWalk(p, dst, &stats)
+	return dst
+}
+
+// PointQueryAppendStats is PointQueryAppend with traversal statistics.
+func (t *Dynamic) PointQueryAppendStats(p geometry.Point, dst []int) ([]int, QueryStats) {
+	var stats QueryStats
+	dst, matched := t.appendWalk(p, dst, &stats)
+	stats.ResultsMatched = matched
+	return dst, stats
+}
+
+// appendWalk is the closure-free traversal backing the append and count
+// queries; it returns dst and the number of matches.
+func (t *Dynamic) appendWalk(p geometry.Point, dst []int, stats *QueryStats) ([]int, int) {
+	if t.root == nil || !t.root.mbr.Contains(p) {
+		return dst, 0
+	}
+	matched := 0
+	sp := dstackPool.Get().(*[]*dnode)
+	stack := (*sp)[:0]
+	stack = append(stack, t.root)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		stats.NodesVisited++
+		if n.leaf {
+			stats.LeavesVisited++
+			for _, e := range n.entries {
+				stats.EntriesTested++
+				if e.Rect.Contains(p) {
+					matched++
+					dst = append(dst, e.ID)
+				}
+			}
+			continue
+		}
+		for _, c := range n.children {
+			if c.mbr.Contains(p) {
+				stack = append(stack, c)
+			}
+		}
+	}
+	*sp = stack
+	dstackPool.Put(sp)
+	return dst, matched
+}
+
+// CountQuery returns the number of rectangles containing p. It does not
+// allocate.
 func (t *Dynamic) CountQuery(p geometry.Point) int {
-	n := 0
-	t.PointQueryFunc(p, func(int) bool {
-		n++
-		return true
-	})
-	return n
+	var stats QueryStats
+	return t.countWalk(p, &stats)
+}
+
+func (t *Dynamic) countWalk(p geometry.Point, stats *QueryStats) int {
+	if t.root == nil || !t.root.mbr.Contains(p) {
+		return 0
+	}
+	matched := 0
+	sp := dstackPool.Get().(*[]*dnode)
+	stack := (*sp)[:0]
+	stack = append(stack, t.root)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		stats.NodesVisited++
+		if n.leaf {
+			stats.LeavesVisited++
+			for _, e := range n.entries {
+				stats.EntriesTested++
+				if e.Rect.Contains(p) {
+					matched++
+				}
+			}
+			continue
+		}
+		for _, c := range n.children {
+			if c.mbr.Contains(p) {
+				stack = append(stack, c)
+			}
+		}
+	}
+	*sp = stack
+	dstackPool.Put(sp)
+	return matched
 }
 
 // checkInvariants verifies structure; used by tests.

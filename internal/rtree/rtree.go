@@ -13,6 +13,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/flat"
 	"repro/internal/geometry"
 	"repro/internal/invariant"
 )
@@ -55,6 +56,24 @@ type Tree struct {
 	root *node
 	size int
 	dims int
+	// flat is the contiguous array compilation of the pointer tree; all
+	// queries run against it (the pointer tree is kept for structural
+	// statistics and invariant checks).
+	flat *flat.Tree
+}
+
+// flatNode adapts *node to flat.Node for flattening after Build.
+type flatNode struct{ n *node }
+
+func (a flatNode) MBR() geometry.Rect { return a.n.mbr }
+func (a flatNode) NumChildren() int   { return len(a.n.children) }
+func (a flatNode) Child(i int) flat.Node {
+	return flatNode{a.n.children[i]}
+}
+func (a flatNode) NumEntries() int { return len(a.n.entries) }
+func (a flatNode) Entry(i int) (geometry.Rect, int) {
+	e := a.n.entries[i]
+	return e.Rect, e.ID
 }
 
 // Build packs the entries into a Hilbert R-tree. The input slice is not
@@ -85,6 +104,7 @@ func Build(entries []Entry, opts Options) (*Tree, error) {
 		level = packInternal(level, opts.BranchFactor)
 	}
 	t.root = level[0]
+	t.flat = flat.Build(flatNode{t.root}, t.dims)
 	if invariant.Enabled {
 		err := t.checkInvariants(opts.BranchFactor)
 		invariant.Assertf(err == nil, "rtree.Build produced an invalid tree: %v", err)
@@ -221,18 +241,59 @@ func (t *Tree) PointQueryFunc(p geometry.Point, fn func(id int) bool) {
 	if t.root == nil {
 		return
 	}
-	var stats QueryStats
-	t.search(p, fn, &stats)
+	var st flat.Stats
+	sp := flat.GetStack()
+	*sp = t.flat.PointFunc(p, *sp, &st, fn)
+	flat.PutStack(sp)
 }
 
-// CountQuery returns the number of rectangles containing p.
+// PointQueryAppend appends the IDs of every rectangle containing p to dst
+// and returns it. It performs no allocation beyond growing dst.
+func (t *Tree) PointQueryAppend(p geometry.Point, dst []int) []int {
+	if t.root == nil {
+		return dst
+	}
+	var st flat.Stats
+	sp := flat.GetStack()
+	dst, *sp = t.flat.PointAppend(p, dst, *sp, &st)
+	flat.PutStack(sp)
+	return dst
+}
+
+// PointQueryAppendStats is PointQueryAppend with traversal statistics.
+func (t *Tree) PointQueryAppendStats(p geometry.Point, dst []int) ([]int, QueryStats) {
+	var stats QueryStats
+	if t.root == nil {
+		return dst, stats
+	}
+	var st flat.Stats
+	sp := flat.GetStack()
+	dst, *sp = t.flat.PointAppend(p, dst, *sp, &st)
+	flat.PutStack(sp)
+	return dst, queryStats(st)
+}
+
+// CountQuery returns the number of rectangles containing p. It does not
+// allocate.
 func (t *Tree) CountQuery(p geometry.Point) int {
-	count := 0
-	t.PointQueryFunc(p, func(int) bool {
-		count++
-		return true
-	})
+	if t.root == nil {
+		return 0
+	}
+	var st flat.Stats
+	sp := flat.GetStack()
+	count, stack := t.flat.PointCount(p, *sp, &st)
+	*sp = stack
+	flat.PutStack(sp)
 	return count
+}
+
+func queryStats(st flat.Stats) QueryStats {
+	return QueryStats{
+		NodesVisited:   st.NodesVisited,
+		LeavesVisited:  st.LeavesVisited,
+		EntriesTested:  st.EntriesTested,
+		ResultsMatched: st.Matched,
+	}
 }
 
 // PointQueryStats is PointQuery with traversal statistics.
@@ -248,44 +309,14 @@ func (t *Tree) PointQueryStats(p geometry.Point) ([]int, QueryStats) {
 // PointQueryFuncStats is PointQueryFunc with traversal statistics: it
 // streams matching IDs to fn and returns the per-query effort counters.
 func (t *Tree) PointQueryFuncStats(p geometry.Point, fn func(id int) bool) QueryStats {
-	var stats QueryStats
 	if t.root == nil {
-		return stats
+		return QueryStats{}
 	}
-	t.search(p, func(id int) bool {
-		stats.ResultsMatched++
-		return fn(id)
-	}, &stats)
-	return stats
-}
-
-func (t *Tree) search(p geometry.Point, fn func(id int) bool, stats *QueryStats) {
-	stack := make([]*node, 0, 32)
-	if t.root.mbr.Contains(p) {
-		stack = append(stack, t.root)
-	}
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		stats.NodesVisited++
-		if n.isLeaf() {
-			stats.LeavesVisited++
-			for _, e := range n.entries {
-				stats.EntriesTested++
-				if e.Rect.Contains(p) {
-					if !fn(e.ID) {
-						return
-					}
-				}
-			}
-			continue
-		}
-		for _, c := range n.children {
-			if c.mbr.Contains(p) {
-				stack = append(stack, c)
-			}
-		}
-	}
+	var st flat.Stats
+	sp := flat.GetStack()
+	*sp = t.flat.PointFunc(p, *sp, &st, fn)
+	flat.PutStack(sp)
+	return queryStats(st)
 }
 
 // TreeStats describes the packed tree's shape.

@@ -72,5 +72,11 @@ func (t *Tree) checkInvariants(m int) error {
 	if nonFull > 1 {
 		return fmt.Errorf("rtree: %d non-full leaves; Hilbert packing allows at most one", nonFull)
 	}
+	// The flattened compilation must cover exactly the same entries; its
+	// node-for-node equivalence with the pointer tree is checked inside
+	// flat.Build when invariants are enabled.
+	if t.flat == nil || t.flat.NumEntries() != t.size {
+		return fmt.Errorf("rtree: flat layout missing or holds wrong entry count")
+	}
 	return nil
 }

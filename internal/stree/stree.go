@@ -31,6 +31,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/flat"
 	"repro/internal/geometry"
 	"repro/internal/invariant"
 )
@@ -117,6 +118,24 @@ type Tree struct {
 	opts Options
 	size int
 	dims int
+	// flat is the contiguous array compilation of the pointer tree; all
+	// queries run against it (the pointer tree is kept for structural
+	// statistics and invariant checks).
+	flat *flat.Tree
+}
+
+// flatNode adapts *node to flat.Node for flattening after Build.
+type flatNode struct{ n *node }
+
+func (a flatNode) MBR() geometry.Rect { return a.n.mbr }
+func (a flatNode) NumChildren() int   { return len(a.n.children) }
+func (a flatNode) Child(i int) flat.Node {
+	return flatNode{a.n.children[i]}
+}
+func (a flatNode) NumEntries() int { return len(a.n.entries) }
+func (a flatNode) Entry(i int) (geometry.Rect, int) {
+	e := a.n.entries[i]
+	return e.Rect, e.ID
 }
 
 // Build constructs an S-tree over the entries. The entries slice is not
@@ -147,6 +166,7 @@ func Build(entries []Entry, opts Options) (*Tree, error) {
 	root := b.binarize(own)
 	compress(root, opts.BranchFactor)
 	t.root = root
+	t.flat = flat.Build(flatNode{root}, t.dims)
 	if invariant.Enabled {
 		err := t.checkInvariants()
 		invariant.Assertf(err == nil, "stree.Build produced an invalid tree: %v", err)
@@ -445,19 +465,60 @@ func (t *Tree) PointQueryFunc(p geometry.Point, fn func(id int) bool) {
 	if t.root == nil {
 		return
 	}
+	var st flat.Stats
+	sp := flat.GetStack()
+	*sp = t.flat.PointFunc(p, *sp, &st, fn)
+	flat.PutStack(sp)
+}
+
+// PointQueryAppend appends the IDs of every subscription rectangle
+// containing p to dst and returns it. It performs no allocation beyond
+// growing dst.
+func (t *Tree) PointQueryAppend(p geometry.Point, dst []int) []int {
+	if t.root == nil {
+		return dst
+	}
+	var st flat.Stats
+	sp := flat.GetStack()
+	dst, *sp = t.flat.PointAppend(p, dst, *sp, &st)
+	flat.PutStack(sp)
+	return dst
+}
+
+// PointQueryAppendStats is PointQueryAppend with traversal statistics.
+func (t *Tree) PointQueryAppendStats(p geometry.Point, dst []int) ([]int, QueryStats) {
 	var stats QueryStats
-	t.query(p, nil, fn, &stats)
+	if t.root == nil {
+		return dst, stats
+	}
+	var st flat.Stats
+	sp := flat.GetStack()
+	dst, *sp = t.flat.PointAppend(p, dst, *sp, &st)
+	flat.PutStack(sp)
+	return dst, queryStats(st)
 }
 
 // CountQuery returns the number of subscriptions matching p without
-// materialising the ID list.
+// materialising the ID list. It does not allocate.
 func (t *Tree) CountQuery(p geometry.Point) int {
-	count := 0
-	t.PointQueryFunc(p, func(int) bool {
-		count++
-		return true
-	})
+	if t.root == nil {
+		return 0
+	}
+	var st flat.Stats
+	sp := flat.GetStack()
+	count, stack := t.flat.PointCount(p, *sp, &st)
+	*sp = stack
+	flat.PutStack(sp)
 	return count
+}
+
+func queryStats(st flat.Stats) QueryStats {
+	return QueryStats{
+		NodesVisited:   st.NodesVisited,
+		LeavesVisited:  st.LeavesVisited,
+		EntriesTested:  st.EntriesTested,
+		ResultsMatched: st.Matched,
+	}
 }
 
 // QueryStats reports traversal effort for a single query, for evaluating
@@ -484,15 +545,14 @@ func (t *Tree) PointQueryStats(p geometry.Point) ([]int, QueryStats) {
 // streams matching IDs to fn and returns the per-query effort counters.
 // This is the allocation-free form used by instrumented brokers.
 func (t *Tree) PointQueryFuncStats(p geometry.Point, fn func(id int) bool) QueryStats {
-	var stats QueryStats
 	if t.root == nil {
-		return stats
+		return QueryStats{}
 	}
-	t.query(p, nil, func(id int) bool {
-		stats.ResultsMatched++
-		return fn(id)
-	}, &stats)
-	return stats
+	var st flat.Stats
+	sp := flat.GetStack()
+	*sp = t.flat.PointFunc(p, *sp, &st, fn)
+	flat.PutStack(sp)
+	return queryStats(st)
 }
 
 // RegionQuery returns the IDs of every subscription rectangle intersecting
@@ -514,45 +574,10 @@ func (t *Tree) RegionQueryFunc(r geometry.Rect, fn func(id int) bool) {
 	if t.root == nil {
 		return
 	}
-	var stats QueryStats
-	t.query(nil, r, fn, &stats)
-}
-
-// query walks the tree, pruning subtrees whose MBR misses the point (or
-// region). Exactly one of p, region is non-nil.
-func (t *Tree) query(p geometry.Point, region geometry.Rect, fn func(id int) bool, stats *QueryStats) {
-	hits := func(r geometry.Rect) bool {
-		if region != nil {
-			return r.Intersects(region)
-		}
-		return r.Contains(p)
-	}
-	stack := make([]*node, 0, 32)
-	if hits(t.root.mbr) {
-		stack = append(stack, t.root)
-	}
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		stats.NodesVisited++
-		if n.isLeaf() {
-			stats.LeavesVisited++
-			for _, e := range n.entries {
-				stats.EntriesTested++
-				if hits(e.Rect) {
-					if !fn(e.ID) {
-						return
-					}
-				}
-			}
-			continue
-		}
-		for _, c := range n.children {
-			if hits(c.mbr) {
-				stack = append(stack, c)
-			}
-		}
-	}
+	var st flat.Stats
+	sp := flat.GetStack()
+	*sp = t.flat.RegionFunc(r, *sp, &st, fn)
+	flat.PutStack(sp)
 }
 
 // TreeStats describes the structure of a built tree.
@@ -662,6 +687,12 @@ func (t *Tree) checkInvariants() error {
 	}
 	if seen != t.size {
 		return fmt.Errorf("stree: tree holds %d entries, expected %d", seen, t.size)
+	}
+	// The flattened compilation must cover exactly the same entries; its
+	// node-for-node equivalence with the pointer tree is checked inside
+	// flat.Build when invariants are enabled.
+	if t.flat == nil || t.flat.NumEntries() != t.size {
+		return fmt.Errorf("stree: flat layout missing or holds wrong entry count")
 	}
 	return nil
 }

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# bench_guard.sh — the publish-path performance gate.
+#
+# Usage: ./scripts/bench_guard.sh [output.json]
+#
+# Runs, in order:
+#   1. the pubsub-bench publish benchmark with -json, writing the
+#      throughput/latency/allocation summary (default BENCH_4.json)
+#   2. the BenchmarkPublish/disabled micro-benchmark with -benchmem,
+#      failing if the telemetry-off publish path performs any heap
+#      allocation per operation
+#
+# The allocs/op gate is the hard contract of the snapshot publish path:
+# steady-state Publish must not allocate. The JSON summary is a
+# trajectory artifact accumulated across commits (see BENCH_*.json).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_4.json}"
+
+echo "==> publish benchmark (JSON summary -> ${out})"
+# Full publication count: the 10k-publication run matches the BENCH_*
+# baseline shape and amortises the buffer-fill phase out of allocs/op.
+go run ./cmd/pubsub-bench -exp bench -json "${out}"
+
+echo "==> matcher micro-benchmarks (informational)"
+go test -run 'xxx' -bench 'BenchmarkMatchers' -benchtime 200x -benchmem .
+
+echo "==> zero-alloc gate (BenchmarkPublish/disabled)"
+bench_out="$(go test -run 'xxx' -bench 'BenchmarkPublish$/disabled' -benchmem . | tee /dev/stderr)"
+
+# testing -benchmem line shape:
+#   BenchmarkPublish/disabled  N  T ns/op  B B/op  A allocs/op
+allocs="$(echo "${bench_out}" | awk '/BenchmarkPublish\/disabled/ {print $(NF-1)}')"
+if [[ -z "${allocs}" ]]; then
+  echo "bench_guard: could not find BenchmarkPublish/disabled in benchmark output" >&2
+  exit 1
+fi
+if [[ "${allocs}" != "0" ]]; then
+  echo "bench_guard: publish path allocates (${allocs} allocs/op, want 0)" >&2
+  exit 1
+fi
+echo "==> publish path is allocation-free (0 allocs/op)"

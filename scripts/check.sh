@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# check.sh — the full local gate, mirroring the four CI jobs.
+# check.sh — the full local gate, mirroring the five CI jobs.
 #
 # Usage: ./scripts/check.sh
 #
@@ -9,6 +9,7 @@
 #   3. race tests       go test -race ./...
 #   4. invariant tests  go test -tags=invariants over the index/geometry packages
 #   5. metrics smoke    boot pubsubd, scrape /metrics, SIGTERM shutdown
+#   6. bench guard      publish benchmark + zero-alloc gate (BENCH_4.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,5 +27,8 @@ go test -tags=invariants ./internal/stree/... ./internal/rtree/... ./internal/ge
 
 echo "==> metrics endpoint smoke"
 ./scripts/metrics_smoke.sh
+
+echo "==> publish benchmark guard"
+./scripts/bench_guard.sh
 
 echo "==> all checks passed"
