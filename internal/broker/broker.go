@@ -514,6 +514,11 @@ func (b *Broker) SubscribeWith(opts SubscribeOptions, rects ...geometry.Rect) (*
 	}
 	b.nextID++
 	b.subs[s.id] = s
+	// Both strategies collect one target per matching rectangle, so both
+	// need Publish's dedup once any subscription spans several rectangles.
+	if len(owned) > 1 {
+		b.multiRect = true
+	}
 	if b.opts.Index == IndexDynamic {
 		if b.dyn == nil {
 			d, err := rtree.NewDynamic(b.opts.Matcher.BranchFactor)
@@ -534,9 +539,6 @@ func (b *Broker) SubscribeWith(opts SubscribeOptions, rects ...geometry.Rect) (*
 			}
 		}
 		return s, nil
-	}
-	if len(owned) > 1 {
-		b.multiRect = true
 	}
 	// Appending to the overlay's backing array is safe with live
 	// snapshots: readers are bounded by their snapshot's slice length.
@@ -706,7 +708,10 @@ func (pr *eventPrep) materialize(ev *Event) {
 // Under IndexRebuild, Publish takes no lock: it matches against the
 // immutable snapshot installed by the most recent mutation and uses
 // pooled scratch, so the steady-state publish path performs no heap
-// allocation.
+// allocation. A Publish racing Close may load the final snapshot and
+// then find every subscription already closed; that case is reported as
+// errClosed (the sequence counter may still have advanced — Seq values
+// are unique and ordered, not dense).
 func (b *Broker) Publish(p geometry.Point, payload []byte) (int, error) {
 	// Telemetry is designed to vanish when disabled: tel is nil, span is
 	// nil, and no time.Now fires — the uninstrumented path is identical
@@ -835,6 +840,12 @@ func (b *Broker) Publish(p geometry.Point, payload []byte) (int, error) {
 		span.End()
 	}
 	b.putScratch(sc, ids, targets)
+	if delivered == 0 && b.opts.Index != IndexDynamic && b.snap.Load() == nil {
+		// Close swapped the snapshot out from under us after we loaded
+		// it: every delivery hit a closed subscription. Report the broker
+		// closed rather than a silent zero-delivery success.
+		return 0, errClosed
+	}
 	return delivered, nil
 }
 

@@ -96,6 +96,42 @@ func TestDynamicIndexRejectsMixedDims(t *testing.T) {
 	}
 }
 
+func TestDynamicIndexMultiRectOverlapDedup(t *testing.T) {
+	// Regression: the dynamic strategy's point query yields one id per
+	// matching rectangle, so a subscription whose rectangles overlap at
+	// the published point must still be delivered to exactly once.
+	b := New(Options{Index: IndexDynamic})
+	defer b.Close()
+
+	s, err := b.SubscribeWith(SubscribeOptions{Buffer: 8},
+		geometry.NewRect(40, 60), geometry.NewRect(45, 55), geometry.NewRect(50, 52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := b.Subscribe(geometry.NewRect(0, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := geometry.Point{51} // inside all three rectangles of s
+	for i := 0; i < 3; i++ {
+		n, err := b.Publish(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 2 {
+			t.Fatalf("publish %d delivered %d times, want 2 (one per subscription)", i, n)
+		}
+		ev := <-s.Events()
+		select {
+		case dup := <-s.Events():
+			t.Fatalf("duplicate delivery: seq %d then %d", ev.Seq, dup.Seq)
+		default:
+		}
+		<-other.Events()
+	}
+}
+
 func TestDynamicIndexCloseAndReuseSafety(t *testing.T) {
 	b := New(Options{Index: IndexDynamic})
 	s, err := b.Subscribe(geometry.NewRect(0, 1))

@@ -37,7 +37,7 @@ func newBrokerTel(b *Broker, reg *telemetry.Registry) *brokerTel {
 		matchLatency: reg.Histogram("pubsub_broker_match_seconds",
 			"Index match phase latency per publication.", telemetry.LatencyBuckets()),
 		fanout: reg.Histogram("pubsub_broker_fanout_size",
-			"Matching subscriptions per publication.", telemetry.CountBuckets()),
+			"Matching subscriptions per publication. Counts matches in the publisher's index snapshot, so subscriptions cancelled since the last rebuild are included until the next rebuild prunes them; delivered_total counts live deliveries only.", telemetry.CountBuckets()),
 		published: reg.Counter("pubsub_broker_published_total",
 			"Events published."),
 		delivered: reg.Counter("pubsub_broker_delivered_total",
