@@ -13,23 +13,32 @@
 //
 //	pubsub-cli -metrics-addr localhost:9090 stats
 //
+// Fetch the daemon's flight recorder — every record, or the correlated
+// timeline of one publication by the trace id that publish printed:
+//
+//	pubsub-cli -metrics-addr localhost:9090 events
+//	pubsub-cli -metrics-addr localhost:9090 trace 4a5be60cd4a00f01
+//
 // Rectangles are comma-separated per-dimension ranges "lo:hi"; omit a
 // bound for the corresponding infinity ("999:" means volume > 999).
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/geometry"
 	"repro/internal/wire"
@@ -46,9 +55,11 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("pubsub-cli", flag.ContinueOnError)
 	var (
 		addr        = fs.String("addr", "localhost:7070", "broker address")
-		metricsAddr = fs.String("metrics-addr", "localhost:9090", "pubsubd metrics address for the stats verb")
+		metricsAddr = fs.String("metrics-addr", "localhost:9090", "pubsubd metrics address for the stats/events/trace verbs")
 		payload     = fs.String("payload", "", "payload for publish")
 		count       = fs.Int("count", 0, "subscribe: exit after this many events (0 = forever)")
+		kindFilter  = fs.String("kind", "", "events: keep only records of this kind (e.g. publish, ingest, deliver)")
+		limit       = fs.Int("limit", 0, "events: keep only the most recent N records (0 = all)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,10 +68,16 @@ func run(args []string, w io.Writer) error {
 	if len(rest) >= 1 && rest[0] == "stats" {
 		return runStats(*metricsAddr, w)
 	}
+	if len(rest) >= 1 && rest[0] == "events" {
+		return runEvents(*metricsAddr, "", *kindFilter, *limit, w)
+	}
 	if len(rest) < 2 {
-		return fmt.Errorf("usage: pubsub-cli [flags] subscribe|publish <spec> | stats")
+		return fmt.Errorf("usage: pubsub-cli [flags] subscribe|publish <spec> | trace <id> | stats | events")
 	}
 	verb, spec := rest[0], rest[1]
+	if verb == "trace" {
+		return runEvents(*metricsAddr, spec, *kindFilter, *limit, w)
+	}
 
 	cli, err := wire.Dial(*addr)
 	if err != nil {
@@ -103,16 +120,142 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		n, err := cli.Publish(point, []byte(*payload))
+		n, traceID, err := cli.PublishTraced(point, []byte(*payload))
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "published to %d subscribers\n", n)
+		fmt.Fprintf(w, "published to %d subscribers trace=%016x\n", n, traceID)
 		return nil
 
 	default:
-		return fmt.Errorf("unknown verb %q (want subscribe, publish or stats)", verb)
+		return fmt.Errorf("unknown verb %q (want subscribe, publish, trace, stats or events)", verb)
 	}
+}
+
+// eventRecord mirrors one record of the /debug/events JSON dump.
+type eventRecord struct {
+	Time  time.Time        `json:"time"`
+	Kind  string           `json:"kind"`
+	Trace string           `json:"trace"`
+	Seq   uint64           `json:"seq"`
+	Args  map[string]int64 `json:"args"`
+}
+
+// eventDump mirrors the top-level /debug/events JSON object.
+type eventDump struct {
+	Capacity int           `json:"capacity"`
+	Records  []eventRecord `json:"records"`
+}
+
+// argOrder fixes the display order of known record arguments so the
+// timeline reads the same way every run (maps iterate randomly).
+var argOrder = []string{
+	"conn", "sub", "point_dims", "payload_bytes",
+	"nodes_visited", "entries_tested", "leaves_visited", "matched",
+	"method", "interested", "group_size", "ratio_ppm",
+	"fanout", "delivered", "depth", "policy", "dropped",
+	"entries", "overlay_left", "rebuilds",
+	"attempt", "ok", "backoff_ms", "subs",
+	"match_ns", "build_ns", "total_ns",
+}
+
+// formatEventArgs renders a record's arguments as " k=v ..." in a
+// stable order.
+func formatEventArgs(args map[string]int64) string {
+	if len(args) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	left := len(args)
+	for _, k := range argOrder {
+		v, ok := args[k]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, " %s=%d", k, v)
+		left--
+	}
+	if left > 0 { // unknown keys (newer daemon): stable-sort them too
+		extra := make([]string, 0, left)
+		for k := range args {
+			known := false
+			for _, o := range argOrder {
+				if k == o {
+					known = true
+					break
+				}
+			}
+			if !known {
+				extra = append(extra, k)
+			}
+		}
+		sort.Strings(extra)
+		for _, k := range extra {
+			fmt.Fprintf(&b, " %s=%d", k, args[k])
+		}
+	}
+	return b.String()
+}
+
+// runEvents fetches a pubsubd /debug/events endpoint and prints the
+// records as a timeline. traceID (hex, may be empty) narrows it to one
+// publication's correlated records, relative-timed from the first.
+func runEvents(addr, traceID, kind string, limit int, w io.Writer) error {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	q := url.Values{}
+	if traceID != "" {
+		q.Set("trace", traceID)
+	}
+	if kind != "" {
+		q.Set("kind", kind)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	u := strings.TrimSuffix(base, "/") + "/debug/events"
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET %s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var dump eventDump
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		return fmt.Errorf("decoding %s: %w", u, err)
+	}
+	if traceID != "" {
+		if len(dump.Records) == 0 {
+			return fmt.Errorf("no records for trace %s (the ring holds %d records; old traces age out)", traceID, dump.Capacity)
+		}
+		fmt.Fprintf(w, "trace %s: %d record(s)\n", traceID, len(dump.Records))
+		t0 := dump.Records[0].Time
+		for _, rec := range dump.Records {
+			fmt.Fprintf(w, "  %s +%-12s %-14s seq=%d%s\n",
+				rec.Time.Format("15:04:05.000000"),
+				rec.Time.Sub(t0).Round(time.Microsecond),
+				rec.Kind, rec.Seq, formatEventArgs(rec.Args))
+		}
+		return nil
+	}
+	fmt.Fprintf(w, "flight recorder: %d record(s), capacity %d\n", len(dump.Records), dump.Capacity)
+	for _, rec := range dump.Records {
+		trace := rec.Trace
+		if trace == "" {
+			trace = "-"
+		}
+		fmt.Fprintf(w, "  %s %-14s trace=%s seq=%d%s\n",
+			rec.Time.Format("15:04:05.000000"), rec.Kind, trace, rec.Seq, formatEventArgs(rec.Args))
+	}
+	return nil
 }
 
 // runStats fetches a pubsubd /metrics endpoint and pretty-prints it.

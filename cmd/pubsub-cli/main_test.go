@@ -205,3 +205,70 @@ func TestRunStats(t *testing.T) {
 		t.Error("stats against a closed port succeeded")
 	}
 }
+
+// TestHistAccQuantile pins the quantile estimator's behaviour on the
+// distributions it actually meets: uniform spread, a point mass in one
+// bucket, and degenerate single-bucket/empty families.
+func TestHistAccQuantile(t *testing.T) {
+	inf := math.Inf(1)
+	approx := func(t *testing.T, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("quantile = %g, want %g", got, want)
+		}
+	}
+
+	t.Run("uniform", func(t *testing.T) {
+		// 100 observations spread evenly over (0,4]: interpolation must
+		// recover the exact quantiles of the uniform distribution.
+		h := &histAcc{
+			bounds: []float64{1, 2, 3, 4, inf},
+			counts: []float64{25, 50, 75, 100, 100},
+			count:  100,
+		}
+		approx(t, h.quantile(0.25), 1)
+		approx(t, h.quantile(0.50), 2)
+		approx(t, h.quantile(0.90), 3.6)
+		approx(t, h.quantile(1.00), 4)
+	})
+
+	t.Run("point mass", func(t *testing.T) {
+		// Everything in (1,2]: every quantile interpolates inside that
+		// bucket, never escaping into empty neighbours.
+		h := &histAcc{
+			bounds: []float64{1, 2, 4, inf},
+			counts: []float64{0, 100, 100, 100},
+			count:  100,
+		}
+		for _, q := range []float64{0.01, 0.5, 0.99} {
+			got := h.quantile(q)
+			if got <= 1 || got > 2 {
+				t.Errorf("quantile(%g) = %g, want in (1, 2]", q, got)
+			}
+		}
+		approx(t, h.quantile(0.5), 1.5)
+	})
+
+	t.Run("overflow clamps to largest finite bound", func(t *testing.T) {
+		// All mass beyond the last finite bound: the estimator cannot
+		// invent a value, so it reports the largest finite bound.
+		h := &histAcc{
+			bounds: []float64{1, inf},
+			counts: []float64{0, 10},
+			count:  10,
+		}
+		approx(t, h.quantile(0.5), 1)
+		approx(t, h.quantile(0.99), 1)
+	})
+
+	t.Run("single +Inf bucket", func(t *testing.T) {
+		h := &histAcc{bounds: []float64{inf}, counts: []float64{5}, count: 5}
+		approx(t, h.quantile(0.5), 0)
+	})
+
+	t.Run("empty", func(t *testing.T) {
+		approx(t, (&histAcc{}).quantile(0.5), 0)
+		h := &histAcc{bounds: []float64{1, inf}, counts: []float64{0, 0}}
+		approx(t, h.quantile(0.9), 0)
+	})
+}

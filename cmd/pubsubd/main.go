@@ -7,10 +7,16 @@
 //	        -metrics-addr :9090 -log-level info -trace-sample 1000
 //
 // With -metrics-addr set the daemon serves Prometheus text exposition on
-// /metrics, expvar-style JSON on /debug/vars, and the standard pprof
-// profiles under /debug/pprof/ on a dedicated listener. -trace-sample N
-// records every Nth publication as a structured log event with per-stage
-// (match, deliver) timings.
+// /metrics, expvar-style JSON on /debug/vars, the flight-recorder dump
+// on /debug/events (JSON; filter with ?trace=<hex id>, ?kind=<name>,
+// ?limit=<n>), and the standard pprof profiles under /debug/pprof/ on a
+// dedicated listener. -trace-sample N records every Nth publication as
+// a structured log event with per-stage (match, deliver) timings.
+//
+// The flight recorder itself is always on: a fixed-memory ring of
+// -events records (64 bytes each) capturing every publish plus per-stage
+// detail for publications that arrived over the wire. SIGQUIT dumps it
+// to stderr in text form without stopping the daemon.
 //
 // Stop with SIGINT/SIGTERM; the daemon drains in-flight event pumps for
 // up to -drain-timeout before closing, flushing buffered events to
@@ -57,12 +63,16 @@ func run(args []string) error {
 		pingInt      = fs.Duration("ping-interval", 0, "server keepalive ping interval (0 selects idle-timeout/3)")
 		drainTO      = fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain budget before hard close")
 
-		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty disables)")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/events and /debug/pprof on this address (empty disables)")
 		logLevel    = fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
 		traceSample = fs.Int("trace-sample", 0, "log every Nth publication as a structured trace event (0 disables)")
+		events      = fs.Int("events", telemetry.DefaultRecorderCapacity, "flight recorder capacity in records of 64 bytes (minimum 512)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *events <= 0 {
+		return fmt.Errorf("bad -events %d: capacity must be positive", *events)
 	}
 	policy, err := broker.ParseOverflowPolicy(*overflow)
 	if err != nil {
@@ -82,6 +92,7 @@ func run(args []string) error {
 		dispatch.RegisterDispatchMetrics(reg)
 	}
 	tracer := telemetry.NewTracer(logger, *traceSample)
+	rec := telemetry.NewRecorder(*events)
 
 	b := broker.New(broker.Options{
 		DefaultBuffer: *buffer,
@@ -89,6 +100,7 @@ func run(args []string) error {
 		BlockTimeout:  *blockTimeout,
 		Metrics:       reg,
 		Tracer:        tracer,
+		Recorder:      rec,
 	})
 	defer b.Close()
 	srv := wire.NewServerWith(b, wire.ServerOptions{
@@ -96,12 +108,27 @@ func run(args []string) error {
 		IdleTimeout:  *idleTO,
 		PingInterval: *pingInt,
 		Metrics:      reg,
+		Recorder:     rec,
 	})
+
+	// SIGQUIT dumps the flight recorder to stderr and keeps running, so
+	// a live incident can be snapshotted without stopping the daemon.
+	sigquit := make(chan os.Signal, 1)
+	signal.Notify(sigquit, syscall.SIGQUIT)
+	defer signal.Stop(sigquit)
+	go func() {
+		for range sigquit {
+			if err := rec.WriteText(os.Stderr, 0, telemetry.KindNone, 0); err != nil {
+				logger.Error("flight recorder dump failed", "err", err)
+			}
+		}
+	}()
 
 	if reg != nil {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", telemetry.Handler(reg))
 		mux.Handle("/debug/vars", telemetry.JSONHandler(reg))
+		mux.Handle("/debug/events", telemetry.EventsHandler(rec))
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

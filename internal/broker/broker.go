@@ -39,6 +39,10 @@ type Event struct {
 	Payload []byte
 	// Seq is the broker-assigned publication sequence number.
 	Seq uint64
+	// TraceID correlates this event with the publication's trace across
+	// the flight recorder, span logs and remote peers. Assigned at
+	// ingest (PublishTraced's argument, or broker-generated); never 0.
+	TraceID uint64
 }
 
 // IndexStrategy selects how the broker maintains its matching index
@@ -145,6 +149,12 @@ type Options struct {
 	// Tracer, when non-nil, samples publications and logs their
 	// match→deliver stage timings. Nil disables tracing.
 	Tracer *telemetry.Tracer
+	// Recorder receives compact flight-recorder records (one per
+	// publish, plus per-stage detail for traced publications, evictions
+	// and rebuilds). Nil selects the process-wide telemetry.Default()
+	// recorder, so the flight recorder is always on; recording is
+	// lock-free and allocation-free.
+	Recorder *telemetry.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -261,6 +271,7 @@ type Broker struct {
 
 	tel    *brokerTel
 	tracer *telemetry.Tracer
+	rec    *telemetry.Recorder
 
 	seq       atomic.Uint64
 	delivered atomic.Uint64
@@ -278,8 +289,12 @@ func New(opts Options) *Broker {
 		opts:        opts.withDefaults(),
 		subs:        make(map[int]*Subscription),
 		tracer:      opts.Tracer,
+		rec:         opts.Recorder,
 		rebuildCh:   make(chan struct{}, 1),
 		rebuildStop: make(chan struct{}),
+	}
+	if b.rec == nil {
+		b.rec = telemetry.Default()
 	}
 	b.scratch.New = func() any { return &pubScratch{} }
 	b.snap.Store(&snapshot{})
@@ -619,6 +634,7 @@ func (b *Broker) rebuildOnce() {
 	b.pendingStale = 0
 	b.mu.Unlock()
 
+	r0 := b.rec.Now()
 	var t0 time.Time
 	if b.tel != nil {
 		t0 = time.Now()
@@ -650,11 +666,15 @@ func (b *Broker) rebuildOnce() {
 	b.pendingStale = 0
 	b.rebuilds.Add(1)
 	b.publishSnapshotLocked()
+	overlayLeft := len(b.overlay)
+	rebuilds := b.rebuilds.Load()
 	// Churn during the build may already warrant another pass.
 	again := (len(b.overlay) > b.opts.MinOverlay && len(b.overlay)*4 > b.baseLen) ||
 		(b.stale*2 > b.baseLen && b.stale > 0)
 	b.mu.Unlock()
 
+	b.rec.Record(telemetry.KindRebuild, 0, 0,
+		int64(len(entries)), int64(overlayLeft), b.rec.Now()-r0, int64(rebuilds))
 	if b.tel != nil {
 		b.tel.rebuilds.Inc()
 		b.tel.rebuildLatency.ObserveDuration(time.Since(t0))
@@ -713,12 +733,35 @@ func (pr *eventPrep) materialize(ev *Event) {
 // errClosed (the sequence counter may still have advanced — Seq values
 // are unique and ordered, not dense).
 func (b *Broker) Publish(p geometry.Point, payload []byte) (int, error) {
+	return b.PublishTraced(p, payload, 0)
+}
+
+// PublishTraced is Publish with an explicit trace id correlating the
+// publication across processes. A zero id (the Publish path) makes the
+// broker assign a fresh one at ingest; either way the id travels on the
+// delivered Event and on every flight-recorder record.
+//
+// The flight recorder always gets one compact publish record (fanout,
+// deliveries, latency). Per-stage detail records — match effort,
+// dispatch decision, per-subscriber deliver/drop — are written only for
+// traced publications: those arriving with an explicit (wire-assigned)
+// id, or sampled by the tracer. In-process untraced publishes therefore
+// stay within the zero-alloc, low-overhead hot-path budget.
+func (b *Broker) PublishTraced(p geometry.Point, payload []byte, traceID uint64) (int, error) {
 	// Telemetry is designed to vanish when disabled: tel is nil, span is
 	// nil, and no time.Now fires — the uninstrumented path is identical
-	// to the pre-telemetry broker.
+	// to the pre-telemetry broker. The always-on flight recorder adds
+	// only monotonic clock reads and atomic stores.
 	tel := b.tel
-	span := b.tracer.Start("publish")
-	instrumented := tel != nil || span != nil
+	rec := b.rec
+	detail := traceID != 0
+	if traceID == 0 {
+		traceID = telemetry.NewTraceID()
+	}
+	span := b.tracer.StartWith("publish", traceID)
+	detail = detail || span != nil
+	instrumented := tel != nil || span != nil || detail
+	r0 := rec.Now()
 	var t0 time.Time
 	if instrumented {
 		t0 = time.Now()
@@ -729,6 +772,7 @@ func (b *Broker) Publish(p geometry.Point, payload []byte) (int, error) {
 	targets := sc.targets[:0]
 	var qs match.QueryStats
 	multiRect := false
+	group := 0 // candidate subscriptions the decision chose among
 
 	if b.opts.Index == IndexDynamic {
 		// The dynamic tree is mutated in place by Subscribe/Cancel, so
@@ -741,6 +785,7 @@ func (b *Broker) Publish(p geometry.Point, payload []byte) (int, error) {
 			return 0, errClosed
 		}
 		multiRect = b.multiRect
+		group = len(b.subs)
 		if b.dyn != nil {
 			if instrumented {
 				var ds rtree.QueryStats
@@ -763,6 +808,7 @@ func (b *Broker) Publish(p geometry.Point, payload []byte) (int, error) {
 			return 0, errClosed
 		}
 		multiRect = snap.multiRect
+		group = len(snap.slots) + len(snap.overlay)
 		if snap.base != nil {
 			if sm, ok := snap.base.(match.StatsMatcher); ok && instrumented {
 				var bs match.QueryStats
@@ -803,6 +849,12 @@ func (b *Broker) Publish(p geometry.Point, payload []byte) (int, error) {
 		targets = targets[:w]
 	}
 
+	// The match-phase clock split is surfaced only on detail records, so
+	// the untraced hot path pays two clock reads total (r0, rEnd).
+	var rMatch int64
+	if detail {
+		rMatch = rec.Now()
+	}
 	var tMatch time.Time
 	if instrumented {
 		tMatch = time.Now()
@@ -813,16 +865,39 @@ func (b *Broker) Publish(p geometry.Point, payload []byte) (int, error) {
 		span.Stage("match", tMatch.Sub(t0))
 	}
 
-	ev := Event{Seq: b.seq.Add(1)}
+	ev := Event{Seq: b.seq.Add(1), TraceID: traceID}
+	if detail {
+		rec.Record(telemetry.KindMatch, traceID, ev.Seq,
+			int64(qs.NodesVisited), int64(qs.EntriesTested), int64(qs.LeavesVisited), int64(len(targets)))
+		// The in-broker delivery decision: every matching subscriber gets
+		// its own channel send (unicast fanout; method 0 = none matched).
+		method := int64(0)
+		if len(targets) > 0 {
+			method = 1
+		}
+		ratioPPM := int64(0)
+		if group > 0 {
+			ratioPPM = int64(len(targets)) * 1_000_000 / int64(group)
+		}
+		rec.Record(telemetry.KindDecision, traceID, ev.Seq,
+			method, int64(len(targets)), int64(group), ratioPPM)
+	}
 	prep := eventPrep{src: p, payload: payload}
 	delivered := 0
 	for _, s := range targets {
-		if b.deliver(s, &ev, &prep) {
+		if b.deliver(s, &ev, &prep, detail) {
 			delivered++
 		}
 	}
 	b.delivered.Add(uint64(delivered))
 
+	rEnd := rec.Now()
+	matchNS := int64(0) // 0 on untraced publishes: the split was not read
+	if detail {
+		matchNS = rMatch - r0
+	}
+	rec.RecordAt(rEnd, telemetry.KindPublish, traceID, ev.Seq,
+		int64(len(targets)), int64(delivered), matchNS, rEnd-r0)
 	if instrumented {
 		now := time.Now()
 		if tel != nil {
@@ -854,8 +929,10 @@ func (b *Broker) Publish(p geometry.Point, payload []byte) (int, error) {
 // concurrent channel close (closeCh), and the closed check skips
 // subscriptions cancelled after the publisher snapshotted its targets.
 // The event's point/payload clones are materialized lazily, only when a
-// send is actually attempted.
-func (b *Broker) deliver(s *Subscription, ev *Event, pr *eventPrep) bool {
+// send is actually attempted. detail enables per-subscriber flight
+// records (traced publications only, so a saturated untraced publish
+// writes nothing here).
+func (b *Broker) deliver(s *Subscription, ev *Event, pr *eventPrep, detail bool) bool {
 	if s.evicting.Load() {
 		return false // CancelSlow eviction pending
 	}
@@ -868,12 +945,18 @@ func (b *Broker) deliver(s *Subscription, ev *Event, pr *eventPrep) bool {
 		// Fast drop before cloning anything: a saturated DropNewest
 		// subscriber costs the publisher no allocation.
 		s.noteDrop()
+		if detail {
+			b.rec.Record(telemetry.KindDrop, ev.TraceID, ev.Seq, int64(s.id), int64(s.policy), 0, 0)
+		}
 		return false
 	}
 	pr.materialize(ev)
 	select {
 	case s.ch <- *ev:
 		s.noteDepth()
+		if detail {
+			b.rec.Record(telemetry.KindDeliver, ev.TraceID, ev.Seq, int64(s.id), int64(len(s.ch)), 0, 0)
+		}
 		return true
 	default:
 	}
@@ -887,11 +970,17 @@ func (b *Broker) deliver(s *Subscription, ev *Event, pr *eventPrep) bool {
 			select {
 			case <-s.ch:
 				s.noteDrop()
+				if detail {
+					b.rec.Record(telemetry.KindDrop, ev.TraceID, ev.Seq, int64(s.id), int64(s.policy), 0, 0)
+				}
 			default:
 			}
 			select {
 			case s.ch <- *ev:
 				s.noteDepth()
+				if detail {
+					b.rec.Record(telemetry.KindDeliver, ev.TraceID, ev.Seq, int64(s.id), int64(len(s.ch)), 0, 0)
+				}
 				return true
 			default:
 			}
@@ -903,18 +992,30 @@ func (b *Broker) deliver(s *Subscription, ev *Event, pr *eventPrep) bool {
 		select {
 		case s.ch <- *ev:
 			s.noteDepth()
+			if detail {
+				b.rec.Record(telemetry.KindDeliver, ev.TraceID, ev.Seq, int64(s.id), int64(len(s.ch)), 0, 0)
+			}
 			return true
 		case <-t.C:
 			s.noteDrop()
+			if detail {
+				b.rec.Record(telemetry.KindDrop, ev.TraceID, ev.Seq, int64(s.id), int64(s.policy), 0, 0)
+			}
 			return false
 		}
 	case CancelSlow:
 		s.noteDrop()
+		if detail {
+			b.rec.Record(telemetry.KindDrop, ev.TraceID, ev.Seq, int64(s.id), int64(s.policy), 0, 0)
+		}
 		if s.evicting.CompareAndSwap(false, true) {
 			b.evicted.Add(1)
 			if b.tel != nil {
 				b.tel.evicted.Inc()
 			}
+			// Evictions are rare and diagnostic gold: record them even
+			// for untraced publications.
+			b.rec.Record(telemetry.KindEvict, ev.TraceID, ev.Seq, int64(s.id), 0, 0, 0)
 			// Cancel closes the channel via closeCh, which needs the
 			// sendMu we hold; evict from a fresh goroutine.
 			go s.Cancel()
@@ -922,6 +1023,9 @@ func (b *Broker) deliver(s *Subscription, ev *Event, pr *eventPrep) bool {
 		return false
 	default: // DropNewest
 		s.noteDrop()
+		if detail {
+			b.rec.Record(telemetry.KindDrop, ev.TraceID, ev.Seq, int64(s.id), int64(s.policy), 0, 0)
+		}
 		return false
 	}
 }

@@ -127,6 +127,10 @@ type Config struct {
 	// Tracer, when non-nil, samples deliveries and logs their
 	// match→decide stage timings. Nil disables tracing.
 	Tracer *telemetry.Tracer
+	// Recorder receives one flight-recorder decision record per
+	// delivery (method, interested count, group size, interest ratio).
+	// Nil selects the process-wide telemetry.Default() recorder.
+	Recorder *telemetry.Recorder
 }
 
 func (c Config) validate() error {
@@ -167,6 +171,7 @@ type Planner struct {
 
 	tel    *dispatchTel
 	tracer *telemetry.Tracer
+	rec    *telemetry.Recorder
 }
 
 // dispatchTel bundles the planner's metric handles; nil disables them.
@@ -245,6 +250,10 @@ func NewPlanner(
 		groupNodes:     make([][]int, c.NumGroups()),
 		tel:            RegisterDispatchMetrics(cfg.Metrics),
 		tracer:         cfg.Tracer,
+		rec:            cfg.Recorder,
+	}
+	if p.rec == nil {
+		p.rec = telemetry.Default()
 	}
 	for q := 0; q < c.NumGroups(); q++ {
 		g := c.Group(q)
@@ -317,10 +326,22 @@ func (p *Planner) nodesOf(subscribers []int) ([]int, error) {
 // Deliver decides and cost-accounts the delivery of one publication from
 // the given publisher node.
 func (p *Planner) Deliver(publisher int, event geometry.Point) (Decision, error) {
+	return p.DeliverTraced(publisher, event, 0)
+}
+
+// DeliverTraced is Deliver correlated with a publication trace: the
+// decision is written to the flight recorder under the given trace id
+// (0 leaves the record uncorrelated), and a sampled span carries the id
+// in its log line.
+func (p *Planner) DeliverTraced(publisher int, event geometry.Point, traceID uint64) (Decision, error) {
 	if p.tel == nil && p.tracer == nil {
-		return p.deliver(publisher, event)
+		d, err := p.deliver(publisher, event)
+		if err == nil {
+			p.recordDecision(d, traceID)
+		}
+		return d, err
 	}
-	span := p.tracer.Start("dispatch")
+	span := p.tracer.StartWith("dispatch", traceID)
 	t0 := time.Now()
 	d, err := p.deliver(publisher, event)
 	took := time.Since(t0)
@@ -328,6 +349,7 @@ func (p *Planner) Deliver(publisher int, event geometry.Point) (Decision, error)
 		return d, err
 	}
 	p.tel.record(d, took.Seconds())
+	p.recordDecision(d, traceID)
 	if span != nil {
 		span.Stage("decide", took)
 		span.Str("method", d.Method.String())
@@ -339,6 +361,18 @@ func (p *Planner) Deliver(publisher int, event geometry.Point) (Decision, error)
 		span.End()
 	}
 	return d, nil
+}
+
+// recordDecision writes one flight-recorder decision record. The
+// interest ratio |s|/|S_q| is carried in parts per million so the
+// fixed-size integer record can express it.
+func (p *Planner) recordDecision(d Decision, traceID uint64) {
+	ratioPPM := int64(0)
+	if d.GroupSize > 0 {
+		ratioPPM = int64(d.Interested) * 1_000_000 / int64(d.GroupSize)
+	}
+	p.rec.Record(telemetry.KindDecision, traceID, 0,
+		int64(d.Method), int64(d.Interested), int64(d.GroupSize), ratioPPM)
 }
 
 func (p *Planner) deliver(publisher int, event geometry.Point) (Decision, error) {

@@ -1,0 +1,79 @@
+package dispatch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+// DeliverTraced must leave one decision record in the flight recorder
+// per delivery, carrying the caller's trace id and mirroring the
+// returned Decision (method, |s|, |S_q|, ratio in ppm).
+func TestDeliverTracedRecordsDecision(t *testing.T) {
+	f := newFixture(t, 11, cluster.AlgForgyKMeans)
+	rec := telemetry.NewRecorder(1024)
+	p, err := NewPlanner(f.clustering, f.matcher, f.cost, f.nodes, Config{
+		Threshold: 0.15,
+		Recorder:  rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	publishers := f.g.NodesByRole(topology.RoleTransit)
+
+	// Find a publication somebody cares about, so the record is
+	// interesting (nonzero interested count).
+	for i := 0; i < 3000; i++ {
+		ev := f.model.Sample(rng)
+		trace := telemetry.NewTraceID()
+		d, err := p.DeliverTraced(publishers[rng.Intn(len(publishers))], ev, trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := rec.SnapshotFilter(trace, telemetry.KindDecision, 0)
+		if len(recs) != 1 {
+			t.Fatalf("decision records for trace = %d, want 1", len(recs))
+		}
+		got := recs[0]
+		if got.Args[0] != int64(d.Method) || got.Args[1] != int64(d.Interested) || got.Args[2] != int64(d.GroupSize) {
+			t.Fatalf("record args = %v, decision = %+v", got.Args, d)
+		}
+		wantPPM := int64(0)
+		if d.GroupSize > 0 {
+			wantPPM = int64(d.Interested) * 1_000_000 / int64(d.GroupSize)
+		}
+		if got.Args[3] != wantPPM {
+			t.Fatalf("ratio_ppm = %d, want %d", got.Args[3], wantPPM)
+		}
+		if d.Interested > 0 {
+			return // exercised a non-trivial decision; done
+		}
+	}
+	t.Fatal("no publication matched any subscriber in 3000 samples")
+}
+
+// An untraced Deliver still records its decision, uncorrelated, so the
+// recorder's dispatch history is complete even without tracing.
+func TestUntracedDeliverStillRecords(t *testing.T) {
+	f := newFixture(t, 5, cluster.AlgForgyKMeans)
+	rec := telemetry.NewRecorder(1024)
+	p, err := NewPlanner(f.clustering, f.matcher, f.cost, f.nodes, Config{Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	if _, err := p.Deliver(0, f.model.Sample(rng)); err != nil {
+		t.Fatal(err)
+	}
+	recs := rec.SnapshotFilter(0, telemetry.KindDecision, 0)
+	if len(recs) != 1 {
+		t.Fatalf("decision records = %d, want 1", len(recs))
+	}
+	if recs[0].TraceID != 0 {
+		t.Fatalf("untraced decision carries trace %x", recs[0].TraceID)
+	}
+}

@@ -2,7 +2,10 @@ package telemetry
 
 import (
 	"encoding/json"
+	"math"
 	"net/http/httptest"
+	"sort"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -46,6 +49,147 @@ func TestHandlerJSONOptIn(t *testing.T) {
 	rec = httptest.NewRecorder()
 	JSONHandler(newTestRegistry()).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
 	assertJSONBody(t, rec)
+}
+
+// TestPromExpositionConformance checks the invariants Prometheus
+// scrapers rely on, over a registry exercising every collector type:
+//   - every family's samples are preceded by its # HELP and # TYPE lines
+//   - histogram buckets are cumulative (counts never decrease as le grows)
+//   - the +Inf bucket equals the family's _count sample
+//   - the _count also equals the number of observations made
+func TestPromExpositionConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("conf_pub_total", "publications").Add(3)
+	r.Counter("conf_drop_total", "drops by policy", L("policy", "drop-newest")).Add(1)
+	r.Counter("conf_drop_total", "drops by policy", L("policy", "block")).Add(2)
+	r.Gauge("conf_depth", "queue depth").Set(5)
+	h := r.Histogram("conf_lat_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.005, 0.005, 0.05, 5} {
+		h.Observe(v)
+	}
+	h2 := r.Histogram("conf_fanout", "fanout", []float64{1, 10})
+	h2.Observe(0.5)
+
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+
+	type famState struct {
+		helpSeen, typeSeen bool
+		kind               string
+		buckets            []struct {
+			le    float64
+			count float64
+		}
+		count    float64
+		hasCount bool
+	}
+	fams := map[string]*famState{}
+	fam := func(name string) *famState {
+		f := fams[name]
+		if f == nil {
+			f = &famState{}
+			fams[name] = f
+		}
+		return f
+	}
+	baseOf := func(name string) string {
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			b := strings.TrimSuffix(name, s)
+			if b != name {
+				if f, ok := fams[b]; ok && f.kind == "histogram" {
+					return b
+				}
+			}
+		}
+		return name
+	}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, _ := strings.Cut(rest, " ")
+			fam(name).helpSeen = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, kind, _ := strings.Cut(rest, " ")
+			fam(name).typeSeen = true
+			fam(name).kind = kind
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		metric, valStr := line[:idx], line[idx+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("sample %q has non-numeric value: %v", line, err)
+		}
+		name := metric
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		base := baseOf(name)
+		f := fams[base]
+		if f == nil || !f.helpSeen || !f.typeSeen {
+			t.Fatalf("sample %q not preceded by its family's # HELP and # TYPE", line)
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket") && f.kind == "histogram":
+			le := math.Inf(1)
+			if i := strings.Index(metric, `le="`); i >= 0 {
+				leStr := metric[i+4:]
+				leStr = leStr[:strings.IndexByte(leStr, '"')]
+				if leStr != "+Inf" {
+					if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+						t.Fatalf("bucket %q has bad le: %v", line, err)
+					}
+				}
+			}
+			f.buckets = append(f.buckets, struct{ le, count float64 }{le, val})
+		case strings.HasSuffix(name, "_count") && f.kind == "histogram":
+			f.count = val
+			f.hasCount = true
+		}
+	}
+
+	for _, name := range []string{"conf_pub_total", "conf_drop_total", "conf_depth", "conf_lat_seconds", "conf_fanout"} {
+		f := fams[name]
+		if f == nil || !f.helpSeen || !f.typeSeen {
+			t.Fatalf("family %s missing or missing HELP/TYPE:\n%s", name, body)
+		}
+	}
+	for name, f := range fams {
+		if f.kind != "histogram" {
+			continue
+		}
+		if len(f.buckets) == 0 || !f.hasCount {
+			t.Fatalf("histogram %s has no buckets or no _count:\n%s", name, body)
+		}
+		sort.Slice(f.buckets, func(i, j int) bool { return f.buckets[i].le < f.buckets[j].le })
+		for i := 1; i < len(f.buckets); i++ {
+			if f.buckets[i].count < f.buckets[i-1].count {
+				t.Fatalf("histogram %s buckets not cumulative: le=%g count=%g after le=%g count=%g",
+					name, f.buckets[i].le, f.buckets[i].count, f.buckets[i-1].le, f.buckets[i-1].count)
+			}
+		}
+		last := f.buckets[len(f.buckets)-1]
+		if !math.IsInf(last.le, 1) {
+			t.Fatalf("histogram %s is missing the +Inf bucket", name)
+		}
+		if last.count != f.count {
+			t.Fatalf("histogram %s: +Inf bucket %g != _count %g", name, last.count, f.count)
+		}
+	}
+	if got := fams["conf_lat_seconds"].count; got != 5 {
+		t.Fatalf("conf_lat_seconds _count = %g, want 5 observations", got)
+	}
+	if got := fams["conf_fanout"].count; got != 1 {
+		t.Fatalf("conf_fanout _count = %g, want 1 observation", got)
+	}
 }
 
 func assertJSONBody(t *testing.T, rec *httptest.ResponseRecorder) {

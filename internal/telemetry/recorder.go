@@ -1,0 +1,460 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RecordKind discriminates flight-recorder records.
+type RecordKind uint8
+
+// Flight-recorder record kinds. Every kind carries up to four int64
+// arguments whose meaning is given by ArgNames.
+const (
+	// KindNone marks an empty slot; it is never recorded.
+	KindNone RecordKind = iota
+	// KindPublish summarises one broker publication: fanout, deliveries
+	// and latency. Recorded for every publish, traced or not.
+	KindPublish
+	// KindIngest marks a publish frame arriving at the wire server.
+	KindIngest
+	// KindMatch carries the index traversal effort of one traced
+	// publication's match phase.
+	KindMatch
+	// KindDecision is a dispatch decision: the chosen delivery method
+	// with the interested count, group size and interest ratio.
+	KindDecision
+	// KindDeliver is one traced event landing in a subscriber buffer.
+	KindDeliver
+	// KindDrop is one traced event lost to a full subscriber buffer.
+	KindDrop
+	// KindEvict is a subscription cancelled by the cancel-slow policy.
+	KindEvict
+	// KindRebuild is a matching-index rebuild installing a fresh base.
+	KindRebuild
+	// KindKeepaliveMiss is a connection evicted for missing keepalives.
+	KindKeepaliveMiss
+	// KindReconnect is a reconnecting client's redial attempt.
+	KindReconnect
+	// KindClientPublish is a wire client sending a publish frame.
+	KindClientPublish
+	// KindClientRecv is a wire client receiving an event frame.
+	KindClientRecv
+
+	numKinds
+)
+
+// kindNames and kindArgs give each kind its display name and the names
+// of its four arguments ("" = unused).
+var kindNames = [numKinds]string{
+	KindNone:          "none",
+	KindPublish:       "publish",
+	KindIngest:        "ingest",
+	KindMatch:         "match",
+	KindDecision:      "decision",
+	KindDeliver:       "deliver",
+	KindDrop:          "drop",
+	KindEvict:         "evict",
+	KindRebuild:       "rebuild",
+	KindKeepaliveMiss: "keepalive_miss",
+	KindReconnect:     "reconnect",
+	KindClientPublish: "client_publish",
+	KindClientRecv:    "client_recv",
+}
+
+var kindArgs = [numKinds][4]string{
+	KindPublish:       {"fanout", "delivered", "match_ns", "total_ns"},
+	KindIngest:        {"conn", "point_dims", "payload_bytes", ""},
+	KindMatch:         {"nodes_visited", "entries_tested", "leaves_visited", "matched"},
+	KindDecision:      {"method", "interested", "group_size", "ratio_ppm"},
+	KindDeliver:       {"sub", "depth", "", ""},
+	KindDrop:          {"sub", "policy", "", ""},
+	KindEvict:         {"sub", "", "", ""},
+	KindRebuild:       {"entries", "overlay_left", "build_ns", "rebuilds"},
+	KindKeepaliveMiss: {"conn", "", "", ""},
+	KindReconnect:     {"attempt", "ok", "backoff_ms", "subs"},
+	KindClientPublish: {"point_dims", "payload_bytes", "", ""},
+	KindClientRecv:    {"sub", "payload_bytes", "dropped", ""},
+}
+
+// String returns the kind's display name.
+func (k RecordKind) String() string {
+	if k < numKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ArgNames returns the names of the kind's arguments; unused trailing
+// arguments have empty names.
+func (k RecordKind) ArgNames() [4]string {
+	if k < numKinds {
+		return kindArgs[k]
+	}
+	return [4]string{}
+}
+
+// ParseKind converts a kind display name back to the kind.
+func ParseKind(s string) (RecordKind, bool) {
+	for k := RecordKind(1); k < numKinds; k++ {
+		if kindNames[k] == s {
+			return k, true
+		}
+	}
+	return KindNone, false
+}
+
+// FormatTraceID renders a trace id in its canonical 16-hex-digit form.
+func FormatTraceID(id uint64) string {
+	return fmt.Sprintf("%016x", id)
+}
+
+// ParseTraceID parses a hexadecimal trace id (with or without an "0x"
+// prefix).
+func ParseTraceID(s string) (uint64, error) {
+	if len(s) > 2 && (s[:2] == "0x" || s[:2] == "0X") {
+		s = s[2:]
+	}
+	id, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("telemetry: bad trace id %q: %w", s, err)
+	}
+	return id, nil
+}
+
+// traceSeed randomises trace ids across process restarts; the low bit
+// is forced so the seed is never zero.
+var traceSeed = uint64(time.Now().UnixNano()) | 1
+
+var traceCtr atomic.Uint64
+
+// NewTraceID returns a process-unique non-zero 64-bit trace id. It is
+// allocation-free and safe for concurrent use: a per-process random
+// seed mixed with an atomic counter through a splitmix64 finalizer.
+func NewTraceID() uint64 {
+	x := traceCtr.Add(1) + traceSeed
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
+// Flight-recorder geometry. Each record occupies recWords atomic words:
+// a header (claim ticket and kind), a timestamp, the trace id, the
+// sequence number and four arguments.
+const (
+	recWords       = 8
+	recorderShards = 8
+	// DefaultRecorderCapacity is the record capacity of the process-wide
+	// Default recorder: 4096 records × 64 bytes = 256 KiB.
+	DefaultRecorderCapacity = 4096
+)
+
+// recorderShard is one writer lane: a power-of-two ring of records and
+// the ticket counter claiming slots. The counter is padded so adjacent
+// shards never share a cache line.
+type recorderShard struct {
+	next atomic.Uint64
+	_    [cacheLine - 8]byte
+	mask uint64
+	buf  []atomic.Uint64
+}
+
+// Recorder is an always-on, fixed-memory flight recorder: a sharded
+// ring buffer of fixed-size binary records written lock-free with zero
+// heap allocations per record. All methods are safe on a nil receiver
+// (no-ops), safe for concurrent use, and never block.
+//
+// Writes are wait-free: a writer claims a slot with one atomic add on
+// its shard's ticket counter, then publishes the record with atomic
+// word stores (header last), so a concurrent Snapshot never observes a
+// torn record — a slot whose header changes mid-copy is discarded. The
+// ring overwrites the oldest records; memory is bounded at creation
+// time and never grows.
+type Recorder struct {
+	epochWall time.Time // wall clock at creation, for rendering
+	epoch     time.Time // monotonic base for Now
+	shards    [recorderShards]recorderShard
+	slots     int // per shard
+}
+
+// NewRecorder creates a recorder holding at least capacity records
+// (rounded up to a power of two per shard; minimum 512 total). Memory
+// use is fixed at 64 bytes per record.
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 512 {
+		capacity = 512
+	}
+	per := 1
+	for per*recorderShards < capacity {
+		per <<= 1
+	}
+	now := time.Now()
+	r := &Recorder{epochWall: now, epoch: now, slots: per}
+	for i := range r.shards {
+		r.shards[i].mask = uint64(per - 1)
+		r.shards[i].buf = make([]atomic.Uint64, per*recWords)
+	}
+	return r
+}
+
+var defaultRecorder = sync.OnceValue(func() *Recorder {
+	return NewRecorder(DefaultRecorderCapacity)
+})
+
+// Default returns the process-wide flight recorder, created on first
+// use with DefaultRecorderCapacity. Components that are not handed an
+// explicit recorder write here, so diagnostics are always on.
+func Default() *Recorder { return defaultRecorder() }
+
+// Capacity returns the total number of record slots.
+func (r *Recorder) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return r.slots * recorderShards
+}
+
+// Now returns the recorder's monotonic clock reading in nanoseconds
+// since the recorder was created. It is the timestamp source for
+// duration arguments (match_ns, build_ns) so records and their
+// arguments share one clock.
+func (r *Recorder) Now() int64 {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.epoch).Nanoseconds()
+}
+
+// Record appends one record. It is wait-free, allocation-free and safe
+// on a nil receiver; under wrap the oldest record in the writer's shard
+// is overwritten.
+func (r *Recorder) Record(kind RecordKind, traceID, seq uint64, a0, a1, a2, a3 int64) {
+	if r == nil {
+		return
+	}
+	r.RecordAt(time.Since(r.epoch).Nanoseconds(), kind, traceID, seq, a0, a1, a2, a3)
+}
+
+// RecordAt is Record with a caller-supplied timestamp from Now(), so a
+// hot path that already read the clock for the record's own latency
+// args does not pay a second read.
+func (r *Recorder) RecordAt(ts int64, kind RecordKind, traceID, seq uint64, a0, a1, a2, a3 int64) {
+	if r == nil {
+		return
+	}
+	s := &r.shards[shardIndex()%recorderShards]
+	t := s.next.Add(1) // tickets start at 1: header 0 means empty
+	base := ((t - 1) & s.mask) * recWords
+	w := s.buf[base : base+recWords : base+recWords]
+	// Invalidate the slot first so a concurrent reader skips it, then
+	// publish the header last. Only a full ring wrap during this window
+	// could interleave two writers on one slot; the header re-check in
+	// snapshot discards most such records, and a garbled survivor is an
+	// accepted cost of a lock-free diagnostic buffer.
+	w[0].Store(0)
+	w[1].Store(uint64(ts))
+	w[2].Store(traceID)
+	w[3].Store(seq)
+	w[4].Store(uint64(a0))
+	w[5].Store(uint64(a1))
+	w[6].Store(uint64(a2))
+	w[7].Store(uint64(a3))
+	w[0].Store(t<<8 | uint64(kind))
+}
+
+// Record is one decoded flight-recorder record.
+type Record struct {
+	// Time is the wall-clock render of the record's monotonic timestamp.
+	Time time.Time
+	// Kind discriminates the record.
+	Kind RecordKind
+	// TraceID correlates the record with a publication's trace (0 for
+	// control-plane records such as rebuilds and reconnects).
+	TraceID uint64
+	// Seq is the broker sequence number, when the record has one.
+	Seq uint64
+	// Args are the kind-specific arguments (see RecordKind.ArgNames).
+	Args [4]int64
+}
+
+// Snapshot copies out every readable record, oldest first. It allocates
+// (it is the dump path, not the hot path) and tolerates concurrent
+// writers: records overwritten mid-copy are skipped.
+func (r *Recorder) Snapshot() []Record {
+	return r.SnapshotFilter(0, KindNone, 0)
+}
+
+// SnapshotFilter is Snapshot restricted to one trace id (0 = all) and
+// one kind (KindNone = all), keeping only the most recent limit records
+// (0 = all). Records are returned in timestamp order.
+func (r *Recorder) SnapshotFilter(traceID uint64, kind RecordKind, limit int) []Record {
+	if r == nil {
+		return nil
+	}
+	var out []Record
+	for si := range r.shards {
+		s := &r.shards[si]
+		for slot := 0; slot < r.slots; slot++ {
+			base := slot * recWords
+			w := s.buf[base : base+recWords]
+			h1 := w[0].Load()
+			if h1 == 0 {
+				continue
+			}
+			rec := Record{
+				Kind:    RecordKind(h1 & 0xff),
+				TraceID: w[2].Load(),
+				Seq:     w[3].Load(),
+			}
+			ts := int64(w[1].Load())
+			for i := range rec.Args {
+				rec.Args[i] = int64(w[4+i].Load())
+			}
+			if w[0].Load() != h1 {
+				continue // overwritten while copying
+			}
+			if rec.Kind == KindNone || rec.Kind >= numKinds {
+				continue
+			}
+			if traceID != 0 && rec.TraceID != traceID {
+				continue
+			}
+			if kind != KindNone && rec.Kind != kind {
+				continue
+			}
+			rec.Time = r.epochWall.Add(time.Duration(ts))
+			out = append(out, rec)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
+}
+
+// recordJSON is the wire form of one dumped record.
+type recordJSON struct {
+	Time  time.Time        `json:"time"`
+	Kind  string           `json:"kind"`
+	Trace string           `json:"trace,omitempty"`
+	Seq   uint64           `json:"seq,omitempty"`
+	Args  map[string]int64 `json:"args,omitempty"`
+}
+
+// dumpJSON is the top-level /debug/events response body.
+type dumpJSON struct {
+	Capacity int          `json:"capacity"`
+	Records  []recordJSON `json:"records"`
+}
+
+func toJSON(rec Record) recordJSON {
+	out := recordJSON{Time: rec.Time, Kind: rec.Kind.String(), Seq: rec.Seq}
+	if rec.TraceID != 0 {
+		out.Trace = FormatTraceID(rec.TraceID)
+	}
+	names := rec.Kind.ArgNames()
+	for i, name := range names {
+		if name == "" {
+			continue
+		}
+		if out.Args == nil {
+			out.Args = make(map[string]int64, 4)
+		}
+		out.Args[name] = rec.Args[i]
+	}
+	return out
+}
+
+// WriteJSON dumps the recorder's records as one JSON object, filtered
+// like SnapshotFilter.
+func (r *Recorder) WriteJSON(w io.Writer, traceID uint64, kind RecordKind, limit int) error {
+	recs := r.SnapshotFilter(traceID, kind, limit)
+	dump := dumpJSON{Capacity: r.Capacity(), Records: make([]recordJSON, len(recs))}
+	for i, rec := range recs {
+		dump.Records[i] = toJSON(rec)
+	}
+	return json.NewEncoder(w).Encode(dump)
+}
+
+// WriteText dumps the recorder's records in a human-readable line
+// format (one record per line), filtered like SnapshotFilter. It is
+// the SIGQUIT dump format.
+func (r *Recorder) WriteText(w io.Writer, traceID uint64, kind RecordKind, limit int) error {
+	recs := r.SnapshotFilter(traceID, kind, limit)
+	if _, err := fmt.Fprintf(w, "flight recorder: %d record(s), capacity %d\n", len(recs), r.Capacity()); err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if _, err := fmt.Fprintf(w, "%s %-14s trace=%s seq=%d%s\n",
+			rec.Time.Format("15:04:05.000000"), rec.Kind, FormatTraceID(rec.TraceID), rec.Seq, formatArgs(rec)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatArgs renders the named arguments of one record as " k=v ...".
+func formatArgs(rec Record) string {
+	var b []byte
+	names := rec.Kind.ArgNames()
+	for i, name := range names {
+		if name == "" {
+			continue
+		}
+		b = append(b, ' ')
+		b = append(b, name...)
+		b = append(b, '=')
+		b = strconv.AppendInt(b, rec.Args[i], 10)
+	}
+	return string(b)
+}
+
+// EventsHandler serves a recorder as JSON. Query parameters: trace
+// (hex trace id), kind (record kind name), limit (most recent N).
+// Mount it at /debug/events.
+func EventsHandler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var (
+			traceID uint64
+			kind    RecordKind
+			limit   int
+			err     error
+		)
+		q := req.URL.Query()
+		if s := q.Get("trace"); s != "" {
+			if traceID, err = ParseTraceID(s); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		if s := q.Get("kind"); s != "" {
+			var ok bool
+			if kind, ok = ParseKind(s); !ok {
+				http.Error(w, fmt.Sprintf("unknown record kind %q", s), http.StatusBadRequest)
+				return
+			}
+		}
+		if s := q.Get("limit"); s != "" {
+			if limit, err = strconv.Atoi(s); err != nil || limit < 0 {
+				http.Error(w, fmt.Sprintf("bad limit %q", s), http.StatusBadRequest)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w, traceID, kind, limit)
+	})
+}

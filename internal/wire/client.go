@@ -7,13 +7,30 @@ import (
 
 	"repro/internal/broker"
 	"repro/internal/geometry"
+	"repro/internal/telemetry"
 )
+
+// ClientOptions tune a wire client.
+type ClientOptions struct {
+	// Recorder receives flight-recorder records for publishes sent and
+	// events received, correlated by trace id with the server's records.
+	// Nil selects the process-wide telemetry.Default() recorder.
+	Recorder *telemetry.Recorder
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.Recorder == nil {
+		o.Recorder = telemetry.Default()
+	}
+	return o
+}
 
 // Client is a TCP client for a wire server. Create one with Dial. Methods
 // are safe for concurrent use; replies are matched to requests by strict
 // ordering, so requests are serialised internally.
 type Client struct {
 	conn net.Conn
+	opts ClientOptions
 
 	reqMu   sync.Mutex // serialises request/reply exchanges
 	writeMu sync.Mutex
@@ -31,17 +48,28 @@ type Client struct {
 
 // Dial connects to a wire server.
 func Dial(addr string) (*Client, error) {
+	return DialWith(addr, ClientOptions{})
+}
+
+// DialWith is Dial with explicit client options.
+func DialWith(addr string, opts ClientOptions) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dialing %s: %w", addr, err)
 	}
-	return NewClient(conn), nil
+	return NewClientWith(conn, opts), nil
 }
 
 // NewClient wraps an established connection.
 func NewClient(conn net.Conn) *Client {
+	return NewClientWith(conn, ClientOptions{})
+}
+
+// NewClientWith wraps an established connection with explicit options.
+func NewClientWith(conn net.Conn, opts ClientOptions) *Client {
 	c := &Client{
 		conn:     conn,
+		opts:     opts.withDefaults(),
 		events:   make(chan broker.Event, 1024),
 		replies:  make(chan *Message, 1),
 		readDone: make(chan struct{}),
@@ -61,13 +89,17 @@ func (c *Client) readLoop() {
 		}
 		switch m.Type {
 		case TypeEvent:
-			ev := broker.Event{Point: geometry.Point(m.Point), Payload: m.Payload, Seq: m.Seq}
+			ev := broker.Event{Point: geometry.Point(m.Point), Payload: m.Payload, Seq: m.Seq, TraceID: m.TraceID}
 			select {
 			case c.events <- ev:
+				c.opts.Recorder.Record(telemetry.KindClientRecv, m.TraceID, m.Seq,
+					int64(m.SubID), int64(len(m.Payload)), 0, 0)
 			default:
 				c.droppedMu.Lock()
 				c.dropped++
 				c.droppedMu.Unlock()
+				c.opts.Recorder.Record(telemetry.KindClientRecv, m.TraceID, m.Seq,
+					int64(m.SubID), int64(len(m.Payload)), 1, 0)
 			}
 		case TypeOK, TypeError:
 			select {
@@ -145,11 +177,25 @@ func (c *Client) Ping() error {
 // Publish sends an event and returns how many subscribers it was
 // delivered to (across all of the broker's clients).
 func (c *Client) Publish(p geometry.Point, payload []byte) (int, error) {
-	reply, err := c.roundTrip(&Message{Type: TypePublish, Point: p, Payload: payload})
+	n, _, err := c.PublishTraced(p, payload)
+	return n, err
+}
+
+// PublishTraced is Publish exposing the publication's trace id: the
+// client assigns a fresh 64-bit id, records the send in its flight
+// recorder, carries the id on the publish frame (old servers ignore the
+// unknown field and the id from the reply is then 0), and returns it so
+// the caller can correlate the publication across the server's
+// /debug/events dump and its own recorder.
+func (c *Client) PublishTraced(p geometry.Point, payload []byte) (int, uint64, error) {
+	traceID := telemetry.NewTraceID()
+	c.opts.Recorder.Record(telemetry.KindClientPublish, traceID, 0,
+		int64(len(p)), int64(len(payload)), 0, 0)
+	reply, err := c.roundTrip(&Message{Type: TypePublish, Point: p, Payload: payload, TraceID: traceID})
 	if err != nil {
-		return 0, err
+		return 0, traceID, err
 	}
-	return reply.Delivered, nil
+	return reply.Delivered, traceID, nil
 }
 
 // Events returns the channel of asynchronous event deliveries for all of

@@ -1,0 +1,186 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/geometry"
+)
+
+// legacyMessage mirrors the frame body as it existed before the
+// trace_id field: decoding with it simulates an old peer, encoding with
+// it produces the frames an old peer sends.
+type legacyMessage struct {
+	Type      Type      `json:"type"`
+	Rects     []Rect    `json:"rects,omitempty"`
+	Buffer    int       `json:"buffer,omitempty"`
+	Point     []float64 `json:"point,omitempty"`
+	Payload   []byte    `json:"payload,omitempty"`
+	Seq       uint64    `json:"seq,omitempty"`
+	SubID     int       `json:"sub_id,omitempty"`
+	Delivered int       `json:"delivered,omitempty"`
+	Error     string    `json:"error,omitempty"`
+}
+
+func writeLegacy(t *testing.T, w *bytes.Buffer, m *legacyMessage) {
+	t.Helper()
+	body, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	w.Write(hdr[:])
+	w.Write(body)
+}
+
+// A frame carrying trace_id must still decode cleanly on a peer built
+// before the field existed, with every other field intact.
+func TestTraceIDForwardCompat(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteMessage(&buf, &Message{
+		Type:    TypePublish,
+		Point:   []float64{1, 2},
+		Payload: []byte("tick"),
+		TraceID: 0xdeadbeefcafe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Old decoder: length prefix, then strict JSON into the legacy shape.
+	var hdr [4]byte
+	if _, err := buf.Read(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.Bytes()
+	if got := binary.BigEndian.Uint32(hdr[:]); int(got) != len(body) {
+		t.Fatalf("frame length %d, body %d", got, len(body))
+	}
+	var old legacyMessage
+	if err := json.Unmarshal(body, &old); err != nil {
+		t.Fatalf("old decoder rejected a trace_id frame: %v", err)
+	}
+	if old.Type != TypePublish || string(old.Payload) != "tick" || old.Point[1] != 2 {
+		t.Fatalf("old decoder mangled the frame: %+v", old)
+	}
+}
+
+// A frame from an old peer (no trace_id key) must decode on the new
+// side with a zero TraceID, and a zero TraceID must stay off the wire
+// so old-style frames and new untraced frames are byte-identical.
+func TestTraceIDBackwardCompat(t *testing.T) {
+	var buf bytes.Buffer
+	writeLegacy(t, &buf, &legacyMessage{Type: TypePublish, Point: []float64{3}, Seq: 7})
+	m, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TraceID != 0 {
+		t.Fatalf("TraceID = %#x from a legacy frame, want 0", m.TraceID)
+	}
+	if m.Type != TypePublish || m.Point[0] != 3 || m.Seq != 7 {
+		t.Fatalf("legacy frame mangled: %+v", m)
+	}
+
+	buf.Reset()
+	if err := WriteMessage(&buf, &Message{Type: TypePublish, Point: []float64{3}, Seq: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("trace_id")) {
+		t.Fatalf("zero trace id leaked onto the wire: %s", buf.Bytes()[4:])
+	}
+	var legacy bytes.Buffer
+	writeLegacy(t, &legacy, &legacyMessage{Type: TypePublish, Point: []float64{3}, Seq: 7})
+	if !bytes.Equal(buf.Bytes(), legacy.Bytes()) {
+		t.Fatalf("untraced frame differs from legacy encoding:\n new %s\n old %s",
+			buf.Bytes()[4:], legacy.Bytes()[4:])
+	}
+}
+
+// An old client speaking to a new server: its trace-id-free publish is
+// accepted, the server assigns a fresh id (echoed on the OK reply in a
+// key the old client ignores), and event frames that do carry trace_id
+// decode fine with the legacy shape.
+func TestLegacyClientAgainstNewServer(t *testing.T) {
+	_, addr := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	send := func(m *legacyMessage) {
+		t.Helper()
+		var buf bytes.Buffer
+		writeLegacy(t, &buf, m)
+		if _, err := conn.Write(buf.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The old-side decoder keeps raw JSON too, so the test can show the
+	// reply both parses as legacy and carries the new key.
+	recv := func() (*legacyMessage, []byte) {
+		t.Helper()
+		var hdr [4]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			t.Fatal(err)
+		}
+		body := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+		if _, err := io.ReadFull(conn, body); err != nil {
+			t.Fatal(err)
+		}
+		var m legacyMessage
+		if err := json.Unmarshal(body, &m); err != nil {
+			t.Fatalf("legacy decode of server frame %s: %v", body, err)
+		}
+		return &m, body
+	}
+
+	send(&legacyMessage{Type: TypeSubscribe, Rects: []Rect{RectToWire(geometry.NewRect(0, 10))}})
+	reply, _ := recv()
+	if reply.Type != TypeOK {
+		t.Fatalf("subscribe reply = %+v", reply)
+	}
+
+	send(&legacyMessage{Type: TypePublish, Point: []float64{5}, Payload: []byte("old")})
+
+	var sawEvent, sawOK bool
+	var okBody []byte
+	for i := 0; i < 2; i++ {
+		m, body := recv()
+		switch m.Type {
+		case TypeOK:
+			sawOK = true
+			okBody = body
+			if m.Delivered != 1 {
+				t.Fatalf("publish OK delivered = %d, want 1", m.Delivered)
+			}
+		case TypeEvent:
+			sawEvent = true
+			if string(m.Payload) != "old" {
+				t.Fatalf("event payload = %q", m.Payload)
+			}
+		default:
+			t.Fatalf("unexpected frame %+v", m)
+		}
+	}
+	if !sawOK || !sawEvent {
+		t.Fatalf("sawOK=%v sawEvent=%v", sawOK, sawEvent)
+	}
+
+	// The server assigned a trace id to the untraced publish and echoed
+	// it on the OK reply — visible to a new peer, ignored by the old one.
+	var okNew Message
+	if err := json.Unmarshal(okBody, &okNew); err != nil {
+		t.Fatal(err)
+	}
+	if okNew.TraceID == 0 {
+		t.Fatalf("server did not assign a trace id to a legacy publish: %s", okBody)
+	}
+}

@@ -28,6 +28,9 @@ type ReconnectOptions struct {
 	// Metrics, when non-nil, receives the client's reconnect counters
 	// (redial attempts and successful reconnects). Nil disables them.
 	Metrics *telemetry.Registry
+	// Recorder receives a flight-recorder record per redial attempt.
+	// Nil selects the process-wide telemetry.Default() recorder.
+	Recorder *telemetry.Recorder
 }
 
 func (o ReconnectOptions) withDefaults() ReconnectOptions {
@@ -51,6 +54,9 @@ func (o ReconnectOptions) withDefaults() ReconnectOptions {
 	}
 	if o.Jitter > 1 {
 		o.Jitter = 1
+	}
+	if o.Recorder == nil {
+		o.Recorder = telemetry.Default()
 	}
 	return o
 }
@@ -134,7 +140,7 @@ func (rc *ReconnectingClient) run(cli *Client) {
 
 		// Reconnect with jittered exponential backoff.
 		backoff := rc.opts.InitialBackoff
-		for {
+		for attempt := int64(1); ; attempt++ {
 			select {
 			case <-rc.done:
 				return
@@ -143,6 +149,8 @@ func (rc *ReconnectingClient) run(cli *Client) {
 			rc.attempts.Inc()
 			next, err := Dial(rc.addr)
 			if err != nil {
+				rc.opts.Recorder.Record(telemetry.KindReconnect, 0, 0,
+					attempt, 0, backoff.Milliseconds(), 0)
 				backoff = time.Duration(float64(backoff) * rc.opts.Multiplier)
 				if backoff > rc.opts.MaxBackoff {
 					backoff = rc.opts.MaxBackoff
@@ -151,9 +159,16 @@ func (rc *ReconnectingClient) run(cli *Client) {
 			}
 			if rc.resubscribe(next) {
 				rc.reconnects.Inc()
+				rc.mu.Lock()
+				subs := len(rc.subs)
+				rc.mu.Unlock()
+				rc.opts.Recorder.Record(telemetry.KindReconnect, 0, 0,
+					attempt, 1, backoff.Milliseconds(), int64(subs))
 				cli = next
 				break
 			}
+			rc.opts.Recorder.Record(telemetry.KindReconnect, 0, 0,
+				attempt, 0, backoff.Milliseconds(), 0)
 			_ = next.Close()
 		}
 	}

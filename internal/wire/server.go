@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/broker"
@@ -33,14 +34,24 @@ type ServerOptions struct {
 	// Metrics, when non-nil, receives the server's connection, byte and
 	// frame-latency families. Nil disables metrics.
 	Metrics *telemetry.Registry
+	// Recorder receives flight-recorder records for publish ingest and
+	// keepalive misses. Nil selects the process-wide telemetry.Default()
+	// recorder.
+	Recorder *telemetry.Recorder
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
 	if o.PingInterval == 0 && o.IdleTimeout > 0 {
 		o.PingInterval = o.IdleTimeout / 3
 	}
+	if o.Recorder == nil {
+		o.Recorder = telemetry.Default()
+	}
 	return o
 }
+
+// connIDs numbers server connections for flight-recorder records.
+var connIDs atomic.Int64
 
 // Server exposes a broker over TCP. Create one with NewServer (or
 // NewServerWith for hardened deadlines), then call Serve with a
@@ -178,6 +189,7 @@ func (s *Server) markClosed() (net.Listener, []*connState) {
 // connState tracks one connection's subscriptions, serialises writes and
 // owns the goroutines (event pumps, pinger) attached to the connection.
 type connState struct {
+	id      int64
 	conn    net.Conn
 	opts    ServerOptions
 	tel     *wireTel
@@ -207,6 +219,7 @@ func (cs *connState) startPump() bool {
 
 func newConnState(conn net.Conn, opts ServerOptions) *connState {
 	return &connState{
+		id:       connIDs.Add(1),
 		conn:     conn,
 		opts:     opts,
 		subs:     make(map[int]*broker.Subscription),
@@ -330,11 +343,12 @@ func (s *Server) handle(cs *connState) {
 			// Disconnect: clean EOF, idle timeout or otherwise. A deadline
 			// expiry means the peer missed every keepalive ping in the
 			// idle window.
-			if cs.tel != nil {
-				var ne net.Error
-				if errors.As(err, &ne) && ne.Timeout() {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if cs.tel != nil {
 					cs.tel.keepaliveMisses.Inc()
 				}
+				cs.opts.Recorder.Record(telemetry.KindKeepaliveMiss, 0, 0, cs.id, 0, 0, 0)
 			}
 			return
 		}
@@ -407,6 +421,7 @@ func (s *Server) handleSubscribe(cs *connState, m *Message) error {
 					Point:   ev.Point,
 					Payload: ev.Payload,
 					Seq:     ev.Seq,
+					TraceID: ev.TraceID,
 					SubID:   sub.ID(),
 				}
 				if err := cs.write(msg); err != nil {
@@ -435,11 +450,19 @@ func (s *Server) handlePublish(cs *connState, m *Message) error {
 	if len(m.Point) == 0 {
 		return cs.write(&Message{Type: TypeError, Error: "publish needs a point"})
 	}
-	n, err := s.b.Publish(geometry.Point(m.Point), m.Payload)
-	if err != nil {
-		return cs.write(&Message{Type: TypeError, Error: err.Error()})
+	// Wire publications are always traced: keep the client's id, or
+	// assign one at ingest for old clients that did not send the field.
+	traceID := m.TraceID
+	if traceID == 0 {
+		traceID = telemetry.NewTraceID()
 	}
-	return cs.write(&Message{Type: TypeOK, Delivered: n})
+	cs.opts.Recorder.Record(telemetry.KindIngest, traceID, 0,
+		cs.id, int64(len(m.Point)), int64(len(m.Payload)), 0)
+	n, err := s.b.PublishTraced(geometry.Point(m.Point), m.Payload, traceID)
+	if err != nil {
+		return cs.write(&Message{Type: TypeError, Error: err.Error(), TraceID: traceID})
+	}
+	return cs.write(&Message{Type: TypeOK, Delivered: n, TraceID: traceID})
 }
 
 // ErrServerClosed is returned by helpers when the server has shut down.

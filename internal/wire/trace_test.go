@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/geometry"
+	"repro/internal/telemetry"
+)
+
+// One wire-crossing publication must yield a correlated trace across
+// both processes' recorders: client-publish on the sending side;
+// ingest, match, decision, deliver and the publish summary on the
+// server; client-recv on the receiving side — all under the trace id
+// PublishTraced returned.
+func TestWireTraceRoundTrip(t *testing.T) {
+	serverRec := telemetry.NewRecorder(1024)
+	b := broker.New(broker.Options{Recorder: serverRec})
+	defer b.Close()
+	s := NewServerWith(b, ServerOptions{Recorder: serverRec})
+	defer s.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = s.Serve(ln) }()
+
+	clientRec := telemetry.NewRecorder(1024)
+	sub, err := DialWith(ln.Addr().String(), ClientOptions{Recorder: clientRec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := DialWith(ln.Addr().String(), ClientOptions{Recorder: clientRec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	if _, err := sub.Subscribe(geometry.NewRect(0, 10, 0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	n, trace, err := pub.PublishTraced(geometry.Point{5, 5}, []byte("tick"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("delivered = %d, want 1", n)
+	}
+	if trace == 0 {
+		t.Fatal("PublishTraced returned a zero trace id")
+	}
+
+	// The event crossing back carries the same trace id.
+	select {
+	case ev := <-sub.Events():
+		if ev.TraceID != trace {
+			t.Fatalf("event trace = %x, want %x", ev.TraceID, trace)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no event within deadline")
+	}
+
+	// Server-side chain, correlated under the client's id.
+	wantServer := []telemetry.RecordKind{
+		telemetry.KindIngest,
+		telemetry.KindMatch,
+		telemetry.KindDecision,
+		telemetry.KindDeliver,
+		telemetry.KindPublish,
+	}
+	got := map[telemetry.RecordKind]int{}
+	for _, r := range serverRec.SnapshotFilter(trace, telemetry.KindNone, 0) {
+		got[r.Kind]++
+	}
+	for _, k := range wantServer {
+		if got[k] != 1 {
+			t.Errorf("server records for trace: %s = %d, want 1 (all: %v)", k, got[k], got)
+		}
+	}
+
+	// Client-side bookends. The receive record lands asynchronously in
+	// the subscriber's read loop, so poll briefly.
+	if recs := clientRec.SnapshotFilter(trace, telemetry.KindClientPublish, 0); len(recs) != 1 {
+		t.Errorf("client publish records = %d, want 1", len(recs))
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if recs := clientRec.SnapshotFilter(trace, telemetry.KindClientRecv, 0); len(recs) == 1 {
+			if recs[0].Args[1] != int64(len("tick")) {
+				t.Errorf("client recv payload_bytes = %d, want %d", recs[0].Args[1], len("tick"))
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no client-recv record within deadline")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

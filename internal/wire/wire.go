@@ -100,6 +100,14 @@ type Message struct {
 	Point   []float64 `json:"point,omitempty"`
 	Payload []byte    `json:"payload,omitempty"`
 	Seq     uint64    `json:"seq,omitempty"`
+	// TraceID correlates a publication across processes. Optional: a
+	// zero id is omitted from the frame, an old peer that does not know
+	// the field ignores it (encoding/json skips unknown keys), and a new
+	// server assigns a fresh id when a publish arrives without one. On
+	// publish frames it is the client-assigned id; on the matching OK
+	// reply the server echoes the id it used; on event frames it is the
+	// originating publication's id.
+	TraceID uint64 `json:"trace_id,omitempty"`
 
 	// OK fields.
 	SubID     int `json:"sub_id,omitempty"`

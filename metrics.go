@@ -37,3 +37,36 @@ func MetricsHandler(r *MetricsRegistry) http.Handler { return telemetry.Handler(
 // MetricsJSONHandler serves a registry as expvar-style JSON
 // unconditionally, for a /debug/vars-shaped endpoint.
 func MetricsJSONHandler(r *MetricsRegistry) http.Handler { return telemetry.JSONHandler(r) }
+
+// FlightRecorder is an always-on, fixed-memory diagnostic ring buffer:
+// every broker publish, traced per-stage detail (ingest, match,
+// dispatch decision, deliver/drop), eviction, index rebuild, keepalive
+// miss and reconnect attempt is written as a compact fixed-size record,
+// lock-free and without heap allocation. Components that are not given
+// one explicitly (BrokerOptions.Recorder and the wire/dispatch
+// equivalents) share the process-wide DefaultFlightRecorder. A nil
+// recorder is safe and discards records.
+type FlightRecorder = telemetry.Recorder
+
+// NewFlightRecorder creates a flight recorder holding at least capacity
+// records (memory use is fixed at 64 bytes per record; capacities below
+// 512 are rounded up).
+func NewFlightRecorder(capacity int) *FlightRecorder { return telemetry.NewRecorder(capacity) }
+
+// DefaultFlightRecorder returns the process-wide flight recorder that
+// instrumented components fall back to, creating it on first use.
+func DefaultFlightRecorder() *FlightRecorder { return telemetry.Default() }
+
+// EventsHandler serves a flight recorder's records as JSON, filterable
+// with ?trace=<hex id>, ?kind=<record kind> and ?limit=<n>. Mount it at
+// /debug/events.
+func EventsHandler(r *FlightRecorder) http.Handler { return telemetry.EventsHandler(r) }
+
+// NewTraceID returns a fresh process-unique non-zero 64-bit publication
+// trace id, for callers that assign ids themselves before publishing
+// via Broker.PublishTraced.
+func NewTraceID() uint64 { return telemetry.NewTraceID() }
+
+// FormatTraceID renders a trace id in its canonical 16-hex-digit form,
+// as accepted by /debug/events?trace= and pubsub-cli trace.
+func FormatTraceID(id uint64) string { return telemetry.FormatTraceID(id) }

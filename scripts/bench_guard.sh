@@ -5,7 +5,7 @@
 #
 # Runs, in order:
 #   1. the pubsub-bench publish benchmark with -json, writing the
-#      throughput/latency/allocation summary (default BENCH_4.json)
+#      throughput/latency/allocation summary (default BENCH_5.json)
 #   2. the BenchmarkPublish/disabled micro-benchmark with -benchmem,
 #      failing if the telemetry-off publish path performs any heap
 #      allocation per operation
@@ -16,7 +16,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_4.json}"
+out="${1:-BENCH_5.json}"
 
 echo "==> publish benchmark (JSON summary -> ${out})"
 # Full publication count: the 10k-publication run matches the BENCH_*
