@@ -19,6 +19,13 @@
 //	pubsub-cli -metrics-addr localhost:9090 events
 //	pubsub-cli -metrics-addr localhost:9090 trace 4a5be60cd4a00f01
 //
+// Against a daemon started with -data-dir, dump the durable publication
+// log from an offset (0 means the oldest retained record), or subscribe
+// with catch-up replay before live delivery:
+//
+//	pubsub-cli -addr localhost:7070 replay 0
+//	pubsub-cli -addr localhost:7070 -from 17 subscribe "10:11,75:80,999:"
+//
 // Rectangles are comma-separated per-dimension ranges "lo:hi"; omit a
 // bound for the corresponding infinity ("999:" means volume > 999).
 package main
@@ -58,6 +65,7 @@ func run(args []string, w io.Writer) error {
 		metricsAddr = fs.String("metrics-addr", "localhost:9090", "pubsubd metrics address for the stats/events/trace verbs")
 		payload     = fs.String("payload", "", "payload for publish")
 		count       = fs.Int("count", 0, "subscribe: exit after this many events (0 = forever)")
+		fromOffset  = fs.Uint64("from", 0, "subscribe: replay the durable log from this offset first (0 = live only)")
 		kindFilter  = fs.String("kind", "", "events: keep only records of this kind (e.g. publish, ingest, deliver)")
 		limit       = fs.Int("limit", 0, "events: keep only the most recent N records (0 = all)")
 	)
@@ -72,7 +80,7 @@ func run(args []string, w io.Writer) error {
 		return runEvents(*metricsAddr, "", *kindFilter, *limit, w)
 	}
 	if len(rest) < 2 {
-		return fmt.Errorf("usage: pubsub-cli [flags] subscribe|publish <spec> | trace <id> | stats | events")
+		return fmt.Errorf("usage: pubsub-cli [flags] subscribe|publish|replay <spec> | trace <id> | stats | events")
 	}
 	verb, spec := rest[0], rest[1]
 	if verb == "trace" {
@@ -91,7 +99,7 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		id, err := cli.Subscribe(rect)
+		id, err := cli.SubscribeFrom(*fromOffset, rect)
 		if err != nil {
 			return err
 		}
@@ -127,8 +135,23 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "published to %d subscribers trace=%016x\n", n, traceID)
 		return nil
 
+	case "replay":
+		from, err := strconv.ParseUint(spec, 10, 64)
+		if err != nil {
+			return fmt.Errorf("replay offset %q: %w", spec, err)
+		}
+		evs, err := cli.Replay(from)
+		if err != nil {
+			return err
+		}
+		for _, ev := range evs {
+			fmt.Fprintf(w, "event seq=%d point=%v payload=%q\n", ev.Seq, ev.Point, ev.Payload)
+		}
+		fmt.Fprintf(w, "replayed %d event(s)\n", len(evs))
+		return nil
+
 	default:
-		return fmt.Errorf("unknown verb %q (want subscribe, publish, trace, stats or events)", verb)
+		return fmt.Errorf("unknown verb %q (want subscribe, publish, replay, trace, stats or events)", verb)
 	}
 }
 
@@ -156,7 +179,9 @@ var argOrder = []string{
 	"fanout", "delivered", "depth", "policy", "dropped",
 	"entries", "overlay_left", "rebuilds",
 	"attempt", "ok", "backoff_ms", "subs",
-	"match_ns", "build_ns", "total_ns",
+	"bytes", "synced", "pending", "segments", "records", "truncated_bytes",
+	"from", "end",
+	"match_ns", "build_ns", "append_ns", "sync_ns", "recover_ns", "total_ns",
 }
 
 // formatEventArgs renders a record's arguments as " k=v ..." in a

@@ -6,6 +6,16 @@
 //	pubsubd -addr :7070 -write-timeout 5s -idle-timeout 2m -overflow drop-oldest \
 //	        -metrics-addr :9090 -log-level info -trace-sample 1000
 //
+// With -data-dir set the daemon keeps a crash-safe publication log:
+// every publish is appended (and, under -fsync always, fsynced) before
+// it is acknowledged or fanned out, event sequence numbers become
+// stable log offsets that survive restarts, and subscribers may resume
+// with the wire protocol's from_offset field (pubsub-cli sub -from /
+// replay). -fsync interval trades the tail of the log on power loss
+// for throughput; -retention-bytes bounds disk use by deleting the
+// oldest sealed segments. Without -data-dir nothing changes: the
+// broker runs fully in-memory as before.
+//
 // With -metrics-addr set the daemon serves Prometheus text exposition on
 // /metrics, expvar-style JSON on /debug/vars, the flight-recorder dump
 // on /debug/events (JSON; filter with ?trace=<hex id>, ?kind=<name>,
@@ -39,6 +49,7 @@ import (
 	"repro/internal/broker"
 	"repro/internal/dispatch"
 	"repro/internal/telemetry"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -62,6 +73,12 @@ func run(args []string) error {
 		idleTO       = fs.Duration("idle-timeout", 5*time.Minute, "evict connections silent for this long (0 disables)")
 		pingInt      = fs.Duration("ping-interval", 0, "server keepalive ping interval (0 selects idle-timeout/3)")
 		drainTO      = fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain budget before hard close")
+
+		dataDir        = fs.String("data-dir", "", "directory for the durable publication log (empty runs in-memory only)")
+		fsyncPolicy    = fs.String("fsync", "always", "log fsync policy: always, interval or never")
+		fsyncInt       = fs.Duration("fsync-interval", 50*time.Millisecond, "flush cadence of the interval fsync policy")
+		segmentBytes   = fs.Int64("segment-bytes", 0, "rotate log segments at this size (0 selects 64MiB)")
+		retentionBytes = fs.Int64("retention-bytes", 0, "delete oldest sealed segments beyond this total (0 keeps everything)")
 
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/events and /debug/pprof on this address (empty disables)")
 		logLevel    = fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
@@ -94,6 +111,39 @@ func run(args []string) error {
 	tracer := telemetry.NewTracer(logger, *traceSample)
 	rec := telemetry.NewRecorder(*events)
 
+	var log *wal.Log
+	if *dataDir != "" {
+		sync, err := wal.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			return err
+		}
+		log, err = wal.Open(*dataDir, wal.Options{
+			SegmentBytes:   *segmentBytes,
+			RetentionBytes: *retentionBytes,
+			Sync:           sync,
+			SyncInterval:   *fsyncInt,
+			Metrics:        reg,
+			Recorder:       rec,
+		})
+		if err != nil {
+			return fmt.Errorf("opening publication log: %w", err)
+		}
+		defer log.Close()
+		rs := log.Recovered()
+		st := log.Stats()
+		logger.Info("publication log open",
+			"dir", *dataDir,
+			"fsync", sync.String(),
+			"first_offset", st.FirstOffset,
+			"next_offset", st.NextOffset,
+			"segments", st.Segments,
+			"recovered_records", rs.Records,
+			"truncated_bytes", rs.TruncatedBytes,
+		)
+	} else if *fsyncPolicy != "always" || *retentionBytes != 0 {
+		return fmt.Errorf("-fsync/-retention-bytes need -data-dir")
+	}
+
 	b := broker.New(broker.Options{
 		DefaultBuffer: *buffer,
 		Overflow:      policy,
@@ -101,6 +151,7 @@ func run(args []string) error {
 		Metrics:       reg,
 		Tracer:        tracer,
 		Recorder:      rec,
+		Log:           log,
 	})
 	defer b.Close()
 	srv := wire.NewServerWith(b, wire.ServerOptions{

@@ -27,6 +27,7 @@ import (
 	"repro/internal/match"
 	"repro/internal/rtree"
 	"repro/internal/telemetry"
+	"repro/internal/wal"
 )
 
 var errClosed = errors.New("broker: closed")
@@ -155,6 +156,16 @@ type Options struct {
 	// recorder, so the flight recorder is always on; recording is
 	// lock-free and allocation-free.
 	Recorder *telemetry.Recorder
+	// Log, when non-nil, makes every publication durable: it is appended
+	// to the log — and, under the log's always policy, fsynced — before
+	// any subscriber sees it, and the event's Seq becomes the
+	// log-assigned offset, so Seq values survive restarts and can be
+	// replayed with Log.ReadFrom. A failed append fails the Publish; the
+	// publication is not delivered. The caller owns the log's lifetime
+	// and closes it after the broker. Nil (the default) keeps the
+	// original in-memory path bit-for-bit: no log, no fsync, Seq from a
+	// process-local counter.
+	Log *wal.Log
 }
 
 func (o Options) withDefaults() Options {
@@ -272,6 +283,7 @@ type Broker struct {
 	tel    *brokerTel
 	tracer *telemetry.Tracer
 	rec    *telemetry.Recorder
+	log    *wal.Log // nil unless durability is on
 
 	seq       atomic.Uint64
 	delivered atomic.Uint64
@@ -290,6 +302,7 @@ func New(opts Options) *Broker {
 		subs:        make(map[int]*Subscription),
 		tracer:      opts.Tracer,
 		rec:         opts.Recorder,
+		log:         opts.Log,
 		rebuildCh:   make(chan struct{}, 1),
 		rebuildStop: make(chan struct{}),
 	}
@@ -767,6 +780,23 @@ func (b *Broker) PublishTraced(p geometry.Point, payload []byte, traceID uint64)
 		t0 = time.Now()
 	}
 
+	// Durable path: append — and, policy permitting, fsync — before any
+	// matching. The append must happen before the snapshot load below: a
+	// subscriber registered before some reader observed NextOffset() == N
+	// had its snapshot published before that observation, so every
+	// publication with offset >= N loads a snapshot containing it and is
+	// delivered live, while offsets < N fall inside the reader's replay
+	// range — no gap between replay and live fanout. A failed append
+	// refuses the publication outright: never acked, never delivered.
+	var walOff uint64
+	if b.log != nil {
+		off, err := b.log.Append(traceID, p, payload)
+		if err != nil {
+			return 0, err
+		}
+		walOff = off
+	}
+
 	sc := b.scratch.Get().(*pubScratch)
 	ids := sc.ids[:0]
 	targets := sc.targets[:0]
@@ -865,7 +895,11 @@ func (b *Broker) PublishTraced(p geometry.Point, payload []byte, traceID uint64)
 		span.Stage("match", tMatch.Sub(t0))
 	}
 
-	ev := Event{Seq: b.seq.Add(1), TraceID: traceID}
+	seq := walOff
+	if b.log == nil {
+		seq = b.seq.Add(1)
+	}
+	ev := Event{Seq: seq, TraceID: traceID}
 	if detail {
 		rec.Record(telemetry.KindMatch, traceID, ev.Seq,
 			int64(qs.NodesVisited), int64(qs.EntriesTested), int64(qs.LeavesVisited), int64(len(targets)))
@@ -1041,10 +1075,16 @@ func (b *Broker) Stats() Stats {
 			rects = b.dyn.Len()
 		}
 	}
+	published := b.seq.Load()
+	if b.log != nil {
+		// Durable mode: offsets are the publication count, and they
+		// survive restarts where the in-memory counter does not.
+		published = b.log.NextOffset() - 1
+	}
 	st := Stats{
 		Subscriptions:  len(b.subs),
 		Rectangles:     rects,
-		Published:      b.seq.Load(),
+		Published:      published,
 		Delivered:      b.delivered.Load(),
 		Dropped:        b.dropped.Load(),
 		Evicted:        b.evicted.Load(),
@@ -1056,6 +1096,10 @@ func (b *Broker) Stats() Stats {
 	}
 	return st
 }
+
+// Log returns the durable publication log the broker appends to, or
+// nil when durability is off.
+func (b *Broker) Log() *wal.Log { return b.log }
 
 // Close shuts the broker down: all subscription channels are closed and
 // further Publish/Subscribe calls fail. It waits for the background

@@ -1,0 +1,149 @@
+package broker
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/geometry"
+	"repro/internal/wal"
+)
+
+func openLog(t *testing.T, dir string, opts wal.Options) *wal.Log {
+	t.Helper()
+	l, err := wal.Open(dir, opts)
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func rect1(lo, hi float64) geometry.Rect {
+	return geometry.NewRect(lo, hi)
+}
+
+// TestDurablePublishAppendsBeforeDeliver: every published event lands
+// in the log with the event's Seq as its offset, payload and point
+// intact.
+func TestDurablePublishAppendsBeforeDeliver(t *testing.T) {
+	log := openLog(t, t.TempDir(), wal.Options{Sync: wal.SyncAlways})
+	b := New(Options{Log: log})
+	defer b.Close()
+
+	sub, err := b.Subscribe(rect1(-1, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		if _, err := b.Publish(geometry.Point{float64(i)}, []byte(fmt.Sprintf("p%d", i))); err != nil {
+			t.Fatalf("Publish %d: %v", i, err)
+		}
+	}
+	// Delivered events carry log offsets as Seq, in order.
+	for i := 0; i < n; i++ {
+		ev := <-sub.Events()
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has Seq %d, want the log offset %d", i, ev.Seq, i+1)
+		}
+	}
+	// And the log holds exactly those records.
+	r, err := log.ReadFrom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+		if rec.Offset != uint64(i+1) || string(rec.Payload) != fmt.Sprintf("p%d", i) {
+			t.Fatalf("replayed record %d = %+v", i, rec)
+		}
+		if len(rec.Point) != 1 || rec.Point[0] != float64(i) {
+			t.Fatalf("replayed point %d = %v", i, rec.Point)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("log holds extra records: %v", err)
+	}
+	if st := b.Stats(); st.Published != n {
+		t.Fatalf("Stats.Published = %d, want %d", st.Published, n)
+	}
+}
+
+// TestDurableSeqContinuesAcrossRestart: a broker opened over an
+// existing log continues the offset sequence instead of restarting at
+// 1, so replay offsets stay unambiguous.
+func TestDurableSeqContinuesAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	log := openLog(t, dir, wal.Options{Sync: wal.SyncAlways})
+	b := New(Options{Log: log})
+	for i := 0; i < 5; i++ {
+		if _, err := b.Publish(geometry.Point{1}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+	log.Close()
+
+	log2 := openLog(t, dir, wal.Options{Sync: wal.SyncAlways})
+	b2 := New(Options{Log: log2})
+	defer b2.Close()
+	sub, _ := b2.Subscribe(rect1(-1, 10))
+	if _, err := b2.Publish(geometry.Point{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ev := <-sub.Events(); ev.Seq != 6 {
+		t.Fatalf("post-restart Seq = %d, want 6", ev.Seq)
+	}
+	if st := b2.Stats(); st.Published != 6 {
+		t.Fatalf("post-restart Stats.Published = %d, want 6", st.Published)
+	}
+}
+
+// TestDurableAppendFailureRefusesPublish: once the log fail-stops, the
+// broker refuses publications instead of delivering undurable events.
+func TestDurableAppendFailureRefusesPublish(t *testing.T) {
+	dir := t.TempDir()
+	log := openLog(t, dir, wal.Options{Sync: wal.SyncAlways})
+	b := New(Options{Log: log})
+	defer b.Close()
+	sub, _ := b.Subscribe(rect1(-1, 10))
+
+	if _, err := b.Publish(geometry.Point{1}, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	log.Close() // stands in for a failed disk: appends now error
+
+	if _, err := b.Publish(geometry.Point{1}, []byte("lost")); err == nil {
+		t.Fatal("Publish succeeded after the log stopped accepting appends")
+	}
+	// The subscriber saw only the durable event.
+	ev := <-sub.Events()
+	if string(ev.Payload) != "ok" {
+		t.Fatalf("delivered %q", ev.Payload)
+	}
+	select {
+	case ev := <-sub.Events():
+		t.Fatalf("undurable event %q was delivered", ev.Payload)
+	default:
+	}
+}
+
+// TestNonDurableSeqUnchanged guards the default path: without a log,
+// Seq comes from the in-memory counter starting at 1.
+func TestNonDurableSeqUnchanged(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	sub, _ := b.Subscribe(rect1(-1, 10))
+	for i := 1; i <= 3; i++ {
+		if _, err := b.Publish(geometry.Point{1}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if ev := <-sub.Events(); ev.Seq != uint64(i) {
+			t.Fatalf("Seq = %d, want %d", ev.Seq, i)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// Disk-fault sentinels. ErrDiskFull wraps syscall.ENOSPC so callers can
+// detect the out-of-space condition the same way they would a real one.
+var (
+	ErrDiskFull      = fmt.Errorf("faultnet: injected disk full: %w", syscall.ENOSPC)
+	ErrInjectedWrite = errors.New("faultnet: injected write failure")
+	ErrInjectedSync  = errors.New("faultnet: injected fsync failure")
+)
+
+// DiskOptions select which faults a Disk injects into wrapped files.
+// The zero value injects nothing.
+type DiskOptions struct {
+	// Seed drives every random decision. Zero selects 1, so the default
+	// schedule is still deterministic.
+	Seed int64
+	// WriteLimitBytes fails writes with ErrDiskFull (wrapping ENOSPC)
+	// once this many bytes have been written across all wrapped files.
+	// The write that crosses the limit lands a prefix on disk first —
+	// real filesystems tear exactly like that. Zero is unlimited.
+	WriteLimitBytes int64
+	// TornWriteProb is the per-write probability that only a random
+	// prefix reaches the file before the write fails with
+	// ErrInjectedWrite.
+	TornWriteProb float64
+	// FailWriteAfter fails every write from the Nth (1-based) onward
+	// with ErrInjectedWrite, writing nothing. Zero never fails.
+	FailWriteAfter int
+	// FailSyncAfter fails every Sync from the Nth (1-based) onward with
+	// ErrInjectedSync. The data may or may not be durable — exactly the
+	// ambiguity a real fsync failure leaves. Zero never fails.
+	FailSyncAfter int
+}
+
+// Disk is a shared disk-fault controller: every file it wraps draws
+// from one seeded RNG and one byte budget, so a failing test replays
+// identically under the same seed.
+type Disk struct {
+	opts DiskOptions
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	written int64
+	writes  int
+	syncs   int
+}
+
+// NewDisk creates a disk-fault controller.
+func NewDisk(opts DiskOptions) *Disk {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Disk{opts: opts, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Written reports total bytes that actually reached wrapped files.
+func (d *Disk) Written() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.written
+}
+
+// diskFile is what Disk wraps: the write side of a file. *os.File
+// satisfies it, and the wrapper satisfies it again, so fault layers
+// stack and structurally match wal.File without an import cycle.
+type diskFile interface {
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// FaultFile is one fault-injected file.
+type FaultFile struct {
+	inner diskFile
+	d     *Disk
+}
+
+// Create opens path for writing (create/truncate) and wraps it.
+func (d *Disk) Create(path string) (*FaultFile, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return d.WrapFile(f), nil
+}
+
+// WrapFile returns a fault-injecting view of f.
+func (d *Disk) WrapFile(f diskFile) *FaultFile {
+	return &FaultFile{inner: f, d: d}
+}
+
+// Write applies the write faults. On a torn write or a budget overrun a
+// genuine prefix reaches the inner file before the error, so recovery
+// code sees realistic partial frames.
+func (f *FaultFile) Write(p []byte) (int, error) {
+	d := f.d
+	d.mu.Lock()
+	d.writes++
+	failAll := d.opts.FailWriteAfter > 0 && d.writes >= d.opts.FailWriteAfter
+	torn := -1
+	if !failAll && d.opts.TornWriteProb > 0 && d.rng.Float64() < d.opts.TornWriteProb {
+		torn = d.rng.Intn(len(p) + 1)
+	}
+	allowed := len(p)
+	if lim := d.opts.WriteLimitBytes; lim > 0 {
+		if room := lim - d.written; int64(allowed) > room {
+			if room < 0 {
+				room = 0
+			}
+			allowed = int(room)
+		}
+	}
+	d.mu.Unlock()
+
+	if failAll {
+		return 0, ErrInjectedWrite
+	}
+	n := allowed
+	errOut := error(nil)
+	if n < len(p) {
+		errOut = ErrDiskFull
+	}
+	if torn >= 0 && torn < n {
+		n, errOut = torn, ErrInjectedWrite
+	}
+	nn, err := f.inner.Write(p[:n])
+	d.mu.Lock()
+	d.written += int64(nn)
+	d.mu.Unlock()
+	if err != nil {
+		return nn, err
+	}
+	return nn, errOut
+}
+
+// Sync applies the sync fault, then syncs the inner file.
+func (f *FaultFile) Sync() error {
+	d := f.d
+	d.mu.Lock()
+	d.syncs++
+	fail := d.opts.FailSyncAfter > 0 && d.syncs >= d.opts.FailSyncAfter
+	d.mu.Unlock()
+	if fail {
+		return ErrInjectedSync
+	}
+	return f.inner.Sync()
+}
+
+// Close closes the inner file. Close itself never injects faults: the
+// interesting failures happen before it.
+func (f *FaultFile) Close() error { return f.inner.Close() }

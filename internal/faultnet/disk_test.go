@@ -1,0 +1,144 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestDiskTransparentByDefault(t *testing.T) {
+	d := NewDisk(DiskOptions{})
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := d.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("hello, disk")
+	if n, err := f.Write(want); n != len(want) || err != nil {
+		t.Fatalf("Write = (%d, %v)", n, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, _ := os.ReadFile(path)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("file holds %q, want %q", got, want)
+	}
+	if d.Written() != int64(len(want)) {
+		t.Fatalf("Written = %d, want %d", d.Written(), len(want))
+	}
+}
+
+func TestDiskWriteLimitTearsThenENOSPC(t *testing.T) {
+	d := NewDisk(DiskOptions{WriteLimitBytes: 10})
+	path := filepath.Join(t.TempDir(), "f")
+	f, _ := d.Create(path)
+	defer f.Close()
+
+	// The crossing write lands a prefix, then reports disk full.
+	n, err := f.Write(bytes.Repeat([]byte{'a'}, 8))
+	if n != 8 || err != nil {
+		t.Fatalf("first write = (%d, %v)", n, err)
+	}
+	n, err = f.Write(bytes.Repeat([]byte{'b'}, 8))
+	if n != 2 || !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("crossing write = (%d, %v), want (2, ErrDiskFull)", n, err)
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("ErrDiskFull does not unwrap to ENOSPC: %v", err)
+	}
+	// Fully over budget: nothing lands.
+	n, err = f.Write([]byte("c"))
+	if n != 0 || !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("over-budget write = (%d, %v), want (0, ErrDiskFull)", n, err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "aaaaaaaabb" {
+		t.Fatalf("file holds %q", got)
+	}
+}
+
+func TestDiskTornWriteLeavesPrefix(t *testing.T) {
+	// TornWriteProb 1: every write tears at a seeded random point.
+	d := NewDisk(DiskOptions{Seed: 7, TornWriteProb: 1})
+	path := filepath.Join(t.TempDir(), "f")
+	f, _ := d.Create(path)
+	defer f.Close()
+	payload := bytes.Repeat([]byte{'x'}, 100)
+	n, err := f.Write(payload)
+	if n >= len(payload) {
+		// The tear point can be len(p) (write "succeeds"); retry until a
+		// genuine tear under this seed.
+		for i := 0; i < 100 && n >= len(payload); i++ {
+			n, err = f.Write(payload)
+		}
+	}
+	if n >= len(payload) {
+		t.Fatal("no torn write in 100 attempts at probability 1")
+	}
+	if !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("torn write error = %v, want ErrInjectedWrite", err)
+	}
+	fi, _ := os.Stat(path)
+	if fi.Size() == int64(0) && d.Written() == 0 {
+		t.Log("tear at offset 0: empty prefix is legal")
+	}
+}
+
+func TestDiskFailWriteAfter(t *testing.T) {
+	d := NewDisk(DiskOptions{FailWriteAfter: 3})
+	f, _ := d.Create(filepath.Join(t.TempDir(), "f"))
+	defer f.Close()
+	for i := 1; i <= 2; i++ {
+		if _, err := f.Write([]byte("ok")); err != nil {
+			t.Fatalf("write %d failed early: %v", i, err)
+		}
+	}
+	if n, err := f.Write([]byte("ok")); n != 0 || !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("write 3 = (%d, %v), want (0, ErrInjectedWrite)", n, err)
+	}
+	if _, err := f.Write([]byte("ok")); !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("write 4 = %v: failure is not sticky", err)
+	}
+}
+
+func TestDiskFailSyncAfter(t *testing.T) {
+	d := NewDisk(DiskOptions{FailSyncAfter: 2})
+	f, _ := d.Create(filepath.Join(t.TempDir(), "f"))
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjectedSync) {
+		t.Fatalf("sync 2 = %v, want ErrInjectedSync", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjectedSync) {
+		t.Fatalf("sync 3 = %v: failure is not sticky", err)
+	}
+}
+
+func TestDiskDeterministicUnderSeed(t *testing.T) {
+	run := func() []int {
+		d := NewDisk(DiskOptions{Seed: 99, TornWriteProb: 0.5})
+		f, _ := d.Create(filepath.Join(t.TempDir(), "f"))
+		defer f.Close()
+		var ns []int
+		for i := 0; i < 20; i++ {
+			n, _ := f.Write(bytes.Repeat([]byte{'z'}, 50))
+			ns = append(ns, n)
+		}
+		return ns
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("write %d differs across identically-seeded runs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -47,6 +47,16 @@ const (
 	KindClientPublish
 	// KindClientRecv is a wire client receiving an event frame.
 	KindClientRecv
+	// KindWALAppend is one publication appended to the durable log; its
+	// Seq is the log-assigned offset.
+	KindWALAppend
+	// KindWALSync is one fsync of the durable log's active segment.
+	KindWALSync
+	// KindWALRecover is a durable-log boot recovery: segments scanned,
+	// records accepted, torn-tail bytes truncated.
+	KindWALRecover
+	// KindWALReplay is a replay reader opened over the durable log.
+	KindWALReplay
 
 	numKinds
 )
@@ -67,6 +77,10 @@ var kindNames = [numKinds]string{
 	KindReconnect:     "reconnect",
 	KindClientPublish: "client_publish",
 	KindClientRecv:    "client_recv",
+	KindWALAppend:     "wal_append",
+	KindWALSync:       "wal_sync",
+	KindWALRecover:    "wal_recover",
+	KindWALReplay:     "wal_replay",
 }
 
 var kindArgs = [numKinds][4]string{
@@ -82,6 +96,10 @@ var kindArgs = [numKinds][4]string{
 	KindReconnect:     {"attempt", "ok", "backoff_ms", "subs"},
 	KindClientPublish: {"point_dims", "payload_bytes", "", ""},
 	KindClientRecv:    {"sub", "payload_bytes", "dropped", ""},
+	KindWALAppend:     {"bytes", "synced", "append_ns", ""},
+	KindWALSync:       {"pending", "sync_ns", "", ""},
+	KindWALRecover:    {"segments", "records", "truncated_bytes", "recover_ns"},
+	KindWALReplay:     {"from", "end", "", ""},
 }
 
 // String returns the kind's display name.

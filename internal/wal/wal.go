@@ -1,0 +1,585 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: closed")
+
+// SyncPolicy selects when appended records are fsynced to stable
+// storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs every append before it returns. An acknowledged
+	// publication survives any crash; appends pay the fsync.
+	SyncAlways SyncPolicy = iota
+	// SyncEvery fsyncs on a background interval. A crash loses at most
+	// one sync window of acknowledged publications.
+	SyncEvery
+	// SyncNever leaves syncing to the operating system. A process crash
+	// loses nothing (the OS holds the pages); a machine crash may lose
+	// everything since the last OS writeback.
+	SyncNever
+)
+
+// String returns the policy's display name.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncEvery:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("sync(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy converts a policy display name back to the policy.
+// It is the inverse used by the -fsync flag.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	for _, p := range []SyncPolicy{SyncAlways, SyncEvery, SyncNever} {
+		if s == p.String() {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always, interval or never)", s)
+}
+
+// File is the write side of one segment as the log sees it. *os.File
+// satisfies it; fault-injection tests substitute wrappers that fail.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// Options tune a log. The zero value is usable: 64 MiB segments,
+// unlimited retention, fsync on every append.
+type Options struct {
+	// SegmentBytes rotates the active segment once it grows past this
+	// size. Zero selects 64 MiB.
+	SegmentBytes int64
+	// RetentionBytes caps the log's total size: once exceeded, the
+	// oldest whole segments are deleted (the active segment never is).
+	// Deleted offsets are no longer replayable. Zero keeps everything.
+	RetentionBytes int64
+	// Sync selects the fsync policy.
+	Sync SyncPolicy
+	// SyncInterval is the background fsync cadence under SyncEvery.
+	// Zero selects 50ms.
+	SyncInterval time.Duration
+	// Metrics, when non-nil, receives the log's metric families
+	// (append/sync latency, appended bytes, segment and offset gauges,
+	// replay and recovery counters). Nil disables metrics.
+	Metrics *telemetry.Registry
+	// Recorder receives flight-recorder records for appends, syncs,
+	// recovery and replays. Nil selects the process-wide
+	// telemetry.Default() recorder.
+	Recorder *telemetry.Recorder
+	// OpenSegment opens a fresh segment file for appending, creating or
+	// truncating it. Nil selects os.OpenFile; tests substitute
+	// fault-injecting files. Only the write path goes through it —
+	// recovery and replay read segments directly.
+	OpenSegment func(path string) (File, error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 50 * time.Millisecond
+	}
+	if o.Recorder == nil {
+		o.Recorder = telemetry.Default()
+	}
+	if o.OpenSegment == nil {
+		o.OpenSegment = func(path string) (File, error) {
+			return os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		}
+	}
+	return o
+}
+
+// segment is one log file: records with contiguous offsets starting at
+// base. The last element of Log.segs is the active (append) segment.
+type segment struct {
+	base    uint64 // offset of the segment's first record
+	path    string
+	size    int64
+	records uint64 // records in the segment (base+records = next base)
+}
+
+func segmentPath(dir string, base uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%020d.seg", base))
+}
+
+// parseSegmentBase extracts the base offset from a segment file name,
+// reporting whether the name is a segment at all.
+func parseSegmentBase(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	base, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return base, true
+}
+
+// RecoveryStats describes what Open found on disk.
+type RecoveryStats struct {
+	Segments       int    // segment files scanned (before any new active segment)
+	Records        uint64 // valid records accepted
+	TruncatedBytes int64  // torn-tail bytes removed from the final segment
+}
+
+// Stats is a point-in-time summary of the log.
+type Stats struct {
+	FirstOffset uint64 // oldest replayable offset (NextOffset if empty)
+	NextOffset  uint64 // offset the next append will get
+	Segments    int
+	Bytes       int64 // total size across segments
+	Failed      bool  // the log has fail-stopped on an I/O error
+}
+
+// Log is a segmented append-only publication log. Create one with
+// Open; all methods are safe for concurrent use.
+//
+// The log fail-stops: once any write or sync fails, every subsequent
+// Append returns the original error, so a broker backed by the log
+// refuses new publications instead of silently dropping durability.
+type Log struct {
+	dir  string
+	opts Options
+	tel  *walTel
+	rec  *telemetry.Recorder
+
+	mu        sync.Mutex
+	segs      []*segment
+	active    File
+	next      uint64 // next offset to assign
+	first     uint64 // oldest retained offset (== next when empty)
+	dirty     int    // records appended since the last sync
+	failed    error  // sticky fail-stop error
+	closed    bool
+	buf       []byte // append scratch, reused under mu
+	recovered RecoveryStats
+
+	syncStop chan struct{}
+	syncWG   sync.WaitGroup
+}
+
+// Open creates or recovers the log in dir. Recovery scans every
+// segment oldest-first, verifies each record's checksum, length and
+// offset continuity, truncates a torn tail on the final segment, and
+// fails — rather than silently dropping history — on corruption
+// anywhere else. A fresh active segment is then started at the next
+// offset.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	l := &Log{
+		dir:      dir,
+		opts:     opts,
+		rec:      opts.Recorder,
+		next:     1,
+		first:    1,
+		syncStop: make(chan struct{}),
+	}
+	r0 := l.rec.Now()
+	if err := l.recover(); err != nil {
+		return nil, err
+	}
+	// Fresh active segment at the next offset. Any existing file with
+	// this base holds zero valid records (a non-empty one would have
+	// advanced next past its records), so truncating it is safe.
+	if err := l.openActiveLocked(); err != nil {
+		return nil, err
+	}
+	l.tel = newWALTel(l, opts.Metrics)
+	if l.tel != nil {
+		l.tel.recoveredRecords.Add(l.recovered.Records)
+		l.tel.truncatedBytes.Add(uint64(l.recovered.TruncatedBytes))
+	}
+	l.rec.Record(telemetry.KindWALRecover, 0, l.next-1,
+		int64(l.recovered.Segments), int64(l.recovered.Records),
+		l.recovered.TruncatedBytes, l.rec.Now()-r0)
+	if opts.Sync == SyncEvery {
+		l.syncWG.Add(1)
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// recover scans the segment files into l.segs and sets next/first.
+func (l *Log) recover() error {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: reading %s: %w", l.dir, err)
+	}
+	var segs []*segment
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		base, ok := parseSegmentBase(e.Name())
+		if !ok {
+			continue
+		}
+		segs = append(segs, &segment{base: base, path: filepath.Join(l.dir, e.Name())})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].base < segs[j].base })
+	l.recovered.Segments = len(segs)
+
+	for i, seg := range segs {
+		final := i == len(segs)-1
+		if i > 0 {
+			prev := segs[i-1]
+			if want := prev.base + prev.records; seg.base != want {
+				return fmt.Errorf("wal: segment %s starts at offset %d, want %d: missing or reordered segment", seg.path, seg.base, want)
+			}
+		}
+		if err := l.scanSegment(seg, final); err != nil {
+			return err
+		}
+	}
+	// Drop a final segment recovery truncated to nothing: a zero-record
+	// file would collide with the fresh active segment at the same base.
+	if n := len(segs); n > 0 && segs[n-1].records == 0 {
+		if err := os.Remove(segs[n-1].path); err != nil {
+			return fmt.Errorf("wal: removing empty segment: %w", err)
+		}
+		segs = segs[:n-1]
+	}
+	l.segs = segs
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
+		l.next = last.base + last.records
+		l.first = segs[0].base
+	}
+	return nil
+}
+
+// scanSegment validates every record in one segment file. On the final
+// segment a short or corrupt tail is truncated away (a crash mid-append
+// legitimately leaves one); anywhere else it is an error.
+func (l *Log) scanSegment(seg *segment, final bool) error {
+	data, err := os.ReadFile(seg.path)
+	if err != nil {
+		return fmt.Errorf("wal: reading segment: %w", err)
+	}
+	at := 0
+	expect := seg.base
+	var scanErr error
+	for at < len(data) {
+		rec, n, err := DecodeRecord(data[at:])
+		if err != nil {
+			scanErr = err
+			break
+		}
+		if rec.Offset != expect {
+			scanErr = fmt.Errorf("%w: offset %d, want %d", ErrCorruptRecord, rec.Offset, expect)
+			break
+		}
+		at += n
+		expect++
+	}
+	seg.size = int64(at)
+	seg.records = expect - seg.base
+	l.recovered.Records += seg.records
+	if scanErr == nil {
+		return nil
+	}
+	if !final {
+		return fmt.Errorf("wal: segment %s corrupt at byte %d (not the log tail, refusing to drop acknowledged history): %w", seg.path, at, scanErr)
+	}
+	// Torn tail on the final segment: truncate to the last whole record.
+	torn := int64(len(data)) - int64(at)
+	if err := os.Truncate(seg.path, int64(at)); err != nil {
+		return fmt.Errorf("wal: truncating torn tail of %s: %w", seg.path, err)
+	}
+	l.recovered.TruncatedBytes += torn
+	return nil
+}
+
+// openActiveLocked starts a fresh segment at l.next and appends it to
+// l.segs. Called from Open (no lock needed yet) and rotation (under mu).
+func (l *Log) openActiveLocked() error {
+	seg := &segment{base: l.next, path: segmentPath(l.dir, l.next)}
+	f, err := l.opts.OpenSegment(seg.path)
+	if err != nil {
+		return fmt.Errorf("wal: opening segment: %w", err)
+	}
+	l.active = f
+	l.segs = append(l.segs, seg)
+	l.syncDir()
+	return nil
+}
+
+// syncDir fsyncs the log directory so segment creations and deletions
+// themselves survive a crash. Best-effort: some filesystems refuse to
+// sync directories, and the records inside are checksummed anyway.
+func (l *Log) syncDir() {
+	if d, err := os.Open(l.dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// fail latches the log's fail-stop state.
+func (l *Log) fail(err error) {
+	if l.failed == nil {
+		l.failed = err
+		if l.tel != nil {
+			l.tel.failedState.Set(1)
+		}
+	}
+}
+
+// Append assigns the next offset to the record, writes it to the
+// active segment, and — under SyncAlways — fsyncs before returning. A
+// write or sync failure latches the log into the fail-stop state and
+// the publication must not be acknowledged. rec.Offset is ignored; the
+// log assigns it. The point and payload are copied to disk, not
+// retained.
+func (l *Log) Append(traceID uint64, point []float64, payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return 0, l.failed
+	}
+	if l.closed {
+		return 0, ErrClosed
+	}
+	rec := Record{Offset: l.next, TraceID: traceID, Point: point, Payload: payload}
+	l.buf = appendRecord(l.buf[:0], &rec)
+
+	active := l.segs[len(l.segs)-1]
+	if active.records > 0 && active.size+int64(len(l.buf)) > l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			l.fail(err)
+			return 0, l.failed
+		}
+		active = l.segs[len(l.segs)-1]
+	}
+
+	var t0 time.Time
+	if l.tel != nil {
+		t0 = time.Now()
+	}
+	r0 := l.rec.Now()
+	//pubsub:allow locksafe -- the segment write must serialise with offset assignment; l.mu is the log's append lock
+	n, err := l.active.Write(l.buf)
+	if err != nil {
+		// The prefix may be torn on disk; recovery truncates it. The
+		// offset is not acknowledged and will be reused after recovery.
+		l.fail(fmt.Errorf("wal: appending offset %d: %w", rec.Offset, err))
+		return 0, l.failed
+	}
+	synced := int64(0)
+	if l.opts.Sync == SyncAlways {
+		// Sync before publishing the new offset: if the fsync fails, the
+		// record is never acknowledged and never visible to readers, even
+		// though its bytes may sit in the torn tail.
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+		synced = 1
+	} else {
+		l.dirty++
+	}
+	active.size += int64(n)
+	active.records++
+	l.next = rec.Offset + 1
+	if l.tel != nil {
+		l.tel.appends.Inc()
+		l.tel.appendedBytes.Add(uint64(n))
+		l.tel.appendLatency.ObserveDuration(time.Since(t0))
+	}
+	l.rec.Record(telemetry.KindWALAppend, traceID, rec.Offset,
+		int64(n), synced, l.rec.Now()-r0, 0)
+	return rec.Offset, nil
+}
+
+// rotateLocked seals the active segment (sync + close) and starts a
+// fresh one, then applies retention. Caller holds l.mu.
+func (l *Log) rotateLocked() error {
+	//pubsub:allow locksafe -- segment rotation is rare and must be atomic with respect to appends
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing segment before rotation: %w", err)
+	}
+	l.dirty = 0
+	if err := l.active.Close(); err != nil {
+		return fmt.Errorf("wal: closing segment: %w", err)
+	}
+	if err := l.openActiveLocked(); err != nil {
+		return err
+	}
+	if l.tel != nil {
+		l.tel.rotations.Inc()
+	}
+	l.applyRetentionLocked()
+	return nil
+}
+
+// applyRetentionLocked deletes the oldest sealed segments while the
+// log exceeds RetentionBytes. The active segment is never deleted.
+func (l *Log) applyRetentionLocked() {
+	if l.opts.RetentionBytes <= 0 {
+		return
+	}
+	total := int64(0)
+	for _, s := range l.segs {
+		total += s.size
+	}
+	removed := false
+	for len(l.segs) > 1 && total > l.opts.RetentionBytes {
+		victim := l.segs[0]
+		if err := os.Remove(victim.path); err != nil {
+			break // disk trouble; retry at the next rotation
+		}
+		total -= victim.size
+		l.segs = l.segs[1:]
+		l.first = l.segs[0].base
+		removed = true
+		if l.tel != nil {
+			l.tel.retentionDeletes.Inc()
+		}
+	}
+	if removed {
+		l.syncDir()
+	}
+}
+
+// syncLocked fsyncs the active segment, latching fail-stop on error.
+// Caller holds l.mu.
+func (l *Log) syncLocked() error {
+	var t0 time.Time
+	if l.tel != nil {
+		t0 = time.Now()
+	}
+	r0 := l.rec.Now()
+	pending := l.dirty
+	//pubsub:allow locksafe -- fsync must serialise with appends; l.mu is the log's append lock
+	if err := l.active.Sync(); err != nil {
+		l.fail(fmt.Errorf("wal: fsync: %w", err))
+		return l.failed
+	}
+	l.dirty = 0
+	if l.tel != nil {
+		l.tel.syncs.Inc()
+		l.tel.syncLatency.ObserveDuration(time.Since(t0))
+	}
+	l.rec.Record(telemetry.KindWALSync, 0, l.next-1,
+		int64(pending), l.rec.Now()-r0, 0, 0)
+	return nil
+}
+
+// Sync flushes appended records to stable storage now, regardless of
+// policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return l.failed
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+// syncLoop is the SyncEvery background syncer.
+func (l *Log) syncLoop() {
+	defer l.syncWG.Done()
+	t := time.NewTicker(l.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.syncStop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.failed == nil && l.dirty > 0 {
+				_ = l.syncLocked() // latches fail-stop; Append reports it
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// NextOffset returns the offset the next Append will assign. Every
+// record with a smaller offset (down to FirstOffset) is fully written.
+func (l *Log) NextOffset() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// FirstOffset returns the oldest offset still retained (equal to
+// NextOffset when the log holds no records).
+func (l *Log) FirstOffset() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.first
+}
+
+// Recovered reports what Open found on disk.
+func (l *Log) Recovered() RecoveryStats { return l.recovered }
+
+// Stats returns a point-in-time summary.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{
+		FirstOffset: l.first,
+		NextOffset:  l.next,
+		Segments:    len(l.segs),
+		Failed:      l.failed != nil,
+	}
+	for _, s := range l.segs {
+		st.Bytes += s.size
+	}
+	return st
+}
+
+// Close stops the background syncer, flushes once more and closes the
+// active segment. Further appends fail with ErrClosed; replay readers
+// already open keep working. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	close(l.syncStop)
+	var err error
+	if l.failed == nil && l.dirty > 0 {
+		err = l.syncLocked()
+	}
+	if cerr := l.active.Close(); err == nil && cerr != nil && l.failed == nil {
+		err = fmt.Errorf("wal: closing segment: %w", cerr)
+	}
+	l.mu.Unlock()
+	l.syncWG.Wait()
+	return err
+}

@@ -1,0 +1,397 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) *Log {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func appendN(t *testing.T, l *Log, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		off, err := l.Append(uint64(1000+i), []float64{float64(i), -float64(i)}, []byte(fmt.Sprintf("payload-%d", i)))
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if want := l.NextOffset() - 1; off != want {
+			t.Fatalf("Append returned offset %d, NextOffset says %d", off, want+1)
+		}
+	}
+}
+
+// drain reads the full range [from, End) and returns the records.
+func drain(t *testing.T, r *Reader) []Record {
+	t.Helper()
+	var recs []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return recs
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		recs = append(recs, rec)
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	cases := []Record{
+		{Offset: 1, TraceID: 42, Point: []float64{1.5, -2.25, math.Inf(1)}, Payload: []byte("hello")},
+		{Offset: 1<<63 + 7, TraceID: 0, Point: nil, Payload: nil},
+		{Offset: 3, TraceID: 9, Point: []float64{math.NaN()}, Payload: bytes.Repeat([]byte{0xAB}, 4096)},
+	}
+	for i, in := range cases {
+		buf := appendRecord(nil, &in)
+		if len(buf) != in.EncodedSize() {
+			t.Errorf("case %d: encoded %d bytes, EncodedSize says %d", i, len(buf), in.EncodedSize())
+		}
+		out, n, err := DecodeRecord(buf)
+		if err != nil {
+			t.Fatalf("case %d: DecodeRecord: %v", i, err)
+		}
+		if n != len(buf) {
+			t.Errorf("case %d: consumed %d of %d bytes", i, n, len(buf))
+		}
+		if out.Offset != in.Offset || out.TraceID != in.TraceID {
+			t.Errorf("case %d: header mismatch: %+v vs %+v", i, out, in)
+		}
+		if len(out.Point) != len(in.Point) {
+			t.Fatalf("case %d: point dims %d vs %d", i, len(out.Point), len(in.Point))
+		}
+		for j := range in.Point {
+			if math.Float64bits(out.Point[j]) != math.Float64bits(in.Point[j]) {
+				t.Errorf("case %d: point[%d] %v vs %v", i, j, out.Point[j], in.Point[j])
+			}
+		}
+		if !bytes.Equal(out.Payload, in.Payload) {
+			t.Errorf("case %d: payload mismatch", i)
+		}
+	}
+}
+
+func TestDecodeRecordRejectsCorruption(t *testing.T) {
+	rec := Record{Offset: 7, TraceID: 1, Point: []float64{1, 2}, Payload: []byte("x")}
+	good := appendRecord(nil, &rec)
+
+	// Every truncation is a short record, never a panic or corruption.
+	for i := 0; i < len(good); i++ {
+		if _, _, err := DecodeRecord(good[:i]); !errors.Is(err, ErrShortRecord) {
+			t.Errorf("truncated to %d bytes: got %v, want ErrShortRecord", i, err)
+		}
+	}
+	// Every single-bit flip is caught by the CRC (or a structural check).
+	for i := 0; i < len(good); i++ {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0x01
+		if _, _, err := DecodeRecord(bad); err == nil {
+			t.Errorf("bit flip at byte %d decoded cleanly", i)
+		}
+	}
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	l := mustOpen(t, t.TempDir(), Options{Sync: SyncNever})
+	appendN(t, l, 25)
+	r, err := l.ReadFrom(0)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	recs := drain(t, r)
+	if len(recs) != 25 {
+		t.Fatalf("replayed %d records, want 25", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Offset != uint64(i+1) {
+			t.Errorf("record %d has offset %d, want %d", i, rec.Offset, i+1)
+		}
+		if want := fmt.Sprintf("payload-%d", i); string(rec.Payload) != want {
+			t.Errorf("record %d payload %q, want %q", i, rec.Payload, want)
+		}
+	}
+
+	// A mid-log start and one beyond the end.
+	r, _ = l.ReadFrom(20)
+	if recs := drain(t, r); len(recs) != 6 || recs[0].Offset != 20 {
+		t.Errorf("ReadFrom(20): got %d records starting at %d", len(recs), recs[0].Offset)
+	}
+	r, _ = l.ReadFrom(1000)
+	if recs := drain(t, r); len(recs) != 0 {
+		t.Errorf("ReadFrom past end: got %d records, want 0", len(recs))
+	}
+}
+
+func TestReaderExcludesLaterAppends(t *testing.T) {
+	l := mustOpen(t, t.TempDir(), Options{Sync: SyncNever})
+	appendN(t, l, 10)
+	r, err := l.ReadFrom(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.End() != 11 {
+		t.Fatalf("End = %d, want 11", r.End())
+	}
+	appendN(t, l, 10) // land after the reader's range
+	if recs := drain(t, r); len(recs) != 10 {
+		t.Fatalf("reader yielded %d records, want the 10 before its creation", len(recs))
+	}
+}
+
+func TestRecoveryAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{Sync: SyncAlways})
+	appendN(t, l, 12)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2 := mustOpen(t, dir, Options{Sync: SyncAlways})
+	if got := l2.NextOffset(); got != 13 {
+		t.Fatalf("recovered NextOffset = %d, want 13", got)
+	}
+	if st := l2.Recovered(); st.Records != 12 || st.TruncatedBytes != 0 {
+		t.Fatalf("RecoveryStats = %+v, want 12 records, 0 truncated", st)
+	}
+	// New appends continue the offset sequence.
+	off, err := l2.Append(1, []float64{9}, []byte("after"))
+	if err != nil || off != 13 {
+		t.Fatalf("post-recovery Append = (%d, %v), want (13, nil)", off, err)
+	}
+	r, _ := l2.ReadFrom(0)
+	if recs := drain(t, r); len(recs) != 13 {
+		t.Fatalf("full replay after reopen: %d records, want 13", len(recs))
+	}
+}
+
+func TestRecoveryTruncatesTornTail(t *testing.T) {
+	for cut := 1; cut <= 8; cut++ {
+		dir := t.TempDir()
+		l := mustOpen(t, dir, Options{Sync: SyncAlways})
+		appendN(t, l, 5)
+		l.Close()
+
+		segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+		if len(segs) == 0 {
+			t.Fatal("no segment files")
+		}
+		last := segs[len(segs)-1]
+		fi, _ := os.Stat(last)
+		if err := os.Truncate(last, fi.Size()-int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+
+		l2 := mustOpen(t, dir, Options{Sync: SyncAlways})
+		if got := l2.NextOffset(); got != 5 {
+			t.Fatalf("cut %d: NextOffset = %d, want 5 (last record torn away)", cut, got)
+		}
+		if st := l2.Recovered(); st.TruncatedBytes == 0 {
+			t.Fatalf("cut %d: recovery reports no truncation", cut)
+		}
+		r, _ := l2.ReadFrom(0)
+		if recs := drain(t, r); len(recs) != 4 {
+			t.Fatalf("cut %d: %d records survive, want 4", cut, len(recs))
+		}
+		l2.Close()
+	}
+}
+
+func TestRecoveryRejectsMidLogCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{Sync: SyncAlways, SegmentBytes: 1}) // every record rotates
+	appendN(t, l, 3)
+	l.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) < 3 {
+		t.Fatalf("expected one segment per record, got %d", len(segs))
+	}
+	// Flip a byte in the FIRST segment: not the tail, so recovery must
+	// refuse rather than drop acknowledged history.
+	data, _ := os.ReadFile(segs[0])
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a log with mid-log corruption")
+	} else if !strings.Contains(err.Error(), "refusing") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestRecoveryRejectsMissingSegment(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{Sync: SyncAlways, SegmentBytes: 1})
+	appendN(t, l, 3)
+	l.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err := os.Remove(segs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a log with a missing middle segment")
+	}
+}
+
+func TestRotationAndRetention(t *testing.T) {
+	dir := t.TempDir()
+	rec := Record{Offset: 1, TraceID: 1, Point: []float64{1, 2}, Payload: []byte("0123456789")}
+	per := rec.EncodedSize()
+	l := mustOpen(t, dir, Options{
+		Sync:           SyncNever,
+		SegmentBytes:   int64(3 * per), // 3 records per segment
+		RetentionBytes: int64(7 * per), // keep roughly the last 2-3 segments
+	})
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append(1, []float64{1, 2}, []byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.FirstOffset == 1 {
+		t.Fatal("retention never pruned the head")
+	}
+	if st.NextOffset != 21 {
+		t.Fatalf("NextOffset = %d, want 21", st.NextOffset)
+	}
+	// Replay from 0 clamps to the surviving head and stays contiguous.
+	r, _ := l.ReadFrom(0)
+	recs := drain(t, r)
+	if len(recs) == 0 || recs[0].Offset != st.FirstOffset || recs[len(recs)-1].Offset != 20 {
+		t.Fatalf("clamped replay got offsets [%d..%d], want [%d..20]",
+			recs[0].Offset, recs[len(recs)-1].Offset, st.FirstOffset)
+	}
+	// Reopen: first offset survives recovery too.
+	l.Close()
+	l2 := mustOpen(t, dir, Options{})
+	if l2.FirstOffset() != st.FirstOffset || l2.NextOffset() != 21 {
+		t.Fatalf("reopen: first/next = %d/%d, want %d/21", l2.FirstOffset(), l2.NextOffset(), st.FirstOffset)
+	}
+}
+
+func TestIntervalSyncFlushes(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{Sync: SyncEvery, SyncInterval: 5 * time.Millisecond})
+	appendN(t, l, 3)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		l.mu.Lock()
+		dirty := l.dirty
+		l.mu.Unlock()
+		if dirty == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interval syncer never flushed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCloseIsIdempotentAndStopsAppends(t *testing.T) {
+	l := mustOpen(t, t.TempDir(), Options{Sync: SyncNever})
+	appendN(t, l, 2)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := l.Append(1, nil, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close: %v, want ErrClosed", err)
+	}
+	if _, err := l.ReadFrom(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ReadFrom after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestConcurrentAppendersGetUniqueContiguousOffsets(t *testing.T) {
+	l := mustOpen(t, t.TempDir(), Options{Sync: SyncNever})
+	const goroutines, each = 8, 50
+	var wg sync.WaitGroup
+	offs := make([][]uint64, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				off, err := l.Append(uint64(g), []float64{float64(g)}, nil)
+				if err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				offs[g] = append(offs[g], off)
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool)
+	for _, per := range offs {
+		for i := 1; i < len(per); i++ {
+			if per[i] <= per[i-1] {
+				t.Fatal("offsets not monotonic within one appender")
+			}
+		}
+		for _, o := range per {
+			if seen[o] {
+				t.Fatalf("offset %d assigned twice", o)
+			}
+			seen[o] = true
+		}
+	}
+	for o := uint64(1); o <= goroutines*each; o++ {
+		if !seen[o] {
+			t.Fatalf("offset %d never assigned", o)
+		}
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, p := range []SyncPolicy{SyncAlways, SyncEvery, SyncNever} {
+		got, err := ParseSyncPolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("round-trip %v: got %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Error("ParseSyncPolicy accepted nonsense")
+	}
+}
+
+func TestMetricsRegistered(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	l := mustOpen(t, t.TempDir(), Options{Sync: SyncAlways, Metrics: reg})
+	appendN(t, l, 4)
+	r, _ := l.ReadFrom(0)
+	drain(t, r)
+	if v := reg.CounterValue("pubsub_wal_appends_total"); v != 4 {
+		t.Errorf("appends_total = %v, want 4", v)
+	}
+	if v := reg.CounterValue("pubsub_wal_syncs_total"); v < 4 {
+		t.Errorf("syncs_total = %v, want >= 4 under SyncAlways", v)
+	}
+	if v := reg.CounterValue("pubsub_wal_replayed_records_total"); v != 4 {
+		t.Errorf("replayed_records_total = %v, want 4", v)
+	}
+}

@@ -148,10 +148,23 @@ func (c *Client) roundTrip(req *Message) (*Message, error) {
 // Subscribe registers a subscription for the union of the rectangles and
 // returns its server-assigned id.
 func (c *Client) Subscribe(rects ...geometry.Rect) (int, error) {
+	return c.SubscribeFrom(0, rects...)
+}
+
+// SubscribeFrom is Subscribe with offset-based resume: when from is
+// nonzero, a durability-enabled server first streams the matching
+// events already in its publication log starting at that offset
+// (clamped to the oldest retained record), then switches to live
+// fanout with no gap or duplicate at the boundary. Replayed and live
+// events alike arrive on Events(); replays larger than the client's
+// event buffer must be drained concurrently or they count as Dropped.
+// A zero from is never sent on the wire, keeping the frame
+// byte-identical to a pre-offset client's.
+func (c *Client) SubscribeFrom(from uint64, rects ...geometry.Rect) (int, error) {
 	if len(rects) == 0 {
 		return 0, fmt.Errorf("wire: subscription needs at least one rectangle")
 	}
-	req := &Message{Type: TypeSubscribe, Rects: make([]Rect, len(rects))}
+	req := &Message{Type: TypeSubscribe, Rects: make([]Rect, len(rects)), FromOffset: from}
 	for i, r := range rects {
 		req.Rects[i] = RectToWire(r)
 	}
@@ -160,6 +173,59 @@ func (c *Client) Subscribe(rects ...geometry.Rect) (int, error) {
 		return 0, err
 	}
 	return reply.SubID, nil
+}
+
+// Replay fetches the server's durable publication log from the given
+// offset (0 and 1 both mean "the oldest retained record") without
+// registering a live subscription, returning the records as events in
+// log order. The server sends its reply after the last replayed frame,
+// so the returned slice is complete. Replay drains Events() while it
+// waits; run it on a connection with no live subscriptions, or
+// concurrent live deliveries will be folded into the returned slice.
+func (c *Client) Replay(from uint64) ([]broker.Event, error) {
+	if from == 0 {
+		from = 1
+	}
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+
+	c.writeMu.Lock()
+	//pubsub:allow locksafe -- the frame write under writeMu is the protocol's serialization point
+	err := WriteMessage(c.conn, &Message{Type: TypeSubscribe, FromOffset: from})
+	c.writeMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	var evs []broker.Event
+	for {
+		//pubsub:allow locksafe -- the replay wait must stay under reqMu: one request in flight, replies in order
+		select {
+		case ev, open := <-c.events:
+			if !open {
+				return nil, fmt.Errorf("wire: connection closed mid-replay")
+			}
+			evs = append(evs, ev)
+		case reply := <-c.replies:
+			if reply.Type == TypeError {
+				return nil, fmt.Errorf("wire: server error: %s", reply.Error)
+			}
+			// The reader enqueued every replayed event before the reply;
+			// collect any still buffered ahead of it.
+			for {
+				select {
+				case ev := <-c.events:
+					evs = append(evs, ev)
+				default:
+					return evs, nil
+				}
+			}
+		case <-c.readDone:
+			if c.readErr != nil {
+				return nil, fmt.Errorf("wire: connection lost: %w", c.readErr)
+			}
+			return nil, fmt.Errorf("wire: connection closed")
+		}
+	}
 }
 
 // Unsubscribe cancels a subscription previously created by this client.

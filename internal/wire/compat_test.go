@@ -184,3 +184,128 @@ func TestLegacyClientAgainstNewServer(t *testing.T) {
 		t.Fatalf("server did not assign a trace id to a legacy publish: %s", okBody)
 	}
 }
+
+// A subscribe frame carrying from_offset must still decode cleanly on a
+// peer built before the field existed, with the rectangles intact.
+func TestFromOffsetForwardCompat(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteMessage(&buf, &Message{
+		Type:       TypeSubscribe,
+		Rects:      []Rect{RectToWire(geometry.NewRect(0, 10))},
+		FromOffset: 12345,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	if _, err := buf.Read(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.Bytes()
+	if got := binary.BigEndian.Uint32(hdr[:]); int(got) != len(body) {
+		t.Fatalf("frame length %d, body %d", got, len(body))
+	}
+	var old legacyMessage
+	if err := json.Unmarshal(body, &old); err != nil {
+		t.Fatalf("old decoder rejected a from_offset frame: %v", err)
+	}
+	if old.Type != TypeSubscribe || len(old.Rects) != 1 {
+		t.Fatalf("old decoder mangled the frame: %+v", old)
+	}
+}
+
+// A subscribe from an old peer (no from_offset key) must decode on the
+// new side with a zero FromOffset, and a zero FromOffset must stay off
+// the wire, so an offset-unaware subscribe is byte-identical to a
+// legacy one.
+func TestFromOffsetBackwardCompat(t *testing.T) {
+	rects := []Rect{RectToWire(geometry.NewRect(0, 10, -5, 5))}
+	var buf bytes.Buffer
+	writeLegacy(t, &buf, &legacyMessage{Type: TypeSubscribe, Rects: rects, Buffer: 32})
+	m, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FromOffset != 0 {
+		t.Fatalf("FromOffset = %d from a legacy frame, want 0", m.FromOffset)
+	}
+	if m.Type != TypeSubscribe || len(m.Rects) != 1 || m.Buffer != 32 {
+		t.Fatalf("legacy frame mangled: %+v", m)
+	}
+
+	buf.Reset()
+	if err := WriteMessage(&buf, &Message{Type: TypeSubscribe, Rects: rects, Buffer: 32}); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("from_offset")) {
+		t.Fatalf("zero from_offset leaked onto the wire: %s", buf.Bytes()[4:])
+	}
+	var legacy bytes.Buffer
+	writeLegacy(t, &legacy, &legacyMessage{Type: TypeSubscribe, Rects: rects, Buffer: 32})
+	if !bytes.Equal(buf.Bytes(), legacy.Bytes()) {
+		t.Fatalf("offset-free subscribe differs from legacy encoding:\n new %s\n old %s",
+			buf.Bytes()[4:], legacy.Bytes()[4:])
+	}
+}
+
+// A legacy client against a durability-enabled server: its offset-free
+// subscribe gets plain live fanout (no surprise replay frames), and the
+// whole session works exactly as against a pre-durability server.
+func TestLegacyClientAgainstDurableServer(t *testing.T) {
+	_, addr := startDurableServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	send := func(m *legacyMessage) {
+		t.Helper()
+		var buf bytes.Buffer
+		writeLegacy(t, &buf, m)
+		if _, err := conn.Write(buf.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recv := func() *legacyMessage {
+		t.Helper()
+		var hdr [4]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			t.Fatal(err)
+		}
+		body := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+		if _, err := io.ReadFull(conn, body); err != nil {
+			t.Fatal(err)
+		}
+		var m legacyMessage
+		if err := json.Unmarshal(body, &m); err != nil {
+			t.Fatalf("legacy decode of server frame %s: %v", body, err)
+		}
+		return &m
+	}
+
+	// Publish some history first — a legacy subscriber must NOT receive
+	// it: without from_offset the subscription is live-only.
+	send(&legacyMessage{Type: TypePublish, Point: []float64{5}, Payload: []byte("history")})
+	if reply := recv(); reply.Type != TypeOK {
+		t.Fatalf("publish reply = %+v", reply)
+	}
+
+	send(&legacyMessage{Type: TypeSubscribe, Rects: []Rect{RectToWire(geometry.NewRect(0, 10))}})
+	if reply := recv(); reply.Type != TypeOK {
+		t.Fatalf("subscribe reply = %+v", reply)
+	}
+
+	send(&legacyMessage{Type: TypePublish, Point: []float64{5}, Payload: []byte("live")})
+	var payloads []string
+	for i := 0; i < 2; i++ {
+		m := recv()
+		if m.Type == TypeEvent {
+			payloads = append(payloads, string(m.Payload))
+		}
+	}
+	if len(payloads) != 1 || payloads[0] != "live" {
+		t.Fatalf("legacy subscriber saw %v, want only the live event", payloads)
+	}
+}

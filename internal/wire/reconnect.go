@@ -90,6 +90,7 @@ type ReconnectingClient struct {
 	done    chan struct{}
 	wg      sync.WaitGroup
 	dropped atomic.Uint64 // merged-buffer drops + drops of dead generations
+	lastSeq atomic.Uint64 // highest Seq forwarded to the merged channel
 
 	attempts   *telemetry.Counter // redials tried (nil-safe when metrics are off)
 	reconnects *telemetry.Counter // redials that replayed successfully
@@ -128,6 +129,12 @@ func (rc *ReconnectingClient) run(cli *Client) {
 		for ev := range cli.Events() {
 			select {
 			case rc.events <- ev:
+				// Track the resume high-water only for events the
+				// application will actually see: a dropped event must be
+				// fetched again by the next reconnect's replay.
+				if s := ev.Seq; s > rc.lastSeq.Load() {
+					rc.lastSeq.Store(s)
+				}
 			case <-rc.done:
 				return
 			default:
@@ -175,10 +182,15 @@ func (rc *ReconnectingClient) run(cli *Client) {
 }
 
 // rsub is one surviving subscription: the rectangles to replay plus the
-// server-assigned id on the current connection generation.
+// server-assigned id on the current connection generation. resume marks
+// subscriptions created by SubscribeFrom: on reconnect they ask the
+// server's durable log for everything after the last event the
+// application saw, instead of silently skipping the outage window.
 type rsub struct {
 	rects    []geometry.Rect
 	serverID int
+	resume   bool
+	from     uint64 // original SubscribeFrom offset (floor for resumes)
 }
 
 // resubscribe replays all live subscriptions on a fresh connection and
@@ -191,8 +203,18 @@ func (rc *ReconnectingClient) resubscribe(cli *Client) bool {
 		return false
 	}
 	for _, rs := range rc.subs {
+		from := uint64(0)
+		if rs.resume {
+			// Resume one past the newest event the application has seen;
+			// rs.from floors the very first reconnect of a subscription
+			// that never received anything.
+			from = rc.lastSeq.Load() + 1
+			if rs.from > from {
+				from = rs.from
+			}
+		}
 		//pubsub:allow locksafe -- replay must complete under rc.mu so no new Subscribe interleaves with it
-		sid, err := cli.Subscribe(rs.rects...)
+		sid, err := cli.SubscribeFrom(from, rs.rects...)
 		if err != nil {
 			return false
 		}
@@ -204,7 +226,26 @@ func (rc *ReconnectingClient) resubscribe(cli *Client) bool {
 
 // Subscribe registers a subscription that survives reconnects. It
 // returns a local handle (stable across redials, unlike server IDs).
+// Delivery is at-most-once: events published during an outage are lost.
+// Use SubscribeFrom against a durability-enabled server for resume.
 func (rc *ReconnectingClient) Subscribe(rects ...geometry.Rect) (int, error) {
+	return rc.subscribe(0, false, rects...)
+}
+
+// SubscribeFrom registers a durable subscription: the server streams
+// its publication log from the given offset (0 means "new events only")
+// before going live, and every reconnect resumes from one past the last
+// event delivered on Events() — a restart or partition no longer loses
+// events the log retained. The resume point is the client's single
+// high-water mark across all subscriptions, so a client holding several
+// resuming subscriptions should expect the replay to skip events an
+// unrelated faster subscription already advanced past; use one resuming
+// subscription per client for exactly-once-per-retention semantics.
+func (rc *ReconnectingClient) SubscribeFrom(from uint64, rects ...geometry.Rect) (int, error) {
+	return rc.subscribe(from, true, rects...)
+}
+
+func (rc *ReconnectingClient) subscribe(from uint64, resume bool, rects ...geometry.Rect) (int, error) {
 	if len(rects) == 0 {
 		return 0, fmt.Errorf("wire: subscription needs at least one rectangle")
 	}
@@ -218,13 +259,13 @@ func (rc *ReconnectingClient) Subscribe(rects ...geometry.Rect) (int, error) {
 		return 0, fmt.Errorf("wire: client closed")
 	}
 	//pubsub:allow locksafe -- the round trip stays under rc.mu to keep the replay set consistent with the server
-	sid, err := rc.cur.Subscribe(owned...)
+	sid, err := rc.cur.SubscribeFrom(from, owned...)
 	if err != nil {
 		return 0, err
 	}
 	id := rc.nextID
 	rc.nextID++
-	rc.subs[id] = &rsub{rects: owned, serverID: sid}
+	rc.subs[id] = &rsub{rects: owned, serverID: sid, resume: resume, from: from}
 	return id, nil
 }
 

@@ -1,0 +1,278 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/geometry"
+	"repro/internal/wal"
+)
+
+// startDurableServer runs a broker backed by a fresh WAL plus a server
+// on a loopback listener.
+func startDurableServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	log, err := wal.Open(t.TempDir(), wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := broker.New(broker.Options{Log: log})
+	s := NewServer(b)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = s.Serve(ln) }()
+	t.Cleanup(func() {
+		s.Close()
+		b.Close()
+		log.Close()
+	})
+	return s, ln.Addr().String()
+}
+
+func publishN(t *testing.T, cli *Client, from, to int) {
+	t.Helper()
+	for i := from; i <= to; i++ {
+		if _, err := cli.Publish(geometry.Point{float64(i%10 + 1)}, []byte(fmt.Sprintf("e%d", i))); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+}
+
+// TestClientReplay: a replay-only subscribe returns the full durable
+// history in offset order, and the OK's Delivered matches.
+func TestClientReplay(t *testing.T) {
+	_, addr := startDurableServer(t)
+	pub, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	publishN(t, pub, 1, 20)
+
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	evs, err := cli.Replay(0)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(evs) != 20 {
+		t.Fatalf("replayed %d events, want 20", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has Seq %d", i, ev.Seq)
+		}
+		if want := fmt.Sprintf("e%d", i+1); string(ev.Payload) != want {
+			t.Fatalf("event %d payload %q, want %q", i, ev.Payload, want)
+		}
+	}
+	// A mid-log start.
+	evs, err = cli.Replay(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 6 || evs[0].Seq != 15 {
+		t.Fatalf("Replay(15): %d events starting at %d", len(evs), evs[0].Seq)
+	}
+}
+
+// TestReplayOnNonDurableServer: from_offset against a log-less server is
+// a protocol error, not a hang or a silent live subscribe.
+func TestReplayOnNonDurableServer(t *testing.T) {
+	_, addr := startServer(t)
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Replay(0); err == nil {
+		t.Fatal("Replay succeeded against a server with no log")
+	}
+	if _, err := cli.SubscribeFrom(1, geometry.NewRect(0, 10)); err == nil {
+		t.Fatal("SubscribeFrom succeeded against a server with no log")
+	}
+	// A plain subscribe still works on the same connection.
+	if _, err := cli.Subscribe(geometry.NewRect(0, 10)); err != nil {
+		t.Fatalf("plain Subscribe after failed replay: %v", err)
+	}
+}
+
+// TestSubscribeFromBridgesReplayToLive: history arrives first, then live
+// events, seamlessly ordered with no duplicate or gap at the boundary.
+func TestSubscribeFromBridgesReplayToLive(t *testing.T) {
+	_, addr := startDurableServer(t)
+	pub, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	publishN(t, pub, 1, 10)
+
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.SubscribeFrom(1, geometry.NewRect(0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	publishN(t, pub, 11, 20)
+
+	seen := make(map[uint64]bool)
+	last := uint64(0)
+	timeout := time.After(5 * time.Second)
+	for len(seen) < 20 {
+		select {
+		case ev := <-cli.Events():
+			if seen[ev.Seq] {
+				t.Fatalf("Seq %d delivered twice", ev.Seq)
+			}
+			if ev.Seq <= last {
+				t.Fatalf("Seq %d after %d: out of order", ev.Seq, last)
+			}
+			seen[ev.Seq] = true
+			last = ev.Seq
+		case <-timeout:
+			t.Fatalf("saw %d of 20 events", len(seen))
+		}
+	}
+}
+
+// TestSubscribeFromFiltersReplayByRect: replayed history is filtered by
+// the subscription's rectangles just like live fanout.
+func TestSubscribeFromFiltersReplayByRect(t *testing.T) {
+	_, addr := startDurableServer(t)
+	pub, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	// Points 1..10: only 4..6 fall in (3, 6].
+	publishN(t, pub, 1, 10)
+
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.SubscribeFrom(1, geometry.NewRect(3, 6)); err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	timeout := time.After(5 * time.Second)
+	for len(got) < 3 {
+		select {
+		case ev := <-cli.Events():
+			if p := ev.Point[0]; p <= 3 || p > 6 {
+				t.Fatalf("replayed point %v outside the subscription rect", ev.Point)
+			}
+			got = append(got, ev.Seq)
+		case <-timeout:
+			t.Fatalf("saw %d of 3 filtered events: %v", len(got), got)
+		}
+	}
+}
+
+// TestReconnectingClientResume is the kill-and-restart satellite: a
+// resuming subscriber must see every durable event exactly once, in
+// order, across a full server restart — without relying on Dropped().
+func TestReconnectingClientResume(t *testing.T) {
+	dir := t.TempDir()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+
+	boot := func(ln net.Listener) (*Server, *broker.Broker, *wal.Log) {
+		log, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := broker.New(broker.Options{Log: log})
+		s := NewServer(b)
+		go func() { _ = s.Serve(ln) }()
+		return s, b, log
+	}
+	s1, b1, log1 := boot(ln)
+
+	rc, err := DialReconnecting(addr, ReconnectOptions{
+		InitialBackoff: 10 * time.Millisecond,
+		MaxBackoff:     100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if _, err := rc.SubscribeFrom(1, geometry.NewRect(0, 1000)); err != nil {
+		t.Fatal(err)
+	}
+
+	pub := func(b *broker.Broker, from, to int) {
+		t.Helper()
+		for i := from; i <= to; i++ {
+			if _, err := b.Publish(geometry.Point{float64(i%10 + 1)}, []byte(fmt.Sprintf("e%d", i))); err != nil {
+				t.Fatalf("publish %d: %v", i, err)
+			}
+		}
+	}
+	pub(b1, 1, 30)
+
+	// Kill the server mid-stream (hard close: buffered events may die
+	// with the connections — the log is the source of truth).
+	s1.Close()
+	b1.Close()
+	log1.Close()
+
+	// Restart on the same address over the same data directory. The
+	// rebind can briefly race the dying listener.
+	var ln2 net.Listener
+	for i := 0; ; i++ {
+		ln2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("rebind %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	s2, b2, log2 := boot(ln2)
+	defer func() {
+		s2.Close()
+		b2.Close()
+		log2.Close()
+	}()
+	pub(b2, 31, 60)
+
+	// Every durable event 1..60 exactly once, in order, across the kill.
+	seen := make(map[uint64]bool)
+	last := uint64(0)
+	timeout := time.After(15 * time.Second)
+	for len(seen) < 60 {
+		select {
+		case ev := <-rc.Events():
+			if seen[ev.Seq] {
+				t.Fatalf("Seq %d delivered twice", ev.Seq)
+			}
+			if ev.Seq <= last {
+				t.Fatalf("Seq %d after %d: out of order", ev.Seq, last)
+			}
+			if want := fmt.Sprintf("e%d", ev.Seq); string(ev.Payload) != want {
+				t.Fatalf("Seq %d payload %q, want %q", ev.Seq, ev.Payload, want)
+			}
+			seen[ev.Seq] = true
+			last = ev.Seq
+		case <-timeout:
+			t.Fatalf("saw %d of 60 events (last %d)", len(seen), last)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/broker"
 	"repro/internal/geometry"
 	"repro/internal/telemetry"
+	"repro/internal/wal"
 )
 
 // ServerOptions harden a server against slow, stalled or half-open
@@ -375,9 +377,10 @@ func (s *Server) handle(cs *connState) {
 	}
 }
 
-// handleSubscribe registers the subscription and starts its event pump.
-// The returned error is a connection-level failure; protocol errors are
-// reported to the peer instead.
+// handleSubscribe registers the subscription, streams any requested log
+// replay, and starts the live event pump. The returned error is a
+// connection-level failure; protocol errors are reported to the peer
+// instead.
 func (s *Server) handleSubscribe(cs *connState, m *Message) error {
 	rects := make([]geometry.Rect, 0, len(m.Rects))
 	for _, w := range m.Rects {
@@ -386,6 +389,15 @@ func (s *Server) handleSubscribe(cs *connState, m *Message) error {
 			return cs.write(&Message{Type: TypeError, Error: err.Error()})
 		}
 		rects = append(rects, r)
+	}
+	if m.FromOffset > 0 && s.b.Log() == nil {
+		return cs.write(&Message{Type: TypeError, Error: "server has no durable log: from_offset needs -data-dir"})
+	}
+	if len(rects) == 0 && m.FromOffset > 0 {
+		// Pure replay: no live subscription. (Without from_offset an
+		// empty subscribe still gets the broker's "needs at least one
+		// rectangle" error below, exactly like a legacy server.)
+		return s.handleReplayOnly(cs, m.FromOffset)
 	}
 	buffer := m.Buffer
 	if buffer <= 0 {
@@ -405,6 +417,32 @@ func (s *Server) handleSubscribe(cs *connState, m *Message) error {
 		return ErrServerClosed
 	}
 
+	// Replay before going live. The subscription is already registered,
+	// so the log's NextOffset at this point splits history exactly: every
+	// offset below the reader's End is streamed here, every offset at or
+	// above it was appended after registration and therefore matched the
+	// subscription's snapshot — the pump delivers it, skipping anything
+	// the replay already covered.
+	skipBelow := uint64(0)
+	if m.FromOffset > 0 {
+		r, err := s.b.Log().ReadFrom(m.FromOffset)
+		if err != nil {
+			cs.pumps.Done()
+			if undo := cs.takeSub(sub.ID()); undo != nil {
+				undo.Cancel()
+			}
+			return cs.write(&Message{Type: TypeError, Error: err.Error()})
+		}
+		skipBelow = r.End()
+		if _, err := s.streamReplay(cs, r, rects, sub.ID()); err != nil {
+			cs.pumps.Done()
+			if undo := cs.takeSub(sub.ID()); undo != nil {
+				undo.Cancel()
+			}
+			return err
+		}
+	}
+
 	// Pump events to the connection until the subscription or the
 	// connection dies. When the subscription is cancelled (drain path)
 	// the pump flushes whatever is still buffered before exiting.
@@ -415,6 +453,10 @@ func (s *Server) handleSubscribe(cs *connState, m *Message) error {
 			case ev, open := <-sub.Events():
 				if !open {
 					return
+				}
+				if ev.Seq < skipBelow {
+					// Already streamed by the replay above.
+					continue
 				}
 				msg := &Message{
 					Type:    TypeEvent,
@@ -434,6 +476,64 @@ func (s *Server) handleSubscribe(cs *connState, m *Message) error {
 		}
 	}()
 	return cs.write(&Message{Type: TypeOK, SubID: sub.ID()})
+}
+
+// streamReplay writes every log record in the reader's range that
+// matches one of the rects (every record when rects is empty) as an
+// event frame, returning how many were streamed. A read error
+// mid-replay is reported to the peer; a write error is
+// connection-fatal.
+func (s *Server) streamReplay(cs *connState, r *wal.Reader, rects []geometry.Rect, subID int) (int, error) {
+	count := 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return count, nil
+		}
+		if err != nil {
+			return count, cs.write(&Message{Type: TypeError, Error: fmt.Sprintf("replay: %v", err)})
+		}
+		if len(rects) > 0 {
+			matched := false
+			for _, rect := range rects {
+				if rect.Contains(rec.Point) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				continue
+			}
+		}
+		msg := &Message{
+			Type:    TypeEvent,
+			Point:   rec.Point,
+			Payload: rec.Payload,
+			Seq:     rec.Offset,
+			TraceID: rec.TraceID,
+			SubID:   subID,
+		}
+		if err := cs.write(msg); err != nil {
+			return count, err
+		}
+		count++
+	}
+}
+
+// handleReplayOnly streams [from, NextOffset) unfiltered, then replies
+// OK with Delivered set to the number of records streamed. The reply
+// follows the events on the stream, so a client that reads its reply
+// has already received every replayed frame.
+func (s *Server) handleReplayOnly(cs *connState, from uint64) error {
+	r, err := s.b.Log().ReadFrom(from)
+	if err != nil {
+		return cs.write(&Message{Type: TypeError, Error: err.Error()})
+	}
+	count, err := s.streamReplay(cs, r, nil, 0)
+	if err != nil {
+		return err
+	}
+	return cs.write(&Message{Type: TypeOK, Delivered: count})
 }
 
 // handleUnsubscribe cancels one of this connection's subscriptions.

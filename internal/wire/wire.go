@@ -95,6 +95,15 @@ type Message struct {
 	// Subscribe fields.
 	Rects  []Rect `json:"rects,omitempty"`
 	Buffer int    `json:"buffer,omitempty"`
+	// FromOffset, when nonzero, asks a durability-enabled server to
+	// stream the publication log from that offset (clamped to the oldest
+	// retained record) before the subscription goes live; with no rects
+	// it requests a pure log replay and no live subscription. Optional
+	// like TraceID: zero is omitted from the frame, so a client that
+	// never sets it produces byte-identical frames to a pre-offset
+	// client, and an old server ignores the unknown key (the replayed
+	// history is simply not sent).
+	FromOffset uint64 `json:"from_offset,omitempty"`
 
 	// Publish / Event fields.
 	Point   []float64 `json:"point,omitempty"`
