@@ -6,6 +6,8 @@
 // Usage:
 //
 //	go run ./cmd/pubsub-vet ./...
+//	go run ./cmd/pubsub-vet -json
+//	go run ./cmd/pubsub-vet -list
 //
 // The package patterns are forwarded to the stock go vet invocation;
 // the custom analyzers always cover the whole module. The command exits
@@ -13,9 +15,17 @@
 // Intentional violations are waived in source with
 //
 //	//pubsub:allow <analyzer>[,<analyzer>] -- reason
+//
+// -json emits one JSON object per finding — including waived ones,
+// flagged as such — for tooling; waived findings never affect the exit
+// status. -list prints the analyzer roster. The driver also reports,
+// under the pseudo-analyzer "directive", malformed //pubsub: comments,
+// misplaced hotpath/coldpath/commit marks, and //pubsub:allow waivers
+// that no longer suppress anything.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/ast"
@@ -24,13 +34,18 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/allocfree"
+	"repro/internal/analysis/atomicsafe"
 	"repro/internal/analysis/halfopen"
 	"repro/internal/analysis/load"
 	"repro/internal/analysis/locksafe"
 	"repro/internal/analysis/nodeterm"
+	"repro/internal/analysis/snapshotmut"
+	"repro/internal/analysis/walorder"
 	"repro/internal/analysis/wireerr"
 )
 
@@ -46,19 +61,27 @@ type scope struct {
 
 // scopes defines where each analyzer runs:
 //
-//   - locksafe guards the concurrent server path: broker and wire.
+//   - locksafe guards the concurrent server and durability paths:
+//     broker, wire and wal.
 //   - nodeterm guards the deterministic simulation path: the workload,
 //     experiment and topology packages, plus the simulation harness in
 //     the root package (sim.go only — the rest of the root package is
 //     the public API, which may touch time freely).
 //   - halfopen and wireerr are module-wide; halfopen exempts the
 //     geometry package itself internally.
+//   - atomicsafe and snapshotmut are module-wide per-package dataflow
+//     checks over atomically-published memory.
+//   - allocfree and walorder are module-level (interprocedural):
+//     allocfree proves //pubsub:hotpath roots allocation-free over the
+//     call graph; walorder checks sync-before-ack ordering in packages
+//     that declare a durability File interface or a commit point.
 var scopes = []scope{
 	{
 		analyzer: locksafe.Analyzer,
 		packages: map[string]bool{
 			"repro/internal/broker": true,
 			"repro/internal/wire":   true,
+			"repro/internal/wal":    true,
 		},
 	},
 	{
@@ -75,6 +98,20 @@ var scopes = []scope{
 	},
 	{analyzer: halfopen.Analyzer},
 	{analyzer: wireerr.Analyzer},
+	{analyzer: atomicsafe.Analyzer},
+	{analyzer: snapshotmut.Analyzer},
+	{analyzer: allocfree.Analyzer},
+	{analyzer: walorder.Analyzer},
+}
+
+// knownAnalyzers is the waiver namespace: a //pubsub:allow naming
+// anything else is reported as a broken waiver.
+func knownAnalyzers() map[string]bool {
+	known := map[string]bool{}
+	for _, sc := range scopes {
+		known[sc.analyzer.Name] = true
+	}
+	return known
 }
 
 // fileSubset presents a subset of a package's files as an
@@ -97,10 +134,19 @@ func (s fileSubset) ASTFiles() []*ast.File {
 
 func main() {
 	novet := flag.Bool("novet", false, "skip the stock go vet pass")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per finding (including waived) on stdout")
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
 	flag.Parse()
 
+	if *list {
+		for _, sc := range scopes {
+			fmt.Printf("%-12s %s\n", sc.analyzer.Name, sc.analyzer.Doc)
+		}
+		return
+	}
+
 	status := 0
-	if !*novet {
+	if !*novet && !*jsonOut {
 		patterns := flag.Args()
 		if len(patterns) == 0 {
 			patterns = []string{"./..."}
@@ -116,7 +162,17 @@ func main() {
 		}
 	}
 
-	n, err := runAnalyzers(".", os.Stdout)
+	res, err := runAnalyzers(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pubsub-vet: %v\n", err)
+		os.Exit(2)
+	}
+	var n int
+	if *jsonOut {
+		n, err = res.writeJSON(os.Stdout)
+	} else {
+		n, err = res.writeText(os.Stdout)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pubsub-vet: %v\n", err)
 		os.Exit(2)
@@ -128,39 +184,134 @@ func main() {
 	os.Exit(status)
 }
 
+// vetResult is the full outcome of a module analyzer run: every finding
+// (waived included), plus what's needed to render positions.
+type vetResult struct {
+	root     string
+	fset     *token.FileSet
+	findings []analysis.Finding
+}
+
+// writeText prints unwaived findings in go vet style and returns their
+// count.
+func (r *vetResult) writeText(w io.Writer) (int, error) {
+	n := 0
+	for _, f := range r.findings {
+		if f.Waived {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s: %s\n", relPosition(r.root, r.fset, f.Pos), f.Message); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// jsonFinding is the one-per-line JSON shape of a finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Waived   bool   `json:"waived"`
+}
+
+// writeJSON prints every finding as one JSON object per line and
+// returns the number of unwaived ones (the failure count).
+func (r *vetResult) writeJSON(w io.Writer) (int, error) {
+	enc := json.NewEncoder(w)
+	n := 0
+	for _, f := range r.findings {
+		p := r.fset.Position(f.Pos)
+		file := p.Filename
+		if rel, err := filepath.Rel(r.root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		if err := enc.Encode(jsonFinding{
+			File:     file,
+			Line:     p.Line,
+			Col:      p.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+			Waived:   f.Waived,
+		}); err != nil {
+			return n, err
+		}
+		if !f.Waived {
+			n++
+		}
+	}
+	return n, nil
+}
+
 // runAnalyzers loads the module enclosing startDir and applies every
-// scoped analyzer, printing diagnostics to w. It returns the number of
-// diagnostics reported.
-func runAnalyzers(startDir string, w io.Writer) (int, error) {
+// scoped analyzer with a shared, module-wide suppression table. The
+// result carries all findings: analyzer diagnostics (waived or not) and
+// "directive" findings for malformed //pubsub: comments, misplaced
+// marks, and waivers that suppressed nothing.
+func runAnalyzers(startDir string) (*vetResult, error) {
 	loader, err := load.NewLoader(startDir)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	pkgs, err := loader.All()
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	total := 0
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("no packages found under %s", loader.ModuleRoot)
+	}
+	res := &vetResult{root: loader.ModuleRoot, fset: pkgs[0].Fset}
+
+	directive := func(d analysis.Diagnostic) {
+		res.findings = append(res.findings, analysis.Finding{Analyzer: "directive", Diagnostic: d})
+	}
+
+	// One suppression table and one mark table across the whole module,
+	// so cross-package analyzers see every waiver and usage tracking
+	// spans the full run.
+	sup := analysis.NewSuppressions()
+	marks := analysis.NewMarks()
 	for _, pkg := range pkgs {
-		for _, sc := range scopes {
+		for _, d := range sup.Collect(pkg.Fset, pkg.Files) {
+			directive(d)
+		}
+		marks.Collect(pkg.Fset, pkg.Files, pkg.Info)
+	}
+	for _, d := range marks.Bad {
+		directive(d)
+	}
+
+	for _, sc := range scopes {
+		var targets []analysis.Target
+		for _, pkg := range pkgs {
 			if sc.packages != nil && !sc.packages[pkg.Path] {
 				continue
 			}
-			var target analysis.Target = pkg
+			var t analysis.Target = pkg
 			if names := sc.files[pkg.Path]; names != nil {
-				target = fileSubset{Package: pkg, names: names}
+				t = fileSubset{Package: pkg, names: names}
 			}
-			diags, err := analysis.RunAnalyzer(target, sc.analyzer)
-			if err != nil {
-				return total, fmt.Errorf("%s on %s: %w", sc.analyzer.Name, pkg.Path, err)
-			}
-			for _, d := range diags {
-				fmt.Fprintf(w, "%s: %s\n", relPosition(loader.ModuleRoot, pkg.Fset, d.Pos), d.Message)
-				total++
-			}
+			targets = append(targets, t)
 		}
+		findings, err := analysis.RunWith(sup, targets, sc.analyzer)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.analyzer.Name, err)
+		}
+		res.findings = append(res.findings, findings...)
 	}
-	return total, nil
+
+	// Only meaningful after every analyzer has recorded its waiver hits.
+	for _, d := range sup.Unused(knownAnalyzers()) {
+		directive(d)
+	}
+
+	sort.SliceStable(res.findings, func(i, j int) bool {
+		return res.findings[i].Pos < res.findings[j].Pos
+	})
+	return res, nil
 }
 
 // relPosition renders pos with the file path relative to the module

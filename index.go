@@ -89,6 +89,7 @@ func (ix *Index) PointQueryStats(p Point) ([]int, QueryStats) {
 	ix.m.MatchFunc(p, collect)
 	return ids, QueryStats{Matched: len(ids)}
 }
+
 // rectangles intersect the query region — the administrative "who is
 // interested in this part of the event space" question. Subscribers are
 // reported once per intersecting rectangle.

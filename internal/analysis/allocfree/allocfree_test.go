@@ -1,0 +1,11 @@
+package allocfree
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAllocfree(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/allocfree", "fixture/allocfree", Analyzer)
+}

@@ -6,6 +6,14 @@
 // type-checked packages (see the sibling load package) and report
 // position-tagged diagnostics.
 //
+// Beyond per-package AST walks, the package provides the building blocks
+// for interprocedural dataflow analyses: per-function control-flow
+// graphs (BuildCFG), a generic forward-fixpoint solver with
+// path-sensitive branching (Solve), and a module-wide call graph
+// (BuildCallGraph). Analyzers that need to see the whole module at once
+// set RunModule instead of Run and receive every loaded package in one
+// ModulePass.
+//
 // Diagnostics can be suppressed at a call site with a directive comment:
 //
 //	//pubsub:allow <analyzer>[,<analyzer>...] -- reason
@@ -14,7 +22,8 @@
 // immediately above it. Suppressions are applied by RunAnalyzer, so both
 // the pubsub-vet driver and the analysistest harness honor them. Every
 // suppression must carry a reason; bare directives are reported as
-// diagnostics themselves.
+// diagnostics themselves, and so are waivers that no longer suppress
+// anything (see Suppressions.Unused).
 package analysis
 
 import (
@@ -26,6 +35,9 @@ import (
 )
 
 // Analyzer describes one static check. Mirrors x/tools' analysis.Analyzer.
+// Exactly one of Run and RunModule must be set: Run for per-package
+// checks, RunModule for interprocedural checks that need every package
+// at once (call-graph reachability, cross-package contracts).
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
 	// //pubsub:allow directives. Lower-case, no spaces.
@@ -36,12 +48,25 @@ type Analyzer struct {
 	// pass.Report or pass.Reportf. The returned value is unused by this
 	// framework but kept for API parity with x/tools.
 	Run func(*Pass) (any, error)
+	// RunModule inspects all packages of a module pass at once. Set it
+	// instead of Run for interprocedural analyzers.
+	RunModule func(*ModulePass) (any, error)
 }
 
 // Diagnostic is one finding, anchored to a source position.
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+}
+
+// Finding is one analyzer diagnostic plus driver-level metadata: which
+// analyzer produced it and whether a //pubsub:allow waiver covered it.
+// The pubsub-vet driver collects Findings so that -json output can show
+// waived diagnostics without them counting as failures.
+type Finding struct {
+	Analyzer string
+	Diagnostic
+	Waived bool
 }
 
 // Pass carries one type-checked package through one analyzer run.
@@ -64,6 +89,21 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return p.TypesInfo.TypeOf(e)
 }
 
+// ModulePass carries every loaded package through one module-level
+// analyzer run.
+type ModulePass struct {
+	Analyzer *Analyzer
+	// Fset is shared by all targets (the loader uses one FileSet).
+	Fset    *token.FileSet
+	Targets []Target
+	Report  func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
 // Target is the input to RunAnalyzer: a parsed, type-checked package.
 // load.Package satisfies it.
 type Target interface {
@@ -76,28 +116,75 @@ type Target interface {
 // RunAnalyzer applies one analyzer to one package and returns its
 // diagnostics, sorted by position, with //pubsub:allow suppressions
 // already applied. Misused directives (no reason, unknown placement) are
-// returned as diagnostics of the pseudo-analyzer "directive".
+// returned as diagnostics of the pseudo-analyzer "directive". A
+// module-level analyzer (RunModule set) is run over the single package,
+// which is what the analysistest harness needs.
 func RunAnalyzer(t Target, a *Analyzer) ([]Diagnostic, error) {
 	fset := t.FileSet()
 	sup, bad := collectDirectives(fset, t.ASTFiles())
-	var diags []Diagnostic
-	pass := &Pass{
-		Analyzer:  a,
-		Fset:      fset,
-		Files:     t.ASTFiles(),
-		Pkg:       t.TypesPkg(),
-		TypesInfo: t.TypesInfo(),
-		Report: func(d Diagnostic) {
-			if sup.allows(fset, a.Name, d.Pos) {
-				return
-			}
-			diags = append(diags, d)
-		},
+	findings, err := runWith(sup, []Target{t}, a)
+	if err != nil {
+		return nil, err
 	}
-	if _, err := a.Run(pass); err != nil {
-		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	var diags []Diagnostic
+	for _, f := range findings {
+		if !f.Waived {
+			diags = append(diags, f.Diagnostic)
+		}
 	}
 	diags = append(diags, bad...)
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
 	return diags, nil
+}
+
+// RunWith applies one analyzer to the given targets using a shared
+// suppression table and returns every finding — including waived ones,
+// flagged as such — sorted by position. The caller owns sup and is
+// expected to have Collected directives from all relevant files first;
+// usage is tracked on sup so that stale waivers can be reported once
+// every analyzer has run. For a per-package analyzer (Run set) each
+// target gets its own pass; for a module analyzer (RunModule set) all
+// targets are handed over in one ModulePass.
+func RunWith(sup *Suppressions, targets []Target, a *Analyzer) ([]Finding, error) {
+	return runWith(sup, targets, a)
+}
+
+func runWith(sup *Suppressions, targets []Target, a *Analyzer) ([]Finding, error) {
+	if len(targets) == 0 {
+		return nil, nil
+	}
+	if (a.Run == nil) == (a.RunModule == nil) {
+		return nil, fmt.Errorf("%s: exactly one of Run and RunModule must be set", a.Name)
+	}
+	fset := targets[0].FileSet()
+	var findings []Finding
+	report := func(d Diagnostic) {
+		findings = append(findings, Finding{
+			Analyzer:   a.Name,
+			Diagnostic: d,
+			Waived:     sup.Allows(fset, a.Name, d.Pos),
+		})
+	}
+	if a.RunModule != nil {
+		pass := &ModulePass{Analyzer: a, Fset: fset, Targets: targets, Report: report}
+		if _, err := a.RunModule(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	} else {
+		for _, t := range targets {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      t.FileSet(),
+				Files:     t.ASTFiles(),
+				Pkg:       t.TypesPkg(),
+				TypesInfo: t.TypesInfo(),
+				Report:    report,
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].Pos < findings[j].Pos })
+	return findings, nil
 }

@@ -1,0 +1,247 @@
+// Package atomicsafe enforces that memory accessed atomically is never
+// accessed plainly. It catches two flavours of the mistake:
+//
+//  1. Typed atomics: a value of a sync/atomic type (atomic.Uint64,
+//     atomic.Pointer[T], atomic.Value, ...) may only be used as the
+//     receiver of a method call or have its address taken — copying
+//     one (assignment, value argument, range copy) tears the
+//     underlying word and breaks the noCopy contract.
+//  2. Old-style atomics: once &x is passed to a sync/atomic function
+//     (atomic.AddUint64(&x, 1), atomic.StoreInt32(&x, v), ...), every
+//     other access to x must also go through sync/atomic — a plain
+//     x++ or x = 0 races with the atomic users.
+//
+// The check is per package: an object's atomic discipline is visible
+// wherever the object is, because mixed access is a data race no
+// matter which file performs it.
+package atomicsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicsafe analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicsafe",
+	Doc:  "atomically-accessed memory must never be read or written plainly",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{pass: pass, atomicObjs: map[types.Object][]token.Pos{}}
+	// Pass A: find old-style atomic users — objects whose address
+	// flows into a sync/atomic call.
+	for _, f := range pass.Files {
+		ast.Inspect(f, c.collectOldStyle)
+	}
+	// Pass B: flag plain accesses of those objects, and misuse of
+	// typed atomics.
+	for _, f := range pass.Files {
+		c.checkFile(f)
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// atomicObjs maps variables/fields accessed via old-style
+	// sync/atomic calls to the positions of those calls.
+	atomicObjs map[types.Object][]token.Pos
+}
+
+// atomicCall returns the sync/atomic package function a call invokes
+// (old-style AddUint64/LoadPointer/...), or nil.
+func (c *checker) atomicCall(call *ast.CallExpr) *types.Func {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	if _, isMethod := c.pass.TypesInfo.Selections[sel]; isMethod {
+		return nil // typed-atomic method, not old style
+	}
+	return fn
+}
+
+func (c *checker) collectOldStyle(n ast.Node) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return true
+	}
+	if c.atomicCall(call) == nil {
+		return true
+	}
+	for _, arg := range call.Args {
+		un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			continue
+		}
+		if obj := c.rootObj(un.X); obj != nil {
+			c.atomicObjs[obj] = append(c.atomicObjs[obj], call.Pos())
+		}
+	}
+	return true
+}
+
+// rootObj resolves the variable or field object named by an lvalue
+// expression: x, s.f, (*p).f. Index expressions are not tracked (the
+// whole element set would need aliasing analysis).
+func (c *checker) rootObj(e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return c.pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.TypesInfo.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return c.pass.TypesInfo.Uses[e.Sel]
+	case *ast.StarExpr:
+		return c.rootObj(e.X)
+	}
+	return nil
+}
+
+// checkFile walks one file with a parent stack so each atomic-typed
+// expression and old-style atomic object can be judged by how its
+// enclosing expression uses it. ast.Inspect's nil callback marks
+// post-order, which pops the stack.
+func (c *checker) checkFile(f *ast.File) {
+	var parents []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			parents = parents[:len(parents)-1]
+			return true
+		}
+		c.checkNode(n, parents)
+		parents = append(parents, n)
+		return true
+	})
+}
+
+func (c *checker) checkNode(n ast.Node, parents []ast.Node) {
+	switch n := n.(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[n]
+		if obj == nil {
+			return
+		}
+		// Fields are judged at their SelectorExpr, where the receiver
+		// chain is visible.
+		if v, ok := obj.(*types.Var); ok && v.IsField() {
+			return
+		}
+		if posns, tracked := c.atomicObjs[obj]; tracked {
+			if !c.accessIsAtomic(parents) {
+				c.pass.Reportf(n.Pos(),
+					"atomicsafe: plain access of %s, which is accessed atomically at %s; use sync/atomic for every access",
+					obj.Name(), c.pass.Fset.Position(posns[0]))
+			}
+		}
+		if isAtomicType(c.pass.TypesInfo.TypeOf(n)) {
+			c.checkTypedUse(n, n.Pos(), parents)
+		}
+	case *ast.SelectorExpr:
+		// Field selections of atomic type: judged here so the inner
+		// Ident pass doesn't need Selections handling.
+		if sel, ok := c.pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+			obj := sel.Obj()
+			if posns, tracked := c.atomicObjs[obj]; tracked {
+				if !c.accessIsAtomic(parents) {
+					c.pass.Reportf(n.Pos(),
+						"atomicsafe: plain access of %s, which is accessed atomically at %s; use sync/atomic for every access",
+						obj.Name(), c.pass.Fset.Position(posns[0]))
+				}
+			}
+			if isAtomicType(c.pass.TypesInfo.TypeOf(n)) {
+				c.checkTypedUse(n, n.Pos(), parents)
+			}
+		}
+	}
+}
+
+// accessIsAtomic reports whether the innermost interesting parent makes
+// this use safe: operand of &, or inside the argument of a sync/atomic
+// call (the & case covers that anyway), or a selector hop on the way to
+// a method call.
+func (c *checker) accessIsAtomic(parents []ast.Node) bool {
+	for i := len(parents) - 1; i >= 0; i-- {
+		switch p := parents[i].(type) {
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				return true
+			}
+			return false
+		case *ast.SelectorExpr, *ast.ParenExpr, *ast.StarExpr:
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// checkTypedUse flags uses of a sync/atomic-typed expression that are
+// neither a method-call receiver nor an address-of operand.
+func (c *checker) checkTypedUse(expr ast.Expr, pos token.Pos, parents []ast.Node) {
+	// Walk outward through parens.
+	child := ast.Node(expr)
+	for i := len(parents) - 1; i >= 0; i-- {
+		switch p := parents[i].(type) {
+		case *ast.ParenExpr:
+			child = p
+			continue
+		case *ast.SelectorExpr:
+			if p.X != child {
+				return // we are the Sel of an outer selector; fine
+			}
+			// recv.Method(...) — selecting a method off the atomic is
+			// the intended use; selecting a field of an atomic struct
+			// type would also land here, but sync/atomic types export
+			// no fields.
+			if c.selectionIsMethod(p) {
+				return
+			}
+			child = p
+			continue
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				return // &field passed along; aliasing is the pointer's problem
+			}
+		case *ast.CompositeLit:
+			// atomic zero value inside a composite literal is
+			// initialisation, not a copy of an in-use atomic.
+			return
+		case *ast.KeyValueExpr:
+			return
+		}
+		break
+	}
+	c.pass.Reportf(pos,
+		"atomicsafe: value of atomic type copied or read plainly; atomics must be used only via their methods or by address")
+}
+
+func (c *checker) selectionIsMethod(sel *ast.SelectorExpr) bool {
+	s, ok := c.pass.TypesInfo.Selections[sel]
+	return ok && s.Kind() == types.MethodVal
+}
+
+// isAtomicType reports whether t (or what it points to after one
+// deref) is a named type from sync/atomic.
+func isAtomicType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,11 @@
+package atomicsafe
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAtomicsafe(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/atomicsafe", "fixture/atomicsafe", Analyzer)
+}

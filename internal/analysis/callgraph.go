@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallGraph is a module-wide static call graph over the functions and
+// methods declared in a set of targets. Interface method calls are
+// resolved to every module type implementing the interface, so walking
+// the graph over-approximates runtime behaviour — the right direction
+// for reachability-style checkers. Calls through plain function values
+// cannot be resolved statically and are recorded as dynamic sites.
+type CallGraph struct {
+	// Nodes maps every declared function/method to its node.
+	Nodes map[*types.Func]*CallNode
+	// fset/infos retained for resolving calls found outside declared
+	// bodies (e.g. in function literals an analyzer walks itself).
+	infos []*types.Info
+}
+
+// CallNode is one declared function with its body and outgoing calls.
+type CallNode struct {
+	Func *types.Func
+	Decl *ast.FuncDecl
+	// Target is the package the declaration lives in.
+	Target Target
+	// Sites lists the function's call sites in source order. Sites
+	// inside nested function literals are included with InLit set —
+	// a literal may escape, so its calls are still "caused" by this
+	// function — and sites that spawn goroutines have InGo set.
+	Sites []CallSite
+}
+
+// CallSite is one call expression inside a declared function.
+type CallSite struct {
+	Call *ast.CallExpr
+	// Callees holds the possible static targets: one entry for a
+	// direct or concrete-method call, several for an interface method
+	// call (every implementing module type). Empty means the callee is
+	// outside the module or unresolvable.
+	Callees []*types.Func
+	// Iface is the interface method being called, if the call is
+	// through an interface; Callees then holds the implementations.
+	Iface *types.Func
+	// Dynamic marks calls through a function value (variable, field,
+	// parameter) that static analysis cannot resolve.
+	Dynamic bool
+	// InGo marks calls that are the operand of a go statement.
+	InGo bool
+	// InDefer marks calls that are the operand of a defer statement.
+	InDefer bool
+	// InLit marks calls textually inside a nested function literal.
+	InLit bool
+}
+
+// BuildCallGraph constructs the call graph of all functions declared in
+// targets. Interface calls are resolved against every named type
+// declared in any target.
+func BuildCallGraph(targets []Target) *CallGraph {
+	g := &CallGraph{Nodes: map[*types.Func]*CallNode{}}
+
+	// Pass 1: declared functions and the module's named types.
+	var namedTypes []*types.Named
+	for _, t := range targets {
+		g.infos = append(g.infos, t.TypesInfo())
+		info := t.TypesInfo()
+		for _, f := range t.ASTFiles() {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if fn, ok := info.Defs[d.Name].(*types.Func); ok {
+						g.Nodes[fn] = &CallNode{Func: fn, Decl: d, Target: t}
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						if tn, ok := info.Defs[ts.Name].(*types.TypeName); ok {
+							if named, ok := tn.Type().(*types.Named); ok {
+								namedTypes = append(namedTypes, named)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: call sites.
+	for _, node := range g.Nodes {
+		if node.Decl.Body == nil {
+			continue
+		}
+		info := node.Target.TypesInfo()
+		collectSites(node, node.Decl.Body, info, namedTypes, g, false)
+	}
+	return g
+}
+
+// collectSites walks body recording call sites into node. inLit marks
+// that we are inside a nested function literal.
+func collectSites(node *CallNode, body ast.Node, info *types.Info, named []*types.Named, g *CallGraph, inLit bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if !inLit {
+				collectSites(node, n.Body, info, named, g, true)
+				return false
+			}
+			return true
+		case *ast.GoStmt:
+			site := g.resolveSite(info, n.Call, named)
+			site.InGo = true
+			site.InLit = inLit
+			node.Sites = append(node.Sites, site)
+			// Still descend into arguments (they're evaluated in the
+			// caller) and a possible literal operand.
+			for _, arg := range n.Call.Args {
+				collectSites(node, arg, info, named, g, inLit)
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				collectSites(node, lit.Body, info, named, g, true)
+			}
+			return false
+		case *ast.DeferStmt:
+			site := g.resolveSite(info, n.Call, named)
+			site.InDefer = true
+			site.InLit = inLit
+			node.Sites = append(node.Sites, site)
+			for _, arg := range n.Call.Args {
+				collectSites(node, arg, info, named, g, inLit)
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				collectSites(node, lit.Body, info, named, g, true)
+			}
+			return false
+		case *ast.CallExpr:
+			site := g.resolveSite(info, n, named)
+			site.InLit = inLit
+			node.Sites = append(node.Sites, site)
+			return true
+		}
+		return true
+	})
+}
+
+// resolveSite classifies one call expression.
+func (g *CallGraph) resolveSite(info *types.Info, call *ast.CallExpr, named []*types.Named) CallSite {
+	site := CallSite{Call: call}
+	// Conversions and builtins are not calls for graph purposes.
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Func:
+			site.Callees = []*types.Func{origin(obj)}
+		case *types.Builtin, *types.TypeName:
+			// builtin or conversion: no callee
+		case *types.Var:
+			site.Dynamic = true
+		case nil:
+			// Defs (shouldn't happen for call position) or conversion.
+			if _, ok := info.Defs[fun]; !ok {
+				if info.Types[fun].IsType() {
+					break
+				}
+			}
+		default:
+			site.Dynamic = true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				// Selecting a func-typed field: dynamic.
+				site.Dynamic = true
+				break
+			}
+			recv := sel.Recv()
+			if types.IsInterface(recv) {
+				site.Iface = fn
+				site.Callees = implementationsOf(recv, fn, named)
+			} else {
+				site.Callees = []*types.Func{origin(fn)}
+			}
+		} else {
+			// Qualified identifier pkg.F, or a conversion pkg.T(x).
+			switch obj := info.Uses[fun.Sel].(type) {
+			case *types.Func:
+				site.Callees = []*types.Func{origin(obj)}
+			case *types.TypeName:
+				// conversion
+			case *types.Var:
+				site.Dynamic = true
+			}
+		}
+	case *ast.FuncLit:
+		// Immediately-invoked literal: its body is walked by
+		// collectSites; the call itself resolves to nothing.
+	case *ast.IndexExpr, *ast.IndexListExpr:
+		// Generic instantiation f[T](...): Uses on the underlying ident
+		// resolves to the generic origin.
+		if id := calleeIdent(fun); id != nil {
+			if fn, ok := info.Uses[id].(*types.Func); ok {
+				site.Callees = []*types.Func{origin(fn)}
+			} else if _, ok := info.Uses[id].(*types.TypeName); ok {
+				// generic type conversion
+			} else {
+				site.Dynamic = true
+			}
+		} else {
+			site.Dynamic = true
+		}
+	default:
+		// Call of a call's result, type assertion, etc.
+		if !info.Types[call.Fun].IsType() {
+			site.Dynamic = true
+		}
+	}
+	return site
+}
+
+func calleeIdent(e ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.IndexExpr:
+		return calleeIdent(e.X)
+	case *ast.IndexListExpr:
+		return calleeIdent(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
+}
+
+// origin maps an instantiated generic function/method back to its
+// declared origin, which is what the Nodes map is keyed by.
+func origin(fn *types.Func) *types.Func {
+	return fn.Origin()
+}
+
+// implementationsOf returns the declared methods of every module type
+// implementing iface's method fn.
+func implementationsOf(iface types.Type, fn *types.Func, named []*types.Named) []*types.Func {
+	it, ok := iface.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*types.Func
+	for _, n := range named {
+		if types.IsInterface(n) {
+			continue
+		}
+		var impl types.Type
+		if types.Implements(n, it) {
+			impl = n
+		} else if p := types.NewPointer(n); types.Implements(p, it) {
+			impl = p
+		} else {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(impl, true, fn.Pkg(), fn.Name())
+		if m, ok := obj.(*types.Func); ok {
+			out = append(out, origin(m))
+		}
+	}
+	return out
+}
+
+// FuncOf returns the node for fn, or nil if fn is not declared in the
+// module (stdlib, builtin).
+func (g *CallGraph) FuncOf(fn *types.Func) *CallNode {
+	if fn == nil {
+		return nil
+	}
+	return g.Nodes[origin(fn)]
+}

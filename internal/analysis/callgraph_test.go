@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// testTarget is an in-memory Target for engine unit tests.
+type testTarget struct {
+	fset  *token.FileSet
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+func (t *testTarget) FileSet() *token.FileSet  { return t.fset }
+func (t *testTarget) ASTFiles() []*ast.File    { return t.files }
+func (t *testTarget) TypesPkg() *types.Package { return t.pkg }
+func (t *testTarget) TypesInfo() *types.Info   { return t.info }
+
+func typecheck(t *testing.T, fset *token.FileSet, path, src string) *testTarget {
+	t.Helper()
+	f, err := parser.ParseFile(fset, path+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &testTarget{fset: fset, files: []*ast.File{f}, pkg: pkg, info: info}
+}
+
+const callgraphSrc = `package p
+
+type Writer interface {
+	Write(b []byte) (int, error)
+}
+
+type fileW struct{ n int }
+
+func (f *fileW) Write(b []byte) (int, error) { f.n += len(b); return len(b), nil }
+
+type nullW struct{}
+
+func (nullW) Write(b []byte) (int, error) { return len(b), nil }
+
+func direct() int { return 1 }
+
+func caller(w Writer, fn func() int) {
+	direct()
+	w.Write(nil)
+	fn()
+	go direct()
+	defer direct()
+}
+`
+
+func buildTestGraph(t *testing.T) (*CallGraph, *testTarget) {
+	t.Helper()
+	fset := token.NewFileSet()
+	tt := typecheck(t, fset, "p", callgraphSrc)
+	return BuildCallGraph([]Target{tt}), tt
+}
+
+func findFunc(t *testing.T, g *CallGraph, name string) *CallNode {
+	t.Helper()
+	for fn, node := range g.Nodes {
+		if fn.Name() == name {
+			return node
+		}
+	}
+	t.Fatalf("function %s not in graph", name)
+	return nil
+}
+
+func TestCallGraphNodes(t *testing.T) {
+	g, _ := buildTestGraph(t)
+	for _, name := range []string{"direct", "caller", "Write"} {
+		found := false
+		for fn := range g.Nodes {
+			if fn.Name() == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("declared function %s missing from graph", name)
+		}
+	}
+}
+
+func TestCallGraphDirectCall(t *testing.T) {
+	g, _ := buildTestGraph(t)
+	caller := findFunc(t, g, "caller")
+	var hits int
+	for _, site := range caller.Sites {
+		for _, callee := range site.Callees {
+			if callee.Name() == "direct" {
+				hits++
+				if site.Iface != nil {
+					t.Fatalf("direct call misclassified as interface call")
+				}
+			}
+		}
+	}
+	if hits != 3 { // plain, go, defer
+		t.Fatalf("direct call sites = %d, want 3", hits)
+	}
+}
+
+func TestCallGraphInterfaceResolution(t *testing.T) {
+	g, _ := buildTestGraph(t)
+	caller := findFunc(t, g, "caller")
+	for _, site := range caller.Sites {
+		if site.Iface == nil {
+			continue
+		}
+		if site.Iface.Name() != "Write" {
+			t.Fatalf("iface method = %s, want Write", site.Iface.Name())
+		}
+		// Both fileW and nullW implement Writer.
+		if len(site.Callees) != 2 {
+			t.Fatalf("interface call resolved to %d impls, want 2", len(site.Callees))
+		}
+		for _, c := range site.Callees {
+			if g.FuncOf(c) == nil {
+				t.Fatalf("implementation %s not a graph node", c.FullName())
+			}
+		}
+		return
+	}
+	t.Fatalf("no interface call site recorded")
+}
+
+func TestCallGraphDynamicAndGoDefer(t *testing.T) {
+	g, _ := buildTestGraph(t)
+	caller := findFunc(t, g, "caller")
+	var dynamic, inGo, inDefer bool
+	for _, site := range caller.Sites {
+		if site.Dynamic {
+			dynamic = true
+		}
+		if site.InGo {
+			inGo = true
+		}
+		if site.InDefer {
+			inDefer = true
+		}
+	}
+	if !dynamic {
+		t.Fatalf("fn() call not marked Dynamic")
+	}
+	if !inGo {
+		t.Fatalf("go direct() not marked InGo")
+	}
+	if !inDefer {
+		t.Fatalf("defer direct() not marked InDefer")
+	}
+}
+
+func TestCallGraphFuncLitSites(t *testing.T) {
+	fset := token.NewFileSet()
+	tt := typecheck(t, fset, "q", `package q
+func leaf() {}
+func hasLit() {
+	f := func() { leaf() }
+	f()
+}
+`)
+	g := BuildCallGraph([]Target{tt})
+	hasLit := findFunc(t, g, "hasLit")
+	var litSite bool
+	for _, site := range hasLit.Sites {
+		for _, c := range site.Callees {
+			if c.Name() == "leaf" && site.InLit {
+				litSite = true
+			}
+		}
+	}
+	if !litSite {
+		t.Fatalf("call inside func literal must be recorded with InLit")
+	}
+}
+
+func TestCallGraphConversionNotACall(t *testing.T) {
+	fset := token.NewFileSet()
+	tt := typecheck(t, fset, "r", `package r
+type myInt int
+func conv(x int) myInt { return myInt(x) }
+`)
+	g := BuildCallGraph([]Target{tt})
+	conv := findFunc(t, g, "conv")
+	for _, site := range conv.Sites {
+		if site.Dynamic || len(site.Callees) > 0 {
+			t.Fatalf("conversion recorded as a call: %+v", site)
+		}
+	}
+}

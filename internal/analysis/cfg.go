@@ -1,0 +1,400 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is a per-function control-flow graph over AST nodes. Blocks hold
+// the nodes executed in order; edges carry an optional branch condition
+// so a dataflow analysis can refine state along the true/false arms of
+// an if or a for. The graph is built purely syntactically — it
+// over-approximates (every case of a switch is reachable, loops may
+// execute zero times) which is the right direction for a checker that
+// must not miss executions.
+type CFG struct {
+	// Entry is the function's first block.
+	Entry *Block
+	// Blocks lists every block, Entry first. Blocks unreachable from
+	// Entry (code after return, bodies of select{}) are still present
+	// but a Solve over the graph never visits them.
+	Blocks []*Block
+}
+
+// Block is a straight-line sequence of AST nodes, ended by the control
+// transfer its Succs describe.
+type Block struct {
+	Index int
+	// Nodes are statements and evaluated condition expressions, in
+	// execution order. Compound statements contribute their evaluated
+	// parts: an *ast.IfStmt never appears, but its Cond expression
+	// does; *ast.SelectStmt and *ast.RangeStmt appear themselves as
+	// "header" nodes because analyzers must see the blocking
+	// communication they perform; switch case expressions are prepended
+	// to their clause's block.
+	Nodes []ast.Node
+	Succs []Edge
+}
+
+// Edge is one control transfer. If Cond is non-nil the edge is taken
+// when Cond evaluates to Taken — this is what gives analyzers
+// path-sensitivity at branches.
+type Edge struct {
+	To    *Block
+	Cond  ast.Expr
+	Taken bool
+}
+
+// cfgBuilder incrementally grows a CFG. cur is the block under
+// construction; nil means the current point is unreachable (after
+// return/panic/goto/break) — add starts a fresh unreachable block in
+// that case so dead nodes stay addressable without edges into them.
+type cfgBuilder struct {
+	g   *CFG
+	cur *Block
+	// breaks holds break targets (loops, switches, selects), innermost
+	// last; continues holds loop post targets only.
+	breaks    []*Block
+	continues []*Block
+	// labels maps label names to goto targets; labelBreak/labelCont to
+	// the labelled construct's break/continue targets. labelNext is the
+	// label awaiting its construct (set by LabeledStmt, consumed by the
+	// next push).
+	labels       map[string]*Block
+	labelBreak   map[string]*Block
+	labelCont    map[string]*Block
+	labelNext    string
+	pendingGotos []pendingGoto
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// BuildCFG constructs the control-flow graph of one function body.
+// body may be nil (declared-only functions) — the CFG then has a single
+// empty block.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		g:          &CFG{},
+		labels:     map[string]*Block{},
+		labelBreak: map[string]*Block{},
+		labelCont:  map[string]*Block{},
+	}
+	b.cur = b.newBlock()
+	b.g.Entry = b.cur
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	for _, pg := range b.pendingGotos {
+		if to, ok := b.labels[pg.label]; ok {
+			pg.from.Succs = append(pg.from.Succs, Edge{To: to})
+		}
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// jump links cur to blk and makes blk current. A nil cur (unreachable
+// point) contributes no edge.
+func (b *cfgBuilder) jump(blk *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, Edge{To: blk})
+	}
+	b.cur = blk
+}
+
+// edgeTo adds an edge from cur without changing cur.
+func (b *cfgBuilder) edgeTo(blk *Block, cond ast.Expr, taken bool) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, Edge{To: blk, Cond: cond, Taken: taken})
+	}
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock() // dead code: block exists, nothing points at it
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		thenB := b.newBlock()
+		doneB := b.newBlock()
+		b.edgeTo(thenB, s.Cond, true)
+		var elseB *Block
+		if s.Else != nil {
+			elseB = b.newBlock()
+			b.edgeTo(elseB, s.Cond, false)
+		} else {
+			b.edgeTo(doneB, s.Cond, false)
+		}
+		b.cur = thenB
+		b.stmt(s.Body)
+		b.jump(doneB)
+		if s.Else != nil {
+			b.cur = elseB
+			b.stmt(s.Else)
+			b.jump(doneB)
+		}
+		b.cur = doneB
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		done := b.newBlock()
+		b.jump(head)
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.edgeTo(body, s.Cond, true)
+			b.edgeTo(done, s.Cond, false)
+		} else {
+			b.edgeTo(body, nil, false)
+			// for {}: done is only reachable via break.
+		}
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			cont = post
+		}
+		b.pushLoop(done, cont)
+		b.cur = body
+		b.stmt(s.Body)
+		if post != nil {
+			b.jump(post)
+			b.stmt(s.Post)
+			b.jump(head)
+		} else {
+			b.jump(head)
+		}
+		b.popLoop()
+		b.cur = done
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		body := b.newBlock()
+		done := b.newBlock()
+		b.jump(head)
+		// The RangeStmt itself is the header node: analyzers see the
+		// ranged-over expression (possibly a channel receive) here.
+		b.add(s)
+		b.edgeTo(body, nil, false)
+		b.edgeTo(done, nil, false)
+		b.pushLoop(done, head)
+		b.cur = body
+		b.stmt(s.Body)
+		b.jump(head)
+		b.popLoop()
+		b.cur = done
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(s.Body.List)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(s.Body.List)
+
+	case *ast.SelectStmt:
+		// The select header blocks until one comm can proceed;
+		// analyzers inspect the whole statement (default presence, comm
+		// ops) at the header node.
+		b.add(s)
+		head := b.cur
+		done := b.newBlock()
+		b.pushBreak(done)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			body := b.newBlock()
+			head.Succs = append(head.Succs, Edge{To: body})
+			b.cur = body
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.jump(done)
+		}
+		b.popBreak()
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever: head keeps zero successors and
+			// everything after is dead.
+			b.cur = nil
+			return
+		}
+		b.cur = done
+
+	case *ast.LabeledStmt:
+		head := b.newBlock()
+		b.jump(head)
+		b.labels[s.Label.Name] = head
+		b.labelNext = s.Label.Name
+		b.stmt(s.Stmt)
+		b.labelNext = ""
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			var to *Block
+			if s.Label != nil {
+				to = b.labelBreak[s.Label.Name]
+			} else if len(b.breaks) > 0 {
+				to = b.breaks[len(b.breaks)-1]
+			}
+			if to != nil {
+				b.edgeTo(to, nil, false)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			var to *Block
+			if s.Label != nil {
+				to = b.labelCont[s.Label.Name]
+			} else if len(b.continues) > 0 {
+				to = b.continues[len(b.continues)-1]
+			}
+			if to != nil {
+				b.edgeTo(to, nil, false)
+			}
+			b.cur = nil
+		case token.GOTO:
+			if s.Label != nil && b.cur != nil {
+				b.pendingGotos = append(b.pendingGotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Modelled structurally by switchClauses (edge to the next
+			// clause body); nothing to do at the statement itself.
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = nil
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				b.cur = nil
+			}
+		}
+
+	default:
+		b.add(s)
+	}
+}
+
+// switchClauses builds the clause structure shared by switch and type
+// switch: every clause body gets an edge from the dispatch block, case
+// expressions are prepended to the clause's block, fallthrough becomes
+// an edge to the next clause body, and a missing default adds a direct
+// dispatch→done edge.
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+		b.cur = head
+	}
+	done := b.newBlock()
+	b.pushBreak(done)
+	hasDefault := false
+	var bodies []*Block
+	for _, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		body := b.newBlock()
+		head.Succs = append(head.Succs, Edge{To: body})
+		bodies = append(bodies, body)
+		b.cur = body
+		for _, e := range cc.List {
+			b.add(e)
+		}
+	}
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		b.cur = bodies[i]
+		b.stmtList(cc.Body)
+		if endsInFallthrough(cc.Body) && i+1 < len(bodies) {
+			b.jump(bodies[i+1])
+			b.cur = nil
+		} else {
+			b.jump(done)
+		}
+	}
+	if !hasDefault {
+		head.Succs = append(head.Succs, Edge{To: done})
+	}
+	b.popBreak()
+	b.cur = done
+}
+
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *Block) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+	if b.labelNext != "" {
+		b.labelBreak[b.labelNext] = brk
+		b.labelCont[b.labelNext] = cont
+		b.labelNext = ""
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+// pushBreak registers a break target for a non-loop construct (switch,
+// select). continue targets are untouched: continue inside a switch
+// still refers to the enclosing loop.
+func (b *cfgBuilder) pushBreak(brk *Block) {
+	b.breaks = append(b.breaks, brk)
+	if b.labelNext != "" {
+		b.labelBreak[b.labelNext] = brk
+		b.labelNext = ""
+	}
+}
+
+func (b *cfgBuilder) popBreak() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+}

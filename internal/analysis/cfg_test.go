@@ -1,0 +1,332 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses src as a function body and returns its CFG.
+func parseBody(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := f.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fn.Body)
+}
+
+// reachable returns the set of block indices reachable from entry.
+func reachable(g *CFG) map[int]bool {
+	seen := map[int]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, e := range b.Succs {
+			walk(e.To)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// nodeCount sums nodes over reachable blocks.
+func nodeCount(g *CFG) int {
+	n := 0
+	for i := range g.Blocks {
+		if reachable(g)[i] {
+			n += len(g.Blocks[i].Nodes)
+		}
+	}
+	return n
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := parseBody(t, "x := 1\n_ = x\nreturn")
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry nodes = %d, want 3", len(g.Entry.Nodes))
+	}
+	if len(g.Entry.Succs) != 0 {
+		t.Fatalf("return must seal the block; succs = %d", len(g.Entry.Succs))
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	g := parseBody(t, "x := 1\nif x > 0 {\nx = 2\n} else {\nx = 3\n}\n_ = x")
+	// Entry ends with the condition and must have exactly two
+	// conditional successors with opposite Taken values.
+	entry := g.Entry
+	if len(entry.Succs) != 2 {
+		t.Fatalf("cond successors = %d, want 2", len(entry.Succs))
+	}
+	if entry.Succs[0].Cond == nil || entry.Succs[1].Cond == nil {
+		t.Fatalf("if edges must carry the condition")
+	}
+	if entry.Succs[0].Taken == entry.Succs[1].Taken {
+		t.Fatalf("if edges must have opposite Taken")
+	}
+	// Both arms join: the final _ = x appears exactly once.
+	if got := nodeCount(g); got != 5 { // x:=1, cond, x=2, x=3, _=x
+		t.Fatalf("reachable node count = %d, want 5", got)
+	}
+}
+
+func TestCFGIfWithoutElse(t *testing.T) {
+	g := parseBody(t, "x := 1\nif x > 0 {\nx = 2\n}\n_ = x")
+	entry := g.Entry
+	if len(entry.Succs) != 2 {
+		t.Fatalf("cond successors = %d, want 2", len(entry.Succs))
+	}
+	// The false edge must skip straight to the join block.
+	var falseEdge *Edge
+	for i := range entry.Succs {
+		if !entry.Succs[i].Taken {
+			falseEdge = &entry.Succs[i]
+		}
+	}
+	if falseEdge == nil {
+		t.Fatalf("missing false edge")
+	}
+	found := false
+	for _, n := range falseEdge.To.Nodes {
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == 1 {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("false edge must reach the join block holding _ = x")
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	g := parseBody(t, "s := 0\nfor i := 0; i < 10; i++ {\ns += i\n}\n_ = s")
+	// The loop head must be reachable from both entry and the body
+	// (back edge), i.e. some reachable block has the condition with a
+	// predecessor count of 2. We verify structurally: condition block
+	// has a true edge into the body and false edge out.
+	var condBlock *Block
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			if e.Cond != nil && e.Taken {
+				condBlock = b
+			}
+		}
+	}
+	if condBlock == nil {
+		t.Fatalf("no conditional edge found for loop")
+	}
+	// Count predecessors of the cond block among reachable blocks.
+	preds := 0
+	for i, b := range g.Blocks {
+		if !reachable(g)[i] {
+			continue
+		}
+		for _, e := range b.Succs {
+			if e.To == condBlock {
+				preds++
+			}
+		}
+	}
+	if preds < 2 {
+		t.Fatalf("loop head predecessors = %d, want >= 2 (entry + back edge)", preds)
+	}
+}
+
+func TestCFGInfiniteLoopWithBreak(t *testing.T) {
+	g := parseBody(t, "x := 0\nfor {\nx++\nif x > 3 {\nbreak\n}\n}\n_ = x")
+	// _ = x after the loop must be reachable (via break).
+	found := false
+	for i, b := range g.Blocks {
+		if !reachable(g)[i] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("code after for{}+break must stay reachable")
+	}
+}
+
+func TestCFGInfiniteLoopNoBreak(t *testing.T) {
+	g := parseBody(t, "for {\n}\n_ = 1")
+	// _ = 1 is dead: no reachable block may contain it.
+	for i, b := range g.Blocks {
+		if !reachable(g)[i] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.AssignStmt); ok {
+				t.Fatalf("code after for{} without break must be unreachable")
+			}
+		}
+	}
+}
+
+func TestCFGContinueInsideSwitchTargetsLoop(t *testing.T) {
+	// continue inside a switch must target the enclosing loop head,
+	// not the switch exit.
+	g := parseBody(t, `
+for i := 0; i < 4; i++ {
+	switch i {
+	case 0:
+		continue
+	}
+	_ = i
+}`)
+	// The block holding the continue edge must point at a block whose
+	// successor chain includes the loop condition — weak but structural:
+	// assert the graph converges and everything stays reachable.
+	r := reachable(g)
+	if len(r) < 4 {
+		t.Fatalf("too few reachable blocks: %d", len(r))
+	}
+}
+
+func TestCFGSwitchDefaultAndFallthrough(t *testing.T) {
+	g := parseBody(t, `
+x := 0
+switch x {
+case 0:
+	x = 1
+	fallthrough
+case 1:
+	x = 2
+default:
+	x = 3
+}
+_ = x`)
+	// All three assignments plus the final one must be reachable.
+	assigns := 0
+	for i, b := range g.Blocks {
+		if !reachable(g)[i] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.AssignStmt); ok {
+				assigns++
+			}
+		}
+	}
+	if assigns != 5 { // x:=0, x=1, x=2, x=3, _=x
+		t.Fatalf("reachable assignments = %d, want 5", assigns)
+	}
+}
+
+func TestCFGSelectHeaderAndEmptySelect(t *testing.T) {
+	g := parseBody(t, "ch := make(chan int)\nselect {\ncase <-ch:\n}\n_ = 1")
+	// The select statement itself must appear as a node.
+	foundSelect := false
+	for i, b := range g.Blocks {
+		if !reachable(g)[i] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.SelectStmt); ok {
+				foundSelect = true
+			}
+		}
+	}
+	if !foundSelect {
+		t.Fatalf("select header node missing")
+	}
+
+	g = parseBody(t, "select {\n}\n_ = 1")
+	for i, b := range g.Blocks {
+		if !reachable(g)[i] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.AssignStmt); ok {
+				t.Fatalf("code after select{} must be unreachable")
+			}
+		}
+	}
+}
+
+func TestCFGRangeHeader(t *testing.T) {
+	g := parseBody(t, "xs := []int{1}\nfor _, x := range xs {\n_ = x\n}\n_ = xs")
+	foundRange := false
+	for i, b := range g.Blocks {
+		if !reachable(g)[i] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				foundRange = true
+			}
+		}
+	}
+	if !foundRange {
+		t.Fatalf("range header node missing")
+	}
+}
+
+func TestCFGGotoForward(t *testing.T) {
+	g := parseBody(t, "x := 0\ngoto done\ndone:\n_ = x")
+	// _ = x must be reachable through the goto edge.
+	found := false
+	for i, b := range g.Blocks {
+		if !reachable(g)[i] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("goto target must be reachable")
+	}
+}
+
+func TestCFGDeferAndGoAreNodes(t *testing.T) {
+	g := parseBody(t, "defer func() {}()\ngo func() {}()\nreturn")
+	kinds := map[string]bool{}
+	for _, n := range g.Entry.Nodes {
+		switch n.(type) {
+		case *ast.DeferStmt:
+			kinds["defer"] = true
+		case *ast.GoStmt:
+			kinds["go"] = true
+		case *ast.ReturnStmt:
+			kinds["return"] = true
+		}
+	}
+	for _, k := range []string{"defer", "go", "return"} {
+		if !kinds[k] {
+			t.Fatalf("%s statement missing from entry block", k)
+		}
+	}
+}
+
+func TestCFGPanicSealsBlock(t *testing.T) {
+	g := parseBody(t, "panic(\"boom\")\n_ = 1")
+	for i, b := range g.Blocks {
+		if !reachable(g)[i] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.AssignStmt); ok {
+				t.Fatalf("code after panic must be unreachable")
+			}
+		}
+	}
+}

@@ -1,59 +1,142 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 )
 
-// directivePrefix introduces a suppression comment. The full form is
+// The analysis framework understands a small family of //pubsub:
+// directive comments:
 //
 //	//pubsub:allow name1,name2 -- reason
+//	//pubsub:hotpath [-- reason]
+//	//pubsub:coldpath -- reason
+//	//pubsub:commit -- reason
 //
-// A trailing directive suppresses matching diagnostics reported on its
-// own line; a directive alone on a line also suppresses the line below,
-// so multi-line statements can be annotated above their first line.
-const directivePrefix = "//pubsub:allow"
+// allow suppresses matching diagnostics reported on its own line; a
+// directive alone on a line also covers the line below, so multi-line
+// statements can be annotated above their first line. hotpath marks a
+// function as an allocation-free root for the allocfree analyzer.
+// coldpath marks a function as a declared allocation boundary: the hot
+// path may call it, but its interior is by design off the steady-state
+// path (lazy materialization, opt-in durability, sampled tracing).
+// commit marks a function or struct field whose call/store publishes
+// state to readers, for the walorder analyzer. Any other //pubsub:
+// comment is reported as malformed, so typos cannot silently disable a
+// check.
+const (
+	directivePrefix = "//pubsub:allow"
+	hotpathPrefix   = "//pubsub:hotpath"
+	coldpathPrefix  = "//pubsub:coldpath"
+	commitPrefix    = "//pubsub:commit"
+	anyPrefix       = "//pubsub:"
+)
 
-// suppressions maps filename -> line -> set of allowed analyzer names.
-type suppressions map[string]map[int]map[string]bool
-
-func (s suppressions) add(file string, line int, name string) {
-	byLine, ok := s[file]
-	if !ok {
-		byLine = map[int]map[string]bool{}
-		s[file] = byLine
-	}
-	names, ok := byLine[line]
-	if !ok {
-		names = map[string]bool{}
-		byLine[line] = names
-	}
-	names[name] = true
+// suppression is one (directive, analyzer) pair. Several line-table
+// entries may share one suppression (a directive covers its own line
+// and the next), so matching on either marks the directive used.
+type suppression struct {
+	pos  token.Pos
+	name string
+	used bool
 }
 
-// allows reports whether a diagnostic from analyzer name at pos is
-// covered by a directive.
-func (s suppressions) allows(fset *token.FileSet, name string, pos token.Pos) bool {
+// Suppressions is the parsed //pubsub:allow table for a set of files,
+// with usage tracking so the driver can report waivers that no longer
+// suppress anything.
+type Suppressions struct {
+	byLine  map[string]map[int][]*suppression // filename -> line -> entries
+	entries []*suppression
+}
+
+// NewSuppressions returns an empty table, ready for Collect.
+func NewSuppressions() *Suppressions {
+	return &Suppressions{byLine: map[string]map[int][]*suppression{}}
+}
+
+func (s *Suppressions) add(file string, line int, e *suppression) {
+	byLine, ok := s.byLine[file]
+	if !ok {
+		byLine = map[int][]*suppression{}
+		s.byLine[file] = byLine
+	}
+	byLine[line] = append(byLine[line], e)
+}
+
+// Allows reports whether a diagnostic from analyzer name at pos is
+// covered by a directive, marking the covering directive as used.
+func (s *Suppressions) Allows(fset *token.FileSet, name string, pos token.Pos) bool {
 	if !pos.IsValid() {
 		return false
 	}
 	p := fset.Position(pos)
-	return s[p.Filename][p.Line][name]
+	hit := false
+	for _, e := range s.byLine[p.Filename][p.Line] {
+		if e.name == name {
+			e.used = true
+			hit = true
+		}
+	}
+	return hit
 }
 
-// collectDirectives scans the files' comments for //pubsub:allow
-// directives. It returns the suppression table plus diagnostics for
-// malformed directives (a directive without a reason is an error: the
-// point of the mechanism is a documented, greppable waiver).
-func collectDirectives(fset *token.FileSet, files []*ast.File) (suppressions, []Diagnostic) {
-	sup := suppressions{}
+// Unused returns one diagnostic per waiver that suppressed nothing
+// across every analyzer run recorded so far. known is the set of
+// registered analyzer names, so a waiver naming an unknown analyzer
+// gets a sharper message. Call only after the full analyzer set has
+// run; a partial run would report in-use waivers as stale.
+func (s *Suppressions) Unused(known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, e := range s.entries {
+		if e.used {
+			continue
+		}
+		if known != nil && !known[e.name] {
+			out = append(out, Diagnostic{
+				Pos: e.pos,
+				Message: fmt.Sprintf("directive: //pubsub:allow names unknown analyzer %q; "+
+					"fix the name or delete the waiver", e.name),
+			})
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos: e.pos,
+			Message: fmt.Sprintf("directive: unused //pubsub:allow %s waiver: it suppresses "+
+				"no diagnostic; delete it or fix the annotated code", e.name),
+		})
+	}
+	return out
+}
+
+// Collect scans the files' comments for //pubsub:allow directives,
+// adding them to the table. It returns diagnostics for malformed
+// directives (a directive without a reason is an error: the point of
+// the mechanism is a documented, greppable waiver) and for unknown
+// //pubsub: directive kinds. hotpath/coldpath/commit comments are
+// validated here but consumed by CollectMarks.
+func (s *Suppressions) Collect(fset *token.FileSet, files []*ast.File) []Diagnostic {
 	var bad []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := c.Text
+				if !strings.HasPrefix(text, anyPrefix) {
+					continue
+				}
+				if strings.HasPrefix(text, hotpathPrefix) ||
+					strings.HasPrefix(text, coldpathPrefix) ||
+					strings.HasPrefix(text, commitPrefix) {
+					continue // validated and attached by CollectMarks
+				}
 				if !strings.HasPrefix(text, directivePrefix) {
+					bad = append(bad, Diagnostic{
+						Pos: c.Pos(),
+						Message: "directive: unknown //pubsub: directive; known kinds are " +
+							"allow, hotpath, coldpath, commit",
+					})
 					continue
 				}
 				rest := strings.TrimPrefix(text, directivePrefix)
@@ -68,15 +151,24 @@ func collectDirectives(fset *token.FileSet, files []*ast.File) (suppressions, []
 				}
 				pos := fset.Position(c.Pos())
 				for _, n := range names {
+					e := &suppression{pos: c.Pos(), name: n}
+					s.entries = append(s.entries, e)
 					// The directive covers its own line, and — so that
 					// multi-line statements (selects, calls) can carry the
 					// annotation above themselves — the next line too.
-					sup.add(pos.Filename, pos.Line, n)
-					sup.add(pos.Filename, pos.Line+1, n)
+					s.add(pos.Filename, pos.Line, e)
+					s.add(pos.Filename, pos.Line+1, e)
 				}
 			}
 		}
 	}
+	return bad
+}
+
+// collectDirectives is the single-package form used by RunAnalyzer.
+func collectDirectives(fset *token.FileSet, files []*ast.File) (*Suppressions, []Diagnostic) {
+	sup := NewSuppressions()
+	bad := sup.Collect(fset, files)
 	return sup, bad
 }
 
@@ -106,4 +198,183 @@ func splitDirective(rest string) (names []string, reason string, ok bool) {
 		names = append(names, n)
 	}
 	return names, reason, true
+}
+
+// Marks are the contract annotations attached to declarations:
+// allocation-free roots, declared allocation boundaries, and commit
+// points. They are keyed by types objects so interprocedural analyzers
+// can look marks up straight from call-graph nodes.
+type Marks struct {
+	// Hot maps functions marked //pubsub:hotpath to the directive position.
+	Hot map[*types.Func]token.Pos
+	// Cold maps functions marked //pubsub:coldpath to the declared reason.
+	Cold map[*types.Func]string
+	// ColdPos maps the same functions to the directive position, for
+	// reporting unreachable boundaries at the mark itself.
+	ColdPos map[*types.Func]token.Pos
+	// Commit maps functions whose call acknowledges/publishes state.
+	Commit map[*types.Func]token.Pos
+	// CommitFields maps struct fields whose store publishes state.
+	CommitFields map[*types.Var]token.Pos
+	// Bad holds malformed or unattached mark directives.
+	Bad []Diagnostic
+}
+
+// NewMarks returns an empty mark set ready for Collect.
+func NewMarks() *Marks {
+	return &Marks{
+		Hot:          map[*types.Func]token.Pos{},
+		Cold:         map[*types.Func]string{},
+		ColdPos:      map[*types.Func]token.Pos{},
+		Commit:       map[*types.Func]token.Pos{},
+		CommitFields: map[*types.Var]token.Pos{},
+	}
+}
+
+// markKind classifies one hotpath/coldpath/commit comment, or returns
+// ok=false for other comments.
+func markKind(text string) (prefix string, ok bool) {
+	for _, p := range []string{hotpathPrefix, coldpathPrefix, commitPrefix} {
+		if text == p || strings.HasPrefix(text, p+" ") || strings.HasPrefix(text, p+"\t") {
+			return p, true
+		}
+	}
+	return "", false
+}
+
+// markReason parses the optional " -- reason" tail of a mark directive.
+// wantReason makes a missing reason an error.
+func markReason(text, prefix string) (reason string, ok bool) {
+	rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
+	if rest == "" {
+		return "", true
+	}
+	for _, sep := range []string{"--", "—"} {
+		if r, found := strings.CutPrefix(rest, sep); found {
+			r = strings.TrimSpace(r)
+			return r, r != ""
+		}
+	}
+	return "", false
+}
+
+// Collect attaches hotpath/coldpath/commit directives found in the
+// files to the function declarations and struct fields they document.
+// A mark must appear in the doc comment of a function declaration, or
+// in the doc or trailing comment of a struct field (commit only).
+// Marks that attach to nothing — or coldpath/commit marks without a
+// reason — are reported in Bad: a contract annotation that silently
+// stopped applying is itself a bug.
+func (m *Marks) Collect(fset *token.FileSet, files []*ast.File, info *types.Info) {
+	attached := map[*ast.Comment]bool{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Doc == nil {
+					continue
+				}
+				obj, _ := info.Defs[d.Name].(*types.Func)
+				for _, c := range d.Doc.List {
+					prefix, ok := markKind(c.Text)
+					if !ok {
+						continue
+					}
+					attached[c] = true
+					if obj == nil {
+						continue
+					}
+					m.attachFunc(c, prefix, obj)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+							if cg == nil {
+								continue
+							}
+							for _, c := range cg.List {
+								prefix, ok := markKind(c.Text)
+								if !ok {
+									continue
+								}
+								attached[c] = true
+								m.attachField(c, prefix, field, info)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	// Any mark comment not consumed above decorates nothing.
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if prefix, ok := markKind(c.Text); ok && !attached[c] {
+					m.Bad = append(m.Bad, Diagnostic{
+						Pos: c.Pos(),
+						Message: fmt.Sprintf("directive: %s attaches to no declaration; "+
+							"place it in a function's doc comment%s", prefix,
+							map[bool]string{true: " or on a struct field", false: ""}[prefix == commitPrefix]),
+					})
+				}
+			}
+		}
+	}
+}
+
+func (m *Marks) attachFunc(c *ast.Comment, prefix string, obj *types.Func) {
+	reason, ok := markReason(c.Text, prefix)
+	switch prefix {
+	case hotpathPrefix:
+		if !ok {
+			m.Bad = append(m.Bad, Diagnostic{Pos: c.Pos(),
+				Message: "directive: malformed //pubsub:hotpath; want \"//pubsub:hotpath [-- reason]\""})
+			return
+		}
+		m.Hot[obj] = c.Pos()
+	case coldpathPrefix:
+		if !ok || reason == "" {
+			m.Bad = append(m.Bad, Diagnostic{Pos: c.Pos(),
+				Message: "directive: //pubsub:coldpath requires a reason: \"//pubsub:coldpath -- reason\""})
+			return
+		}
+		m.Cold[obj] = reason
+		m.ColdPos[obj] = c.Pos()
+	case commitPrefix:
+		if !ok || reason == "" {
+			m.Bad = append(m.Bad, Diagnostic{Pos: c.Pos(),
+				Message: "directive: //pubsub:commit requires a reason: \"//pubsub:commit -- reason\""})
+			return
+		}
+		m.Commit[obj] = c.Pos()
+	}
+}
+
+func (m *Marks) attachField(c *ast.Comment, prefix string, field *ast.Field, info *types.Info) {
+	if prefix != commitPrefix {
+		m.Bad = append(m.Bad, Diagnostic{Pos: c.Pos(),
+			Message: fmt.Sprintf("directive: %s applies to functions, not struct fields", prefix)})
+		return
+	}
+	reason, ok := markReason(c.Text, prefix)
+	if !ok || reason == "" {
+		m.Bad = append(m.Bad, Diagnostic{Pos: c.Pos(),
+			Message: "directive: //pubsub:commit requires a reason: \"//pubsub:commit -- reason\""})
+		return
+	}
+	for _, name := range field.Names {
+		if obj, ok := info.Defs[name].(*types.Var); ok {
+			m.CommitFields[obj] = c.Pos()
+		}
+	}
 }

@@ -1,6 +1,10 @@
 package analysis
 
-import "testing"
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
 
 func TestSplitDirective(t *testing.T) {
 	cases := []struct {
@@ -40,5 +44,180 @@ func TestSplitDirective(t *testing.T) {
 				break
 			}
 		}
+	}
+}
+
+func TestSuppressionsUsageTracking(t *testing.T) {
+	fset := token.NewFileSet()
+	tt := typecheck(t, fset, "sup", `package sup
+
+func f() {
+	//pubsub:allow locksafe -- used waiver
+	_ = 1
+	//pubsub:allow locksafe -- stale waiver
+	_ = 2
+	//pubsub:allow nosuch -- names a phantom analyzer
+	_ = 3
+}
+`)
+	sup := NewSuppressions()
+	if bad := sup.Collect(fset, tt.files); len(bad) != 0 {
+		t.Fatalf("unexpected bad directives: %v", bad)
+	}
+
+	// Simulate a diagnostic on the line below the first waiver.
+	var usedPos token.Pos
+	for _, cg := range tt.files[0].Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "used waiver") {
+				usedPos = c.Pos()
+			}
+		}
+	}
+	p := fset.Position(usedPos)
+	diagPos := fset.File(usedPos).LineStart(p.Line + 1)
+	if !sup.Allows(fset, "locksafe", diagPos) {
+		t.Fatalf("waiver must cover the next line")
+	}
+	if sup.Allows(fset, "otheranalyzer", diagPos) {
+		t.Fatalf("waiver must only cover its named analyzer")
+	}
+
+	known := map[string]bool{"locksafe": true}
+	unused := sup.Unused(known)
+	if len(unused) != 2 {
+		t.Fatalf("unused = %d diagnostics, want 2 (stale + unknown): %v", len(unused), unused)
+	}
+	var sawStale, sawUnknown bool
+	for _, d := range unused {
+		if strings.Contains(d.Message, "unused //pubsub:allow locksafe") {
+			sawStale = true
+		}
+		if strings.Contains(d.Message, `unknown analyzer "nosuch"`) {
+			sawUnknown = true
+		}
+	}
+	if !sawStale || !sawUnknown {
+		t.Fatalf("unused diagnostics missing stale/unknown cases: %v", unused)
+	}
+}
+
+func TestSuppressionsMalformed(t *testing.T) {
+	fset := token.NewFileSet()
+	tt := typecheck(t, fset, "mal", `package mal
+
+func f() {
+	//pubsub:allow locksafe
+	_ = 1
+	//pubsub:frobnicate -- not a directive kind
+	_ = 2
+}
+`)
+	sup := NewSuppressions()
+	bad := sup.Collect(fset, tt.files)
+	if len(bad) != 2 {
+		t.Fatalf("bad = %d diagnostics, want 2: %v", len(bad), bad)
+	}
+	var sawNoReason, sawUnknownKind bool
+	for _, d := range bad {
+		if strings.Contains(d.Message, "malformed //pubsub:allow") {
+			sawNoReason = true
+		}
+		if strings.Contains(d.Message, "unknown //pubsub: directive") {
+			sawUnknownKind = true
+		}
+	}
+	if !sawNoReason || !sawUnknownKind {
+		t.Fatalf("missing expected malformed diagnostics: %v", bad)
+	}
+}
+
+func TestCollectMarks(t *testing.T) {
+	fset := token.NewFileSet()
+	tt := typecheck(t, fset, "mk", `package mk
+
+//pubsub:hotpath
+func root() {}
+
+//pubsub:coldpath -- lazy work off the steady-state path
+func boundary() {}
+
+//pubsub:commit -- acknowledges the record to callers
+func ack() {}
+
+type s struct {
+	//pubsub:commit -- readers treat this as published
+	next  int64
+	plain int
+}
+
+//pubsub:coldpath
+func missingReason() {}
+`)
+	m := NewMarks()
+	m.Collect(fset, tt.files, tt.info)
+
+	wantOne := func(name string, got int) {
+		t.Helper()
+		if got != 1 {
+			t.Fatalf("%s marks = %d, want 1", name, got)
+		}
+	}
+	wantOne("hotpath", len(m.Hot))
+	wantOne("coldpath", len(m.Cold))
+	wantOne("commit func", len(m.Commit))
+	wantOne("commit field", len(m.CommitFields))
+	for fn := range m.Hot {
+		if fn.Name() != "root" {
+			t.Fatalf("hot mark on %s, want root", fn.Name())
+		}
+	}
+	for fn, reason := range m.Cold {
+		if fn.Name() != "boundary" || !strings.Contains(reason, "lazy work") {
+			t.Fatalf("cold mark = %s %q", fn.Name(), reason)
+		}
+	}
+	for v := range m.CommitFields {
+		if v.Name() != "next" {
+			t.Fatalf("commit field mark on %s, want next", v.Name())
+		}
+	}
+	if len(m.Bad) != 1 || !strings.Contains(m.Bad[0].Message, "coldpath requires a reason") {
+		t.Fatalf("bad marks = %v, want one missing-reason diagnostic", m.Bad)
+	}
+}
+
+func TestCollectMarksUnattached(t *testing.T) {
+	fset := token.NewFileSet()
+	tt := typecheck(t, fset, "un", `package un
+
+func f() {
+	//pubsub:hotpath
+	_ = 1
+}
+`)
+	m := NewMarks()
+	m.Collect(fset, tt.files, tt.info)
+	if len(m.Hot) != 0 {
+		t.Fatalf("floating mark must not attach: %v", m.Hot)
+	}
+	if len(m.Bad) != 1 || !strings.Contains(m.Bad[0].Message, "attaches to no declaration") {
+		t.Fatalf("bad = %v, want one unattached diagnostic", m.Bad)
+	}
+}
+
+func TestCollectMarksFieldMisuse(t *testing.T) {
+	fset := token.NewFileSet()
+	tt := typecheck(t, fset, "fm", `package fm
+
+type s struct {
+	//pubsub:hotpath
+	x int
+}
+`)
+	m := NewMarks()
+	m.Collect(fset, tt.files, tt.info)
+	if len(m.Bad) != 1 || !strings.Contains(m.Bad[0].Message, "applies to functions, not struct fields") {
+		t.Fatalf("bad = %v, want one field-misuse diagnostic", m.Bad)
 	}
 }

@@ -1,0 +1,97 @@
+package analysis
+
+import "go/ast"
+
+// Flow describes a forward dataflow problem over a CFG in terms of an
+// abstract state S. The solver owns sharing discipline: Transfer and
+// Branch receive a state the callee may mutate and must return the
+// state to propagate (returning the argument is fine); Clone is used by
+// the solver whenever one state flows to several places.
+type Flow[S any] struct {
+	// Entry is the state at function entry.
+	Entry S
+	// Transfer computes the state after executing one CFG node.
+	Transfer func(S, ast.Node) S
+	// Branch optionally refines the state along a conditional edge:
+	// cond evaluated to taken. Nil means no refinement.
+	Branch func(S, ast.Expr, bool) S
+	// Join merges two states at a control-flow merge point.
+	Join func(S, S) S
+	// Equal reports whether two states are equivalent (fixpoint test).
+	Equal func(S, S) bool
+	// Clone returns an independent copy of a state.
+	Clone func(S) S
+}
+
+// Solution holds the result of Solve: the fixpoint state at entry to
+// each reached block. Report passes replay each reached block's nodes
+// from In[block] through the same Transfer to get per-node states.
+type Solution[S any] struct {
+	// In maps block index to the joined entry state. Only blocks with
+	// Reached[i] hold meaningful values.
+	In []S
+	// Reached marks blocks that some execution path can enter.
+	Reached []bool
+}
+
+// maxBlockVisits bounds how often a single block is reprocessed, as a
+// termination backstop for abstract domains without finite height. Real
+// lattices here (lock sets, freeze sets, guard maps) converge in a
+// handful of iterations; hitting the cap leaves a sound-enough
+// under-approximation rather than hanging the build.
+const maxBlockVisits = 1000
+
+// Solve runs a forward worklist iteration of the dataflow problem f
+// over g and returns the per-block fixpoint.
+func Solve[S any](g *CFG, f *Flow[S]) *Solution[S] {
+	n := len(g.Blocks)
+	sol := &Solution[S]{In: make([]S, n), Reached: make([]bool, n)}
+	visits := make([]int, n)
+
+	sol.In[g.Entry.Index] = f.Clone(f.Entry)
+	sol.Reached[g.Entry.Index] = true
+
+	work := []*Block{g.Entry}
+	queued := make([]bool, n)
+	queued[g.Entry.Index] = true
+
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+		if visits[blk.Index] >= maxBlockVisits {
+			continue
+		}
+		visits[blk.Index]++
+
+		state := f.Clone(sol.In[blk.Index])
+		for _, node := range blk.Nodes {
+			state = f.Transfer(state, node)
+		}
+		for _, e := range blk.Succs {
+			out := f.Clone(state)
+			if e.Cond != nil && f.Branch != nil {
+				out = f.Branch(out, e.Cond, e.Taken)
+			}
+			i := e.To.Index
+			if !sol.Reached[i] {
+				sol.In[i] = out
+				sol.Reached[i] = true
+			} else {
+				// Join into a clone so Equal compares against the
+				// previous state even if Join mutates its argument.
+				old := sol.In[i]
+				joined := f.Join(f.Clone(old), out)
+				if f.Equal(joined, old) {
+					continue
+				}
+				sol.In[i] = joined
+			}
+			if !queued[i] {
+				work = append(work, e.To)
+				queued[i] = true
+			}
+		}
+	}
+	return sol
+}

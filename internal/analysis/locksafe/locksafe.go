@@ -4,10 +4,14 @@
 // one slow peer into a broker-wide stall — the classic failure mode of
 // a concurrent pub-sub core.
 //
-// The analysis is a per-function abstract interpretation of the lock
-// set, with a package-level fixpoint so that calls to same-package
-// functions that themselves block (directly or transitively) are
-// flagged at the call site. Blocking operations are:
+// The analysis solves a forward must-dataflow problem over each
+// function's CFG (analysis.BuildCFG + analysis.Solve): the abstract
+// state is the set of locks held on every path to a program point, with
+// set intersection as the join, so a lock released on either arm of a
+// branch is not considered held after the merge. A package-level
+// fixpoint classifies same-package functions that block (directly or
+// transitively) so calls to them are flagged at the call site.
+// Blocking operations are:
 //
 //   - channel send or receive outside a select with a default clause
 //   - select without a default clause
@@ -135,234 +139,155 @@ func run(pass *analysis.Pass) (any, error) {
 // variable-shaped receivers this codebase uses).
 type lockSet map[string]token.Pos
 
-func (s lockSet) clone() lockSet {
-	out := make(lockSet, len(s))
-	for k, v := range s {
-		out[k] = v
+// flow is the must-hold dataflow problem: a lock is in the state only
+// if it is held on every path, so join is set intersection.
+func (c *checker) flow() *analysis.Flow[lockSet] {
+	return &analysis.Flow[lockSet]{
+		Entry:    lockSet{},
+		Transfer: c.transfer,
+		Join:     intersect,
+		Equal: func(a, b lockSet) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if _, ok := b[k]; !ok {
+					return false
+				}
+			}
+			return true
+		},
+		Clone: func(s lockSet) lockSet {
+			out := make(lockSet, len(s))
+			for k, v := range s {
+				out[k] = v
+			}
+			return out
+		},
 	}
-	return out
 }
 
-// checkFunc interprets one function body with an empty entry lock set,
-// and recurses into function literals (also with empty sets).
+// checkFunc solves the lock-set dataflow over one function body and
+// replays each reached block to flag blocking operations under a lock.
+// Function literals encountered during the replay recurse here with
+// their own empty entry set.
 func (c *checker) checkFunc(body *ast.BlockStmt) {
-	c.stmts(body.List, lockSet{})
-}
-
-// stmts interprets a statement sequence, returning the lock set at the
-// fall-through exit and whether the sequence always terminates
-// (returns, panics or branches away).
-func (c *checker) stmts(list []ast.Stmt, held lockSet) (lockSet, bool) {
-	for _, s := range list {
-		var terminated bool
-		held, terminated = c.stmt(s, held)
-		if terminated {
-			return held, true
+	comm := commStmts(body)
+	g := analysis.BuildCFG(body)
+	f := c.flow()
+	sol := analysis.Solve(g, f)
+	for _, b := range g.Blocks {
+		if !sol.Reached[b.Index] {
+			continue
+		}
+		s := f.Clone(sol.In[b.Index])
+		for _, n := range b.Nodes {
+			c.scanNode(n, s, comm)
+			s = f.Transfer(s, n)
 		}
 	}
-	return held, false
 }
 
-func (c *checker) stmt(s ast.Stmt, held lockSet) (lockSet, bool) {
-	switch s := s.(type) {
-	case *ast.BlockStmt:
-		return c.stmts(s.List, held)
-	case *ast.ExprStmt:
-		c.expr(s.X, held)
-		return c.applyLockOps(s.X, held), false
-	case *ast.AssignStmt:
-		for _, e := range s.Rhs {
-			c.expr(e, held)
-		}
-		for _, e := range s.Lhs {
-			c.expr(e, held)
-		}
-		h := held
-		for _, e := range s.Rhs {
-			h = c.applyLockOps(e, h)
-		}
-		return h, false
-	case *ast.SendStmt:
-		c.expr(s.Chan, held)
-		c.expr(s.Value, held)
-		c.flagIfHeld(s.Pos(), "channel send", held)
-		return held, false
-	case *ast.IncDecStmt:
-		c.expr(s.X, held)
-		return held, false
-	case *ast.DeferStmt:
-		// A deferred Unlock releases at function exit, i.e. never within
-		// this body: leave the set unchanged. Other deferred calls run
-		// outside any critical section we can see; analyze their
-		// literals separately.
-		c.funcLits(s.Call, held)
-		return held, false
-	case *ast.GoStmt:
-		// The goroutine runs concurrently and does not hold our locks.
-		c.funcLits(s.Call, lockSet{})
-		return held, false
-	case *ast.ReturnStmt:
-		for _, e := range s.Results {
-			c.expr(e, held)
-		}
-		return held, true
-	case *ast.BranchStmt:
-		return held, true
-	case *ast.IfStmt:
-		if s.Init != nil {
-			held, _ = c.stmt(s.Init, held)
-		}
-		c.expr(s.Cond, held)
-		held = c.applyLockOps(s.Cond, held)
-		thenHeld, thenTerm := c.stmts(s.Body.List, held.clone())
-		elseHeld, elseTerm := held, false
-		if s.Else != nil {
-			elseHeld, elseTerm = c.stmt(s.Else, held.clone())
-		}
-		switch {
-		case thenTerm && elseTerm:
-			return held, true
-		case thenTerm:
-			return elseHeld, false
-		case elseTerm:
-			return thenHeld, false
-		default:
-			return intersect(thenHeld, elseHeld), false
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			held, _ = c.stmt(s.Init, held)
-		}
-		if s.Cond != nil {
-			c.expr(s.Cond, held)
-		}
-		body, _ := c.stmts(s.Body.List, held.clone())
-		if s.Post != nil {
-			c.stmt(s.Post, body)
-		}
-		// Approximation: assume the loop body is lock-balanced, keeping
-		// the entry set at exit.
-		return held, false
-	case *ast.RangeStmt:
-		c.expr(s.X, held)
-		if t := c.pass.TypeOf(s.X); t != nil {
-			if _, ok := t.Underlying().(*types.Chan); ok {
-				c.flagIfHeld(s.Pos(), "range over channel", held)
+// commStmts collects the comm statements of every select in the body.
+// The CFG places them in their clause's block, but the blocking happens
+// at the select header, so the replay must not flag their channel ops.
+func commStmts(body *ast.BlockStmt) map[ast.Node]bool {
+	comm := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if s, ok := n.(*ast.SelectStmt); ok {
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+					comm[cc.Comm] = true
+				}
 			}
 		}
-		c.stmts(s.Body.List, held.clone())
-		return held, false
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			held, _ = c.stmt(s.Init, held)
-		}
-		if s.Tag != nil {
-			c.expr(s.Tag, held)
-		}
-		return c.caseBodies(s.Body, held), false
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			held, _ = c.stmt(s.Init, held)
-		}
-		return c.caseBodies(s.Body, held), false
-	case *ast.SelectStmt:
-		return c.selectStmt(s, held), false
-	case *ast.LabeledStmt:
-		return c.stmt(s.Stmt, held)
-	case *ast.DeclStmt:
-		ast.Inspect(s, func(n ast.Node) bool {
-			if e, ok := n.(ast.Expr); ok {
-				c.expr(e, held)
+		return true
+	})
+	return comm
+}
+
+// transfer updates the lock set across one CFG node. Deferred calls run
+// at function exit (a deferred Unlock keeps the lock held here), go
+// statements run concurrently, and a select header's comm operations
+// are handled in their clause blocks.
+func (c *checker) transfer(s lockSet, n ast.Node) lockSet {
+	switch n := n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt, *ast.SelectStmt:
+		return s
+	case *ast.RangeStmt:
+		// Only the ranged-over expression evaluates at the header; the
+		// body's lock ops live in the body's own blocks.
+		return c.applyLockOps(n.X, s)
+	default:
+		return c.applyLockOps(n, s)
+	}
+}
+
+// scanNode flags blocking operations in one CFG node given the lock set
+// held before it executes.
+func (c *checker) scanNode(n ast.Node, held lockSet, comm map[ast.Node]bool) {
+	if comm[n] {
+		// The comm ops of a select are non-blocking (the select header is
+		// where blocking happens); only scan for calls and literals.
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				c.checkFunc(m.Body)
 				return false
+			case *ast.CallExpr:
+				c.call(m, held)
 			}
 			return true
 		})
-		return held, false
-	default:
-		return held, false
-	}
-}
-
-// caseBodies analyzes each case clause of a switch against a copy of
-// the entry set and intersects the fall-through results.
-func (c *checker) caseBodies(body *ast.BlockStmt, held lockSet) lockSet {
-	result := held
-	for _, cl := range body.List {
-		cc, ok := cl.(*ast.CaseClause)
-		if !ok {
-			continue
-		}
-		for _, e := range cc.List {
-			c.expr(e, held)
-		}
-		after, term := c.stmts(cc.Body, held.clone())
-		if !term {
-			result = intersect(result, after)
-		}
-	}
-	return result
-}
-
-// selectStmt handles the one construct where channel operations may be
-// non-blocking: a select with a default clause. Without one, the select
-// itself blocks.
-func (c *checker) selectStmt(s *ast.SelectStmt, held lockSet) lockSet {
-	hasDefault := false
-	for _, cl := range s.Body.List {
-		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
-			hasDefault = true
-		}
-	}
-	if !hasDefault {
-		c.flagIfHeld(s.Pos(), "select without default", held)
-	}
-	result := held
-	for _, cl := range s.Body.List {
-		cc, ok := cl.(*ast.CommClause)
-		if !ok {
-			continue
-		}
-		// The comm ops themselves are non-blocking inside a select (the
-		// select statement is where blocking happens), so only walk
-		// their subexpressions for calls and nested literals.
-		if cc.Comm != nil {
-			ast.Inspect(cc.Comm, func(n ast.Node) bool {
-				if call, ok := n.(*ast.CallExpr); ok {
-					c.call(call, held)
-				}
-				if lit, ok := n.(*ast.FuncLit); ok {
-					c.checkFunc(lit.Body)
-					return false
-				}
-				return true
-			})
-		}
-		after, term := c.stmts(cc.Body, held.clone())
-		if !term {
-			result = intersect(result, after)
-		}
-	}
-	return result
-}
-
-// expr scans an expression for blocking operations (receives, blocking
-// calls) evaluated with the current lock set, and analyzes nested
-// function literals with an empty set.
-func (c *checker) expr(e ast.Expr, held lockSet) {
-	if e == nil {
 		return
 	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch n := n.(type) {
+	switch n := n.(type) {
+	case *ast.DeferStmt:
+		// Deferred calls run outside any critical section we can see;
+		// analyze their literals separately.
+		c.funcLitsIn(n.Call)
+	case *ast.GoStmt:
+		// The goroutine runs concurrently and does not hold our locks.
+		c.funcLitsIn(n.Call)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, cl := range n.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			c.flagIfHeld(n.Pos(), "select without default", held)
+		}
+		// Comm ops and clause bodies are separate CFG blocks.
+	case *ast.RangeStmt:
+		if t := c.pass.TypeOf(n.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				c.flagIfHeld(n.Pos(), "range over channel", held)
+			}
+		}
+		c.scanGeneric(n.X, held)
+	default:
+		c.scanGeneric(n, held)
+	}
+}
+
+// scanGeneric walks a simple statement or expression node for blocking
+// operations, recursing into function literals with an empty lock set.
+func (c *checker) scanGeneric(n ast.Node, held lockSet) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
 		case *ast.FuncLit:
-			c.checkFunc(n.Body)
+			c.checkFunc(m.Body)
 			return false
+		case *ast.SendStmt:
+			c.flagIfHeld(m.Pos(), "channel send", held)
 		case *ast.UnaryExpr:
-			if n.Op == token.ARROW {
-				c.flagIfHeld(n.Pos(), "channel receive", held)
+			if m.Op == token.ARROW {
+				c.flagIfHeld(m.Pos(), "channel receive", held)
 			}
 		case *ast.CallExpr:
-			c.call(n, held)
+			c.call(m, held)
 		}
 		return true
 	})
@@ -524,9 +449,9 @@ func (c *checker) callsBlockingFn(body *ast.BlockStmt) (*types.Func, string) {
 	return callee, why
 }
 
-// funcLits analyzes function literals appearing in a call's arguments
+// funcLitsIn analyzes function literals appearing in a call's arguments
 // or callee position as independent functions.
-func (c *checker) funcLits(call *ast.CallExpr, _ lockSet) {
+func (c *checker) funcLitsIn(call *ast.CallExpr) {
 	ast.Inspect(call, func(n ast.Node) bool {
 		if lit, ok := n.(*ast.FuncLit); ok {
 			c.checkFunc(lit.Body)
@@ -536,23 +461,28 @@ func (c *checker) funcLits(call *ast.CallExpr, _ lockSet) {
 	})
 }
 
-// applyLockOps updates the lock set for any Lock/Unlock calls in e
-// (sequentially, left to right as they appear).
-func (c *checker) applyLockOps(e ast.Expr, held lockSet) lockSet {
+// applyLockOps updates the lock set for any Lock/Unlock calls in n
+// (sequentially, left to right as they appear). Function literals are
+// separate functions; their lock ops do not affect this set.
+func (c *checker) applyLockOps(n ast.Node, held lockSet) lockSet {
 	out := held
 	mutated := false
 	mutable := func() lockSet {
 		if !mutated {
-			out = out.clone()
+			cp := make(lockSet, len(out))
+			for k, v := range out {
+				cp[k] = v
+			}
+			out = cp
 			mutated = true
 		}
 		return out
 	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
 			return false
 		}
-		call, ok := n.(*ast.CallExpr)
+		call, ok := m.(*ast.CallExpr)
 		if !ok {
 			return true
 		}

@@ -1,0 +1,325 @@
+// Package snapshotmut enforces frozen-snapshot immutability: once a
+// value has been published through atomic.Pointer.Store (or
+// atomic.Value.Store), readers may observe it at any time, so no code
+// path may mutate memory reachable from it afterwards.
+//
+// The analysis is a forward dataflow over each function's CFG. Passing
+// a variable to Store freezes it; assigning an expression rooted at a
+// frozen variable to another variable freezes that alias too;
+// re-binding a variable to a fresh value thaws it. Any store through a
+// frozen root — field assignment, index assignment, IncDec, append —
+// is reported. The check is intraprocedural (aliases escaping into
+// other functions are out of scope); it exists to catch the classic
+// in-function slip of "Store(snap) ... snap.field = x" that invalidates
+// the lock-free readers' view.
+package snapshotmut
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the snapshotmut analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotmut",
+	Doc:  "no stores to memory reachable from a value after atomic Store publishes it",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+			// Function literals get their own independent walk: the
+			// frozen set does not flow into them (conservatively
+			// under-approximate rather than false-positive).
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkLit(pass, lit)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// frozen is the abstract state: variables whose pointees are published,
+// mapped to the Store position that froze them.
+type frozen map[types.Object]token.Pos
+
+func flow(pass *analysis.Pass) *analysis.Flow[frozen] {
+	return &analysis.Flow[frozen]{
+		Entry: frozen{},
+		Transfer: func(s frozen, n ast.Node) frozen {
+			return transfer(pass, s, n)
+		},
+		Join: func(a, b frozen) frozen {
+			// May-analysis: frozen on any incoming path stays frozen.
+			for k, v := range b {
+				if _, ok := a[k]; !ok {
+					a[k] = v
+				}
+			}
+			return a
+		},
+		Equal: func(a, b frozen) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if _, ok := b[k]; !ok {
+					return false
+				}
+			}
+			return true
+		},
+		Clone: func(s frozen) frozen {
+			c := make(frozen, len(s))
+			for k, v := range s {
+				c[k] = v
+			}
+			return c
+		},
+	}
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	checkBody(pass, fd.Body)
+}
+
+func checkLit(pass *analysis.Pass, lit *ast.FuncLit) {
+	checkBody(pass, lit.Body)
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := analysis.BuildCFG(body)
+	f := flow(pass)
+	sol := analysis.Solve(g, f)
+	// Report pass: replay each reached block and flag mutations of
+	// frozen memory at the state current before the node executes.
+	for _, b := range g.Blocks {
+		if !sol.Reached[b.Index] {
+			continue
+		}
+		s := f.Clone(sol.In[b.Index])
+		for _, n := range b.Nodes {
+			reportMutations(pass, s, n)
+			s = f.Transfer(s, n)
+		}
+	}
+}
+
+// transfer updates the frozen set across one CFG node.
+func transfer(pass *analysis.Pass, s frozen, n ast.Node) frozen {
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			if pos, arg := storeCall(pass, call); arg != nil {
+				if obj := rootVar(pass, arg); obj != nil {
+					s[obj] = pos
+				}
+			}
+		}
+	case *ast.AssignStmt:
+		// Store may also appear in an expression position of an
+		// assignment RHS (rare: Store returns nothing, so only via
+		// CompareAndSwap-like patterns; Swap returns the old value).
+		for _, rhs := range n.Rhs {
+			ast.Inspect(rhs, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if pos, arg := storeCall(pass, call); arg != nil {
+						if obj := rootVar(pass, arg); obj != nil {
+							s[obj] = pos
+						}
+					}
+				}
+				return true
+			})
+		}
+		// Alias propagation and re-binding.
+		if len(n.Lhs) == len(n.Rhs) {
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := lhsObj(pass, id)
+				if obj == nil {
+					continue
+				}
+				if root := frozenRoot(pass, s, n.Rhs[i]); root.IsValid() {
+					s[obj] = root // new alias of frozen memory
+				} else {
+					delete(s, obj) // re-bound to fresh value: thawed
+				}
+			}
+		}
+	case *ast.GoStmt, *ast.DeferStmt:
+		// A Store inside go/defer call arguments executes now only for
+		// the arguments; keep it simple — handle direct Store calls.
+		var call *ast.CallExpr
+		if g, ok := n.(*ast.GoStmt); ok {
+			call = g.Call
+		} else {
+			call = n.(*ast.DeferStmt).Call
+		}
+		if pos, arg := storeCall(pass, call); arg != nil {
+			if obj := rootVar(pass, arg); obj != nil {
+				s[obj] = pos
+			}
+		}
+	}
+	return s
+}
+
+// reportMutations flags stores through frozen roots at node n given
+// pre-state s.
+func reportMutations(pass *analysis.Pass, s frozen, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			// A plain `x = ...` re-binds (handled by transfer); only
+			// stores THROUGH x mutate published memory: x.f = v,
+			// x[i] = v, *x = v.
+			switch ast.Unparen(lhs).(type) {
+			case *ast.Ident:
+				continue
+			}
+			if pos, obj := frozenBase(pass, s, lhs); pos.IsValid() {
+				pass.Reportf(n.Pos(),
+					"snapshotmut: store through %s mutates memory published by atomic Store at %s; build a new value and Store that instead",
+					obj.Name(), pass.Fset.Position(pos))
+			}
+		}
+		for _, rhs := range n.Rhs {
+			reportAppendsAndMutators(pass, s, rhs)
+		}
+	case *ast.IncDecStmt:
+		if pos, obj := frozenBase(pass, s, n.X); pos.IsValid() {
+			pass.Reportf(n.Pos(),
+				"snapshotmut: %s mutates memory published by atomic Store at %s; build a new value and Store that instead",
+				obj.Name(), pass.Fset.Position(pos))
+		}
+	case *ast.ExprStmt:
+		reportAppendsAndMutators(pass, s, n.X)
+	}
+	// append(frozen.f, ...) in any expression position.
+	if e, ok := n.(ast.Expr); ok {
+		reportAppendsAndMutators(pass, s, e)
+	}
+}
+
+func reportAppendsAndMutators(pass *analysis.Pass, s frozen, e ast.Expr) {
+	ast.Inspect(e, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		if pos, obj := frozenBase(pass, s, call.Args[0]); pos.IsValid() {
+			pass.Reportf(call.Pos(),
+				"snapshotmut: append to %s may grow in place, mutating memory published by atomic Store at %s",
+				obj.Name(), pass.Fset.Position(pos))
+		}
+		return true
+	})
+}
+
+// storeCall recognises (atomic.Pointer[T]).Store / (atomic.Value).Store
+// and Swap, returning the published argument.
+func storeCall(pass *analysis.Pass, call *ast.CallExpr) (token.Pos, ast.Expr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return token.NoPos, nil
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return token.NoPos, nil
+	}
+	switch fn.Name() {
+	case "Store", "Swap", "CompareAndSwap":
+	default:
+		return token.NoPos, nil
+	}
+	// The published value is the last argument (new for CAS).
+	if len(call.Args) == 0 {
+		return token.NoPos, nil
+	}
+	return call.Pos(), call.Args[len(call.Args)-1]
+}
+
+// rootVar resolves an expression to the local/parameter variable it
+// names, if any: x, (x). Only reference-typed variables (pointer,
+// slice, map) are returned: storing a plain value into atomic.Value
+// copies it into the interface box, so later mutation of the local is
+// harmless.
+func rootVar(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	switch v.Type().Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return v
+	}
+	return nil
+}
+
+func lhsObj(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// frozenRoot reports whether expression e is rooted at a frozen
+// variable (x, x.f, x[i], *x, chains thereof), returning the freeze
+// position.
+func frozenRoot(pass *analysis.Pass, s frozen, e ast.Expr) token.Pos {
+	pos, _ := frozenBase(pass, s, e)
+	return pos
+}
+
+// frozenBase walks to the base variable of an lvalue/expression chain
+// and reports whether it is frozen.
+func frozenBase(pass *analysis.Pass, s frozen, e ast.Expr) (token.Pos, types.Object) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[e]; obj != nil {
+			if pos, ok := s[obj]; ok {
+				return pos, obj
+			}
+		}
+	case *ast.SelectorExpr:
+		return frozenBase(pass, s, e.X)
+	case *ast.IndexExpr:
+		return frozenBase(pass, s, e.X)
+	case *ast.StarExpr:
+		return frozenBase(pass, s, e.X)
+	case *ast.SliceExpr:
+		return frozenBase(pass, s, e.X)
+	}
+	return token.NoPos, nil
+}

@@ -1,0 +1,11 @@
+package snapshotmut
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestSnapshotmut(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/snapshotmut", "fixture/snapshotmut", Analyzer)
+}

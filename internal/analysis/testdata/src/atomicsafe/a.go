@@ -1,0 +1,57 @@
+// Fixture for the atomicsafe analyzer: memory accessed via sync/atomic
+// must never be read or written plainly, in either the typed
+// (atomic.Uint64 et al.) or old-style (&x passed to atomic functions)
+// form.
+package atomicsafe
+
+import "sync/atomic"
+
+type counters struct {
+	hits  atomic.Uint64
+	old   uint64
+	plain int
+}
+
+func typedGood(c *counters) uint64 {
+	c.hits.Add(1)
+	p := &c.hits // address-of is fine: aliasing is the pointer's problem
+	_ = p
+	return c.hits.Load()
+}
+
+func typedCopy(c *counters) {
+	h := c.hits // want "atomicsafe: value of atomic type copied or read plainly"
+	_ = h       // want "atomicsafe: value of atomic type copied or read plainly"
+}
+
+func typedCopyVar() {
+	var v atomic.Int64
+	v.Store(3)
+	w := v // want "atomicsafe: value of atomic type copied or read plainly"
+	_ = w  // want "atomicsafe: value of atomic type copied or read plainly"
+}
+
+func oldStyleField(c *counters) {
+	atomic.AddUint64(&c.old, 1)
+	c.old++    // want "atomicsafe: plain access of old"
+	x := c.old // want "atomicsafe: plain access of old"
+	_ = x
+	atomic.LoadUint64(&c.old) // every atomic access stays fine
+	c.plain++                 // untracked field: fine
+}
+
+var gauge int64
+
+func oldStyleGlobal() int64 {
+	atomic.StoreInt64(&gauge, 1)
+	if gauge > 0 { // want "atomicsafe: plain access of gauge"
+		return atomic.LoadInt64(&gauge)
+	}
+	return 0
+}
+
+func waived(c *counters) {
+	atomic.AddUint64(&c.old, 1)
+	//pubsub:allow atomicsafe -- single-goroutine init before publication
+	c.old = 0
+}

@@ -131,6 +131,41 @@ func (p *pump) spawnBlockingWorker() {
 	go p.loopForever()
 }
 
+func (p *pump) lockHeldAcrossLoopBody() {
+	p.mu.Lock()
+	for i := 0; i < 3; i++ {
+		p.ch <- i // want `locksafe: channel send while p\.mu is held`
+	}
+	p.mu.Unlock()
+}
+
+func (p *pump) releasedOnOnePathIsNotHeldAtMerge(b bool) {
+	p.mu.Lock()
+	if b {
+		p.mu.Unlock()
+	}
+	// Must-analysis: held only on the !b path, so the merge point is not
+	// considered under the lock.
+	<-p.ch
+	if !b {
+		p.mu.Unlock()
+	}
+}
+
+func (p *pump) relockedInSwitchCases(mode int) {
+	p.mu.Lock()
+	switch mode {
+	case 0:
+		p.ch <- 7 // want `locksafe: channel send while p\.mu is held`
+	case 1:
+		p.mu.Unlock()
+		<-p.ch // released on this path: no diagnostic
+		p.mu.Lock()
+	}
+	p.wg.Wait() // want `locksafe: call to WaitGroup\.Wait while p\.mu is held`
+	p.mu.Unlock()
+}
+
 func (p *pump) spawnsWorkerUnderLock() {
 	p.mu.Lock()
 	go p.loopForever()      // non-blocking launch: no diagnostic

@@ -1,0 +1,75 @@
+// Fixture for the snapshotmut analyzer: once a pointer has been
+// published via atomic.Pointer.Store, the memory it reaches is frozen —
+// stores through it or any alias must be flagged; re-binding the
+// variable to a fresh value thaws it.
+package snapshotmut
+
+import "sync/atomic"
+
+type snap struct {
+	ids []int
+	n   int
+}
+
+type holder struct {
+	p atomic.Pointer[snap]
+	v atomic.Value
+}
+
+func good(h *holder) {
+	s := &snap{ids: nil, n: 1}
+	h.p.Store(s)
+	s = &snap{n: 2} // re-bound to a fresh value: thawed
+	s.n = 3         // fine: mutates the unpublished replacement
+	_ = s
+}
+
+func storeThenMutate(h *holder, s *snap) {
+	h.p.Store(s)
+	s.n = 1 // want "snapshotmut: store through s mutates memory published by atomic Store"
+}
+
+func mutateThenStore(h *holder, s *snap) {
+	s.n = 1 // fine: mutation happens before publication
+	h.p.Store(s)
+}
+
+func aliasEscapes(h *holder, s *snap) {
+	h.p.Store(s)
+	t := s
+	t.n = 2 // want "snapshotmut: store through t mutates memory published by atomic Store"
+}
+
+func appendGrows(h *holder, s *snap) {
+	h.p.Store(s)
+	out := append(s.ids, 9) // want "snapshotmut: append to s may grow in place"
+	_ = out
+}
+
+func sliceElem(h *holder, s *snap) {
+	h.p.Store(s)
+	s.ids[0] = 4 // want "snapshotmut: store through s mutates memory published by atomic Store"
+}
+
+func incDec(h *holder, s *snap) {
+	h.p.Store(s)
+	s.n++ // want "snapshotmut: s mutates memory published by atomic Store"
+}
+
+func branchFrozen(h *holder, s *snap, c bool) {
+	if c {
+		h.p.Store(s)
+	}
+	s.n = 5 // want "snapshotmut: store through s mutates memory published by atomic Store"
+}
+
+func valueStore(h *holder, s *snap) {
+	h.v.Store(s)
+	s.n = 6 // want "snapshotmut: store through s mutates memory published by atomic Store"
+}
+
+func valueStoreCopies(h *holder, n int) {
+	h.v.Store(n) // plain value is copied into the interface box
+	n++          // fine: the published copy is unaffected
+	_ = n
+}

@@ -1,0 +1,94 @@
+// Fixture for the walorder analyzer: no path may acknowledge a record
+// (nil-error return, commit-field store, commit-function call) while a
+// durability guard's error is unchecked or known failed; guard errors
+// must not be discarded; syncs must precede visibility.
+package walorder
+
+// File is the storage abstraction; declaring it (with Sync in the
+// method set) makes this package active and seeds the guard set.
+type File interface {
+	Write(b []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+type wal struct {
+	f File
+	//pubsub:commit -- readers treat offsets below next as durable history
+	next int64
+}
+
+func goodAppend(l *wal, b []byte) (int64, error) {
+	n, err := l.f.Write(b)
+	if err != nil {
+		return 0, err
+	}
+	if err := l.f.Sync(); err != nil {
+		return 0, err
+	}
+	_ = n
+	off := l.next
+	l.next++
+	return off, nil
+}
+
+func ackBeforeCheck(l *wal, b []byte) error {
+	_, err := l.f.Write(b)
+	l.next++ // want "walorder: store to committed field before the error from durability guard Write"
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+func ackOnFailedPath(l *wal, b []byte) error {
+	_, err := l.f.Write(b)
+	if err != nil {
+		return nil // want "walorder: return with a nil error on a path where durability guard Write"
+	}
+	return nil
+}
+
+func nilReturnBeforeCheck(l *wal, b []byte) error {
+	_, err := l.f.Write(b)
+	_ = err
+	return nil // want "walorder: return with a nil error before the error from durability guard Write"
+}
+
+func discardBlank(l *wal) {
+	_ = l.f.Sync() // want "walorder: error from durability guard Sync is discarded"
+}
+
+func discardExpr(l *wal) {
+	l.f.Close() // want "walorder: error from durability guard Close is discarded"
+}
+
+func syncAfterVisible(l *wal) error {
+	l.next++
+	if err := l.f.Sync(); err != nil { // want "walorder: Sync fsyncs after the record was already made visible"
+		return err
+	}
+	return nil
+}
+
+// helper has an error result and calls a guard, so it becomes a guard
+// itself; callers must treat it like Sync.
+func helper(l *wal) error {
+	return l.f.Sync()
+}
+
+func derivedGuard(l *wal, b []byte) error {
+	err := helper(l)
+	l.next++ // want "walorder: store to committed field before the error from durability guard helper"
+	return err
+}
+
+func propagateIsFine(l *wal, b []byte) error {
+	_, err := l.f.Write(b)
+	return err // propagating the unchecked error is the caller's problem
+}
+
+func waived(l *wal) {
+	//pubsub:allow walorder -- shutdown path; the fail-stop latch reported the error already
+	_ = l.f.Sync()
+}

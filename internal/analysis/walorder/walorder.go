@@ -1,0 +1,628 @@
+// Package walorder path-sensitively verifies the durability ordering
+// rule introduced with the write-ahead log: no code path may
+// acknowledge a record (return a nil error, call a //pubsub:commit
+// function, store to a //pubsub:commit field) while the error of a
+// preceding durability guard — a write, fsync, truncate or close of
+// log storage — is unchecked or known failed. It also flags guard
+// errors that are discarded outright, and fsyncs issued after the
+// record was already made visible (sync-after-publish reorders the
+// crash-consistency contract).
+//
+// Guards are discovered, not listed: the seed set is the methods of
+// any module interface named File whose method set includes Sync (the
+// WAL's storage abstraction), plus os.Truncate/os.Remove; any module
+// function with an error result that calls a guard becomes a guard
+// itself, so the property propagates through syncLocked, rotateLocked,
+// Log.Append and the broker's durable publish without annotation.
+//
+// The analyzer is module-scoped but self-limiting: it only reports
+// inside packages that declare a commit mark or a File storage
+// interface. Other packages (examples, CLIs) consume the durable API
+// at a level where dropping an error is a UX choice, not a
+// durability-ordering bug.
+package walorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the walorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "walorder",
+	Doc:       "no ack/visibility before durability-guard errors are checked",
+	RunModule: run,
+}
+
+// status is the abstract state of one guard-error variable, ordered by
+// badness for joins.
+type status int
+
+const (
+	stOK        status = iota // proven nil on this path
+	stFailed                  // proven non-nil on this path
+	stUnchecked               // not yet branched on
+)
+
+type errInfo struct {
+	st   status
+	desc string // callee description for diagnostics
+	pos  token.Pos
+}
+
+// wstate is the per-path dataflow state.
+type wstate struct {
+	errs    map[types.Object]errInfo
+	visible bool
+}
+
+func run(pass *analysis.ModulePass) (any, error) {
+	marks := analysis.NewMarks()
+	for _, t := range pass.Targets {
+		marks.Collect(t.FileSet(), t.ASTFiles(), t.TypesInfo())
+	}
+	graph := analysis.BuildCallGraph(pass.Targets)
+
+	c := &checker{
+		pass:       pass,
+		marks:      marks,
+		graph:      graph,
+		guards:     map[*types.Func]bool{},
+		syncGuards: map[*types.Func]bool{},
+	}
+	c.seedGuards()
+	c.propagateGuards()
+
+	for _, t := range pass.Targets {
+		if !c.active(t) {
+			continue
+		}
+		info := t.TypesInfo()
+		for _, f := range t.ASTFiles() {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					c.checkFunc(info, fd)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass  *analysis.ModulePass
+	marks *analysis.Marks
+	graph *analysis.CallGraph
+	// guards: functions whose returned error carries a durability
+	// outcome. syncGuards: the subset that performs an fsync.
+	guards     map[*types.Func]bool
+	syncGuards map[*types.Func]bool
+	// filePkgs: packages declaring a File storage interface.
+	filePkgs map[*types.Package]bool
+}
+
+// seedGuards finds module interfaces named File with Sync in the
+// method set and seeds guards from their methods.
+func (c *checker) seedGuards() {
+	c.filePkgs = map[*types.Package]bool{}
+	for _, t := range c.pass.Targets {
+		info := t.TypesInfo()
+		for _, f := range t.ASTFiles() {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || ts.Name.Name != "File" {
+						continue
+					}
+					obj, ok := info.Defs[ts.Name].(*types.TypeName)
+					if !ok {
+						continue
+					}
+					iface, ok := obj.Type().Underlying().(*types.Interface)
+					if !ok {
+						continue
+					}
+					hasSync := false
+					for i := 0; i < iface.NumMethods(); i++ {
+						if iface.Method(i).Name() == "Sync" {
+							hasSync = true
+						}
+					}
+					if !hasSync {
+						continue
+					}
+					c.filePkgs[t.TypesPkg()] = true
+					for i := 0; i < iface.NumMethods(); i++ {
+						m := iface.Method(i)
+						switch m.Name() {
+						case "Write", "Sync", "Close", "Truncate":
+							c.guards[m] = true
+							if m.Name() == "Sync" {
+								c.syncGuards[m] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// propagateGuards closes the guard sets over the call graph: a module
+// function with an error result calling a guard is itself a guard.
+func (c *checker) propagateGuards() {
+	for changed := true; changed; {
+		changed = false
+		for fn, node := range c.graph.Nodes {
+			if !hasErrorResult(fn) {
+				continue
+			}
+			for _, site := range node.Sites {
+				if site.InGo {
+					continue
+				}
+				isGuard, isSync := false, false
+				if site.Iface != nil && c.guards[site.Iface] {
+					isGuard = true
+					isSync = c.syncGuards[site.Iface]
+				}
+				for _, callee := range site.Callees {
+					if c.guards[callee] {
+						isGuard = true
+					}
+					if c.syncGuards[callee] {
+						isSync = true
+					}
+					if osGuard(callee) {
+						isGuard = true
+					}
+				}
+				if isGuard && !c.guards[fn] {
+					c.guards[fn] = true
+					changed = true
+				}
+				if isSync && !c.syncGuards[fn] {
+					c.syncGuards[fn] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func osGuard(fn *types.Func) bool {
+	switch fn.FullName() {
+	case "os.Truncate", "os.Remove":
+		return true
+	}
+	return false
+}
+
+func hasErrorResult(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() != nil && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// active reports whether diagnostics should be produced for target t:
+// it declares a commit mark or a File storage interface.
+func (c *checker) active(t analysis.Target) bool {
+	if c.filePkgs[t.TypesPkg()] {
+		return true
+	}
+	pkg := t.TypesPkg()
+	for fn := range c.marks.Commit {
+		if fn.Pkg() == pkg {
+			return true
+		}
+	}
+	for v := range c.marks.CommitFields {
+		if v.Pkg() == pkg {
+			return true
+		}
+	}
+	return false
+}
+
+// guardCall resolves whether call invokes a guard, returning a
+// description and whether it is a sync guard.
+func (c *checker) guardCall(info *types.Info, call *ast.CallExpr) (desc string, sync bool, ok bool) {
+	fn := calleeOf(info, call)
+	if fn == nil {
+		return "", false, false
+	}
+	if c.guards[fn] || osGuard(fn) {
+		return fn.Name(), c.syncGuards[fn], true
+	}
+	// Interface method call: Selections gives the interface method.
+	if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+		if s, found := info.Selections[sel]; found {
+			if m, isFn := s.Obj().(*types.Func); isFn && c.guards[m] {
+				return m.Name(), c.syncGuards[m], true
+			}
+		}
+	}
+	return "", false, false
+}
+
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn.Origin()
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn.Origin()
+		}
+	}
+	return nil
+}
+
+// checkFunc runs the ordering dataflow over one function.
+func (c *checker) checkFunc(info *types.Info, fd *ast.FuncDecl) {
+	g := analysis.BuildCFG(fd.Body)
+	f := c.flow(info)
+	sol := analysis.Solve(g, f)
+	sig, _ := info.Defs[fd.Name].(*types.Func)
+	var results *types.Tuple
+	if sig != nil {
+		results = sig.Type().(*types.Signature).Results()
+	}
+	for _, b := range g.Blocks {
+		if !sol.Reached[b.Index] {
+			continue
+		}
+		s := f.Clone(sol.In[b.Index])
+		for _, n := range b.Nodes {
+			c.reportAt(info, s, n, results)
+			s = f.Transfer(s, n)
+		}
+	}
+}
+
+func (c *checker) flow(info *types.Info) *analysis.Flow[wstate] {
+	return &analysis.Flow[wstate]{
+		Entry: wstate{errs: map[types.Object]errInfo{}},
+		Transfer: func(s wstate, n ast.Node) wstate {
+			return c.transfer(info, s, n)
+		},
+		Branch: func(s wstate, cond ast.Expr, taken bool) wstate {
+			c.refine(info, &s, cond, taken)
+			return s
+		},
+		Join: func(a, b wstate) wstate {
+			for obj, bi := range b.errs {
+				ai, ok := a.errs[obj]
+				if !ok || bi.st > ai.st {
+					a.errs[obj] = bi
+				}
+			}
+			a.visible = a.visible || b.visible
+			return a
+		},
+		Equal: func(a, b wstate) bool {
+			if a.visible != b.visible || len(a.errs) != len(b.errs) {
+				return false
+			}
+			for obj, ai := range a.errs {
+				bi, ok := b.errs[obj]
+				if !ok || ai.st != bi.st {
+					return false
+				}
+			}
+			return true
+		},
+		Clone: func(s wstate) wstate {
+			e := make(map[types.Object]errInfo, len(s.errs))
+			for k, v := range s.errs {
+				e[k] = v
+			}
+			return wstate{errs: e, visible: s.visible}
+		},
+	}
+}
+
+// transfer updates guard-error tracking and the visibility bit.
+func (c *checker) transfer(info *types.Info, s wstate, n ast.Node) wstate {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		// Guard call on the RHS: bind its error result to the LHS.
+		if len(n.Rhs) == 1 {
+			if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+				if desc, _, isGuard := c.guardCall(info, call); isGuard {
+					c.bindGuardResults(info, &s, n.Lhs, call, desc)
+					return s
+				}
+			}
+		}
+		// Otherwise: copies and re-bindings.
+		if len(n.Lhs) == len(n.Rhs) {
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := assignObj(info, id)
+				if obj == nil {
+					continue
+				}
+				if rid, ok := ast.Unparen(n.Rhs[i]).(*ast.Ident); ok {
+					if src := info.Uses[rid]; src != nil {
+						if ei, tracked := s.errs[src]; tracked {
+							s.errs[obj] = ei
+							continue
+						}
+					}
+				}
+				delete(s.errs, obj)
+			}
+		} else {
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if obj := assignObj(info, id); obj != nil {
+						delete(s.errs, obj)
+					}
+				}
+			}
+		}
+		// Stores to commit-marked fields publish state.
+		for _, lhs := range n.Lhs {
+			if c.commitFieldStore(info, lhs) {
+				s.visible = true
+			}
+		}
+	case *ast.IncDecStmt:
+		if c.commitFieldStore(info, n.X) {
+			s.visible = true
+		}
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			if fn := calleeOf(info, call); fn != nil {
+				if _, marked := c.marks.Commit[fn]; marked {
+					s.visible = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// bindGuardResults maps a guard call's error results onto LHS idents.
+func (c *checker) bindGuardResults(info *types.Info, s *wstate, lhs []ast.Expr, call *ast.CallExpr, desc string) {
+	for _, l := range lhs {
+		id, ok := ast.Unparen(l).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if !isErrorType(info.TypeOf(id)) && info.Defs[id] == nil {
+			continue
+		}
+		if id.Name == "_" {
+			continue // discarding is reported in reportAt
+		}
+		if !isErrorType(info.TypeOf(id)) {
+			continue
+		}
+		if obj := assignObj(info, id); obj != nil {
+			s.errs[obj] = errInfo{st: stUnchecked, desc: desc, pos: call.Pos()}
+		}
+	}
+}
+
+func assignObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// refine applies path conditions: err != nil / err == nil comparisons,
+// recursively through &&, || and !.
+func (c *checker) refine(info *types.Info, s *wstate, cond ast.Expr, taken bool) {
+	switch cond := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch cond.Op {
+		case token.NEQ, token.EQL:
+			obj, isNilCmp := nilComparison(info, cond)
+			if obj == nil || !isNilCmp {
+				return
+			}
+			ei, tracked := s.errs[obj]
+			if !tracked {
+				return
+			}
+			nonNil := (cond.Op == token.NEQ) == taken
+			if nonNil {
+				ei.st = stFailed
+			} else {
+				ei.st = stOK
+			}
+			s.errs[obj] = ei
+		case token.LAND:
+			if taken {
+				c.refine(info, s, cond.X, true)
+				c.refine(info, s, cond.Y, true)
+			}
+		case token.LOR:
+			if !taken {
+				c.refine(info, s, cond.X, false)
+				c.refine(info, s, cond.Y, false)
+			}
+		}
+	case *ast.UnaryExpr:
+		if cond.Op == token.NOT {
+			c.refine(info, s, cond.X, !taken)
+		}
+	}
+}
+
+// nilComparison returns the tracked-variable side of an x==nil / x!=nil
+// comparison.
+func nilComparison(info *types.Info, cmp *ast.BinaryExpr) (types.Object, bool) {
+	xNil := isNil(info, cmp.X)
+	yNil := isNil(info, cmp.Y)
+	if xNil == yNil {
+		return nil, false
+	}
+	other := cmp.X
+	if xNil {
+		other = cmp.Y
+	}
+	if id, ok := ast.Unparen(other).(*ast.Ident); ok {
+		return info.Uses[id], true
+	}
+	return nil, false
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil" && info.Uses[id] == types.Universe.Lookup("nil")
+}
+
+// reportAt emits diagnostics for node n given pre-state s.
+func (c *checker) reportAt(info *types.Info, s wstate, n ast.Node, results *types.Tuple) {
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			if desc, isSync, isGuard := c.guardCall(info, call); isGuard {
+				c.pass.Reportf(n.Pos(),
+					"walorder: error from durability guard %s is discarded; a failed write/sync must keep the record unacknowledged", desc)
+				if isSync && s.visible {
+					c.reportSyncAfterVisible(n.Pos(), desc)
+				}
+				return
+			}
+			// Commit-function call: ordering event.
+			if fn := calleeOf(info, call); fn != nil {
+				if _, marked := c.marks.Commit[fn]; marked {
+					c.reportCommit(s, n.Pos(), "call to commit point "+fn.Name())
+				}
+				if c.syncGuards[fn] && s.visible {
+					c.reportSyncAfterVisible(n.Pos(), fn.Name())
+				}
+			}
+		}
+	case *ast.AssignStmt:
+		// Discarded guard error via blank identifier.
+		if len(n.Rhs) == 1 {
+			if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+				if desc, isSync, isGuard := c.guardCall(info, call); isGuard {
+					for _, l := range n.Lhs {
+						if id, ok := ast.Unparen(l).(*ast.Ident); ok && id.Name == "_" && isErrorAt(info, call, n.Lhs, l) {
+							c.pass.Reportf(n.Pos(),
+								"walorder: error from durability guard %s is discarded; a failed write/sync must keep the record unacknowledged", desc)
+						}
+					}
+					if isSync && s.visible {
+						c.reportSyncAfterVisible(n.Pos(), desc)
+					}
+				}
+			}
+		}
+		// Store to a commit field: ordering event.
+		for _, lhs := range n.Lhs {
+			if c.commitFieldStore(info, lhs) {
+				c.reportCommit(s, n.Pos(), "store to committed field")
+			}
+		}
+	case *ast.IncDecStmt:
+		if c.commitFieldStore(info, n.X) {
+			c.reportCommit(s, n.Pos(), "store to committed field")
+		}
+	case *ast.ReturnStmt:
+		if results == nil {
+			return
+		}
+		if len(n.Results) != results.Len() {
+			return // naked return or comma-ok mismatch; skip
+		}
+		for i := 0; i < results.Len(); i++ {
+			if isErrorType(results.At(i).Type()) && isNil(info, n.Results[i]) {
+				c.reportCommit(s, n.Pos(), "return with a nil error")
+			}
+		}
+	}
+}
+
+// reportCommit flags a commit event occurring while some guard error is
+// unchecked or known failed.
+func (c *checker) reportCommit(s wstate, pos token.Pos, what string) {
+	for _, ei := range s.errs {
+		switch ei.st {
+		case stUnchecked:
+			c.pass.Reportf(pos,
+				"walorder: %s before the error from durability guard %s (called at %s) is checked; check it first so a failed sync keeps the record invisible and unacknowledged",
+				what, ei.desc, c.pass.Fset.Position(ei.pos))
+		case stFailed:
+			c.pass.Reportf(pos,
+				"walorder: %s on a path where durability guard %s (called at %s) has failed; the record must stay unacknowledged",
+				what, ei.desc, c.pass.Fset.Position(ei.pos))
+		}
+	}
+}
+
+func (c *checker) reportSyncAfterVisible(pos token.Pos, desc string) {
+	c.pass.Reportf(pos,
+		"walorder: %s fsyncs after the record was already made visible; sync must happen before the commit point", desc)
+}
+
+// commitFieldStore reports whether lhs stores to a //pubsub:commit
+// struct field.
+func (c *checker) commitFieldStore(info *types.Info, lhs ast.Expr) bool {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	var obj types.Object
+	if s, found := info.Selections[sel]; found {
+		obj = s.Obj()
+	} else {
+		obj = info.Uses[sel.Sel]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	_, marked := c.marks.CommitFields[v]
+	return marked
+}
+
+func isErrorAt(info *types.Info, call *ast.CallExpr, lhs []ast.Expr, l ast.Expr) bool {
+	// For single-value guard calls assigned to one blank, the call's
+	// type is the error; for multi-value, find the error-typed result
+	// at this LHS position.
+	if len(lhs) == 1 {
+		return isErrorType(info.TypeOf(call))
+	}
+	tup, ok := info.TypeOf(call).(*types.Tuple)
+	if !ok {
+		return false
+	}
+	for i, cand := range lhs {
+		if cand == l && i < tup.Len() {
+			return isErrorType(tup.At(i).Type())
+		}
+	}
+	return false
+}

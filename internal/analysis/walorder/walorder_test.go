@@ -1,0 +1,11 @@
+package walorder
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestWalorder(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/walorder", "fixture/walorder", Analyzer)
+}

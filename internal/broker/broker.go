@@ -721,6 +721,8 @@ type eventPrep struct {
 }
 
 // materialize fills ev's Point and Payload from the prep, once.
+//
+//pubsub:coldpath -- lazy materialization: clones happen only when a delivery is actually attempted, off the zero-alloc match path
 func (pr *eventPrep) materialize(ev *Event) {
 	if pr.done {
 		return
@@ -745,6 +747,8 @@ func (pr *eventPrep) materialize(ev *Event) {
 // then find every subscription already closed; that case is reported as
 // errClosed (the sequence counter may still have advanced — Seq values
 // are unique and ordered, not dense).
+//
+//pubsub:hotpath
 func (b *Broker) Publish(p geometry.Point, payload []byte) (int, error) {
 	return b.PublishTraced(p, payload, 0)
 }
@@ -760,6 +764,8 @@ func (b *Broker) Publish(p geometry.Point, payload []byte) (int, error) {
 // traced publications: those arriving with an explicit (wire-assigned)
 // id, or sampled by the tracer. In-process untraced publishes therefore
 // stay within the zero-alloc, low-overhead hot-path budget.
+//
+//pubsub:hotpath
 func (b *Broker) PublishTraced(p geometry.Point, payload []byte, traceID uint64) (int, error) {
 	// Telemetry is designed to vanish when disabled: tel is nil, span is
 	// nil, and no time.Now fires — the uninstrumented path is identical
@@ -966,6 +972,8 @@ func (b *Broker) PublishTraced(p geometry.Point, payload []byte, traceID uint64)
 // send is actually attempted. detail enables per-subscriber flight
 // records (traced publications only, so a saturated untraced publish
 // writes nothing here).
+//
+//pubsub:commit -- hands the event to subscriber queues; after this the publication is observable
 func (b *Broker) deliver(s *Subscription, ev *Event, pr *eventPrep, detail bool) bool {
 	if s.evicting.Load() {
 		return false // CancelSlow eviction pending
@@ -994,6 +1002,17 @@ func (b *Broker) deliver(s *Subscription, ev *Event, pr *eventPrep, detail bool)
 		return true
 	default:
 	}
+	//pubsub:allow locksafe -- overflow handling may wait boundedly (blockTimeout) under the per-subscription sendMu only; b.mu is not held
+	return b.deliverOverflow(s, ev, detail)
+}
+
+// deliverOverflow applies the subscription's overflow policy after a
+// failed non-blocking send: evict-and-retry for DropOldest, a bounded
+// wait for Block, eviction for CancelSlow, and a counted drop for
+// DropNewest. The caller holds s.sendMu.
+//
+//pubsub:coldpath -- runs only when a subscriber buffer is full; the steady-state fast path is the non-blocking send in deliver
+func (b *Broker) deliverOverflow(s *Subscription, ev *Event, detail bool) bool {
 	switch s.policy {
 	case DropOldest:
 		// Evict buffered events until the new one fits. sendMu keeps
@@ -1022,7 +1041,6 @@ func (b *Broker) deliver(s *Subscription, ev *Event, pr *eventPrep, detail bool)
 	case Block:
 		t := time.NewTimer(s.blockTimeout)
 		defer t.Stop()
-		//pubsub:allow locksafe -- bounded wait (blockTimeout) under the per-subscription sendMu only; b.mu is not held
 		select {
 		case s.ch <- *ev:
 			s.noteDepth()

@@ -228,6 +228,8 @@ func min64(a, b float64) float64 {
 // PointAppend appends the IDs of every entry containing p to dst and
 // returns it, along with the (possibly grown) scratch stack for reuse.
 // st must be non-nil; counters are added to, not reset.
+//
+//pubsub:hotpath
 func (t *Tree) PointAppend(p geometry.Point, dst []int, stack []int32, st *Stats) ([]int, []int32) {
 	if t.numNodes == 0 || len(p) != t.dims {
 		return dst, stack
@@ -263,6 +265,8 @@ func (t *Tree) PointAppend(p geometry.Point, dst []int, stack []int32, st *Stats
 }
 
 // PointCount counts the entries containing p without materialising IDs.
+//
+//pubsub:hotpath
 func (t *Tree) PointCount(p geometry.Point, stack []int32, st *Stats) (int, []int32) {
 	if t.numNodes == 0 || len(p) != t.dims {
 		return 0, stack

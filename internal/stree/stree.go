@@ -474,6 +474,8 @@ func (t *Tree) PointQueryFunc(p geometry.Point, fn func(id int) bool) {
 // PointQueryAppend appends the IDs of every subscription rectangle
 // containing p to dst and returns it. It performs no allocation beyond
 // growing dst.
+//
+//pubsub:hotpath
 func (t *Tree) PointQueryAppend(p geometry.Point, dst []int) []int {
 	if t.root == nil {
 		return dst

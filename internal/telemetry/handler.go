@@ -78,13 +78,13 @@ func escapeHelp(h string) string {
 
 // jsonHistogram is the JSON rendering of one histogram sample.
 type jsonHistogram struct {
-	Count   uint64             `json:"count"`
-	Sum     float64            `json:"sum"`
-	Mean    float64            `json:"mean"`
-	P50     float64            `json:"p50"`
-	P90     float64            `json:"p90"`
-	P99     float64            `json:"p99"`
-	Buckets map[string]uint64  `json:"buckets"`
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Mean    float64           `json:"mean"`
+	P50     float64           `json:"p50"`
+	P90     float64           `json:"p90"`
+	P99     float64           `json:"p99"`
+	Buckets map[string]uint64 `json:"buckets"`
 }
 
 // WriteJSON renders every family as one expvar-style JSON object:

@@ -259,6 +259,8 @@ func (r *Recorder) Now() int64 {
 // Record appends one record. It is wait-free, allocation-free and safe
 // on a nil receiver; under wrap the oldest record in the writer's shard
 // is overwritten.
+//
+//pubsub:hotpath
 func (r *Recorder) Record(kind RecordKind, traceID, seq uint64, a0, a1, a2, a3 int64) {
 	if r == nil {
 		return
@@ -269,6 +271,8 @@ func (r *Recorder) Record(kind RecordKind, traceID, seq uint64, a0, a1, a2, a3 i
 // RecordAt is Record with a caller-supplied timestamp from Now(), so a
 // hot path that already read the clock for the record's own latency
 // args does not pay a second read.
+//
+//pubsub:hotpath
 func (r *Recorder) RecordAt(ts int64, kind RecordKind, traceID, seq uint64, a0, a1, a2, a3 int64) {
 	if r == nil {
 		return

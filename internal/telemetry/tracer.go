@@ -156,6 +156,8 @@ func (s *Span) Str(key, v string) {
 // the per-stage durations, then returns the span to the pool. The
 // pooled backing arrays are reused; slog handlers must not retain the
 // attr slice past Handle (the slog contract), which ours do not.
+//
+//pubsub:coldpath -- sampled tracing: spans exist only for traced publications, never on the untraced steady state
 func (s *Span) End() {
 	if s == nil {
 		return

@@ -170,9 +170,10 @@ type Log struct {
 	tel  *walTel
 	rec  *telemetry.Recorder
 
-	mu        sync.Mutex
-	segs      []*segment
-	active    File
+	mu     sync.Mutex
+	segs   []*segment
+	active File
+	//pubsub:commit -- readers treat offsets below next as durable, acknowledged history
 	next      uint64 // next offset to assign
 	first     uint64 // oldest retained offset (== next when empty)
 	dirty     int    // records appended since the last sync
@@ -360,6 +361,8 @@ func (l *Log) fail(err error) {
 // the publication must not be acknowledged. rec.Offset is ignored; the
 // log assigns it. The point and payload are copied to disk, not
 // retained.
+//
+//pubsub:coldpath -- opt-in durability: the zero-alloc publish path enters the WAL only when a durable broker is configured
 func (l *Log) Append(traceID uint64, point []float64, payload []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -422,7 +425,6 @@ func (l *Log) Append(traceID uint64, point []float64, payload []byte) (uint64, e
 // rotateLocked seals the active segment (sync + close) and starts a
 // fresh one, then applies retention. Caller holds l.mu.
 func (l *Log) rotateLocked() error {
-	//pubsub:allow locksafe -- segment rotation is rare and must be atomic with respect to appends
 	if err := l.active.Sync(); err != nil {
 		return fmt.Errorf("wal: syncing segment before rotation: %w", err)
 	}
@@ -478,7 +480,6 @@ func (l *Log) syncLocked() error {
 	}
 	r0 := l.rec.Now()
 	pending := l.dirty
-	//pubsub:allow locksafe -- fsync must serialise with appends; l.mu is the log's append lock
 	if err := l.active.Sync(); err != nil {
 		l.fail(fmt.Errorf("wal: fsync: %w", err))
 		return l.failed
@@ -519,7 +520,8 @@ func (l *Log) syncLoop() {
 		case <-t.C:
 			l.mu.Lock()
 			if !l.closed && l.failed == nil && l.dirty > 0 {
-				_ = l.syncLocked() // latches fail-stop; Append reports it
+				//pubsub:allow walorder -- syncLocked latches fail-stop; the next Append reports the error
+				_ = l.syncLocked()
 			}
 			l.mu.Unlock()
 		}

@@ -16,7 +16,8 @@ cd "$(dirname "$0")/.."
 echo "==> build"
 go build ./...
 
-echo "==> vet suite (stock vet + locksafe/nodeterm/halfopen/wireerr)"
+echo "==> vet suite (stock vet + custom analyzers)"
+go run ./cmd/pubsub-vet -list
 go run ./cmd/pubsub-vet ./...
 
 echo "==> tests (race)"
