@@ -54,6 +54,13 @@ var (
 	ErrCorruptRecord = errors.New("wal: corrupt record")
 )
 
+// ErrRecordTooLarge is returned by Append for a record exceeding
+// MaxPointDims or MaxBody. Such a record must be rejected before it
+// reaches disk: its frame would encode (appendRecord silently truncates
+// the dimension count to 16 bits) but never decode, so an acknowledged,
+// fsynced copy would poison recovery and every replay at its offset.
+var ErrRecordTooLarge = errors.New("wal: record too large")
+
 // Record is one logged publication.
 type Record struct {
 	// Offset is the log-assigned position: 1 for the first record ever,

@@ -372,6 +372,18 @@ func (l *Log) Append(traceID uint64, point []float64, payload []byte) (uint64, e
 	if l.closed {
 		return 0, ErrClosed
 	}
+	// Enforce the decoder's limits before anything touches disk: a
+	// record DecodeRecord would reject must never be written, or the
+	// acknowledged history becomes unrecoverable (recovery refuses
+	// corruption anywhere but the tail). An oversized record is a
+	// caller error, not an I/O fault, so it does not latch fail-stop —
+	// the log stays open for well-formed appends.
+	if len(point) > MaxPointDims {
+		return 0, fmt.Errorf("%w: point has %d dimensions (max %d)", ErrRecordTooLarge, len(point), MaxPointDims)
+	}
+	if body := recordFixed + 8*len(point) + len(payload); body > MaxBody {
+		return 0, fmt.Errorf("%w: %d-byte body (max %d)", ErrRecordTooLarge, body, MaxBody)
+	}
 	rec := Record{Offset: l.next, TraceID: traceID, Point: point, Payload: payload}
 	l.buf = appendRecord(l.buf[:0], &rec)
 

@@ -395,3 +395,51 @@ func TestMetricsRegistered(t *testing.T) {
 		t.Errorf("replayed_records_total = %v, want 4", v)
 	}
 }
+
+// TestAppendRejectsOversizedRecords: a record DecodeRecord would reject
+// must never reach disk — an fsynced, acknowledged, undecodable frame
+// makes recovery refuse the whole log. The rejection is a caller error,
+// not fail-stop: the log keeps accepting well-formed appends, and a
+// reopen replays exactly the accepted history.
+func TestAppendRejectsOversizedRecords(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{Sync: SyncNever})
+	appendN(t, l, 3)
+
+	bigPoint := make([]float64, MaxPointDims+1)
+	if _, err := l.Append(1, bigPoint, nil); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("Append with %d dims: err = %v, want ErrRecordTooLarge", len(bigPoint), err)
+	}
+	bigPayload := make([]byte, MaxBody)
+	if _, err := l.Append(1, []float64{1}, bigPayload); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("Append with %d-byte payload: err = %v, want ErrRecordTooLarge", len(bigPayload), err)
+	}
+
+	// Not fail-stop: the log still works, and offsets were not burned.
+	if st := l.Stats(); st.Failed {
+		t.Fatal("oversized append latched fail-stop")
+	}
+	off, err := l.Append(2, []float64{1, 2}, []byte("after"))
+	if err != nil {
+		t.Fatalf("Append after rejection: %v", err)
+	}
+	if off != 4 {
+		t.Fatalf("Append after rejection got offset %d, want 4", off)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Recovery sees only the accepted records.
+	l2 := mustOpen(t, dir, Options{Sync: SyncNever})
+	if got := l2.Recovered().Records; got != 4 {
+		t.Fatalf("recovered %d records, want 4", got)
+	}
+	r, err := l2.ReadFrom(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs := drain(t, r); len(recs) != 4 || string(recs[3].Payload) != "after" {
+		t.Fatalf("replayed %d records (last %q), want 4 ending in \"after\"", len(recs), recs[len(recs)-1].Payload)
+	}
+}

@@ -42,8 +42,10 @@ type Client struct {
 	readErr   error
 	readDone  chan struct{}
 
-	droppedMu sync.Mutex
-	dropped   uint64
+	droppedMu    sync.Mutex
+	dropped      uint64
+	firstDropped uint64 // Seq of the first drop since ClearFirstDropped
+	hasDropped   bool
 }
 
 // Dial connects to a wire server.
@@ -97,6 +99,9 @@ func (c *Client) readLoop() {
 			default:
 				c.droppedMu.Lock()
 				c.dropped++
+				if !c.hasDropped {
+					c.firstDropped, c.hasDropped = m.Seq, true
+				}
 				c.droppedMu.Unlock()
 				c.opts.Recorder.Record(telemetry.KindClientRecv, m.TraceID, m.Seq,
 					int64(m.SubID), int64(len(m.Payload)), 1, 0)
@@ -275,6 +280,26 @@ func (c *Client) Dropped() uint64 {
 	c.droppedMu.Lock()
 	defer c.droppedMu.Unlock()
 	return c.dropped
+}
+
+// FirstDropped reports the sequence number of the first event discarded
+// since the last ClearFirstDropped (or ever), and whether one was. A
+// consumer draining a resume replay uses it as the exclusive upper bound
+// of the loss-free prefix: everything below it was delivered in order.
+func (c *Client) FirstDropped() (uint64, bool) {
+	c.droppedMu.Lock()
+	defer c.droppedMu.Unlock()
+	return c.firstDropped, c.hasDropped
+}
+
+// ClearFirstDropped resets FirstDropped's tracking so it reports only
+// drops from this point on. The cumulative Dropped counter is
+// unaffected. Call it before a replay-bearing request so an old live
+// overflow is not mistaken for a hole in the fresh replay.
+func (c *Client) ClearFirstDropped() {
+	c.droppedMu.Lock()
+	defer c.droppedMu.Unlock()
+	c.firstDropped, c.hasDropped = 0, false
 }
 
 // Close tears down the connection. Safe to call more than once.

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -80,11 +81,13 @@ type ReconnectingClient struct {
 	addr string
 	opts ReconnectOptions
 
-	mu     sync.Mutex
-	cur    *Client
-	subs   map[int]*rsub // local handle -> live subscription state
-	nextID int
-	closed bool
+	mu      sync.Mutex
+	cur     *Client
+	curCtl  chan bool       // current generation's pump control (see pump)
+	curDone <-chan struct{} // closes when the current generation's pump exits
+	subs    map[int]*rsub   // local handle -> live subscription state
+	nextID  int
+	closed  bool
 
 	events  chan broker.Event
 	done    chan struct{}
@@ -116,37 +119,32 @@ func DialReconnecting(addr string, opts ReconnectOptions) (*ReconnectingClient, 
 		return nil, err
 	}
 	rc.cur = cli
+	rc.curCtl = make(chan bool)
+	rc.curDone = rc.pump(cli, rc.curCtl)
 	rc.wg.Add(1)
-	go rc.run(cli)
+	go rc.run(cli, rc.curDone)
 	return rc, nil
 }
 
-// run pumps events from the current connection and redials when it dies.
-func (rc *ReconnectingClient) run(cli *Client) {
+// run owns the redial loop: it waits for the current generation's pump
+// to finish (the connection died), then dials and resubscribes with
+// jittered exponential backoff. Each generation's pump starts before
+// its resubscribe, so a resume replay is captured while the subscribe
+// round trips are still in flight.
+func (rc *ReconnectingClient) run(cli *Client, pumpDone <-chan struct{}) {
 	defer rc.wg.Done()
 	for {
-		// Pump this connection until its event channel closes.
-		for ev := range cli.Events() {
-			select {
-			case rc.events <- ev:
-				// Track the resume high-water only for events the
-				// application will actually see: a dropped event must be
-				// fetched again by the next reconnect's replay.
-				if s := ev.Seq; s > rc.lastSeq.Load() {
-					rc.lastSeq.Store(s)
-				}
-			case <-rc.done:
-				return
-			default:
-				// Merged buffer full: drop, matching Client semantics.
-				rc.dropped.Add(1)
-			}
+		select {
+		case <-pumpDone:
+		case <-rc.done:
+			return
 		}
 		_ = cli.Close()
 		rc.dropped.Add(cli.Dropped())
 
 		// Reconnect with jittered exponential backoff.
 		backoff := rc.opts.InitialBackoff
+	redial:
 		for attempt := int64(1); ; attempt++ {
 			select {
 			case <-rc.done:
@@ -155,29 +153,162 @@ func (rc *ReconnectingClient) run(cli *Client) {
 			}
 			rc.attempts.Inc()
 			next, err := Dial(rc.addr)
-			if err != nil {
-				rc.opts.Recorder.Record(telemetry.KindReconnect, 0, 0,
-					attempt, 0, backoff.Milliseconds(), 0)
-				backoff = time.Duration(float64(backoff) * rc.opts.Multiplier)
-				if backoff > rc.opts.MaxBackoff {
-					backoff = rc.opts.MaxBackoff
+			if err == nil {
+				// The new generation's pump must be running before
+				// resubscribe: a resume replay streams during the
+				// SubscribeFrom round trip, and the pump captures it out
+				// of the Client's bounded event buffer. resubscribe
+				// switches the pump into backlog mode around the round
+				// trips and retires the connection if the buffer still
+				// overflowed, so a replay longer than the buffer makes
+				// progress on every attempt instead of silently losing
+				// its tail.
+				ctl := make(chan bool)
+				nextPump := rc.pump(next, ctl)
+				if rc.resubscribe(next, ctl, nextPump) {
+					rc.reconnects.Inc()
+					rc.mu.Lock()
+					subs := len(rc.subs)
+					rc.mu.Unlock()
+					rc.opts.Recorder.Record(telemetry.KindReconnect, 0, 0,
+						attempt, 1, backoff.Milliseconds(), int64(subs))
+					cli, pumpDone = next, nextPump
+					break redial
 				}
-				continue
-			}
-			if rc.resubscribe(next) {
-				rc.reconnects.Inc()
-				rc.mu.Lock()
-				subs := len(rc.subs)
-				rc.mu.Unlock()
-				rc.opts.Recorder.Record(telemetry.KindReconnect, 0, 0,
-					attempt, 1, backoff.Milliseconds(), int64(subs))
-				cli = next
-				break
+				_ = next.Close()
+				<-nextPump
+				rc.dropped.Add(next.Dropped())
 			}
 			rc.opts.Recorder.Record(telemetry.KindReconnect, 0, 0,
 				attempt, 0, backoff.Milliseconds(), 0)
-			_ = next.Close()
+			backoff = time.Duration(float64(backoff) * rc.opts.Multiplier)
+			if backoff > rc.opts.MaxBackoff {
+				backoff = rc.opts.MaxBackoff
+			}
 		}
+	}
+}
+
+// pump forwards one connection generation's events into the merged
+// channel until that generation's event stream closes, returning a
+// channel that closes when it has. Pumps run under rc.wg, so Close
+// never closes the merged channel while a pump could still send on it.
+//
+// ctl switches the pump into (true) and out of (false) backlog mode
+// around replay-bearing subscribe round trips. In backlog mode nothing
+// is forwarded; events accumulate in a local slice — unbounded, so the
+// pump's pace never causes loss, whatever the scheduler does. Leaving
+// backlog mode flushes only the loss-free prefix: events below the
+// Client's first buffer drop, if one happened. Everything at or above
+// the first drop is discarded rather than forwarded, so lastSeq — the
+// resume high-water — can never advance past a hole; the caller retires
+// the connection and the next resume refetches the discarded window
+// from the server's log. The flush itself delivers reliably, blocking
+// on the merged channel until the application drains it (drop-on-full
+// stays the policy for live events only). A pump that dies while backlogged (connection
+// closed mid-replay or by retirement) flushes the same prefix on exit,
+// so every attempt at an oversized replay still delivers at least one
+// buffer-full of progress.
+func (rc *ReconnectingClient) pump(cli *Client, ctl <-chan bool) <-chan struct{} {
+	done := make(chan struct{})
+	rc.wg.Add(1)
+	go func() {
+		defer rc.wg.Done()
+		defer close(done)
+		forward := func(ev broker.Event) {
+			select {
+			case rc.events <- ev:
+				// Track the resume high-water only for events the
+				// application will actually see: a dropped event must be
+				// fetched again by the next reconnect's replay.
+				if s := ev.Seq; s > rc.lastSeq.Load() {
+					rc.lastSeq.Store(s)
+				}
+			default:
+				// Merged buffer full: drop, matching Client semantics.
+				rc.dropped.Add(1)
+			}
+		}
+		var backlog []broker.Event
+		backlogging := false
+		flush := func() {
+			floor := uint64(math.MaxUint64)
+			if s, ok := cli.FirstDropped(); ok {
+				floor = s
+			}
+			for _, ev := range backlog {
+				if ev.Seq >= floor {
+					continue
+				}
+				// Replay delivery is reliable: block until the
+				// application drains the merged channel instead of
+				// dropping — dropping here and forwarding a later event
+				// would advance lastSeq past a hole no resume refetches.
+				// Live events keep the drop-on-full policy; a flush has
+				// rc.done as its escape hatch.
+				select {
+				case rc.events <- ev:
+					if s := ev.Seq; s > rc.lastSeq.Load() {
+						rc.lastSeq.Store(s)
+					}
+				case <-rc.done:
+					return
+				}
+			}
+			backlog = nil
+			backlogging = false
+		}
+		for {
+			select {
+			case ev, open := <-cli.Events():
+				if !open {
+					if backlogging {
+						flush()
+					}
+					return
+				}
+				if backlogging {
+					backlog = append(backlog, ev)
+				} else {
+					forward(ev)
+				}
+			case enter := <-ctl:
+				if enter {
+					backlogging = true
+					continue
+				}
+				// The round trips finished, so the reader has already
+				// enqueued (or dropped) every replayed event: capture the
+				// ones still buffered, then flush and go live.
+				drained := false
+				for !drained {
+					select {
+					case ev, open := <-cli.Events():
+						if !open {
+							flush()
+							return
+						}
+						backlog = append(backlog, ev)
+					default:
+						drained = true
+					}
+				}
+				flush()
+			case <-rc.done:
+				return
+			}
+		}
+	}()
+	return done
+}
+
+// signalPump delivers a backlog-mode transition to a generation's pump,
+// giving up if that pump has already exited — its connection is dead,
+// so the round trip the transition brackets fails too.
+func signalPump(ctl chan<- bool, enter bool, pumpDone <-chan struct{}) {
+	select {
+	case ctl <- enter:
+	case <-pumpDone:
 	}
 }
 
@@ -193,34 +324,78 @@ type rsub struct {
 	from     uint64 // original SubscribeFrom offset (floor for resumes)
 }
 
+// resumeFrom computes the offset a resuming subscription resubscribes
+// from: one past the newest event the application has seen, floored by
+// rs.from for a subscription requested from a future offset it has not
+// reached yet. Before anything has been delivered there is no
+// high-water mark, so the original request stands — in particular
+// SubscribeFrom(0), "new events only", stays a plain live subscribe;
+// resuming from 1 would replay the server's entire retained log to a
+// client that never asked for history. Non-resuming subscriptions are
+// always 0.
+func (rc *ReconnectingClient) resumeFrom(rs *rsub) uint64 {
+	if !rs.resume {
+		return 0
+	}
+	last := rc.lastSeq.Load()
+	if last == 0 {
+		return rs.from
+	}
+	from := last + 1
+	if rs.from > from {
+		from = rs.from
+	}
+	return from
+}
+
 // resubscribe replays all live subscriptions on a fresh connection and
 // installs it as current. Handles cancelled via Unsubscribe are gone
 // from rc.subs, so they are never replayed. It reports success.
-func (rc *ReconnectingClient) resubscribe(cli *Client) bool {
+//
+// When any subscription resumes with a replay, the generation's pump is
+// held in backlog mode across the round trips and the Client's buffer
+// is checked for drops afterwards: a replay that overflowed it has
+// holes the merged stream must not advance past, so the connection is
+// not installed — the caller closes it, the backlogged pump flushes the
+// loss-free prefix, and the next redial resumes just past that prefix.
+func (rc *ReconnectingClient) resubscribe(cli *Client, ctl chan bool, pumpDone <-chan struct{}) bool {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	if rc.closed {
 		return false
 	}
+	replaying := false
 	for _, rs := range rc.subs {
-		from := uint64(0)
-		if rs.resume {
-			// Resume one past the newest event the application has seen;
-			// rs.from floors the very first reconnect of a subscription
-			// that never received anything.
-			from = rc.lastSeq.Load() + 1
-			if rs.from > from {
-				from = rs.from
-			}
+		if rc.resumeFrom(rs) > 0 {
+			replaying = true
+			break
 		}
+	}
+	if replaying {
+		cli.ClearFirstDropped()
+		//pubsub:allow locksafe -- bounded wait: the pump's select always reaches the ctl receive, and pumpDone unblocks it if the pump died
+		signalPump(ctl, true, pumpDone)
+	}
+	for _, rs := range rc.subs {
 		//pubsub:allow locksafe -- replay must complete under rc.mu so no new Subscribe interleaves with it
-		sid, err := cli.SubscribeFrom(from, rs.rects...)
+		sid, err := cli.SubscribeFrom(rc.resumeFrom(rs), rs.rects...)
 		if err != nil {
+			// Leave a backlogged pump backlogged: the caller closes the
+			// connection and the pump flushes what it captured on exit.
 			return false
 		}
 		rs.serverID = sid
 	}
+	if replaying {
+		if _, overflowed := cli.FirstDropped(); overflowed {
+			return false
+		}
+		//pubsub:allow locksafe -- bounded wait: the pump's select always reaches the ctl receive, and pumpDone unblocks it if the pump died
+		signalPump(ctl, false, pumpDone)
+	}
 	rc.cur = cli
+	rc.curCtl = ctl
+	rc.curDone = pumpDone
 	return true
 }
 
@@ -236,7 +411,16 @@ func (rc *ReconnectingClient) Subscribe(rects ...geometry.Rect) (int, error) {
 // its publication log from the given offset (0 means "new events only")
 // before going live, and every reconnect resumes from one past the last
 // event delivered on Events() — a restart or partition no longer loses
-// events the log retained. The resume point is the client's single
+// events the log retained. A replay longer than the Client's internal
+// event buffer is safe too: the replay is captured off the connection
+// before anything goes to Events(), and if the buffer still overflows,
+// only the loss-free prefix is delivered and the connection is retired
+// so the next redial resumes just past it — the outage window arrives
+// in full across a few reconnect rounds instead of with silent holes.
+// With a zero from, the resume guarantee
+// starts at the first delivered event: until one arrives there is no
+// high-water mark, so a reconnect in that window subscribes live again
+// ("new events only" still) instead of replaying the retained log. The resume point is the client's single
 // high-water mark across all subscriptions, so a client holding several
 // resuming subscriptions should expect the replay to skip events an
 // unrelated faster subscription already advanced past; use one resuming
@@ -258,8 +442,30 @@ func (rc *ReconnectingClient) subscribe(from uint64, resume bool, rects ...geome
 	if rc.closed {
 		return 0, fmt.Errorf("wire: client closed")
 	}
+	// A nonzero from streams a replay during the round trip below:
+	// backlog the current generation's pump around it, exactly as
+	// resubscribe does, so a replay longer than the Client's event
+	// buffer is not silently truncated.
+	if from > 0 {
+		rc.cur.ClearFirstDropped()
+		//pubsub:allow locksafe -- bounded wait: the pump's select always reaches the ctl receive, and curDone unblocks it if the pump died
+		signalPump(rc.curCtl, true, rc.curDone)
+	}
 	//pubsub:allow locksafe -- the round trip stays under rc.mu to keep the replay set consistent with the server
 	sid, err := rc.cur.SubscribeFrom(from, owned...)
+	if from > 0 {
+		if _, overflowed := rc.cur.FirstDropped(); overflowed && err == nil {
+			// The replay overflowed the Client's buffer: retire the
+			// connection while the pump is still backlogged. Its exit
+			// flush delivers the loss-free prefix, and the redial loop
+			// resumes this subscription just past it — the registration
+			// below keeps it in the replay set.
+			_ = rc.cur.Close()
+		} else {
+			//pubsub:allow locksafe -- bounded wait: the pump's select always reaches the ctl receive, and curDone unblocks it if the pump died
+			signalPump(rc.curCtl, false, rc.curDone)
+		}
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -309,7 +515,9 @@ func (rc *ReconnectingClient) Events() <-chan broker.Event { return rc.events }
 
 // Dropped reports events lost client-side: merged-buffer overflow plus
 // per-connection buffer overflow, accumulated across generations. The
-// count may briefly double-count the dying generation mid-reconnect.
+// count may briefly double-count the dying generation mid-reconnect,
+// and includes replay overflow that a later resume refetched — it is a
+// congestion signal, not a count of events the application missed.
 func (rc *ReconnectingClient) Dropped() uint64 {
 	rc.mu.Lock()
 	cur := rc.cur

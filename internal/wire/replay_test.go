@@ -276,3 +276,325 @@ func TestReconnectingClientResume(t *testing.T) {
 		}
 	}
 }
+
+// startDurableBroker is startDurableServer exposing the broker, for
+// tests that publish in-process while driving the wire protocol.
+func startDurableBroker(t *testing.T) (*broker.Broker, string) {
+	t.Helper()
+	log, err := wal.Open(t.TempDir(), wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := broker.New(broker.Options{Log: log})
+	s := NewServer(b)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = s.Serve(ln) }()
+	t.Cleanup(func() {
+		s.Close()
+		b.Close()
+		log.Close()
+	})
+	return b, ln.Addr().String()
+}
+
+// TestReplayLiveBoundaryLossless: events published while a long replay
+// streams must not fall into a gap at the replay/live boundary. The
+// subscription uses a 1-slot buffer, so without the pump's backlog mode
+// every live event racing the 400-record replay would overflow and be
+// silently dropped before the pump went live.
+func TestReplayLiveBoundaryLossless(t *testing.T) {
+	b, addr := startDurableBroker(t)
+	pub := func(from, to int) error {
+		for i := from; i <= to; i++ {
+			if _, err := b.Publish(geometry.Point{float64(i%10 + 1)}, []byte(fmt.Sprintf("e%d", i))); err != nil {
+				return fmt.Errorf("publish %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	if err := pub(1, 400); err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(20 * time.Second))
+	req := &Message{Type: TypeSubscribe, FromOffset: 1, Buffer: 1,
+		Rects: []Rect{RectToWire(geometry.NewRect(0, 100))}}
+	if err := WriteMessage(conn, req); err != nil {
+		t.Fatal(err)
+	}
+
+	// Race live publishes against the replay.
+	pubErr := make(chan error, 1)
+	go func() { pubErr <- pub(401, 800) }()
+
+	seen := make(map[uint64]bool)
+	last := uint64(0)
+	for len(seen) < 800 {
+		m, err := ReadMessage(conn)
+		if err != nil {
+			t.Fatalf("read after %d events: %v", len(seen), err)
+		}
+		if m.Type != TypeEvent { // the subscribe OK
+			continue
+		}
+		if seen[m.Seq] {
+			t.Fatalf("Seq %d delivered twice", m.Seq)
+		}
+		if m.Seq <= last {
+			t.Fatalf("Seq %d after %d: out of order", m.Seq, last)
+		}
+		seen[m.Seq] = true
+		last = m.Seq
+	}
+	if err := <-pubErr; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResumeFromZeroSkipsHistoryOnReconnect: SubscribeFrom(0) means
+// "new events only". A reconnect before the first event has been
+// delivered has no high-water mark to resume from and must subscribe
+// live again — not replay the server's entire retained log.
+func TestResumeFromZeroSkipsHistoryOnReconnect(t *testing.T) {
+	dir := t.TempDir()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	boot := func(ln net.Listener) (*Server, *broker.Broker, *wal.Log) {
+		log, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := broker.New(broker.Options{Log: log})
+		s := NewServer(b)
+		go func() { _ = s.Serve(ln) }()
+		return s, b, log
+	}
+	s1, b1, log1 := boot(ln)
+	// 30 events of durable history the subscriber never asked to see.
+	for i := 1; i <= 30; i++ {
+		if _, err := b1.Publish(geometry.Point{1}, []byte(fmt.Sprintf("e%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rc, err := DialReconnecting(addr, ReconnectOptions{
+		InitialBackoff: 10 * time.Millisecond,
+		MaxBackoff:     100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if _, err := rc.SubscribeFrom(0, geometry.NewRect(0, 1000)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill and restart before anything was delivered.
+	s1.Close()
+	b1.Close()
+	log1.Close()
+	var ln2 net.Listener
+	for i := 0; ; i++ {
+		ln2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("rebind %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	s2, b2, log2 := boot(ln2)
+	defer func() {
+		s2.Close()
+		b2.Close()
+		log2.Close()
+	}()
+
+	// Publish fresh events until the reconnected subscription delivers
+	// one; the first delivery must be post-outage, not replayed history.
+	deadline := time.NewTimer(15 * time.Second)
+	defer deadline.Stop()
+	first := uint64(0)
+	for i := 31; first == 0; i++ {
+		if _, err := b2.Publish(geometry.Point{1}, []byte(fmt.Sprintf("e%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case ev := <-rc.Events():
+			first = ev.Seq
+		case <-time.After(20 * time.Millisecond):
+		case <-deadline.C:
+			t.Fatal("no event delivered after reconnect")
+		}
+	}
+	if first <= 30 {
+		t.Fatalf("first event after reconnect has Seq %d: retained history was replayed", first)
+	}
+	// Grace period: no stale history may trail in either.
+	for {
+		select {
+		case ev := <-rc.Events():
+			if ev.Seq <= 30 {
+				t.Fatalf("history Seq %d delivered after live event %d", ev.Seq, first)
+			}
+		case <-time.After(200 * time.Millisecond):
+			return
+		}
+	}
+}
+
+// TestResumeReplayLargerThanClientBuffer: a resume replay spanning an
+// outage window larger than the Client's 1024-event buffer must arrive
+// in full. The reconnect pump has to drain the replay while the
+// resubscribe round trip is still in flight; without it the tail of the
+// replay overflows client-side and the events are gone for good.
+func TestResumeReplayLargerThanClientBuffer(t *testing.T) {
+	dir := t.TempDir()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	boot := func(ln net.Listener) (*Server, *broker.Broker, *wal.Log) {
+		log, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := broker.New(broker.Options{Log: log})
+		s := NewServer(b)
+		go func() { _ = s.Serve(ln) }()
+		return s, b, log
+	}
+	s1, b1, log1 := boot(ln)
+
+	rc, err := DialReconnecting(addr, ReconnectOptions{
+		// The first redial lands comfortably after the post-restart
+		// publishes below, so the resume replay streams while this test
+		// is already draining Events().
+		InitialBackoff: 150 * time.Millisecond,
+		MaxBackoff:     300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if _, err := rc.SubscribeFrom(1, geometry.NewRect(0, 1000)); err != nil {
+		t.Fatal(err)
+	}
+
+	pub := func(b *broker.Broker, from, to int) {
+		t.Helper()
+		for i := from; i <= to; i++ {
+			if _, err := b.Publish(geometry.Point{float64(i%10 + 1)}, []byte(fmt.Sprintf("e%d", i))); err != nil {
+				t.Fatalf("publish %d: %v", i, err)
+			}
+		}
+	}
+	seen := make(map[uint64]bool)
+	last := uint64(0)
+	recv := func(n int) {
+		t.Helper()
+		timeout := time.After(30 * time.Second)
+		for len(seen) < n {
+			select {
+			case ev := <-rc.Events():
+				if seen[ev.Seq] {
+					t.Fatalf("Seq %d delivered twice", ev.Seq)
+				}
+				if ev.Seq <= last {
+					t.Fatalf("Seq %d after %d: out of order", ev.Seq, last)
+				}
+				seen[ev.Seq] = true
+				last = ev.Seq
+			case <-timeout:
+				t.Fatalf("saw %d of %d events (last %d)", len(seen), n, last)
+			}
+		}
+	}
+	pub(b1, 1, 20)
+	recv(20) // high-water mark is now 20
+
+	// Kill, restart over the same log, and publish an outage window
+	// half again larger than the Client's event buffer.
+	s1.Close()
+	b1.Close()
+	log1.Close()
+	var ln2 net.Listener
+	for i := 0; ; i++ {
+		ln2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("rebind %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	s2, b2, log2 := boot(ln2)
+	defer func() {
+		s2.Close()
+		b2.Close()
+		log2.Close()
+	}()
+	pub(b2, 21, 1620)
+	recv(1620)
+}
+
+// TestInitialSubscribeFromLargeHistory: the very first SubscribeFrom
+// against durable history larger than the Client's event buffer must
+// deliver it all. This exercises the app-initiated subscribe path (not
+// resubscribe): the pump backlogs the replay during the round trip, and
+// if the buffer overflowed anyway the connection is retired so the
+// redial loop fetches the rest — the application just sees a complete,
+// in-order stream.
+func TestInitialSubscribeFromLargeHistory(t *testing.T) {
+	b, addr := startDurableBroker(t)
+	for i := 1; i <= 1600; i++ {
+		if _, err := b.Publish(geometry.Point{float64(i%10 + 1)}, []byte(fmt.Sprintf("e%d", i))); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+
+	rc, err := DialReconnecting(addr, ReconnectOptions{
+		InitialBackoff: 10 * time.Millisecond,
+		MaxBackoff:     100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if _, err := rc.SubscribeFrom(1, geometry.NewRect(0, 1000)); err != nil {
+		t.Fatal(err)
+	}
+
+	seen := make(map[uint64]bool)
+	last := uint64(0)
+	timeout := time.After(30 * time.Second)
+	for len(seen) < 1600 {
+		select {
+		case ev := <-rc.Events():
+			if seen[ev.Seq] {
+				t.Fatalf("Seq %d delivered twice", ev.Seq)
+			}
+			if ev.Seq <= last {
+				t.Fatalf("Seq %d after %d: out of order", ev.Seq, last)
+			}
+			seen[ev.Seq] = true
+			last = ev.Seq
+		case <-timeout:
+			t.Fatalf("saw %d of 1600 events (last %d)", len(seen), last)
+		}
+	}
+}

@@ -417,17 +417,31 @@ func (s *Server) handleSubscribe(cs *connState, m *Message) error {
 		return ErrServerClosed
 	}
 
-	// Replay before going live. The subscription is already registered,
-	// so the log's NextOffset at this point splits history exactly: every
-	// offset below the reader's End is streamed here, every offset at or
-	// above it was appended after registration and therefore matched the
-	// subscription's snapshot — the pump delivers it, skipping anything
-	// the replay already covered.
+	// Start the pump immediately, before any replay. While the handler
+	// streams history the pump stays in backlog mode: it drains the
+	// subscription's bounded channel into a local slice instead of
+	// writing frames, so live events published during a long replay are
+	// never lost to buffer overflow — the backlog grows with the
+	// publish rate times the replay duration instead of silently
+	// dropping at a fixed depth. Once the replay finishes, ready
+	// carries the replay's end offset; the pump flushes the backlog
+	// from that offset (everything below it was just streamed) and goes
+	// live. On a failed replay, abort tells it to exit without flushing
+	// so backlog frames never interleave with the error reply.
+	ready := make(chan uint64, 1)
+	abort := make(chan struct{})
+	go s.pumpSub(cs, sub, ready, abort)
+
+	// The subscription is already registered, so the log's NextOffset
+	// here splits history exactly: every offset below the reader's End
+	// is streamed by the replay, every offset at or above it was
+	// appended after registration and therefore matched the
+	// subscription's snapshot — the pump delivers it.
 	skipBelow := uint64(0)
 	if m.FromOffset > 0 {
 		r, err := s.b.Log().ReadFrom(m.FromOffset)
 		if err != nil {
-			cs.pumps.Done()
+			close(abort)
 			if undo := cs.takeSub(sub.ID()); undo != nil {
 				undo.Cancel()
 			}
@@ -435,47 +449,104 @@ func (s *Server) handleSubscribe(cs *connState, m *Message) error {
 		}
 		skipBelow = r.End()
 		if _, err := s.streamReplay(cs, r, rects, sub.ID()); err != nil {
-			cs.pumps.Done()
+			close(abort)
 			if undo := cs.takeSub(sub.ID()); undo != nil {
 				undo.Cancel()
 			}
 			return err
 		}
 	}
+	ready <- skipBelow
+	return cs.write(&Message{Type: TypeOK, SubID: sub.ID()})
+}
 
-	// Pump events to the connection until the subscription or the
-	// connection dies. When the subscription is cancelled (drain path)
-	// the pump flushes whatever is still buffered before exiting.
-	go func() {
-		defer cs.pumps.Done()
-		for {
-			select {
-			case ev, open := <-sub.Events():
-				if !open {
+// pumpSub pumps one subscription's events to the connection until the
+// subscription or the connection dies. It starts in backlog mode,
+// buffering events locally while the handler streams a replay; ready
+// (the replay's end offset) switches it live, abort makes it exit
+// without writing a frame. When the subscription is cancelled (drain
+// path) it still waits for the handler's verdict, then flushes —
+// buffered events survive a graceful shutdown, and nothing it writes
+// can interleave with the handler's replay frames.
+func (s *Server) pumpSub(cs *connState, sub *broker.Subscription, ready <-chan uint64, abort <-chan struct{}) {
+	defer cs.pumps.Done()
+	writeEvent := func(ev broker.Event) bool {
+		msg := &Message{
+			Type:    TypeEvent,
+			Point:   ev.Point,
+			Payload: ev.Payload,
+			Seq:     ev.Seq,
+			TraceID: ev.TraceID,
+			SubID:   sub.ID(),
+		}
+		if err := cs.write(msg); err != nil {
+			sub.Cancel()
+			return false
+		}
+		return true
+	}
+
+	// Backlog mode: accumulate until the handler signals.
+	var backlog []broker.Event
+	var skipBelow uint64
+	closed := false
+accumulate:
+	for {
+		select {
+		case ev, open := <-sub.Events():
+			if !open {
+				closed = true
+				// Wait for the handler so the flush below never races
+				// its replay writes.
+				select {
+				case skipBelow = <-ready:
+					break accumulate
+				case <-abort:
+					return
+				case <-cs.done:
 					return
 				}
-				if ev.Seq < skipBelow {
-					// Already streamed by the replay above.
-					continue
-				}
-				msg := &Message{
-					Type:    TypeEvent,
-					Point:   ev.Point,
-					Payload: ev.Payload,
-					Seq:     ev.Seq,
-					TraceID: ev.TraceID,
-					SubID:   sub.ID(),
-				}
-				if err := cs.write(msg); err != nil {
-					sub.Cancel()
-					return
-				}
-			case <-cs.done:
+			}
+			backlog = append(backlog, ev)
+		case skipBelow = <-ready:
+			break accumulate
+		case <-abort:
+			return
+		case <-cs.done:
+			return
+		}
+	}
+	for _, ev := range backlog {
+		if ev.Seq < skipBelow {
+			// Already streamed by the replay.
+			continue
+		}
+		if !writeEvent(ev) {
+			return
+		}
+	}
+	backlog = nil
+	if closed {
+		return
+	}
+
+	// Live mode.
+	for {
+		select {
+		case ev, open := <-sub.Events():
+			if !open {
 				return
 			}
+			if ev.Seq < skipBelow {
+				continue
+			}
+			if !writeEvent(ev) {
+				return
+			}
+		case <-cs.done:
+			return
 		}
-	}()
-	return cs.write(&Message{Type: TypeOK, SubID: sub.ID()})
+	}
 }
 
 // streamReplay writes every log record in the reader's range that
@@ -549,6 +620,15 @@ func (s *Server) handleUnsubscribe(cs *connState, m *Message) error {
 func (s *Server) handlePublish(cs *connState, m *Message) error {
 	if len(m.Point) == 0 {
 		return cs.write(&Message{Type: TypeError, Error: "publish needs a point"})
+	}
+	// Bound dimensionality here, not just in the durable log: a 1 MiB
+	// frame can carry ~130k dimensions, far past what wal.Append — and
+	// any sane event space — accepts. Rejecting at ingest turns it into
+	// a protocol error on every server, durable or not. (MaxFrame
+	// already keeps the payload under the log's MaxBody.)
+	if len(m.Point) > wal.MaxPointDims {
+		return cs.write(&Message{Type: TypeError, TraceID: m.TraceID,
+			Error: fmt.Sprintf("publish point has %d dimensions (max %d)", len(m.Point), wal.MaxPointDims)})
 	}
 	// Wire publications are always traced: keep the client's id, or
 	// assign one at ingest for old clients that did not send the field.
