@@ -236,6 +236,13 @@ type benchSummary struct {
 	// timed loop (runtime mallocs delta / publications). The snapshot
 	// publish path is expected to hold this at ~0.
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// DeliveryP50Micros/DeliveryP99Micros are end-to-end
+	// publish-to-receive latencies through a full-space subscriber,
+	// measured serially in a separate phase so they include matching,
+	// dispatch, and the channel hand-off — the consumer-lag floor an
+	// in-process subscriber can expect.
+	DeliveryP50Micros float64 `json:"delivery_p50_us"`
+	DeliveryP99Micros float64 `json:"delivery_p99_us"`
 }
 
 // runPublishBench times the embeddable broker's publish path against the
@@ -290,24 +297,59 @@ func runPublishBench(seed int64, pubs int, jsonOut string, w io.Writer) error {
 		idx := int(q * float64(len(samples)-1))
 		return float64(samples[idx].Nanoseconds()) / 1e3
 	}
+
+	// Delivery-lag phase: publish serially through a full-space
+	// subscriber and block on the receive, so each sample spans
+	// matching, dispatch, and the channel hand-off for exactly one
+	// event. Runs after the timed loop so it cannot disturb the
+	// throughput or allocation numbers above.
+	deliveryPubs := pubs
+	if deliveryPubs > 2000 {
+		deliveryPubs = 2000
+	}
+	wide, err := br.SubscribeBuffered(16, pubsub.FullRect(len(events[0])))
+	if err != nil {
+		return err
+	}
+	delivery := make([]time.Duration, deliveryPubs)
+	for i := range delivery {
+		t0 := time.Now()
+		if _, err := br.Publish(events[i%len(events)], nil); err != nil {
+			return err
+		}
+		if _, ok := <-wide.Events(); !ok {
+			return fmt.Errorf("delivery subscriber closed mid-measurement")
+		}
+		delivery[i] = time.Since(t0)
+	}
+	wide.Cancel()
+	sort.Slice(delivery, func(i, j int) bool { return delivery[i] < delivery[j] })
+	dQuantile := func(q float64) float64 {
+		idx := int(q * float64(len(delivery)-1))
+		return float64(delivery[idx].Nanoseconds()) / 1e3
+	}
 	sum := benchSummary{
-		Experiment:    "bench",
-		Seed:          seed,
-		Subscriptions: len(tb.Subs),
-		Publications:  pubs,
-		ElapsedSec:    elapsed.Seconds(),
-		OpsPerSec:     float64(pubs) / elapsed.Seconds(),
-		MeanMicros:    float64(elapsed.Nanoseconds()) / float64(pubs) / 1e3,
-		P50Micros:     quantile(0.50),
-		P99Micros:     quantile(0.99),
-		AllocsPerOp:   float64(ms1.Mallocs-ms0.Mallocs) / float64(pubs),
+		Experiment:        "bench",
+		Seed:              seed,
+		Subscriptions:     len(tb.Subs),
+		Publications:      pubs,
+		ElapsedSec:        elapsed.Seconds(),
+		OpsPerSec:         float64(pubs) / elapsed.Seconds(),
+		MeanMicros:        float64(elapsed.Nanoseconds()) / float64(pubs) / 1e3,
+		P50Micros:         quantile(0.50),
+		P99Micros:         quantile(0.99),
+		AllocsPerOp:       float64(ms1.Mallocs-ms0.Mallocs) / float64(pubs),
+		DeliveryP50Micros: dQuantile(0.50),
+		DeliveryP99Micros: dQuantile(0.99),
 	}
 
 	fmt.Fprintf(w, "broker publish benchmark (%d subscriptions, %d publications)\n",
 		sum.Subscriptions, sum.Publications)
-	fmt.Fprintf(w, "%12s %12s %10s %10s %12s\n", "ops/sec", "mean", "p50", "p99", "allocs/op")
-	fmt.Fprintf(w, "%12.0f %10.1fus %8.1fus %8.1fus %12.3f\n",
-		sum.OpsPerSec, sum.MeanMicros, sum.P50Micros, sum.P99Micros, sum.AllocsPerOp)
+	fmt.Fprintf(w, "%12s %12s %10s %10s %12s %14s %14s\n",
+		"ops/sec", "mean", "p50", "p99", "allocs/op", "delivery p50", "delivery p99")
+	fmt.Fprintf(w, "%12.0f %10.1fus %8.1fus %8.1fus %12.3f %12.1fus %12.1fus\n",
+		sum.OpsPerSec, sum.MeanMicros, sum.P50Micros, sum.P99Micros, sum.AllocsPerOp,
+		sum.DeliveryP50Micros, sum.DeliveryP99Micros)
 
 	if jsonOut != "" {
 		f, err := os.Create(jsonOut)

@@ -72,6 +72,8 @@ func TestRunBenchJSON(t *testing.T) {
 		OpsPerSec    float64 `json:"ops_per_sec"`
 		P50          float64 `json:"p50_us"`
 		P99          float64 `json:"p99_us"`
+		DeliveryP50  float64 `json:"delivery_p50_us"`
+		DeliveryP99  float64 `json:"delivery_p99_us"`
 	}
 	if err := json.Unmarshal(raw, &sum); err != nil {
 		t.Fatalf("summary is not JSON: %v", err)
@@ -81,5 +83,13 @@ func TestRunBenchJSON(t *testing.T) {
 	}
 	if sum.OpsPerSec <= 0 || sum.P50 <= 0 || sum.P99 < sum.P50 {
 		t.Errorf("implausible summary: %+v", sum)
+	}
+	// Delivery lag is publish latency plus dispatch and hand-off, so it
+	// must be present and cannot undercut the bare publish median.
+	if sum.DeliveryP50 <= 0 || sum.DeliveryP99 < sum.DeliveryP50 {
+		t.Errorf("implausible delivery lag: %+v", sum)
+	}
+	if !strings.Contains(sb.String(), "delivery p50") {
+		t.Errorf("human summary missing delivery columns: %.300s", sb.String())
 	}
 }

@@ -47,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/broker"
 	"repro/internal/geometry"
 	"repro/internal/wire"
 )
@@ -64,10 +65,11 @@ func run(args []string, w io.Writer) error {
 		addr        = fs.String("addr", "localhost:7070", "broker address")
 		metricsAddr = fs.String("metrics-addr", "localhost:9090", "pubsubd metrics address for the stats/events/trace verbs")
 		payload     = fs.String("payload", "", "payload for publish")
-		count       = fs.Int("count", 0, "subscribe: exit after this many events (0 = forever)")
+		count       = fs.Int("count", 0, "subscribe: exit after this many events; top: refresh this many times (0 = forever)")
 		fromOffset  = fs.Uint64("from", 0, "subscribe: replay the durable log from this offset first (0 = live only)")
 		kindFilter  = fs.String("kind", "", "events: keep only records of this kind (e.g. publish, ingest, deliver)")
 		limit       = fs.Int("limit", 0, "events: keep only the most recent N records (0 = all)")
+		interval    = fs.Duration("interval", 2*time.Second, "top: refresh interval")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,8 +81,14 @@ func run(args []string, w io.Writer) error {
 	if len(rest) >= 1 && rest[0] == "events" {
 		return runEvents(*metricsAddr, "", *kindFilter, *limit, w)
 	}
+	if len(rest) >= 1 && rest[0] == "lag" {
+		return runLag(*metricsAddr, w)
+	}
+	if len(rest) >= 1 && rest[0] == "top" {
+		return runTop(*metricsAddr, *interval, *count, w)
+	}
 	if len(rest) < 2 {
-		return fmt.Errorf("usage: pubsub-cli [flags] subscribe|publish|replay <spec> | trace <id> | stats | events")
+		return fmt.Errorf("usage: pubsub-cli [flags] subscribe|publish|replay <spec> | trace <id> | stats | events | lag | top")
 	}
 	verb, spec := rest[0], rest[1]
 	if verb == "trace" {
@@ -151,7 +159,169 @@ func run(args []string, w io.Writer) error {
 		return nil
 
 	default:
-		return fmt.Errorf("unknown verb %q (want subscribe, publish, replay, trace, stats or events)", verb)
+		return fmt.Errorf("unknown verb %q (want subscribe, publish, replay, trace, stats, events, lag or top)", verb)
+	}
+}
+
+// lagDump mirrors the daemon's /debug/lag JSON: the broker's
+// per-subscription lag report plus the wire server's per-connection
+// view.
+type lagDump struct {
+	broker.LagReport
+	Conns []wire.ConnLag `json:"conns"`
+}
+
+// healthDump mirrors the /healthz and /readyz bodies.
+type healthDump struct {
+	Status     string `json:"status"`
+	Components []struct {
+		Component string `json:"component"`
+		State     string `json:"state"`
+		Reason    string `json:"reason"`
+	} `json:"components"`
+	Pending []string `json:"pending"`
+}
+
+// fetchJSON GETs a debug endpoint and decodes its JSON body. Health
+// endpoints answer 503 with the same body shape when unhealthy, so
+// that status is decoded too rather than treated as an error.
+func fetchJSON(addr, path string, v any) error {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	u := strings.TrimSuffix(base, "/") + path
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET %s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return fmt.Errorf("decoding %s: %w", u, err)
+	}
+	return nil
+}
+
+// runLag fetches /debug/lag and renders the consumer-lag tables.
+func runLag(addr string, w io.Writer) error {
+	var dump lagDump
+	if err := fetchJSON(addr, "/debug/lag", &dump); err != nil {
+		return err
+	}
+	writeLag(&dump, w)
+	return nil
+}
+
+// writeLag renders one lag snapshot: a summary line, the
+// per-subscription table, and — when the daemon reports wire
+// connections — the per-connection resume depths.
+func writeLag(d *lagDump, w io.Writer) {
+	mode := "in-memory"
+	if d.Durable {
+		mode = "durable"
+	}
+	fmt.Fprintf(w, "head=%d (%s)  subs=%d  slow=%d (transitions %d)  max_lag=%d\n",
+		d.Head, mode, len(d.Subs), d.SlowSubs, d.SlowTransitions, d.MaxLagEvents)
+	if len(d.Subs) > 0 {
+		fmt.Fprintf(w, "%-6s %-12s %-9s %-11s %-8s %-12s %-8s %s\n",
+			"SUB", "POLICY", "BUFFER", "DELIVERED", "LAG", "AGE", "DROPPED", "FLAGS")
+		for _, s := range d.Subs {
+			var flags []string
+			if s.Slow {
+				flags = append(flags, "slow")
+			}
+			if s.Evicting {
+				flags = append(flags, "evicting")
+			}
+			age := "-"
+			if s.LagAgeSeconds > 0 {
+				age = time.Duration(s.LagAgeSeconds * float64(time.Second)).Round(time.Millisecond).String()
+			}
+			fmt.Fprintf(w, "%-6d %-12s %-9s %-11d %-8d %-12s %-8d %s\n",
+				s.ID, s.Policy, fmt.Sprintf("%d/%d", s.Buffered, s.Capacity),
+				s.DeliveredSeq, s.LagEvents, age, s.Dropped, strings.Join(flags, ","))
+		}
+	}
+	if len(d.Conns) > 0 {
+		fmt.Fprintf(w, "%-6s %-6s %-11s %s\n", "CONN", "SUBS", "LAST_SEQ", "LAG")
+		for _, c := range d.Conns {
+			fmt.Fprintf(w, "%-6d %-6d %-11d %d\n", c.ID, c.Subs, c.LastSeq, c.LagEvents)
+		}
+	}
+}
+
+// runTop renders a refreshing lag-and-health view (ANSI clear-screen,
+// like top). iterations bounds the refresh count for scripting and
+// tests; 0 runs until SIGINT/SIGTERM.
+func runTop(addr string, interval time.Duration, iterations int, w io.Writer) error {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	for n := 0; ; n++ {
+		var lag lagDump
+		lagErr := fetchJSON(addr, "/debug/lag", &lag)
+		var hd healthDump
+		healthErr := fetchJSON(addr, "/healthz", &hd)
+		var idx broker.IndexReport
+		idxErr := fetchJSON(addr, "/debug/index", &idx)
+
+		fmt.Fprint(w, "\x1b[2J\x1b[H")
+		fmt.Fprintf(w, "pubsub-top  %s  %s\n\n", addr, time.Now().Format("15:04:05"))
+		if healthErr != nil {
+			fmt.Fprintf(w, "health: unreachable (%v)\n", healthErr)
+		} else {
+			fmt.Fprintf(w, "health: %s\n", hd.Status)
+			for _, c := range hd.Components {
+				line := fmt.Sprintf("  %s: %s", c.Component, c.State)
+				if c.Reason != "" {
+					line += " (" + c.Reason + ")"
+				}
+				fmt.Fprintln(w, line)
+			}
+		}
+		fmt.Fprintln(w)
+		if idxErr != nil {
+			fmt.Fprintf(w, "index: unreachable (%v)\n", idxErr)
+		} else {
+			fmt.Fprintf(w, "index: %s  subs=%d rects=%d overlay=%d stale=%d rebuilds=%d (last %.1fs ago)\n",
+				idx.Strategy, idx.Subscriptions, idx.Rectangles, idx.OverlayLen,
+				idx.Stale, idx.Rebuilds, idx.SecondsSinceRebuild)
+		}
+		fmt.Fprintln(w)
+		if lagErr != nil {
+			fmt.Fprintf(w, "lag: unreachable (%v)\n", lagErr)
+		} else {
+			// Show the laggiest subscriptions first; cap the table so a
+			// large fanout still fits a terminal.
+			sort.SliceStable(lag.Subs, func(i, j int) bool {
+				return lag.Subs[i].LagEvents > lag.Subs[j].LagEvents
+			})
+			const topN = 15
+			truncated := 0
+			if len(lag.Subs) > topN {
+				truncated = len(lag.Subs) - topN
+				lag.Subs = lag.Subs[:topN]
+			}
+			writeLag(&lag, w)
+			if truncated > 0 {
+				fmt.Fprintf(w, "  ... %d more subscription(s)\n", truncated)
+			}
+		}
+		if iterations > 0 && n+1 >= iterations {
+			return nil
+		}
+		select {
+		case <-sig:
+			return nil
+		case <-time.After(interval):
+		}
 	}
 }
 
@@ -177,6 +347,7 @@ var argOrder = []string{
 	"nodes_visited", "entries_tested", "leaves_visited", "matched",
 	"method", "interested", "group_size", "ratio_ppm",
 	"fanout", "delivered", "depth", "policy", "dropped",
+	"lag", "slow", "first_drop", "last_seq",
 	"entries", "overlay_left", "rebuilds",
 	"attempt", "ok", "backoff_ms", "subs",
 	"bytes", "synced", "pending", "segments", "records", "truncated_bytes",
@@ -303,17 +474,35 @@ func runStats(addr string, w io.Writer) error {
 }
 
 // histAcc accumulates one histogram family's exposition lines so it can
-// be summarised as count/mean plus estimated tail quantiles.
+// be summarised as count/mean plus estimated tail quantiles. When the
+// exposition carries the daemon's exact-extreme companion gauges
+// (<name>_min/<name>_max) they are folded in, so quantile estimates
+// clamp to values that were actually observed instead of bucket edges.
 type histAcc struct {
-	bounds []float64 // upper bucket bounds, +Inf last
-	counts []float64 // cumulative counts, parallel to bounds
-	sum    float64
-	count  float64
+	bounds         []float64 // upper bucket bounds, +Inf last
+	counts         []float64 // cumulative counts, parallel to bounds
+	sum            float64
+	count          float64
+	minV, maxV     float64
+	hasMin, hasMax bool
+}
+
+// clamp pins an estimate inside the exactly-observed range when the
+// exposition provided one; without extremes the estimate passes
+// through unchanged (old daemons).
+func (h *histAcc) clamp(v float64) float64 {
+	if h.hasMin && v < h.minV {
+		v = h.minV
+	}
+	if h.hasMax && v > h.maxV {
+		v = h.maxV
+	}
+	return v
 }
 
 // quantile estimates q from the cumulative buckets by linear
-// interpolation inside the covering bucket; the +Inf bucket clamps to
-// the largest finite bound.
+// interpolation inside the covering bucket; the +Inf bucket reports
+// the exact maximum when known, the largest finite bound otherwise.
 func (h *histAcc) quantile(q float64) float64 {
 	if h.count == 0 || len(h.bounds) == 0 {
 		return 0
@@ -325,6 +514,9 @@ func (h *histAcc) quantile(q float64) float64 {
 		if c >= target {
 			hi := h.bounds[i]
 			if math.IsInf(hi, 1) {
+				if h.hasMax {
+					return h.maxV
+				}
 				if i == 0 {
 					return 0
 				}
@@ -332,27 +524,28 @@ func (h *histAcc) quantile(q float64) float64 {
 			}
 			inBucket := c - prev
 			if inBucket <= 0 {
-				return hi
+				return h.clamp(hi)
 			}
-			return lo + (hi-lo)*(target-prev)/inBucket
+			return h.clamp(lo + (hi-lo)*(target-prev)/inBucket)
 		}
 		prev = c
 		if !math.IsInf(h.bounds[i], 1) {
 			lo = h.bounds[i]
 		}
 	}
-	return h.bounds[len(h.bounds)-1]
+	return h.clamp(h.bounds[len(h.bounds)-1])
 }
 
 // writeStats parses Prometheus text exposition and renders one block per
 // family: scalars as name = value, histograms as a one-line summary.
 func writeStats(r io.Reader, w io.Writer) error {
 	var (
-		order   []string
-		help    = map[string]string{}
-		kind    = map[string]string{}
-		scalars = map[string][]string{}
-		hists   = map[string]*histAcc{}
+		order      []string
+		help       = map[string]string{}
+		kind       = map[string]string{}
+		scalars    = map[string][]string{}
+		scalarVals = map[string][]float64{}
+		hists      = map[string]*histAcc{}
 	)
 	inOrder := map[string]bool{}
 	seen := func(name string) {
@@ -408,6 +601,7 @@ func writeStats(r io.Reader, w io.Writer) error {
 		if suffix == "" {
 			seen(name)
 			scalars[name] = append(scalars[name], fmt.Sprintf("%s = %s", metric, valStr))
+			scalarVals[name] = append(scalarVals[name], val)
 			continue
 		}
 		h := hists[base]
@@ -438,7 +632,43 @@ func writeStats(r io.Reader, w io.Writer) error {
 		return err
 	}
 
+	// Fold the daemon's exact-extreme companion families (<hist>_min and
+	// <hist>_max) into their base histogram so the summary line shows
+	// observed extremes and quantiles stop clamping to bucket edges.
+	// Across labeled samples the family-wide extreme is the min of mins
+	// (resp. max of maxes). Old daemons without these families are
+	// unaffected.
+	folded := map[string]bool{}
 	for _, name := range order {
+		var isMax bool
+		var base string
+		switch {
+		case strings.HasSuffix(name, "_min"):
+			base = strings.TrimSuffix(name, "_min")
+		case strings.HasSuffix(name, "_max"):
+			base, isMax = strings.TrimSuffix(name, "_max"), true
+		default:
+			continue
+		}
+		h := hists[base]
+		if kind[base] != "histogram" || h == nil || len(scalarVals[name]) == 0 {
+			continue
+		}
+		for _, v := range scalarVals[name] {
+			switch {
+			case isMax && (!h.hasMax || v > h.maxV):
+				h.maxV, h.hasMax = v, true
+			case !isMax && (!h.hasMin || v < h.minV):
+				h.minV, h.hasMin = v, true
+			}
+		}
+		folded[name] = true
+	}
+
+	for _, name := range order {
+		if folded[name] {
+			continue
+		}
 		fmt.Fprintf(w, "%s  [%s]", name, orUntyped(kind[name]))
 		if h := help[name]; h != "" {
 			fmt.Fprintf(w, "  %s", h)
@@ -450,8 +680,16 @@ func writeStats(r io.Reader, w io.Writer) error {
 			if h.count > 0 {
 				mean = h.sum / h.count
 			}
-			fmt.Fprintf(w, "  count=%g sum=%g mean=%g p50=%g p90=%g p99=%g\n",
-				h.count, h.sum, mean, h.quantile(0.50), h.quantile(0.90), h.quantile(0.99))
+			fmt.Fprintf(w, "  count=%g sum=%g mean=%g", h.count, h.sum, mean)
+			if h.hasMin {
+				fmt.Fprintf(w, " min=%g", h.minV)
+			}
+			fmt.Fprintf(w, " p50=%g p90=%g p99=%g",
+				h.quantile(0.50), h.quantile(0.90), h.quantile(0.99))
+			if h.hasMax {
+				fmt.Fprintf(w, " max=%g", h.maxV)
+			}
+			fmt.Fprintln(w)
 			continue
 		}
 		for _, line := range scalars[name] {

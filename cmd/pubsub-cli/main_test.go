@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -186,8 +187,20 @@ func TestRunStats(t *testing.T) {
 		t.Errorf("histogram summary missing:\n%s", out)
 	}
 
-	// All ten observations landed in (0.001, 0.01]: the interpolated
-	// median must sit inside that bucket.
+	// The registry exposes exact extremes as companion gauge families;
+	// the renderer folds them into the histogram summary instead of
+	// printing them as standalone families.
+	if !strings.Contains(out, "min=0.005") || !strings.Contains(out, "max=0.005") {
+		t.Errorf("folded min/max missing from histogram summary:\n%s", out)
+	}
+	if strings.Contains(out, "pubsub_broker_publish_seconds_min  [") ||
+		strings.Contains(out, "pubsub_broker_publish_seconds_max  [") {
+		t.Errorf("companion extreme families should fold away, not render:\n%s", out)
+	}
+
+	// All ten observations were exactly 0.005: interpolation alone would
+	// land mid-bucket, but the exact extremes clamp every quantile onto
+	// the observed point mass.
 	var p50 float64
 	for _, line := range strings.Split(out, "\n") {
 		if i := strings.Index(line, "p50="); i >= 0 {
@@ -197,8 +210,8 @@ func TestRunStats(t *testing.T) {
 			}
 		}
 	}
-	if p50 <= 0.001 || p50 > 0.01 {
-		t.Errorf("p50 = %g, want in (0.001, 0.01]", p50)
+	if p50 != 0.005 {
+		t.Errorf("p50 = %g, want exactly 0.005 (clamped to observed extremes)", p50)
 	}
 
 	if err := run([]string{"-metrics-addr", "127.0.0.1:1", "stats"}, &sb); err == nil {
@@ -266,9 +279,139 @@ func TestHistAccQuantile(t *testing.T) {
 		approx(t, h.quantile(0.5), 0)
 	})
 
+	t.Run("exact extremes clamp interpolation", func(t *testing.T) {
+		// Everything in (1,2] but the observed range was [1.4, 1.6]:
+		// quantiles must not stray outside values that actually occurred.
+		h := &histAcc{
+			bounds: []float64{1, 2, inf},
+			counts: []float64{0, 100, 100},
+			count:  100,
+			minV:   1.4, hasMin: true,
+			maxV: 1.6, hasMax: true,
+		}
+		approx(t, h.quantile(0.01), 1.4)
+		approx(t, h.quantile(0.5), 1.5)
+		approx(t, h.quantile(0.99), 1.6)
+	})
+
+	t.Run("overflow reports exact max when known", func(t *testing.T) {
+		// Mass beyond the last finite bound no longer clamps to the
+		// bound when the daemon shipped the true maximum.
+		h := &histAcc{
+			bounds: []float64{1, inf},
+			counts: []float64{0, 10},
+			count:  10,
+			maxV:   7.5, hasMax: true,
+		}
+		approx(t, h.quantile(0.99), 7.5)
+	})
+
 	t.Run("empty", func(t *testing.T) {
 		approx(t, (&histAcc{}).quantile(0.5), 0)
 		h := &histAcc{bounds: []float64{1, inf}, counts: []float64{0, 0}}
 		approx(t, h.quantile(0.9), 0)
 	})
+}
+
+// debugServer serves canned JSON for the daemon debug endpoints the lag
+// and top verbs consume.
+func debugServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	serve := func(path, body string) {
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, body)
+		})
+	}
+	serve("/debug/lag", `{
+		"head": 42, "durable": true,
+		"slow_subs": 1, "slow_transitions": 3, "max_lag_events": 40,
+		"subs": [
+			{"id": 1, "policy": "drop-oldest", "buffered": 0, "capacity": 16,
+			 "delivered_seq": 42, "lag_events": 0, "dropped": 0},
+			{"id": 2, "policy": "block", "buffered": 16, "capacity": 16,
+			 "delivered_seq": 2, "lag_events": 40, "lag_age_seconds": 1.5,
+			 "dropped": 7, "slow": true}
+		],
+		"conns": [{"id": 9, "subs": 2, "last_seq": 42, "lag_events": 0}]
+	}`)
+	serve("/healthz", `{
+		"status": "healthy",
+		"components": [
+			{"component": "wal", "state": "healthy", "reason": "next offset 42, 1 segment(s), 512 bytes"},
+			{"component": "broker", "state": "healthy", "reason": "2 subscription(s)"}
+		]
+	}`)
+	serve("/debug/index", `{
+		"strategy": "rebuild", "subscriptions": 2, "rectangles": 2,
+		"base_len": 2, "overlay_len": 0, "stale": 0, "multi_rect": false,
+		"rebuilds": 1, "seconds_since_rebuild": 0.5,
+		"shape": {}, "sampled_rects": 2,
+		"duplicate_pairs": 0, "covering_pairs": 0
+	}`)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestRunLag(t *testing.T) {
+	srv := debugServer(t)
+	var sb strings.Builder
+	if err := run([]string{"-metrics-addr", srv.URL, "lag"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"head=42 (durable)",
+		"slow=1 (transitions 3)",
+		"max_lag=40",
+		"drop-oldest",
+		"16/16", // the slow subscription's full buffer
+		"1.5s",  // lag age rendered as a duration
+		"slow",  // the flag column
+		"CONN",  // per-connection table present
+		"9",     // the connection id
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lag output missing %q:\n%s", want, out)
+		}
+	}
+
+	if err := run([]string{"-metrics-addr", "127.0.0.1:1", "lag"}, &sb); err == nil {
+		t.Error("lag against a closed port succeeded")
+	}
+}
+
+func TestRunTop(t *testing.T) {
+	srv := debugServer(t)
+	var sb strings.Builder
+	if err := run([]string{
+		"-metrics-addr", srv.URL, "-count", "1", "-interval", "10ms", "top",
+	}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"health: healthy",
+		"wal: healthy (next offset 42",
+		"index: rebuild  subs=2 rects=2",
+		"head=42 (durable)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("top output missing %q:\n%s", want, out)
+		}
+	}
+
+	// A dead daemon renders as unreachable rather than erroring out, so
+	// top keeps refreshing through restarts.
+	sb.Reset()
+	if err := run([]string{
+		"-metrics-addr", "127.0.0.1:1", "-count", "1", "top",
+	}, &sb); err != nil {
+		t.Fatalf("top against a closed port should render, got %v", err)
+	}
+	if !strings.Contains(sb.String(), "unreachable") {
+		t.Errorf("top against a closed port should say unreachable:\n%s", sb.String())
+	}
 }

@@ -19,9 +19,19 @@
 // With -metrics-addr set the daemon serves Prometheus text exposition on
 // /metrics, expvar-style JSON on /debug/vars, the flight-recorder dump
 // on /debug/events (JSON; filter with ?trace=<hex id>, ?kind=<name>,
-// ?limit=<n>), and the standard pprof profiles under /debug/pprof/ on a
-// dedicated listener. -trace-sample N records every Nth publication as
-// a structured log event with per-stage (match, deliver) timings.
+// ?limit=<n>), health probes on /healthz (liveness: 503 only when a
+// component — broker, WAL fail-stop latch, rebuilder, wire server — is
+// unhealthy) and /readyz (readiness: 503 until WAL recovery, the first
+// index snapshot and the listener are all up, and again if a component
+// goes unhealthy later), consumer-lag introspection on /debug/lag
+// (per-subscription and per-connection lag behind the broker head, as
+// JSON; pubsub-cli lag/top render it), the matching-index shape on
+// /debug/index, and the standard pprof profiles under /debug/pprof/ on
+// a dedicated listener. -trace-sample N records every Nth publication
+// as a structured log event with per-stage (match, deliver) timings.
+// -slow-sub-lag sets the lag, in events behind the head, past which a
+// subscription is flagged slow (degrading /healthz and counting
+// slow-transition metrics and flight records).
 //
 // The flight recorder itself is always on: a fixed-memory ring of
 // -events records (64 bytes each) capturing every publish plus per-stage
@@ -35,6 +45,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -48,6 +59,7 @@ import (
 
 	"repro/internal/broker"
 	"repro/internal/dispatch"
+	"repro/internal/health"
 	"repro/internal/telemetry"
 	"repro/internal/wal"
 	"repro/internal/wire"
@@ -67,6 +79,7 @@ func run(args []string) error {
 		buffer   = fs.Int("buffer", 64, "default per-subscription event buffer")
 		statsInt = fs.Duration("stats", 0, "log broker stats at this interval (0 disables)")
 
+		slowLag      = fs.Uint64("slow-sub-lag", 4096, "flag subscriptions this many events behind the head as slow (0 disables)")
 		overflow     = fs.String("overflow", "drop-newest", "default overflow policy: drop-newest, drop-oldest, block or cancel-slow")
 		blockTimeout = fs.Duration("block-timeout", 50*time.Millisecond, "bounded wait of the block overflow policy")
 		writeTO      = fs.Duration("write-timeout", 10*time.Second, "per-connection frame write deadline (0 disables)")
@@ -111,6 +124,15 @@ func run(args []string) error {
 	tracer := telemetry.NewTracer(logger, *traceSample)
 	rec := telemetry.NewRecorder(*events)
 
+	// Health is always wired, metrics or not: the SIGQUIT dump includes
+	// it, and the probe endpoints ride the metrics listener when one is
+	// configured. Readiness gates open one by one as boot progresses;
+	// /readyz serves 503 until all three have passed.
+	hr := health.NewRegistry()
+	hr.AddGate("wal-recovery")
+	hr.AddGate("snapshot")
+	hr.AddGate("listener")
+
 	var log *wal.Log
 	if *dataDir != "" {
 		sync, err := wal.ParseSyncPolicy(*fsyncPolicy)
@@ -129,6 +151,7 @@ func run(args []string) error {
 			return fmt.Errorf("opening publication log: %w", err)
 		}
 		defer log.Close()
+		log.RegisterHealth(hr)
 		rs := log.Recovered()
 		st := log.Stats()
 		logger.Info("publication log open",
@@ -143,17 +166,25 @@ func run(args []string) error {
 	} else if *fsyncPolicy != "always" || *retentionBytes != 0 {
 		return fmt.Errorf("-fsync/-retention-bytes need -data-dir")
 	}
+	// The gate passes either way: with a data dir once recovery finished
+	// above, without one because there is nothing to recover.
+	hr.PassGate("wal-recovery")
 
 	b := broker.New(broker.Options{
-		DefaultBuffer: *buffer,
-		Overflow:      policy,
-		BlockTimeout:  *blockTimeout,
-		Metrics:       reg,
-		Tracer:        tracer,
-		Recorder:      rec,
-		Log:           log,
+		DefaultBuffer:    *buffer,
+		Overflow:         policy,
+		BlockTimeout:     *blockTimeout,
+		SlowLagThreshold: *slowLag,
+		Metrics:          reg,
+		Tracer:           tracer,
+		Recorder:         rec,
+		Log:              log,
 	})
 	defer b.Close()
+	b.RegisterHealth(hr)
+	// New installs the first index snapshot synchronously, so matching
+	// is ready the moment it returns.
+	hr.PassGate("snapshot")
 	srv := wire.NewServerWith(b, wire.ServerOptions{
 		WriteTimeout: *writeTO,
 		IdleTimeout:  *idleTO,
@@ -161,6 +192,7 @@ func run(args []string) error {
 		Metrics:      reg,
 		Recorder:     rec,
 	})
+	srv.RegisterHealth(hr)
 
 	// SIGQUIT dumps the flight recorder to stderr and keeps running, so
 	// a live incident can be snapshotted without stopping the daemon.
@@ -172,6 +204,9 @@ func run(args []string) error {
 			if err := rec.WriteText(os.Stderr, 0, telemetry.KindNone, 0); err != nil {
 				logger.Error("flight recorder dump failed", "err", err)
 			}
+			if err := hr.WriteText(os.Stderr); err != nil {
+				logger.Error("health dump failed", "err", err)
+			}
 		}
 	}()
 
@@ -180,6 +215,20 @@ func run(args []string) error {
 		mux.Handle("/metrics", telemetry.Handler(reg))
 		mux.Handle("/debug/vars", telemetry.JSONHandler(reg))
 		mux.Handle("/debug/events", telemetry.EventsHandler(rec))
+		mux.Handle("/healthz", health.LivenessHandler(hr))
+		mux.Handle("/readyz", health.ReadinessHandler(hr))
+		mux.HandleFunc("/debug/lag", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			rep := struct {
+				broker.LagReport
+				Conns []wire.ConnLag `json:"conns"`
+			}{b.LagReport(), srv.ConnLags()}
+			_ = json.NewEncoder(w).Encode(rep)
+		})
+		mux.HandleFunc("/debug/index", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(b.IndexReport())
+		})
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -203,6 +252,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	hr.PassGate("listener")
 	logger.Info("listening",
 		"addr", ln.Addr().String(),
 		"overflow", policy.String(),

@@ -167,6 +167,44 @@ func TestRunMetricsEndpoint(t *testing.T) {
 		t.Error("pprof index did not render")
 	}
 
+	// Health probes: boot finished (subscribe and publish both worked),
+	// so liveness and readiness must both be green.
+	if body, _ := httpGet(t, "http://"+metricsAddr+"/healthz"); !strings.Contains(body, `"healthy"`) {
+		t.Errorf("/healthz body = %s", body)
+	}
+	if body, _ := httpGet(t, "http://"+metricsAddr+"/readyz"); !strings.Contains(body, `"ready"`) {
+		t.Errorf("/readyz body = %s", body)
+	}
+
+	// Consumer lag: one subscription fully caught up (head 1, delivered
+	// 1), one live connection.
+	lagBody, _ := httpGet(t, "http://"+metricsAddr+"/debug/lag")
+	var lag struct {
+		Head  uint64            `json:"head"`
+		Subs  []json.RawMessage `json:"subs"`
+		Conns []json.RawMessage `json:"conns"`
+	}
+	if err := json.Unmarshal([]byte(lagBody), &lag); err != nil {
+		t.Fatalf("/debug/lag is not JSON: %v\n%s", err, lagBody)
+	}
+	if lag.Head != 1 || len(lag.Subs) != 1 || len(lag.Conns) != 1 {
+		t.Errorf("/debug/lag = head %d, %d subs, %d conns; want 1/1/1\n%s",
+			lag.Head, len(lag.Subs), len(lag.Conns), lagBody)
+	}
+
+	// Index introspection: the live rectangle population and strategy.
+	idxBody, _ := httpGet(t, "http://"+metricsAddr+"/debug/index")
+	var idx struct {
+		Strategy      string `json:"strategy"`
+		Subscriptions int    `json:"subscriptions"`
+	}
+	if err := json.Unmarshal([]byte(idxBody), &idx); err != nil {
+		t.Fatalf("/debug/index is not JSON: %v\n%s", err, idxBody)
+	}
+	if idx.Strategy != "rebuild" || idx.Subscriptions != 1 {
+		t.Errorf("/debug/index = %+v, want rebuild strategy with 1 subscription", idx)
+	}
+
 	cli.Close()
 	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
 		t.Fatal(err)

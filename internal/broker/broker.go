@@ -166,6 +166,18 @@ type Options struct {
 	// original in-memory path bit-for-bit: no log, no fsync, Seq from a
 	// process-local counter.
 	Log *wal.Log
+	// SlowLagThreshold flags a subscription as slow when an overflow
+	// drop finds it at least this many events behind the broker head
+	// (the WAL offset when durable, the Seq counter otherwise). A slow
+	// transition bumps a counter and writes a slow_sub flight record;
+	// the flag clears on the next successful delivery. Zero disables
+	// detection.
+	SlowLagThreshold uint64
+	// StaleWindow is how long the rebuilder may leave rebuild-worthy
+	// churn (an overlay or stale fraction past the trigger thresholds)
+	// unfolded before the broker's health check reports Degraded. Zero
+	// selects 10s.
+	StaleWindow time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -177,6 +189,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BlockTimeout == 0 {
 		o.BlockTimeout = 50 * time.Millisecond
+	}
+	if o.StaleWindow == 0 {
+		o.StaleWindow = 10 * time.Second
 	}
 	return o
 }
@@ -292,7 +307,19 @@ type Broker struct {
 	rebuilds  atomic.Uint64
 	highWater atomic.Int64
 	lastDrop  atomic.Int64 // unix nanos of most recent drop
-	consumers sync.WaitGroup
+	// head is the highest sequence number assigned to any publication —
+	// the WAL offset in durable mode, the Seq counter otherwise. Lag
+	// reporting reads it without touching the WAL mutex.
+	head atomic.Uint64
+	// lastRebuildNS is the recorder-clock time of the last index
+	// rebuild install (broker creation before the first), feeding the
+	// rebuilder staleness health check.
+	lastRebuildNS atomic.Int64
+	// slowSubs counts subscriptions currently flagged slow;
+	// slowTransitions counts healthy→slow flips since creation.
+	slowSubs        atomic.Int64
+	slowTransitions atomic.Uint64
+	consumers       sync.WaitGroup
 }
 
 // New creates an empty broker.
@@ -309,6 +336,12 @@ func New(opts Options) *Broker {
 	if b.rec == nil {
 		b.rec = telemetry.Default()
 	}
+	if b.log != nil {
+		// Offsets already assigned by a previous process are the head a
+		// resuming subscriber lags behind.
+		b.head.Store(b.log.NextOffset() - 1)
+	}
+	b.lastRebuildNS.Store(b.rec.Now())
 	b.scratch.New = func() any { return &pubScratch{} }
 	b.snap.Store(&snapshot{})
 	b.tel = newBrokerTel(b, opts.Metrics)
@@ -342,6 +375,17 @@ type Subscription struct {
 	highWater    atomic.Int64
 	lastDrop     atomic.Int64 // unix nanos
 	evicting     atomic.Bool
+	// deliveredSeq is the highest Seq successfully enqueued on ch (the
+	// broker head at creation before the first delivery); the gap to
+	// the broker head is the subscription's lag in events.
+	deliveredSeq atomic.Uint64
+	// deliveredAtNS is the recorder-clock time of the last successful
+	// enqueue (creation time before the first); its age is the
+	// subscription's lag age while it is behind.
+	deliveredAtNS atomic.Int64
+	// slow is set while the subscription sits past the broker's
+	// SlowLagThreshold, flipped by drops and cleared by deliveries.
+	slow atomic.Bool
 }
 
 // ID returns the broker-assigned subscription identifier.
@@ -400,7 +444,30 @@ func (s *Subscription) noteDepth() {
 	}
 }
 
-// noteDrop records one overflow loss on this subscription.
+// noteDelivered records a successful enqueue: it advances the
+// subscription's delivered offset (monotonically — concurrent
+// publishers may land out of order), stamps the delivery time, and
+// clears a standing slow flag now that the subscription is keeping up.
+// nowNS is the recorder-clock time the caller already read for its
+// publish record, so the success path adds no clock read.
+func (s *Subscription) noteDelivered(seq uint64, nowNS int64) {
+	for {
+		cur := s.deliveredSeq.Load()
+		if seq <= cur || s.deliveredSeq.CompareAndSwap(cur, seq) {
+			break
+		}
+	}
+	s.deliveredAtNS.Store(nowNS)
+	if s.slow.Load() && s.slow.CompareAndSwap(true, false) {
+		s.b.slowSubs.Add(-1)
+		s.b.rec.Record(telemetry.KindSlowSub, 0, seq,
+			int64(s.id), 0, 0, int64(s.dropCt.Load()))
+	}
+}
+
+// noteDrop records one overflow loss on this subscription and, when
+// slow-subscriber detection is on, flags the subscription once its lag
+// behind the broker head crosses the threshold.
 func (s *Subscription) noteDrop() {
 	now := time.Now().UnixNano()
 	s.dropCt.Add(1)
@@ -408,6 +475,17 @@ func (s *Subscription) noteDrop() {
 	s.b.dropped.Add(1)
 	s.b.lastDrop.Store(now)
 	s.b.tel.drop(s.policy)
+	if thr := s.b.opts.SlowLagThreshold; thr > 0 {
+		head := s.b.head.Load()
+		seen := s.deliveredSeq.Load()
+		if head > seen && head-seen >= thr && s.slow.CompareAndSwap(false, true) {
+			s.b.slowSubs.Add(1)
+			s.b.slowTransitions.Add(1)
+			s.b.tel.slowTransition()
+			s.b.rec.Record(telemetry.KindSlowSub, 0, head,
+				int64(s.id), int64(head-seen), 1, int64(s.dropCt.Load()))
+		}
+	}
 }
 
 // closeCh closes the event channel, serialised against in-flight
@@ -540,6 +618,10 @@ func (b *Broker) SubscribeWith(opts SubscribeOptions, rects ...geometry.Rect) (*
 		policy:       policy,
 		blockTimeout: blockTimeout,
 	}
+	// A new subscription starts with zero lag: it is only behind events
+	// published after this point.
+	s.deliveredSeq.Store(b.head.Load())
+	s.deliveredAtNS.Store(b.rec.Now())
 	b.nextID++
 	b.subs[s.id] = s
 	// Both strategies collect one target per matching rectangle, so both
@@ -678,6 +760,7 @@ func (b *Broker) rebuildOnce() {
 	b.stale = b.pendingStale
 	b.pendingStale = 0
 	b.rebuilds.Add(1)
+	b.lastRebuildNS.Store(b.rec.Now())
 	b.publishSnapshotLocked()
 	overlayLeft := len(b.overlay)
 	rebuilds := b.rebuilds.Load()
@@ -905,6 +988,14 @@ func (b *Broker) PublishTraced(p geometry.Point, payload []byte, traceID uint64)
 	if b.log == nil {
 		seq = b.seq.Add(1)
 	}
+	// Advance the lag head monotonically; concurrent publishers may
+	// reach this line out of seq order.
+	for {
+		cur := b.head.Load()
+		if seq <= cur || b.head.CompareAndSwap(cur, seq) {
+			break
+		}
+	}
 	ev := Event{Seq: seq, TraceID: traceID}
 	if detail {
 		rec.Record(telemetry.KindMatch, traceID, ev.Seq,
@@ -925,7 +1016,7 @@ func (b *Broker) PublishTraced(p geometry.Point, payload []byte, traceID uint64)
 	prep := eventPrep{src: p, payload: payload}
 	delivered := 0
 	for _, s := range targets {
-		if b.deliver(s, &ev, &prep, detail) {
+		if b.deliver(s, &ev, &prep, detail, r0) {
 			delivered++
 		}
 	}
@@ -974,7 +1065,7 @@ func (b *Broker) PublishTraced(p geometry.Point, payload []byte, traceID uint64)
 // writes nothing here).
 //
 //pubsub:commit -- hands the event to subscriber queues; after this the publication is observable
-func (b *Broker) deliver(s *Subscription, ev *Event, pr *eventPrep, detail bool) bool {
+func (b *Broker) deliver(s *Subscription, ev *Event, pr *eventPrep, detail bool, nowNS int64) bool {
 	if s.evicting.Load() {
 		return false // CancelSlow eviction pending
 	}
@@ -995,6 +1086,7 @@ func (b *Broker) deliver(s *Subscription, ev *Event, pr *eventPrep, detail bool)
 	pr.materialize(ev)
 	select {
 	case s.ch <- *ev:
+		s.noteDelivered(ev.Seq, nowNS)
 		s.noteDepth()
 		if detail {
 			b.rec.Record(telemetry.KindDeliver, ev.TraceID, ev.Seq, int64(s.id), int64(len(s.ch)), 0, 0)
@@ -1003,7 +1095,7 @@ func (b *Broker) deliver(s *Subscription, ev *Event, pr *eventPrep, detail bool)
 	default:
 	}
 	//pubsub:allow locksafe -- overflow handling may wait boundedly (blockTimeout) under the per-subscription sendMu only; b.mu is not held
-	return b.deliverOverflow(s, ev, detail)
+	return b.deliverOverflow(s, ev, detail, nowNS)
 }
 
 // deliverOverflow applies the subscription's overflow policy after a
@@ -1012,7 +1104,7 @@ func (b *Broker) deliver(s *Subscription, ev *Event, pr *eventPrep, detail bool)
 // DropNewest. The caller holds s.sendMu.
 //
 //pubsub:coldpath -- runs only when a subscriber buffer is full; the steady-state fast path is the non-blocking send in deliver
-func (b *Broker) deliverOverflow(s *Subscription, ev *Event, detail bool) bool {
+func (b *Broker) deliverOverflow(s *Subscription, ev *Event, detail bool, nowNS int64) bool {
 	switch s.policy {
 	case DropOldest:
 		// Evict buffered events until the new one fits. sendMu keeps
@@ -1030,6 +1122,7 @@ func (b *Broker) deliverOverflow(s *Subscription, ev *Event, detail bool) bool {
 			}
 			select {
 			case s.ch <- *ev:
+				s.noteDelivered(ev.Seq, nowNS)
 				s.noteDepth()
 				if detail {
 					b.rec.Record(telemetry.KindDeliver, ev.TraceID, ev.Seq, int64(s.id), int64(len(s.ch)), 0, 0)
@@ -1043,6 +1136,7 @@ func (b *Broker) deliverOverflow(s *Subscription, ev *Event, detail bool) bool {
 		defer t.Stop()
 		select {
 		case s.ch <- *ev:
+			s.noteDelivered(ev.Seq, nowNS)
 			s.noteDepth()
 			if detail {
 				b.rec.Record(telemetry.KindDeliver, ev.TraceID, ev.Seq, int64(s.id), int64(len(s.ch)), 0, 0)

@@ -21,6 +21,7 @@ type brokerTel struct {
 	nodesVisited   *telemetry.Histogram
 	leavesVisited  *telemetry.Histogram
 	entriesTested  *telemetry.Histogram
+	slowSubsTotal  *telemetry.Counter
 }
 
 // newBrokerTel registers the broker's metric families against reg and
@@ -80,7 +81,44 @@ func newBrokerTel(b *Broker, reg *telemetry.Registry) *brokerTel {
 		"Deepest any subscription buffer has been.", func() float64 {
 			return float64(b.highWater.Load())
 		})
+	t.slowSubsTotal = reg.Counter("pubsub_broker_slow_transitions_total",
+		"Subscriptions crossing the slow-lag threshold (healthy-to-slow flips).")
+	reg.GaugeFunc("pubsub_broker_head_seq",
+		"Highest assigned sequence number: the WAL offset when durable, the in-memory Seq otherwise.",
+		func() float64 { return float64(b.head.Load()) })
+	reg.GaugeFunc("pubsub_broker_max_lag_events",
+		"Largest per-subscription consumer lag behind the broker head, in events.",
+		func() float64 { return float64(b.maxLag()) })
+	reg.GaugeFunc("pubsub_broker_max_lag_age_seconds",
+		"Longest time since a lagging subscription's last successful delivery.",
+		func() float64 {
+			head := b.head.Load()
+			nowNS := b.rec.Now()
+			var maxNS int64
+			b.mu.RLock()
+			for _, s := range b.subs {
+				if lag, ageNS := lagOf(s, head, nowNS); lag > 0 && ageNS > maxNS {
+					maxNS = ageNS
+				}
+			}
+			b.mu.RUnlock()
+			return float64(maxNS) / 1e9
+		})
+	reg.GaugeFunc("pubsub_broker_slow_subscriptions",
+		"Subscriptions currently flagged past the slow-lag threshold.",
+		func() float64 { return float64(b.slowSubs.Load()) })
+	reg.HistogramFunc("pubsub_broker_lag_events",
+		"Per-subscription consumer lag behind the broker head at scrape time, in events (live distribution, not an accumulation).",
+		b.lagHistogram)
 	return t
+}
+
+// slowTransition counts one healthy-to-slow flip.
+func (t *brokerTel) slowTransition() {
+	if t == nil {
+		return
+	}
+	t.slowSubsTotal.Inc()
 }
 
 // drop records one overflow loss under the given policy.

@@ -1,0 +1,61 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// livenessBody is the JSON rendering of a /healthz probe.
+type livenessBody struct {
+	Status     string   `json:"status"`
+	Components []Result `json:"components,omitempty"`
+}
+
+// readinessBody is the JSON rendering of a /readyz probe.
+type readinessBody struct {
+	Status  string   `json:"status"`
+	Pending []string `json:"pending,omitempty"`
+}
+
+// LivenessHandler serves /healthz: 200 while every component is
+// healthy or degraded, 503 once any component reports unhealthy. The
+// body lists every component's state and reason, so a failing probe is
+// self-explaining.
+func LivenessHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		rep := r.Evaluate()
+		code := http.StatusOK
+		if rep.State == Unhealthy {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, livenessBody{Status: rep.State.String(), Components: rep.Results})
+	})
+}
+
+// ReadinessHandler serves /readyz: 503 until every declared gate has
+// passed AND no component is unhealthy, 200 after. An unhealthy
+// component un-readies the endpoint even after boot, so a latched WAL
+// pulls the instance out of a load balancer rotation.
+func ReadinessHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		ready, pending := r.Ready()
+		rep := r.Evaluate()
+		if ready && rep.State != Unhealthy {
+			writeJSON(w, http.StatusOK, readinessBody{Status: "ready"})
+			return
+		}
+		body := readinessBody{Status: "not ready", Pending: pending}
+		if rep.State == Unhealthy {
+			body.Status = "unhealthy"
+		}
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}

@@ -1,0 +1,215 @@
+// Package health is a small component health registry: long-lived
+// subsystems (broker, WAL, wire server, rebuilder) register pull-style
+// check functions, and probes evaluate them on demand. Checks run only
+// when a probe asks, so registering one adds zero cost to the publish
+// hot path. The package also tracks one-shot readiness gates — boot
+// milestones such as "WAL recovery replayed" and "first index snapshot
+// built" — that flip exactly once and gate /readyz separately from the
+// live checks.
+//
+// All methods are safe on a nil *Registry, so components can accept an
+// optional registry without guarding every call.
+package health
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// State is a component's health verdict, ordered by severity.
+type State int
+
+const (
+	// Healthy means the component is operating normally.
+	Healthy State = iota
+	// Degraded means the component works but something needs operator
+	// attention (a stale index, a climbing keepalive-miss rate).
+	Degraded
+	// Unhealthy means the component has failed and will not recover on
+	// its own (a latched WAL, a dead listener).
+	Unhealthy
+)
+
+// String returns the lowercase state name used in probe bodies.
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Unhealthy:
+		return "unhealthy"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Check reports a component's current state and a short human reason.
+// Checks run at probe time and must be safe for concurrent use; they
+// should read a few atomics or a small snapshot, not take broker-wide
+// locks.
+type Check func() (State, string)
+
+// Result is one evaluated check.
+type Result struct {
+	Component string `json:"component"`
+	State     string `json:"state"`
+	Reason    string `json:"reason,omitempty"`
+}
+
+// Report is the outcome of evaluating every registered check.
+type Report struct {
+	// State is the worst component state.
+	State State
+	// Results lists every component, sorted by name.
+	Results []Result
+}
+
+// Registry holds named health checks and readiness gates. The zero
+// value is unusable; create one with NewRegistry.
+type Registry struct {
+	mu     sync.RWMutex
+	checks map[string]Check
+	order  []string
+	gates  map[string]bool // gate name -> done
+	gorder []string
+}
+
+// NewRegistry creates an empty health registry.
+func NewRegistry() *Registry {
+	return &Registry{checks: make(map[string]Check), gates: make(map[string]bool)}
+}
+
+// Register adds (or replaces) a component's check function. A nil
+// check unregisters the component.
+func (r *Registry) Register(component string, check Check) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if check == nil {
+		if _, ok := r.checks[component]; ok {
+			delete(r.checks, component)
+			for i, n := range r.order {
+				if n == component {
+					r.order = append(r.order[:i], r.order[i+1:]...)
+					break
+				}
+			}
+		}
+		return
+	}
+	if _, ok := r.checks[component]; !ok {
+		r.order = append(r.order, component)
+	}
+	r.checks[component] = check
+}
+
+// AddGate declares a named readiness gate in the not-done state. Gates
+// are boot milestones: readiness stays false until every declared gate
+// has been passed. Declaring an existing gate is a no-op (its state is
+// kept).
+func (r *Registry) AddGate(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.gates[name]; ok {
+		return
+	}
+	r.gates[name] = false
+	r.gorder = append(r.gorder, name)
+}
+
+// PassGate marks a gate as done. Passing an undeclared gate declares
+// and passes it in one step; passing twice is a no-op.
+func (r *Registry) PassGate(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.gates[name]; !ok {
+		r.gorder = append(r.gorder, name)
+	}
+	r.gates[name] = true
+}
+
+// Ready reports whether every declared gate has passed, along with the
+// names of the gates still pending (sorted).
+func (r *Registry) Ready() (bool, []string) {
+	if r == nil {
+		return true, nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var pending []string
+	for name, done := range r.gates {
+		if !done {
+			pending = append(pending, name)
+		}
+	}
+	sort.Strings(pending)
+	return len(pending) == 0, pending
+}
+
+// Evaluate runs every registered check and folds the results into a
+// report. The registry lock covers only the copy of the check table;
+// the checks themselves run unlocked, so a slow check cannot block
+// registration. A nil registry evaluates to an empty healthy report.
+func (r *Registry) Evaluate() Report {
+	if r == nil {
+		return Report{}
+	}
+	r.mu.RLock()
+	names := append([]string(nil), r.order...)
+	checks := make([]Check, len(names))
+	for i, n := range names {
+		checks[i] = r.checks[n]
+	}
+	r.mu.RUnlock()
+
+	rep := Report{Results: make([]Result, len(names))}
+	for i, c := range checks {
+		st, reason := c()
+		rep.Results[i] = Result{Component: names[i], State: st.String(), Reason: reason}
+		if st > rep.State {
+			rep.State = st
+		}
+	}
+	sort.Slice(rep.Results, func(i, j int) bool { return rep.Results[i].Component < rep.Results[j].Component })
+	return rep
+}
+
+// WriteText renders the report as one "component: state (reason)" line
+// per component, preceded by the overall verdict — the format appended
+// to SIGQUIT dumps.
+func (r *Registry) WriteText(w io.Writer) error {
+	rep := r.Evaluate()
+	ready, pending := r.Ready()
+	if _, err := fmt.Fprintf(w, "health: %s", rep.State); err != nil {
+		return err
+	}
+	if !ready {
+		if _, err := fmt.Fprintf(w, " (not ready: %v)", pending); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	for _, res := range rep.Results {
+		line := fmt.Sprintf("  %s: %s", res.Component, res.State)
+		if res.Reason != "" {
+			line += " (" + res.Reason + ")"
+		}
+		if _, err := io.WriteString(w, line+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestStateOrderingAndString(t *testing.T) {
+	if !(Healthy < Degraded && Degraded < Unhealthy) {
+		t.Fatal("state severity ordering broken")
+	}
+	for st, want := range map[State]string{Healthy: "healthy", Degraded: "degraded", Unhealthy: "unhealthy"} {
+		if st.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(st), st.String(), want)
+		}
+	}
+}
+
+func TestEvaluateWorstStateWins(t *testing.T) {
+	r := NewRegistry()
+	r.Register("a", func() (State, string) { return Healthy, "" })
+	r.Register("b", func() (State, string) { return Degraded, "stale index" })
+	rep := r.Evaluate()
+	if rep.State != Degraded {
+		t.Fatalf("state = %v, want degraded", rep.State)
+	}
+	r.Register("c", func() (State, string) { return Unhealthy, "wal latched" })
+	rep = r.Evaluate()
+	if rep.State != Unhealthy {
+		t.Fatalf("state = %v, want unhealthy", rep.State)
+	}
+	if len(rep.Results) != 3 || rep.Results[0].Component != "a" || rep.Results[2].Reason != "wal latched" {
+		t.Fatalf("results wrong: %+v", rep.Results)
+	}
+}
+
+func TestRegisterReplaceAndUnregister(t *testing.T) {
+	r := NewRegistry()
+	r.Register("x", func() (State, string) { return Unhealthy, "v1" })
+	r.Register("x", func() (State, string) { return Healthy, "v2" })
+	rep := r.Evaluate()
+	if len(rep.Results) != 1 || rep.Results[0].Reason != "v2" {
+		t.Fatalf("replacement not effective: %+v", rep.Results)
+	}
+	r.Register("x", nil)
+	if rep := r.Evaluate(); len(rep.Results) != 0 {
+		t.Fatalf("unregister left results: %+v", rep.Results)
+	}
+}
+
+func TestGates(t *testing.T) {
+	r := NewRegistry()
+	if ready, _ := r.Ready(); !ready {
+		t.Fatal("no gates should mean ready")
+	}
+	r.AddGate("wal-recovery")
+	r.AddGate("snapshot")
+	ready, pending := r.Ready()
+	if ready || len(pending) != 2 {
+		t.Fatalf("ready = %v pending = %v, want not ready with 2 pending", ready, pending)
+	}
+	r.PassGate("wal-recovery")
+	ready, pending = r.Ready()
+	if ready || len(pending) != 1 || pending[0] != "snapshot" {
+		t.Fatalf("ready = %v pending = %v, want snapshot pending", ready, pending)
+	}
+	r.PassGate("snapshot")
+	r.PassGate("snapshot") // idempotent
+	if ready, _ := r.Ready(); !ready {
+		t.Fatal("all gates passed but not ready")
+	}
+	// Re-declaring a passed gate keeps its state.
+	r.AddGate("snapshot")
+	if ready, _ := r.Ready(); !ready {
+		t.Fatal("AddGate reset a passed gate")
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	r.Register("x", func() (State, string) { return Unhealthy, "" })
+	r.AddGate("g")
+	r.PassGate("g")
+	if rep := r.Evaluate(); rep.State != Healthy || len(rep.Results) != 0 {
+		t.Fatalf("nil Evaluate = %+v", rep)
+	}
+	if ready, _ := r.Ready(); !ready {
+		t.Fatal("nil registry should be ready")
+	}
+	if err := r.WriteText(&strings.Builder{}); err != nil {
+		t.Fatalf("nil WriteText: %v", err)
+	}
+}
+
+func TestLivenessHandler(t *testing.T) {
+	r := NewRegistry()
+	state := Healthy
+	var mu sync.Mutex
+	r.Register("broker", func() (State, string) {
+		mu.Lock()
+		defer mu.Unlock()
+		return state, "reason here"
+	})
+
+	probe := func() (int, livenessBody) {
+		rec := httptest.NewRecorder()
+		LivenessHandler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+		var body livenessBody
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("bad body: %v\n%s", err, rec.Body.String())
+		}
+		return rec.Code, body
+	}
+
+	if code, body := probe(); code != 200 || body.Status != "healthy" {
+		t.Fatalf("healthy probe = %d %+v", code, body)
+	}
+	mu.Lock()
+	state = Degraded
+	mu.Unlock()
+	if code, body := probe(); code != 200 || body.Status != "degraded" {
+		t.Fatalf("degraded probe = %d %+v (degraded must stay 200)", code, body)
+	}
+	mu.Lock()
+	state = Unhealthy
+	mu.Unlock()
+	if code, body := probe(); code != 503 || body.Status != "unhealthy" || len(body.Components) != 1 {
+		t.Fatalf("unhealthy probe = %d %+v", code, body)
+	}
+}
+
+func TestReadinessHandler(t *testing.T) {
+	r := NewRegistry()
+	r.AddGate("boot")
+	probe := func() (int, readinessBody) {
+		rec := httptest.NewRecorder()
+		ReadinessHandler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+		var body readinessBody
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("bad body: %v\n%s", err, rec.Body.String())
+		}
+		return rec.Code, body
+	}
+	if code, body := probe(); code != 503 || len(body.Pending) != 1 {
+		t.Fatalf("pre-boot probe = %d %+v", code, body)
+	}
+	r.PassGate("boot")
+	if code, body := probe(); code != 200 || body.Status != "ready" {
+		t.Fatalf("post-boot probe = %d %+v", code, body)
+	}
+	// An unhealthy component un-readies even after boot.
+	r.Register("wal", func() (State, string) { return Unhealthy, "latched" })
+	if code, body := probe(); code != 503 || body.Status != "unhealthy" {
+		t.Fatalf("unhealthy probe = %d %+v", code, body)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.AddGate("snapshot")
+	r.Register("wal", func() (State, string) { return Degraded, "sync p99 high" })
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"health: degraded", "not ready", "snapshot", "wal: degraded (sync p99 high)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentRegisterEvaluate(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Register("c", func() (State, string) { return Healthy, "" })
+				r.PassGate("g")
+			}
+		}(i)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Evaluate()
+				r.Ready()
+			}
+		}()
+	}
+	wg.Wait()
+}

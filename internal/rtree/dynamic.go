@@ -54,6 +54,34 @@ func MustNewDynamic(m int) *Dynamic {
 // Len reports the number of stored entries.
 func (t *Dynamic) Len() int { return t.size }
 
+// Stats computes structural statistics of the in-place tree, in the
+// same shape the packed trees report.
+func (t *Dynamic) Stats() TreeStats {
+	var s TreeStats
+	if t == nil || t.root == nil {
+		return s
+	}
+	var walk func(n *dnode, depth int)
+	walk = func(n *dnode, depth int) {
+		s.Nodes++
+		if depth > s.Height {
+			s.Height = depth
+		}
+		if n.leaf {
+			s.Leaves++
+			return
+		}
+		if len(n.children) > s.MaxBranch {
+			s.MaxBranch = len(n.children)
+		}
+		for _, c := range n.children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.root, 1)
+	return s
+}
+
 // Insert adds an entry. Rectangles must be non-empty and share
 // dimensionality with previous insertions.
 func (t *Dynamic) Insert(e Entry) error {

@@ -329,6 +329,16 @@ type TreeStats struct {
 	MaxBranch int
 }
 
+// FlatSize reports the node and entry counts of the flattened
+// structure-of-arrays form queries actually traverse (0, 0 before the
+// tree is built).
+func (t *Tree) FlatSize() (nodes, entries int) {
+	if t == nil || t.flat == nil {
+		return 0, 0
+	}
+	return t.flat.NumNodes(), t.flat.NumEntries()
+}
+
 // Stats computes structural statistics.
 func (t *Tree) Stats() TreeStats {
 	var s TreeStats

@@ -631,6 +631,16 @@ func (t *Tree) Stats() TreeStats {
 	return s
 }
 
+// FlatSize reports the node and entry counts of the flattened
+// structure-of-arrays form queries actually traverse (0, 0 before the
+// tree is built).
+func (t *Tree) FlatSize() (nodes, entries int) {
+	if t == nil || t.flat == nil {
+		return 0, 0
+	}
+	return t.flat.NumNodes(), t.flat.NumEntries()
+}
+
 // checkInvariants verifies structural invariants; it is used by tests.
 // It returns an error describing the first violation found.
 func (t *Tree) checkInvariants() error {

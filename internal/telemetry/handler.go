@@ -11,7 +11,10 @@ import (
 )
 
 // WriteProm renders every family in the Prometheus text exposition
-// format (version 0.0.4).
+// format (version 0.0.4). Histogram families with at least one
+// observation are followed by companion <name>_min and <name>_max
+// gauge families carrying the exact observed extremes (histogram
+// exposition has no native min/max slot).
 func (r *Registry) WriteProm(w io.Writer) error {
 	for _, f := range r.Gather() {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.Name, escapeHelp(f.Help), f.Name, f.Kind); err != nil {
@@ -25,6 +28,51 @@ func (r *Registry) WriteProm(w io.Writer) error {
 				continue
 			}
 			if err := writePromHistogram(w, f.Name, s); err != nil {
+				return err
+			}
+		}
+		if f.Kind == KindHistogram {
+			if err := writePromExtremes(w, f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePromExtremes renders the <name>_min / <name>_max companion
+// gauge families for every non-empty sample of a histogram family.
+// Samples with zero observations are skipped (no extremes exist), and
+// when every sample is empty the families are omitted entirely.
+func writePromExtremes(w io.Writer, f Family) error {
+	any := false
+	for _, s := range f.Samples {
+		if s.Hist != nil && s.Hist.Count > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	for _, suffix := range []string{"_min", "_max"} {
+		what := "minimum"
+		if suffix == "_max" {
+			what = "maximum"
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s%s Exact observed %s of %s.\n# TYPE %s%s gauge\n",
+			f.Name, suffix, what, f.Name, f.Name, suffix); err != nil {
+			return err
+		}
+		for _, s := range f.Samples {
+			if s.Hist == nil || s.Hist.Count == 0 {
+				continue
+			}
+			v := s.Hist.Min
+			if suffix == "_max" {
+				v = s.Hist.Max
+			}
+			if _, err := fmt.Fprintf(w, "%s%s%s %s\n", f.Name, suffix, s.LabelString, formatFloat(v)); err != nil {
 				return err
 			}
 		}
@@ -81,6 +129,8 @@ type jsonHistogram struct {
 	Count   uint64            `json:"count"`
 	Sum     float64           `json:"sum"`
 	Mean    float64           `json:"mean"`
+	Min     float64           `json:"min"`
+	Max     float64           `json:"max"`
 	P50     float64           `json:"p50"`
 	P90     float64           `json:"p90"`
 	P99     float64           `json:"p99"`
@@ -104,6 +154,8 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				Count:   h.Count,
 				Sum:     h.Sum,
 				Mean:    h.Mean(),
+				Min:     h.Min,
+				Max:     h.Max,
 				P50:     h.Quantile(0.50),
 				P90:     h.Quantile(0.90),
 				P99:     h.Quantile(0.99),

@@ -192,6 +192,78 @@ func TestPromExpositionConformance(t *testing.T) {
 	}
 }
 
+func TestPromHistogramMinMaxFamilies(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mm_lat_seconds", "latency", []float64{0.001, 0.01})
+	h.Observe(0.0004)
+	h.Observe(7.5)
+	r.Histogram("mm_empty_seconds", "never observed", []float64{1})
+
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+
+	for _, want := range []string{
+		"# TYPE mm_lat_seconds_min gauge",
+		"# TYPE mm_lat_seconds_max gauge",
+		"mm_lat_seconds_min 0.0004",
+		"mm_lat_seconds_max 7.5",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("missing %q in exposition:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, "mm_empty_seconds_min") || strings.Contains(body, "mm_empty_seconds_max") {
+		t.Fatalf("empty histogram grew min/max families:\n%s", body)
+	}
+}
+
+func TestHistogramFuncScrapeTime(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	r.HistogramFunc("hf_lag_events", "live lag distribution", func() HistogramSnapshot {
+		calls++
+		return HistogramSnapshot{
+			Bounds: []float64{1, 10},
+			Counts: []uint64{2, 1, 1},
+			Count:  4,
+			Sum:    25,
+			Min:    0,
+			Max:    14,
+		}
+	})
+	fams := r.Gather()
+	if calls != 1 {
+		t.Fatalf("fn called %d times during Gather, want 1", calls)
+	}
+	var found *HistogramSnapshot
+	for _, f := range fams {
+		if f.Name == "hf_lag_events" {
+			if f.Kind != KindHistogram || len(f.Samples) != 1 {
+				t.Fatalf("hf_lag_events family malformed: %+v", f)
+			}
+			found = f.Samples[0].Hist
+		}
+	}
+	if found == nil || found.Count != 4 || found.Max != 14 {
+		t.Fatalf("scrape-time histogram not gathered: %+v", found)
+	}
+
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE hf_lag_events histogram",
+		`hf_lag_events_bucket{le="+Inf"} 4`,
+		"hf_lag_events_count 4",
+		"hf_lag_events_max 14",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("missing %q in exposition:\n%s", want, body)
+		}
+	}
+}
+
 func assertJSONBody(t *testing.T, rec *httptest.ResponseRecorder) {
 	t.Helper()
 	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -10,22 +11,31 @@ import (
 // bucket i counts observations v <= Bounds[i] (upper bounds inclusive),
 // with one implicit +Inf bucket at the end. Observe is lock-free and
 // allocation-free; the per-bucket counts are plain atomics (bucket
-// choice already spreads writers) and the sum is sharded. All methods
-// are safe on a nil receiver.
+// choice already spreads writers) and the sum is sharded. The exact
+// observed minimum and maximum are tracked alongside the buckets so
+// quantile estimates can clamp to the real distribution tails instead
+// of the bucket edges. All methods are safe on a nil receiver.
 type Histogram struct {
 	bounds []float64
 	counts []atomic.Uint64 // len(bounds)+1; the last is +Inf
 	sum    shardedFloat
+	// minBits/maxBits hold math.Float64bits of the exact observed
+	// extremes, updated by CAS. Zero count means neither is valid.
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	owned := append([]float64(nil), bounds...)
 	sort.Float64s(owned)
-	return &Histogram{
+	h := &Histogram{
 		bounds: owned,
 		counts: make([]atomic.Uint64, len(owned)+1),
 		sum:    newShardedFloat(),
 	}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
 }
 
 // Observe records one value.
@@ -38,6 +48,18 @@ func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
 	h.sum.add(v)
+	for {
+		cur := h.minBits.Load()
+		if v >= math.Float64frombits(cur) || h.minBits.CompareAndSwap(cur, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		cur := h.maxBits.Load()
+		if v <= math.Float64frombits(cur) || h.maxBits.CompareAndSwap(cur, math.Float64bits(v)) {
+			break
+		}
+	}
 }
 
 // ObserveDuration records a duration in seconds, the Prometheus
@@ -64,6 +86,24 @@ func (h *Histogram) Sum() float64 {
 	return h.sum.value()
 }
 
+// Min returns the exact smallest observed value and whether any value
+// has been observed.
+func (h *Histogram) Min() (float64, bool) {
+	if h == nil || h.Count() == 0 {
+		return 0, false
+	}
+	return math.Float64frombits(h.minBits.Load()), true
+}
+
+// Max returns the exact largest observed value and whether any value
+// has been observed.
+func (h *Histogram) Max() (float64, bool) {
+	if h == nil || h.Count() == 0 {
+		return 0, false
+	}
+	return math.Float64frombits(h.maxBits.Load()), true
+}
+
 // Snapshot captures a consistent-enough view of the histogram for
 // rendering and quantile estimation. (Buckets are read one atomic at a
 // time; a scrape racing Observe can be off by the in-flight
@@ -82,6 +122,10 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Counts[i] = c
 		s.Count += c
 	}
+	if s.Count > 0 {
+		s.Min = math.Float64frombits(h.minBits.Load())
+		s.Max = math.Float64frombits(h.maxBits.Load())
+	}
 	return s
 }
 
@@ -91,12 +135,17 @@ type HistogramSnapshot struct {
 	Counts []uint64  // per-bucket counts (not cumulative); len(Bounds)+1
 	Count  uint64
 	Sum    float64
+	Min    float64 // exact observed minimum; valid only when Count > 0
+	Max    float64 // exact observed maximum; valid only when Count > 0
 }
 
 // Quantile estimates the q-quantile (0 <= q <= 1) by linear
 // interpolation within the bucket containing it, the standard
-// fixed-bucket estimator. Observations in the +Inf bucket clamp to the
-// highest finite bound. Returns 0 for an empty histogram.
+// fixed-bucket estimator. When the snapshot carries exact Min/Max the
+// estimate is clamped to [Min, Max], so tail quantiles report real
+// observed extremes instead of bucket edges; in particular the +Inf
+// bucket resolves to Max rather than the highest finite bound. Returns
+// 0 for an empty histogram.
 func (s HistogramSnapshot) Quantile(q float64) float64 {
 	if s.Count == 0 || len(s.Bounds) == 0 {
 		return 0
@@ -116,7 +165,11 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 			continue
 		}
 		if i >= len(s.Bounds) {
-			// +Inf bucket: clamp to the largest finite bound.
+			// +Inf bucket: the exact Max when we have one, else the
+			// largest finite bound.
+			if s.Max > s.Bounds[len(s.Bounds)-1] {
+				return s.Max
+			}
 			return s.Bounds[len(s.Bounds)-1]
 		}
 		lo := 0.0
@@ -124,9 +177,27 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 			lo = s.Bounds[i-1]
 		}
 		hi := s.Bounds[i]
-		return lo + (hi-lo)*((rank-prev)/float64(c))
+		return s.clamp(lo + (hi-lo)*((rank-prev)/float64(c)))
 	}
-	return s.Bounds[len(s.Bounds)-1]
+	return s.clamp(s.Bounds[len(s.Bounds)-1])
+}
+
+// clamp bounds an interpolated estimate to the exact observed range
+// when the snapshot has one (Min <= Max only when Count > 0 and the
+// fields were populated; a zero-valued pair from an older producer is
+// indistinguishable from "unset", so clamp only when the pair is
+// ordered and at least one side is nonzero).
+func (s HistogramSnapshot) clamp(v float64) float64 {
+	if s.Count == 0 || (s.Min == 0 && s.Max == 0) || s.Min > s.Max {
+		return v
+	}
+	if v < s.Min {
+		return s.Min
+	}
+	if v > s.Max {
+		return s.Max
+	}
+	return v
 }
 
 // Mean returns the average observed value, 0 when empty.

@@ -57,6 +57,12 @@ const (
 	KindWALRecover
 	// KindWALReplay is a replay reader opened over the durable log.
 	KindWALReplay
+	// KindSlowSub marks a subscription crossing (slow=1) or recovering
+	// from (slow=0) the configured lag threshold.
+	KindSlowSub
+	// KindClientResume is a reconnecting client resuming a
+	// subscription from its last-seen offset after a redial.
+	KindClientResume
 
 	numKinds
 )
@@ -81,6 +87,8 @@ var kindNames = [numKinds]string{
 	KindWALSync:       "wal_sync",
 	KindWALRecover:    "wal_recover",
 	KindWALReplay:     "wal_replay",
+	KindSlowSub:       "slow_sub",
+	KindClientResume:  "client_resume",
 }
 
 var kindArgs = [numKinds][4]string{
@@ -95,11 +103,13 @@ var kindArgs = [numKinds][4]string{
 	KindKeepaliveMiss: {"conn", "", "", ""},
 	KindReconnect:     {"attempt", "ok", "backoff_ms", "subs"},
 	KindClientPublish: {"point_dims", "payload_bytes", "", ""},
-	KindClientRecv:    {"sub", "payload_bytes", "dropped", ""},
+	KindClientRecv:    {"sub", "payload_bytes", "dropped", "first_drop"},
 	KindWALAppend:     {"bytes", "synced", "append_ns", ""},
 	KindWALSync:       {"pending", "sync_ns", "", ""},
 	KindWALRecover:    {"segments", "records", "truncated_bytes", "recover_ns"},
 	KindWALReplay:     {"from", "end", "", ""},
+	KindSlowSub:       {"sub", "lag", "slow", "dropped"},
+	KindClientResume:  {"from", "last_seq", "subs", ""},
 }
 
 // String returns the kind's display name.

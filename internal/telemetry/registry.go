@@ -42,6 +42,7 @@ type sampleEntry struct {
 	gauge   *Gauge
 	fn      func() float64
 	hist    *Histogram
+	histFn  func() HistogramSnapshot
 }
 
 // NewRegistry creates an empty registry.
@@ -130,10 +131,30 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	sorted := append([]float64(nil), bounds...)
 	sort.Float64s(sorted)
 	s := f.sampleFor(labels, func() *sampleEntry { return &sampleEntry{hist: newHistogram(sorted)} })
+	if s.hist == nil {
+		panic(fmt.Sprintf("telemetry: histogram %q already registered as a scrape-time HistogramFunc", name))
+	}
 	if !sameBounds(s.hist.bounds, sorted) {
 		panic(fmt.Sprintf("telemetry: histogram %q re-registered with different buckets", name))
 	}
 	return s.hist
+}
+
+// HistogramFunc registers a histogram whose snapshot is computed by fn
+// at scrape time — for distributions derived from live state (e.g. the
+// lag of every subscription right now) rather than accumulated
+// observations. fn must be safe for concurrent use, return a snapshot
+// with Counts of length len(Bounds)+1, and run quickly; it is called on
+// every Gather. A second registration of the same (name, labels) keeps
+// the first function.
+func (r *Registry) HistogramFunc(name, help string, fn func() HistogramSnapshot, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, KindHistogram)
+	f.sampleFor(labels, func() *sampleEntry { return &sampleEntry{histFn: fn} })
 }
 
 func sameBounds(a, b []float64) bool {
@@ -207,6 +228,9 @@ func (r *Registry) Gather() []Family {
 			s.Value = p.entry.fn()
 		case p.entry.hist != nil:
 			snap := p.entry.hist.Snapshot()
+			s.Hist = &snap
+		case p.entry.histFn != nil:
+			snap := p.entry.histFn()
 			s.Hist = &snap
 		}
 		out[p.fam].Samples[p.idx] = s

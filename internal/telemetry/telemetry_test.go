@@ -87,12 +87,56 @@ func TestHistogramBucketsAndQuantiles(t *testing.T) {
 	if q := s.Quantile(0.5); q < 1 || q > 2 {
 		t.Fatalf("p50 = %g, want within (1, 2]", q)
 	}
-	// p99 lands in +Inf and clamps to the top finite bound.
-	if q := s.Quantile(0.99); q != 8 {
-		t.Fatalf("p99 = %g, want clamp to 8", q)
+	// p99 lands in +Inf and resolves to the exact observed maximum,
+	// not the top finite bound.
+	if q := s.Quantile(0.99); q != 100 {
+		t.Fatalf("p99 = %g, want exact max 100", q)
+	}
+	if s.Min != 0.5 || s.Max != 100 {
+		t.Fatalf("min/max = %g/%g, want 0.5/100", s.Min, s.Max)
+	}
+	if mn, ok := h.Min(); !ok || mn != 0.5 {
+		t.Fatalf("Min() = %g,%v, want 0.5,true", mn, ok)
+	}
+	if mx, ok := h.Max(); !ok || mx != 100 {
+		t.Fatalf("Max() = %g,%v, want 100,true", mx, ok)
 	}
 	if m := s.Mean(); math.Abs(m-111.0/6) > 1e-9 {
 		t.Fatalf("mean = %g", m)
+	}
+}
+
+func TestHistogramMinMaxEmpty(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	if _, ok := h.Min(); ok {
+		t.Fatal("Min() on empty histogram reported a value")
+	}
+	if _, ok := h.Max(); ok {
+		t.Fatal("Max() on empty histogram reported a value")
+	}
+	s := h.Snapshot()
+	if s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot min/max = %g/%g, want zeros", s.Min, s.Max)
+	}
+	var nilH *Histogram
+	if _, ok := nilH.Min(); ok {
+		t.Fatal("nil Min() reported a value")
+	}
+}
+
+func TestHistogramQuantileClampsToObservedRange(t *testing.T) {
+	// All observations sit at 3 inside the (2, 4] bucket; interpolation
+	// alone would spread estimates across the bucket, but the exact
+	// min/max pin every quantile to 3.
+	h := newHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 10; i++ {
+		h.Observe(3)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := s.Quantile(q); got != 3 {
+			t.Fatalf("q%g = %g, want clamp to 3", q*100, got)
+		}
 	}
 }
 

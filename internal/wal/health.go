@@ -1,0 +1,24 @@
+package wal
+
+import (
+	"fmt"
+
+	"repro/internal/health"
+)
+
+// RegisterHealth registers the "wal" component: unhealthy once the
+// fail-stop latch has tripped — the latch never clears, because a log
+// that lost a write or sync cannot promise durability again without a
+// restart and recovery — and healthy otherwise, with the live offsets
+// as detail. The check reads the latch at probe time only; nothing is
+// added to the append path.
+func (l *Log) RegisterHealth(hr *health.Registry) {
+	hr.Register("wal", func() (health.State, string) {
+		if err := l.Err(); err != nil {
+			return health.Unhealthy, fmt.Sprintf("fail-stop: %v", err)
+		}
+		st := l.Stats()
+		return health.Healthy, fmt.Sprintf("next offset %d, %d segment(s), %d bytes",
+			st.NextOffset, st.Segments, st.Bytes)
+	})
+}

@@ -1,0 +1,67 @@
+package wal
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/faultnet"
+	"repro/internal/health"
+)
+
+// TestFailStopFlipsHealth injects a sync fault and checks the whole
+// probe chain: the fail-stop latch turns the "wal" component unhealthy,
+// /healthz flips 200 -> 503, and a /readyz that already passed boot
+// un-readies again — a latched log must drop out of rotation, not just
+// log an error.
+func TestFailStopFlipsHealth(t *testing.T) {
+	hr := health.NewRegistry()
+	hr.PassGate("boot")
+	d := faultnet.NewDisk(faultnet.DiskOptions{FailSyncAfter: 1})
+	l := mustOpen(t, t.TempDir(), faultOpts(d, Options{Sync: SyncAlways}))
+	l.RegisterHealth(hr)
+
+	livez := health.LivenessHandler(hr)
+	readyz := health.ReadinessHandler(hr)
+
+	rw := httptest.NewRecorder()
+	livez.ServeHTTP(rw, httptest.NewRequest("GET", "/healthz", nil))
+	if rw.Code != 200 {
+		t.Fatalf("/healthz on healthy log = %d, want 200", rw.Code)
+	}
+	rw = httptest.NewRecorder()
+	readyz.ServeHTTP(rw, httptest.NewRequest("GET", "/readyz", nil))
+	if rw.Code != 200 {
+		t.Fatalf("/readyz on healthy log = %d, want 200", rw.Code)
+	}
+
+	// The first append's fsync fails: the latch trips.
+	if _, err := l.Append(1, []float64{1}, []byte("doomed")); !errors.Is(err, faultnet.ErrInjectedSync) {
+		t.Fatalf("append = %v, want injected sync failure", err)
+	}
+
+	rep := hr.Evaluate()
+	if rep.State != health.Unhealthy {
+		t.Fatalf("latched log should be unhealthy: %+v", rep.Results)
+	}
+	found := false
+	for _, res := range rep.Results {
+		if res.Component == "wal" && strings.Contains(res.Reason, "fail-stop") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("wal reason should carry the fail-stop cause: %+v", rep.Results)
+	}
+	rw = httptest.NewRecorder()
+	livez.ServeHTTP(rw, httptest.NewRequest("GET", "/healthz", nil))
+	if rw.Code != 503 {
+		t.Fatalf("/healthz on latched log = %d, want 503", rw.Code)
+	}
+	rw = httptest.NewRecorder()
+	readyz.ServeHTTP(rw, httptest.NewRequest("GET", "/readyz", nil))
+	if rw.Code != 503 {
+		t.Fatalf("/readyz on latched log = %d, want 503 (un-ready after boot)", rw.Code)
+	}
+}

@@ -559,6 +559,15 @@ func (l *Log) FirstOffset() uint64 {
 // Recovered reports what Open found on disk.
 func (l *Log) Recovered() RecoveryStats { return l.recovered }
 
+// Err returns the sticky fail-stop error, or nil while the log is
+// healthy. Once non-nil it never clears: every later Append and Sync
+// fails with it, so health probes can surface the root cause.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
+}
+
 // Stats returns a point-in-time summary.
 func (l *Log) Stats() Stats {
 	l.mu.Lock()

@@ -99,12 +99,19 @@ func (c *Client) readLoop() {
 			default:
 				c.droppedMu.Lock()
 				c.dropped++
-				if !c.hasDropped {
+				first := !c.hasDropped
+				if first {
 					c.firstDropped, c.hasDropped = m.Seq, true
 				}
 				c.droppedMu.Unlock()
+				// first_drop marks the drop that opened the current loss
+				// window: the Seq a resume replay must refetch from.
+				firstArg := int64(0)
+				if first {
+					firstArg = 1
+				}
 				c.opts.Recorder.Record(telemetry.KindClientRecv, m.TraceID, m.Seq,
-					int64(m.SubID), int64(len(m.Payload)), 1, 0)
+					int64(m.SubID), int64(len(m.Payload)), 1, firstArg)
 			}
 		case TypeOK, TypeError:
 			select {

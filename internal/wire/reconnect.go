@@ -114,6 +114,23 @@ func DialReconnecting(addr string, opts ReconnectOptions) (*ReconnectingClient, 
 		reconnects: opts.Metrics.Counter("pubsub_wire_reconnects_total",
 			"Successful reconnects with all subscriptions replayed."),
 	}
+	// Resume-depth visibility: where the next reconnect would resume
+	// from, and how much this client has dropped. Scrape-time reads of
+	// the client's own state, nothing on the delivery path.
+	opts.Metrics.GaugeFunc("pubsub_wire_client_last_seq",
+		"Highest Seq delivered to the application: the next resume replays from one past it.",
+		func() float64 { return float64(rc.lastSeq.Load()) })
+	opts.Metrics.GaugeFunc("pubsub_wire_client_dropped_events",
+		"Events lost client-side across connection generations (congestion signal; resumed replays may have refetched them).",
+		func() float64 { return float64(rc.Dropped()) })
+	opts.Metrics.GaugeFunc("pubsub_wire_client_first_dropped_seq",
+		"Seq of the first drop in the current connection generation's loss window, 0 when loss-free.",
+		func() float64 {
+			if seq, ok := rc.FirstDropped(); ok {
+				return float64(seq)
+			}
+			return 0
+		})
 	cli, err := Dial(addr)
 	if err != nil {
 		return nil, err
@@ -365,10 +382,13 @@ func (rc *ReconnectingClient) resubscribe(cli *Client, ctl chan bool, pumpDone <
 		return false
 	}
 	replaying := false
+	minFrom := uint64(0)
 	for _, rs := range rc.subs {
-		if rc.resumeFrom(rs) > 0 {
+		if f := rc.resumeFrom(rs); f > 0 {
 			replaying = true
-			break
+			if minFrom == 0 || f < minFrom {
+				minFrom = f
+			}
 		}
 	}
 	if replaying {
@@ -392,6 +412,10 @@ func (rc *ReconnectingClient) resubscribe(cli *Client, ctl chan bool, pumpDone <
 		}
 		//pubsub:allow locksafe -- bounded wait: the pump's select always reaches the ctl receive, and pumpDone unblocks it if the pump died
 		signalPump(ctl, false, pumpDone)
+		// The resume replay landed intact: record where it picked up so
+		// an operator can see the outage window a redial recovered.
+		rc.opts.Recorder.Record(telemetry.KindClientResume, 0, rc.lastSeq.Load(),
+			int64(minFrom), int64(rc.lastSeq.Load()), int64(len(rc.subs)), 0)
 	}
 	rc.cur = cli
 	rc.curCtl = ctl
@@ -527,6 +551,34 @@ func (rc *ReconnectingClient) Dropped() uint64 {
 		d += cur.Dropped()
 	}
 	return d
+}
+
+// LastSeq reports the highest Seq delivered to the application across
+// all connection generations — the resume high-water mark: a reconnect
+// replays from one past it.
+func (rc *ReconnectingClient) LastSeq() uint64 { return rc.lastSeq.Load() }
+
+// FirstDropped delegates to the current connection generation: the Seq
+// of the first event its buffer dropped since the last clear, and
+// whether one was. Past generations' drops are folded into Dropped.
+func (rc *ReconnectingClient) FirstDropped() (uint64, bool) {
+	rc.mu.Lock()
+	cur := rc.cur
+	rc.mu.Unlock()
+	if cur == nil {
+		return 0, false
+	}
+	return cur.FirstDropped()
+}
+
+// ClearFirstDropped resets the current generation's first-drop mark.
+func (rc *ReconnectingClient) ClearFirstDropped() {
+	rc.mu.Lock()
+	cur := rc.cur
+	rc.mu.Unlock()
+	if cur != nil {
+		cur.ClearFirstDropped()
+	}
 }
 
 // Close stops reconnection and tears down the current connection.

@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/broker"
 	"repro/internal/geometry"
+	"repro/internal/health"
 	"repro/internal/telemetry"
 	"repro/internal/wal"
 )
@@ -64,11 +66,17 @@ type Server struct {
 	opts ServerOptions
 	tel  *wireTel
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[*connState]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	// keepMisses mirrors the keepalive-miss metric independently of
+	// whether metrics are enabled, so RegisterHealth's rate check works
+	// on bare servers too.
+	keepMisses atomic.Uint64
+
+	mu        sync.Mutex
+	ln        net.Listener
+	conns     map[*connState]struct{}
+	closed    bool
+	acceptErr error // accept-loop failure while the server was still open
+	wg        sync.WaitGroup
 }
 
 // NewServer wraps the broker with no deadlines (the zero ServerOptions).
@@ -79,7 +87,21 @@ func NewServer(b *broker.Broker) *Server {
 // NewServerWith wraps the broker with explicit hardening options.
 func NewServerWith(b *broker.Broker, opts ServerOptions) *Server {
 	opts = opts.withDefaults()
-	return &Server{b: b, opts: opts, tel: newWireTel(opts.Metrics), conns: make(map[*connState]struct{})}
+	s := &Server{b: b, opts: opts, tel: newWireTel(opts.Metrics), conns: make(map[*connState]struct{})}
+	if opts.Metrics != nil {
+		opts.Metrics.GaugeFunc("pubsub_wire_max_conn_lag_events",
+			"Largest per-connection lag behind the broker head, in events. Counts every publication since the connection's last delivered frame (resume depth), not missed matches.",
+			func() float64 {
+				var maxLag uint64
+				for _, cl := range s.ConnLags() {
+					if cl.LagEvents > maxLag {
+						maxLag = cl.LagEvents
+					}
+				}
+				return float64(maxLag)
+			})
+	}
+	return s
 }
 
 // Serve accepts and handles connections until the listener is closed. It
@@ -96,6 +118,13 @@ func (s *Server) Serve(ln net.Listener) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			s.mu.Lock()
+			if !s.closed {
+				// The listener died under us: the server looks alive but
+				// accepts nothing. Latch the error for the health check.
+				s.acceptErr = err
+			}
+			s.mu.Unlock()
 			s.wg.Wait()
 			return err
 		}
@@ -112,6 +141,9 @@ func (s *Server) Serve(ln net.Listener) error {
 		}
 		cs := newConnState(conn, s.opts)
 		cs.tel = s.tel
+		// A fresh connection starts at zero lag against the current head,
+		// exactly like a fresh subscription.
+		cs.lastSeq.Store(s.b.Head())
 		s.conns[cs] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
@@ -195,6 +227,7 @@ type connState struct {
 	conn    net.Conn
 	opts    ServerOptions
 	tel     *wireTel
+	lastSeq atomic.Uint64 // highest Seq written to the peer (see noteSent)
 	writeMu sync.Mutex
 	subsMu  sync.Mutex
 	subs    map[int]*broker.Subscription
@@ -227,6 +260,19 @@ func newConnState(conn net.Conn, opts ServerOptions) *connState {
 		subs:     make(map[int]*broker.Subscription),
 		done:     make(chan struct{}),
 		draining: make(chan struct{}),
+	}
+}
+
+// noteSent advances the connection's delivered high-water mark. Event
+// pumps for different subscriptions and a concurrent replay all write
+// frames, so the advance is a CAS-max: a replay streaming old offsets
+// never regresses the mark.
+func (cs *connState) noteSent(seq uint64) {
+	for {
+		cur := cs.lastSeq.Load()
+		if seq <= cur || cs.lastSeq.CompareAndSwap(cur, seq) {
+			return
+		}
 	}
 }
 
@@ -350,6 +396,7 @@ func (s *Server) handle(cs *connState) {
 				if cs.tel != nil {
 					cs.tel.keepaliveMisses.Inc()
 				}
+				s.keepMisses.Add(1)
 				cs.opts.Recorder.Record(telemetry.KindKeepaliveMiss, 0, 0, cs.id, 0, 0, 0)
 			}
 			return
@@ -483,6 +530,7 @@ func (s *Server) pumpSub(cs *connState, sub *broker.Subscription, ready <-chan u
 			sub.Cancel()
 			return false
 		}
+		cs.noteSent(ev.Seq)
 		return true
 	}
 
@@ -587,6 +635,7 @@ func (s *Server) streamReplay(cs *connState, r *wal.Reader, rects []geometry.Rec
 		if err := cs.write(msg); err != nil {
 			return count, err
 		}
+		cs.noteSent(rec.Offset)
 		count++
 	}
 }
@@ -643,6 +692,72 @@ func (s *Server) handlePublish(cs *connState, m *Message) error {
 		return cs.write(&Message{Type: TypeError, Error: err.Error(), TraceID: traceID})
 	}
 	return cs.write(&Message{Type: TypeOK, Delivered: n, TraceID: traceID})
+}
+
+// ConnLag is one connection's delivery lag behind the broker head.
+// Like a subscription's lag it is a resume depth: every publication
+// since the connection's last written event frame counts, whether or
+// not it matched one of the connection's subscriptions.
+type ConnLag struct {
+	ID        int64  `json:"id"`
+	Subs      int    `json:"subs"`
+	LastSeq   uint64 `json:"last_seq"`
+	LagEvents uint64 `json:"lag_events"`
+}
+
+// ConnLags snapshots per-connection delivery lag, sorted by connection
+// id. Atomic reads per connection; the server lock is held only to copy
+// the connection set.
+func (s *Server) ConnLags() []ConnLag {
+	head := s.b.Head()
+	s.mu.Lock()
+	conns := make([]*connState, 0, len(s.conns))
+	for cs := range s.conns {
+		conns = append(conns, cs)
+	}
+	s.mu.Unlock()
+	out := make([]ConnLag, 0, len(conns))
+	for _, cs := range conns {
+		last := cs.lastSeq.Load()
+		cl := ConnLag{ID: cs.id, LastSeq: last}
+		cs.subsMu.Lock()
+		cl.Subs = len(cs.subs)
+		cs.subsMu.Unlock()
+		if head > last {
+			cl.LagEvents = head - last
+		}
+		out = append(out, cl)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RegisterHealth registers the "wire" component: unhealthy when the
+// server is closed or its accept loop died under an open server,
+// degraded when peers missed keepalives since the previous probe. The
+// miss check diffs the cumulative counter between probes, so one
+// historical eviction does not degrade the server forever.
+func (s *Server) RegisterHealth(hr *health.Registry) {
+	var lastMisses atomic.Uint64
+	hr.Register("wire", func() (health.State, string) {
+		s.mu.Lock()
+		closed := s.closed
+		acceptErr := s.acceptErr
+		conns := len(s.conns)
+		s.mu.Unlock()
+		if closed {
+			return health.Unhealthy, "server closed"
+		}
+		if acceptErr != nil {
+			return health.Unhealthy, fmt.Sprintf("accept loop died: %v", acceptErr)
+		}
+		misses := s.keepMisses.Load()
+		delta := misses - lastMisses.Swap(misses)
+		if delta > 0 {
+			return health.Degraded, fmt.Sprintf("%d keepalive miss(es) since last probe, %d connection(s)", delta, conns)
+		}
+		return health.Healthy, fmt.Sprintf("%d connection(s), %d keepalive misses total", conns, misses)
+	})
 }
 
 // ErrServerClosed is returned by helpers when the server has shut down.
