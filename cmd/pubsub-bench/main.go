@@ -14,6 +14,12 @@
 // summary for trajectory tracking:
 //
 //	pubsub-bench -exp bench -json BENCH_publish.json
+//
+// The "scale" experiment sweeps subscription population (1k → 1M) ×
+// shard count and records throughput, tail latency, allocs/op, and
+// rebuild-settle time per cell:
+//
+//	pubsub-bench -exp scale -json BENCH_9.json
 package main
 
 import (
@@ -43,7 +49,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("pubsub-bench", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment id (fig3|fig4|fig5|tbl1|fig6|abl-match|abl-skew|abl-branch|abl-cluster|abl-groups|abl-mode|abl-grid|abl-publisher|abl-rule|bench|all)")
+		exp     = fs.String("exp", "all", "experiment id (fig3|fig4|fig5|tbl1|fig6|abl-match|abl-skew|abl-branch|abl-cluster|abl-groups|abl-mode|abl-grid|abl-publisher|abl-rule|bench|scale|all)")
 		seed    = fs.Int64("seed", experiment.DefaultSeed, "random seed for all generators")
 		pubs    = fs.Int("pubs", 10000, "publications per fig6 configuration")
 		quick   = fs.Bool("quick", false, "reduce sizes for a fast smoke run")
@@ -77,6 +83,8 @@ func runOne(id string, seed int64, pubs int, quick, groups bool, csvOut, jsonOut
 	switch id {
 	case "bench":
 		return runPublishBench(seed, pubs, jsonOut, w)
+	case "scale":
+		return runScaleBench(seed, pubs, quick, jsonOut, w)
 	case "fig3":
 		r, err := experiment.Fig3Topology(seed)
 		if err != nil {

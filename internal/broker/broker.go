@@ -18,7 +18,7 @@ package broker
 import (
 	"errors"
 	"fmt"
-	"slices"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -178,6 +178,19 @@ type Options struct {
 	// unfolded before the broker's health check reports Degraded. Zero
 	// selects 10s.
 	StaleWindow time.Duration
+	// Shards partitions the subscription space (IndexRebuild strategy
+	// only) into per-core slices, each with its own snapshot and
+	// background rebuilder, so rebuild cost and snapshot size scale
+	// with subs/Shards instead of total subscriptions. Subscriptions
+	// are assigned by hash of their id. Zero selects
+	// runtime.GOMAXPROCS(0); 1 disables sharding (the pre-shard
+	// single-snapshot broker); IndexDynamic always runs unsharded.
+	Shards int
+	// Fanout selects how Publish visits the shards: sequentially on
+	// the publisher goroutine, via the per-shard worker set, or (the
+	// zero value) automatically — parallel only once the broker is
+	// large enough for the hand-off to pay for itself.
+	Fanout FanoutMode
 }
 
 func (o Options) withDefaults() Options {
@@ -192,6 +205,20 @@ func (o Options) withDefaults() Options {
 	}
 	if o.StaleWindow == 0 {
 		o.StaleWindow = 10 * time.Second
+	}
+	if o.Shards == 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
+	if o.Shards > maxShards {
+		o.Shards = maxShards
+	}
+	if o.Index == IndexDynamic {
+		// The dynamic tree is a single in-place structure under b.mu;
+		// sharding applies to the snapshot strategy only.
+		o.Shards = 1
 	}
 	return o
 }
@@ -252,11 +279,14 @@ type snapshot struct {
 	multiRect bool
 }
 
-// pubScratch is pooled per-publish working memory: matched slot ids and
-// the collected target subscriptions.
+// pubScratch is pooled per-publish working memory: matched slot ids,
+// the collected target subscriptions, and the sequential path's event
+// prep (pooled because the prep's mutex would otherwise make a
+// stack-allocated prep escape on every publish).
 type pubScratch struct {
 	ids     []int
 	targets []*Subscription
+	prep    eventPrep
 }
 
 // Broker routes published events to matching subscribers. Create one with
@@ -268,32 +298,34 @@ type Broker struct {
 	closed    bool
 	nextID    int
 	subs      map[int]*Subscription
-	base      match.Matcher   // slot-indexed rectangles (may contain stale slots)
-	slots     []*Subscription // slot -> subscription for base's ids
-	baseLen   int             // rectangles in base (incl. stale)
-	stale     int             // rectangles in base whose subscription is gone
-	overlay   []overlayEntry  // recent rectangles, scanned linearly
-	multiRect bool            // some subscription holds several rectangles
-	dyn       *rtree.Dynamic  // IndexDynamic strategy: in-place tree
+	multiRect bool           // some subscription holds several rectangles (IndexDynamic dedup)
+	dyn       *rtree.Dynamic // IndexDynamic strategy: in-place tree
 
-	// snap is the immutable matching state Publish reads without taking
-	// b.mu (IndexRebuild strategy). nil once the broker is closed.
-	snap atomic.Pointer[snapshot]
+	// shards partition the subscription space under IndexRebuild; each
+	// holds its own immutable snapshot and background rebuilder. The
+	// slice is immutable after New (always at least one shard). Lock
+	// order: b.mu before any shard.mu.
+	shards []*shard
 
-	// Background rebuilder (IndexRebuild strategy). rebuildCh has
-	// capacity 1 so concurrent churn coalesces into at most one pending
-	// rebuild behind the in-flight one. rebuilding/rebuildCut/
-	// pendingStale reconcile churn that lands while a build is running
-	// outside the lock.
-	rebuildCh    chan struct{}
-	rebuildStop  chan struct{}
-	rebuildWG    sync.WaitGroup
-	rebuilderOn  bool // rebuilder goroutine started (guarded by mu)
-	rebuilding   bool // a collect→install window is open (guarded by mu)
-	rebuildCut   int  // nextID captured at collection time (guarded by mu)
-	pendingStale int  // rects of subs cancelled during the build (guarded by mu)
+	// closedFlag mirrors closed for paths that must not take b.mu (the
+	// per-shard rebuilders).
+	closedFlag atomic.Bool
+	// liveRects counts live subscription rectangles across all shards;
+	// FanoutAuto reads it per publish to decide when parallel fan-out
+	// pays.
+	liveRects atomic.Int64
+	// procs is runtime.GOMAXPROCS at creation; fanReady is true when
+	// the per-shard worker set was started.
+	procs    int
+	fanReady bool
+
+	// stop ends the background goroutines (per-shard rebuilders and
+	// fan-out workers); wg waits for all of them in Close.
+	stop chan struct{}
+	wg   sync.WaitGroup
 
 	scratch sync.Pool // *pubScratch
+	jobs    sync.Pool // *fanJob (parallel fan-out)
 
 	tel    *brokerTel
 	tracer *telemetry.Tracer
@@ -311,10 +343,6 @@ type Broker struct {
 	// the WAL offset in durable mode, the Seq counter otherwise. Lag
 	// reporting reads it without touching the WAL mutex.
 	head atomic.Uint64
-	// lastRebuildNS is the recorder-clock time of the last index
-	// rebuild install (broker creation before the first), feeding the
-	// rebuilder staleness health check.
-	lastRebuildNS atomic.Int64
 	// slowSubs counts subscriptions currently flagged slow;
 	// slowTransitions counts healthy→slow flips since creation.
 	slowSubs        atomic.Int64
@@ -325,13 +353,13 @@ type Broker struct {
 // New creates an empty broker.
 func New(opts Options) *Broker {
 	b := &Broker{
-		opts:        opts.withDefaults(),
-		subs:        make(map[int]*Subscription),
-		tracer:      opts.Tracer,
-		rec:         opts.Recorder,
-		log:         opts.Log,
-		rebuildCh:   make(chan struct{}, 1),
-		rebuildStop: make(chan struct{}),
+		opts:   opts.withDefaults(),
+		subs:   make(map[int]*Subscription),
+		tracer: opts.Tracer,
+		rec:    opts.Recorder,
+		log:    opts.Log,
+		stop:   make(chan struct{}),
+		procs:  runtime.GOMAXPROCS(0),
 	}
 	if b.rec == nil {
 		b.rec = telemetry.Default()
@@ -341,22 +369,28 @@ func New(opts Options) *Broker {
 		// resuming subscriber lags behind.
 		b.head.Store(b.log.NextOffset() - 1)
 	}
-	b.lastRebuildNS.Store(b.rec.Now())
 	b.scratch.New = func() any { return &pubScratch{} }
-	b.snap.Store(&snapshot{})
+	b.jobs.New = func() any { return &fanJob{done: make(chan struct{}, 1)} }
+	b.shards = make([]*shard, b.opts.Shards)
+	for i := range b.shards {
+		b.shards[i] = newShard(b, i)
+	}
+	// The worker set exists only when parallel fan-out is reachable:
+	// forced on, or auto with the CPUs to exploit it. go statements
+	// allocate, so workers start here (cold), never from the publish
+	// path.
+	if len(b.shards) > 1 &&
+		(b.opts.Fanout == FanoutParallel || (b.opts.Fanout == FanoutAuto && b.procs > 1)) {
+		for i := 1; i < len(b.shards); i++ {
+			sh := b.shards[i]
+			sh.fanCh = make(chan *fanJob)
+			b.wg.Add(1)
+			go b.fanWorker(sh)
+		}
+		b.fanReady = true
+	}
 	b.tel = newBrokerTel(b, opts.Metrics)
 	return b
-}
-
-// publishSnapshotLocked stores a fresh immutable snapshot of the current
-// matching state. Caller holds b.mu.
-func (b *Broker) publishSnapshotLocked() {
-	b.snap.Store(&snapshot{
-		base:      b.base,
-		slots:     b.slots,
-		overlay:   b.overlay,
-		multiRect: b.multiRect,
-	})
 }
 
 // Subscription is one subscriber registration. Receive events from
@@ -366,6 +400,7 @@ type Subscription struct {
 	rects        []geometry.Rect
 	ch           chan Event
 	b            *Broker
+	shard        *shard // owning shard (nil under IndexDynamic)
 	policy       OverflowPolicy
 	blockTimeout time.Duration
 	once         sync.Once
@@ -503,41 +538,47 @@ func (s *Subscription) closeCh() {
 // idempotent and safe to call concurrently with Publish.
 func (s *Subscription) Cancel() {
 	s.once.Do(func() {
-		s.b.mu.Lock()
-		defer s.b.mu.Unlock()
-		if _, live := s.b.subs[s.id]; !live {
+		b := s.b
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if _, live := b.subs[s.id]; !live {
 			return // broker already closed (channel closed there)
 		}
-		delete(s.b.subs, s.id)
-		if s.b.opts.Index == IndexDynamic {
+		delete(b.subs, s.id)
+		b.liveRects.Add(-int64(len(s.rects)))
+		if b.opts.Index == IndexDynamic {
 			for _, r := range s.rects {
-				s.b.dyn.Delete(s.id, r)
+				b.dyn.Delete(s.id, r)
 			}
 			s.closeCh()
 			return
 		}
-		// Rectangles indexed in base become stale; overlay entries are
-		// removed eagerly. The overlay is filtered into a fresh slice —
-		// never truncated in place — because published snapshots still
-		// reference the old backing array.
-		kept := make([]overlayEntry, 0, len(s.b.overlay))
+		sh := s.shard
+		sh.mu.Lock()
+		delete(sh.subs, s.id)
+		// Rectangles indexed in the shard's base become stale; overlay
+		// entries are removed eagerly. The overlay is filtered into a
+		// fresh slice — never truncated in place — because published
+		// snapshots still reference the old backing array.
+		kept := make([]overlayEntry, 0, len(sh.overlay))
 		removed := 0
-		for _, e := range s.b.overlay {
+		for _, e := range sh.overlay {
 			if e.sub == s {
 				removed++
 				continue
 			}
 			kept = append(kept, e)
 		}
-		s.b.overlay = kept
-		s.b.stale += len(s.rects) - removed
-		if s.b.rebuilding && s.id < s.b.rebuildCut {
+		sh.overlay = kept
+		sh.stale += len(s.rects) - removed
+		if sh.rebuilding && s.id < sh.rebuildCut {
 			// This subscription's rectangles were collected into the
 			// in-flight rebuild; they will be stale in the new base.
-			s.b.pendingStale += len(s.rects)
+			sh.pendingStale += len(s.rects)
 		}
-		s.b.publishSnapshotLocked()
-		s.b.maybeTriggerRebuildLocked()
+		sh.publishSnapshotLocked()
+		b.maybeTriggerRebuildLocked(sh)
+		sh.mu.Unlock()
 		s.closeCh()
 	})
 }
@@ -624,12 +665,12 @@ func (b *Broker) SubscribeWith(opts SubscribeOptions, rects ...geometry.Rect) (*
 	s.deliveredAtNS.Store(b.rec.Now())
 	b.nextID++
 	b.subs[s.id] = s
-	// Both strategies collect one target per matching rectangle, so both
-	// need Publish's dedup once any subscription spans several rectangles.
-	if len(owned) > 1 {
-		b.multiRect = true
-	}
 	if b.opts.Index == IndexDynamic {
+		// Dedup happens broker-wide on the dynamic path, so the flag is
+		// broker-wide too.
+		if len(owned) > 1 {
+			b.multiRect = true
+		}
 		if b.dyn == nil {
 			d, err := rtree.NewDynamic(b.opts.Matcher.BranchFactor)
 			if err != nil {
@@ -648,173 +689,99 @@ func (b *Broker) SubscribeWith(opts SubscribeOptions, rects ...geometry.Rect) (*
 				return nil, fmt.Errorf("broker: %w", err)
 			}
 		}
+		b.liveRects.Add(int64(len(owned)))
 		return s, nil
+	}
+	sh := b.shards[shardIndex(s.id, len(b.shards))]
+	s.shard = sh
+	sh.mu.Lock()
+	sh.subs[s.id] = s
+	if s.id >= sh.maxID {
+		sh.maxID = s.id + 1
+	}
+	// Dedup is per shard (all of a subscription's rectangles share its
+	// shard), so the flag is per shard too.
+	if len(owned) > 1 {
+		sh.multiRect = true
 	}
 	// Appending to the overlay's backing array is safe with live
 	// snapshots: readers are bounded by their snapshot's slice length.
 	for _, r := range owned {
-		b.overlay = append(b.overlay, overlayEntry{rect: r, sub: s})
+		sh.overlay = append(sh.overlay, overlayEntry{rect: r, sub: s})
 	}
-	b.publishSnapshotLocked()
-	b.maybeTriggerRebuildLocked()
+	sh.publishSnapshotLocked()
+	b.maybeTriggerRebuildLocked(sh)
+	sh.mu.Unlock()
+	b.liveRects.Add(int64(len(owned)))
 	return s, nil
-}
-
-// maybeTriggerRebuildLocked kicks the background rebuilder when the
-// overlay (or the stale fraction of the base) grows past the thresholds.
-// The rebuild itself runs outside the lock; concurrent triggers coalesce
-// into at most one pending run. Caller holds b.mu.
-func (b *Broker) maybeTriggerRebuildLocked() {
-	overlayBig := len(b.overlay) > b.opts.MinOverlay && len(b.overlay)*4 > b.baseLen
-	staleBig := b.stale*2 > b.baseLen && b.stale > 0
-	if !overlayBig && !staleBig {
-		return
-	}
-	if !b.rebuilderOn {
-		b.rebuilderOn = true
-		b.rebuildWG.Add(1)
-		go b.rebuildLoop()
-	}
-	select {
-	case b.rebuildCh <- struct{}{}:
-	default: // a rebuild is already pending; coalesce
-	}
-}
-
-// rebuildLoop is the single background rebuilder goroutine, started
-// lazily on the first trigger and stopped by Close.
-func (b *Broker) rebuildLoop() {
-	defer b.rebuildWG.Done()
-	for {
-		select {
-		case <-b.rebuildStop:
-			return
-		case <-b.rebuildCh:
-			b.rebuildOnce()
-		}
-	}
-}
-
-// rebuildOnce folds the overlay into a freshly packed base index. The
-// expensive match.New build runs outside b.mu; churn that lands during
-// the build is reconciled at install time: subscriptions created after
-// the collection cut stay in the overlay, and ones cancelled since the
-// collection leave their rectangles stale in the new base.
-func (b *Broker) rebuildOnce() {
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
-		return
-	}
-	// Re-check the thresholds under the lock: a coalesced trigger may
-	// have been satisfied by the previous pass already.
-	overlayBig := len(b.overlay) > b.opts.MinOverlay && len(b.overlay)*4 > b.baseLen
-	staleBig := b.stale*2 > b.baseLen && b.stale > 0
-	if !overlayBig && !staleBig {
-		b.mu.Unlock()
-		return
-	}
-	cut := b.nextID
-	slots := make([]*Subscription, 0, len(b.subs))
-	entries := make([]match.Subscription, 0, b.baseLen-b.stale+len(b.overlay))
-	for _, s := range b.subs {
-		slot := len(slots)
-		slots = append(slots, s)
-		for _, r := range s.rects {
-			entries = append(entries, match.Subscription{Rect: r, SubscriberID: slot})
-		}
-	}
-	b.rebuilding = true
-	b.rebuildCut = cut
-	b.pendingStale = 0
-	b.mu.Unlock()
-
-	r0 := b.rec.Now()
-	var t0 time.Time
-	if b.tel != nil {
-		t0 = time.Now()
-	}
-	idx, err := match.New(entries, b.opts.Matcher)
-	if err != nil {
-		// Mixed dimensionalities across subscriptions make a tree index
-		// impossible; fall back to linear matching.
-		idx = match.BruteForce(entries)
-	}
-
-	b.mu.Lock()
-	b.rebuilding = false
-	if b.closed {
-		b.mu.Unlock()
-		return
-	}
-	kept := make([]overlayEntry, 0, len(b.overlay))
-	for _, e := range b.overlay {
-		if e.sub.id >= cut {
-			kept = append(kept, e)
-		}
-	}
-	b.overlay = kept
-	b.base = idx
-	b.slots = slots
-	b.baseLen = len(entries)
-	b.stale = b.pendingStale
-	b.pendingStale = 0
-	b.rebuilds.Add(1)
-	b.lastRebuildNS.Store(b.rec.Now())
-	b.publishSnapshotLocked()
-	overlayLeft := len(b.overlay)
-	rebuilds := b.rebuilds.Load()
-	// Churn during the build may already warrant another pass.
-	again := (len(b.overlay) > b.opts.MinOverlay && len(b.overlay)*4 > b.baseLen) ||
-		(b.stale*2 > b.baseLen && b.stale > 0)
-	b.mu.Unlock()
-
-	b.rec.Record(telemetry.KindRebuild, 0, 0,
-		int64(len(entries)), int64(overlayLeft), b.rec.Now()-r0, int64(rebuilds))
-	if b.tel != nil {
-		b.tel.rebuilds.Inc()
-		b.tel.rebuildLatency.ObserveDuration(time.Since(t0))
-	}
-	if again {
-		select {
-		case b.rebuildCh <- struct{}{}:
-		default:
-		}
-	}
 }
 
 // putScratch returns per-publish scratch to the pool with its slices
 // reset to zero length (capacity retained). Target pointers are kept in
 // the pooled backing array until the next publish overwrites them —
 // acceptable retention for steady-state zero-alloc publishing.
-func (b *Broker) putScratch(sc *pubScratch, ids []int, targets []*Subscription) {
-	sc.ids = ids[:0]
-	sc.targets = targets[:0]
+func (b *Broker) putScratch(sc *pubScratch) {
+	sc.ids = sc.ids[:0]
+	sc.targets = sc.targets[:0]
+	// Drop the prep's references to caller-owned memory (publish point
+	// and payload) before pooling.
+	sc.prep.reset(nil, nil)
 	b.scratch.Put(sc)
 }
 
 // eventPrep defers the per-publish allocations (point clone, payload
 // clone) until the first delivery actually needs them. A publish whose
 // matches all hit full DropNewest buffers — or match nothing — allocates
-// nothing at all.
+// nothing at all. One prep may be shared by several delivering
+// goroutines under parallel fan-out: the clones are created once under
+// mu and published through the done flag (atomic release/acquire), so
+// every delivery of one publication shares the same point/payload
+// clones.
 type eventPrep struct {
 	src     geometry.Point
 	payload []byte
-	done    bool
+	point   geometry.Point
+	cloned  []byte
+	done    atomic.Bool
+	mu      sync.Mutex
 }
 
-// materialize fills ev's Point and Payload from the prep, once.
+// reset rearms the prep for a new publication (or clears its caller
+// references before pooling). Field-wise on purpose: the struct holds
+// a mutex and must never be copied.
+func (pr *eventPrep) reset(p geometry.Point, payload []byte) {
+	pr.src = p
+	pr.payload = payload
+	pr.point = nil
+	pr.cloned = nil
+	pr.done.Store(false)
+}
+
+// materialize fills ev's Point and Payload from the prep, cloning the
+// publication's point and payload on the first call.
+//
+//pubsub:hotpath
+func (pr *eventPrep) materialize(ev *Event) {
+	if !pr.done.Load() {
+		pr.clone()
+	}
+	ev.Point = pr.point
+	ev.Payload = pr.cloned
+}
+
+// clone creates the shared point/payload clones, once per publication.
 //
 //pubsub:coldpath -- lazy materialization: clones happen only when a delivery is actually attempted, off the zero-alloc match path
-func (pr *eventPrep) materialize(ev *Event) {
-	if pr.done {
-		return
+func (pr *eventPrep) clone() {
+	pr.mu.Lock()
+	if !pr.done.Load() {
+		pr.point = pr.src.Clone()
+		if pr.payload != nil {
+			pr.cloned = append([]byte(nil), pr.payload...)
+		}
+		pr.done.Store(true)
 	}
-	ev.Point = pr.src.Clone()
-	if pr.payload != nil {
-		ev.Payload = append([]byte(nil), pr.payload...)
-	}
-	pr.done = true
+	pr.mu.Unlock()
 }
 
 // Publish routes an event to every matching live subscriber. It returns
@@ -886,11 +853,17 @@ func (b *Broker) PublishTraced(p geometry.Point, payload []byte, traceID uint64)
 		walOff = off
 	}
 
+	// Large sharded brokers fan the point out to the per-shard worker
+	// set; the parallel path assigns Seq before matching and merges the
+	// per-shard results, see publishParallel.
+	if b.opts.Index != IndexDynamic && b.parallelFanoutNow() {
+		return b.publishParallel(p, payload, traceID, detail, instrumented, span, r0, t0, walOff)
+	}
+
 	sc := b.scratch.Get().(*pubScratch)
-	ids := sc.ids[:0]
-	targets := sc.targets[:0]
+	sc.ids = sc.ids[:0]
+	sc.targets = sc.targets[:0]
 	var qs match.QueryStats
-	multiRect := false
 	group := 0 // candidate subscriptions the decision chose among
 
 	if b.opts.Index == IndexDynamic {
@@ -900,73 +873,54 @@ func (b *Broker) PublishTraced(p geometry.Point, payload []byte, traceID uint64)
 		b.mu.RLock()
 		if b.closed {
 			b.mu.RUnlock()
-			b.putScratch(sc, ids, targets)
+			b.putScratch(sc)
 			return 0, errClosed
 		}
-		multiRect = b.multiRect
+		multiRect := b.multiRect
 		group = len(b.subs)
 		if b.dyn != nil {
 			if instrumented {
 				var ds rtree.QueryStats
-				ids, ds = b.dyn.PointQueryAppendStats(p, ids)
+				sc.ids, ds = b.dyn.PointQueryAppendStats(p, sc.ids)
 				qs.Add(match.QueryStats{NodesVisited: ds.NodesVisited, LeavesVisited: ds.LeavesVisited, EntriesTested: ds.EntriesTested, Matched: ds.ResultsMatched})
 			} else {
-				ids = b.dyn.PointQueryAppend(p, ids)
+				sc.ids = b.dyn.PointQueryAppend(p, sc.ids)
 			}
 		}
-		for _, id := range ids {
+		for _, id := range sc.ids {
 			if s, live := b.subs[id]; live {
-				targets = append(targets, s)
+				sc.targets = append(sc.targets, s)
 			}
 		}
 		b.mu.RUnlock()
+		// Deduplicate only when some subscription holds several
+		// rectangles; with single-rect subscriptions every target is
+		// distinct already. (The snapshot path dedups per shard inside
+		// matchSnapshot.)
+		if multiRect && len(sc.targets) > 1 {
+			sc.targets = dedupTargets(sc.targets, 0)
+		}
 	} else {
-		snap := b.snap.Load()
-		if snap == nil {
-			b.putScratch(sc, ids, targets)
+		// Sequential shard visit: with one shard this is exactly the
+		// pre-shard single-snapshot path; with several it walks them on
+		// the publisher goroutine. Per-shard dedup inside matchSnapshot
+		// is complete dedup (a subscription's rectangles never straddle
+		// shards), so the merge is pure concatenation.
+		closedShards := 0
+		for _, sh := range b.shards {
+			snap := sh.snap.Load()
+			if snap == nil {
+				closedShards++
+				continue
+			}
+			group += matchSnapshot(snap, p, sc, instrumented, &qs)
+		}
+		if closedShards == len(b.shards) {
+			b.putScratch(sc)
 			return 0, errClosed
 		}
-		multiRect = snap.multiRect
-		group = len(snap.slots) + len(snap.overlay)
-		if snap.base != nil {
-			if sm, ok := snap.base.(match.StatsMatcher); ok && instrumented {
-				var bs match.QueryStats
-				ids, bs = sm.MatchAppendStats(p, ids)
-				qs.Add(bs)
-			} else {
-				ids = snap.base.MatchAppend(p, ids)
-			}
-		}
-		for _, slot := range ids {
-			targets = append(targets, snap.slots[slot])
-		}
-		for i := range snap.overlay {
-			e := &snap.overlay[i]
-			if e.rect.Contains(p) {
-				targets = append(targets, e.sub)
-				if instrumented {
-					qs.Matched++
-				}
-			}
-		}
-		if instrumented {
-			qs.EntriesTested += len(snap.overlay)
-		}
 	}
-
-	// Deduplicate only when some subscription holds several rectangles;
-	// with single-rect subscriptions every target is distinct already.
-	if multiRect && len(targets) > 1 {
-		slices.SortFunc(targets, func(x, y *Subscription) int { return x.id - y.id })
-		w := 1
-		for i := 1; i < len(targets); i++ {
-			if targets[i] != targets[w-1] {
-				targets[w] = targets[i]
-				w++
-			}
-		}
-		targets = targets[:w]
-	}
+	targets := sc.targets
 
 	// The match-phase clock split is surfaced only on detail records, so
 	// the untraced hot path pays two clock reads total (r0, rEnd).
@@ -1013,10 +967,10 @@ func (b *Broker) PublishTraced(p geometry.Point, payload []byte, traceID uint64)
 		rec.Record(telemetry.KindDecision, traceID, ev.Seq,
 			method, int64(len(targets)), int64(group), ratioPPM)
 	}
-	prep := eventPrep{src: p, payload: payload}
+	sc.prep.reset(p, payload)
 	delivered := 0
 	for _, s := range targets {
-		if b.deliver(s, &ev, &prep, detail, r0) {
+		if b.deliver(s, &ev, &sc.prep, detail, r0) {
 			delivered++
 		}
 	}
@@ -1045,11 +999,11 @@ func (b *Broker) PublishTraced(p geometry.Point, payload []byte, traceID uint64)
 		span.Int("entries_tested", qs.EntriesTested)
 		span.End()
 	}
-	b.putScratch(sc, ids, targets)
-	if delivered == 0 && b.opts.Index != IndexDynamic && b.snap.Load() == nil {
-		// Close swapped the snapshot out from under us after we loaded
-		// it: every delivery hit a closed subscription. Report the broker
-		// closed rather than a silent zero-delivery success.
+	b.putScratch(sc)
+	if delivered == 0 && b.opts.Index != IndexDynamic && b.allShardsClosed() {
+		// Close swapped the snapshots out from under us after we loaded
+		// them: every delivery hit a closed subscription. Report the
+		// broker closed rather than a silent zero-delivery success.
 		return 0, errClosed
 	}
 	return delivered, nil
@@ -1180,11 +1134,16 @@ func (b *Broker) deliverOverflow(s *Subscription, ev *Event, detail bool, nowNS 
 func (b *Broker) Stats() Stats {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	rects := len(b.overlay) + b.baseLen - b.stale
+	rects := 0
 	if b.opts.Index == IndexDynamic {
-		rects = 0
 		if b.dyn != nil {
 			rects = b.dyn.Len()
+		}
+	} else {
+		for _, sh := range b.shards {
+			sh.mu.Lock()
+			rects += sh.rectanglesLocked()
+			sh.mu.Unlock()
 		}
 	}
 	published := b.seq.Load()
@@ -1215,7 +1174,8 @@ func (b *Broker) Log() *wal.Log { return b.log }
 
 // Close shuts the broker down: all subscription channels are closed and
 // further Publish/Subscribe calls fail. It waits for the background
-// rebuilder (if started) to exit. It is idempotent.
+// goroutines (per-shard rebuilders and fan-out workers, if started) to
+// exit. It is idempotent.
 func (b *Broker) Close() {
 	b.mu.Lock()
 	if b.closed {
@@ -1223,22 +1183,31 @@ func (b *Broker) Close() {
 		return
 	}
 	b.closed = true
-	close(b.rebuildStop)
+	b.closedFlag.Store(true)
+	close(b.stop)
 	for id, s := range b.subs {
 		s.closeCh()
 		delete(b.subs, id)
 	}
-	b.base = nil
-	b.slots = nil
-	b.baseLen = 0
-	b.stale = 0
-	b.overlay = nil
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		sh.subs = make(map[int]*Subscription)
+		sh.base = nil
+		sh.slots = nil
+		sh.baseLen = 0
+		sh.stale = 0
+		sh.overlay = nil
+		sh.snap.Store(nil)
+		sh.mu.Unlock()
+	}
 	b.dyn = nil
-	b.snap.Store(nil)
+	b.liveRects.Store(0)
 	b.mu.Unlock()
-	// Outside the lock: rebuildOnce re-acquires b.mu before touching
-	// state, and bails out on the closed flag.
-	b.rebuildWG.Wait()
+	// Outside the lock: rebuildShard re-acquires sh.mu before touching
+	// state and bails out on closedFlag; fan-out workers drain their
+	// in-flight job (whose shard snapshots are now nil) and exit on
+	// the closed stop channel.
+	b.wg.Wait()
 }
 
 // SubscribeFunc registers a subscription whose events are delivered by

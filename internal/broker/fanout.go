@@ -1,0 +1,377 @@
+package broker
+
+import (
+	"fmt"
+	"slices"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geometry"
+	"repro/internal/match"
+	"repro/internal/telemetry"
+)
+
+// FanoutMode selects how Publish visits the subscription shards.
+type FanoutMode int
+
+const (
+	// FanoutAuto (the default) fans out sequentially until the broker
+	// is large enough — multiple shards, multiple CPUs, and at least
+	// autoParallelMinRects live rectangles — for the parallel worker
+	// set to pay for its hand-off cost.
+	FanoutAuto FanoutMode = iota
+	// FanoutSequential always visits shards one after another on the
+	// publisher goroutine.
+	FanoutSequential
+	// FanoutParallel always uses the per-shard worker set when the
+	// broker has more than one shard, even on a single CPU (useful for
+	// exercising the parallel path deterministically in tests).
+	FanoutParallel
+)
+
+// autoParallelMinRects is the live-rectangle population below which
+// FanoutAuto stays sequential: with small shards the per-publish
+// worker hand-off costs more than the matching it parallelises.
+const autoParallelMinRects = 8192
+
+// String returns the mode's display name.
+func (m FanoutMode) String() string {
+	switch m {
+	case FanoutAuto:
+		return "auto"
+	case FanoutSequential:
+		return "sequential"
+	case FanoutParallel:
+		return "parallel"
+	default:
+		return fmt.Sprintf("fanout(%d)", int(m))
+	}
+}
+
+// ParseFanoutMode converts a mode display name (as produced by String)
+// back to the mode. It is the inverse used by CLI flags.
+func ParseFanoutMode(s string) (FanoutMode, error) {
+	for _, m := range []FanoutMode{FanoutAuto, FanoutSequential, FanoutParallel} {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("broker: unknown fanout mode %q (want auto, sequential or parallel)", s)
+}
+
+// fanJob is one publication in flight across the shard worker set. It
+// is pooled (b.jobs); the done channel is allocated once per pooled
+// job and reused. All counters are merged by the publisher after the
+// last shard completes.
+//
+// Lifecycle: the publisher resets the job, offers it to each shard
+// worker with a non-blocking send (running the shard inline itself if
+// the worker is busy), runs shard 0, then blocks on done. The worker's
+// final touches of the job are the completed.Add and the done send, so
+// once the publisher receives done no goroutine holds the job and it
+// can be pooled safely.
+type fanJob struct {
+	b            *Broker
+	ev           Event
+	prep         eventPrep
+	detail       bool
+	instrumented bool
+	r0           int64
+
+	targets      atomic.Int64 // matched live targets across shards
+	delivered    atomic.Int64 // successful channel sends across shards
+	group        atomic.Int64 // candidate-group size across shards
+	closedShards atomic.Int64 // shards whose snapshot was nil (broker closing)
+	completed    atomic.Int64 // shards finished; last one signals done
+
+	// merged match.QueryStats (only written when instrumented)
+	nodes   atomic.Int64
+	leaves  atomic.Int64
+	entries atomic.Int64
+	matched atomic.Int64
+
+	done chan struct{}
+}
+
+// reset prepares a pooled job for one publication.
+func (j *fanJob) reset(b *Broker, p geometry.Point, payload []byte, ev Event, detail, instrumented bool, r0 int64) {
+	j.b = b
+	j.ev = ev
+	j.detail = detail
+	j.instrumented = instrumented
+	j.r0 = r0
+	j.prep.reset(p, payload)
+	j.targets.Store(0)
+	j.delivered.Store(0)
+	j.group.Store(0)
+	j.closedShards.Store(0)
+	j.completed.Store(0)
+	j.nodes.Store(0)
+	j.leaves.Store(0)
+	j.entries.Store(0)
+	j.matched.Store(0)
+}
+
+// putJob drops the job's references to caller-owned memory (the
+// publish point and payload must not be retained past the publish)
+// and returns it to the pool.
+func (b *Broker) putJob(j *fanJob) {
+	j.prep.reset(nil, nil)
+	b.jobs.Put(j)
+}
+
+// matchSnapshot matches p against one shard snapshot, appending the
+// matched subscriptions to sc.targets. A subscription's rectangles
+// never straddle shards, so the per-shard dedup below is complete
+// dedup and the cross-shard merge is pure concatenation. Returns the
+// shard's candidate-group size.
+//
+//pubsub:hotpath
+func matchSnapshot(snap *snapshot, p geometry.Point, sc *pubScratch, instrumented bool, qs *match.QueryStats) int {
+	start := len(sc.targets)
+	sc.ids = sc.ids[:0]
+	if snap.base != nil {
+		if sm, ok := snap.base.(match.StatsMatcher); ok && instrumented {
+			var bs match.QueryStats
+			sc.ids, bs = sm.MatchAppendStats(p, sc.ids)
+			qs.Add(bs)
+		} else {
+			sc.ids = snap.base.MatchAppend(p, sc.ids)
+		}
+	}
+	for _, slot := range sc.ids {
+		sc.targets = append(sc.targets, snap.slots[slot])
+	}
+	for i := range snap.overlay {
+		e := &snap.overlay[i]
+		if e.rect.Contains(p) {
+			sc.targets = append(sc.targets, e.sub)
+			if instrumented {
+				qs.Matched++
+			}
+		}
+	}
+	if instrumented {
+		qs.EntriesTested += len(snap.overlay)
+	}
+	// Deduplicate only when some subscription in this shard holds
+	// several rectangles; otherwise every target is distinct already.
+	if snap.multiRect && len(sc.targets)-start > 1 {
+		sc.targets = dedupTargets(sc.targets, start)
+	}
+	return len(snap.slots) + len(snap.overlay)
+}
+
+// dedupTargets sorts targets[start:] by subscription id and compacts
+// exact duplicates in place, returning the shortened slice.
+//
+//pubsub:hotpath
+func dedupTargets(targets []*Subscription, start int) []*Subscription {
+	seg := targets[start:]
+	slices.SortFunc(seg, func(x, y *Subscription) int { return x.id - y.id })
+	w := 1
+	for i := 1; i < len(seg); i++ {
+		if seg[i] != seg[w-1] {
+			seg[w] = seg[i]
+			w++
+		}
+	}
+	return targets[:start+w]
+}
+
+// runShard matches and delivers one shard's slice of the publication.
+// Called by the shard's fan-out worker, or inline by the publisher
+// (shard 0, a busy worker's shard, or the whole sequential path is
+// elsewhere — see PublishTraced). sc is the calling goroutine's
+// scratch; the shard's targets occupy a segment of sc.targets that is
+// released before returning, so one scratch serves many shards.
+//
+//pubsub:hotpath
+func (j *fanJob) runShard(sh *shard, sc *pubScratch) {
+	b := j.b
+	snap := sh.snap.Load()
+	if snap == nil {
+		j.closedShards.Add(1)
+	} else {
+		start := len(sc.targets)
+		var qs match.QueryStats
+		group := matchSnapshot(snap, j.prep.src, sc, j.instrumented, &qs)
+		delivered := 0
+		// Each goroutine delivers from its own Event copy; the shared
+		// point/payload clones live in the mutex-guarded prep.
+		ev := j.ev
+		for _, s := range sc.targets[start:] {
+			if b.deliver(s, &ev, &j.prep, j.detail, j.r0) {
+				delivered++
+			}
+		}
+		j.group.Add(int64(group))
+		j.targets.Add(int64(len(sc.targets) - start))
+		j.delivered.Add(int64(delivered))
+		if j.instrumented {
+			j.nodes.Add(int64(qs.NodesVisited))
+			j.leaves.Add(int64(qs.LeavesVisited))
+			j.entries.Add(int64(qs.EntriesTested))
+			j.matched.Add(int64(qs.Matched))
+		}
+		sc.targets = sc.targets[:start]
+	}
+	if j.completed.Add(1) == int64(len(b.shards)) {
+		j.done <- struct{}{}
+	}
+}
+
+// fanWorker is one shard's dedicated fan-out goroutine, started by New
+// when the broker runs parallel fan-out and stopped by Close. It owns
+// one pooled scratch for its lifetime, so the steady-state parallel
+// publish path allocates nothing.
+//
+//pubsub:hotpath
+func (b *Broker) fanWorker(sh *shard) {
+	defer b.wg.Done()
+	sc := b.scratch.Get().(*pubScratch)
+	defer b.scratch.Put(sc)
+	for {
+		select {
+		case <-b.stop:
+			return
+		case job := <-sh.fanCh:
+			job.runShard(sh, sc)
+		}
+	}
+}
+
+// parallelFanoutNow decides, per publication, whether to use the
+// worker set. fanReady is set at New when workers were started;
+// FanoutAuto additionally waits for the live rectangle population to
+// be worth the hand-off.
+//
+//pubsub:hotpath
+func (b *Broker) parallelFanoutNow() bool {
+	if !b.fanReady {
+		return false
+	}
+	if b.opts.Fanout == FanoutParallel {
+		return true
+	}
+	return b.liveRects.Load() >= autoParallelMinRects
+}
+
+// allShardsClosed reports whether every shard's snapshot has been
+// swapped out by Close.
+//
+//pubsub:hotpath
+func (b *Broker) allShardsClosed() bool {
+	for _, sh := range b.shards {
+		if sh.snap.Load() != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// publishParallel is PublishTraced's tail for the parallel fan-out
+// path: it assigns the publication's sequence number up front (each
+// shard's deliveries carry it, and shards run concurrently), offers a
+// pooled job to every shard worker with a non-blocking send — a busy
+// worker's shard is matched and delivered inline by the publisher, so
+// concurrent publishers degrade gracefully to sequential work instead
+// of queueing — runs shard 0 itself, and merges the per-shard counts
+// once the last shard signals completion.
+//
+// Two observability deltas versus the sequential path, both inherent
+// to concurrent shards: the match/deliver stage split is not measured
+// (the phases interleave across goroutines, so detail records carry
+// matchNS=0 and the tracer span reports a single fused "fanout"
+// stage), and per-subscriber deliver/drop detail records from
+// different shards interleave in recorder order.
+//
+//pubsub:hotpath
+func (b *Broker) publishParallel(p geometry.Point, payload []byte, traceID uint64, detail, instrumented bool, span *telemetry.Span, r0 int64, t0 time.Time, walOff uint64) (int, error) {
+	tel := b.tel
+	rec := b.rec
+	seq := walOff
+	if b.log == nil {
+		seq = b.seq.Add(1)
+	}
+	// Advance the lag head monotonically; concurrent publishers may
+	// reach this line out of seq order.
+	for {
+		cur := b.head.Load()
+		if seq <= cur || b.head.CompareAndSwap(cur, seq) {
+			break
+		}
+	}
+
+	sc := b.scratch.Get().(*pubScratch)
+	job := b.jobs.Get().(*fanJob)
+	job.reset(b, p, payload, Event{Seq: seq, TraceID: traceID}, detail, instrumented, r0)
+	for i := 1; i < len(b.shards); i++ {
+		sh := b.shards[i]
+		select {
+		case sh.fanCh <- job:
+		default:
+			job.runShard(sh, sc)
+		}
+	}
+	job.runShard(b.shards[0], sc)
+	<-job.done
+
+	targets := int(job.targets.Load())
+	delivered := int(job.delivered.Load())
+	group := int(job.group.Load())
+	closedShards := int(job.closedShards.Load())
+	var qs match.QueryStats
+	if instrumented {
+		qs.NodesVisited = int(job.nodes.Load())
+		qs.LeavesVisited = int(job.leaves.Load())
+		qs.EntriesTested = int(job.entries.Load())
+		qs.Matched = int(job.matched.Load())
+	}
+	b.putJob(job)
+	b.putScratch(sc)
+	if closedShards == len(b.shards) {
+		return 0, errClosed
+	}
+	b.delivered.Add(uint64(delivered))
+
+	if detail {
+		rec.Record(telemetry.KindMatch, traceID, seq,
+			int64(qs.NodesVisited), int64(qs.EntriesTested), int64(qs.LeavesVisited), int64(targets))
+		method := int64(0)
+		if targets > 0 {
+			method = 1
+		}
+		ratioPPM := int64(0)
+		if group > 0 {
+			ratioPPM = int64(targets) * 1_000_000 / int64(group)
+		}
+		rec.Record(telemetry.KindDecision, traceID, seq,
+			method, int64(targets), int64(group), ratioPPM)
+	}
+	rEnd := rec.Now()
+	rec.RecordAt(rEnd, telemetry.KindPublish, traceID, seq,
+		int64(targets), int64(delivered), 0, rEnd-r0)
+	if instrumented {
+		now := time.Now()
+		if tel != nil {
+			tel.published.Inc()
+			tel.delivered.Add(uint64(delivered))
+			tel.fanout.Observe(float64(targets))
+			tel.publishLatency.Observe(now.Sub(t0).Seconds())
+			tel.observeQuery(qs.NodesVisited, qs.LeavesVisited, qs.EntriesTested)
+			tel.parallelFanout()
+		}
+		span.Stage("fanout", now.Sub(t0))
+		span.Uint64("seq", seq)
+		span.Int("fanout", targets)
+		span.Int("delivered", delivered)
+		span.Int("nodes_visited", qs.NodesVisited)
+		span.Int("entries_tested", qs.EntriesTested)
+		span.End()
+	}
+	if delivered == 0 && b.allShardsClosed() {
+		return 0, errClosed
+	}
+	return delivered, nil
+}

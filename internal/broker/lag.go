@@ -140,20 +140,27 @@ type IndexReport struct {
 	Strategy      string `json:"strategy"`
 	Subscriptions int    `json:"subscriptions"`
 	Rectangles    int    `json:"rectangles"`
-	// Base/Overlay/Stale describe the compiled snapshot: rectangles in
-	// the packed base index (including stale ones), rectangles still
-	// in the linear overlay awaiting a rebuild, and base slots whose
-	// subscription is gone.
-	BaseLen    int  `json:"base_len"`
-	OverlayLen int  `json:"overlay_len"`
-	Stale      int  `json:"stale"`
-	MultiRect  bool `json:"multi_rect"`
+	// Base/Overlay/Stale describe the compiled snapshots summed across
+	// all shards: rectangles in the packed base indexes (including
+	// stale ones), rectangles still in the linear overlays awaiting a
+	// rebuild, and base slots whose subscription is gone.
+	BaseLen    int    `json:"base_len"`
+	OverlayLen int    `json:"overlay_len"`
+	Stale      int    `json:"stale"`
+	MultiRect  bool   `json:"multi_rect"`
 	Rebuilds   uint64 `json:"rebuilds"`
-	// SecondsSinceRebuild is the age of the last rebuild install
-	// (broker creation before the first).
+	// SecondsSinceRebuild is the age of the most recent rebuild
+	// install on any shard (broker creation before the first).
 	SecondsSinceRebuild float64 `json:"seconds_since_rebuild"`
-	// Shape describes the packed base matcher's tree (zero before the
-	// first rebuild).
+	// ShardCount is how many subscription shards the broker runs;
+	// Fanout is the configured fan-out mode. Shards carries one
+	// per-shard breakdown entry (omitted for the unsharded broker,
+	// whose whole state is the top-level view).
+	ShardCount int         `json:"shard_count"`
+	Fanout     string      `json:"fanout,omitempty"`
+	Shards     []ShardStat `json:"shards,omitempty"`
+	// Shape describes the largest shard's packed base matcher tree
+	// (zero before the first rebuild).
 	Shape match.Shape `json:"shape"`
 	// Dims holds per-dimension selectivity over the sampled live
 	// rectangles; empty when there are none.
@@ -182,28 +189,49 @@ func (b *Broker) IndexReport() IndexReport {
 	rep := IndexReport{
 		Strategy:      "rebuild",
 		Subscriptions: len(b.subs),
-		BaseLen:       b.baseLen,
-		OverlayLen:    len(b.overlay),
-		Stale:         b.stale,
-		MultiRect:     b.multiRect,
 		Rebuilds:      b.rebuilds.Load(),
-		Rectangles:    b.baseLen - b.stale + len(b.overlay),
+		ShardCount:    len(b.shards),
+		Fanout:        b.opts.Fanout.String(),
 	}
+	var base match.Matcher
+	var lastRebuildNS int64
 	if b.opts.Index == IndexDynamic {
 		rep.Strategy = "dynamic"
-		rep.BaseLen, rep.OverlayLen, rep.Stale = 0, 0, 0
-		rep.Rectangles = 0
+		rep.Fanout = ""
 		if b.dyn != nil {
 			rep.Rectangles = b.dyn.Len()
+			st := b.dyn.Stats()
+			rep.Shape = match.Shape{
+				Algorithm: "dynamic-rtree", Entries: b.dyn.Len(),
+				Nodes: st.Nodes, Leaves: st.Leaves, Height: st.Height, MaxBranch: st.MaxBranch,
+			}
 		}
-	}
-	base := b.base
-	var dynShape match.Shape
-	if b.opts.Index == IndexDynamic && b.dyn != nil {
-		st := b.dyn.Stats()
-		dynShape = match.Shape{
-			Algorithm: "dynamic-rtree", Entries: b.dyn.Len(),
-			Nodes: st.Nodes, Leaves: st.Leaves, Height: st.Height, MaxBranch: st.MaxBranch,
+		lastRebuildNS = b.shards[0].lastRebuildNS.Load()
+	} else {
+		// Aggregate the per-shard snapshots into the whole-broker view;
+		// Shape describes the largest shard's packed base. Lock order:
+		// b.mu (held) before each sh.mu.
+		biggest := -1
+		for _, sh := range b.shards {
+			sh.mu.Lock()
+			rep.BaseLen += sh.baseLen
+			rep.OverlayLen += len(sh.overlay)
+			rep.Stale += sh.stale
+			rep.Rectangles += sh.rectanglesLocked()
+			if sh.multiRect {
+				rep.MultiRect = true
+			}
+			if sh.baseLen > biggest {
+				biggest = sh.baseLen
+				base = sh.base
+			}
+			sh.mu.Unlock()
+			if ns := sh.lastRebuildNS.Load(); ns > lastRebuildNS {
+				lastRebuildNS = ns
+			}
+		}
+		if len(b.shards) > 1 {
+			rep.Shards = b.ShardStats()
 		}
 	}
 	sample := make([]geometry.Rect, 0, min(len(b.subs)*2, introspectSampleCap))
@@ -220,10 +248,8 @@ func (b *Broker) IndexReport() IndexReport {
 	}
 	b.mu.RUnlock()
 
-	rep.SecondsSinceRebuild = time.Duration(b.rec.Now() - b.lastRebuildNS.Load()).Seconds()
-	if b.opts.Index == IndexDynamic {
-		rep.Shape = dynShape
-	} else if base != nil {
+	rep.SecondsSinceRebuild = time.Duration(b.rec.Now() - lastRebuildNS).Seconds()
+	if base != nil {
 		rep.Shape = match.Describe(base)
 	}
 	rep.SampledRects = len(sample)
@@ -320,9 +346,6 @@ func (b *Broker) RegisterHealth(hr *health.Registry) {
 	hr.Register("rebuilder", func() (health.State, string) {
 		b.mu.RLock()
 		closed := b.closed
-		overlay := len(b.overlay)
-		stale := b.stale
-		baseLen := b.baseLen
 		dynamic := b.opts.Index == IndexDynamic
 		b.mu.RUnlock()
 		if closed {
@@ -331,15 +354,35 @@ func (b *Broker) RegisterHealth(hr *health.Registry) {
 		if dynamic {
 			return health.Healthy, "dynamic index: no rebuilder"
 		}
-		age := time.Duration(b.rec.Now() - b.lastRebuildNS.Load())
-		overlayBig := overlay > b.opts.MinOverlay && overlay*4 > baseLen
-		staleBig := stale*2 > baseLen && stale > 0
-		if (overlayBig || staleBig) && age > b.opts.StaleWindow {
-			return health.Degraded, fmt.Sprintf(
-				"index stale: overlay %d, stale %d/%d, last rebuild %s ago", overlay, stale, baseLen, age.Round(time.Millisecond))
+		// Any one shard stuck past the StaleWindow degrades the broker:
+		// its slice of the subscription population is paying linear
+		// overlay scans (or stale-slot filtering) on every publish.
+		overlay, stale, baseLen := 0, 0, 0
+		nowNS := b.rec.Now()
+		var worst time.Duration
+		worstShard := -1
+		for _, sh := range b.shards {
+			sh.mu.Lock()
+			due := sh.rebuildDueLocked()
+			overlay += len(sh.overlay)
+			stale += sh.stale
+			baseLen += sh.baseLen
+			sh.mu.Unlock()
+			if !due {
+				continue
+			}
+			if age := time.Duration(nowNS - sh.lastRebuildNS.Load()); age > b.opts.StaleWindow && age > worst {
+				worst = age
+				worstShard = sh.idx
+			}
 		}
-		return health.Healthy, fmt.Sprintf("overlay %d, stale %d/%d, last rebuild %s ago",
-			overlay, stale, baseLen, age.Round(time.Millisecond))
+		if worstShard >= 0 {
+			return health.Degraded, fmt.Sprintf(
+				"index stale: shard %d unfolded for %s; totals overlay %d, stale %d/%d",
+				worstShard, worst.Round(time.Millisecond), overlay, stale, baseLen)
+		}
+		return health.Healthy, fmt.Sprintf("%d shard(s), overlay %d, stale %d/%d",
+			len(b.shards), overlay, stale, baseLen)
 	})
 }
 

@@ -1,0 +1,480 @@
+package broker
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/geometry"
+	"repro/internal/invariant"
+)
+
+// TestShardIndexStableAndBalanced checks the id→shard mapping: stable,
+// in range, and not pathologically skewed for sequential ids.
+func TestShardIndexStableAndBalanced(t *testing.T) {
+	const n = 8
+	counts := make([]int, n)
+	for id := 0; id < 4096; id++ {
+		sh := shardIndex(id, n)
+		if sh < 0 || sh >= n {
+			t.Fatalf("shardIndex(%d, %d) = %d out of range", id, n, sh)
+		}
+		if sh != shardIndex(id, n) {
+			t.Fatalf("shardIndex(%d, %d) not stable", id, n)
+		}
+		counts[sh]++
+	}
+	for i, c := range counts {
+		// Uniform would be 512 per shard; a splitmix64-mixed assignment
+		// stays well within 2x of uniform.
+		if c < 256 || c > 1024 {
+			t.Fatalf("shard %d holds %d of 4096 ids; distribution badly skewed: %v", i, c, counts)
+		}
+	}
+	if shardIndex(123, 1) != 0 || shardIndex(123, 0) != 0 {
+		t.Fatal("single-shard mapping must be 0")
+	}
+}
+
+// TestShardedSubscriptionPlacement checks the dual bookkeeping: every
+// subscription lives in exactly the shard its id hashes to, and the
+// per-shard populations sum to the broker total.
+func TestShardedSubscriptionPlacement(t *testing.T) {
+	b := New(Options{Shards: 4})
+	defer b.Close()
+	const n = 200
+	for i := 0; i < n; i++ {
+		if _, err := b.Subscribe(geometry.NewRect(float64(i), float64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for _, st := range b.ShardStats() {
+		total += st.Subscriptions
+		if st.Subscriptions == 0 {
+			t.Errorf("shard %d empty after %d uniform subscribes", st.Shard, n)
+		}
+	}
+	if total != n {
+		t.Fatalf("shard subscription sum = %d, want %d", total, n)
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for id, s := range b.subs {
+		want := b.shards[shardIndex(id, len(b.shards))]
+		if s.shard != want {
+			t.Fatalf("sub %d owned by shard %d, want %d", id, s.shard.idx, want.idx)
+		}
+		want.mu.Lock()
+		_, ok := want.subs[id]
+		want.mu.Unlock()
+		if !ok {
+			t.Fatalf("sub %d missing from its shard %d map", id, want.idx)
+		}
+	}
+}
+
+// shardEquivCase is one broker configuration under the equivalence
+// test.
+type shardEquivCase struct {
+	name string
+	opts Options
+}
+
+// TestShardedMatchingEquivalence proves sharded matching ≡ single-shard
+// ≡ brute-force oracle on a randomized workload with multi-rectangle
+// subscriptions, churn (cancellations mid-stream), and rebuilds in
+// flight (MinOverlay is tiny). Every publish's delivered count is
+// checked against the oracle, and afterwards every subscriber's
+// received multiset is too. Building with -tags=invariants scales the
+// workload up.
+func TestShardedMatchingEquivalence(t *testing.T) {
+	subsN, pointsN := 60, 200
+	if invariant.Enabled {
+		subsN, pointsN = 150, 500
+	}
+	rng := rand.New(rand.NewSource(9))
+
+	// One shared workload: multi-rect subscriptions over a 2-D space.
+	type subSpec struct{ rects []geometry.Rect }
+	specs := make([]subSpec, subsN)
+	for i := range specs {
+		nr := 1 + rng.Intn(3)
+		rects := make([]geometry.Rect, nr)
+		for j := range rects {
+			x := rng.Float64() * 100
+			y := rng.Float64() * 100
+			w := 1 + rng.Float64()*25
+			h := 1 + rng.Float64()*25
+			rects[j] = geometry.NewRect(x, x+w, y, y+h)
+		}
+		specs[i] = subSpec{rects: rects}
+	}
+	points := make([]geometry.Point, pointsN)
+	for i := range points {
+		points[i] = geometry.Point{rng.Float64() * 110, rng.Float64() * 110}
+	}
+	phase1 := pointsN / 2
+	cancelled := func(i int) bool { return i%4 == 3 }
+
+	// Brute-force oracle: does any of sub i's rectangles contain point p?
+	matches := func(i int, p geometry.Point) bool {
+		for _, r := range specs[i].rects {
+			if r.Contains(p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	cases := []shardEquivCase{
+		{"single-shard", Options{Shards: 1, MinOverlay: 4}},
+		{"4-shards-sequential", Options{Shards: 4, MinOverlay: 4, Fanout: FanoutSequential}},
+		{"4-shards-parallel", Options{Shards: 4, MinOverlay: 4, Fanout: FanoutParallel}},
+		{"7-shards-auto", Options{Shards: 7, MinOverlay: 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := New(tc.opts)
+			defer b.Close()
+			subs := make([]*Subscription, subsN)
+			for i, spec := range specs {
+				s, err := b.SubscribeWith(SubscribeOptions{Buffer: pointsN + 1}, spec.rects...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				subs[i] = s
+			}
+			for pi := 0; pi < phase1; pi++ {
+				want := 0
+				for i := range specs {
+					if matches(i, points[pi]) {
+						want++
+					}
+				}
+				got, err := b.Publish(points[pi], nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("phase1 point %d delivered to %d subs, oracle says %d", pi, got, want)
+				}
+			}
+			for i := range subs {
+				if cancelled(i) {
+					subs[i].Cancel()
+				}
+			}
+			for pi := phase1; pi < pointsN; pi++ {
+				want := 0
+				for i := range specs {
+					if !cancelled(i) && matches(i, points[pi]) {
+						want++
+					}
+				}
+				got, err := b.Publish(points[pi], nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("phase2 point %d delivered to %d subs, oracle says %d", pi, got, want)
+				}
+			}
+			b.Close()
+			// Drain every subscriber and compare its received multiset
+			// against the oracle; distinct random points mean exact-value
+			// keys are unambiguous.
+			for i, s := range subs {
+				got := map[[2]float64]int{}
+				for ev := range s.Events() {
+					got[[2]float64{ev.Point[0], ev.Point[1]}]++
+				}
+				want := map[[2]float64]int{}
+				for pi, p := range points {
+					if pi >= phase1 && cancelled(i) {
+						continue
+					}
+					if matches(i, p) {
+						want[[2]float64{p[0], p[1]}]++
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("sub %d received %d distinct points, want %d", i, len(got), len(want))
+				}
+				for k, n := range want {
+					if got[k] != n {
+						t.Fatalf("sub %d received point %v %d times, want %d (dup = dedup failure)", i, k, got[k], n)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardEmptyRebalance is the rebalance fix: cancelling the last
+// subscription in a shard must not leave a permanently stale snapshot
+// pinned — the shard's base and slot table are released and the
+// rebuilder goes idle.
+func TestShardEmptyRebalance(t *testing.T) {
+	b := New(Options{Shards: 2, MinOverlay: 1})
+	defer b.Close()
+	subs := make([]*Subscription, 0, 64)
+	for i := 0; i < 64; i++ {
+		s, err := b.Subscribe(geometry.NewRect(float64(i), float64(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, s)
+	}
+	waitRebuilds(t, b, 1)
+	for _, s := range subs {
+		s.Cancel()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		clean := true
+		for _, st := range b.ShardStats() {
+			if st.Rectangles != 0 || st.BaseLen != 0 || st.OverlayLen != 0 || st.Stale != 0 || st.Rebuilding {
+				clean = false
+			}
+		}
+		if clean {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("empty shards never shrank: %+v", b.ShardStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The published snapshots must have released the packed index and
+	// slot table (nothing pinned), not just zeroed the counters.
+	for _, sh := range b.shards {
+		snap := sh.snap.Load()
+		if snap == nil {
+			t.Fatal("shard snapshot nil before Close")
+		}
+		if snap.base != nil || snap.slots != nil || len(snap.overlay) != 0 {
+			t.Fatalf("shard %d snapshot still pins base=%v slots=%d overlay=%d",
+				sh.idx, snap.base != nil, len(snap.slots), len(snap.overlay))
+		}
+	}
+	if st := b.Stats(); st.Rectangles != 0 || st.Subscriptions != 0 {
+		t.Fatalf("broker stats after full churn-out: %+v", st)
+	}
+}
+
+// TestShardRectangleAccountingUnderChurn asserts the per-shard
+// Rectangles invariant — baseLen - stale + len(overlay) equals the live
+// rectangle count of the shard's subscriptions — at every observable
+// instant while rebuilds are racing subscription churn.
+func TestShardRectangleAccountingUnderChurn(t *testing.T) {
+	b := New(Options{Shards: 3, MinOverlay: 2})
+	defer b.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(11))
+		live := make([]*Subscription, 0, 256)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if len(live) < 32 || rng.Intn(3) > 0 {
+				nr := 1 + rng.Intn(3)
+				rects := make([]geometry.Rect, nr)
+				for j := range rects {
+					x := rng.Float64() * 100
+					rects[j] = geometry.NewRect(x, x+5)
+				}
+				s, err := b.SubscribeWith(SubscribeOptions{Buffer: 1}, rects...)
+				if err != nil {
+					return
+				}
+				live = append(live, s)
+			} else {
+				i := rng.Intn(len(live))
+				live[i].Cancel()
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(400 * time.Millisecond)
+	checks := 0
+	for time.Now().Before(deadline) {
+		for _, sh := range b.shards {
+			sh.mu.Lock()
+			wantRects := 0
+			for _, s := range sh.subs {
+				wantRects += len(s.rects)
+			}
+			got := sh.rectanglesLocked()
+			rebuilding := sh.rebuilding
+			sh.mu.Unlock()
+			if got != wantRects {
+				close(stop)
+				wg.Wait()
+				t.Fatalf("shard %d rectangle accounting drifted: baseLen-stale+overlay = %d, live rects = %d (rebuilding=%v)",
+					sh.idx, got, wantRects, rebuilding)
+			}
+			checks++
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	close(stop)
+	wg.Wait()
+	if checks == 0 {
+		t.Fatal("no accounting checks ran")
+	}
+}
+
+// TestCloseDuringMultiShardRebuild closes the broker while every
+// shard's rebuilder (and the parallel fan-out worker set) is live, and
+// checks nothing leaks.
+func TestCloseDuringMultiShardRebuild(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for round := 0; round < 5; round++ {
+		b := New(Options{Shards: 4, MinOverlay: 1, Fanout: FanoutParallel})
+		for i := 0; i < 200; i++ {
+			if _, err := b.Subscribe(geometry.NewRect(float64(i), float64(i+2))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// A publish in flight through the worker set while Close runs.
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; i < 50; i++ {
+				if _, err := b.Publish(geometry.Point{float64(i) + 0.5}, nil); err != nil {
+					return // errClosed once Close wins the race
+				}
+			}
+		}()
+		b.Close()
+		<-done
+	}
+	waitGoroutines(t, base)
+}
+
+// TestParallelFanoutRaceStress drives concurrent publishers through
+// the parallel worker set while per-shard rebuilds and cross-shard
+// churn race them. Run with -race; sizes shrink under the detector's
+// overhead.
+func TestParallelFanoutRaceStress(t *testing.T) {
+	pubs, churnOps := 3000, 1500
+	if raceEnabled {
+		pubs, churnOps = 600, 300
+	}
+	b := New(Options{Shards: 4, MinOverlay: 2, Fanout: FanoutParallel, SlowLagThreshold: 8})
+	defer b.Close()
+	for i := 0; i < 128; i++ {
+		if _, err := b.SubscribeWith(SubscribeOptions{Buffer: 2},
+			geometry.NewRect(float64(i%50), float64(i%50+10))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < pubs; i++ {
+				p := geometry.Point{rng.Float64() * 60}
+				if i%7 == 0 {
+					// Traced publications exercise the detail-record path
+					// through the workers too.
+					if _, err := b.PublishTraced(p, []byte("x"), uint64(i)+1); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if _, err := b.Publish(p, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(w) + 100)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		live := make([]*Subscription, 0, 128)
+		for i := 0; i < churnOps; i++ {
+			if len(live) == 0 || rng.Intn(2) == 0 {
+				s, err := b.SubscribeWith(SubscribeOptions{Buffer: 1},
+					geometry.NewRect(rng.Float64()*50, rng.Float64()*50+60))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				live = append(live, s)
+			} else {
+				j := rng.Intn(len(live))
+				live[j].Cancel()
+				live = append(live[:j], live[j+1:]...)
+			}
+		}
+		for _, s := range live {
+			s.Cancel()
+		}
+	}()
+	wg.Wait()
+	st := b.Stats()
+	if st.Published == 0 || st.Delivered == 0 {
+		t.Fatalf("stress made no progress: %+v", st)
+	}
+}
+
+// TestPublishZeroAllocShardedParallel is the sharded twin of
+// TestPublishZeroAllocSteadyState: steady-state publishing through the
+// parallel fan-out worker set (4 shards, pools warm, all DropNewest
+// buffers saturated) performs zero heap allocations.
+func TestPublishZeroAllocShardedParallel(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	b := New(Options{Shards: 4, MinOverlay: 4, Fanout: FanoutParallel})
+	defer b.Close()
+	for i := 0; i < 100; i++ {
+		if _, err := b.SubscribeWith(SubscribeOptions{Buffer: 1}, geometry.NewRect(40, 60)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// With 100 uniform subscriptions every one of the 4 shards crosses
+	// MinOverlay, so all 4 fold their overlays.
+	waitRebuilds(t, b, 4)
+	p := geometry.Point{50}
+	payload := []byte("tick")
+	if n, err := b.Publish(p, payload); err != nil || n != 100 {
+		t.Fatalf("fill publish: n=%d err=%v", n, err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := b.Publish(p, payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state sharded Publish allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestFanoutModeParse round-trips the mode names used by pubsubd's
+// -fanout flag.
+func TestFanoutModeParse(t *testing.T) {
+	for _, m := range []FanoutMode{FanoutAuto, FanoutSequential, FanoutParallel} {
+		got, err := ParseFanoutMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseFanoutMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseFanoutMode("bogus"); err == nil {
+		t.Fatal("bogus mode should not parse")
+	}
+}

@@ -1,6 +1,8 @@
 package broker
 
 import (
+	"strconv"
+
 	"repro/internal/telemetry"
 )
 
@@ -22,6 +24,11 @@ type brokerTel struct {
 	leavesVisited  *telemetry.Histogram
 	entriesTested  *telemetry.Histogram
 	slowSubsTotal  *telemetry.Counter
+	// shardRebuilds counts rebuilds per shard (label "shard");
+	// parallelFanouts counts publications routed through the parallel
+	// worker set rather than the sequential shard walk.
+	shardRebuilds   []*telemetry.Counter
+	parallelFanouts *telemetry.Counter
 }
 
 // newBrokerTel registers the broker's metric families against reg and
@@ -110,7 +117,41 @@ func newBrokerTel(b *Broker, reg *telemetry.Registry) *brokerTel {
 	reg.HistogramFunc("pubsub_broker_lag_events",
 		"Per-subscription consumer lag behind the broker head at scrape time, in events (live distribution, not an accumulation).",
 		b.lagHistogram)
+	reg.GaugeFunc("pubsub_broker_shards",
+		"Subscription shards the broker runs (1 means unsharded).",
+		func() float64 { return float64(len(b.shards)) })
+	t.parallelFanouts = reg.Counter("pubsub_broker_parallel_fanouts_total",
+		"Publications fanned out via the per-shard worker set (the rest walked shards sequentially on the publisher goroutine).")
+	t.shardRebuilds = make([]*telemetry.Counter, len(b.shards))
+	for i, sh := range b.shards {
+		shard := sh
+		label := telemetry.L("shard", strconv.Itoa(i))
+		t.shardRebuilds[i] = reg.Counter("pubsub_broker_shard_rebuilds_total",
+			"Matching index rebuilds, by shard.", label)
+		reg.GaugeFunc("pubsub_broker_shard_rectangles",
+			"Live subscription rectangles, by shard.", func() float64 {
+				shard.mu.Lock()
+				defer shard.mu.Unlock()
+				return float64(shard.rectanglesLocked())
+			}, label)
+	}
 	return t
+}
+
+// shardRebuild counts one rebuild on the given shard.
+func (t *brokerTel) shardRebuild(idx int) {
+	if t == nil || idx >= len(t.shardRebuilds) {
+		return
+	}
+	t.shardRebuilds[idx].Inc()
+}
+
+// parallelFanout counts one publication routed through the worker set.
+func (t *brokerTel) parallelFanout() {
+	if t == nil {
+		return
+	}
+	t.parallelFanouts.Inc()
 }
 
 // slowTransition counts one healthy-to-slow flip.
