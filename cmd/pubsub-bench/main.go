@@ -36,6 +36,7 @@ import (
 
 	pubsub "repro"
 	"repro/internal/experiment"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -251,6 +252,58 @@ type benchSummary struct {
 	// in-process subscriber can expect.
 	DeliveryP50Micros float64 `json:"delivery_p50_us"`
 	DeliveryP99Micros float64 `json:"delivery_p99_us"`
+	// Stages decomposes publish latency per waterfall stage, measured
+	// in a separate instrumented phase (the timed loop above runs
+	// uninstrumented so throughput and allocs/op are undisturbed).
+	Stages []stageMicros `json:"stages,omitempty"`
+}
+
+// stageMicros is one waterfall stage's tail in microseconds.
+type stageMicros struct {
+	Stage     string  `json:"stage"`
+	Count     uint64  `json:"count"`
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+}
+
+// runWaterfallPhase replays the bench workload through an instrumented
+// twin broker and returns the per-stage latency decomposition in
+// pipeline order. The broker-side enqueue stage is reported as
+// "deliver" — in-process, the subscriber-channel hand-off is delivery.
+func runWaterfallPhase(tb *experiment.Testbed, events []pubsub.Point, pubs int) ([]stageMicros, error) {
+	reg := pubsub.NewMetricsRegistry()
+	br := pubsub.NewBroker(pubsub.BrokerOptions{DefaultBuffer: 1, Metrics: reg})
+	defer br.Close()
+	for _, s := range tb.Subs {
+		if _, err := br.Subscribe(s.Rect); err != nil {
+			return nil, err
+		}
+	}
+	for deadline := time.Now().Add(5 * time.Second); br.Stats().IndexRebuilds == 0; {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("waterfall: index rebuild did not complete")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < pubs; i++ {
+		if _, err := br.Publish(events[i%len(events)], nil); err != nil {
+			return nil, err
+		}
+	}
+	var out []stageMicros
+	for _, st := range telemetry.StageReport(reg) {
+		name := st.Stage
+		if name == telemetry.StageEnqueue {
+			name = "deliver"
+		}
+		out = append(out, stageMicros{
+			Stage:     name,
+			Count:     st.Count,
+			P50Micros: st.P50 * 1e6,
+			P99Micros: st.P99 * 1e6,
+		})
+	}
+	return out, nil
 }
 
 // runPublishBench times the embeddable broker's publish path against the
@@ -336,6 +389,15 @@ func runPublishBench(seed int64, pubs int, jsonOut string, w io.Writer) error {
 		idx := int(q * float64(len(delivery)-1))
 		return float64(delivery[idx].Nanoseconds()) / 1e3
 	}
+	// Waterfall phase: rerun the workload against an instrumented twin
+	// broker so the per-stage histograms fill, then summarise them. A
+	// separate broker keeps the timed loop above metrics-free — its
+	// throughput and allocs/op numbers stay comparable across commits.
+	stages, err := runWaterfallPhase(tb, events, deliveryPubs)
+	if err != nil {
+		return err
+	}
+
 	sum := benchSummary{
 		Experiment:        "bench",
 		Seed:              seed,
@@ -349,6 +411,7 @@ func runPublishBench(seed int64, pubs int, jsonOut string, w io.Writer) error {
 		AllocsPerOp:       float64(ms1.Mallocs-ms0.Mallocs) / float64(pubs),
 		DeliveryP50Micros: dQuantile(0.50),
 		DeliveryP99Micros: dQuantile(0.99),
+		Stages:            stages,
 	}
 
 	fmt.Fprintf(w, "broker publish benchmark (%d subscriptions, %d publications)\n",
@@ -358,6 +421,21 @@ func runPublishBench(seed int64, pubs int, jsonOut string, w io.Writer) error {
 	fmt.Fprintf(w, "%12.0f %10.1fus %8.1fus %8.1fus %12.3f %12.1fus %12.1fus\n",
 		sum.OpsPerSec, sum.MeanMicros, sum.P50Micros, sum.P99Micros, sum.AllocsPerOp,
 		sum.DeliveryP50Micros, sum.DeliveryP99Micros)
+	if len(sum.Stages) > 0 {
+		fmt.Fprintf(w, "latency waterfall (instrumented rerun, p50/p99 per stage):\n")
+		for _, st := range sum.Stages {
+			fmt.Fprintf(w, "%12s", st.Stage)
+		}
+		fmt.Fprintln(w)
+		for _, st := range sum.Stages {
+			if st.Count == 0 {
+				fmt.Fprintf(w, "%12s", "-")
+				continue
+			}
+			fmt.Fprintf(w, " %4.1f/%5.1fus", st.P50Micros, st.P99Micros)
+		}
+		fmt.Fprintln(w)
+	}
 
 	if jsonOut != "" {
 		f, err := os.Create(jsonOut)

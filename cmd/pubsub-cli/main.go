@@ -19,6 +19,13 @@
 //	pubsub-cli -metrics-addr localhost:9090 events
 //	pubsub-cli -metrics-addr localhost:9090 trace 4a5be60cd4a00f01
 //
+// Show the delivery SLO burn rate, the per-stage latency waterfall and
+// the per-shard match-cost attribution; each stage line carries the
+// exemplar trace id of its worst recent publication, ready to feed to
+// the trace verb above:
+//
+//	pubsub-cli -metrics-addr localhost:9090 slo
+//
 // Against a daemon started with -data-dir, dump the durable publication
 // log from an offset (0 means the oldest retained record), or subscribe
 // with catch-up replay before live delivery:
@@ -84,11 +91,14 @@ func run(args []string, w io.Writer) error {
 	if len(rest) >= 1 && rest[0] == "lag" {
 		return runLag(*metricsAddr, w)
 	}
+	if len(rest) >= 1 && rest[0] == "slo" {
+		return runSLO(*metricsAddr, w)
+	}
 	if len(rest) >= 1 && rest[0] == "top" {
 		return runTop(*metricsAddr, *interval, *count, w)
 	}
 	if len(rest) < 2 {
-		return fmt.Errorf("usage: pubsub-cli [flags] subscribe|publish|replay <spec> | trace <id> | stats | events | lag | top")
+		return fmt.Errorf("usage: pubsub-cli [flags] subscribe|publish|replay <spec> | trace <id> | stats | events | lag | slo | top")
 	}
 	verb, spec := rest[0], rest[1]
 	if verb == "trace" {
@@ -159,7 +169,7 @@ func run(args []string, w io.Writer) error {
 		return nil
 
 	default:
-		return fmt.Errorf("unknown verb %q (want subscribe, publish, replay, trace, stats, events, lag or top)", verb)
+		return fmt.Errorf("unknown verb %q (want subscribe, publish, replay, trace, stats, events, lag, slo or top)", verb)
 	}
 }
 
@@ -254,6 +264,114 @@ func writeLag(d *lagDump, w io.Writer) {
 	}
 }
 
+// sloDump mirrors the daemon's /debug/slo JSON: the burn-rate
+// evaluation, the per-stage latency waterfall with exemplar trace ids,
+// and the per-shard match-cost attribution.
+type sloDump struct {
+	Enabled bool `json:"enabled"`
+	SLO     *struct {
+		ObjectiveSeconds  float64 `json:"objective_seconds"`
+		Budget            float64 `json:"budget"`
+		WindowSeconds     float64 `json:"window_seconds"`
+		FastWindowSeconds float64 `json:"fast_window_seconds"`
+		FastBurn          float64 `json:"fast_burn"`
+		SlowBurn          float64 `json:"slow_burn"`
+		FastBad           uint64  `json:"fast_bad"`
+		FastTotal         uint64  `json:"fast_total"`
+		SlowBad           uint64  `json:"slow_bad"`
+		SlowTotal         uint64  `json:"slow_total"`
+		BurningForSeconds float64 `json:"burning_for_seconds"`
+		State             string  `json:"state"`
+		Reason            string  `json:"reason"`
+	} `json:"slo"`
+	Stages []struct {
+		Stage           string  `json:"stage"`
+		Count           uint64  `json:"count"`
+		P50             float64 `json:"p50_seconds"`
+		P90             float64 `json:"p90_seconds"`
+		P99             float64 `json:"p99_seconds"`
+		Max             float64 `json:"max_seconds"`
+		ExemplarTrace   string  `json:"exemplar_trace"`
+		ExemplarSeconds float64 `json:"exemplar_seconds"`
+	} `json:"stages"`
+	Shards []struct {
+		Shard int     `json:"shard"`
+		Count uint64  `json:"count"`
+		P50   float64 `json:"p50_seconds"`
+		P99   float64 `json:"p99_seconds"`
+		Max   float64 `json:"max_seconds"`
+	} `json:"shards"`
+	Imbalance float64 `json:"imbalance"`
+}
+
+// fmtSec renders a latency in engineer-friendly units.
+func fmtSec(s float64) string {
+	if s <= 0 {
+		return "-"
+	}
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// runSLO fetches /debug/slo and renders the burn-rate state, the p99
+// latency waterfall and the shard attribution table. Each stage line
+// ends with the exemplar trace id of its worst recent publication —
+// feed it to `pubsub-cli trace <id>` for the correlated timeline.
+func runSLO(addr string, w io.Writer) error {
+	var d sloDump
+	if err := fetchJSON(addr, "/debug/slo", &d); err != nil {
+		return err
+	}
+	writeSLO(&d, w, false)
+	return nil
+}
+
+// writeSLO renders one /debug/slo snapshot; compact drops the tables
+// down to what fits a `top` header.
+func writeSLO(d *sloDump, w io.Writer, compact bool) {
+	if d.Enabled && d.SLO != nil {
+		s := d.SLO
+		fmt.Fprintf(w, "slo: %s  objective %s (budget %.2g%%) window %s  fast %.2fx long %.2fx",
+			s.State, fmtSec(s.ObjectiveSeconds), s.Budget*100,
+			time.Duration(s.WindowSeconds*float64(time.Second)).String(),
+			s.FastBurn, s.SlowBurn)
+		if s.BurningForSeconds > 0 {
+			fmt.Fprintf(w, "  burning %s", time.Duration(s.BurningForSeconds*float64(time.Second)).Round(time.Second))
+		}
+		fmt.Fprintln(w)
+		if !compact {
+			fmt.Fprintf(w, "  fast window %s: %d/%d bad   long window: %d/%d bad\n  %s\n",
+				time.Duration(s.FastWindowSeconds*float64(time.Second)).String(),
+				s.FastBad, s.FastTotal, s.SlowBad, s.SlowTotal, s.Reason)
+		}
+	} else {
+		fmt.Fprintln(w, "slo: disabled (start pubsubd with -slo-delivery-p99)")
+	}
+	if len(d.Stages) > 0 {
+		fmt.Fprintf(w, "%-12s %-9s %-10s %-10s %-10s %-10s %s\n",
+			"STAGE", "COUNT", "P50", "P90", "P99", "MAX", "EXEMPLAR")
+		for _, st := range d.Stages {
+			if compact && st.Count == 0 {
+				continue
+			}
+			ex := "-"
+			if st.ExemplarTrace != "" {
+				ex = fmt.Sprintf("%s (%s)", st.ExemplarTrace, fmtSec(st.ExemplarSeconds))
+			}
+			fmt.Fprintf(w, "%-12s %-9d %-10s %-10s %-10s %-10s %s\n",
+				st.Stage, st.Count, fmtSec(st.P50), fmtSec(st.P90), fmtSec(st.P99), fmtSec(st.Max), ex)
+		}
+	}
+	if compact || len(d.Shards) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "shards: %d  imbalance %.2fx (max/mean match cost)\n", len(d.Shards), d.Imbalance)
+	fmt.Fprintf(w, "%-6s %-9s %-10s %-10s %s\n", "SHARD", "COUNT", "P50", "P99", "MAX")
+	for _, sc := range d.Shards {
+		fmt.Fprintf(w, "%-6d %-9d %-10s %-10s %s\n",
+			sc.Shard, sc.Count, fmtSec(sc.P50), fmtSec(sc.P99), fmtSec(sc.Max))
+	}
+}
+
 // runTop renders a refreshing lag-and-health view (ANSI clear-screen,
 // like top). iterations bounds the refresh count for scripting and
 // tests; 0 runs until SIGINT/SIGTERM.
@@ -271,6 +389,8 @@ func runTop(addr string, interval time.Duration, iterations int, w io.Writer) er
 		healthErr := fetchJSON(addr, "/healthz", &hd)
 		var idx broker.IndexReport
 		idxErr := fetchJSON(addr, "/debug/index", &idx)
+		var slo sloDump
+		sloErr := fetchJSON(addr, "/debug/slo", &slo)
 
 		fmt.Fprint(w, "\x1b[2J\x1b[H")
 		fmt.Fprintf(w, "pubsub-top  %s  %s\n\n", addr, time.Now().Format("15:04:05"))
@@ -287,6 +407,10 @@ func runTop(addr string, interval time.Duration, iterations int, w io.Writer) er
 			}
 		}
 		fmt.Fprintln(w)
+		if sloErr == nil {
+			writeSLO(&slo, w, true)
+			fmt.Fprintln(w)
+		}
 		if idxErr != nil {
 			fmt.Fprintf(w, "index: unreachable (%v)\n", idxErr)
 		} else {

@@ -95,6 +95,10 @@ func run(args []string) error {
 		segmentBytes   = fs.Int64("segment-bytes", 0, "rotate log segments at this size (0 selects 64MiB)")
 		retentionBytes = fs.Int64("retention-bytes", 0, "delete oldest sealed segments beyond this total (0 keeps everything)")
 
+		sloP99      = fs.Duration("slo-delivery-p99", 0, "delivery-latency SLO objective: publishes slower end-to-end than this (and drops) consume the 1% error budget; multi-window burn rates feed /healthz and /debug/slo (0 disables)")
+		sloWindow   = fs.Duration("slo-window", time.Hour, "long burn-rate window for -slo-delivery-p99 (fast window is 1/12th of it)")
+		indexSample = fs.Int("index-sample", 512, "rectangle sample cap for /debug/index duplicate/covering scans (and the selectivity fallback)")
+
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/events and /debug/pprof on this address (empty disables)")
 		logLevel    = fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
 		traceSample = fs.Int("trace-sample", 0, "log every Nth publication as a structured trace event (0 disables)")
@@ -116,6 +120,12 @@ func run(args []string) error {
 	}
 	if *shards < 0 {
 		return fmt.Errorf("bad -shards %d: must be >= 0", *shards)
+	}
+	if *indexSample <= 0 {
+		return fmt.Errorf("bad -index-sample %d: must be positive", *indexSample)
+	}
+	if *sloP99 < 0 {
+		return fmt.Errorf("bad -slo-delivery-p99 %s: must be >= 0", *sloP99)
 	}
 	var level slog.Level
 	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
@@ -179,6 +189,17 @@ func run(args []string) error {
 	// above, without one because there is nothing to recover.
 	hr.PassGate("wal-recovery")
 
+	var slo *health.SLO
+	if *sloP99 > 0 {
+		slo = health.NewSLO(health.SLOOptions{
+			ObjectiveSeconds: sloP99.Seconds(),
+			Window:           *sloWindow,
+		})
+		slo.Register(hr)
+		logger.Info("delivery SLO armed",
+			"objective", sloP99.String(), "window", sloWindow.String())
+	}
+
 	b := broker.New(broker.Options{
 		DefaultBuffer:    *buffer,
 		Overflow:         policy,
@@ -190,6 +211,8 @@ func run(args []string) error {
 		Tracer:           tracer,
 		Recorder:         rec,
 		Log:              log,
+		SLO:              slo,
+		IndexSampleCap:   *indexSample,
 	})
 	defer b.Close()
 	b.RegisterHealth(hr)
@@ -240,6 +263,10 @@ func run(args []string) error {
 		mux.HandleFunc("/debug/index", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(b.IndexReport())
+		})
+		mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(sloReport(reg, slo))
 		})
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

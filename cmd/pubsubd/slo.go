@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strconv"
+
+	"repro/internal/health"
+	"repro/internal/telemetry"
+)
+
+// shardCost is one shard's match-cost summary inside the /debug/slo
+// body: where publish latency is actually being spent.
+type shardCost struct {
+	Shard int     `json:"shard"`
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50_seconds"`
+	P99   float64 `json:"p99_seconds"`
+	Max   float64 `json:"max_seconds"`
+}
+
+// sloDump is the /debug/slo JSON body: the burn-rate evaluation (when
+// an objective is armed), the per-stage latency waterfall with
+// exemplar trace ids, and the per-shard match-cost attribution.
+type sloDump struct {
+	Enabled bool                  `json:"enabled"`
+	SLO     *health.SLOStatus     `json:"slo,omitempty"`
+	Stages  []telemetry.StageStat `json:"stages"`
+	Shards  []shardCost           `json:"shards,omitempty"`
+	// Imbalance is max/mean cumulative per-shard match cost (1.0 is
+	// perfectly balanced, 0 until instrumented publishes arrive).
+	Imbalance float64 `json:"imbalance"`
+}
+
+// sloReport assembles the /debug/slo body from the metric registry and
+// the optional SLO evaluator.
+func sloReport(reg *telemetry.Registry, slo *health.SLO) sloDump {
+	d := sloDump{Stages: telemetry.StageReport(reg)}
+	if d.Stages == nil {
+		d.Stages = []telemetry.StageStat{}
+	}
+	if slo != nil {
+		st := slo.Status()
+		d.SLO, d.Enabled = &st, true
+	}
+	for _, f := range reg.Gather() {
+		switch f.Name {
+		case "pubsub_broker_shard_match_seconds":
+			for _, s := range f.Samples {
+				if s.Hist == nil {
+					continue
+				}
+				sc := shardCost{
+					Count: s.Hist.Count,
+					P50:   s.Hist.Quantile(0.50),
+					P99:   s.Hist.Quantile(0.99),
+				}
+				if s.Hist.Count > 0 {
+					sc.Max = s.Hist.Max
+				}
+				for _, l := range s.Labels {
+					if l.Key == "shard" {
+						sc.Shard, _ = strconv.Atoi(l.Value)
+					}
+				}
+				d.Shards = append(d.Shards, sc)
+			}
+		case "pubsub_broker_shard_imbalance":
+			if len(f.Samples) > 0 {
+				d.Imbalance = f.Samples[0].Value
+			}
+		}
+	}
+	return d
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/geometry"
+	"repro/internal/health"
 	"repro/internal/match"
 	"repro/internal/rtree"
 	"repro/internal/telemetry"
@@ -191,6 +192,14 @@ type Options struct {
 	// zero value) automatically — parallel only once the broker is
 	// large enough for the hand-off to pay for itself.
 	Fanout FanoutMode
+	// SLO, when non-nil, receives every publication's end-to-end
+	// publish latency (and every overflow drop as a bad event) for
+	// multi-window burn-rate evaluation. Nil disables the feed at zero
+	// cost on the publish path.
+	SLO *health.SLO
+	// IndexSampleCap caps the rectangle sample behind IndexReport's
+	// fallback selectivity and covering scans. Zero selects 512.
+	IndexSampleCap int
 }
 
 func (o Options) withDefaults() Options {
@@ -219,6 +228,9 @@ func (o Options) withDefaults() Options {
 		// The dynamic tree is a single in-place structure under b.mu;
 		// sharding applies to the snapshot strategy only.
 		o.Shards = 1
+	}
+	if o.IndexSampleCap == 0 {
+		o.IndexSampleCap = introspectSampleCap
 	}
 	return o
 }
@@ -330,7 +342,14 @@ type Broker struct {
 	tel    *brokerTel
 	tracer *telemetry.Tracer
 	rec    *telemetry.Recorder
-	log    *wal.Log // nil unless durability is on
+	log    *wal.Log    // nil unless durability is on
+	slo    *health.SLO // nil unless an SLO objective is configured
+
+	// selprof streams the per-dimension selectivity profile: rectangle
+	// stats accumulate exactly on Subscribe/Cancel, point-coverage
+	// counters on instrumented publishes. IndexReport prefers it over
+	// the probe-time rectangle sample.
+	selprof selProfile
 
 	seq       atomic.Uint64
 	delivered atomic.Uint64
@@ -358,12 +377,14 @@ func New(opts Options) *Broker {
 		tracer: opts.Tracer,
 		rec:    opts.Recorder,
 		log:    opts.Log,
+		slo:    opts.SLO,
 		stop:   make(chan struct{}),
 		procs:  runtime.GOMAXPROCS(0),
 	}
 	if b.rec == nil {
 		b.rec = telemetry.Default()
 	}
+	b.selprof.init()
 	if b.log != nil {
 		// Offsets already assigned by a previous process are the head a
 		// resuming subscriber lags behind.
@@ -510,6 +531,8 @@ func (s *Subscription) noteDrop() {
 	s.b.dropped.Add(1)
 	s.b.lastDrop.Store(now)
 	s.b.tel.drop(s.policy)
+	// A dropped delivery consumes SLO error budget unconditionally.
+	s.b.slo.ObserveBad()
 	if thr := s.b.opts.SlowLagThreshold; thr > 0 {
 		head := s.b.head.Load()
 		seen := s.deliveredSeq.Load()
@@ -546,6 +569,9 @@ func (s *Subscription) Cancel() {
 		}
 		delete(b.subs, s.id)
 		b.liveRects.Add(-int64(len(s.rects)))
+		for _, r := range s.rects {
+			b.selprof.removeRect(r)
+		}
 		if b.opts.Index == IndexDynamic {
 			for _, r := range s.rects {
 				b.dyn.Delete(s.id, r)
@@ -690,6 +716,9 @@ func (b *Broker) SubscribeWith(opts SubscribeOptions, rects ...geometry.Rect) (*
 			}
 		}
 		b.liveRects.Add(int64(len(owned)))
+		for _, r := range owned {
+			b.selprof.addRect(r)
+		}
 		return s, nil
 	}
 	sh := b.shards[shardIndex(s.id, len(b.shards))]
@@ -713,6 +742,9 @@ func (b *Broker) SubscribeWith(opts SubscribeOptions, rects ...geometry.Rect) (*
 	b.maybeTriggerRebuildLocked(sh)
 	sh.mu.Unlock()
 	b.liveRects.Add(int64(len(owned)))
+	for _, r := range owned {
+		b.selprof.addRect(r)
+	}
 	return s, nil
 }
 
@@ -829,7 +861,7 @@ func (b *Broker) PublishTraced(p geometry.Point, payload []byte, traceID uint64)
 	}
 	span := b.tracer.StartWith("publish", traceID)
 	detail = detail || span != nil
-	instrumented := tel != nil || span != nil || detail
+	instrumented := tel != nil || span != nil || detail || b.slo != nil
 	r0 := rec.Now()
 	var t0 time.Time
 	if instrumented {
@@ -865,6 +897,14 @@ func (b *Broker) PublishTraced(p geometry.Point, payload []byte, traceID uint64)
 	sc.targets = sc.targets[:0]
 	var qs match.QueryStats
 	group := 0 // candidate subscriptions the decision chose among
+
+	// Waterfall boundary: everything before this point (WAL append,
+	// scratch setup) is the ingest stage. Stage histograms exist only
+	// when metrics are on, so the extra clock read is gated with them.
+	var tIngest time.Time
+	if tel != nil {
+		tIngest = time.Now()
+	}
 
 	if b.opts.Index == IndexDynamic {
 		// The dynamic tree is mutated in place by Subscribe/Cancel, so
@@ -913,7 +953,19 @@ func (b *Broker) PublishTraced(p geometry.Point, payload []byte, traceID uint64)
 				closedShards++
 				continue
 			}
-			group += matchSnapshot(snap, p, sc, instrumented, &qs)
+			if tel != nil {
+				// Per-shard attribution: the recorder clock brackets each
+				// shard's walk so the imbalance gauge and the per-shard
+				// match histograms see where publish cost concentrates.
+				m0 := rec.Now()
+				group += matchSnapshot(snap, p, sc, instrumented, &qs)
+				d := rec.Now() - m0
+				sh.matchNS.Add(d)
+				sh.matchCount.Add(1)
+				tel.shardMatch[sh.idx].Observe(float64(d) / 1e9)
+			} else {
+				group += matchSnapshot(snap, p, sc, instrumented, &qs)
+			}
 		}
 		if closedShards == len(b.shards) {
 			b.putScratch(sc)
@@ -934,6 +986,8 @@ func (b *Broker) PublishTraced(p geometry.Point, payload []byte, traceID uint64)
 		if tel != nil {
 			tel.matchLatency.Observe(tMatch.Sub(t0).Seconds())
 			tel.observeQuery(qs.NodesVisited, qs.LeavesVisited, qs.EntriesTested)
+			tel.stageIngest.ObserveExemplar(tIngest.Sub(t0).Seconds(), traceID)
+			tel.stageMatch.ObserveExemplar(tMatch.Sub(tIngest).Seconds(), traceID)
 		}
 		span.Stage("match", tMatch.Sub(t0))
 	}
@@ -989,8 +1043,11 @@ func (b *Broker) PublishTraced(p geometry.Point, payload []byte, traceID uint64)
 			tel.published.Inc()
 			tel.delivered.Add(uint64(delivered))
 			tel.fanout.Observe(float64(len(targets)))
-			tel.publishLatency.Observe(now.Sub(t0).Seconds())
+			tel.publishLatency.ObserveExemplar(now.Sub(t0).Seconds(), traceID)
+			tel.stageEnqueue.ObserveExemplar(now.Sub(tMatch).Seconds(), traceID)
 		}
+		b.slo.Observe(now.Sub(t0).Seconds())
+		b.selprof.notePoint(p)
 		span.Stage("deliver", now.Sub(tMatch))
 		span.Uint64("seq", ev.Seq)
 		span.Int("fanout", len(targets))

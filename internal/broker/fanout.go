@@ -195,7 +195,19 @@ func (j *fanJob) runShard(sh *shard, sc *pubScratch) {
 	} else {
 		start := len(sc.targets)
 		var qs match.QueryStats
-		group := matchSnapshot(snap, j.prep.src, sc, j.instrumented, &qs)
+		var group int
+		if tel := b.tel; tel != nil {
+			// Per-shard attribution: each worker brackets its own walk,
+			// so the shard histograms see true concurrent match cost.
+			m0 := b.rec.Now()
+			group = matchSnapshot(snap, j.prep.src, sc, j.instrumented, &qs)
+			d := b.rec.Now() - m0
+			sh.matchNS.Add(d)
+			sh.matchCount.Add(1)
+			tel.shardMatch[sh.idx].Observe(float64(d) / 1e9)
+		} else {
+			group = matchSnapshot(snap, j.prep.src, sc, j.instrumented, &qs)
+		}
 		delivered := 0
 		// Each goroutine delivers from its own Event copy; the shared
 		// point/payload clones live in the mutex-guarded prep.
@@ -303,6 +315,13 @@ func (b *Broker) publishParallel(p geometry.Point, payload []byte, traceID uint6
 		}
 	}
 
+	// Waterfall boundary: ingest (WAL append, seq setup) ends here; the
+	// fused fan-out stage (match + enqueue across shards) begins.
+	var tFan time.Time
+	if tel != nil {
+		tFan = time.Now()
+	}
+
 	sc := b.scratch.Get().(*pubScratch)
 	job := b.jobs.Get().(*fanJob)
 	job.reset(b, p, payload, Event{Seq: seq, TraceID: traceID}, detail, instrumented, r0)
@@ -358,10 +377,17 @@ func (b *Broker) publishParallel(p geometry.Point, payload []byte, traceID uint6
 			tel.published.Inc()
 			tel.delivered.Add(uint64(delivered))
 			tel.fanout.Observe(float64(targets))
-			tel.publishLatency.Observe(now.Sub(t0).Seconds())
+			tel.publishLatency.ObserveExemplar(now.Sub(t0).Seconds(), traceID)
 			tel.observeQuery(qs.NodesVisited, qs.LeavesVisited, qs.EntriesTested)
 			tel.parallelFanout()
+			// The parallel waterfall: ingest up to the head CAS, then one
+			// fused fanout stage (per-shard match histograms carry the
+			// decomposition the fused stage cannot).
+			tel.stageIngest.ObserveExemplar(tFan.Sub(t0).Seconds(), traceID)
+			tel.stageFanout.ObserveExemplar(now.Sub(tFan).Seconds(), traceID)
 		}
+		b.slo.Observe(now.Sub(t0).Seconds())
+		b.selprof.notePoint(p)
 		span.Stage("fanout", now.Sub(t0))
 		span.Uint64("seq", seq)
 		span.Int("fanout", targets)

@@ -129,6 +129,11 @@ type DimSelectivity struct {
 	// no interval is bounded or the span is degenerate). Small values
 	// mean narrow, selective predicates.
 	MeanWidthFraction float64 `json:"mean_width_fraction"`
+	// TrafficInEnvelope is the fraction of profiled publish points
+	// whose coordinate on this dimension fell inside the bounded
+	// envelope — only the streaming profile can compute it (the
+	// probe-time sample sees no traffic). 0 when unknown.
+	TrafficInEnvelope float64 `json:"traffic_in_envelope,omitempty"`
 }
 
 // IndexReport is a point-in-time description of the matching state:
@@ -165,9 +170,18 @@ type IndexReport struct {
 	// Dims holds per-dimension selectivity over the sampled live
 	// rectangles; empty when there are none.
 	Dims []DimSelectivity `json:"dims,omitempty"`
-	// SampledRects is how many rectangles the selectivity and
-	// duplicate scans looked at (capped, see introspectSampleCap).
+	// SampledRects is how many rectangles the duplicate/covering scans
+	// looked at (capped by Options.IndexSampleCap).
 	SampledRects int `json:"sampled_rects"`
+	// SelectivitySource says where Dims came from: "streaming" (the
+	// live per-dimension profile fed by Subscribe/Cancel and real
+	// matches) or "sample" (the probe-time rectangle sample fallback,
+	// used when the profile has no data or a rectangle exceeded its
+	// dimension bound).
+	SelectivitySource string `json:"selectivity_source,omitempty"`
+	// ProfiledPoints is how many instrumented publish points fed the
+	// streaming profile (0 under "sample").
+	ProfiledPoints uint64 `json:"profiled_points,omitempty"`
 	// DuplicatePairs counts sampled rectangle pairs that are exactly
 	// equal; CoveringPairs counts ordered pairs where one strictly
 	// covers the other. Both are aggregation candidates.
@@ -175,15 +189,19 @@ type IndexReport struct {
 	CoveringPairs  int `json:"covering_pairs"`
 }
 
-// introspectSampleCap bounds the O(n) selectivity scan and the O(n²)
-// duplicate/covering scan. 512 rectangles is ~131k pair comparisons,
-// well under a millisecond.
+// introspectSampleCap is the default bound on the O(n²)
+// duplicate/covering scan (and the selectivity fallback scan). 512
+// rectangles is ~131k pair comparisons, well under a millisecond.
+// Override with Options.IndexSampleCap / pubsubd -index-sample.
 const introspectSampleCap = 512
 
 // IndexReport snapshots the matching-index shape and the live
 // rectangle population's selectivity. It holds the broker lock in read
-// mode while copying out up to introspectSampleCap rectangles and runs
-// the quadratic scans after releasing it.
+// mode while copying out up to Options.IndexSampleCap rectangles and
+// runs the quadratic scans after releasing it. Per-dimension
+// selectivity prefers the streaming profile (exact over the live
+// population, plus real-traffic envelope coverage) and falls back to
+// the sample when the profile is empty or overflowed.
 func (b *Broker) IndexReport() IndexReport {
 	b.mu.RLock()
 	rep := IndexReport{
@@ -234,13 +252,14 @@ func (b *Broker) IndexReport() IndexReport {
 			rep.Shards = b.ShardStats()
 		}
 	}
-	sample := make([]geometry.Rect, 0, min(len(b.subs)*2, introspectSampleCap))
+	sampleCap := b.opts.IndexSampleCap
+	sample := make([]geometry.Rect, 0, min(len(b.subs)*2, sampleCap))
 	for _, s := range b.subs {
-		if len(sample) == introspectSampleCap {
+		if len(sample) == sampleCap {
 			break
 		}
 		for _, r := range s.rects {
-			if len(sample) == introspectSampleCap {
+			if len(sample) == sampleCap {
 				break
 			}
 			sample = append(sample, r)
@@ -253,7 +272,16 @@ func (b *Broker) IndexReport() IndexReport {
 		rep.Shape = match.Describe(base)
 	}
 	rep.SampledRects = len(sample)
-	rep.Dims = dimSelectivity(sample)
+	if dims := b.selprof.report(); dims != nil {
+		rep.Dims = dims
+		rep.SelectivitySource = "streaming"
+		rep.ProfiledPoints = b.selprof.ptCount.Load()
+	} else {
+		rep.Dims = dimSelectivity(sample)
+		if rep.Dims != nil {
+			rep.SelectivitySource = "sample"
+		}
+	}
 	rep.DuplicatePairs, rep.CoveringPairs = coveringScan(sample)
 	return rep
 }

@@ -79,6 +79,12 @@ type shard struct {
 
 	rebuilds      atomic.Uint64
 	lastRebuildNS atomic.Int64
+
+	// Cumulative match cost attributed to this shard (recorder-clock
+	// nanoseconds and walk count), accumulated per publish when metrics
+	// are on. The imbalance gauge reads max/mean across shards.
+	matchNS    atomic.Int64
+	matchCount atomic.Int64
 }
 
 func newShard(b *Broker, idx int) *shard {

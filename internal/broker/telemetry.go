@@ -29,6 +29,17 @@ type brokerTel struct {
 	// worker set rather than the sequential shard walk.
 	shardRebuilds   []*telemetry.Counter
 	parallelFanouts *telemetry.Counter
+	// Waterfall stage samples (shared pubsub_stage_seconds family; the
+	// wire layer registers the write/client_recv stages). The parallel
+	// fan-out path observes stageFanout instead of stageMatch +
+	// stageEnqueue, whose phases it fuses across shards.
+	stageIngest  *telemetry.Histogram
+	stageMatch   *telemetry.Histogram
+	stageFanout  *telemetry.Histogram
+	stageEnqueue *telemetry.Histogram
+	// shardMatch is the per-shard match-cost histogram (label "shard"),
+	// the attribution data the spatial-split rule needs.
+	shardMatch []*telemetry.Histogram
 }
 
 // newBrokerTel registers the broker's metric families against reg and
@@ -122,12 +133,20 @@ func newBrokerTel(b *Broker, reg *telemetry.Registry) *brokerTel {
 		func() float64 { return float64(len(b.shards)) })
 	t.parallelFanouts = reg.Counter("pubsub_broker_parallel_fanouts_total",
 		"Publications fanned out via the per-shard worker set (the rest walked shards sequentially on the publisher goroutine).")
+	t.stageIngest = telemetry.StageHistogram(reg, telemetry.StageIngest)
+	t.stageMatch = telemetry.StageHistogram(reg, telemetry.StageMatch)
+	t.stageFanout = telemetry.StageHistogram(reg, telemetry.StageFanout)
+	t.stageEnqueue = telemetry.StageHistogram(reg, telemetry.StageEnqueue)
 	t.shardRebuilds = make([]*telemetry.Counter, len(b.shards))
+	t.shardMatch = make([]*telemetry.Histogram, len(b.shards))
 	for i, sh := range b.shards {
 		shard := sh
 		label := telemetry.L("shard", strconv.Itoa(i))
 		t.shardRebuilds[i] = reg.Counter("pubsub_broker_shard_rebuilds_total",
 			"Matching index rebuilds, by shard.", label)
+		t.shardMatch[i] = reg.Histogram("pubsub_broker_shard_match_seconds",
+			"Match-phase cost attributed to one shard's index walk, by shard.",
+			telemetry.LatencyBuckets(), label)
 		reg.GaugeFunc("pubsub_broker_shard_rectangles",
 			"Live subscription rectangles, by shard.", func() float64 {
 				shard.mu.Lock()
@@ -135,7 +154,31 @@ func newBrokerTel(b *Broker, reg *telemetry.Registry) *brokerTel {
 				return float64(shard.rectanglesLocked())
 			}, label)
 	}
+	reg.GaugeFunc("pubsub_broker_shard_imbalance",
+		"Max/mean cumulative per-shard match cost: 1.0 is perfectly balanced, high values say one shard dominates publish latency (0 until data arrives).",
+		func() float64 { return b.shardImbalance() })
 	return t
+}
+
+// shardImbalance is max/mean of cumulative per-shard match cost. A
+// single-shard broker (or one with no instrumented publishes yet)
+// reads 0.
+func (b *Broker) shardImbalance() float64 {
+	var total, maxNS int64
+	counted := 0
+	for _, sh := range b.shards {
+		ns := sh.matchNS.Load()
+		total += ns
+		if ns > maxNS {
+			maxNS = ns
+		}
+		counted++
+	}
+	if counted == 0 || total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(counted)
+	return float64(maxNS) / mean
 }
 
 // shardRebuild counts one rebuild on the given shard.

@@ -16,6 +16,26 @@ import (
 // gauge families carrying the exact observed extremes (histogram
 // exposition has no native min/max slot).
 func (r *Registry) WriteProm(w io.Writer) error {
+	return r.writeProm(w, false)
+}
+
+// WriteOpenMetrics renders the same exposition with OpenMetrics
+// exemplar annotations: histogram bucket lines whose bucket holds a
+// traced observation carry a trailing
+// "# {trace_id=\"<16 hex>\"} <value> <unix seconds>" exemplar, and the
+// output ends with the OpenMetrics "# EOF" terminator. Only clients
+// that negotiate application/openmetrics-text get this form; the
+// default scrape stays plain 0.0.4 text so parsers that reject
+// exemplars are unaffected.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if err := r.writeProm(w, true); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func (r *Registry) writeProm(w io.Writer, exemplars bool) error {
 	for _, f := range r.Gather() {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.Name, escapeHelp(f.Help), f.Name, f.Kind); err != nil {
 			return err
@@ -27,7 +47,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 				}
 				continue
 			}
-			if err := writePromHistogram(w, f.Name, s); err != nil {
+			if err := writePromHistogram(w, f.Name, s, exemplars); err != nil {
 				return err
 			}
 		}
@@ -82,7 +102,9 @@ func writePromExtremes(w io.Writer, f Family) error {
 
 // writePromHistogram renders one histogram sample with cumulative
 // le-buckets, _sum and _count, merging the sample's own labels with le.
-func writePromHistogram(w io.Writer, name string, s Sample) error {
+// With exemplars enabled, a bucket line whose (non-cumulative) bucket
+// holds a traced observation gets the OpenMetrics exemplar suffix.
+func writePromHistogram(w io.Writer, name string, s Sample, exemplars bool) error {
 	h := s.Hist
 	var cum uint64
 	for i, c := range h.Counts {
@@ -91,7 +113,18 @@ func writePromHistogram(w io.Writer, name string, s Sample) error {
 		if i < len(h.Bounds) {
 			le = formatFloat(h.Bounds[i])
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(s.Labels, Label{Key: "le", Value: le}), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d", name, mergeLabels(s.Labels, Label{Key: "le", Value: le}), cum); err != nil {
+			return err
+		}
+		if exemplars && i < len(h.Exemplars) && h.Exemplars[i].TraceID != 0 {
+			e := h.Exemplars[i]
+			if _, err := fmt.Fprintf(w, " # {trace_id=\"%s\"} %s %s",
+				FormatTraceID(e.TraceID), formatFloat(e.Value),
+				strconv.FormatFloat(float64(e.TimestampNS)/1e9, 'f', 3, 64)); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
 			return err
 		}
 	}
@@ -178,11 +211,18 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 
 // Handler serves the registry: Prometheus text by default, expvar-style
 // JSON when the request asks for it (?format=json or an Accept header
-// preferring application/json). Mount it at /metrics.
+// preferring application/json), and OpenMetrics with exemplars when the
+// scraper negotiates application/openmetrics-text (or ?format=openmetrics).
+// Mount it at /metrics.
 func Handler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if wantsJSON(req) {
 			serveJSON(r, w)
+			return
+		}
+		if wantsOpenMetrics(req) {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			_ = r.WriteOpenMetrics(w)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -209,4 +249,11 @@ func wantsJSON(req *http.Request) bool {
 	}
 	accept := req.Header.Get("Accept")
 	return strings.Contains(accept, "application/json") && !strings.Contains(accept, "text/plain")
+}
+
+func wantsOpenMetrics(req *http.Request) bool {
+	if req.URL.Query().Get("format") == "openmetrics" {
+		return true
+	}
+	return strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text")
 }

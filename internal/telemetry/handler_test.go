@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"math"
 	"net/http/httptest"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -279,5 +280,95 @@ func assertJSONBody(t *testing.T, rec *httptest.ResponseRecorder) {
 	hist, ok := obj["lat_seconds"].(map[string]any)
 	if !ok || hist["count"] != float64(1) {
 		t.Fatalf("lat_seconds histogram wrong: %v", obj["lat_seconds"])
+	}
+}
+
+// TestOpenMetricsExemplarConformance pins the exemplar exposition to
+// the OpenMetrics rules a strict scraper enforces: exemplars appear
+// only on histogram bucket lines, the exemplar labelset is valid and
+// within the 128-rune budget, the negotiated output ends with the EOF
+// terminator, and — crucially — the default 0.0.4 scrape is entirely
+// unaffected (no exemplar suffixes, no EOF line, every line still
+// matching the plain-text grammar).
+func TestOpenMetricsExemplarConformance(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("om_stage_seconds", "waterfall stage", []float64{0.001, 0.01, 0.1}, L("stage", "match"))
+	h.ObserveExemplar(0.005, 0xdeadbeefcafef00d)
+	h.ObserveExemplar(0.5, 0x1234567890abcdef) // lands in the +Inf bucket
+	h.Observe(0.002)                           // untraced: its bucket keeps the old exemplar state
+	r.Counter("om_plain_total", "a counter").Add(3)
+	r.Gauge("om_depth", "a gauge").Set(7)
+
+	handler := Handler(r)
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text")
+	handler.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Fatalf("negotiated content type = %s", ct)
+	}
+	om := rec.Body.String()
+	if !strings.HasSuffix(om, "# EOF\n") {
+		t.Fatalf("OpenMetrics output must end with # EOF:\n...%s", om[max(0, len(om)-80):])
+	}
+
+	exemplarSuffix := regexp.MustCompile(` # \{trace_id="([0-9a-f]{16})"\} [0-9eE.+-]+ [0-9]+\.[0-9]{3}$`)
+	exemplars := 0
+	for _, line := range strings.Split(strings.TrimRight(om, "\n"), "\n") {
+		hasMarker := strings.Contains(line, " # {")
+		if !hasMarker {
+			continue
+		}
+		exemplars++
+		if !strings.Contains(line, "_bucket{") {
+			t.Fatalf("exemplar on a non-bucket line: %q", line)
+		}
+		m := exemplarSuffix.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed exemplar suffix: %q", line)
+		}
+		// OpenMetrics bounds an exemplar labelset (names + values) at
+		// 128 UTF-8 characters; ours is trace_id (8) + 16 hex runes.
+		if n := len("trace_id") + len(m[1]); n > 128 {
+			t.Fatalf("exemplar labelset %d runes exceeds the 128 budget", n)
+		}
+	}
+	if exemplars < 2 {
+		t.Fatalf("want >= 2 exemplar-bearing bucket lines, got %d:\n%s", exemplars, om)
+	}
+
+	// The default scrape must be byte-identical to the exemplar-free
+	// rendering: no suffixes, no EOF, and every line well-formed 0.0.4.
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	plain := rec.Body.String()
+	if strings.Contains(plain, " # {") {
+		t.Fatalf("default scrape leaked exemplar syntax:\n%s", plain)
+	}
+	if strings.Contains(plain, "# EOF") {
+		t.Fatalf("default scrape leaked the OpenMetrics terminator:\n%s", plain)
+	}
+	wellFormed := regexp.MustCompile(`^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE.+-]+(Inf)?|)$`)
+	for _, line := range strings.Split(strings.TrimRight(plain, "\n"), "\n") {
+		if !wellFormed.MatchString(line) {
+			t.Fatalf("default scrape line not plain 0.0.4: %q", line)
+		}
+	}
+
+	// Stripping the exemplar suffixes and the terminator from the
+	// negotiated output must reproduce the default scrape exactly —
+	// exemplars are an annotation, never a reshaping.
+	stripped := regexp.MustCompile(`(?m) # \{[^}]*\} [0-9eE.+-]+ [0-9.]+$`).ReplaceAllString(om, "")
+	stripped = strings.TrimSuffix(stripped, "# EOF\n")
+	if stripped != plain {
+		t.Fatalf("negotiated output is not default + annotations:\nom:\n%s\nplain:\n%s", stripped, plain)
+	}
+
+	// ?format=openmetrics negotiates the same rendering.
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=openmetrics", nil))
+	if rec.Body.String() != om {
+		t.Fatalf("?format=openmetrics differs from Accept-negotiated output")
 	}
 }

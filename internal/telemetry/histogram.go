@@ -23,15 +23,29 @@ type Histogram struct {
 	// extremes, updated by CAS. Zero count means neither is valid.
 	minBits atomic.Uint64
 	maxBits atomic.Uint64
+	// Per-bucket exemplar slots, parallel to counts: the trace id,
+	// value bits, and wall-clock nanos of the last traced observation
+	// to land in each bucket. Three independent atomics per bucket; a
+	// scrape racing two writers can pair one observation's trace id
+	// with another's value, which is acceptable for a diagnostic
+	// exemplar (both are real observations of that bucket). A zero
+	// trace id means the bucket has no exemplar. Fixed cost: three
+	// words per bucket, allocated once at construction.
+	exTrace []atomic.Uint64
+	exValue []atomic.Uint64 // math.Float64bits of the observed value
+	exNanos []atomic.Int64  // wall-clock UnixNano at observation
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	owned := append([]float64(nil), bounds...)
 	sort.Float64s(owned)
 	h := &Histogram{
-		bounds: owned,
-		counts: make([]atomic.Uint64, len(owned)+1),
-		sum:    newShardedFloat(),
+		bounds:  owned,
+		counts:  make([]atomic.Uint64, len(owned)+1),
+		sum:     newShardedFloat(),
+		exTrace: make([]atomic.Uint64, len(owned)+1),
+		exValue: make([]atomic.Uint64, len(owned)+1),
+		exNanos: make([]atomic.Int64, len(owned)+1),
 	}
 	h.minBits.Store(math.Float64bits(math.Inf(1)))
 	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
@@ -65,6 +79,27 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records a duration in seconds, the Prometheus
 // convention for latency histograms.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveExemplar records one value and, when traceID is nonzero,
+// stamps the value's bucket with a trace-id exemplar (last writer
+// wins). Like Observe it is lock-free and allocation-free, so it is
+// safe on the publish hot path; a zero traceID degrades to a plain
+// Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID uint64) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID == 0 {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exValue[i].Store(math.Float64bits(v))
+	h.exNanos[i].Store(time.Now().UnixNano())
+	// The trace id is stored last so a scrape that sees it also sees
+	// a value/timestamp at least as fresh as some real observation.
+	h.exTrace[i].Store(traceID)
+}
 
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 {
@@ -126,7 +161,29 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Min = math.Float64frombits(h.minBits.Load())
 		s.Max = math.Float64frombits(h.maxBits.Load())
 	}
+	for i := range h.exTrace {
+		id := h.exTrace[i].Load()
+		if id == 0 {
+			continue
+		}
+		if s.Exemplars == nil {
+			s.Exemplars = make([]Exemplar, len(h.counts))
+		}
+		s.Exemplars[i] = Exemplar{
+			TraceID:     id,
+			Value:       math.Float64frombits(h.exValue[i].Load()),
+			TimestampNS: h.exNanos[i].Load(),
+		}
+	}
 	return s
+}
+
+// Exemplar is one bucket's last traced observation. A zero TraceID
+// means the bucket has none.
+type Exemplar struct {
+	TraceID     uint64
+	Value       float64
+	TimestampNS int64
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram.
@@ -137,6 +194,22 @@ type HistogramSnapshot struct {
 	Sum    float64
 	Min    float64 // exact observed minimum; valid only when Count > 0
 	Max    float64 // exact observed maximum; valid only when Count > 0
+	// Exemplars, when non-nil, is parallel to Counts; entries with a
+	// zero TraceID are empty slots.
+	Exemplars []Exemplar
+}
+
+// TopExemplar returns the exemplar from the highest-latency non-empty
+// bucket — the observation closest to the distribution's tail — and
+// whether one exists. It is the "what was my worst recent publication"
+// pivot used by /debug/slo and pubsub-cli slo.
+func (s HistogramSnapshot) TopExemplar() (Exemplar, bool) {
+	for i := len(s.Exemplars) - 1; i >= 0; i-- {
+		if s.Exemplars[i].TraceID != 0 {
+			return s.Exemplars[i], true
+		}
+	}
+	return Exemplar{}, false
 }
 
 // Quantile estimates the q-quantile (0 <= q <= 1) by linear

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/broker"
 	"repro/internal/geometry"
@@ -16,6 +18,12 @@ type ClientOptions struct {
 	// events received, correlated by trace id with the server's records.
 	// Nil selects the process-wide telemetry.Default() recorder.
 	Recorder *telemetry.Recorder
+	// Metrics, when non-nil, registers the waterfall's client_recv
+	// stage: the latency from this client's PublishTraced to its own
+	// first matching event frame, with the publication's trace id as
+	// the bucket exemplar. Only publishes sent by this client are
+	// measured (the client has no send timestamp for anyone else's).
+	Metrics *telemetry.Registry
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -46,7 +54,23 @@ type Client struct {
 	dropped      uint64
 	firstDropped uint64 // Seq of the first drop since ClearFirstDropped
 	hasDropped   bool
+
+	// stageRecv plus the sent ring implement the client_recv waterfall
+	// stage. PublishTraced stamps its trace id and send time into the
+	// ring slot traceID%clientTraceRing (nanos first, id last — the id
+	// is the guard); the read loop CASes the id out on the first
+	// matching event frame, so each publish is measured exactly once
+	// even when it fans out to several local subscriptions. Collisions
+	// just overwrite a slot: a bounded, lossy sample by design.
+	stageRecv *telemetry.Histogram
+	sentTrace [clientTraceRing]atomic.Uint64
+	sentNanos [clientTraceRing]atomic.Int64
 }
+
+// clientTraceRing sizes the in-flight publish ring backing the
+// client_recv stage. Power of two; 256 publishes in flight before
+// samples start overwriting each other.
+const clientTraceRing = 256
 
 // Dial connects to a wire server.
 func Dial(addr string) (*Client, error) {
@@ -76,8 +100,24 @@ func NewClientWith(conn net.Conn, opts ClientOptions) *Client {
 		replies:  make(chan *Message, 1),
 		readDone: make(chan struct{}),
 	}
+	c.stageRecv = telemetry.StageHistogram(c.opts.Metrics, telemetry.StageClientRecv)
 	go c.readLoop()
 	return c
+}
+
+// noteRecv closes the client_recv measurement for an event frame whose
+// trace id matches a publish this client sent. The CAS claims the ring
+// slot so duplicate deliveries of the same publication measure once.
+func (c *Client) noteRecv(traceID uint64) {
+	if c.stageRecv == nil || traceID == 0 {
+		return
+	}
+	slot := traceID % clientTraceRing
+	if c.sentTrace[slot].Load() != traceID || !c.sentTrace[slot].CompareAndSwap(traceID, 0) {
+		return
+	}
+	d := time.Duration(time.Now().UnixNano() - c.sentNanos[slot].Load())
+	c.stageRecv.ObserveExemplar(d.Seconds(), traceID)
 }
 
 func (c *Client) readLoop() {
@@ -91,6 +131,7 @@ func (c *Client) readLoop() {
 		}
 		switch m.Type {
 		case TypeEvent:
+			c.noteRecv(m.TraceID)
 			ev := broker.Event{Point: geometry.Point(m.Point), Payload: m.Payload, Seq: m.Seq, TraceID: m.TraceID}
 			select {
 			case c.events <- ev:
@@ -269,6 +310,11 @@ func (c *Client) PublishTraced(p geometry.Point, payload []byte) (int, uint64, e
 	traceID := telemetry.NewTraceID()
 	c.opts.Recorder.Record(telemetry.KindClientPublish, traceID, 0,
 		int64(len(p)), int64(len(payload)), 0, 0)
+	if c.stageRecv != nil {
+		slot := traceID % clientTraceRing
+		c.sentNanos[slot].Store(time.Now().UnixNano())
+		c.sentTrace[slot].Store(traceID)
+	}
 	reply, err := c.roundTrip(&Message{Type: TypePublish, Point: p, Payload: payload, TraceID: traceID})
 	if err != nil {
 		return 0, traceID, err

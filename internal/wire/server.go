@@ -317,9 +317,13 @@ func (cs *connState) write(m *Message) error {
 	//pubsub:allow locksafe -- frame write under writeMu is bounded by WriteTimeout; it is the serialization point
 	err := WriteMessage(cs.conn, m)
 	if cs.tel != nil {
-		cs.tel.writeLatency.ObserveDuration(time.Since(t0))
+		d := time.Since(t0)
+		cs.tel.writeLatency.ObserveDuration(d)
 		if err == nil {
 			cs.tel.framesOut.Inc()
+			if m.Type == TypeEvent {
+				cs.tel.stageWrite.ObserveExemplar(d.Seconds(), m.TraceID)
+			}
 		}
 	}
 	if err != nil {

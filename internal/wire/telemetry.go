@@ -18,6 +18,11 @@ type wireTel struct {
 	framesOut       *telemetry.Counter
 	writeLatency    *telemetry.Histogram
 	keepaliveMisses *telemetry.Counter
+	// stageWrite is the waterfall's subscriber-socket-write stage
+	// (shared pubsub_stage_seconds family; the broker registers the
+	// upstream stages). Event frames only, with the frame's trace id
+	// as the bucket exemplar.
+	stageWrite *telemetry.Histogram
 }
 
 func newWireTel(reg *telemetry.Registry) *wireTel {
@@ -41,6 +46,7 @@ func newWireTel(reg *telemetry.Registry) *wireTel {
 			"Frame write latency, including any deadline wait.", telemetry.LatencyBuckets()),
 		keepaliveMisses: reg.Counter("pubsub_wire_keepalive_misses_total",
 			"Connections evicted because the peer sent nothing within the idle timeout."),
+		stageWrite: telemetry.StageHistogram(reg, telemetry.StageWrite),
 	}
 }
 
